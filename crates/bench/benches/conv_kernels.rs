@@ -1,0 +1,99 @@
+//! Criterion benches of the real CPU convolution engines: regression
+//! tracking for the substrate's kernels (direct, GEMM, FFT, Winograd).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ucudnn_conv::{exec, supports, workspace_floats, ConvOp, EngineKind};
+use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4, Tensor};
+
+fn conv_geometries() -> Vec<(&'static str, ConvGeometry)> {
+    vec![
+        (
+            "conv2-like-8x32x27",
+            ConvGeometry::with_square(
+                Shape4::new(8, 32, 27, 27),
+                FilterShape::new(32, 32, 5, 5),
+                2,
+                1,
+            ),
+        ),
+        (
+            "res3x3-8x16x28",
+            ConvGeometry::with_square(
+                Shape4::new(8, 16, 28, 28),
+                FilterShape::new(16, 16, 3, 3),
+                1,
+                1,
+            ),
+        ),
+    ]
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_forward");
+    for (name, g) in conv_geometries() {
+        let x = Tensor::random(g.input, 1);
+        let w = Tensor::random(g.filter.as_shape4(), 2);
+        for engine in EngineKind::ALL {
+            if !supports(engine, ConvOp::Forward, &g) {
+                continue;
+            }
+            let mut y = Tensor::zeros(g.output());
+            let mut ws = vec![0.0f32; workspace_floats(engine, ConvOp::Forward, &g)];
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), name),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        exec(
+                            engine,
+                            ConvOp::Forward,
+                            g,
+                            x.as_slice(),
+                            w.as_slice(),
+                            y.as_mut_slice(),
+                            1.0,
+                            0.0,
+                            &mut ws,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_backward_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_backward_filter");
+    let (name, g) = &conv_geometries()[1];
+    let x = Tensor::random(g.input, 3);
+    let dy = Tensor::random(g.output(), 4);
+    for engine in [EngineKind::Direct, EngineKind::Gemm, EngineKind::Fft] {
+        if !supports(engine, ConvOp::BackwardFilter, g) {
+            continue;
+        }
+        let mut dw = Tensor::zeros(g.filter.as_shape4());
+        let mut ws = vec![0.0f32; workspace_floats(engine, ConvOp::BackwardFilter, g)];
+        group.bench_with_input(BenchmarkId::new(format!("{engine:?}"), name), g, |b, g| {
+            b.iter(|| {
+                exec(
+                    engine,
+                    ConvOp::BackwardFilter,
+                    g,
+                    x.as_slice(),
+                    dy.as_slice(),
+                    dw.as_mut_slice(),
+                    1.0,
+                    0.0,
+                    &mut ws,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_backward_filter);
+criterion_main!(benches);

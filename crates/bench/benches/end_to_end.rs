@@ -1,0 +1,64 @@
+//! Criterion bench of the whole harness: simulated AlexNet iterations
+//! (setup + timed execution) — guards against regressions in the framework
+//! driver and the wrapper's per-call overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ucudnn::{BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions};
+use ucudnn_cudnn_sim::CudnnHandle;
+use ucudnn_framework::{alexnet, setup_network, time_iteration, BaselineCudnn};
+use ucudnn_gpu_model::p100_sxm2;
+
+const MIB: usize = 1024 * 1024;
+
+fn bench_iteration(c: &mut Criterion) {
+    let net = alexnet(256);
+    let mut group = c.benchmark_group("simulated_iteration");
+
+    let base = BaselineCudnn::new(CudnnHandle::simulated(p100_sxm2()), 64 * MIB);
+    setup_network(&base, &net).unwrap();
+    group.bench_function(BenchmarkId::new("baseline", "alexnet256"), |b| {
+        b.iter(|| time_iteration(&base, &net).unwrap())
+    });
+
+    let mu = UcudnnHandle::new(
+        CudnnHandle::simulated(p100_sxm2()),
+        UcudnnOptions {
+            policy: BatchSizePolicy::PowerOfTwo,
+            workspace_limit_bytes: 64 * MIB,
+            mode: OptimizerMode::Wr,
+            ..Default::default()
+        },
+    );
+    setup_network(&mu, &net).unwrap();
+    group.bench_function(BenchmarkId::new("ucudnn_wr_p2", "alexnet256"), |b| {
+        b.iter(|| time_iteration(&mu, &net).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_setup(c: &mut Criterion) {
+    let net = alexnet(256);
+    let mut group = c.benchmark_group("network_setup");
+    group.sample_size(10);
+    for policy in [BatchSizePolicy::Undivided, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::All] {
+        group.bench_function(BenchmarkId::new("wr", policy.name()), |b| {
+            b.iter(|| {
+                // Fresh handle each time: measures cold optimization cost.
+                let h = UcudnnHandle::new(
+                    CudnnHandle::simulated(p100_sxm2()),
+                    UcudnnOptions {
+                        policy,
+                        workspace_limit_bytes: 64 * MIB,
+                        mode: OptimizerMode::Wr,
+                        ..Default::default()
+                    },
+                );
+                setup_network(&h, &net).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration, bench_setup);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Criterion benches of the optimizer itself: WR dynamic programming,
+//! desirable-set construction (Pareto fronts) and the WD ILP — the costs
+//! §IV-B attributes to μ-cuDNN's setup phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ucudnn::{desirable_set, optimize_wd, optimize_wr, BatchSizePolicy, BenchCache, KernelKey};
+use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
+use ucudnn_gpu_model::p100_sxm2;
+use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
+
+const MIB: usize = 1024 * 1024;
+
+fn conv2(n: usize) -> KernelKey {
+    let g = ConvGeometry::with_square(
+        Shape4::new(n, 64, 27, 27),
+        FilterShape::new(192, 64, 5, 5),
+        2,
+        1,
+    );
+    KernelKey::new(ConvOp::Forward, &g)
+}
+
+fn bench_wr(c: &mut Criterion) {
+    let handle = CudnnHandle::simulated(p100_sxm2());
+    let mut group = c.benchmark_group("wr_dp");
+    for (policy, batch) in [
+        (BatchSizePolicy::PowerOfTwo, 256usize),
+        (BatchSizePolicy::All, 256),
+        (BatchSizePolicy::All, 1024),
+    ] {
+        // Warm cache outside the measurement so the bench isolates the DP
+        // (benchmarks themselves are covered by the cache-stats bench).
+        let mut cache = BenchCache::new();
+        optimize_wr(&handle, &mut cache, &conv2(batch), 64 * MIB, policy, false).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(policy.name(), batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    optimize_wr(&handle, &mut cache, &conv2(batch), 64 * MIB, policy, false)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let handle = CudnnHandle::simulated(p100_sxm2());
+    let mut group = c.benchmark_group("desirable_set");
+    group.sample_size(10);
+    for batch in [64usize, 256] {
+        let mut cache = BenchCache::new();
+        desirable_set(&handle, &mut cache, &conv2(batch), 120 * MIB, BatchSizePolicy::PowerOfTwo);
+        group.bench_with_input(BenchmarkId::new("powerOfTwo", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                desirable_set(
+                    &handle,
+                    &mut cache,
+                    &conv2(batch),
+                    120 * MIB,
+                    BatchSizePolicy::PowerOfTwo,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wd_ilp(c: &mut Criterion) {
+    let handle = CudnnHandle::simulated(p100_sxm2());
+    // An AlexNet-flavoured kernel set.
+    let kernels: Vec<KernelKey> = {
+        let net_geoms = [
+            (64usize, 27usize, 192usize, 5usize, 2usize),
+            (192, 13, 384, 3, 1),
+            (384, 13, 256, 3, 1),
+            (256, 13, 256, 3, 1),
+        ];
+        net_geoms
+            .iter()
+            .flat_map(|&(c_in, hw, k, r, pad)| {
+                let g = ConvGeometry::with_square(
+                    Shape4::new(64, c_in, hw, hw),
+                    FilterShape::new(k, c_in, r, r),
+                    pad,
+                    1,
+                );
+                ConvOp::ALL.map(|op| KernelKey::new(op, &g))
+            })
+            .collect()
+    };
+    let mut group = c.benchmark_group("wd_ilp");
+    group.sample_size(10);
+    for total_mib in [64usize, 512] {
+        let mut cache = BenchCache::new();
+        optimize_wd(&handle, &mut cache, &kernels, total_mib * MIB, BatchSizePolicy::PowerOfTwo)
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("alexnet_kernels", total_mib),
+            &total_mib,
+            |b, &total_mib| {
+                b.iter(|| {
+                    optimize_wd(
+                        &handle,
+                        &mut cache,
+                        &kernels,
+                        total_mib * MIB,
+                        BatchSizePolicy::PowerOfTwo,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wr, bench_pareto, bench_wd_ilp);
+criterion_main!(benches);

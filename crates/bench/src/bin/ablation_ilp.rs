@@ -1,0 +1,81 @@
+//! Ablation: the branch-and-bound ILP solver vs exhaustive enumeration on
+//! the WD multiple-choice knapsack — correctness cross-check plus solve-time
+//! scaling (the GLPK-replacement justification of DESIGN.md §2).
+
+use ucudnn::{desirable_set, BatchSizePolicy, BenchCache, KernelKey};
+use ucudnn_bench::{print_table, write_csv, MIB};
+use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
+use ucudnn_framework::alexnet;
+use ucudnn_gpu_model::p100_sxm2;
+use ucudnn_lp::{Item, MckInstance};
+
+fn main() {
+    let handle = CudnnHandle::simulated(p100_sxm2());
+    let mut cache = BenchCache::new();
+    // Kernels from AlexNet at a modest batch so exhaustive search stays
+    // tractable (product of group sizes).
+    let net = alexnet(32);
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for num_kernels in [2usize, 3, 4, 5] {
+        let kernels: Vec<KernelKey> = net
+            .conv_layers()
+            .into_iter()
+            .take(num_kernels)
+            .map(|id| KernelKey::new(ConvOp::Forward, &net.conv_geometry(id)))
+            .collect();
+        let cap = 32 * MIB;
+        let groups: Vec<Vec<Item>> = kernels
+            .iter()
+            .map(|k| {
+                desirable_set(&handle, &mut cache, k, cap, BatchSizePolicy::PowerOfTwo)
+                    .iter()
+                    .map(|c| Item { cost: c.time_us(), weight: c.workspace_bytes() as f64 })
+                    .collect()
+            })
+            .collect();
+        let vars: usize = groups.iter().map(Vec::len).sum();
+        let space: usize = groups.iter().map(Vec::len).product();
+        let inst = MckInstance { groups, capacity: (cap + cap / 2) as f64 };
+
+        let t0 = std::time::Instant::now();
+        let bb = inst.solve();
+        let bb_us = t0.elapsed().as_secs_f64() * 1e6;
+        let t0 = std::time::Instant::now();
+        let ex = inst.solve_exhaustive();
+        let ex_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        let (bb_v, ex_v) = match (&bb, &ex) {
+            (Some((_, a)), Some((_, b))) => (*a, *b),
+            _ => panic!("both solvers must find a solution"),
+        };
+        assert!((bb_v - ex_v).abs() <= 1e-6 * ex_v.max(1.0), "B&B != exhaustive");
+        rows.push(vec![
+            num_kernels.to_string(),
+            vars.to_string(),
+            space.to_string(),
+            format!("{:.3}", bb_us / 1000.0),
+            format!("{:.3}", ex_us / 1000.0),
+            format!("{:.2}", bb_v / 1000.0),
+        ]);
+        csv.push(vec![
+            num_kernels.to_string(),
+            vars.to_string(),
+            space.to_string(),
+            format!("{bb_us}"),
+            format!("{ex_us}"),
+            format!("{bb_v}"),
+        ]);
+    }
+    print_table(
+        "Ablation — branch-and-bound ILP vs exhaustive enumeration",
+        &["kernels", "0-1 vars", "search space", "B&B (ms)", "exhaustive (ms)", "optimum (ms)"],
+        &rows,
+    );
+    write_csv(
+        "ablation_ilp.csv",
+        &["kernels", "vars", "space", "bb_us", "exhaustive_us", "optimum_us"],
+        &csv,
+    );
+    println!("\nBoth are exact; B&B scales to the full-network instances exhaustive search cannot.");
+}

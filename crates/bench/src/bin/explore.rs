@@ -1,0 +1,89 @@
+//! `explore` — inspect the optimizer's reasoning for an arbitrary
+//! convolution layer: per-algorithm benchmark table, the WR division under
+//! each policy, and the desirable-configuration front.
+//!
+//! ```text
+//! cargo run --release -p ucudnn-bench --bin explore -- \
+//!     [N] [C] [H] [K] [R] [pad] [stride] [ws_mib] [device]
+//! cargo run --release -p ucudnn-bench --bin explore -- 256 64 27 192 5 2 1 64 p100
+//! ```
+
+use ucudnn::{desirable_set, optimize_wr, BatchSizePolicy, BenchCache, KernelKey};
+use ucudnn_bench::{mib, print_table, MIB};
+use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
+use ucudnn_gpu_model::{k80, p100_sxm2, v100_sxm2};
+use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
+
+fn arg(n: usize, default: usize) -> usize {
+    std::env::args().nth(n).and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let (n, c, hw) = (arg(1, 256), arg(2, 64), arg(3, 27));
+    let (k, r, pad, stride) = (arg(4, 192), arg(5, 5), arg(6, 2), arg(7, 1));
+    let ws = arg(8, 64) * MIB;
+    let device = match std::env::args().nth(9).as_deref() {
+        Some("k80") => k80(),
+        Some("v100") => v100_sxm2(),
+        _ => p100_sxm2(),
+    };
+    let g = ConvGeometry::with_square(
+        Shape4::new(n, c, hw, hw),
+        FilterShape::new(k, c, r, r),
+        pad,
+        stride,
+    );
+    println!("layer: {g}\ndevice: {}, workspace limit {}MiB\n", device.name, ws / MIB);
+
+    let handle = CudnnHandle::simulated(device);
+    let mut cache = BenchCache::new();
+
+    for op in ConvOp::ALL {
+        let key = KernelKey::new(op, &g);
+        // Benchmark table at the full batch.
+        let entries = cache.get_or_bench(&handle, &key);
+        let rows: Vec<Vec<String>> = entries
+            .iter()
+            .map(|e| {
+                vec![
+                    e.algo.to_string(),
+                    format!("{:.3}", e.time_us / 1000.0),
+                    mib(e.memory_bytes),
+                    if e.memory_bytes <= ws { "yes".into() } else { "no".into() },
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("{op} — algorithms at batch {n}"),
+            &["algorithm", "time (ms)", "WS (MiB)", "fits limit"],
+            &rows,
+        );
+
+        // WR plans per policy.
+        let mut plan_rows = Vec::new();
+        for policy in
+            [BatchSizePolicy::Undivided, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::All]
+        {
+            let r = optimize_wr(&handle, &mut cache, &key, ws, policy, false).unwrap();
+            plan_rows.push(vec![
+                policy.name().to_string(),
+                format!("{:.3}", r.config.time_us() / 1000.0),
+                mib(r.config.workspace_bytes()),
+                r.config.describe(),
+            ]);
+        }
+        print_table(
+            &format!("{op} — WR plans under {} MiB", ws / MIB),
+            &["policy", "time (ms)", "WS (MiB)", "division"],
+            &plan_rows,
+        );
+
+        // Desirable front (capped for readability).
+        let front = desirable_set(&handle, &mut cache, &key, ws, BatchSizePolicy::PowerOfTwo);
+        println!("{op} desirable front ({} points, powerOfTwo):", front.len());
+        for cfg in &front {
+            println!("  {:>9} MiB  {:>9.3} ms  {}", mib(cfg.workspace_bytes()), cfg.time_us() / 1000.0, cfg);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,91 @@
+//! Fig. 1: the workspace cliff.
+//!
+//! (a) Per-layer forward time of single-column AlexNet with the best
+//!     algorithm vs. a workspace limit one byte below the best algorithm's
+//!     requirement ("-1 byte").
+//! (b) conv2 forward time as a function of the workspace limit.
+//!
+//! Paper headline: up to 4.51× slowdown from losing one byte on conv2.
+
+use ucudnn_bench::{mib, print_table, write_csv, MIB};
+use ucudnn_cudnn_sim::ConvOp;
+use ucudnn_framework::alexnet;
+use ucudnn_gpu_model::{enumerate, fastest_within, p100_sxm2};
+
+fn main() {
+    let d = p100_sxm2();
+    let net = alexnet(256);
+
+    // (a) best vs -1 byte, per conv layer.
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for id in net.conv_layers() {
+        let g = net.conv_geometry(id);
+        let name = net.nodes()[id].name.clone();
+        let best = enumerate(&d, ConvOp::Forward, &g)[0];
+        let constrained = fastest_within(&d, ConvOp::Forward, &g, best.workspace_bytes.saturating_sub(1))
+            .expect("a zero-workspace fallback always exists");
+        let slowdown = constrained.time_us / best.time_us;
+        rows.push(vec![
+            name.clone(),
+            best.algo.to_string(),
+            format!("{:.3}", best.time_us / 1000.0),
+            mib(best.workspace_bytes),
+            constrained.algo.to_string(),
+            format!("{:.3}", constrained.time_us / 1000.0),
+            format!("{:.2}x", slowdown),
+        ]);
+        csv.push(vec![
+            name,
+            best.algo.to_string(),
+            format!("{}", best.time_us),
+            format!("{}", best.workspace_bytes),
+            constrained.algo.to_string(),
+            format!("{}", constrained.time_us),
+            format!("{}", slowdown),
+        ]);
+    }
+    print_table(
+        "Fig. 1(a) — AlexNet forward conv: Best vs '-1 byte' (P100, N=256)",
+        &["layer", "best algo", "best (ms)", "best WS (MiB)", "-1B algo", "-1B (ms)", "slowdown"],
+        &rows,
+    );
+    write_csv(
+        "fig01a_cliff.csv",
+        &["layer", "best_algo", "best_us", "best_ws_bytes", "m1_algo", "m1_us", "slowdown"],
+        &csv,
+    );
+
+    // (b) conv2 forward time vs workspace limit sweep.
+    let g2 = net.conv_geometry(net.conv_layers()[1]);
+    let mut sweep = Vec::new();
+    let mut csv2 = Vec::new();
+    for exp in 0..=14 {
+        let limit = if exp == 0 { 0 } else { (1usize << (exp - 1)) * MIB / 4 }; // 0, 0.25 MiB .. 2048 MiB
+        let p = fastest_within(&d, ConvOp::Forward, &g2, limit).unwrap();
+        sweep.push(vec![
+            mib(limit),
+            p.algo.to_string(),
+            format!("{:.3}", p.time_us / 1000.0),
+            mib(p.workspace_bytes),
+        ]);
+        csv2.push(vec![
+            format!("{limit}"),
+            p.algo.to_string(),
+            format!("{}", p.time_us),
+            format!("{}", p.workspace_bytes),
+        ]);
+    }
+    print_table(
+        "Fig. 1(b) — conv2 forward time vs workspace limit",
+        &["limit (MiB)", "algo", "time (ms)", "WS used (MiB)"],
+        &sweep,
+    );
+    write_csv("fig01b_conv2_sweep.csv", &["limit_bytes", "algo", "time_us", "ws_bytes"], &csv2);
+
+    let worst = csv
+        .iter()
+        .map(|r| r[6].parse::<f64>().unwrap())
+        .fold(0.0f64, f64::max);
+    println!("\nLargest per-layer '-1 byte' slowdown: {worst:.2}x (paper: 4.51x on conv2).");
+}

@@ -1,0 +1,59 @@
+//! Fig. 8: the desirable configurations (Pareto front) of AlexNet's conv2
+//! forward kernel — P100, mini-batch 256, 120 MiB workspace cap.
+
+use ucudnn::{desirable_set, BatchSizePolicy, BenchCache, KernelKey};
+use ucudnn_bench::{mib, print_table, write_csv, MIB};
+use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
+use ucudnn_framework::alexnet;
+use ucudnn_gpu_model::p100_sxm2;
+
+fn main() {
+    let net = alexnet(256);
+    let g2 = net.conv_geometry(net.conv_layers()[1]);
+    let key = KernelKey::new(ConvOp::Forward, &g2);
+    let handle = CudnnHandle::simulated(p100_sxm2());
+    let mut cache = BenchCache::new();
+
+    let front = desirable_set(&handle, &mut cache, &key, 120 * MIB, BatchSizePolicy::All);
+
+    let rows: Vec<Vec<String>> = front
+        .iter()
+        .map(|c| {
+            vec![
+                mib(c.workspace_bytes()),
+                format!("{:.3}", c.time_us() / 1000.0),
+                c.micros.len().to_string(),
+                c.describe(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 8 — desirable configurations of conv2 Forward (P100, N=256, cap 120 MiB)",
+        &["WS (MiB)", "time (ms)", "#micro", "configuration"],
+        &rows,
+    );
+    let csv: Vec<Vec<String>> = front
+        .iter()
+        .map(|c| {
+            vec![
+                c.workspace_bytes().to_string(),
+                format!("{}", c.time_us()),
+                c.micros.len().to_string(),
+                c.describe().replace(',', ";"),
+            ]
+        })
+        .collect();
+    write_csv("fig08_pareto.csv", &["ws_bytes", "time_us", "micros", "configuration"], &csv);
+
+    println!(
+        "\nFront size: {} (paper: the largest AlexNet desirable set was 68 entries).",
+        front.len()
+    );
+    println!(
+        "Endpoints: slowest/smallest = {} @ {} MiB; fastest/largest = {} @ {} MiB.",
+        front.first().map(|c| c.describe()).unwrap_or_default(),
+        mib(front.first().map(|c| c.workspace_bytes()).unwrap_or(0)),
+        front.last().map(|c| c.describe()).unwrap_or_default(),
+        mib(front.last().map(|c| c.workspace_bytes()).unwrap_or(0)),
+    );
+}

@@ -1,0 +1,71 @@
+//! Fig. 11: TensorFlow-style evaluation on P100 — AlexNet (N=256),
+//! ResNet-50 (N=64) and DenseNet-40 k=40 (N=256) under 8 / 64 / 512 MiB
+//! per-kernel workspace limits.
+//!
+//! Paper headline at 64 MiB: 1.24× for AlexNet, 1.06× for ResNet-50.
+//! (TensorFlow passes no workspace limit through its benchmark path, so the
+//! paper — like this binary — supplies the limits to μ-cuDNN directly.)
+
+use ucudnn::{BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions};
+use ucudnn_bench::{print_table, write_csv, MIB};
+use ucudnn_cudnn_sim::CudnnHandle;
+use ucudnn_framework::{alexnet, densenet40, resnet50, time_command, NetworkDef};
+use ucudnn_gpu_model::p100_sxm2;
+
+fn main() {
+    let nets: Vec<NetworkDef> = vec![alexnet(256), resnet50(64), densenet40(256, 40)];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for net in &nets {
+        for limit_mib in [8usize, 64, 512] {
+            let mut undivided = 0.0f64;
+            for policy in
+                [BatchSizePolicy::Undivided, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::All]
+            {
+                let handle = UcudnnHandle::new(
+                    CudnnHandle::simulated(p100_sxm2()),
+                    UcudnnOptions {
+                        policy,
+                        workspace_limit_bytes: limit_mib * MIB,
+                        mode: OptimizerMode::Wr,
+                        ..Default::default()
+                    },
+                );
+                let r = time_command(&handle, net, 1).expect("time command failed");
+                if policy == BatchSizePolicy::Undivided {
+                    undivided = r.timing.total_us();
+                }
+                let speedup = undivided / r.timing.total_us();
+                rows.push(vec![
+                    net.name.clone(),
+                    net.batch().to_string(),
+                    format!("{limit_mib}"),
+                    policy.name().to_string(),
+                    format!("{:.2}", r.timing.total_us() / 1000.0),
+                    format!("{:.2}", r.timing.conv_us() / 1000.0),
+                    format!("{:.2}x", speedup),
+                ]);
+                csv.push(vec![
+                    net.name.clone(),
+                    net.batch().to_string(),
+                    format!("{}", limit_mib * MIB),
+                    policy.name().to_string(),
+                    format!("{}", r.timing.total_us()),
+                    format!("{}", r.timing.conv_us()),
+                    format!("{speedup}"),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Fig. 11 — TensorFlow-style networks on P100",
+        &["network", "batch", "WS (MiB)", "policy", "total (ms)", "conv (ms)", "speedup"],
+        &rows,
+    );
+    write_csv(
+        "fig11_tensorflow_wr.csv",
+        &["network", "batch", "ws_bytes", "policy", "total_us", "conv_us", "speedup"],
+        &csv,
+    );
+    println!("\n(paper at 64 MiB: AlexNet 1.24x, ResNet-50 1.06x)");
+}

@@ -1,0 +1,75 @@
+//! Fig. 14: how WD divides a 120 MiB global workspace among AlexNet's
+//! kernels (P100, N=256).
+//!
+//! Paper headline: conv2 and conv3 kernels receive 93.7% of the workspace;
+//! conv4/conv5 get under 3 MiB each even though faster configurations
+//! exist for them — the ILP buys speed where it is cheapest per byte.
+
+use ucudnn::{BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions};
+use ucudnn_bench::{kernel_label, mib, print_table, write_csv, MIB};
+use ucudnn_cudnn_sim::CudnnHandle;
+use ucudnn_framework::{alexnet, setup_network};
+use ucudnn_gpu_model::p100_sxm2;
+
+fn main() {
+    let net = alexnet(256);
+    let total = 120 * MIB;
+    let handle = UcudnnHandle::new(
+        CudnnHandle::simulated(p100_sxm2()),
+        UcudnnOptions {
+            policy: BatchSizePolicy::All,
+            workspace_limit_bytes: total,
+            mode: OptimizerMode::Wd,
+            ..Default::default()
+        },
+    );
+    setup_network(&handle, &net).unwrap();
+    let plan = handle.wd_plan().expect("WD plan must exist after setup");
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut conv23 = 0usize;
+    for a in &plan.assignments {
+        let label = kernel_label(&net, &a.kernel);
+        let ws = a.config.workspace_bytes();
+        if label.starts_with("conv2") || label.starts_with("conv3") {
+            conv23 += ws;
+        }
+        rows.push(vec![
+            label.clone(),
+            mib(ws),
+            format!("{:.1}%", 100.0 * ws as f64 / plan.total_workspace_bytes.max(1) as f64),
+            format!("{:.3}", a.config.time_us() / 1000.0),
+            a.config.describe(),
+        ]);
+        csv.push(vec![
+            label,
+            ws.to_string(),
+            a.offset_bytes.to_string(),
+            format!("{}", a.config.time_us()),
+            a.config.describe().replace(',', ";"),
+        ]);
+    }
+    print_table(
+        "Fig. 14 — WD workspace division of AlexNet (P100, N=256, 120 MiB total)",
+        &["kernel", "WS (MiB)", "share", "time (ms)", "configuration"],
+        &rows,
+    );
+    write_csv(
+        "fig14_wd_division.csv",
+        &["kernel", "ws_bytes", "offset_bytes", "time_us", "configuration"],
+        &csv,
+    );
+    println!(
+        "\nallocated {} MiB of {} MiB; conv2+conv3 share = {:.1}% (paper: 93.7%)",
+        mib(plan.total_workspace_bytes),
+        mib(total),
+        100.0 * conv23 as f64 / plan.total_workspace_bytes.max(1) as f64
+    );
+    println!(
+        "ILP: {} binary variables, {} B&B nodes, solved in {:.2} ms",
+        plan.ilp_variables,
+        plan.ilp_nodes,
+        plan.ilp_solve_us / 1000.0
+    );
+}

@@ -1,0 +1,25 @@
+//! Table I: the evaluation environment — the three modeled GPUs.
+
+use ucudnn_bench::{print_table, write_csv};
+use ucudnn_gpu_model::all_devices;
+
+fn main() {
+    let rows: Vec<Vec<String>> = all_devices()
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.clone(),
+                format!("{:.2}", d.sp_tflops),
+                format!("{:.0}", d.mem_gib),
+                format!("{:.0}", d.mem_bw_gbps),
+                d.sm_count.to_string(),
+                format!("{:.0}", d.launch_overhead_us),
+            ]
+        })
+        .collect();
+    let header = ["GPU", "SP TFlop/s", "Mem (GiB)", "BW (GB/s)", "SMs", "launch (us)"];
+    print_table("Table I — modeled evaluation devices", &header, &rows);
+    write_csv("table1_devices.csv", &header, &rows);
+    println!("\nPaper Table I: K80 (8.73 SP TFlop/s dual-die board), P100-SXM2 (10.6), V100-SXM2 (15.7).");
+    println!("The K80 entry models a single GK210 die, which is what one framework process drives.");
+}

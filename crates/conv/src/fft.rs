@@ -1,0 +1,227 @@
+//! Radix-2 complex FFT and 2-D helpers for the FFT convolution engine.
+
+/// A single-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+#[allow(clippy::should_implement_trait)] // named like cuFFT helpers, not operator overloads
+impl C32 {
+    /// Construct from parts.
+    pub const fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// Complex multiplication.
+    #[inline]
+    pub fn mul(self, o: Self) -> Self {
+        Self::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    /// `self * conj(o)` — used by the correlation theorem.
+    #[inline]
+    pub fn mul_conj(self, o: Self) -> Self {
+        Self::new(self.re * o.re + self.im * o.im, self.im * o.re - self.re * o.im)
+    }
+
+    /// Complex addition.
+    #[inline]
+    pub fn add(self, o: Self) -> Self {
+        Self::new(self.re + o.re, self.im + o.im)
+    }
+
+    /// Complex subtraction.
+    #[inline]
+    pub fn sub(self, o: Self) -> Self {
+        Self::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// Smallest power of two ≥ `n` (and ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place iterative radix-2 FFT. `buf.len()` must be a power of two.
+/// The inverse transform includes the `1/n` normalization.
+///
+/// # Panics
+/// Panics when the length is not a power of two.
+pub fn fft(buf: &mut [C32], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterflies. Twiddles computed per stage in f64 for accuracy.
+    let sign = if inverse { 1.0f64 } else { -1.0f64 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = C32::new(ang.cos() as f32, ang.sin() as f32);
+        for start in (0..n).step_by(len) {
+            let mut w = C32::new(1.0, 0.0);
+            for i in 0..len / 2 {
+                let a = buf[start + i];
+                let b = buf[start + i + len / 2].mul(w);
+                buf[start + i] = a.add(b);
+                buf[start + i + len / 2] = a.sub(b);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+
+    if inverse {
+        let inv = 1.0 / n as f32;
+        for v in buf.iter_mut() {
+            v.re *= inv;
+            v.im *= inv;
+        }
+    }
+}
+
+/// In-place 2-D FFT over an `fh x fw` row-major grid (both powers of two).
+pub fn fft2d(buf: &mut [C32], fh: usize, fw: usize, inverse: bool) {
+    assert_eq!(buf.len(), fh * fw, "grid size mismatch");
+    for row in buf.chunks_exact_mut(fw) {
+        fft(row, inverse);
+    }
+    let mut col = vec![C32::default(); fh];
+    for j in 0..fw {
+        for i in 0..fh {
+            col[i] = buf[i * fw + j];
+        }
+        fft(&mut col, inverse);
+        for i in 0..fh {
+            buf[i * fw + j] = col[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[C32], inverse: bool) -> Vec<C32> {
+        let n = x.len();
+        let sign = if inverse { 1.0f64 } else { -1.0 };
+        let mut out = vec![C32::default(); n];
+        for (k, o) in out.iter_mut().enumerate() {
+            let mut re = 0.0f64;
+            let mut im = 0.0f64;
+            for (t, v) in x.iter().enumerate() {
+                let ang = sign * 2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                re += v.re as f64 * c - v.im as f64 * s;
+                im += v.re as f64 * s + v.im as f64 * c;
+            }
+            let scale = if inverse { 1.0 / n as f64 } else { 1.0 };
+            *o = C32::new((re * scale) as f32, (im * scale) as f32);
+        }
+        out
+    }
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<C32> {
+        let mut rng = ucudnn_tensor::DeterministicRng::new(seed);
+        (0..n)
+            .map(|_| C32::new(rng.next_uniform() * 2.0 - 1.0, rng.next_uniform() * 2.0 - 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let x = rand_signal(n, n as u64);
+            let mut got = x.clone();
+            fft(&mut got, false);
+            let want = naive_dft(&x, false);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.re - w.re).abs() < 2e-3 && (g.im - w.im).abs() < 2e-3, "n={n}: {g:?} vs {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_is_identity() {
+        let x = rand_signal(64, 9);
+        let mut y = x.clone();
+        fft(&mut y, false);
+        fft(&mut y, true);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a.re - b.re).abs() < 1e-4 && (a.im - b.im).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fft2d_roundtrip() {
+        let (fh, fw) = (8, 16);
+        let x = rand_signal(fh * fw, 3);
+        let mut y = x.clone();
+        fft2d(&mut y, fh, fw, false);
+        fft2d(&mut y, fh, fw, true);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a.re - b.re).abs() < 1e-4 && (a.im - b.im).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn delta_transforms_to_ones() {
+        let mut x = vec![C32::default(); 16];
+        x[0] = C32::new(1.0, 0.0);
+        fft(&mut x, false);
+        for v in &x {
+            assert!((v.re - 1.0).abs() < 1e-5 && v.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let x = rand_signal(256, 12);
+        let time_e: f64 = x.iter().map(|v| (v.re as f64).powi(2) + (v.im as f64).powi(2)).sum();
+        let mut y = x.clone();
+        fft(&mut y, false);
+        let freq_e: f64 =
+            y.iter().map(|v| (v.re as f64).powi(2) + (v.im as f64).powi(2)).sum::<f64>() / 256.0;
+        assert!((time_e - freq_e).abs() < 1e-2 * time_e);
+    }
+
+    #[test]
+    fn mul_conj_is_correlation_kernel() {
+        let a = C32::new(2.0, 3.0);
+        let b = C32::new(5.0, -1.0);
+        let want = a.mul(C32::new(b.re, -b.im));
+        assert_eq!(a.mul_conj(b), want);
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(31), 32);
+        assert_eq!(next_pow2(32), 32);
+        assert_eq!(next_pow2(33), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2() {
+        let mut x = vec![C32::default(); 6];
+        fft(&mut x, false);
+    }
+}

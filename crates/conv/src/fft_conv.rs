@@ -1,0 +1,412 @@
+//! FFT-based convolution engine (cuDNN `ALGO_FFT` analogue).
+//!
+//! All three operations are computed in the frequency domain via the
+//! convolution/correlation theorems. Like cuDNN's FFT algorithms, this engine
+//! supports only unit stride and padding smaller than the filter, and its
+//! workspace must hold full transformed copies of the activations and filters
+//! — which is exactly the "fast but workspace-hungry" profile that motivates
+//! micro-batching (the activation spectra scale with the batch size, the
+//! filter spectra do not).
+//!
+//! Derivations (1-D notation, stride 1, `pad < R`; 2-D is the tensor product):
+//!
+//! * Forward:   `y[p] = Σ_r x[p + r - pad] w[r]` is cross-correlation, so
+//!   `y[p] = IFFT(X ⊙ conj(W))[(p - pad) mod F]` with `F ≥ H + R - 1`.
+//! * BwdData:   `dx[t] = Σ_r dy[t - r + pad] w[r]` is convolution, so
+//!   `dx[t] = IFFT(DY ⊙ W)[t + pad]` with `F ≥ Ho + R - 1 = H + 2·pad`.
+//! * BwdFilter: `dw[r] = Σ_p x[r - pad + p] dy[p]` is cross-correlation of
+//!   the input with the output gradient, so
+//!   `dw[r] = IFFT(X ⊙ conj(DY))[(r - pad) mod F]` with `F ≥ H + Ho - 1`.
+
+use crate::fft::{fft2d, next_pow2, C32};
+use ucudnn_tensor::ConvGeometry;
+
+/// Why the FFT engine refuses a geometry.
+fn unsupported_reason(g: &ConvGeometry) -> Option<&'static str> {
+    if g.stride_h != 1 || g.stride_w != 1 {
+        Some("FFT convolution requires unit stride")
+    } else if g.pad_h >= g.filter.r || g.pad_w >= g.filter.s {
+        Some("FFT convolution requires padding smaller than the filter")
+    } else {
+        None
+    }
+}
+
+/// True when this engine can run the given geometry.
+pub fn supports(g: &ConvGeometry) -> bool {
+    unsupported_reason(g).is_none()
+}
+
+fn assert_supported(g: &ConvGeometry) {
+    if let Some(r) = unsupported_reason(g) {
+        panic!("{r} (geometry {g})");
+    }
+}
+
+/// Transform grid sizes per operation.
+fn grid(g: &ConvGeometry, op: FftOp) -> (usize, usize) {
+    let (ho, wo) = (g.out_h(), g.out_w());
+    match op {
+        FftOp::Forward => (next_pow2(g.input.h + g.filter.r - 1), next_pow2(g.input.w + g.filter.s - 1)),
+        FftOp::BackwardData => (next_pow2(ho + g.filter.r - 1), next_pow2(wo + g.filter.s - 1)),
+        FftOp::BackwardFilter => (next_pow2(g.input.h + ho - 1), next_pow2(g.input.w + wo - 1)),
+    }
+}
+
+/// Which convolution operation a workspace query refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftOp {
+    /// Forward cross-correlation.
+    Forward,
+    /// Data gradient.
+    BackwardData,
+    /// Filter gradient.
+    BackwardFilter,
+}
+
+/// Workspace in `f32` elements. Two planes (re, im) per transformed image:
+/// one spectrum per (batch, channel) pair of each operand plus one scratch
+/// grid for the inverse transforms.
+pub fn workspace_floats(g: &ConvGeometry, op: FftOp) -> usize {
+    let (fh, fw) = grid(g, op);
+    let (n, c, k) = (g.input.n, g.input.c, g.filter.k);
+    let images = match op {
+        FftOp::Forward => n * c + k * c + 1,
+        FftOp::BackwardData => n * k + k * c + 1,
+        FftOp::BackwardFilter => n * c + n * k + 1,
+    };
+    2 * fh * fw * images
+}
+
+/// Reinterpret an `f32` workspace as complex grids (alignment of `C32` and
+/// `[f32; 2]` is identical; we copy through a typed Vec instead of unsafe
+/// casts for clarity — grids live in `ws_c` for the duration of the call).
+struct Grids {
+    buf: Vec<C32>,
+    grid_len: usize,
+}
+
+impl Grids {
+    fn new(count: usize, grid_len: usize) -> Self {
+        Self { buf: vec![C32::default(); count * grid_len], grid_len }
+    }
+
+    fn grid_mut(&mut self, i: usize) -> &mut [C32] {
+        &mut self.buf[i * self.grid_len..(i + 1) * self.grid_len]
+    }
+
+    fn grid(&self, i: usize) -> &[C32] {
+        &self.buf[i * self.grid_len..(i + 1) * self.grid_len]
+    }
+}
+
+/// Load a (h × w) real image into the top-left of an (fh × fw) complex grid.
+fn load(grid: &mut [C32], img: &[f32], h: usize, w: usize, fw: usize) {
+    grid.fill(C32::default());
+    for i in 0..h {
+        for j in 0..w {
+            grid[i * fw + j].re = img[i * w + j];
+        }
+    }
+}
+
+/// `y = alpha * conv(x, w) + beta * y` via the correlation theorem.
+///
+/// The `ws` slice is checked against [`workspace_floats`] to mirror the
+/// cuDNN contract even though grids are staged through a typed buffer.
+pub fn forward(
+    g: &ConvGeometry,
+    x: &[f32],
+    w: &[f32],
+    y: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    assert_supported(g);
+    assert!(ws.len() >= workspace_floats(g, FftOp::Forward), "workspace too small");
+    let (fh, fw) = grid(g, FftOp::Forward);
+    let gl = fh * fw;
+    let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
+    let (k, r, s) = (g.filter.k, g.filter.r, g.filter.s);
+    let (ho, wo) = (g.out_h(), g.out_w());
+    assert_eq!(x.len(), g.input.len(), "x buffer mismatch");
+    assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
+    assert_eq!(y.len(), g.output().len(), "y buffer mismatch");
+
+    // Spectra of every input channel-plane and every filter plane.
+    let mut xs = Grids::new(n * c, gl);
+    for ni in 0..n {
+        for ci in 0..c {
+            let img = &x[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+            let gbuf = xs.grid_mut(ni * c + ci);
+            load(gbuf, img, h, wd, fw);
+            fft2d(gbuf, fh, fw, false);
+        }
+    }
+    let mut wsp = Grids::new(k * c, gl);
+    for ki in 0..k {
+        for ci in 0..c {
+            let img = &w[(ki * c + ci) * r * s..(ki * c + ci + 1) * r * s];
+            let gbuf = wsp.grid_mut(ki * c + ci);
+            load(gbuf, img, r, s, fw);
+            fft2d(gbuf, fh, fw, false);
+        }
+    }
+
+    let mut acc = vec![C32::default(); gl];
+    for ni in 0..n {
+        for ki in 0..k {
+            acc.fill(C32::default());
+            for ci in 0..c {
+                let xg = xs.grid(ni * c + ci);
+                let wg = wsp.grid(ki * c + ci);
+                for (a, (xv, wv)) in acc.iter_mut().zip(xg.iter().zip(wg)) {
+                    *a = a.add(xv.mul_conj(*wv));
+                }
+            }
+            fft2d(&mut acc, fh, fw, true);
+            for p in 0..ho {
+                let ti = (p + fh - g.pad_h) % fh; // (p - pad) mod fh
+                for q in 0..wo {
+                    let tj = (q + fw - g.pad_w) % fw;
+                    let o = ((ni * k + ki) * ho + p) * wo + q;
+                    y[o] = alpha * acc[ti * fw + tj].re + beta * y[o];
+                }
+            }
+        }
+    }
+}
+
+/// `dx = alpha * grad_x + beta * dx` via the convolution theorem.
+pub fn backward_data(
+    g: &ConvGeometry,
+    dy: &[f32],
+    w: &[f32],
+    dx: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    assert_supported(g);
+    assert!(ws.len() >= workspace_floats(g, FftOp::BackwardData), "workspace too small");
+    let (fh, fw) = grid(g, FftOp::BackwardData);
+    let gl = fh * fw;
+    let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
+    let (k, r, s) = (g.filter.k, g.filter.r, g.filter.s);
+    let (ho, wo) = (g.out_h(), g.out_w());
+    assert_eq!(dy.len(), g.output().len(), "dy buffer mismatch");
+    assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
+    assert_eq!(dx.len(), g.input.len(), "dx buffer mismatch");
+
+    let mut dys = Grids::new(n * k, gl);
+    for ni in 0..n {
+        for ki in 0..k {
+            let img = &dy[(ni * k + ki) * ho * wo..(ni * k + ki + 1) * ho * wo];
+            let gbuf = dys.grid_mut(ni * k + ki);
+            load(gbuf, img, ho, wo, fw);
+            fft2d(gbuf, fh, fw, false);
+        }
+    }
+    let mut wsp = Grids::new(k * c, gl);
+    for ki in 0..k {
+        for ci in 0..c {
+            let img = &w[(ki * c + ci) * r * s..(ki * c + ci + 1) * r * s];
+            let gbuf = wsp.grid_mut(ki * c + ci);
+            load(gbuf, img, r, s, fw);
+            fft2d(gbuf, fh, fw, false);
+        }
+    }
+
+    let mut acc = vec![C32::default(); gl];
+    for ni in 0..n {
+        for ci in 0..c {
+            acc.fill(C32::default());
+            for ki in 0..k {
+                let dg = dys.grid(ni * k + ki);
+                let wg = wsp.grid(ki * c + ci);
+                for (a, (dv, wv)) in acc.iter_mut().zip(dg.iter().zip(wg)) {
+                    *a = a.add(dv.mul(*wv));
+                }
+            }
+            fft2d(&mut acc, fh, fw, true);
+            for ih in 0..h {
+                let ui = ih + g.pad_h; // < fh by construction
+                for iw in 0..wd {
+                    let uj = iw + g.pad_w;
+                    let o = ((ni * c + ci) * h + ih) * wd + iw;
+                    dx[o] = alpha * acc[ui * fw + uj].re + beta * dx[o];
+                }
+            }
+        }
+    }
+}
+
+/// `dw = alpha * grad_w + beta * dw` via the correlation theorem, reducing
+/// over the batch in the frequency domain.
+pub fn backward_filter(
+    g: &ConvGeometry,
+    x: &[f32],
+    dy: &[f32],
+    dw: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    assert_supported(g);
+    assert!(ws.len() >= workspace_floats(g, FftOp::BackwardFilter), "workspace too small");
+    let (fh, fw) = grid(g, FftOp::BackwardFilter);
+    let gl = fh * fw;
+    let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
+    let (k, r, s) = (g.filter.k, g.filter.r, g.filter.s);
+    let (ho, wo) = (g.out_h(), g.out_w());
+    assert!(g.pad_h < ho && g.pad_w < wo, "FFT backward-filter requires pad < output size");
+    assert_eq!(x.len(), g.input.len(), "x buffer mismatch");
+    assert_eq!(dy.len(), g.output().len(), "dy buffer mismatch");
+    assert_eq!(dw.len(), g.filter.len(), "dw buffer mismatch");
+
+    let mut xs = Grids::new(n * c, gl);
+    for ni in 0..n {
+        for ci in 0..c {
+            let img = &x[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+            let gbuf = xs.grid_mut(ni * c + ci);
+            load(gbuf, img, h, wd, fw);
+            fft2d(gbuf, fh, fw, false);
+        }
+    }
+    let mut dys = Grids::new(n * k, gl);
+    for ni in 0..n {
+        for ki in 0..k {
+            let img = &dy[(ni * k + ki) * ho * wo..(ni * k + ki + 1) * ho * wo];
+            let gbuf = dys.grid_mut(ni * k + ki);
+            load(gbuf, img, ho, wo, fw);
+            fft2d(gbuf, fh, fw, false);
+        }
+    }
+
+    let mut acc = vec![C32::default(); gl];
+    for ki in 0..k {
+        for ci in 0..c {
+            acc.fill(C32::default());
+            for ni in 0..n {
+                let xg = xs.grid(ni * c + ci);
+                let dg = dys.grid(ni * k + ki);
+                for (a, (xv, dv)) in acc.iter_mut().zip(xg.iter().zip(dg)) {
+                    *a = a.add(xv.mul_conj(*dv));
+                }
+            }
+            fft2d(&mut acc, fh, fw, true);
+            for ri in 0..r {
+                let ti = (ri + fh - g.pad_h) % fh;
+                for si in 0..s {
+                    let tj = (si + fw - g.pad_w) % fw;
+                    let o = ((ki * c + ci) * r + ri) * s + si;
+                    dw[o] = alpha * acc[ti * fw + tj].re + beta * dw[o];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use ucudnn_tensor::{assert_all_close, FilterShape, Shape4, Tensor};
+
+    fn geoms() -> Vec<ConvGeometry> {
+        vec![
+            ConvGeometry::with_square(Shape4::new(2, 3, 8, 8), FilterShape::new(4, 3, 3, 3), 1, 1),
+            ConvGeometry::with_square(Shape4::new(2, 2, 9, 9), FilterShape::new(3, 2, 5, 5), 2, 1),
+            ConvGeometry::with_square(Shape4::new(1, 1, 6, 10), FilterShape::new(2, 1, 3, 3), 0, 1),
+            // AlexNet conv2 shape (scaled down in batch) — the paper's pet layer.
+            ConvGeometry::with_square(Shape4::new(2, 8, 27, 27), FilterShape::new(4, 8, 5, 5), 2, 1),
+        ]
+    }
+
+    #[test]
+    fn forward_matches_direct() {
+        for g in geoms() {
+            let x = Tensor::random(g.input, 1);
+            let w = Tensor::random(g.filter.as_shape4(), 2);
+            let mut y_ref = Tensor::zeros(g.output());
+            direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 1.0, 0.0);
+            let mut y = Tensor::zeros(g.output());
+            let mut ws = vec![0.0; workspace_floats(&g, FftOp::Forward)];
+            forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws);
+            assert_all_close(&y_ref, &y, 2e-3);
+        }
+    }
+
+    #[test]
+    fn backward_data_matches_direct() {
+        for g in geoms() {
+            let dy = Tensor::random(g.output(), 3);
+            let w = Tensor::random(g.filter.as_shape4(), 4);
+            let mut dx_ref = Tensor::zeros(g.input);
+            direct::backward_data(&g, dy.as_slice(), w.as_slice(), dx_ref.as_mut_slice(), 1.0, 0.0);
+            let mut dx = Tensor::zeros(g.input);
+            let mut ws = vec![0.0; workspace_floats(&g, FftOp::BackwardData)];
+            backward_data(&g, dy.as_slice(), w.as_slice(), dx.as_mut_slice(), 1.0, 0.0, &mut ws);
+            assert_all_close(&dx_ref, &dx, 2e-3);
+        }
+    }
+
+    #[test]
+    fn backward_filter_matches_direct() {
+        for g in geoms() {
+            let x = Tensor::random(g.input, 5);
+            let dy = Tensor::random(g.output(), 6);
+            let mut dw_ref = Tensor::zeros(g.filter.as_shape4());
+            direct::backward_filter(&g, x.as_slice(), dy.as_slice(), dw_ref.as_mut_slice(), 1.0, 0.0);
+            let mut dw = Tensor::zeros(g.filter.as_shape4());
+            let mut ws = vec![0.0; workspace_floats(&g, FftOp::BackwardFilter)];
+            backward_filter(&g, x.as_slice(), dy.as_slice(), dw.as_mut_slice(), 1.0, 0.0, &mut ws);
+            assert_all_close(&dw_ref, &dw, 5e-3);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let g = geoms()[0];
+        let x = Tensor::random(g.input, 7);
+        let w = Tensor::random(g.filter.as_shape4(), 8);
+        let init = Tensor::random(g.output(), 9);
+        let mut y_ref = init.clone();
+        direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 0.5, 2.0);
+        let mut y = init.clone();
+        let mut ws = vec![0.0; workspace_floats(&g, FftOp::Forward)];
+        forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 0.5, 2.0, &mut ws);
+        assert_all_close(&y_ref, &y, 2e-3);
+    }
+
+    #[test]
+    fn rejects_strided_geometry() {
+        let g = ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 1, 2);
+        assert!(!supports(&g));
+    }
+
+    #[test]
+    fn rejects_oversized_padding() {
+        let g = ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 3, 1);
+        assert!(!supports(&g));
+    }
+
+    #[test]
+    fn workspace_grows_with_batch_but_has_fixed_filter_term() {
+        // The shape behind Fig. 9: activation spectra scale with N, the
+        // filter spectra do not — so per-sample workspace shrinks as the
+        // batch grows, and micro-batching shrinks the absolute requirement.
+        let base = ConvGeometry::with_square(
+            Shape4::new(256, 64, 27, 27),
+            FilterShape::new(192, 64, 5, 5),
+            2,
+            1,
+        );
+        let w256 = workspace_floats(&base, FftOp::Forward);
+        let w32 = workspace_floats(&base.with_batch(32), FftOp::Forward);
+        assert!(w32 < w256);
+        // The fixed K*C term means w32 > w256/8.
+        assert!(w32 > w256 / 8, "w32={w32} w256={w256}");
+    }
+}

@@ -1,0 +1,142 @@
+//! im2col / col2im transforms for the GEMM convolution engine.
+//!
+//! For one sample, `im2col` lowers the (C, H, W) activation into a
+//! `(C*R*S) x (Ho*Wo)` matrix whose column `(p, q)` is the receptive field of
+//! output position `(p, q)`; convolution then becomes a single GEMM with the
+//! `(K, C*R*S)` filter matrix. `col2im` is the adjoint scatter-add used for
+//! the data gradient.
+
+use ucudnn_tensor::ConvGeometry;
+
+/// Number of `f32` elements in the column matrix for a single sample.
+pub fn col_len(g: &ConvGeometry) -> usize {
+    g.input.c * g.filter.r * g.filter.s * g.out_h() * g.out_w()
+}
+
+/// Lower one sample `x` of shape (C, H, W) into `col` (row-major
+/// `(C*R*S) x (Ho*Wo)`), zero-filling out-of-bounds taps.
+///
+/// # Panics
+/// Panics when buffer sizes do not match the geometry.
+pub fn im2col(g: &ConvGeometry, x: &[f32], col: &mut [f32]) {
+    let (c, h, w) = (g.input.c, g.input.h, g.input.w);
+    let (r, s) = (g.filter.r, g.filter.s);
+    let (ho, wo) = (g.out_h(), g.out_w());
+    assert_eq!(x.len(), c * h * w, "sample buffer mismatch");
+    assert_eq!(col.len(), col_len(g), "col buffer mismatch");
+
+    let mut row = 0usize;
+    for ci in 0..c {
+        let xc = &x[ci * h * w..(ci + 1) * h * w];
+        for ri in 0..r {
+            for si in 0..s {
+                let dst = &mut col[row * ho * wo..(row + 1) * ho * wo];
+                row += 1;
+                for p in 0..ho {
+                    let ih = (p * g.stride_h + ri) as isize - g.pad_h as isize;
+                    if ih < 0 || ih >= h as isize {
+                        dst[p * wo..(p + 1) * wo].fill(0.0);
+                        continue;
+                    }
+                    let xrow = &xc[ih as usize * w..(ih as usize + 1) * w];
+                    for q in 0..wo {
+                        let iw = (q * g.stride_w + si) as isize - g.pad_w as isize;
+                        dst[p * wo + q] = if iw < 0 || iw >= w as isize { 0.0 } else { xrow[iw as usize] };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-add `col` back into the (C, H, W) sample
+/// gradient `dx` (which must be pre-scaled by the caller; this only adds).
+pub fn col2im_add(g: &ConvGeometry, col: &[f32], dx: &mut [f32], alpha: f32) {
+    let (c, h, w) = (g.input.c, g.input.h, g.input.w);
+    let (r, s) = (g.filter.r, g.filter.s);
+    let (ho, wo) = (g.out_h(), g.out_w());
+    assert_eq!(dx.len(), c * h * w, "sample buffer mismatch");
+    assert_eq!(col.len(), col_len(g), "col buffer mismatch");
+
+    let mut row = 0usize;
+    for ci in 0..c {
+        let dxc = &mut dx[ci * h * w..(ci + 1) * h * w];
+        for ri in 0..r {
+            for si in 0..s {
+                let src = &col[row * ho * wo..(row + 1) * ho * wo];
+                row += 1;
+                for p in 0..ho {
+                    let ih = (p * g.stride_h + ri) as isize - g.pad_h as isize;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    for q in 0..wo {
+                        let iw = (q * g.stride_w + si) as isize - g.pad_w as isize;
+                        if iw < 0 || iw >= w as isize {
+                            continue;
+                        }
+                        dxc[ih as usize * w + iw as usize] += alpha * src[p * wo + q];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucudnn_tensor::{FilterShape, Shape4, Tensor};
+
+    #[test]
+    fn im2col_identity_1x1() {
+        // 1x1 kernel, no pad, stride 1: col is just the flattened sample.
+        let g = ConvGeometry::with_square(Shape4::new(1, 3, 4, 4), FilterShape::new(2, 3, 1, 1), 0, 1);
+        let x = Tensor::random(g.input.with_batch(1), 3);
+        let mut col = vec![0.0; col_len(&g)];
+        im2col(&g, x.as_slice(), &mut col);
+        assert_eq!(col.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn im2col_zero_pads_border() {
+        let g = ConvGeometry::with_square(Shape4::new(1, 1, 2, 2), FilterShape::new(1, 1, 3, 3), 1, 1);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut col = vec![-1.0; col_len(&g)];
+        im2col(&g, &x, &mut col);
+        // Row (ri=0, si=0): taps x[p-1, q-1] => only (p,q)=(1,1) hits x[0,0]=1.
+        assert_eq!(&col[0..4], &[0.0, 0.0, 0.0, 1.0]);
+        // Row (ri=1, si=1): centre taps reproduce the input.
+        let centre = 4; // (ri*3+si) = 4
+        assert_eq!(&col[centre * 4..centre * 4 + 4], &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    /// col2im_add must be the exact adjoint of im2col:
+    /// <im2col(x), c> == <x, col2im(c)>.
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        for (pad, stride) in [(0usize, 1usize), (1, 1), (2, 2), (1, 3)] {
+            let g = ConvGeometry::with_square(
+                Shape4::new(1, 3, 8, 8),
+                FilterShape::new(2, 3, 3, 3),
+                pad,
+                stride,
+            );
+            let x = Tensor::random(g.input.with_batch(1), 1);
+            let cvec = Tensor::random(Shape4::new(1, 1, 1, col_len(&g)), 2);
+            let mut col = vec![0.0; col_len(&g)];
+            im2col(&g, x.as_slice(), &mut col);
+            let mut back = vec![0.0; x.shape().len()];
+            col2im_add(&g, cvec.as_slice(), &mut back, 1.0);
+            let lhs: f64 = col.iter().zip(cvec.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+            let rhs: f64 = x.as_slice().iter().zip(&back).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+            assert!((lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0), "pad={pad} stride={stride}");
+        }
+    }
+
+    #[test]
+    fn col_len_formula() {
+        let g = ConvGeometry::with_square(Shape4::new(4, 3, 8, 8), FilterShape::new(2, 3, 3, 3), 1, 2);
+        assert_eq!(col_len(&g), 3 * 3 * 3 * g.out_h() * g.out_w());
+    }
+}

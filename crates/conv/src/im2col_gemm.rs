@@ -1,0 +1,264 @@
+//! The im2col + GEMM convolution engine (cuDNN `ALGO_GEMM` analogue).
+//!
+//! Each sample is lowered to a column matrix in caller-provided workspace and
+//! multiplied against the filter matrix. The explicit lowering is what gives
+//! this algorithm its workspace appetite in cuDNN; here the CPU engine uses a
+//! single-sample column buffer (correctness is the goal — the *model* of the
+//! GPU algorithm's workspace lives in `ucudnn-gpu-model`).
+
+use crate::gemm::{sgemm, Trans};
+use crate::im2col::{col2im_add, col_len, im2col};
+use ucudnn_tensor::ConvGeometry;
+
+/// Workspace (in `f32` elements) required by this engine for any of the
+/// three convolution operations.
+pub fn workspace_floats(g: &ConvGeometry) -> usize {
+    col_len(g)
+}
+
+fn check_ws(g: &ConvGeometry, ws: &[f32]) {
+    assert!(
+        ws.len() >= workspace_floats(g),
+        "workspace too small: {} < {}",
+        ws.len(),
+        workspace_floats(g)
+    );
+}
+
+/// `y = alpha * conv(x, w) + beta * y` via per-sample im2col + GEMM.
+pub fn forward(
+    g: &ConvGeometry,
+    x: &[f32],
+    w: &[f32],
+    y: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    check_ws(g, ws);
+    let n = g.input.n;
+    let (k, crs) = (g.filter.k, g.input.c * g.filter.r * g.filter.s);
+    let howo = g.out_h() * g.out_w();
+    let in_sample = g.input.sample_len();
+    let out_sample = k * howo;
+    assert_eq!(x.len(), g.input.len(), "x buffer mismatch");
+    assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
+    assert_eq!(y.len(), n * out_sample, "y buffer mismatch");
+
+    let col = &mut ws[..crs * howo];
+    for ni in 0..n {
+        im2col(g, &x[ni * in_sample..(ni + 1) * in_sample], col);
+        // y[n] (K x HoWo) = alpha * W (K x CRS) @ col (CRS x HoWo) + beta * y[n]
+        sgemm(
+            Trans::No,
+            Trans::No,
+            k,
+            howo,
+            crs,
+            alpha,
+            w,
+            col,
+            beta,
+            &mut y[ni * out_sample..(ni + 1) * out_sample],
+        );
+    }
+}
+
+/// `dx = alpha * grad_x + beta * dx` via GEMM + col2im.
+pub fn backward_data(
+    g: &ConvGeometry,
+    dy: &[f32],
+    w: &[f32],
+    dx: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    check_ws(g, ws);
+    let n = g.input.n;
+    let (k, crs) = (g.filter.k, g.input.c * g.filter.r * g.filter.s);
+    let howo = g.out_h() * g.out_w();
+    let in_sample = g.input.sample_len();
+    let out_sample = k * howo;
+    assert_eq!(dy.len(), n * out_sample, "dy buffer mismatch");
+    assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
+    assert_eq!(dx.len(), g.input.len(), "dx buffer mismatch");
+
+    let col = &mut ws[..crs * howo];
+    for ni in 0..n {
+        // col (CRS x HoWo) = W^T (CRS x K) @ dy[n] (K x HoWo)
+        sgemm(
+            Trans::Yes,
+            Trans::No,
+            crs,
+            howo,
+            k,
+            1.0,
+            w,
+            &dy[ni * out_sample..(ni + 1) * out_sample],
+            0.0,
+            col,
+        );
+        let dxs = &mut dx[ni * in_sample..(ni + 1) * in_sample];
+        if beta != 1.0 {
+            for v in dxs.iter_mut() {
+                *v *= beta;
+            }
+        }
+        col2im_add(g, col, dxs, alpha);
+    }
+}
+
+/// `dw = alpha * grad_w + beta * dw` via im2col + GEMM, reducing over the
+/// batch inside the engine (beta applies once, further samples accumulate).
+pub fn backward_filter(
+    g: &ConvGeometry,
+    x: &[f32],
+    dy: &[f32],
+    dw: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    check_ws(g, ws);
+    let n = g.input.n;
+    let (k, crs) = (g.filter.k, g.input.c * g.filter.r * g.filter.s);
+    let howo = g.out_h() * g.out_w();
+    let in_sample = g.input.sample_len();
+    let out_sample = k * howo;
+    assert_eq!(x.len(), g.input.len(), "x buffer mismatch");
+    assert_eq!(dy.len(), n * out_sample, "dy buffer mismatch");
+    assert_eq!(dw.len(), g.filter.len(), "dw buffer mismatch");
+
+    let col = &mut ws[..crs * howo];
+    if beta != 1.0 {
+        for v in dw.iter_mut() {
+            *v *= beta;
+        }
+    }
+    for ni in 0..n {
+        im2col(g, &x[ni * in_sample..(ni + 1) * in_sample], col);
+        // dw (K x CRS) += alpha * dy[n] (K x HoWo) @ col^T (HoWo x CRS)
+        sgemm(
+            Trans::No,
+            Trans::Yes,
+            k,
+            crs,
+            howo,
+            alpha,
+            &dy[ni * out_sample..(ni + 1) * out_sample],
+            col,
+            1.0,
+            dw,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use ucudnn_tensor::{assert_all_close, FilterShape, Shape4, Tensor};
+
+    fn geoms() -> Vec<ConvGeometry> {
+        vec![
+            ConvGeometry::with_square(Shape4::new(3, 3, 8, 8), FilterShape::new(4, 3, 3, 3), 1, 1),
+            ConvGeometry::with_square(Shape4::new(2, 4, 9, 9), FilterShape::new(5, 4, 5, 5), 2, 2),
+            ConvGeometry::with_square(Shape4::new(2, 2, 11, 7), FilterShape::new(3, 2, 3, 3), 0, 3),
+            ConvGeometry::with_square(Shape4::new(1, 1, 5, 5), FilterShape::new(1, 1, 1, 1), 0, 1),
+        ]
+    }
+
+    #[test]
+    fn forward_matches_direct() {
+        for g in geoms() {
+            let x = Tensor::random(g.input, 1);
+            let w = Tensor::random(g.filter.as_shape4(), 2);
+            let mut y_ref = Tensor::zeros(g.output());
+            direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 1.0, 0.0);
+            let mut y = Tensor::zeros(g.output());
+            let mut ws = vec![0.0; workspace_floats(&g)];
+            forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws);
+            assert_all_close(&y_ref, &y, 1e-4);
+        }
+    }
+
+    #[test]
+    fn backward_data_matches_direct() {
+        for g in geoms() {
+            let dy = Tensor::random(g.output(), 3);
+            let w = Tensor::random(g.filter.as_shape4(), 4);
+            let mut dx_ref = Tensor::zeros(g.input);
+            direct::backward_data(&g, dy.as_slice(), w.as_slice(), dx_ref.as_mut_slice(), 1.0, 0.0);
+            let mut dx = Tensor::zeros(g.input);
+            let mut ws = vec![0.0; workspace_floats(&g)];
+            backward_data(&g, dy.as_slice(), w.as_slice(), dx.as_mut_slice(), 1.0, 0.0, &mut ws);
+            assert_all_close(&dx_ref, &dx, 1e-4);
+        }
+    }
+
+    #[test]
+    fn backward_filter_matches_direct() {
+        for g in geoms() {
+            let x = Tensor::random(g.input, 5);
+            let dy = Tensor::random(g.output(), 6);
+            let mut dw_ref = Tensor::zeros(g.filter.as_shape4());
+            direct::backward_filter(&g, x.as_slice(), dy.as_slice(), dw_ref.as_mut_slice(), 1.0, 0.0);
+            let mut dw = Tensor::zeros(g.filter.as_shape4());
+            let mut ws = vec![0.0; workspace_floats(&g)];
+            backward_filter(&g, x.as_slice(), dy.as_slice(), dw.as_mut_slice(), 1.0, 0.0, &mut ws);
+            assert_all_close(&dw_ref, &dw, 1e-3);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_semantics_match_direct() {
+        let g = geoms()[0];
+        let x = Tensor::random(g.input, 7);
+        let w = Tensor::random(g.filter.as_shape4(), 8);
+        let init = Tensor::random(g.output(), 9);
+        let (alpha, beta) = (0.5, 2.0);
+        let mut y_ref = init.clone();
+        direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), alpha, beta);
+        let mut y = init.clone();
+        let mut ws = vec![0.0; workspace_floats(&g)];
+        forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), alpha, beta, &mut ws);
+        assert_all_close(&y_ref, &y, 1e-4);
+    }
+
+    #[test]
+    fn backward_filter_accumulation_across_micro_batches() {
+        let g = ConvGeometry::with_square(Shape4::new(6, 2, 6, 6), FilterShape::new(3, 2, 3, 3), 1, 1);
+        let x = Tensor::random(g.input, 10);
+        let dy = Tensor::random(g.output(), 11);
+        let mut ws = vec![0.0; workspace_floats(&g)];
+        let mut dw_full = Tensor::zeros(g.filter.as_shape4());
+        backward_filter(&g, x.as_slice(), dy.as_slice(), dw_full.as_mut_slice(), 1.0, 0.0, &mut ws);
+
+        let mut dw_micro = Tensor::zeros(g.filter.as_shape4());
+        for (i, (lo, hi)) in [(0usize, 1usize), (1, 4), (4, 6)].into_iter().enumerate() {
+            let mg = g.with_batch(hi - lo);
+            backward_filter(
+                &mg,
+                x.batch_slice(lo, hi),
+                dy.batch_slice(lo, hi),
+                dw_micro.as_mut_slice(),
+                1.0,
+                if i == 0 { 0.0 } else { 1.0 },
+                &mut ws,
+            );
+        }
+        assert_all_close(&dw_full, &dw_micro, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace too small")]
+    fn rejects_undersized_workspace() {
+        let g = geoms()[0];
+        let x = Tensor::zeros(g.input);
+        let w = Tensor::zeros(g.filter.as_shape4());
+        let mut y = Tensor::zeros(g.output());
+        let mut ws = vec![0.0; workspace_floats(&g) - 1];
+        forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws);
+    }
+}

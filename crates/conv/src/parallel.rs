@@ -1,0 +1,96 @@
+//! Batch-parallel execution helper.
+//!
+//! The mini-batch loop of a convolution has no cross-sample dependencies
+//! (the observation μ-cuDNN itself is built on), so the CPU engines can run
+//! disjoint batch ranges on scoped threads. Each worker gets an exclusive
+//! `&mut` slice of the output, so the parallelism is data-race free by
+//! construction.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use for a batch of `n` samples.
+fn worker_count(n: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    hw.min(n).max(1)
+}
+
+/// Run `body(batch_lo, batch_hi, out_chunk)` over disjoint, contiguous batch
+/// ranges in parallel. `out` must have exactly `n * sample_len` elements; the
+/// chunk passed to `body` covers samples `[batch_lo, batch_hi)`.
+///
+/// Falls back to a single inline call for tiny batches so tests and
+/// micro-batches of size 1 don't pay thread-spawn costs.
+pub fn par_batch_chunks<F>(n: usize, sample_len: usize, out: &mut [f32], body: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    assert_eq!(out.len(), n * sample_len, "output length must be n * sample_len");
+    if n == 0 {
+        return;
+    }
+    let workers = worker_count(n);
+    if workers == 1 || n < 4 {
+        body(0, n, out);
+        return;
+    }
+    // Split the batch into `workers` nearly-equal contiguous ranges.
+    let base = n / workers;
+    let extra = n % workers;
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut lo = 0;
+        for widx in 0..workers {
+            let take = base + usize::from(widx < extra);
+            let (chunk, tail) = rest.split_at_mut(take * sample_len);
+            rest = tail;
+            let hi = lo + take;
+            let body = &body;
+            scope.spawn(move || body(lo, hi, chunk));
+            lo = hi;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_sample_exactly_once() {
+        let n = 37;
+        let sample_len = 5;
+        let mut out = vec![0.0f32; n * sample_len];
+        par_batch_chunks(n, sample_len, &mut out, |lo, hi, chunk| {
+            assert_eq!(chunk.len(), (hi - lo) * sample_len);
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v += (lo * sample_len + i) as f32;
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32, "sample element {i} touched wrong number of times");
+        }
+    }
+
+    #[test]
+    fn handles_empty_batch() {
+        let mut out: Vec<f32> = vec![];
+        par_batch_chunks(0, 7, &mut out, |_, _, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn handles_single_sample() {
+        let mut out = vec![0.0f32; 3];
+        par_batch_chunks(1, 3, &mut out, |lo, hi, chunk| {
+            assert_eq!((lo, hi), (0, 1));
+            chunk.fill(2.0);
+        });
+        assert_eq!(out, vec![2.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn rejects_bad_output_length() {
+        let mut out = vec![0.0f32; 5];
+        par_batch_chunks(2, 3, &mut out, |_, _, _| {});
+    }
+}

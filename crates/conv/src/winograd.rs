@@ -1,0 +1,337 @@
+//! Winograd F(2×2, 3×3) convolution engine (cuDNN `ALGO_WINOGRAD` analogue).
+//!
+//! Uses the minimal-filtering identity `Y = Aᵀ[(G g Gᵀ) ⊙ (Bᵀ d B)]A`, which
+//! computes one 2×2 output tile from a 4×4 input tile with 16 multiplies
+//! instead of 36 — a 2.25× reduction, the source of Winograd's speed on
+//! small kernels. The per-ξ elementwise products over channels are batched
+//! into 16 GEMMs of shape (K×C)·(C×T), the standard "non-fused" layout whose
+//! transformed-tile buffers scale with the batch size (so micro-batching
+//! shrinks them, as Fig. 9's `all` policy exploits).
+//!
+//! Supported geometries mirror cuDNN: 3×3 filters, unit stride, pad ≤ 2;
+//! Forward and BackwardData only (BackwardData is Forward on the
+//! channel-transposed, 180°-rotated filter with complementary padding).
+
+use crate::gemm::{sgemm, Trans};
+use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
+
+/// True when this engine can run the geometry for forward / backward-data.
+pub fn supports(g: &ConvGeometry) -> bool {
+    g.filter.r == 3
+        && g.filter.s == 3
+        && g.stride_h == 1
+        && g.stride_w == 1
+        && g.pad_h <= 2
+        && g.pad_w <= 2
+}
+
+fn assert_supported(g: &ConvGeometry) {
+    assert!(supports(g), "Winograd F(2x2,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})");
+}
+
+/// Output tile grid: `ceil(Ho/2) x ceil(Wo/2)` tiles per image.
+fn tiles(g: &ConvGeometry) -> (usize, usize) {
+    (g.out_h().div_ceil(2), g.out_w().div_ceil(2))
+}
+
+/// Workspace in `f32` elements: transformed filters (16·K·C), transformed
+/// input tiles (16·C·T) and product accumulators (16·K·T), `T = N·th·tw`.
+pub fn workspace_floats(g: &ConvGeometry) -> usize {
+    let (th, tw) = tiles(g);
+    let t = g.input.n * th * tw;
+    let (k, c) = (g.filter.k, g.input.c);
+    16 * (k * c + c * t + k * t)
+}
+
+/// `U = G g Gᵀ` for one 3×3 filter plane, scattered into 16 strided slots.
+fn transform_filter(gplane: &[f32], out: &mut [f32], stride: usize) {
+    // G = [[1,0,0],[.5,.5,.5],[.5,-.5,.5],[0,0,1]]
+    let mut tmp = [0.0f32; 12]; // G g : 4x3
+    for j in 0..3 {
+        let (g0, g1, g2) = (gplane[j], gplane[3 + j], gplane[6 + j]);
+        tmp[j] = g0;
+        tmp[3 + j] = 0.5 * (g0 + g1 + g2);
+        tmp[6 + j] = 0.5 * (g0 - g1 + g2);
+        tmp[9 + j] = g2;
+    }
+    for i in 0..4 {
+        let (t0, t1, t2) = (tmp[3 * i], tmp[3 * i + 1], tmp[3 * i + 2]);
+        out[(4 * i) * stride] = t0;
+        out[(4 * i + 1) * stride] = 0.5 * (t0 + t1 + t2);
+        out[(4 * i + 2) * stride] = 0.5 * (t0 - t1 + t2);
+        out[(4 * i + 3) * stride] = t2;
+    }
+}
+
+/// `V = Bᵀ d B` for one 4×4 input tile, scattered into 16 strided slots.
+fn transform_input(d: &[f32; 16], out: &mut [f32], stride: usize) {
+    // Bᵀ = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]]
+    let mut tmp = [0.0f32; 16]; // Bᵀ d
+    for j in 0..4 {
+        let (d0, d1, d2, d3) = (d[j], d[4 + j], d[8 + j], d[12 + j]);
+        tmp[j] = d0 - d2;
+        tmp[4 + j] = d1 + d2;
+        tmp[8 + j] = d2 - d1;
+        tmp[12 + j] = d1 - d3;
+    }
+    for i in 0..4 {
+        let (t0, t1, t2, t3) = (tmp[4 * i], tmp[4 * i + 1], tmp[4 * i + 2], tmp[4 * i + 3]);
+        out[(4 * i) * stride] = t0 - t2;
+        out[(4 * i + 1) * stride] = t1 + t2;
+        out[(4 * i + 2) * stride] = t2 - t1;
+        out[(4 * i + 3) * stride] = t1 - t3;
+    }
+}
+
+/// `y_tile = Aᵀ m A` for one 4×4 product tile gathered from strided slots.
+fn transform_output(m: impl Fn(usize) -> f32) -> [f32; 4] {
+    // Aᵀ = [[1,1,1,0],[0,1,-1,-1]]
+    let mut tmp = [0.0f32; 8]; // Aᵀ m : 2x4
+    for j in 0..4 {
+        let (m0, m1, m2, m3) = (m(j), m(4 + j), m(8 + j), m(12 + j));
+        tmp[j] = m0 + m1 + m2;
+        tmp[4 + j] = m1 - m2 - m3;
+    }
+    let mut y = [0.0f32; 4];
+    for i in 0..2 {
+        let (t0, t1, t2, t3) = (tmp[4 * i], tmp[4 * i + 1], tmp[4 * i + 2], tmp[4 * i + 3]);
+        y[2 * i] = t0 + t1 + t2;
+        y[2 * i + 1] = t1 - t2 - t3;
+    }
+    y
+}
+
+/// `y = alpha * conv(x, w) + beta * y` via non-fused Winograd.
+pub fn forward(
+    g: &ConvGeometry,
+    x: &[f32],
+    w: &[f32],
+    y: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    assert_supported(g);
+    assert!(ws.len() >= workspace_floats(g), "workspace too small");
+    let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
+    let k = g.filter.k;
+    let (ho, wo) = (g.out_h(), g.out_w());
+    let (th, tw) = tiles(g);
+    let t = n * th * tw;
+    assert_eq!(x.len(), g.input.len(), "x buffer mismatch");
+    assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
+    assert_eq!(y.len(), g.output().len(), "y buffer mismatch");
+
+    // Workspace layout: U[16][K][C] | V[16][C][T] | M[16][K][T].
+    let (u_buf, rest) = ws.split_at_mut(16 * k * c);
+    let (v_buf, m_rest) = rest.split_at_mut(16 * c * t);
+    let m_buf = &mut m_rest[..16 * k * t];
+
+    // 1. Filter transform: U[ξ][ki][ci], element stride between ξ's is K*C.
+    for ki in 0..k {
+        for ci in 0..c {
+            transform_filter(&w[(ki * c + ci) * 9..(ki * c + ci) * 9 + 9], &mut u_buf[ki * c + ci..], k * c);
+        }
+    }
+
+    // 2. Input transform: V[ξ][ci][tile].
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = &x[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+            for tp in 0..th {
+                for tq in 0..tw {
+                    let mut d = [0.0f32; 16];
+                    let oh = (2 * tp) as isize - g.pad_h as isize;
+                    let ow = (2 * tq) as isize - g.pad_w as isize;
+                    for i in 0..4 {
+                        let ih = oh + i as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for j in 0..4 {
+                            let iw = ow + j as isize;
+                            if iw < 0 || iw >= wd as isize {
+                                continue;
+                            }
+                            d[4 * i + j] = plane[ih as usize * wd + iw as usize];
+                        }
+                    }
+                    let tile = (ni * th + tp) * tw + tq;
+                    transform_input(&d, &mut v_buf[ci * t + tile..], c * t);
+                }
+            }
+        }
+    }
+
+    // 3. 16 GEMMs: M[ξ] (K x T) = U[ξ] (K x C) @ V[ξ] (C x T).
+    for xi in 0..16 {
+        sgemm(
+            Trans::No,
+            Trans::No,
+            k,
+            t,
+            c,
+            1.0,
+            &u_buf[xi * k * c..(xi + 1) * k * c],
+            &v_buf[xi * c * t..(xi + 1) * c * t],
+            0.0,
+            &mut m_buf[xi * k * t..(xi + 1) * k * t],
+        );
+    }
+
+    // 4. Output transform and scatter, clipping edge tiles.
+    for ni in 0..n {
+        for ki in 0..k {
+            for tp in 0..th {
+                for tq in 0..tw {
+                    let tile = (ni * th + tp) * tw + tq;
+                    let yt = transform_output(|xi| m_buf[xi * k * t + ki * t + tile]);
+                    for i in 0..2 {
+                        let p = 2 * tp + i;
+                        if p >= ho {
+                            continue;
+                        }
+                        for j in 0..2 {
+                            let q = 2 * tq + j;
+                            if q >= wo {
+                                continue;
+                            }
+                            let o = ((ni * k + ki) * ho + p) * wo + q;
+                            y[o] = alpha * yt[2 * i + j] + beta * y[o];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Geometry of the equivalent forward pass used for the data gradient.
+fn backward_geometry(g: &ConvGeometry) -> ConvGeometry {
+    ConvGeometry::new(
+        Shape4::new(g.input.n, g.filter.k, g.out_h(), g.out_w()),
+        FilterShape::new(g.input.c, g.filter.k, 3, 3),
+        2 - g.pad_h,
+        2 - g.pad_w,
+        1,
+        1,
+    )
+}
+
+/// Workspace in `f32` elements for [`backward_data`] (the equivalent forward
+/// workspace plus the flipped-filter staging buffer).
+pub fn workspace_floats_backward_data(g: &ConvGeometry) -> usize {
+    workspace_floats(&backward_geometry(g)) + g.filter.len()
+}
+
+/// `dx = alpha * grad_x + beta * dx` — forward Winograd on the rotated,
+/// channel-transposed filter with complementary padding.
+pub fn backward_data(
+    g: &ConvGeometry,
+    dy: &[f32],
+    w: &[f32],
+    dx: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    assert_supported(g);
+    assert!(ws.len() >= workspace_floats_backward_data(g), "workspace too small");
+    let bg = backward_geometry(g);
+    debug_assert_eq!(bg.output(), g.input, "backward geometry must recover the input shape");
+    let (k, c) = (g.filter.k, g.input.c);
+
+    // Flip: w'[ci][ki][r][s] = w[ki][ci][2-r][2-s], staged at the end of ws.
+    let (rest, wflip) = ws.split_at_mut(ws.len() - g.filter.len());
+    for ci in 0..c {
+        for ki in 0..k {
+            for r in 0..3 {
+                for s in 0..3 {
+                    wflip[((ci * k + ki) * 3 + r) * 3 + s] = w[((ki * c + ci) * 3 + (2 - r)) * 3 + (2 - s)];
+                }
+            }
+        }
+    }
+    forward(&bg, dy, wflip, dx, alpha, beta, rest);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use ucudnn_tensor::{assert_all_close, Tensor};
+
+    fn geoms() -> Vec<ConvGeometry> {
+        vec![
+            ConvGeometry::with_square(Shape4::new(2, 3, 8, 8), FilterShape::new(4, 3, 3, 3), 1, 1),
+            // Odd spatial size exercises edge-tile clipping.
+            ConvGeometry::with_square(Shape4::new(1, 2, 7, 9), FilterShape::new(3, 2, 3, 3), 1, 1),
+            ConvGeometry::with_square(Shape4::new(3, 1, 5, 5), FilterShape::new(2, 1, 3, 3), 0, 1),
+            ConvGeometry::with_square(Shape4::new(1, 2, 6, 6), FilterShape::new(2, 2, 3, 3), 2, 1),
+        ]
+    }
+
+    #[test]
+    fn forward_matches_direct() {
+        for g in geoms() {
+            let x = Tensor::random(g.input, 1);
+            let w = Tensor::random(g.filter.as_shape4(), 2);
+            let mut y_ref = Tensor::zeros(g.output());
+            direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 1.0, 0.0);
+            let mut y = Tensor::zeros(g.output());
+            let mut ws = vec![0.0; workspace_floats(&g)];
+            forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws);
+            assert_all_close(&y_ref, &y, 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_data_matches_direct() {
+        for g in geoms() {
+            let dy = Tensor::random(g.output(), 3);
+            let w = Tensor::random(g.filter.as_shape4(), 4);
+            let mut dx_ref = Tensor::zeros(g.input);
+            direct::backward_data(&g, dy.as_slice(), w.as_slice(), dx_ref.as_mut_slice(), 1.0, 0.0);
+            let mut dx = Tensor::zeros(g.input);
+            let mut ws = vec![0.0; workspace_floats_backward_data(&g)];
+            backward_data(&g, dy.as_slice(), w.as_slice(), dx.as_mut_slice(), 1.0, 0.0, &mut ws);
+            assert_all_close(&dx_ref, &dx, 1e-3);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let g = geoms()[0];
+        let x = Tensor::random(g.input, 7);
+        let w = Tensor::random(g.filter.as_shape4(), 8);
+        let init = Tensor::random(g.output(), 9);
+        let mut y_ref = init.clone();
+        direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 0.5, 2.0);
+        let mut y = init.clone();
+        let mut ws = vec![0.0; workspace_floats(&g)];
+        forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 0.5, 2.0, &mut ws);
+        assert_all_close(&y_ref, &y, 1e-3);
+    }
+
+    #[test]
+    fn rejects_non_3x3() {
+        let g = ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 5, 5), 2, 1);
+        assert!(!supports(&g));
+    }
+
+    #[test]
+    fn rejects_stride() {
+        let g = ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 1, 2);
+        assert!(!supports(&g));
+    }
+
+    #[test]
+    fn workspace_scales_with_batch() {
+        let g = ConvGeometry::with_square(Shape4::new(64, 16, 16, 16), FilterShape::new(32, 16, 3, 3), 1, 1);
+        let w64 = workspace_floats(&g);
+        let w8 = workspace_floats(&g.with_batch(8));
+        assert!(w8 < w64);
+        // Fixed 16·K·C term keeps it from shrinking by the full 8x.
+        assert!(w8 > w64 / 8);
+    }
+}

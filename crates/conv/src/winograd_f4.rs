@@ -1,0 +1,374 @@
+//! Winograd F(4×4, 3×3) convolution engine (cuDNN `WINOGRAD_NONFUSED`
+//! analogue).
+//!
+//! The larger output tile (4×4 from a 6×6 input tile, 36 multiplies instead
+//! of 144 — a 4× reduction) needs fewer tiles and GEMMs than F(2×2) but has
+//! larger transform constants, i.e. the classic speed-vs-precision step up
+//! the Winograd ladder. Transform matrices follow Lavin & Gray (2016):
+//!
+//! ```text
+//! Bᵀ = ⎡ 4  0 −5  0  1  0⎤   G = ⎡ 1/4     0     0 ⎤   Aᵀ = ⎡1  1  1  1  1  0⎤
+//!      ⎢ 0 −4 −4  1  1  0⎥       ⎢−1/6  −1/6  −1/6 ⎥        ⎢0  1 −1  2 −2  0⎥
+//!      ⎢ 0  4 −4 −1  1  0⎥       ⎢−1/6   1/6  −1/6 ⎥        ⎢0  1  1  4  4  0⎥
+//!      ⎢ 0 −2 −1  2  1  0⎥       ⎢ 1/24  1/12  1/6 ⎥        ⎣0  1 −1  8 −8  1⎦
+//!      ⎢ 0  2 −1 −2  1  0⎥       ⎢ 1/24 −1/12  1/6 ⎥
+//!      ⎣ 0  4  0 −5  0  1⎦       ⎣ 0      0     1  ⎦
+//! ```
+//!
+//! Same support envelope as the fused engine: 3×3 filters, unit stride,
+//! pad ≤ 2; Forward and BackwardData (flipped-filter trick).
+
+use crate::gemm::{sgemm, Trans};
+use crate::winograd::supports;
+use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
+
+const BT: [[f32; 6]; 6] = [
+    [4.0, 0.0, -5.0, 0.0, 1.0, 0.0],
+    [0.0, -4.0, -4.0, 1.0, 1.0, 0.0],
+    [0.0, 4.0, -4.0, -1.0, 1.0, 0.0],
+    [0.0, -2.0, -1.0, 2.0, 1.0, 0.0],
+    [0.0, 2.0, -1.0, -2.0, 1.0, 0.0],
+    [0.0, 4.0, 0.0, -5.0, 0.0, 1.0],
+];
+
+const G: [[f32; 3]; 6] = [
+    [0.25, 0.0, 0.0],
+    [-1.0 / 6.0, -1.0 / 6.0, -1.0 / 6.0],
+    [-1.0 / 6.0, 1.0 / 6.0, -1.0 / 6.0],
+    [1.0 / 24.0, 1.0 / 12.0, 1.0 / 6.0],
+    [1.0 / 24.0, -1.0 / 12.0, 1.0 / 6.0],
+    [0.0, 0.0, 1.0],
+];
+
+const AT: [[f32; 6]; 4] = [
+    [1.0, 1.0, 1.0, 1.0, 1.0, 0.0],
+    [0.0, 1.0, -1.0, 2.0, -2.0, 0.0],
+    [0.0, 1.0, 1.0, 4.0, 4.0, 0.0],
+    [0.0, 1.0, -1.0, 8.0, -8.0, 1.0],
+];
+
+/// Output tile grid: `ceil(Ho/4) x ceil(Wo/4)` tiles per image.
+fn tiles(g: &ConvGeometry) -> (usize, usize) {
+    (g.out_h().div_ceil(4), g.out_w().div_ceil(4))
+}
+
+/// Workspace in `f32` elements: `36·(K·C + C·T + K·T)`, `T = N·th·tw`.
+pub fn workspace_floats(g: &ConvGeometry) -> usize {
+    let (th, tw) = tiles(g);
+    let t = g.input.n * th * tw;
+    let (k, c) = (g.filter.k, g.input.c);
+    36 * (k * c + c * t + k * t)
+}
+
+/// `U = G g Gᵀ` (6×6) for one 3×3 filter plane, scattered at `stride`.
+fn transform_filter(gp: &[f32], out: &mut [f32], stride: usize) {
+    let mut tmp = [0.0f32; 18]; // G @ g : 6x3
+    for (i, grow) in G.iter().enumerate() {
+        for j in 0..3 {
+            tmp[3 * i + j] = grow[0] * gp[j] + grow[1] * gp[3 + j] + grow[2] * gp[6 + j];
+        }
+    }
+    for i in 0..6 {
+        for j in 0..6 {
+            // (tmp @ Gᵀ)[i][j] = Σ_k tmp[i][k] · G[j][k]
+            let v = tmp[3 * i] * G[j][0] + tmp[3 * i + 1] * G[j][1] + tmp[3 * i + 2] * G[j][2];
+            out[(6 * i + j) * stride] = v;
+        }
+    }
+}
+
+/// `V = Bᵀ d B` (6×6) for one 6×6 input tile, scattered at `stride`.
+fn transform_input(d: &[f32; 36], out: &mut [f32], stride: usize) {
+    let mut tmp = [0.0f32; 36]; // Bᵀ @ d
+    for (i, brow) in BT.iter().enumerate() {
+        for j in 0..6 {
+            let mut acc = 0.0f32;
+            for (k, b) in brow.iter().enumerate() {
+                if *b != 0.0 {
+                    acc += b * d[6 * k + j];
+                }
+            }
+            tmp[6 * i + j] = acc;
+        }
+    }
+    for i in 0..6 {
+        for j in 0..6 {
+            // (tmp @ B)[i][j] = Σ_k tmp[i][k] · Bᵀ[j][k]
+            let mut acc = 0.0f32;
+            for (k, b) in BT[j].iter().enumerate() {
+                if *b != 0.0 {
+                    acc += tmp[6 * i + k] * b;
+                }
+            }
+            out[(6 * i + j) * stride] = acc;
+        }
+    }
+}
+
+/// `y_tile = Aᵀ m A` (4×4) gathered from strided slots.
+fn transform_output(m: impl Fn(usize) -> f32) -> [f32; 16] {
+    let mut tmp = [0.0f32; 24]; // Aᵀ @ m : 4x6
+    for (i, arow) in AT.iter().enumerate() {
+        for j in 0..6 {
+            let mut acc = 0.0f32;
+            for (k, a) in arow.iter().enumerate() {
+                if *a != 0.0 {
+                    acc += a * m(6 * k + j);
+                }
+            }
+            tmp[6 * i + j] = acc;
+        }
+    }
+    let mut y = [0.0f32; 16];
+    for i in 0..4 {
+        for j in 0..4 {
+            let mut acc = 0.0f32;
+            for (k, a) in AT[j].iter().enumerate() {
+                if *a != 0.0 {
+                    acc += tmp[6 * i + k] * a;
+                }
+            }
+            y[4 * i + j] = acc;
+        }
+    }
+    y
+}
+
+/// `y = alpha * conv(x, w) + beta * y` via non-fused F(4×4, 3×3).
+///
+/// # Panics
+/// Panics on unsupported geometries or undersized buffers (the [`crate::exec`]
+/// dispatcher screens both).
+pub fn forward(
+    g: &ConvGeometry,
+    x: &[f32],
+    w: &[f32],
+    y: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    assert!(supports(g), "F(4x4,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})");
+    assert!(ws.len() >= workspace_floats(g), "workspace too small");
+    let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
+    let k = g.filter.k;
+    let (ho, wo) = (g.out_h(), g.out_w());
+    let (th, tw) = tiles(g);
+    let t = n * th * tw;
+    assert_eq!(x.len(), g.input.len(), "x buffer mismatch");
+    assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
+    assert_eq!(y.len(), g.output().len(), "y buffer mismatch");
+
+    // Workspace layout: U[36][K][C] | V[36][C][T] | M[36][K][T].
+    let (u_buf, rest) = ws.split_at_mut(36 * k * c);
+    let (v_buf, m_rest) = rest.split_at_mut(36 * c * t);
+    let m_buf = &mut m_rest[..36 * k * t];
+
+    for ki in 0..k {
+        for ci in 0..c {
+            transform_filter(&w[(ki * c + ci) * 9..(ki * c + ci) * 9 + 9], &mut u_buf[ki * c + ci..], k * c);
+        }
+    }
+
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = &x[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+            for tp in 0..th {
+                for tq in 0..tw {
+                    let mut d = [0.0f32; 36];
+                    let oh = (4 * tp) as isize - g.pad_h as isize;
+                    let ow = (4 * tq) as isize - g.pad_w as isize;
+                    for i in 0..6 {
+                        let ih = oh + i as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for j in 0..6 {
+                            let iw = ow + j as isize;
+                            if iw < 0 || iw >= wd as isize {
+                                continue;
+                            }
+                            d[6 * i + j] = plane[ih as usize * wd + iw as usize];
+                        }
+                    }
+                    let tile = (ni * th + tp) * tw + tq;
+                    transform_input(&d, &mut v_buf[ci * t + tile..], c * t);
+                }
+            }
+        }
+    }
+
+    // 36 GEMMs: M[ξ] (K x T) = U[ξ] (K x C) @ V[ξ] (C x T).
+    for xi in 0..36 {
+        sgemm(
+            Trans::No,
+            Trans::No,
+            k,
+            t,
+            c,
+            1.0,
+            &u_buf[xi * k * c..(xi + 1) * k * c],
+            &v_buf[xi * c * t..(xi + 1) * c * t],
+            0.0,
+            &mut m_buf[xi * k * t..(xi + 1) * k * t],
+        );
+    }
+
+    for ni in 0..n {
+        for ki in 0..k {
+            for tp in 0..th {
+                for tq in 0..tw {
+                    let tile = (ni * th + tp) * tw + tq;
+                    let yt = transform_output(|xi| m_buf[xi * k * t + ki * t + tile]);
+                    for i in 0..4 {
+                        let p = 4 * tp + i;
+                        if p >= ho {
+                            continue;
+                        }
+                        for j in 0..4 {
+                            let q = 4 * tq + j;
+                            if q >= wo {
+                                continue;
+                            }
+                            let o = ((ni * k + ki) * ho + p) * wo + q;
+                            y[o] = alpha * yt[4 * i + j] + beta * y[o];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn backward_geometry(g: &ConvGeometry) -> ConvGeometry {
+    ConvGeometry::new(
+        Shape4::new(g.input.n, g.filter.k, g.out_h(), g.out_w()),
+        FilterShape::new(g.input.c, g.filter.k, 3, 3),
+        2 - g.pad_h,
+        2 - g.pad_w,
+        1,
+        1,
+    )
+}
+
+/// Workspace in `f32` elements for [`backward_data`].
+pub fn workspace_floats_backward_data(g: &ConvGeometry) -> usize {
+    workspace_floats(&backward_geometry(g)) + g.filter.len()
+}
+
+/// `dx = alpha * grad_x + beta * dx` — forward F(4×4) on the rotated,
+/// channel-transposed filter with complementary padding.
+pub fn backward_data(
+    g: &ConvGeometry,
+    dy: &[f32],
+    w: &[f32],
+    dx: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    assert!(supports(g), "F(4x4,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})");
+    assert!(ws.len() >= workspace_floats_backward_data(g), "workspace too small");
+    let bg = backward_geometry(g);
+    debug_assert_eq!(bg.output(), g.input);
+    let (k, c) = (g.filter.k, g.input.c);
+    let (rest, wflip) = ws.split_at_mut(ws.len() - g.filter.len());
+    for ci in 0..c {
+        for ki in 0..k {
+            for r in 0..3 {
+                for s in 0..3 {
+                    wflip[((ci * k + ki) * 3 + r) * 3 + s] =
+                        w[((ki * c + ci) * 3 + (2 - r)) * 3 + (2 - s)];
+                }
+            }
+        }
+    }
+    forward(&bg, dy, wflip, dx, alpha, beta, rest);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use ucudnn_tensor::{assert_all_close, Tensor};
+
+    fn geoms() -> Vec<ConvGeometry> {
+        vec![
+            ConvGeometry::with_square(Shape4::new(2, 3, 8, 8), FilterShape::new(4, 3, 3, 3), 1, 1),
+            // Non-multiple-of-4 outputs exercise edge-tile clipping.
+            ConvGeometry::with_square(Shape4::new(1, 2, 9, 11), FilterShape::new(3, 2, 3, 3), 1, 1),
+            ConvGeometry::with_square(Shape4::new(3, 1, 6, 6), FilterShape::new(2, 1, 3, 3), 0, 1),
+            ConvGeometry::with_square(Shape4::new(1, 2, 13, 13), FilterShape::new(2, 2, 3, 3), 2, 1),
+        ]
+    }
+
+    #[test]
+    fn forward_matches_direct() {
+        for g in geoms() {
+            let x = Tensor::random(g.input, 1);
+            let w = Tensor::random(g.filter.as_shape4(), 2);
+            let mut y_ref = Tensor::zeros(g.output());
+            direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 1.0, 0.0);
+            let mut y = Tensor::zeros(g.output());
+            let mut ws = vec![0.0; workspace_floats(&g)];
+            forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws);
+            assert_all_close(&y_ref, &y, 5e-3);
+        }
+    }
+
+    #[test]
+    fn backward_data_matches_direct() {
+        for g in geoms() {
+            let dy = Tensor::random(g.output(), 3);
+            let w = Tensor::random(g.filter.as_shape4(), 4);
+            let mut dx_ref = Tensor::zeros(g.input);
+            direct::backward_data(&g, dy.as_slice(), w.as_slice(), dx_ref.as_mut_slice(), 1.0, 0.0);
+            let mut dx = Tensor::zeros(g.input);
+            let mut ws = vec![0.0; workspace_floats_backward_data(&g)];
+            backward_data(&g, dy.as_slice(), w.as_slice(), dx.as_mut_slice(), 1.0, 0.0, &mut ws);
+            assert_all_close(&dx_ref, &dx, 5e-3);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let g = geoms()[0];
+        let x = Tensor::random(g.input, 7);
+        let w = Tensor::random(g.filter.as_shape4(), 8);
+        let init = Tensor::random(g.output(), 9);
+        let mut y_ref = init.clone();
+        direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 0.5, 2.0);
+        let mut y = init.clone();
+        let mut ws = vec![0.0; workspace_floats(&g)];
+        forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 0.5, 2.0, &mut ws);
+        assert_all_close(&y_ref, &y, 5e-3);
+    }
+
+    #[test]
+    fn needs_fewer_tiles_than_f2() {
+        // F(4×4) halves the tile count per axis vs F(2×2) — the reason the
+        // non-fused workspace is not simply 36/16 of the fused layout.
+        let g = ConvGeometry::with_square(
+            Shape4::new(8, 16, 32, 32),
+            FilterShape::new(16, 16, 3, 3),
+            1,
+            1,
+        );
+        let f4 = workspace_floats(&g);
+        let f2 = crate::winograd::workspace_floats(&g);
+        // 36 elements on a quarter of the tiles vs 16 on all of them.
+        assert!(f4 < f2, "F(4x4) ws {f4} should undercut F(2x2) ws {f2} here");
+    }
+
+    #[test]
+    fn identity_kernel_recovers_input() {
+        let g = ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 1, 1);
+        let x = Tensor::random(g.input, 11);
+        let mut w = Tensor::zeros(g.filter.as_shape4());
+        w.set(0, 0, 1, 1, 1.0); // centre tap
+        let mut y = Tensor::zeros(g.output());
+        let mut ws = vec![0.0; workspace_floats(&g)];
+        forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws);
+        assert_all_close(&x, &y, 1e-4);
+    }
+}

@@ -1,0 +1,279 @@
+//! Benchmark-result caching (§III-D).
+//!
+//! μ-cuDNN benchmarks each (kernel, micro-batch size) pair once and caches
+//! the per-algorithm results in memory, optionally persisting them to a
+//! file-based database so repeated runs — or other nodes of a homogeneous
+//! cluster sharing a network filesystem — skip the benchmark entirely.
+//! Networks that replicate identically-shaped layers (ResNet) hit this cache
+//! constantly.
+
+use crate::kernel::KernelKey;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use ucudnn_cudnn_sim::{
+    ConvolutionDescriptor, CudnnHandle, Engine, FilterDescriptor, TensorDescriptor,
+};
+use ucudnn_gpu_model::ConvAlgo;
+
+/// One cached benchmark row (a serializable `AlgoPerf`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// The algorithm.
+    pub algo: ConvAlgo,
+    /// Benchmarked time in microseconds.
+    pub time_us: f64,
+    /// Workspace requirement in bytes.
+    pub memory_bytes: usize,
+}
+
+/// Cache key: the engine identity plus the micro-batch kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+struct CacheKey {
+    engine: String,
+    kernel: KernelKey,
+}
+
+/// Identity string of a handle's engine; results from different devices
+/// must never be mixed.
+fn engine_tag(handle: &CudnnHandle) -> String {
+    match handle.engine() {
+        Engine::Simulated(d) => format!("sim:{}", d.name),
+        Engine::RealCpu => "cpu".to_string(),
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory (or the loaded file DB).
+    pub hits: u64,
+    /// Lookups that required running a benchmark.
+    pub misses: u64,
+}
+
+/// The benchmark cache.
+#[derive(Debug)]
+pub struct BenchCache {
+    mem: HashMap<CacheKey, Vec<BenchEntry>>,
+    file: Option<PathBuf>,
+    stats: CacheStats,
+}
+
+impl BenchCache {
+    /// In-memory-only cache.
+    pub fn new() -> Self {
+        Self { mem: HashMap::new(), file: None, stats: CacheStats::default() }
+    }
+
+    /// Cache backed by a JSON database at `path`; existing contents are
+    /// loaded (ignoring a missing or corrupt file, which just means a cold
+    /// cache).
+    pub fn with_file(path: impl AsRef<Path>) -> Self {
+        let path = path.as_ref().to_path_buf();
+        let mem = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| serde_json::from_str::<Vec<(CacheKey, Vec<BenchEntry>)>>(&s).ok())
+            .map(|v| v.into_iter().collect())
+            .unwrap_or_default();
+        Self { mem, file: Some(path), stats: CacheStats::default() }
+    }
+
+    /// Number of cached (kernel, micro-batch) entries.
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Benchmark all algorithms for `kernel` (whose `input.n` *is* the
+    /// micro-batch size), serving from cache when possible. Results are
+    /// sorted fastest-first.
+    pub fn get_or_bench(&mut self, handle: &CudnnHandle, kernel: &KernelKey) -> Vec<BenchEntry> {
+        let key = CacheKey { engine: engine_tag(handle), kernel: *kernel };
+        if let Some(v) = self.mem.get(&key) {
+            self.stats.hits += 1;
+            return v.clone();
+        }
+        self.stats.misses += 1;
+        let v = run_benchmark(handle, kernel);
+        self.mem.insert(key, v.clone());
+        v
+    }
+
+    /// Benchmark many (kernel, micro-batch) pairs, evaluating cache misses
+    /// on parallel threads — the analogue of μ-cuDNN's multi-GPU parallel
+    /// micro-benchmark evaluation (§III-D). Safe because the simulated
+    /// engine is a pure function; for wall-clock (CPU) benchmarking callers
+    /// should keep `parallel = false` to avoid contention skew.
+    pub fn prefetch(&mut self, handle: &CudnnHandle, kernels: &[KernelKey], parallel: bool) {
+        let tag = engine_tag(handle);
+        let missing: Vec<KernelKey> = kernels
+            .iter()
+            .filter(|k| !self.mem.contains_key(&CacheKey { engine: tag.clone(), kernel: **k }))
+            .copied()
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let results: Vec<(KernelKey, Vec<BenchEntry>)> = if parallel && missing.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = missing
+                    .iter()
+                    .map(|k| {
+                        let k = *k;
+                        scope.spawn(move || (k, run_benchmark(handle, &k)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("benchmark thread panicked")).collect()
+            })
+        } else {
+            missing.iter().map(|k| (*k, run_benchmark(handle, k))).collect()
+        };
+        for (k, v) in results {
+            self.stats.misses += 1;
+            self.mem.insert(CacheKey { engine: tag.clone(), kernel: k }, v);
+        }
+    }
+
+    /// Persist the cache to its file DB (no-op for in-memory caches).
+    ///
+    /// # Errors
+    /// Propagates I/O and serialization failures.
+    pub fn save(&self) -> std::io::Result<()> {
+        let Some(path) = &self.file else { return Ok(()) };
+        let rows: Vec<(&CacheKey, &Vec<BenchEntry>)> = self.mem.iter().collect();
+        let json = serde_json::to_string(&rows).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+}
+
+impl Default for BenchCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Run the substrate's `Find` benchmark for one micro-batch kernel.
+fn run_benchmark(handle: &CudnnHandle, kernel: &KernelKey) -> Vec<BenchEntry> {
+    let g = kernel.geometry();
+    let xd = TensorDescriptor::from_shape(g.input).expect("valid shape");
+    let wd = FilterDescriptor::from_shape(g.filter).expect("valid filter");
+    let cd = ConvolutionDescriptor::new_2d(g.pad_h, g.pad_w, g.stride_h, g.stride_w)
+        .expect("valid convolution");
+    handle
+        .find_algorithms(kernel.conv_op(), &xd, &wd, &cd)
+        .expect("find_algorithms failed for a validated geometry")
+        .into_iter()
+        .map(|p| BenchEntry { algo: p.algo, time_us: p.time_us, memory_bytes: p.memory_bytes })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucudnn_cudnn_sim::ConvOp;
+    use ucudnn_gpu_model::p100_sxm2;
+    use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
+
+    fn key(n: usize) -> KernelKey {
+        let g = ConvGeometry::with_square(
+            Shape4::new(n, 8, 16, 16),
+            FilterShape::new(8, 8, 3, 3),
+            1,
+            1,
+        );
+        KernelKey::new(ConvOp::Forward, &g)
+    }
+
+    #[test]
+    fn caches_after_first_benchmark() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let mut c = BenchCache::new();
+        let a = c.get_or_bench(&h, &key(16));
+        let b = c.get_or_bench(&h, &key(16));
+        assert_eq!(a, b);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn different_micro_batches_are_distinct_entries() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let mut c = BenchCache::new();
+        c.get_or_bench(&h, &key(16));
+        c.get_or_bench(&h, &key(8));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn devices_do_not_share_entries() {
+        let p = CudnnHandle::simulated(p100_sxm2());
+        let v = CudnnHandle::simulated(ucudnn_gpu_model::v100_sxm2());
+        let mut c = BenchCache::new();
+        let tp = c.get_or_bench(&p, &key(16));
+        let tv = c.get_or_bench(&v, &key(16));
+        assert_eq!(c.stats().misses, 2, "each device must benchmark separately");
+        // V100 is faster, so the cached times must differ.
+        assert_ne!(tp[0].time_us, tv[0].time_us);
+    }
+
+    #[test]
+    fn file_db_round_trips() {
+        let dir = std::env::temp_dir().join(format!("ucudnn-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let want = {
+            let mut c = BenchCache::with_file(&path);
+            let v = c.get_or_bench(&h, &key(32));
+            c.save().unwrap();
+            v
+        };
+        let mut c2 = BenchCache::with_file(&path);
+        assert_eq!(c2.len(), 1, "offline benchmarking: entries load from disk");
+        let got = c2.get_or_bench(&h, &key(32));
+        // Times may differ by one ULP across the JSON round-trip; identity
+        // of algorithms, ordering and workspace sizes is what matters.
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.algo, w.algo);
+            assert_eq!(g.memory_bytes, w.memory_bytes);
+            assert!((g.time_us - w.time_us).abs() <= 1e-9 * w.time_us.abs());
+        }
+        assert_eq!(c2.stats(), CacheStats { hits: 1, misses: 0 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_file_means_cold_cache() {
+        let dir = std::env::temp_dir().join(format!("ucudnn-cache-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        std::fs::write(&path, "not json").unwrap();
+        let c = BenchCache::with_file(&path);
+        assert!(c.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prefetch_parallel_matches_serial() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let keys: Vec<KernelKey> = [1usize, 2, 4, 8, 16].iter().map(|&n| key(n)).collect();
+        let mut serial = BenchCache::new();
+        serial.prefetch(&h, &keys, false);
+        let mut parallel = BenchCache::new();
+        parallel.prefetch(&h, &keys, true);
+        for k in &keys {
+            assert_eq!(serial.get_or_bench(&h, k), parallel.get_or_bench(&h, k));
+        }
+    }
+}

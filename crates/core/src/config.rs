@@ -1,0 +1,163 @@
+//! Micro-configurations and configurations (§III-A of the paper).
+//!
+//! A *micro-configuration* pairs a convolution algorithm with a micro-batch
+//! size; a *configuration* is a list of micro-configurations whose
+//! micro-batch sizes sum to the mini-batch — e.g. `⟨64, FFT⟩⁴` for a
+//! mini-batch of 256 split four ways.
+
+use serde::{Deserialize, Serialize};
+use ucudnn_gpu_model::ConvAlgo;
+
+/// One micro-configuration: run `algo` on a micro-batch of `micro_batch`
+/// samples, with its benchmarked cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroConfig {
+    /// Micro-batch size.
+    pub micro_batch: usize,
+    /// Convolution algorithm used for this micro-batch.
+    pub algo: ConvAlgo,
+    /// Benchmarked (or modeled) execution time, microseconds.
+    pub time_us: f64,
+    /// Workspace the algorithm requires at this micro-batch size, bytes.
+    pub workspace_bytes: usize,
+}
+
+/// A full division of the mini-batch: micro-configurations executed
+/// sequentially, sharing one workspace (so the resident workspace is the
+/// *maximum*, not the sum, of the parts).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Configuration {
+    /// The micro-configurations, in execution order.
+    pub micros: Vec<MicroConfig>,
+}
+
+impl Configuration {
+    /// A configuration with a single undivided kernel.
+    pub fn undivided(m: MicroConfig) -> Self {
+        Self { micros: vec![m] }
+    }
+
+    /// Total mini-batch covered (sum of micro-batch sizes).
+    pub fn batch(&self) -> usize {
+        self.micros.iter().map(|m| m.micro_batch).sum()
+    }
+
+    /// Total execution time, microseconds.
+    pub fn time_us(&self) -> f64 {
+        self.micros.iter().map(|m| m.time_us).sum()
+    }
+
+    /// Resident workspace: the maximum over micro-configurations, since the
+    /// sequential micro-batches reuse one buffer.
+    pub fn workspace_bytes(&self) -> usize {
+        self.micros.iter().map(|m| m.workspace_bytes).max().unwrap_or(0)
+    }
+
+    /// True when the mini-batch is not divided.
+    pub fn is_undivided(&self) -> bool {
+        self.micros.len() == 1
+    }
+
+    /// Concatenation (the paper's `⊕` operator).
+    pub fn concat(&self, other: &Configuration) -> Configuration {
+        let mut micros = Vec::with_capacity(self.micros.len() + other.micros.len());
+        micros.extend_from_slice(&self.micros);
+        micros.extend_from_slice(&other.micros);
+        Configuration { micros }
+    }
+
+    /// Compact human-readable rendering, e.g. `⟨64,FFT⟩x4`.
+    pub fn describe(&self) -> String {
+        if self.micros.is_empty() {
+            return "⟨⟩".to_string();
+        }
+        let mut parts: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < self.micros.len() {
+            let m = &self.micros[i];
+            let mut count = 1;
+            while i + count < self.micros.len()
+                && self.micros[i + count].micro_batch == m.micro_batch
+                && self.micros[i + count].algo == m.algo
+            {
+                count += 1;
+            }
+            if count > 1 {
+                parts.push(format!("⟨{},{}⟩x{}", m.micro_batch, m.algo, count));
+            } else {
+                parts.push(format!("⟨{},{}⟩", m.micro_batch, m.algo));
+            }
+            i += count;
+        }
+        parts.join(" ")
+    }
+}
+
+impl core::fmt::Display for Configuration {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc(b: usize, algo: ConvAlgo, t: f64, w: usize) -> MicroConfig {
+        MicroConfig { micro_batch: b, algo, time_us: t, workspace_bytes: w }
+    }
+
+    #[test]
+    fn totals() {
+        let c = Configuration {
+            micros: vec![
+                mc(64, ConvAlgo::Fft, 100.0, 50),
+                mc(64, ConvAlgo::Fft, 100.0, 50),
+                mc(128, ConvAlgo::Gemm, 150.0, 10),
+            ],
+        };
+        assert_eq!(c.batch(), 256);
+        assert_eq!(c.time_us(), 350.0);
+        // Shared buffer: max, not sum.
+        assert_eq!(c.workspace_bytes(), 50);
+        assert!(!c.is_undivided());
+    }
+
+    #[test]
+    fn undivided_helper() {
+        let c = Configuration::undivided(mc(256, ConvAlgo::Gemm, 9.0, 4));
+        assert!(c.is_undivided());
+        assert_eq!(c.batch(), 256);
+    }
+
+    #[test]
+    fn concat_is_associative_in_totals() {
+        let a = Configuration::undivided(mc(32, ConvAlgo::Fft, 10.0, 7));
+        let b = Configuration::undivided(mc(64, ConvAlgo::Gemm, 20.0, 3));
+        let ab = a.concat(&b);
+        assert_eq!(ab.batch(), 96);
+        assert_eq!(ab.micros.len(), 2);
+        assert_eq!(ab.time_us(), 30.0);
+        assert_eq!(ab.workspace_bytes(), 7);
+    }
+
+    #[test]
+    fn describe_groups_repeats() {
+        let c = Configuration {
+            micros: vec![
+                mc(64, ConvAlgo::Fft, 1.0, 1),
+                mc(64, ConvAlgo::Fft, 1.0, 1),
+                mc(32, ConvAlgo::Gemm, 1.0, 1),
+            ],
+        };
+        assert_eq!(c.describe(), "⟨64,FFT⟩x2 ⟨32,GEMM⟩");
+    }
+
+    #[test]
+    fn empty_configuration_is_harmless() {
+        let c = Configuration::default();
+        assert_eq!(c.batch(), 0);
+        assert_eq!(c.workspace_bytes(), 0);
+        assert_eq!(c.describe(), "⟨⟩");
+    }
+}

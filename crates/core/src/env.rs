@@ -1,0 +1,149 @@
+//! Environment-variable configuration, mirroring the C++ library's
+//! interface (§III-D: "these policies can be specified via an environment
+//! variable or through a special library function").
+//!
+//! | Variable | Values | Maps to |
+//! |---|---|---|
+//! | `UCUDNN_BATCH_SIZE_POLICY` | `all` / `powerOfTwo` / `undivided` | [`UcudnnOptions::policy`] |
+//! | `UCUDNN_WORKSPACE_LIMIT` | bytes, or suffixed `K`/`M`/`G` (binary) | [`UcudnnOptions::workspace_limit_bytes`] |
+//! | `UCUDNN_OPTIMIZER` | `wr` / `wd` | [`UcudnnOptions::mode`] |
+//! | `UCUDNN_BENCHMARK_CACHE` | file path | [`UcudnnOptions::cache_file`] |
+//! | `UCUDNN_PARALLEL_BENCHMARK` | `0` / `1` | [`UcudnnOptions::parallel_benchmark`] |
+
+use crate::handle::{OptimizerMode, UcudnnOptions};
+use crate::policy::BatchSizePolicy;
+
+/// Parse a byte size with optional binary suffix: `"64M"` → 64 MiB.
+pub fn parse_bytes(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult): (&str, usize) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1 << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1 << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits.trim().parse::<usize>().ok().map(|v| v * mult)
+}
+
+/// Errors from environment parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// The offending variable.
+    pub variable: &'static str,
+    /// Its rejected value.
+    pub value: String,
+}
+
+impl core::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid {}: {:?}", self.variable, self.value)
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+impl UcudnnOptions {
+    /// Build options from a key-lookup function (exposed for testing;
+    /// [`UcudnnOptions::from_env`] feeds it `std::env::var`). Unset keys
+    /// keep their defaults; malformed values are errors, not silent
+    /// fallbacks.
+    ///
+    /// # Errors
+    /// [`EnvError`] naming the malformed variable.
+    pub fn from_lookup(
+        lookup: impl Fn(&str) -> Option<String>,
+    ) -> core::result::Result<Self, EnvError> {
+        let mut opts = UcudnnOptions::default();
+        if let Some(v) = lookup("UCUDNN_BATCH_SIZE_POLICY") {
+            opts.policy = BatchSizePolicy::parse(&v)
+                .ok_or(EnvError { variable: "UCUDNN_BATCH_SIZE_POLICY", value: v })?;
+        }
+        if let Some(v) = lookup("UCUDNN_WORKSPACE_LIMIT") {
+            opts.workspace_limit_bytes =
+                parse_bytes(&v).ok_or(EnvError { variable: "UCUDNN_WORKSPACE_LIMIT", value: v })?;
+        }
+        if let Some(v) = lookup("UCUDNN_OPTIMIZER") {
+            opts.mode = match v.as_str() {
+                "wr" | "WR" => OptimizerMode::Wr,
+                "wd" | "WD" => OptimizerMode::Wd,
+                _ => return Err(EnvError { variable: "UCUDNN_OPTIMIZER", value: v }),
+            };
+        }
+        if let Some(v) = lookup("UCUDNN_BENCHMARK_CACHE") {
+            opts.cache_file = Some(v.into());
+        }
+        if let Some(v) = lookup("UCUDNN_PARALLEL_BENCHMARK") {
+            opts.parallel_benchmark = match v.as_str() {
+                "1" | "true" => true,
+                "0" | "false" => false,
+                _ => return Err(EnvError { variable: "UCUDNN_PARALLEL_BENCHMARK", value: v }),
+            };
+        }
+        Ok(opts)
+    }
+
+    /// Build options from the process environment.
+    ///
+    /// # Errors
+    /// [`EnvError`] naming the malformed variable.
+    pub fn from_env() -> core::result::Result<Self, EnvError> {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn lookup<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        let map: HashMap<&str, &str> = pairs.iter().copied().collect();
+        move |k| map.get(k).map(|v| v.to_string())
+    }
+
+    #[test]
+    fn parse_bytes_suffixes() {
+        assert_eq!(parse_bytes("123"), Some(123));
+        assert_eq!(parse_bytes("64M"), Some(64 << 20));
+        assert_eq!(parse_bytes("8k"), Some(8 << 10));
+        assert_eq!(parse_bytes("2G"), Some(2 << 30));
+        assert_eq!(parse_bytes(" 16 M "), Some(16 << 20));
+        assert_eq!(parse_bytes("x"), None);
+        assert_eq!(parse_bytes(""), None);
+    }
+
+    #[test]
+    fn defaults_when_unset() {
+        let opts = UcudnnOptions::from_lookup(|_| None).unwrap();
+        let d = UcudnnOptions::default();
+        assert_eq!(opts.policy, d.policy);
+        assert_eq!(opts.workspace_limit_bytes, d.workspace_limit_bytes);
+        assert_eq!(opts.mode, d.mode);
+    }
+
+    #[test]
+    fn full_configuration() {
+        let opts = UcudnnOptions::from_lookup(lookup(&[
+            ("UCUDNN_BATCH_SIZE_POLICY", "all"),
+            ("UCUDNN_WORKSPACE_LIMIT", "120M"),
+            ("UCUDNN_OPTIMIZER", "wd"),
+            ("UCUDNN_BENCHMARK_CACHE", "/tmp/bench.json"),
+            ("UCUDNN_PARALLEL_BENCHMARK", "1"),
+        ]))
+        .unwrap();
+        assert_eq!(opts.policy, BatchSizePolicy::All);
+        assert_eq!(opts.workspace_limit_bytes, 120 << 20);
+        assert_eq!(opts.mode, OptimizerMode::Wd);
+        assert_eq!(opts.cache_file.as_deref().unwrap().to_str().unwrap(), "/tmp/bench.json");
+        assert!(opts.parallel_benchmark);
+    }
+
+    #[test]
+    fn malformed_values_error_loudly() {
+        let e = UcudnnOptions::from_lookup(lookup(&[("UCUDNN_BATCH_SIZE_POLICY", "sometimes")]))
+            .unwrap_err();
+        assert_eq!(e.variable, "UCUDNN_BATCH_SIZE_POLICY");
+        assert!(UcudnnOptions::from_lookup(lookup(&[("UCUDNN_WORKSPACE_LIMIT", "lots")])).is_err());
+        assert!(UcudnnOptions::from_lookup(lookup(&[("UCUDNN_OPTIMIZER", "both")])).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Errors surfaced by the μ-cuDNN optimizer.
+
+use ucudnn_cudnn_sim::CudnnError;
+
+/// Errors from optimization or micro-batched execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UcudnnError {
+    /// A delegated cuDNN-style call failed.
+    Cudnn(CudnnError),
+    /// No configuration satisfies the workspace constraint.
+    NoFeasibleConfiguration(String),
+    /// The WD integer program is infeasible for the given total limit.
+    WdInfeasible(String),
+    /// A kernel was executed that was never registered or optimized and
+    /// lazy optimization is disabled.
+    UnknownKernel(String),
+}
+
+impl From<CudnnError> for UcudnnError {
+    fn from(e: CudnnError) -> Self {
+        UcudnnError::Cudnn(e)
+    }
+}
+
+impl core::fmt::Display for UcudnnError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UcudnnError::Cudnn(e) => write!(f, "substrate error: {e}"),
+            UcudnnError::NoFeasibleConfiguration(m) => write!(f, "no feasible configuration: {m}"),
+            UcudnnError::WdInfeasible(m) => write!(f, "WD ILP infeasible: {m}"),
+            UcudnnError::UnknownKernel(m) => write!(f, "unknown kernel: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for UcudnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: UcudnnError = CudnnError::BadParam("x".into()).into();
+        assert!(e.to_string().contains("substrate error"));
+        assert!(UcudnnError::WdInfeasible("y".into()).to_string().contains("infeasible"));
+    }
+}

@@ -1,0 +1,539 @@
+//! `UcudnnHandle` — the transparent wrapper (§III-D, §III-E).
+//!
+//! Replacing `cudnnHandle_t` with `UcudnnHandle_t` is the only change a
+//! framework needs (about three lines in Caffe). The wrapper:
+//!
+//! * intercepts `get_algorithm` / `get_workspace_size`, optimizes the
+//!   kernel's micro-batch division, and returns a **virtual algorithm id**
+//!   with **zero** required workspace — so the framework neither allocates a
+//!   workspace nor interferes with the plan;
+//! * intercepts the three `convolution_*` calls and replays them as the
+//!   planned sequence of micro-batch kernels against the wrapped handle,
+//!   with `beta = 1` accumulation for BackwardFilter;
+//! * delegates everything else to the wrapped handle (`Deref`, the analogue
+//!   of the C++ cast operator).
+//!
+//! Workspaces are owned by the wrapper: one buffer per kernel under WR, one
+//! globally divided buffer under WD.
+
+use crate::bench_cache::{BenchCache, CacheStats};
+use crate::config::Configuration;
+use crate::error::UcudnnError;
+use crate::kernel::KernelKey;
+use crate::policy::BatchSizePolicy;
+use crate::wd::{optimize_wd_weighted, WdPlan};
+use crate::wr::optimize_wr;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use ucudnn_cudnn_sim::{
+    ConvAlgo, ConvOp, ConvolutionDescriptor, CudnnHandle, FilterDescriptor, TensorDescriptor,
+};
+use ucudnn_tensor::Shape4;
+
+/// The algorithm id returned to frameworks for every optimized kernel. The
+/// value itself is meaningless (the wrapper ignores the algorithm argument
+/// at execution time and uses its plan); it only has to be a valid id the
+/// framework can pass back, exactly like the paper's "virtual algorithm ID".
+pub const VIRTUAL_ALGO: ConvAlgo = ConvAlgo::ImplicitGemm;
+
+/// Which optimization scheme the handle runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerMode {
+    /// Workspace Reuse: per-kernel workspace of at most the limit, each
+    /// kernel optimized independently by dynamic programming.
+    Wr,
+    /// Workspace Division: one global workspace of at most the limit,
+    /// divided among kernels by the ILP.
+    Wd,
+}
+
+/// Wrapper configuration (the C++ library reads these from environment
+/// variables; here they are explicit).
+#[derive(Debug, Clone)]
+pub struct UcudnnOptions {
+    /// Micro-batch sizes to benchmark.
+    pub policy: BatchSizePolicy,
+    /// Workspace limit in bytes: per kernel under WR, total under WD.
+    pub workspace_limit_bytes: usize,
+    /// WR or WD.
+    pub mode: OptimizerMode,
+    /// Optional file-backed benchmark database (§III-D).
+    pub cache_file: Option<PathBuf>,
+    /// Evaluate micro-benchmarks on parallel threads (the multi-GPU
+    /// parallel-evaluation analogue). Keep off for wall-clock benchmarking.
+    pub parallel_benchmark: bool,
+}
+
+impl Default for UcudnnOptions {
+    fn default() -> Self {
+        Self {
+            policy: BatchSizePolicy::PowerOfTwo,
+            workspace_limit_bytes: 64 * 1024 * 1024,
+            mode: OptimizerMode::Wr,
+            cache_file: None,
+            parallel_benchmark: false,
+        }
+    }
+}
+
+/// A kernel's installed execution plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The micro-batch division to execute.
+    pub config: Configuration,
+    /// Workspace segment offset in `f32` elements (WD; zero under WR).
+    pub offset_floats: usize,
+    /// How many times this kernel was registered (replicated layers).
+    pub multiplicity: usize,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    cache: BenchCache,
+    plans: HashMap<KernelKey, Plan>,
+    /// WD: kernels registered during network construction, with counts.
+    pending: Vec<KernelKey>,
+    wd_plan: Option<WdPlan>,
+    /// WR: one workspace per kernel.
+    arenas: HashMap<KernelKey, Vec<f32>>,
+    /// WD: the single divided workspace.
+    wd_arena: Vec<f32>,
+    /// Wall time spent optimizing (benchmarks + DP + ILP), microseconds.
+    opt_wall_us: f64,
+}
+
+/// The transparent μ-cuDNN handle.
+#[derive(Debug)]
+pub struct UcudnnHandle {
+    inner: CudnnHandle,
+    opts: UcudnnOptions,
+    state: Mutex<State>,
+}
+
+impl std::ops::Deref for UcudnnHandle {
+    type Target = CudnnHandle;
+
+    /// Delegation of every non-convolution call to the wrapped handle —
+    /// the Rust spelling of the C++ cast operator.
+    fn deref(&self) -> &CudnnHandle {
+        &self.inner
+    }
+}
+
+impl UcudnnHandle {
+    /// Wrap a substrate handle.
+    pub fn new(inner: CudnnHandle, opts: UcudnnOptions) -> Self {
+        let cache = match &opts.cache_file {
+            Some(p) => BenchCache::with_file(p),
+            None => BenchCache::new(),
+        };
+        let state = State { cache, ..Default::default() };
+        Self { inner, opts, state: Mutex::new(state) }
+    }
+
+    /// The wrapped handle.
+    pub fn inner(&self) -> &CudnnHandle {
+        &self.inner
+    }
+
+    /// The wrapper options.
+    pub fn options(&self) -> &UcudnnOptions {
+        &self.opts
+    }
+
+    /// `cudnnGetConvolution*Algorithm` override: register (and under WR,
+    /// immediately optimize) the kernel, then return the virtual algorithm.
+    ///
+    /// # Errors
+    /// Propagates optimization failures.
+    pub fn get_algorithm(
+        &self,
+        op: ConvOp,
+        x: &TensorDescriptor,
+        w: &FilterDescriptor,
+        conv: &ConvolutionDescriptor,
+    ) -> Result<ConvAlgo, UcudnnError> {
+        let g = conv.geometry(x, w)?;
+        let key = KernelKey::new(op, &g);
+        let mut st = self.state.lock();
+        match self.opts.mode {
+            OptimizerMode::Wr => {
+                self.ensure_wr_plan(&mut st, &key)?;
+                if let Some(p) = st.plans.get_mut(&key) {
+                    p.multiplicity += 1;
+                }
+            }
+            OptimizerMode::Wd => {
+                if st.wd_plan.is_none() {
+                    st.pending.push(key);
+                } else if !st.plans.contains_key(&key) {
+                    // A kernel registered after WD ran: fall back to WR for
+                    // it with the whole limit (rare; keeps the API total).
+                    self.ensure_wr_plan(&mut st, &key)?;
+                }
+            }
+        }
+        Ok(VIRTUAL_ALGO)
+    }
+
+    /// `cudnnGetConvolution*WorkspaceSize` override: always zero — the
+    /// wrapper owns all workspaces.
+    ///
+    /// # Errors
+    /// Rejects invalid descriptor combinations like the substrate would.
+    pub fn get_workspace_size(
+        &self,
+        _op: ConvOp,
+        x: &TensorDescriptor,
+        w: &FilterDescriptor,
+        conv: &ConvolutionDescriptor,
+        _algo: ConvAlgo,
+    ) -> Result<usize, UcudnnError> {
+        conv.geometry(x, w)?;
+        Ok(0)
+    }
+
+    /// Run the WD optimization over all kernels registered so far. Called
+    /// automatically on the first convolution; frameworks whose
+    /// initialization order needs it can call it explicitly (the paper adds
+    /// exactly such a post-initialization hook to Caffe).
+    ///
+    /// # Errors
+    /// Propagates WD infeasibility.
+    pub fn finalize_network(&self) -> Result<(), UcudnnError> {
+        let mut st = self.state.lock();
+        self.run_wd(&mut st)
+    }
+
+    fn run_wd(&self, st: &mut State) -> Result<(), UcudnnError> {
+        if st.wd_plan.is_some() || st.pending.is_empty() {
+            return Ok(());
+        }
+        let start = std::time::Instant::now();
+        // Fold duplicate-shape kernels into one group with a multiplicity
+        // weight: the wrapper cannot tell instances apart at execution time,
+        // so they share a configuration and a segment.
+        let mut counts: Vec<(KernelKey, usize)> = Vec::new();
+        for k in &st.pending {
+            match counts.iter_mut().find(|(kk, _)| kk == k) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((*k, 1)),
+            }
+        }
+        let plan = optimize_wd_weighted(
+            &self.inner,
+            &mut st.cache,
+            &counts,
+            self.opts.workspace_limit_bytes,
+            self.opts.policy,
+        )?;
+        st.wd_arena = vec![0.0f32; plan.total_workspace_bytes.div_ceil(4)];
+        for (a, (_, mult)) in plan.assignments.iter().zip(&counts) {
+            st.plans.insert(
+                a.kernel,
+                Plan {
+                    config: a.config.clone(),
+                    offset_floats: a.offset_bytes / 4,
+                    multiplicity: *mult,
+                },
+            );
+        }
+        st.pending.clear();
+        st.wd_plan = Some(plan);
+        st.opt_wall_us += start.elapsed().as_secs_f64() * 1e6;
+        Ok(())
+    }
+
+    fn ensure_wr_plan(&self, st: &mut State, key: &KernelKey) -> Result<(), UcudnnError> {
+        if st.plans.contains_key(key) {
+            return Ok(());
+        }
+        let start = std::time::Instant::now();
+        let r = optimize_wr(
+            &self.inner,
+            &mut st.cache,
+            key,
+            self.opts.workspace_limit_bytes,
+            self.opts.policy,
+            self.opts.parallel_benchmark,
+        )?;
+        st.opt_wall_us += start.elapsed().as_secs_f64() * 1e6;
+        let ws_floats = r.config.workspace_bytes().div_ceil(4);
+        st.arenas.insert(*key, vec![0.0f32; ws_floats]);
+        st.plans.insert(*key, Plan { config: r.config, offset_floats: 0, multiplicity: 0 });
+        Ok(())
+    }
+
+    /// Fetch (or lazily build) the plan for a kernel about to execute.
+    fn plan_for(&self, st: &mut State, key: &KernelKey) -> Result<Plan, UcudnnError> {
+        if self.opts.mode == OptimizerMode::Wd {
+            self.run_wd(st)?;
+        }
+        if !st.plans.contains_key(key) {
+            // Unregistered kernel (framework skipped get_algorithm):
+            // optimize it on the fly under WR semantics.
+            self.ensure_wr_plan(st, key)?;
+        }
+        Ok(st.plans[key].clone())
+    }
+
+    /// `cudnnConvolutionForward` override: execute the planned micro-batch
+    /// sequence. The `algo` argument is accepted for signature compatibility
+    /// and ignored; workspace is supplied internally.
+    ///
+    /// # Errors
+    /// Propagates substrate and optimization errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn convolution_forward(
+        &self,
+        alpha: f32,
+        x_desc: &TensorDescriptor,
+        x: &[f32],
+        w_desc: &FilterDescriptor,
+        w: &[f32],
+        conv: &ConvolutionDescriptor,
+        _algo: ConvAlgo,
+        beta: f32,
+        y_desc: &TensorDescriptor,
+        y: &mut [f32],
+    ) -> Result<(), UcudnnError> {
+        let g = conv.geometry(x_desc, w_desc)?;
+        if y_desc.shape() != g.output() {
+            return Err(ucudnn_cudnn_sim::CudnnError::BadParam(format!(
+                "output descriptor {} does not match computed {}",
+                y_desc.shape(),
+                g.output()
+            ))
+            .into());
+        }
+        let key = KernelKey::new(ConvOp::Forward, &g);
+        let mut st = self.state.lock();
+        let plan = self.plan_for(&mut st, &key)?;
+        let (in_s, out_s) = (g.input.sample_len(), g.output().sample_len());
+        let out_shape = g.output();
+        let st = &mut *st;
+        let ws = arena(st, &key, &plan);
+        let mut lo = 0usize;
+        for m in &plan.config.micros {
+            let hi = lo + m.micro_batch;
+            let mxd = desc(g.input.with_batch(m.micro_batch));
+            let myd = desc(out_shape.with_batch(m.micro_batch));
+            self.inner.convolution_forward(
+                alpha,
+                &mxd,
+                sub(x, lo, hi, in_s),
+                w_desc,
+                w,
+                conv,
+                m.algo,
+                ws,
+                beta,
+                &myd,
+                sub_mut(y, lo, hi, out_s),
+            )?;
+            lo = hi;
+        }
+        debug_assert_eq!(lo, g.input.n, "configuration must tile the mini-batch");
+        Ok(())
+    }
+
+    /// `cudnnConvolutionBackwardData` override.
+    ///
+    /// # Errors
+    /// Propagates substrate and optimization errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn convolution_backward_data(
+        &self,
+        alpha: f32,
+        w_desc: &FilterDescriptor,
+        w: &[f32],
+        dy_desc: &TensorDescriptor,
+        dy: &[f32],
+        conv: &ConvolutionDescriptor,
+        _algo: ConvAlgo,
+        beta: f32,
+        dx_desc: &TensorDescriptor,
+        dx: &mut [f32],
+    ) -> Result<(), UcudnnError> {
+        let g = conv.geometry(dx_desc, w_desc)?;
+        if dy_desc.shape() != g.output() {
+            return Err(ucudnn_cudnn_sim::CudnnError::BadParam(format!(
+                "gradient descriptor {} does not match computed {}",
+                dy_desc.shape(),
+                g.output()
+            ))
+            .into());
+        }
+        let key = KernelKey::new(ConvOp::BackwardData, &g);
+        let mut st = self.state.lock();
+        let plan = self.plan_for(&mut st, &key)?;
+        let (in_s, out_s) = (g.input.sample_len(), g.output().sample_len());
+        let out_shape = g.output();
+        let st = &mut *st;
+        let ws = arena(st, &key, &plan);
+        let mut lo = 0usize;
+        for m in &plan.config.micros {
+            let hi = lo + m.micro_batch;
+            let mdyd = desc(out_shape.with_batch(m.micro_batch));
+            let mdxd = desc(g.input.with_batch(m.micro_batch));
+            self.inner.convolution_backward_data(
+                alpha,
+                w_desc,
+                w,
+                &mdyd,
+                sub(dy, lo, hi, out_s),
+                conv,
+                m.algo,
+                ws,
+                beta,
+                &mdxd,
+                sub_mut(dx, lo, hi, in_s),
+            )?;
+            lo = hi;
+        }
+        debug_assert_eq!(lo, g.input.n);
+        Ok(())
+    }
+
+    /// `cudnnConvolutionBackwardFilter` override. Micro-batches after the
+    /// first accumulate with `beta = 1` (output scaling), which preserves
+    /// the undivided gradient exactly up to floating-point reassociation —
+    /// the paper's §II argument.
+    ///
+    /// # Errors
+    /// Propagates substrate and optimization errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn convolution_backward_filter(
+        &self,
+        alpha: f32,
+        x_desc: &TensorDescriptor,
+        x: &[f32],
+        dy_desc: &TensorDescriptor,
+        dy: &[f32],
+        conv: &ConvolutionDescriptor,
+        _algo: ConvAlgo,
+        beta: f32,
+        dw_desc: &FilterDescriptor,
+        dw: &mut [f32],
+    ) -> Result<(), UcudnnError> {
+        let g = conv.geometry(x_desc, dw_desc)?;
+        if dy_desc.shape() != g.output() {
+            return Err(ucudnn_cudnn_sim::CudnnError::BadParam(format!(
+                "gradient descriptor {} does not match computed {}",
+                dy_desc.shape(),
+                g.output()
+            ))
+            .into());
+        }
+        let key = KernelKey::new(ConvOp::BackwardFilter, &g);
+        let mut st = self.state.lock();
+        let plan = self.plan_for(&mut st, &key)?;
+        let (in_s, out_s) = (g.input.sample_len(), g.output().sample_len());
+        let out_shape = g.output();
+        let st = &mut *st;
+        let ws = arena(st, &key, &plan);
+        let mut lo = 0usize;
+        for (i, m) in plan.config.micros.iter().enumerate() {
+            let hi = lo + m.micro_batch;
+            let mxd = desc(g.input.with_batch(m.micro_batch));
+            let mdyd = desc(out_shape.with_batch(m.micro_batch));
+            let micro_beta = if i == 0 { beta } else { 1.0 };
+            self.inner.convolution_backward_filter(
+                alpha,
+                &mxd,
+                sub(x, lo, hi, in_s),
+                &mdyd,
+                sub(dy, lo, hi, out_s),
+                conv,
+                m.algo,
+                ws,
+                micro_beta,
+                dw_desc,
+                dw,
+            )?;
+            lo = hi;
+        }
+        debug_assert_eq!(lo, g.input.n);
+        Ok(())
+    }
+
+    /// The installed plan for a kernel, if any.
+    pub fn plan(&self, op: ConvOp, g: &ucudnn_tensor::ConvGeometry) -> Option<Plan> {
+        self.state.lock().plans.get(&KernelKey::new(op, g)).cloned()
+    }
+
+    /// Per-kernel workspace assignment: `(kernel, configuration, bytes)` —
+    /// the data behind the paper's Fig. 12 and Fig. 14.
+    pub fn memory_report(&self) -> Vec<(KernelKey, Configuration, usize)> {
+        let st = self.state.lock();
+        let mut v: Vec<_> = st
+            .plans
+            .iter()
+            .map(|(k, p)| (*k, p.config.clone(), p.config.workspace_bytes()))
+            .collect();
+        v.sort_by_key(|(k, _, _)| format!("{k}"));
+        v
+    }
+
+    /// Total workspace bytes the wrapper has allocated (Σ per-kernel arenas
+    /// under WR; the single divided arena under WD).
+    pub fn total_workspace_bytes(&self) -> usize {
+        let st = self.state.lock();
+        4 * (st.wd_arena.len() + st.arenas.values().map(Vec::len).sum::<usize>())
+    }
+
+    /// Wall time spent in optimization (benchmarks + DP + ILP).
+    pub fn optimization_wall_us(&self) -> f64 {
+        self.state.lock().opt_wall_us
+    }
+
+    /// The WD plan, once computed.
+    pub fn wd_plan(&self) -> Option<WdPlan> {
+        self.state.lock().wd_plan.clone()
+    }
+
+    /// Benchmark-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.state.lock().cache.stats()
+    }
+
+    /// Persist the benchmark cache to its file DB, if configured.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn save_cache(&self) -> std::io::Result<()> {
+        self.state.lock().cache.save()
+    }
+}
+
+/// Workspace slice for a kernel: its private arena under WR, its segment of
+/// the global arena under WD.
+fn arena<'a>(st: &'a mut State, key: &KernelKey, plan: &Plan) -> &'a mut [f32] {
+    if let Some(buf) = st.arenas.get_mut(key) {
+        return buf.as_mut_slice();
+    }
+    let len = plan.config.workspace_bytes().div_ceil(4);
+    &mut st.wd_arena[plan.offset_floats..plan.offset_floats + len]
+}
+
+fn desc(shape: Shape4) -> TensorDescriptor {
+    TensorDescriptor::from_shape(shape).expect("micro shape is valid by construction")
+}
+
+/// Batch sub-slice that passes empty (simulated-engine) buffers through.
+fn sub(data: &[f32], lo: usize, hi: usize, sample_len: usize) -> &[f32] {
+    if data.is_empty() {
+        data
+    } else {
+        &data[lo * sample_len..hi * sample_len]
+    }
+}
+
+fn sub_mut(data: &mut [f32], lo: usize, hi: usize, sample_len: usize) -> &mut [f32] {
+    if data.is_empty() {
+        data
+    } else {
+        &mut data[lo * sample_len..hi * sample_len]
+    }
+}

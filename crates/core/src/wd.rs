@@ -1,0 +1,312 @@
+//! The WD (Workspace Division) optimizer (§III-C): one workspace for the
+//! whole network, divided among kernels by a 0-1 integer linear program.
+//!
+//! For kernel set `K` with desirable configuration sets `S_k`, WD solves
+//!
+//! ```text
+//! minimize   Σ_k Σ_{c ∈ S_k} T_{k,c} · x_{k,c}
+//! subject to Σ_k Σ_{c ∈ S_k} M_{k,c} · x_{k,c} ≤ W_total
+//!            Σ_{c ∈ S_k} x_{k,c} = 1            ∀ k
+//!            x ∈ {0,1}
+//! ```
+//!
+//! — a multiple-choice knapsack, solved exactly with the branch-and-bound
+//! ILP solver from `ucudnn-lp` (the GLPK stand-in).
+
+use crate::bench_cache::BenchCache;
+use crate::config::Configuration;
+use crate::error::UcudnnError;
+use crate::kernel::KernelKey;
+use crate::pareto::desirable_set;
+use crate::policy::BatchSizePolicy;
+use std::collections::HashMap;
+use ucudnn_cudnn_sim::CudnnHandle;
+use ucudnn_lp::{Item, MckInstance};
+
+/// One kernel's slot in a WD plan.
+#[derive(Debug, Clone)]
+pub struct WdAssignment {
+    /// Which kernel.
+    pub kernel: KernelKey,
+    /// The configuration chosen by the ILP.
+    pub config: Configuration,
+    /// Byte offset of this kernel's segment within the global workspace.
+    pub offset_bytes: usize,
+}
+
+/// Result of a WD optimization.
+#[derive(Debug, Clone)]
+pub struct WdPlan {
+    /// Per-kernel assignments, in registration order.
+    pub assignments: Vec<WdAssignment>,
+    /// Total workspace actually allocated (sum of segments ≤ the limit).
+    pub total_workspace_bytes: usize,
+    /// Number of 0-1 variables in the ILP (reported in §IV-D: 562 for
+    /// ResNet-50).
+    pub ilp_variables: usize,
+    /// Branch-and-bound nodes explored.
+    pub ilp_nodes: usize,
+    /// Wall time spent in the ILP solver, microseconds.
+    pub ilp_solve_us: f64,
+}
+
+impl WdPlan {
+    /// Total modeled execution time of the chosen configurations.
+    pub fn time_us(&self) -> f64 {
+        self.assignments.iter().map(|a| a.config.time_us()).sum()
+    }
+
+    /// Look up the assignment for a kernel (first match).
+    pub fn assignment(&self, kernel: &KernelKey) -> Option<&WdAssignment> {
+        self.assignments.iter().find(|a| &a.kernel == kernel)
+    }
+}
+
+/// Optimize a set of kernels under a total workspace budget.
+///
+/// ```
+/// use ucudnn::{optimize_wd, BatchSizePolicy, BenchCache, KernelKey};
+/// use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
+/// use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
+///
+/// let kernels: Vec<KernelKey> = [(64usize, 27usize, 192usize, 5usize, 2usize),
+///                                (192, 13, 384, 3, 1)]
+///     .iter()
+///     .map(|&(c, hw, k, r, pad)| {
+///         let g = ConvGeometry::with_square(
+///             Shape4::new(64, c, hw, hw),
+///             FilterShape::new(k, c, r, r),
+///             pad,
+///             1,
+///         );
+///         KernelKey::new(ConvOp::Forward, &g)
+///     })
+///     .collect();
+/// let handle = CudnnHandle::simulated(ucudnn_gpu_model::p100_sxm2());
+/// let mut cache = BenchCache::new();
+/// let plan = optimize_wd(&handle, &mut cache, &kernels, 64 << 20,
+///                        BatchSizePolicy::PowerOfTwo).unwrap();
+/// assert_eq!(plan.assignments.len(), 2);
+/// assert!(plan.total_workspace_bytes <= 64 << 20);
+/// ```
+///
+/// Desirable sets are computed per unique kernel shape (and served from the
+/// benchmark cache), but every kernel *instance* gets its own ILP group and
+/// its own workspace segment, matching the paper's per-kernel division
+/// (Fig. 14 shows separate segments for each layer's F/BD/BF kernels).
+///
+/// # Errors
+/// [`UcudnnError::WdInfeasible`] when even the smallest configurations
+/// exceed the budget.
+pub fn optimize_wd(
+    handle: &CudnnHandle,
+    cache: &mut BenchCache,
+    kernels: &[KernelKey],
+    total_limit: usize,
+    policy: BatchSizePolicy,
+) -> Result<WdPlan, UcudnnError> {
+    let weighted: Vec<(KernelKey, usize)> = kernels.iter().map(|k| (*k, 1)).collect();
+    optimize_wd_weighted(handle, cache, &weighted, total_limit, policy)
+}
+
+/// [`optimize_wd`] with per-kernel execution multiplicities: a kernel that
+/// runs `m` times per iteration (identical replicated layers sharing one
+/// workspace segment) contributes `m ×` its time to the objective but only
+/// one segment to the budget. This is how the transparent handle folds
+/// duplicate-shape layers, which it cannot tell apart at execution time.
+///
+/// # Errors
+/// Same conditions as [`optimize_wd`].
+pub fn optimize_wd_weighted(
+    handle: &CudnnHandle,
+    cache: &mut BenchCache,
+    weighted_kernels: &[(KernelKey, usize)],
+    total_limit: usize,
+    policy: BatchSizePolicy,
+) -> Result<WdPlan, UcudnnError> {
+    let kernels: Vec<KernelKey> = weighted_kernels.iter().map(|(k, _)| *k).collect();
+    // Desirable sets, shared across identical kernel shapes.
+    let mut sets: HashMap<KernelKey, Vec<Configuration>> = HashMap::new();
+    for k in &kernels {
+        if !sets.contains_key(k) {
+            let ds = desirable_set(handle, cache, k, total_limit, policy);
+            if ds.is_empty() {
+                return Err(UcudnnError::WdInfeasible(format!(
+                    "kernel {k} has no configuration within {total_limit} bytes"
+                )));
+            }
+            sets.insert(*k, ds);
+        }
+    }
+
+    // Build and solve the multiple-choice knapsack.
+    let groups: Vec<Vec<Item>> = weighted_kernels
+        .iter()
+        .map(|(k, mult)| {
+            sets[k]
+                .iter()
+                .map(|c| Item {
+                    cost: *mult as f64 * c.time_us(),
+                    weight: c.workspace_bytes() as f64,
+                })
+                .collect()
+        })
+        .collect();
+    let ilp_variables = groups.iter().map(Vec::len).sum();
+    let instance = MckInstance { groups, capacity: total_limit as f64 };
+    let ilp = instance.to_ilp();
+    let start = std::time::Instant::now();
+    let sol = ucudnn_lp::solve_binary(&ilp);
+    let ilp_solve_us = start.elapsed().as_secs_f64() * 1e6;
+    if sol.status != ucudnn_lp::IlpStatus::Optimal {
+        return Err(UcudnnError::WdInfeasible(format!(
+            "no combination of configurations fits {total_limit} bytes"
+        )));
+    }
+    let choices = instance.choices_from(&sol.x);
+
+    // Lay segments out contiguously in registration order.
+    let mut assignments = Vec::with_capacity(kernels.len());
+    let mut offset = 0usize;
+    for (k, choice) in kernels.iter().zip(choices) {
+        let config = sets[k][choice].clone();
+        let bytes = config.workspace_bytes();
+        assignments.push(WdAssignment { kernel: *k, config, offset_bytes: offset });
+        offset += bytes;
+    }
+    Ok(WdPlan {
+        assignments,
+        total_workspace_bytes: offset,
+        ilp_variables,
+        ilp_nodes: sol.nodes,
+        ilp_solve_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucudnn_cudnn_sim::ConvOp;
+    use ucudnn_gpu_model::p100_sxm2;
+    use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
+
+    const MIB: usize = 1024 * 1024;
+
+    fn kernel(op: ConvOp, n: usize, c: usize, hw: usize, k: usize, r: usize, pad: usize) -> KernelKey {
+        let g = ConvGeometry::with_square(
+            Shape4::new(n, c, hw, hw),
+            FilterShape::new(k, c, r, r),
+            pad,
+            1,
+        );
+        KernelKey::new(op, &g)
+    }
+
+    /// A small AlexNet-flavoured kernel set: two 5×5 layers and one 3×3.
+    fn kernels() -> Vec<KernelKey> {
+        vec![
+            kernel(ConvOp::Forward, 64, 64, 27, 192, 5, 2),
+            kernel(ConvOp::Forward, 64, 192, 13, 384, 3, 1),
+            kernel(ConvOp::Forward, 64, 256, 13, 256, 3, 1),
+        ]
+    }
+
+    #[test]
+    fn respects_the_total_budget() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let mut cache = BenchCache::new();
+        for limit in [0, 8 * MIB, 64 * MIB, 512 * MIB] {
+            let plan =
+                optimize_wd(&h, &mut cache, &kernels(), limit, BatchSizePolicy::PowerOfTwo).unwrap();
+            assert!(
+                plan.total_workspace_bytes <= limit,
+                "plan uses {} > limit {limit}",
+                plan.total_workspace_bytes
+            );
+            assert_eq!(plan.assignments.len(), 3);
+        }
+    }
+
+    #[test]
+    fn segments_do_not_overlap() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let mut cache = BenchCache::new();
+        let plan =
+            optimize_wd(&h, &mut cache, &kernels(), 256 * MIB, BatchSizePolicy::PowerOfTwo).unwrap();
+        let mut spans: Vec<(usize, usize)> = plan
+            .assignments
+            .iter()
+            .map(|a| (a.offset_bytes, a.offset_bytes + a.config.workspace_bytes()))
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "segments overlap: {:?}", spans);
+        }
+        assert_eq!(spans.last().unwrap().1, plan.total_workspace_bytes);
+    }
+
+    #[test]
+    fn more_budget_is_never_slower() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let mut cache = BenchCache::new();
+        let mut prev = f64::INFINITY;
+        for limit in [0, 8 * MIB, 40 * MIB, 120 * MIB, 512 * MIB] {
+            let plan =
+                optimize_wd(&h, &mut cache, &kernels(), limit, BatchSizePolicy::PowerOfTwo).unwrap();
+            assert!(plan.time_us() <= prev + 1e-6, "budget {limit} slower than smaller budget");
+            prev = plan.time_us();
+        }
+    }
+
+    #[test]
+    fn wd_beats_uniform_wr_split_of_the_same_total() {
+        // The Fig. 13 claim: a shared budget of K·L bytes, divided adaptively
+        // by WD, beats giving every kernel L bytes under WR.
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let mut cache = BenchCache::new();
+        let ks = kernels();
+        let per_kernel = 8 * MIB;
+        let total = per_kernel * ks.len();
+        let wd = optimize_wd(&h, &mut cache, &ks, total, BatchSizePolicy::PowerOfTwo).unwrap();
+        let wr_total: f64 = ks
+            .iter()
+            .map(|k| {
+                crate::wr::optimize_wr(&h, &mut cache, k, per_kernel, BatchSizePolicy::PowerOfTwo, false)
+                    .unwrap()
+                    .config
+                    .time_us()
+            })
+            .sum();
+        assert!(
+            wd.time_us() <= wr_total + 1e-6,
+            "WD ({}) must not lose to uniform WR ({wr_total})",
+            wd.time_us()
+        );
+    }
+
+    #[test]
+    fn identical_kernels_each_get_a_segment() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let mut cache = BenchCache::new();
+        let k = kernel(ConvOp::Forward, 64, 64, 27, 192, 5, 2);
+        let plan =
+            optimize_wd(&h, &mut cache, &[k, k], 200 * MIB, BatchSizePolicy::PowerOfTwo).unwrap();
+        assert_eq!(plan.assignments.len(), 2);
+        // Same shape ⇒ same configuration, but distinct segments.
+        assert_eq!(plan.assignments[0].config, plan.assignments[1].config);
+        if plan.assignments[0].config.workspace_bytes() > 0 {
+            assert_ne!(plan.assignments[0].offset_bytes, plan.assignments[1].offset_bytes);
+        }
+    }
+
+    #[test]
+    fn ilp_stats_are_populated() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let mut cache = BenchCache::new();
+        let plan =
+            optimize_wd(&h, &mut cache, &kernels(), 120 * MIB, BatchSizePolicy::PowerOfTwo).unwrap();
+        assert!(plan.ilp_variables >= 3);
+        assert!(plan.ilp_nodes >= 1);
+        assert!(plan.ilp_solve_us > 0.0);
+    }
+}

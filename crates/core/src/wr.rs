@@ -1,0 +1,281 @@
+//! The WR (Workspace Reuse) optimizer: dynamic programming over mini-batch
+//! divisions (§III-B).
+//!
+//! Each layer gets one workspace of at most `W` bytes, shared by its
+//! sequential micro-batches. The optimal total time obeys
+//!
+//! ```text
+//! T(n) = min( t*(n),  min_{0<i<n} T(i) + T(n−i) )
+//! ```
+//!
+//! where `t*(m)` is the fastest single-kernel time at micro-batch `m` within
+//! the workspace limit. Because the benchmark policy restricts which sizes
+//! `m` are measured, the recursion is computed over those candidate sizes.
+
+use crate::bench_cache::BenchCache;
+use crate::config::{Configuration, MicroConfig};
+use crate::error::UcudnnError;
+use crate::kernel::KernelKey;
+use crate::policy::BatchSizePolicy;
+use ucudnn_cudnn_sim::CudnnHandle;
+
+/// Fastest micro-configuration at one size within the workspace limit
+/// (step 1 of the WR algorithm).
+pub fn best_micro(
+    handle: &CudnnHandle,
+    cache: &mut BenchCache,
+    kernel: &KernelKey,
+    micro_batch: usize,
+    ws_limit: usize,
+) -> Option<MicroConfig> {
+    let micro_key = KernelKey { input: kernel.input.with_batch(micro_batch), ..*kernel };
+    cache
+        .get_or_bench(handle, &micro_key)
+        .into_iter()
+        .filter(|e| e.memory_bytes <= ws_limit)
+        .min_by(|a, b| a.time_us.total_cmp(&b.time_us))
+        .map(|e| MicroConfig {
+            micro_batch,
+            algo: e.algo,
+            time_us: e.time_us,
+            workspace_bytes: e.memory_bytes,
+        })
+}
+
+/// Result of a WR optimization.
+#[derive(Debug, Clone)]
+pub struct WrResult {
+    /// The optimal configuration.
+    pub config: Configuration,
+    /// The `t*(m)` table: best micro-configuration per benchmarked size.
+    pub per_size: Vec<(usize, Option<MicroConfig>)>,
+}
+
+/// Optimize one kernel under the WR policy.
+///
+/// ```
+/// use ucudnn::{optimize_wr, BatchSizePolicy, BenchCache, KernelKey};
+/// use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
+/// use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
+///
+/// // AlexNet conv2 under a 64 MiB limit on the simulated P100.
+/// let g = ConvGeometry::with_square(
+///     Shape4::new(256, 64, 27, 27),
+///     FilterShape::new(192, 64, 5, 5),
+///     2,
+///     1,
+/// );
+/// let handle = CudnnHandle::simulated(ucudnn_gpu_model::p100_sxm2());
+/// let mut cache = BenchCache::new();
+/// let r = optimize_wr(
+///     &handle,
+///     &mut cache,
+///     &KernelKey::new(ConvOp::Forward, &g),
+///     64 << 20,
+///     BatchSizePolicy::PowerOfTwo,
+///     false,
+/// )
+/// .unwrap();
+/// // The DP divides the batch to unlock FFT within the limit.
+/// assert!(!r.config.is_undivided());
+/// assert_eq!(r.config.batch(), 256);
+/// assert!(r.config.workspace_bytes() <= 64 << 20);
+/// ```
+///
+/// # Errors
+/// Returns [`UcudnnError::NoFeasibleConfiguration`] when no algorithm fits
+/// the limit at any candidate size that can tile the mini-batch (with a
+/// zero-workspace algorithm always available this does not happen in
+/// practice, but a caller-restricted substrate could trigger it).
+#[allow(clippy::too_many_arguments)] // BLAS/cuDNN-style signature
+pub fn optimize_wr(
+    handle: &CudnnHandle,
+    cache: &mut BenchCache,
+    kernel: &KernelKey,
+    ws_limit: usize,
+    policy: BatchSizePolicy,
+    parallel_benchmark: bool,
+) -> Result<WrResult, UcudnnError> {
+    let b = kernel.batch();
+    let sizes = policy.candidate_sizes(b);
+    // Warm the cache for all candidate sizes (optionally in parallel, the
+    // analogue of multi-GPU benchmark distribution).
+    let micro_keys: Vec<KernelKey> = sizes
+        .iter()
+        .map(|&m| KernelKey { input: kernel.input.with_batch(m), ..*kernel })
+        .collect();
+    cache.prefetch(handle, &micro_keys, parallel_benchmark);
+
+    let per_size: Vec<(usize, Option<MicroConfig>)> = sizes
+        .iter()
+        .map(|&m| (m, best_micro(handle, cache, kernel, m, ws_limit)))
+        .collect();
+
+    // Step 2: DP over the total batch with the benchmarked sizes as atoms.
+    const INF: f64 = f64::INFINITY;
+    let mut t = vec![INF; b + 1];
+    let mut step: Vec<Option<&MicroConfig>> = vec![None; b + 1];
+    t[0] = 0.0;
+    for n in 1..=b {
+        for (m, mc) in &per_size {
+            let Some(mc) = mc else { continue };
+            if *m > n || t[n - m] == INF {
+                continue;
+            }
+            let cand = t[n - m] + mc.time_us;
+            if cand < t[n] {
+                t[n] = cand;
+                step[n] = Some(mc);
+            }
+        }
+    }
+    if t[b] == INF {
+        return Err(UcudnnError::NoFeasibleConfiguration(format!(
+            "kernel {kernel} cannot tile batch {b} within {ws_limit} bytes"
+        )));
+    }
+
+    // Step 3: reconstruct the optimal division, largest micro-batches first.
+    let mut micros = Vec::new();
+    let mut n = b;
+    while n > 0 {
+        let mc = *step[n].expect("reachable state must have a step");
+        micros.push(mc);
+        n -= mc.micro_batch;
+    }
+    micros.sort_by_key(|m| std::cmp::Reverse(m.micro_batch));
+    Ok(WrResult { config: Configuration { micros }, per_size })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucudnn_cudnn_sim::ConvOp;
+    use ucudnn_gpu_model::{p100_sxm2, ConvAlgo};
+    use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
+
+    const MIB: usize = 1024 * 1024;
+
+    /// AlexNet conv2 forward — the paper's running example.
+    fn conv2(n: usize) -> KernelKey {
+        let g = ConvGeometry::with_square(
+            Shape4::new(n, 64, 27, 27),
+            FilterShape::new(192, 64, 5, 5),
+            2,
+            1,
+        );
+        KernelKey::new(ConvOp::Forward, &g)
+    }
+
+    fn setup() -> (CudnnHandle, BenchCache) {
+        (CudnnHandle::simulated(p100_sxm2()), BenchCache::new())
+    }
+
+    #[test]
+    fn undivided_policy_reproduces_cudnn_choice() {
+        let (h, mut c) = setup();
+        let r = optimize_wr(&h, &mut c, &conv2(256), 64 * MIB, BatchSizePolicy::Undivided, false)
+            .unwrap();
+        assert!(r.config.is_undivided());
+        assert_eq!(r.config.micros[0].micro_batch, 256);
+        // 64 MiB excludes FFT undivided: must be a GEMM-family algorithm.
+        assert!(matches!(
+            r.config.micros[0].algo,
+            ConvAlgo::Gemm | ConvAlgo::ImplicitPrecompGemm | ConvAlgo::ImplicitGemm
+        ));
+    }
+
+    #[test]
+    fn power_of_two_unlocks_fft_at_64mib() {
+        // §IV-A: powerOfTwo enables FFT with micro-batches of 32 within the
+        // 64 MiB constraint, beating the undivided GEMM configuration.
+        let (h, mut c) = setup();
+        let undiv = optimize_wr(&h, &mut c, &conv2(256), 64 * MIB, BatchSizePolicy::Undivided, false)
+            .unwrap();
+        let p2 = optimize_wr(&h, &mut c, &conv2(256), 64 * MIB, BatchSizePolicy::PowerOfTwo, false)
+            .unwrap();
+        assert!(!p2.config.is_undivided());
+        assert!(p2.config.time_us() < undiv.config.time_us());
+        assert!(p2.config.workspace_bytes() <= 64 * MIB);
+        assert!(
+            p2.config.micros.iter().any(|m| matches!(m.algo, ConvAlgo::Fft | ConvAlgo::FftTiling)),
+            "expected an FFT micro-config, got {}",
+            p2.config
+        );
+    }
+
+    #[test]
+    fn all_is_at_least_as_good_as_power_of_two() {
+        let (h, mut c) = setup();
+        let p2 = optimize_wr(&h, &mut c, &conv2(256), 64 * MIB, BatchSizePolicy::PowerOfTwo, false)
+            .unwrap();
+        let all =
+            optimize_wr(&h, &mut c, &conv2(256), 64 * MIB, BatchSizePolicy::All, false).unwrap();
+        assert!(all.config.time_us() <= p2.config.time_us() + 1e-9);
+        // And both tile the mini-batch exactly.
+        assert_eq!(all.config.batch(), 256);
+        assert_eq!(p2.config.batch(), 256);
+    }
+
+    #[test]
+    fn tiny_limit_degenerates_to_zero_workspace_algorithms() {
+        let (h, mut c) = setup();
+        let r = optimize_wr(&h, &mut c, &conv2(256), 0, BatchSizePolicy::All, false).unwrap();
+        assert_eq!(r.config.workspace_bytes(), 0);
+        assert_eq!(r.config.batch(), 256);
+    }
+
+    #[test]
+    fn huge_limit_keeps_the_batch_undivided() {
+        // With 512 MiB the best undivided algorithm fits, so dividing only
+        // adds launch overhead — the DP must keep one kernel (Fig. 10's
+        // "no benefit at 512 MiB" result).
+        let (h, mut c) = setup();
+        let r = optimize_wr(&h, &mut c, &conv2(256), 512 * MIB, BatchSizePolicy::All, false).unwrap();
+        assert!(r.config.is_undivided(), "got {}", r.config);
+    }
+
+    #[test]
+    fn dp_beats_or_equals_any_uniform_division() {
+        let (h, mut c) = setup();
+        let r =
+            optimize_wr(&h, &mut c, &conv2(256), 64 * MIB, BatchSizePolicy::All, false).unwrap();
+        // Compare against every uniform division of benchmarked sizes.
+        for (m, mc) in &r.per_size {
+            let Some(mc) = mc else { continue };
+            if 256 % m != 0 {
+                continue;
+            }
+            let uniform = (256 / m) as f64 * mc.time_us;
+            assert!(
+                r.config.time_us() <= uniform + 1e-6,
+                "DP ({}) worse than uniform {}x{}",
+                r.config.time_us(),
+                256 / m,
+                m
+            );
+        }
+    }
+
+    #[test]
+    fn per_size_table_matches_policy() {
+        let (h, mut c) = setup();
+        let r = optimize_wr(&h, &mut c, &conv2(64), 64 * MIB, BatchSizePolicy::PowerOfTwo, false)
+            .unwrap();
+        let sizes: Vec<usize> = r.per_size.iter().map(|(m, _)| *m).collect();
+        assert_eq!(sizes, vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn parallel_benchmark_gives_identical_plan() {
+        let (h, mut c1) = setup();
+        let serial =
+            optimize_wr(&h, &mut c1, &conv2(128), 64 * MIB, BatchSizePolicy::PowerOfTwo, false)
+                .unwrap();
+        let mut c2 = BenchCache::new();
+        let parallel =
+            optimize_wr(&h, &mut c2, &conv2(128), 64 * MIB, BatchSizePolicy::PowerOfTwo, true)
+                .unwrap();
+        assert_eq!(serial.config, parallel.config);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests on the WR/WD optimizers over randomized kernels, batch
+//! sizes and workspace limits.
+
+use proptest::prelude::*;
+use ucudnn::{
+    desirable_set, optimize_wr, pareto_front, BatchSizePolicy, BenchCache, Configuration,
+    KernelKey, MicroConfig,
+};
+use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
+use ucudnn_gpu_model::{p100_sxm2, ConvAlgo};
+use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
+
+fn kernels() -> impl Strategy<Value = KernelKey> {
+    (2usize..=48, 1usize..=32, 8usize..=30, 1usize..=64, 1usize..=3, 0usize..=2, 0usize..3)
+        .prop_map(|(n, c, hw, k, half_r, pad, op_i)| {
+            let r = 2 * half_r - 1;
+            let g = ConvGeometry::with_square(
+                Shape4::new(n, c, hw.max(r), hw.max(r)),
+                FilterShape::new(k, c, r, r),
+                pad.min(r - 1),
+                1,
+            );
+            KernelKey::new(ConvOp::ALL[op_i], &g)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every WR plan tiles the batch exactly and fits the limit, for any
+    /// policy and any limit.
+    #[test]
+    fn wr_plans_are_always_valid(key in kernels(), limit_mib in 0usize..128, policy_i in 0usize..3) {
+        let policy = [BatchSizePolicy::All, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::Undivided][policy_i];
+        let handle = CudnnHandle::simulated(p100_sxm2());
+        let mut cache = BenchCache::new();
+        let r = optimize_wr(&handle, &mut cache, &key, limit_mib << 20, policy, false).unwrap();
+        prop_assert_eq!(r.config.batch(), key.batch());
+        prop_assert!(r.config.workspace_bytes() <= limit_mib << 20);
+        prop_assert!(r.config.time_us().is_finite() && r.config.time_us() > 0.0);
+    }
+
+    /// More workspace never makes the WR optimum slower.
+    #[test]
+    fn wr_time_is_monotone_in_limit(key in kernels()) {
+        let handle = CudnnHandle::simulated(p100_sxm2());
+        let mut cache = BenchCache::new();
+        let mut prev = f64::INFINITY;
+        for limit_mib in [0usize, 1, 8, 64, 512] {
+            let r = optimize_wr(&handle, &mut cache, &key, limit_mib << 20, BatchSizePolicy::PowerOfTwo, false)
+                .unwrap();
+            prop_assert!(r.config.time_us() <= prev + 1e-9, "limit {limit_mib} MiB regressed");
+            prev = r.config.time_us();
+        }
+    }
+
+    /// The `all` policy is never worse than `powerOfTwo`, which is never
+    /// worse than `undivided` (supersets of candidate sizes).
+    #[test]
+    fn policy_hierarchy(key in kernels(), limit_mib in 0usize..128) {
+        let handle = CudnnHandle::simulated(p100_sxm2());
+        let mut cache = BenchCache::new();
+        let limit = limit_mib << 20;
+        let mut t = |p| optimize_wr(&handle, &mut cache, &key, limit, p, false).unwrap().config.time_us();
+        let tu = t(BatchSizePolicy::Undivided);
+        let tp = t(BatchSizePolicy::PowerOfTwo);
+        let ta = t(BatchSizePolicy::All);
+        prop_assert!(tp <= tu + 1e-9);
+        prop_assert!(ta <= tp + 1e-9);
+    }
+
+    /// Desirable sets: monotone fronts, batch-tiling members, fastest
+    /// member equals the WR optimum under the same cap.
+    #[test]
+    fn desirable_sets_are_fronts(key in kernels(), cap_mib in 1usize..128) {
+        let handle = CudnnHandle::simulated(p100_sxm2());
+        let mut cache = BenchCache::new();
+        let cap = cap_mib << 20;
+        let ds = desirable_set(&handle, &mut cache, &key, cap, BatchSizePolicy::PowerOfTwo);
+        prop_assert!(!ds.is_empty());
+        for c in &ds {
+            prop_assert_eq!(c.batch(), key.batch());
+            prop_assert!(c.workspace_bytes() <= cap);
+        }
+        for w in ds.windows(2) {
+            prop_assert!(w[0].workspace_bytes() < w[1].workspace_bytes());
+            prop_assert!(w[0].time_us() > w[1].time_us());
+        }
+        let wr = optimize_wr(&handle, &mut cache, &key, cap, BatchSizePolicy::PowerOfTwo, false).unwrap();
+        let fastest = ds.last().unwrap();
+        prop_assert!((fastest.time_us() - wr.config.time_us()).abs() <= 1e-6 * wr.config.time_us());
+    }
+
+    /// `pareto_front` of arbitrary synthetic configurations is minimal and
+    /// complete: no member dominated, every non-member dominated or tied.
+    #[test]
+    fn pareto_front_is_exact(points in prop::collection::vec((1.0f64..100.0, 0usize..1000), 1..40)) {
+        let configs: Vec<Configuration> = points
+            .iter()
+            .map(|&(t, w)| Configuration::undivided(MicroConfig {
+                micro_batch: 1,
+                algo: ConvAlgo::Gemm,
+                time_us: t,
+                workspace_bytes: w,
+            }))
+            .collect();
+        let front = pareto_front(configs.clone());
+        prop_assert!(!front.is_empty());
+        // No front member dominated by any input point.
+        for f in &front {
+            for c in &configs {
+                let strictly_better = c.time_us() < f.time_us() - 1e-12 && c.workspace_bytes() <= f.workspace_bytes();
+                prop_assert!(!strictly_better, "front member dominated");
+            }
+        }
+        // Every input point is dominated-or-tied by some front member.
+        for c in &configs {
+            let covered = front.iter().any(|f| {
+                f.time_us() <= c.time_us() + 1e-12 && f.workspace_bytes() <= c.workspace_bytes()
+            });
+            prop_assert!(covered, "input point not covered by the front");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Status codes, mirroring `cudnnStatus_t`.
+
+/// Errors returned by the cuDNN-style API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CudnnError {
+    /// An argument violated the API contract (`CUDNN_STATUS_BAD_PARAM`).
+    BadParam(String),
+    /// The requested algorithm cannot run on this (op, geometry, engine)
+    /// combination (`CUDNN_STATUS_NOT_SUPPORTED`).
+    NotSupported(String),
+    /// The provided workspace is smaller than the algorithm requires.
+    WorkspaceTooSmall {
+        /// Bytes required.
+        need: usize,
+        /// Bytes provided.
+        got: usize,
+    },
+    /// The kernel failed during execution (`CUDNN_STATUS_EXECUTION_FAILED`).
+    ExecutionFailed(String),
+}
+
+impl core::fmt::Display for CudnnError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CudnnError::BadParam(m) => write!(f, "CUDNN_STATUS_BAD_PARAM: {m}"),
+            CudnnError::NotSupported(m) => write!(f, "CUDNN_STATUS_NOT_SUPPORTED: {m}"),
+            CudnnError::WorkspaceTooSmall { need, got } => {
+                write!(f, "workspace too small: need {need} bytes, got {got}")
+            }
+            CudnnError::ExecutionFailed(m) => write!(f, "CUDNN_STATUS_EXECUTION_FAILED: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CudnnError {}
+
+/// Convenience alias used across the API.
+pub type Result<T> = core::result::Result<T, CudnnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_status_names() {
+        assert!(CudnnError::BadParam("x".into()).to_string().contains("BAD_PARAM"));
+        assert!(CudnnError::NotSupported("x".into()).to_string().contains("NOT_SUPPORTED"));
+        assert!(CudnnError::WorkspaceTooSmall { need: 2, got: 1 }.to_string().contains("need 2"));
+    }
+}

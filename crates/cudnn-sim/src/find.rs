@@ -1,0 +1,209 @@
+//! Algorithm selection: `cudnnGetConvolution*Algorithm`,
+//! `cudnnFindConvolution*Algorithm` and workspace-size queries.
+
+use crate::descriptor::{ConvolutionDescriptor, FilterDescriptor, TensorDescriptor};
+use crate::error::{CudnnError, Result};
+use crate::handle::{CudnnHandle, Engine};
+use crate::map::{cpu_engine_for, supported_on, workspace_bytes_on};
+use ucudnn_conv::ConvOp;
+use ucudnn_gpu_model::{enumerate, ConvAlgo};
+use ucudnn_tensor::{ConvGeometry, Tensor};
+
+/// One row of a `Find` benchmark result (`cudnnConvolution*AlgoPerf_t`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgoPerf {
+    /// The algorithm.
+    pub algo: ConvAlgo,
+    /// Benchmarked (or modeled) execution time in microseconds.
+    pub time_us: f64,
+    /// Workspace requirement in bytes.
+    pub memory_bytes: usize,
+}
+
+/// Algorithm-selection preference (`cudnnConvolutionFwdPreference_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoPreference {
+    /// `PREFER_FASTEST`: ignore workspace size.
+    PreferFastest,
+    /// `SPECIFY_WORKSPACE_LIMIT`: fastest algorithm fitting the limit.
+    SpecifyWorkspaceLimit(usize),
+    /// `NO_WORKSPACE`: only zero-workspace algorithms.
+    NoWorkspace,
+}
+
+impl CudnnHandle {
+    /// Benchmark every supported algorithm for `op` on the described
+    /// geometry and return them sorted fastest-first
+    /// (`cudnnFindConvolution*Algorithm`).
+    ///
+    /// On the simulated engine this queries the performance model; on the
+    /// CPU engine it actually executes each algorithm on deterministic
+    /// synthetic data and measures wall time — the honest equivalent of
+    /// cuDNN's exhaustive auto-tuner.
+    pub fn find_algorithms(
+        &self,
+        op: ConvOp,
+        x: &TensorDescriptor,
+        w: &FilterDescriptor,
+        conv: &ConvolutionDescriptor,
+    ) -> Result<Vec<AlgoPerf>> {
+        let g = conv.geometry(x, w)?;
+        match self.engine() {
+            Engine::Simulated(d) => Ok(enumerate(d, op, &g)
+                .into_iter()
+                .map(|p| AlgoPerf { algo: p.algo, time_us: p.time_us, memory_bytes: p.workspace_bytes })
+                .collect()),
+            Engine::RealCpu => {
+                let mut perfs: Vec<AlgoPerf> = ConvAlgo::ALL
+                    .iter()
+                    .filter(|&&a| supported_on(self.engine(), a, op, &g))
+                    .map(|&a| {
+                        let mem = workspace_bytes_on(self.engine(), a, op, &g).unwrap_or(0);
+                        let time_us = bench_cpu(a, op, &g, mem);
+                        AlgoPerf { algo: a, time_us, memory_bytes: mem }
+                    })
+                    .collect();
+                perfs.sort_by(|a, b| a.time_us.total_cmp(&b.time_us));
+                Ok(perfs)
+            }
+        }
+    }
+
+    /// `cudnnGetConvolution*Algorithm`: pick one algorithm under a
+    /// workspace preference.
+    pub fn get_algorithm(
+        &self,
+        op: ConvOp,
+        x: &TensorDescriptor,
+        w: &FilterDescriptor,
+        conv: &ConvolutionDescriptor,
+        pref: AlgoPreference,
+    ) -> Result<ConvAlgo> {
+        let perfs = self.find_algorithms(op, x, w, conv)?;
+        let limit = match pref {
+            AlgoPreference::PreferFastest => usize::MAX,
+            AlgoPreference::SpecifyWorkspaceLimit(b) => b,
+            AlgoPreference::NoWorkspace => 0,
+        };
+        perfs
+            .into_iter()
+            .find(|p| p.memory_bytes <= limit)
+            .map(|p| p.algo)
+            .ok_or_else(|| CudnnError::NotSupported("no algorithm fits the workspace limit".into()))
+    }
+
+    /// `cudnnGetConvolution*WorkspaceSize`: bytes required by `algo`.
+    pub fn get_workspace_size(
+        &self,
+        op: ConvOp,
+        x: &TensorDescriptor,
+        w: &FilterDescriptor,
+        conv: &ConvolutionDescriptor,
+        algo: ConvAlgo,
+    ) -> Result<usize> {
+        let g = conv.geometry(x, w)?;
+        workspace_bytes_on(self.engine(), algo, op, &g)
+            .ok_or_else(|| CudnnError::NotSupported(format!("{algo} cannot run {op} on {g}")))
+    }
+}
+
+/// Execute one CPU kernel on synthetic data and return wall microseconds.
+fn bench_cpu(algo: ConvAlgo, op: ConvOp, g: &ConvGeometry, ws_bytes: usize) -> f64 {
+    let kind = cpu_engine_for(algo).expect("checked supported");
+    let x = Tensor::random(g.input, 0x5eed);
+    let w = Tensor::random(g.filter.as_shape4(), 0x5eed + 1);
+    let dy = Tensor::random(g.output(), 0x5eed + 2);
+    let (a, b, mut out) = match op {
+        ConvOp::Forward => (x.as_slice(), w.as_slice(), Tensor::zeros(g.output())),
+        ConvOp::BackwardData => (dy.as_slice(), w.as_slice(), Tensor::zeros(g.input)),
+        ConvOp::BackwardFilter => (x.as_slice(), dy.as_slice(), Tensor::zeros(g.filter.as_shape4())),
+    };
+    let mut ws = vec![0.0f32; ws_bytes.div_ceil(4)];
+    let start = std::time::Instant::now();
+    ucudnn_conv::exec(kind, op, g, a, b, out.as_mut_slice(), 1.0, 0.0, &mut ws)
+        .expect("benchmark kernel failed on a supported combination");
+    start.elapsed().as_secs_f64() * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucudnn_gpu_model::p100_sxm2;
+
+    fn descs(
+        n: usize,
+    ) -> (TensorDescriptor, FilterDescriptor, ConvolutionDescriptor) {
+        (
+            TensorDescriptor::new_4d(n, 8, 16, 16).unwrap(),
+            FilterDescriptor::new_4d(8, 8, 3, 3).unwrap(),
+            ConvolutionDescriptor::new_2d(1, 1, 1, 1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn simulated_find_is_sorted_and_deterministic() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let (x, w, c) = descs(32);
+        let a = h.find_algorithms(ConvOp::Forward, &x, &w, &c).unwrap();
+        let b = h.find_algorithms(ConvOp::Forward, &x, &w, &c).unwrap();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|p| p[0].time_us <= p[1].time_us));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn real_cpu_find_runs_every_supported_algorithm() {
+        let h = CudnnHandle::real_cpu();
+        let (x, w, c) = descs(2);
+        let perfs = h.find_algorithms(ConvOp::Forward, &x, &w, &c).unwrap();
+        // Direct, Gemm-family, FFT-family and Winograd-family all apply.
+        assert!(perfs.len() >= 4);
+        assert!(perfs.iter().all(|p| p.time_us > 0.0));
+    }
+
+    #[test]
+    fn get_algorithm_respects_workspace_limits() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let (x, w, c) = descs(32);
+        let free = h.get_algorithm(ConvOp::Forward, &x, &w, &c, AlgoPreference::NoWorkspace).unwrap();
+        assert_eq!(
+            h.get_workspace_size(ConvOp::Forward, &x, &w, &c, free).unwrap(),
+            0,
+            "NO_WORKSPACE must return a zero-workspace algorithm"
+        );
+        let fastest =
+            h.get_algorithm(ConvOp::Forward, &x, &w, &c, AlgoPreference::PreferFastest).unwrap();
+        let perfs = h.find_algorithms(ConvOp::Forward, &x, &w, &c).unwrap();
+        assert_eq!(fastest, perfs[0].algo);
+    }
+
+    #[test]
+    fn specify_limit_falls_back_to_slower_algorithm() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let (x, w, c) = descs(64);
+        let perfs = h.find_algorithms(ConvOp::Forward, &x, &w, &c).unwrap();
+        let best = perfs[0];
+        if best.memory_bytes > 0 {
+            let algo = h
+                .get_algorithm(
+                    ConvOp::Forward,
+                    &x,
+                    &w,
+                    &c,
+                    AlgoPreference::SpecifyWorkspaceLimit(best.memory_bytes - 1),
+                )
+                .unwrap();
+            assert_ne!(algo, best.algo);
+        }
+    }
+
+    #[test]
+    fn workspace_size_query_rejects_unsupported() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let (x, w, c) = descs(4);
+        assert!(matches!(
+            h.get_workspace_size(ConvOp::Forward, &x, &w, &c, ConvAlgo::Direct),
+            Err(CudnnError::NotSupported(_))
+        ));
+    }
+}

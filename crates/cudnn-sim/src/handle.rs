@@ -1,0 +1,102 @@
+//! The library handle and its execution engines.
+
+use parking_lot::Mutex;
+use ucudnn_gpu_model::DeviceSpec;
+
+/// Which substrate executes kernels issued through a [`CudnnHandle`].
+#[derive(Debug, Clone)]
+pub enum Engine {
+    /// Deterministic GPU performance model: kernels advance a virtual clock
+    /// by their modeled time and never touch data buffers. This is the
+    /// engine behind every timing experiment (DESIGN.md §2).
+    Simulated(DeviceSpec),
+    /// Real CPU execution: kernels compute actual results with the
+    /// `ucudnn-conv` engines and advance the clock by measured wall time.
+    /// This is the engine behind every numerical-semantics test.
+    RealCpu,
+}
+
+/// The cuDNN-style library handle (`cudnnHandle_t`).
+///
+/// A handle owns an execution engine and a monotonically accumulating clock
+/// measuring total kernel time issued through it (microseconds — virtual for
+/// the simulated engine, wall time for the CPU engine).
+#[derive(Debug)]
+pub struct CudnnHandle {
+    engine: Engine,
+    clock_us: Mutex<f64>,
+    kernels_launched: Mutex<u64>,
+}
+
+impl CudnnHandle {
+    /// Create a handle backed by the GPU performance model for `device`.
+    pub fn simulated(device: DeviceSpec) -> Self {
+        Self { engine: Engine::Simulated(device), clock_us: Mutex::new(0.0), kernels_launched: Mutex::new(0) }
+    }
+
+    /// Create a handle backed by real CPU execution.
+    pub fn real_cpu() -> Self {
+        Self { engine: Engine::RealCpu, clock_us: Mutex::new(0.0), kernels_launched: Mutex::new(0) }
+    }
+
+    /// The execution engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The modeled device, when simulated.
+    pub fn device(&self) -> Option<&DeviceSpec> {
+        match &self.engine {
+            Engine::Simulated(d) => Some(d),
+            Engine::RealCpu => None,
+        }
+    }
+
+    /// Total kernel time issued through this handle, in microseconds.
+    pub fn elapsed_us(&self) -> f64 {
+        *self.clock_us.lock()
+    }
+
+    /// Number of kernels issued through this handle.
+    pub fn kernels_launched(&self) -> u64 {
+        *self.kernels_launched.lock()
+    }
+
+    /// Reset the clock and kernel counter (start of a timed region).
+    pub fn reset_clock(&self) {
+        *self.clock_us.lock() = 0.0;
+        *self.kernels_launched.lock() = 0;
+    }
+
+    /// Record one kernel execution of `us` microseconds.
+    pub(crate) fn advance(&self, us: f64) {
+        *self.clock_us.lock() += us;
+        *self.kernels_launched.lock() += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucudnn_gpu_model::p100_sxm2;
+
+    #[test]
+    fn clock_accumulates_and_resets() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        assert_eq!(h.elapsed_us(), 0.0);
+        h.advance(10.5);
+        h.advance(4.5);
+        assert_eq!(h.elapsed_us(), 15.0);
+        assert_eq!(h.kernels_launched(), 2);
+        h.reset_clock();
+        assert_eq!(h.elapsed_us(), 0.0);
+        assert_eq!(h.kernels_launched(), 0);
+    }
+
+    #[test]
+    fn device_accessor() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        assert_eq!(h.device().unwrap().name, "P100-SXM2");
+        assert!(CudnnHandle::real_cpu().device().is_none());
+    }
+}

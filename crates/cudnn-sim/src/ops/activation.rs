@@ -1,0 +1,201 @@
+//! `cudnnActivationForward` / `cudnnActivationBackward`.
+
+use super::check_len;
+use crate::descriptor::TensorDescriptor;
+use crate::error::{CudnnError, Result};
+use crate::handle::CudnnHandle;
+
+/// Activation function (`cudnnActivationMode_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationMode {
+    /// `max(0, x)`.
+    Relu,
+    /// `1 / (1 + e^{-x})`.
+    Sigmoid,
+    /// `tanh(x)`.
+    Tanh,
+}
+
+/// `cudnnActivationDescriptor_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivationDescriptor {
+    /// Which function.
+    pub mode: ActivationMode,
+}
+
+impl ActivationDescriptor {
+    /// Create a descriptor.
+    pub fn new(mode: ActivationMode) -> Self {
+        Self { mode }
+    }
+
+    fn eval(&self, x: f32) -> f32 {
+        match self.mode {
+            ActivationMode::Relu => x.max(0.0),
+            ActivationMode::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            ActivationMode::Tanh => x.tanh(),
+        }
+    }
+
+    /// `dy/dx` expressed, as cuDNN does, through `x` and `y = f(x)`.
+    fn grad(&self, x: f32, y: f32) -> f32 {
+        match self.mode {
+            ActivationMode::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationMode::Sigmoid => y * (1.0 - y),
+            ActivationMode::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+impl CudnnHandle {
+    /// `y = alpha * f(x) + beta * y`.
+    ///
+    /// # Errors
+    /// Shape mismatches and engine-contract violations.
+    #[allow(clippy::too_many_arguments)] // BLAS/cuDNN-style signature
+    pub fn activation_forward(
+        &self,
+        act: &ActivationDescriptor,
+        alpha: f32,
+        x_desc: &TensorDescriptor,
+        x: &[f32],
+        beta: f32,
+        y_desc: &TensorDescriptor,
+        y: &mut [f32],
+    ) -> Result<()> {
+        if x_desc.shape() != y_desc.shape() {
+            return Err(CudnnError::BadParam("activation shapes must match".into()));
+        }
+        check_len("x", x.len(), x_desc.len())?;
+        check_len("y", y.len(), y_desc.len())?;
+        let bytes = 2 * 4 * x_desc.len();
+        self.aux_op(bytes, !x.is_empty() || !y.is_empty(), || {
+            for (yo, &xi) in y.iter_mut().zip(x) {
+                *yo = alpha * act.eval(xi) + beta * *yo;
+            }
+            Ok(())
+        })
+    }
+
+    /// `dx = alpha * f'(x) ⊙ dy + beta * dx` (cuDNN signature: takes `y`,
+    /// `dy` and `x`).
+    ///
+    /// # Errors
+    /// Shape mismatches and engine-contract violations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn activation_backward(
+        &self,
+        act: &ActivationDescriptor,
+        alpha: f32,
+        y_desc: &TensorDescriptor,
+        y: &[f32],
+        dy_desc: &TensorDescriptor,
+        dy: &[f32],
+        x_desc: &TensorDescriptor,
+        x: &[f32],
+        beta: f32,
+        dx_desc: &TensorDescriptor,
+        dx: &mut [f32],
+    ) -> Result<()> {
+        let s = x_desc.shape();
+        if y_desc.shape() != s || dy_desc.shape() != s || dx_desc.shape() != s {
+            return Err(CudnnError::BadParam("activation gradient shapes must match".into()));
+        }
+        check_len("y", y.len(), s.len())?;
+        check_len("dy", dy.len(), s.len())?;
+        check_len("x", x.len(), s.len())?;
+        check_len("dx", dx.len(), s.len())?;
+        let bytes = 4 * 4 * s.len();
+        let any = !y.is_empty() || !dy.is_empty() || !x.is_empty() || !dx.is_empty();
+        self.aux_op(bytes, any, || {
+            for i in 0..dx.len() {
+                dx[i] = alpha * act.grad(x[i], y[i]) * dy[i] + beta * dx[i];
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucudnn_gpu_model::p100_sxm2;
+    use ucudnn_tensor::{Shape4, Tensor};
+
+    fn desc() -> TensorDescriptor {
+        TensorDescriptor::from_shape(Shape4::new(2, 3, 4, 4)).unwrap()
+    }
+
+    #[test]
+    fn relu_forward_clamps_negatives() {
+        let h = CudnnHandle::real_cpu();
+        let d = desc();
+        let x = Tensor::random(d.shape(), 1);
+        let mut y = Tensor::zeros(d.shape());
+        let act = ActivationDescriptor::new(ActivationMode::Relu);
+        h.activation_forward(&act, 1.0, &d, x.as_slice(), 0.0, &d, y.as_mut_slice()).unwrap();
+        for (&xi, &yi) in x.as_slice().iter().zip(y.as_slice()) {
+            assert_eq!(yi, xi.max(0.0));
+        }
+    }
+
+    /// Finite-difference check of every activation's backward pass.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let h = CudnnHandle::real_cpu();
+        let d = desc();
+        for mode in [ActivationMode::Relu, ActivationMode::Sigmoid, ActivationMode::Tanh] {
+            let act = ActivationDescriptor::new(mode);
+            let x = Tensor::random(d.shape(), 7);
+            let dy = Tensor::random(d.shape(), 8);
+            let mut y = Tensor::zeros(d.shape());
+            h.activation_forward(&act, 1.0, &d, x.as_slice(), 0.0, &d, y.as_mut_slice()).unwrap();
+            let mut dx = Tensor::zeros(d.shape());
+            h.activation_backward(
+                &act, 1.0, &d, y.as_slice(), &d, dy.as_slice(), &d, x.as_slice(), 0.0, &d,
+                dx.as_mut_slice(),
+            )
+            .unwrap();
+            // d/dx <f(x), dy> at index i equals dx[i].
+            let eps = 1e-2f32;
+            for i in [0usize, 10, 50] {
+                let xi = x.as_slice()[i];
+                if mode == ActivationMode::Relu && xi.abs() < 2.0 * eps {
+                    continue; // kink
+                }
+                let fp = act.eval(xi + eps) * dy.as_slice()[i];
+                let fm = act.eval(xi - eps) * dy.as_slice()[i];
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (dx.as_slice()[i] - numeric).abs() < 1e-2,
+                    "{mode:?} at {i}: {} vs {numeric}",
+                    dx.as_slice()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_engine_prices_without_data() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let d = desc();
+        let act = ActivationDescriptor::new(ActivationMode::Relu);
+        h.activation_forward(&act, 1.0, &d, &[], 0.0, &d, &mut []).unwrap();
+        assert!(h.elapsed_us() > 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let h = CudnnHandle::real_cpu();
+        let a = desc();
+        let b = TensorDescriptor::from_shape(Shape4::new(2, 3, 4, 5)).unwrap();
+        let act = ActivationDescriptor::new(ActivationMode::Relu);
+        assert!(h.activation_forward(&act, 1.0, &a, &[], 0.0, &b, &mut []).is_err());
+    }
+}

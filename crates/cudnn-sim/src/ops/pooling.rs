@@ -1,0 +1,309 @@
+//! `cudnnPoolingForward` / `cudnnPoolingBackward`.
+
+use super::check_len;
+use crate::descriptor::TensorDescriptor;
+use crate::error::{CudnnError, Result};
+use crate::handle::CudnnHandle;
+use ucudnn_tensor::Shape4;
+
+/// Pooling mode (`cudnnPoolingMode_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolingMode {
+    /// Maximum over the window.
+    Max,
+    /// Average, dividing by the full window size (includes padding), the
+    /// Caffe/cuDNN `AVERAGE_COUNT_INCLUDE_PADDING` convention.
+    AverageIncludePadding,
+}
+
+/// `cudnnPoolingDescriptor_t` (2-D, possibly rectangular window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolingDescriptor {
+    /// Mode.
+    pub mode: PoolingMode,
+    /// Window height.
+    pub window_h: usize,
+    /// Window width.
+    pub window_w: usize,
+    /// Height padding.
+    pub pad_h: usize,
+    /// Width padding.
+    pub pad_w: usize,
+    /// Vertical stride.
+    pub stride_h: usize,
+    /// Horizontal stride.
+    pub stride_w: usize,
+}
+
+impl PoolingDescriptor {
+    /// Create a descriptor; strides must be positive.
+    pub fn new_2d(
+        mode: PoolingMode,
+        window_h: usize,
+        window_w: usize,
+        pad_h: usize,
+        pad_w: usize,
+        stride_h: usize,
+        stride_w: usize,
+    ) -> Result<Self> {
+        if stride_h == 0 || stride_w == 0 || window_h == 0 || window_w == 0 {
+            return Err(CudnnError::BadParam("pooling window/stride must be positive".into()));
+        }
+        Ok(Self { mode, window_h, window_w, pad_h, pad_w, stride_h, stride_w })
+    }
+
+    /// Square-window convenience constructor.
+    pub fn square(mode: PoolingMode, window: usize, pad: usize, stride: usize) -> Result<Self> {
+        Self::new_2d(mode, window, window, pad, pad, stride, stride)
+    }
+
+    /// Output shape (Caffe/cuDNN ceil-mode).
+    pub fn output_dim(&self, x: &TensorDescriptor) -> Shape4 {
+        let s = x.shape();
+        let oh = (s.h + 2 * self.pad_h - self.window_h).div_ceil(self.stride_h) + 1;
+        let ow = (s.w + 2 * self.pad_w - self.window_w).div_ceil(self.stride_w) + 1;
+        Shape4::new(s.n, s.c, oh, ow)
+    }
+
+    /// Clipped window bounds along one axis.
+    fn window(&self, p: usize, stride: usize, pad: usize, window: usize, len: usize) -> (usize, usize) {
+        let start = (p * stride) as isize - pad as isize;
+        let lo = start.max(0) as usize;
+        let hi = ((start + window as isize).max(0) as usize).min(len);
+        (lo, hi.max(lo))
+    }
+}
+
+impl CudnnHandle {
+    /// `y = alpha * pool(x) + beta * y`.
+    ///
+    /// # Errors
+    /// Shape mismatches and engine-contract violations.
+    #[allow(clippy::too_many_arguments)] // BLAS/cuDNN-style signature
+    pub fn pooling_forward(
+        &self,
+        pool: &PoolingDescriptor,
+        alpha: f32,
+        x_desc: &TensorDescriptor,
+        x: &[f32],
+        beta: f32,
+        y_desc: &TensorDescriptor,
+        y: &mut [f32],
+    ) -> Result<()> {
+        let ys = pool.output_dim(x_desc);
+        if y_desc.shape() != ys {
+            return Err(CudnnError::BadParam(format!(
+                "pooling output descriptor {} does not match computed {ys}",
+                y_desc.shape()
+            )));
+        }
+        check_len("x", x.len(), x_desc.len())?;
+        check_len("y", y.len(), ys.len())?;
+        let xs = x_desc.shape();
+        let bytes = 4 * (ys.len() * pool.window_h * pool.window_w / 2 + ys.len());
+        self.aux_op(bytes, !x.is_empty() || !y.is_empty(), || {
+            let inv = 1.0 / (pool.window_h * pool.window_w) as f32;
+            for ni in 0..ys.n {
+                for ci in 0..ys.c {
+                    for p in 0..ys.h {
+                        let (hlo, hhi) = pool.window(p, pool.stride_h, pool.pad_h, pool.window_h, xs.h);
+                        for q in 0..ys.w {
+                            let (wlo, whi) = pool.window(q, pool.stride_w, pool.pad_w, pool.window_w, xs.w);
+                            let mut acc = match pool.mode {
+                                PoolingMode::Max => f32::NEG_INFINITY,
+                                PoolingMode::AverageIncludePadding => 0.0,
+                            };
+                            for hi in hlo..hhi {
+                                for wi in wlo..whi {
+                                    let v = x[xs.index(ni, ci, hi, wi)];
+                                    acc = match pool.mode {
+                                        PoolingMode::Max => acc.max(v),
+                                        PoolingMode::AverageIncludePadding => acc + v,
+                                    };
+                                }
+                            }
+                            let val = match pool.mode {
+                                PoolingMode::Max => {
+                                    if hlo == hhi || wlo == whi {
+                                        0.0
+                                    } else {
+                                        acc
+                                    }
+                                }
+                                PoolingMode::AverageIncludePadding => acc * inv,
+                            };
+                            let o = ys.index(ni, ci, p, q);
+                            y[o] = alpha * val + beta * y[o];
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// `dx = alpha * pool'(dy) + beta * dx` (max routes to the argmax
+    /// recomputed from `x`; average distributes uniformly).
+    ///
+    /// # Errors
+    /// Shape mismatches and engine-contract violations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pooling_backward(
+        &self,
+        pool: &PoolingDescriptor,
+        alpha: f32,
+        y_desc: &TensorDescriptor,
+        _y: &[f32],
+        dy_desc: &TensorDescriptor,
+        dy: &[f32],
+        x_desc: &TensorDescriptor,
+        x: &[f32],
+        beta: f32,
+        dx_desc: &TensorDescriptor,
+        dx: &mut [f32],
+    ) -> Result<()> {
+        let ys = pool.output_dim(x_desc);
+        if y_desc.shape() != ys || dy_desc.shape() != ys || dx_desc.shape() != x_desc.shape() {
+            return Err(CudnnError::BadParam("pooling gradient shapes must match".into()));
+        }
+        check_len("dy", dy.len(), ys.len())?;
+        check_len("x", x.len(), x_desc.len())?;
+        check_len("dx", dx.len(), x_desc.len())?;
+        let xs = x_desc.shape();
+        let bytes = 4 * (2 * xs.len() + 2 * ys.len());
+        let any = !dy.is_empty() || !x.is_empty() || !dx.is_empty();
+        self.aux_op(bytes, any, || {
+            if beta != 1.0 {
+                for v in dx.iter_mut() {
+                    *v *= beta;
+                }
+            }
+            let inv = 1.0 / (pool.window_h * pool.window_w) as f32;
+            for ni in 0..ys.n {
+                for ci in 0..ys.c {
+                    for p in 0..ys.h {
+                        let (hlo, hhi) = pool.window(p, pool.stride_h, pool.pad_h, pool.window_h, xs.h);
+                        for q in 0..ys.w {
+                            let (wlo, whi) = pool.window(q, pool.stride_w, pool.pad_w, pool.window_w, xs.w);
+                            let g = alpha * dy[ys.index(ni, ci, p, q)];
+                            match pool.mode {
+                                PoolingMode::Max => {
+                                    let (mut bh, mut bw, mut bv) =
+                                        (usize::MAX, usize::MAX, f32::NEG_INFINITY);
+                                    for hi in hlo..hhi {
+                                        for wi in wlo..whi {
+                                            let v = x[xs.index(ni, ci, hi, wi)];
+                                            if v > bv {
+                                                (bh, bw, bv) = (hi, wi, v);
+                                            }
+                                        }
+                                    }
+                                    if bh != usize::MAX {
+                                        dx[xs.index(ni, ci, bh, bw)] += g;
+                                    }
+                                }
+                                PoolingMode::AverageIncludePadding => {
+                                    for hi in hlo..hhi {
+                                        for wi in wlo..whi {
+                                            dx[xs.index(ni, ci, hi, wi)] += g * inv;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucudnn_gpu_model::p100_sxm2;
+    use ucudnn_tensor::Tensor;
+
+    #[test]
+    fn output_dim_matches_caffe_ceil_mode() {
+        let x = TensorDescriptor::new_4d(1, 1, 55, 55).unwrap();
+        let p = PoolingDescriptor::square(PoolingMode::Max, 3, 0, 2).unwrap();
+        assert_eq!(p.output_dim(&x), Shape4::new(1, 1, 27, 27));
+    }
+
+    #[test]
+    fn max_pool_forward_and_backward() {
+        let h = CudnnHandle::real_cpu();
+        let xd = TensorDescriptor::new_4d(1, 1, 2, 2).unwrap();
+        let p = PoolingDescriptor::square(PoolingMode::Max, 2, 0, 2).unwrap();
+        let yd = TensorDescriptor::from_shape(p.output_dim(&xd)).unwrap();
+        let x = Tensor::from_vec(xd.shape(), vec![1.0, 4.0, 2.0, 3.0]);
+        let mut y = Tensor::zeros(yd.shape());
+        h.pooling_forward(&p, 1.0, &xd, x.as_slice(), 0.0, &yd, y.as_mut_slice()).unwrap();
+        assert_eq!(y.as_slice(), &[4.0]);
+        let dy = Tensor::full(yd.shape(), 5.0);
+        let mut dx = Tensor::zeros(xd.shape());
+        h.pooling_backward(
+            &p, 1.0, &yd, y.as_slice(), &yd, dy.as_slice(), &xd, x.as_slice(), 0.0, &xd,
+            dx.as_mut_slice(),
+        )
+        .unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn average_pool_is_linear_adjoint() {
+        // <pool(x), dy> == <x, pool'(dy)> for the (linear) average mode.
+        let h = CudnnHandle::real_cpu();
+        let xd = TensorDescriptor::new_4d(2, 3, 7, 9).unwrap();
+        let p = PoolingDescriptor::square(PoolingMode::AverageIncludePadding, 3, 1, 2).unwrap();
+        let yd = TensorDescriptor::from_shape(p.output_dim(&xd)).unwrap();
+        let x = Tensor::random(xd.shape(), 1);
+        let dy = Tensor::random(yd.shape(), 2);
+        let mut y = Tensor::zeros(yd.shape());
+        h.pooling_forward(&p, 1.0, &xd, x.as_slice(), 0.0, &yd, y.as_mut_slice()).unwrap();
+        let mut dx = Tensor::zeros(xd.shape());
+        h.pooling_backward(
+            &p, 1.0, &yd, y.as_slice(), &yd, dy.as_slice(), &xd, x.as_slice(), 0.0, &xd,
+            dx.as_mut_slice(),
+        )
+        .unwrap();
+        let lhs: f64 = y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = x.as_slice().iter().zip(dx.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn global_average_pool_via_full_window() {
+        let h = CudnnHandle::real_cpu();
+        let xd = TensorDescriptor::new_4d(1, 2, 4, 4).unwrap();
+        let p = PoolingDescriptor::new_2d(PoolingMode::AverageIncludePadding, 4, 4, 0, 0, 4, 4)
+            .unwrap();
+        let yd = TensorDescriptor::from_shape(p.output_dim(&xd)).unwrap();
+        assert_eq!(yd.shape(), Shape4::new(1, 2, 1, 1));
+        let x = Tensor::full(xd.shape(), 3.0);
+        let mut y = Tensor::zeros(yd.shape());
+        h.pooling_forward(&p, 1.0, &xd, x.as_slice(), 0.0, &yd, y.as_mut_slice()).unwrap();
+        assert_eq!(y.as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn simulated_pooling_prices_by_window_traffic() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let xd = TensorDescriptor::new_4d(64, 64, 55, 55).unwrap();
+        let p = PoolingDescriptor::square(PoolingMode::Max, 3, 0, 2).unwrap();
+        let yd = TensorDescriptor::from_shape(p.output_dim(&xd)).unwrap();
+        h.pooling_forward(&p, 1.0, &xd, &[], 0.0, &yd, &mut []).unwrap();
+        assert!(h.elapsed_us() > 0.0);
+    }
+
+    #[test]
+    fn wrong_output_descriptor_rejected() {
+        let h = CudnnHandle::real_cpu();
+        let xd = TensorDescriptor::new_4d(1, 1, 8, 8).unwrap();
+        let p = PoolingDescriptor::square(PoolingMode::Max, 2, 0, 2).unwrap();
+        let bad = TensorDescriptor::new_4d(1, 1, 3, 3).unwrap();
+        assert!(h.pooling_forward(&p, 1.0, &xd, &[], 0.0, &bad, &mut []).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Concurrent-branch execution modeling (§III-A).
+//!
+//! The paper motivates WD with networks like Inception whose parallel
+//! towers could run *concurrently* — but only if every concurrent kernel
+//! owns a disjoint workspace segment, which is exactly what WD's global
+//! division provides (per-layer WR buffers would each need the full
+//! per-layer limit). This module schedules a timed iteration onto `streams`
+//! simulated CUDA streams: independent layers (same dependency depth)
+//! overlap, dependent layers serialize.
+//!
+//! The overlap model is optimistic-but-bounded: a level of layers with
+//! times `t_i` on `s` streams costs `max(max_i t_i, Σ t_i / s)` — never
+//! better than perfect work-conserving scheduling, never worse than the
+//! longest member.
+
+use crate::exec_sim::IterationTiming;
+use crate::graph::NetworkDef;
+
+/// Dependency depth of every node (longest path from the input).
+pub fn levels(net: &NetworkDef) -> Vec<usize> {
+    let mut depth = vec![0usize; net.len()];
+    for (id, node) in net.nodes().iter().enumerate() {
+        depth[id] = node.inputs.iter().map(|&i| depth[i] + 1).max().unwrap_or(0);
+    }
+    depth
+}
+
+/// Overlapped makespan of one level's member times on `streams` streams.
+fn level_time(times: &[f64], streams: usize) -> f64 {
+    let sum: f64 = times.iter().sum();
+    let max = times.iter().copied().fold(0.0, f64::max);
+    max.max(sum / streams as f64)
+}
+
+/// Result of scheduling an iteration onto multiple streams.
+#[derive(Debug, Clone)]
+pub struct OverlapReport {
+    /// Serialized (single-stream) iteration time, microseconds.
+    pub serial_us: f64,
+    /// Overlapped iteration time, microseconds.
+    pub overlapped_us: f64,
+    /// Number of dependency levels.
+    pub levels: usize,
+    /// Widest level (peak concurrency available).
+    pub max_width: usize,
+}
+
+impl OverlapReport {
+    /// Speedup from overlapping.
+    pub fn speedup(&self) -> f64 {
+        self.serial_us / self.overlapped_us
+    }
+}
+
+/// Schedule a measured iteration onto `streams` streams using the
+/// network's dependency levels. Forward levels run in order; backward
+/// levels run in reverse order (gradients flow backwards through the same
+/// DAG).
+///
+/// # Panics
+/// Panics when `streams` is zero or the timing does not match the network.
+pub fn overlap_schedule(net: &NetworkDef, timing: &IterationTiming, streams: usize) -> OverlapReport {
+    assert!(streams > 0, "at least one stream");
+    assert_eq!(timing.layers.len(), net.len(), "timing/network mismatch");
+    let depth = levels(net);
+    let num_levels = depth.iter().max().map(|d| d + 1).unwrap_or(0);
+
+    let mut fwd = vec![Vec::new(); num_levels];
+    let mut bwd = vec![Vec::new(); num_levels];
+    for (id, l) in timing.layers.iter().enumerate() {
+        fwd[depth[id]].push(l.forward_us);
+        bwd[depth[id]].push(l.backward_us);
+    }
+    let overlapped_us: f64 = fwd
+        .iter()
+        .chain(bwd.iter().rev())
+        .map(|ts| level_time(ts, streams))
+        .sum();
+    OverlapReport {
+        serial_us: timing.total_us(),
+        overlapped_us,
+        levels: num_levels,
+        max_width: fwd.iter().map(Vec::len).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec_sim::{setup_network, time_iteration};
+    use crate::models::{alexnet, inception_module};
+    use crate::provider::BaselineCudnn;
+    use ucudnn_cudnn_sim::CudnnHandle;
+    use ucudnn_gpu_model::p100_sxm2;
+
+    const MIB: usize = 1024 * 1024;
+
+    #[test]
+    fn levels_respect_dependencies() {
+        let net = inception_module(8);
+        let d = levels(&net);
+        for (id, node) in net.nodes().iter().enumerate() {
+            for &i in &node.inputs {
+                assert!(d[id] > d[i], "node {id} not deeper than its input {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_time_bounds() {
+        assert_eq!(level_time(&[4.0, 2.0, 2.0], 1), 8.0);
+        // Two streams: bounded by max(4, 8/2) = 4.
+        assert_eq!(level_time(&[4.0, 2.0, 2.0], 2), 4.0);
+        // Many streams: bounded by the longest member.
+        assert_eq!(level_time(&[4.0, 2.0, 2.0], 16), 4.0);
+    }
+
+    #[test]
+    fn inception_overlaps_sequential_chains_do_not() {
+        let p = BaselineCudnn::new(CudnnHandle::simulated(p100_sxm2()), 64 * MIB);
+        let inception = inception_module(64);
+        setup_network(&p, &inception).unwrap();
+        let t = time_iteration(&p, &inception).unwrap();
+        let r = overlap_schedule(&inception, &t, 4);
+        assert!(r.max_width >= 4, "four towers must be concurrent");
+        assert!(r.speedup() > 1.05, "inception must benefit: {:.3}", r.speedup());
+        assert!(r.overlapped_us <= r.serial_us);
+
+        // AlexNet is a pure chain: overlap cannot help.
+        let p2 = BaselineCudnn::new(CudnnHandle::simulated(p100_sxm2()), 64 * MIB);
+        let chain = alexnet(64);
+        setup_network(&p2, &chain).unwrap();
+        let tc = time_iteration(&p2, &chain).unwrap();
+        let rc = overlap_schedule(&chain, &tc, 4);
+        assert!((rc.speedup() - 1.0).abs() < 1e-9, "chains have nothing to overlap");
+    }
+
+    #[test]
+    fn one_stream_equals_serial() {
+        let p = BaselineCudnn::new(CudnnHandle::simulated(p100_sxm2()), 64 * MIB);
+        let net = inception_module(32);
+        setup_network(&p, &net).unwrap();
+        let t = time_iteration(&p, &net).unwrap();
+        let r = overlap_schedule(&net, &t, 1);
+        assert!((r.overlapped_us - r.serial_us).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Cost model for non-convolution layers on the simulated engine.
+//!
+//! The paper's timing breakdowns (Figs. 10–13) include pooling, ReLU, fully
+//! connected and normalization layers alongside convolutions. These layers
+//! are outside the paper's optimization scope but must be priced to report
+//! "entire iteration" speedups honestly (they dilute the convolution-only
+//! speedup — e.g. P100 AlexNet: 1.63× convolutions → 1.40× iteration).
+//!
+//! Elementwise and pooling layers are memory-bandwidth bound; fully
+//! connected layers are modeled like the GEMM they are.
+
+use crate::graph::{LayerSpec, NetworkDef, NodeId};
+use ucudnn_gpu_model::DeviceSpec;
+
+/// Modeled time of the forward pass of a non-conv layer, microseconds.
+pub fn layer_forward_us(d: &DeviceSpec, net: &NetworkDef, id: NodeId) -> f64 {
+    let node = &net.nodes()[id];
+    let out = net.output_shape(id);
+    let bytes_out = out.bytes() as f64;
+    let overhead = d.launch_overhead_us;
+    match &node.spec {
+        LayerSpec::Input => 0.0,
+        LayerSpec::Conv { .. } => unreachable!("convolutions are priced by the GPU model"),
+        // Read input window + write output.
+        LayerSpec::Pool { kernel, .. } => {
+            (bytes_out * (kernel * kernel) as f64 * 0.5 + bytes_out) / d.bytes_per_us() + overhead
+        }
+        LayerSpec::Relu | LayerSpec::Add => 2.0 * bytes_out / d.bytes_per_us() + overhead,
+        // Two passes: statistics, then normalize.
+        LayerSpec::BatchNorm => 4.0 * bytes_out / d.bytes_per_us() + overhead,
+        LayerSpec::FullyConnected { out: nout } => {
+            let s = net.output_shape(node.inputs[0]);
+            let flops = 2.0 * (s.n * s.sample_len() * nout) as f64;
+            let weight_bytes = (s.sample_len() * nout * 4) as f64;
+            let compute = flops / (d.flops_per_us() * 0.55);
+            let memory = (weight_bytes + bytes_out) / d.bytes_per_us();
+            compute.max(memory) + overhead
+        }
+        LayerSpec::Concat => 2.0 * bytes_out / d.bytes_per_us() + overhead,
+        LayerSpec::GlobalAvgPool => {
+            let s = net.output_shape(node.inputs[0]);
+            s.bytes() as f64 / d.bytes_per_us() + overhead
+        }
+    }
+}
+
+/// Modeled time of the backward pass of a non-conv layer, microseconds.
+/// Backward passes touch roughly twice the data (gradient in + gradient
+/// out, plus saved activations), matching the common 2× rule of thumb.
+pub fn layer_backward_us(d: &DeviceSpec, net: &NetworkDef, id: NodeId) -> f64 {
+    let node = &net.nodes()[id];
+    match &node.spec {
+        LayerSpec::Input => 0.0,
+        LayerSpec::Conv { .. } => unreachable!("convolutions are priced by the GPU model"),
+        // FC backward: two GEMMs (data + weight gradient).
+        LayerSpec::FullyConnected { .. } => 2.0 * layer_forward_us(d, net, id),
+        _ => 2.0 * layer_forward_us(d, net, id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetworkDef;
+    use ucudnn_gpu_model::p100_sxm2;
+    use ucudnn_tensor::Shape4;
+
+    fn net() -> (NetworkDef, NodeId, NodeId, NodeId) {
+        let mut n = NetworkDef::new("t", Shape4::new(64, 64, 28, 28));
+        let r = n.add("relu", LayerSpec::Relu, &[0]);
+        let p = n.add("pool", LayerSpec::Pool { max: true, kernel: 2, stride: 2, pad: 0 }, &[r]);
+        let f = n.add("fc", LayerSpec::FullyConnected { out: 1000 }, &[p]);
+        (n, r, p, f)
+    }
+
+    #[test]
+    fn costs_are_positive_and_scale_with_size() {
+        let d = p100_sxm2();
+        let (n, r, p, f) = net();
+        for id in [r, p, f] {
+            assert!(layer_forward_us(&d, &n, id) > 0.0);
+            assert!(layer_backward_us(&d, &n, id) >= layer_forward_us(&d, &n, id));
+        }
+        let big = n.with_batch(128);
+        assert!(layer_forward_us(&d, &big, r) > layer_forward_us(&d, &n, r));
+    }
+
+    #[test]
+    fn fc_cost_reflects_weight_traffic() {
+        // AlexNet fc6 (9216→4096) at batch 256 should be far more expensive
+        // than a ReLU of its output.
+        let d = p100_sxm2();
+        let mut n = NetworkDef::new("t", Shape4::new(256, 256, 6, 6));
+        let f = n.add("fc6", LayerSpec::FullyConnected { out: 4096 }, &[0]);
+        let r = n.add("relu", LayerSpec::Relu, &[f]);
+        assert!(layer_forward_us(&d, &n, f) > 10.0 * layer_forward_us(&d, &n, r));
+    }
+
+    #[test]
+    fn input_layer_is_free() {
+        let d = p100_sxm2();
+        let (n, ..) = net();
+        assert_eq!(layer_forward_us(&d, &n, 0), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Data-parallel training simulation.
+//!
+//! The paper's introduction motivates micro-batching with distributed
+//! data-parallel training: frameworks favor large *global* batches, and the
+//! per-accelerator batch should stay large for utilization — which is
+//! exactly when workspace pressure peaks. This module models synchronous
+//! data-parallel SGD over `g` simulated GPUs: each replica runs the
+//! iteration on its shard of the global batch, then parameter gradients are
+//! ring-allreduced. It quantifies (a) why large per-GPU batches matter and
+//! (b) how a faster per-GPU iteration (μ-cuDNN) moves the scaling curve.
+
+use crate::exec_sim::{setup_network, time_iteration};
+use crate::graph::NetworkDef;
+use crate::provider::{ConvProvider, ProviderError};
+
+/// A homogeneous multi-GPU node/cluster for the scaling model.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of data-parallel replicas.
+    pub gpus: usize,
+    /// Effective all-reduce link bandwidth per GPU, GB/s (NVLink-class ≈ 40,
+    /// PCIe-class ≈ 10).
+    pub interconnect_gbps: f64,
+    /// Per-step latency of one ring phase, microseconds.
+    pub ring_latency_us: f64,
+}
+
+impl ClusterSpec {
+    /// A DGX-1-like 8-GPU NVLink node.
+    pub fn dgx1_like() -> Self {
+        Self { gpus: 8, interconnect_gbps: 40.0, ring_latency_us: 20.0 }
+    }
+
+    /// Ring all-reduce time for `param_bytes` of gradients across `g`
+    /// replicas: `2·(g−1)/g` traversals of the buffer per GPU plus the ring
+    /// latency per step (2·(g−1) steps).
+    pub fn allreduce_us(&self, g: usize, param_bytes: usize) -> f64 {
+        if g <= 1 {
+            return 0.0;
+        }
+        let traversals = 2.0 * (g as f64 - 1.0) / g as f64;
+        let bytes_per_us = self.interconnect_gbps * 1e9 / 1e6;
+        traversals * param_bytes as f64 / bytes_per_us
+            + 2.0 * (g as f64 - 1.0) * self.ring_latency_us
+    }
+}
+
+/// One point of a scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Number of replicas.
+    pub gpus: usize,
+    /// Per-GPU mini-batch.
+    pub per_gpu_batch: usize,
+    /// Per-replica compute time, microseconds.
+    pub compute_us: f64,
+    /// Gradient all-reduce time, microseconds.
+    pub comm_us: f64,
+    /// Total iteration time (compute + exposed communication).
+    pub iter_us: f64,
+    /// Global throughput, samples per second.
+    pub samples_per_sec: f64,
+}
+
+impl ScalingPoint {
+    /// Parallel efficiency relative to a 1-GPU point.
+    pub fn efficiency_vs(&self, single: &ScalingPoint) -> f64 {
+        (self.samples_per_sec / single.samples_per_sec) / (self.gpus as f64 / single.gpus as f64)
+    }
+}
+
+/// Strong scaling of a fixed global batch: shard it over 1, 2, 4, …
+/// replicas (skipping counts that don't divide it), run the sharded
+/// iteration on a fresh provider, and add the all-reduce.
+///
+/// # Errors
+/// Propagates provider setup/execution failures.
+pub fn strong_scaling<P: ConvProvider>(
+    net_at: impl Fn(usize) -> NetworkDef,
+    make_provider: impl Fn() -> P,
+    cluster: &ClusterSpec,
+    global_batch: usize,
+) -> Result<Vec<ScalingPoint>, ProviderError> {
+    let mut points = Vec::new();
+    let mut g = 1usize;
+    while g <= cluster.gpus {
+        if global_batch.is_multiple_of(g) && global_batch / g > 0 {
+            let per = global_batch / g;
+            let net = net_at(per);
+            let provider = make_provider();
+            setup_network(&provider, &net)?;
+            let t = time_iteration(&provider, &net)?;
+            let compute_us = t.total_us();
+            let param_bytes = 4 * net.param_count();
+            let comm_us = cluster.allreduce_us(g, param_bytes);
+            let iter_us = compute_us + comm_us;
+            points.push(ScalingPoint {
+                gpus: g,
+                per_gpu_batch: per,
+                compute_us,
+                comm_us,
+                iter_us,
+                samples_per_sec: global_batch as f64 / (iter_us / 1e6),
+            });
+        }
+        g *= 2;
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::alexnet;
+    use crate::provider::BaselineCudnn;
+    use ucudnn_cudnn_sim::CudnnHandle;
+    use ucudnn_gpu_model::p100_sxm2;
+
+    const MIB: usize = 1024 * 1024;
+
+    fn points(global: usize) -> Vec<ScalingPoint> {
+        strong_scaling(
+            alexnet,
+            || BaselineCudnn::new(CudnnHandle::simulated(p100_sxm2()), 64 * MIB),
+            &ClusterSpec::dgx1_like(),
+            global,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn allreduce_scales_with_bytes_and_ring_size() {
+        let c = ClusterSpec::dgx1_like();
+        assert_eq!(c.allreduce_us(1, 1 << 30), 0.0);
+        assert!(c.allreduce_us(4, 1 << 20) < c.allreduce_us(4, 1 << 24));
+        // The bandwidth term saturates at 2 traversals: 8 GPUs is only
+        // slightly costlier than 4 for big buffers.
+        let b4 = c.allreduce_us(4, 1 << 28);
+        let b8 = c.allreduce_us(8, 1 << 28);
+        assert!(b8 > b4 && b8 < 1.4 * b4, "b4={b4} b8={b8}");
+    }
+
+    #[test]
+    fn strong_scaling_improves_throughput_sublinearly() {
+        let pts = points(512);
+        assert_eq!(pts.len(), 4); // 1, 2, 4, 8
+        // Throughput grows with GPUs…
+        for w in pts.windows(2) {
+            assert!(w[1].samples_per_sec > w[0].samples_per_sec);
+        }
+        // …but efficiency drops below 1 (shrinking per-GPU batches lose
+        // utilization and communication is exposed) — the paper's argument
+        // for keeping per-GPU batches large.
+        let last = pts.last().unwrap();
+        let eff = last.efficiency_vs(&pts[0]);
+        assert!(eff < 1.0, "efficiency {eff}");
+        assert!(eff > 0.3, "efficiency implausibly low: {eff}");
+    }
+
+    #[test]
+    fn communication_grows_with_replicas() {
+        let pts = points(512);
+        for w in pts.windows(2) {
+            assert!(w[1].comm_us > w[0].comm_us);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The model zoo: the networks the paper evaluates.
+//!
+//! * [`alexnet`] — single-column "one weird trick" AlexNet (Fig. 1, 9, 10,
+//!   12, 13, 14),
+//! * [`resnet18`] / [`resnet50`] — NVCaffe's ResNets (Fig. 11, 12, 13),
+//! * [`densenet40`] — DenseNet-BC-40 with growth rate k (Fig. 11),
+//! * [`inception_module`] — a GoogLeNet-style Inception block, the paper's
+//!   motivating example for concurrent kernels under WD.
+
+use crate::graph::{LayerSpec, NetworkDef, NodeId};
+use ucudnn_tensor::Shape4;
+
+/// Single-column AlexNet for 224×224 ImageNet-shaped inputs.
+pub fn alexnet(batch: usize) -> NetworkDef {
+    let mut net = NetworkDef::new("AlexNet", Shape4::new(batch, 3, 224, 224));
+    let c1 = net.conv_relu("conv1", net.input(), 64, 11, 4, 2);
+    let p1 = net.add("pool1", LayerSpec::Pool { max: true, kernel: 3, stride: 2, pad: 0 }, &[c1]);
+    let c2 = net.conv_relu("conv2", p1, 192, 5, 1, 2);
+    let p2 = net.add("pool2", LayerSpec::Pool { max: true, kernel: 3, stride: 2, pad: 0 }, &[c2]);
+    let c3 = net.conv_relu("conv3", p2, 384, 3, 1, 1);
+    let c4 = net.conv_relu("conv4", c3, 256, 3, 1, 1);
+    let c5 = net.conv_relu("conv5", c4, 256, 3, 1, 1);
+    let p5 = net.add("pool5", LayerSpec::Pool { max: true, kernel: 3, stride: 2, pad: 0 }, &[c5]);
+    let f6 = net.add("fc6", LayerSpec::FullyConnected { out: 4096 }, &[p5]);
+    let r6 = net.add("fc6.relu", LayerSpec::Relu, &[f6]);
+    let f7 = net.add("fc7", LayerSpec::FullyConnected { out: 4096 }, &[r6]);
+    let r7 = net.add("fc7.relu", LayerSpec::Relu, &[f7]);
+    net.add("fc8", LayerSpec::FullyConnected { out: 1000 }, &[r7]);
+    net
+}
+
+/// ResNet basic block (two 3×3 convolutions) with projection shortcut on
+/// stride/channel changes.
+fn basic_block(net: &mut NetworkDef, name: &str, input: NodeId, channels: usize, stride: usize) -> NodeId {
+    let in_c = net.output_shape(input).c;
+    let a = net.conv_bn_relu(&format!("{name}.conv1"), input, channels, 3, stride, 1);
+    let b = net.add(
+        format!("{name}.conv2"),
+        LayerSpec::Conv { out_channels: channels, kernel: 3, stride: 1, pad: 1 },
+        &[a],
+    );
+    let b = net.add(format!("{name}.conv2.bn"), LayerSpec::BatchNorm, &[b]);
+    let shortcut = if stride != 1 || in_c != channels {
+        let s = net.add(
+            format!("{name}.proj"),
+            LayerSpec::Conv { out_channels: channels, kernel: 1, stride, pad: 0 },
+            &[input],
+        );
+        net.add(format!("{name}.proj.bn"), LayerSpec::BatchNorm, &[s])
+    } else {
+        input
+    };
+    let sum = net.add(format!("{name}.add"), LayerSpec::Add, &[b, shortcut]);
+    net.add(format!("{name}.relu"), LayerSpec::Relu, &[sum])
+}
+
+/// ResNet bottleneck block (1×1 → 3×3 → 1×1, 4× expansion).
+fn bottleneck_block(net: &mut NetworkDef, name: &str, input: NodeId, width: usize, stride: usize) -> NodeId {
+    let out_c = 4 * width;
+    let in_c = net.output_shape(input).c;
+    let a = net.conv_bn_relu(&format!("{name}.conv1"), input, width, 1, 1, 0);
+    let b = net.conv_bn_relu(&format!("{name}.conv2"), a, width, 3, stride, 1);
+    let c = net.add(
+        format!("{name}.conv3"),
+        LayerSpec::Conv { out_channels: out_c, kernel: 1, stride: 1, pad: 0 },
+        &[b],
+    );
+    let c = net.add(format!("{name}.conv3.bn"), LayerSpec::BatchNorm, &[c]);
+    let shortcut = if stride != 1 || in_c != out_c {
+        let s = net.add(
+            format!("{name}.proj"),
+            LayerSpec::Conv { out_channels: out_c, kernel: 1, stride, pad: 0 },
+            &[input],
+        );
+        net.add(format!("{name}.proj.bn"), LayerSpec::BatchNorm, &[s])
+    } else {
+        input
+    };
+    let sum = net.add(format!("{name}.add"), LayerSpec::Add, &[c, shortcut]);
+    net.add(format!("{name}.relu"), LayerSpec::Relu, &[sum])
+}
+
+fn resnet_stem(net: &mut NetworkDef) -> NodeId {
+    let c1 = net.conv_bn_relu("conv1", net.input(), 64, 7, 2, 3);
+    // Caffe ceil-mode pooling: 3x3/2 unpadded on 112 gives 56.
+    net.add("pool1", LayerSpec::Pool { max: true, kernel: 3, stride: 2, pad: 0 }, &[c1])
+}
+
+fn resnet_head(net: &mut NetworkDef, x: NodeId) {
+    let gap = net.add("gap", LayerSpec::GlobalAvgPool, &[x]);
+    net.add("fc", LayerSpec::FullyConnected { out: 1000 }, &[gap]);
+}
+
+/// ResNet-18 for 224×224 inputs: basic blocks [2, 2, 2, 2].
+pub fn resnet18(batch: usize) -> NetworkDef {
+    let mut net = NetworkDef::new("ResNet-18", Shape4::new(batch, 3, 224, 224));
+    let mut x = resnet_stem(&mut net);
+    for (stage, (channels, blocks)) in [(64, 2), (128, 2), (256, 2), (512, 2)].into_iter().enumerate()
+    {
+        for b in 0..blocks {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            x = basic_block(&mut net, &format!("res{}.{b}", stage + 2), x, channels, stride);
+        }
+    }
+    resnet_head(&mut net, x);
+    net
+}
+
+/// ResNet-50 for 224×224 inputs: bottleneck blocks [3, 4, 6, 3].
+pub fn resnet50(batch: usize) -> NetworkDef {
+    let mut net = NetworkDef::new("ResNet-50", Shape4::new(batch, 3, 224, 224));
+    let mut x = resnet_stem(&mut net);
+    for (stage, (width, blocks)) in [(64, 3), (128, 4), (256, 6), (512, 3)].into_iter().enumerate() {
+        for b in 0..blocks {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            x = bottleneck_block(&mut net, &format!("res{}.{b}", stage + 2), x, width, stride);
+        }
+    }
+    resnet_head(&mut net, x);
+    net
+}
+
+/// DenseNet-40 for 32×32 CIFAR-shaped inputs: three dense blocks of 12
+/// layers with growth rate `k` (the paper uses k = 40), 1×1+avg-pool
+/// transitions.
+pub fn densenet40(batch: usize, k: usize) -> NetworkDef {
+    let mut net = NetworkDef::new(format!("DenseNet-40(k={k})"), Shape4::new(batch, 3, 32, 32));
+    let mut x = net.add(
+        "conv0",
+        LayerSpec::Conv { out_channels: 2 * k, kernel: 3, stride: 1, pad: 1 },
+        &[net.input()],
+    );
+    for block in 0..3 {
+        for layer in 0..12 {
+            let name = format!("dense{block}.{layer}");
+            let b = net.add(format!("{name}.bn"), LayerSpec::BatchNorm, &[x]);
+            let r = net.add(format!("{name}.relu"), LayerSpec::Relu, &[b]);
+            let c = net.add(
+                format!("{name}.conv"),
+                LayerSpec::Conv { out_channels: k, kernel: 3, stride: 1, pad: 1 },
+                &[r],
+            );
+            x = net.add(format!("{name}.cat"), LayerSpec::Concat, &[x, c]);
+        }
+        if block < 2 {
+            let ch = net.output_shape(x).c;
+            let name = format!("trans{block}");
+            let b = net.add(format!("{name}.bn"), LayerSpec::BatchNorm, &[x]);
+            let r = net.add(format!("{name}.relu"), LayerSpec::Relu, &[b]);
+            let c = net.add(
+                format!("{name}.conv"),
+                LayerSpec::Conv { out_channels: ch / 2, kernel: 1, stride: 1, pad: 0 },
+                &[r],
+            );
+            x = net.add(
+                format!("{name}.pool"),
+                LayerSpec::Pool { max: false, kernel: 2, stride: 2, pad: 0 },
+                &[c],
+            );
+        }
+    }
+    let gap = net.add("gap", LayerSpec::GlobalAvgPool, &[x]);
+    net.add("fc", LayerSpec::FullyConnected { out: 10 }, &[gap]);
+    net
+}
+
+/// A GoogLeNet "inception (3a)"-style module on a 28×28×192 input: four
+/// parallel convolution towers concatenated — the paper's example of
+/// kernels that can run concurrently under WD.
+pub fn inception_module(batch: usize) -> NetworkDef {
+    let mut net = NetworkDef::new("Inception", Shape4::new(batch, 192, 28, 28));
+    let input = net.input();
+    let t1 = net.conv_relu("1x1", input, 64, 1, 1, 0);
+    let r3 = net.conv_relu("3x3.reduce", input, 96, 1, 1, 0);
+    let t3 = net.conv_relu("3x3", r3, 128, 3, 1, 1);
+    let r5 = net.conv_relu("5x5.reduce", input, 16, 1, 1, 0);
+    let t5 = net.conv_relu("5x5", r5, 32, 5, 1, 2);
+    let pp = net.add("pool", LayerSpec::Pool { max: true, kernel: 3, stride: 1, pad: 1 }, &[input]);
+    let tp = net.conv_relu("pool.proj", pp, 32, 1, 1, 0);
+    net.add("concat", LayerSpec::Concat, &[t1, t3, t5, tp]);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_shapes_match_the_paper() {
+        let net = alexnet(256);
+        let convs = net.conv_layers();
+        assert_eq!(convs.len(), 5);
+        // conv2 is the famous 256×64×27×27 → 192 5×5 layer.
+        let g2 = net.conv_geometry(convs[1]);
+        assert_eq!(g2.input, Shape4::new(256, 64, 27, 27));
+        assert_eq!(g2.filter.k, 192);
+        assert_eq!((g2.filter.r, g2.filter.s), (5, 5));
+        // conv3..5 are 13×13 3×3 layers.
+        for &c in &convs[2..] {
+            let g = net.conv_geometry(c);
+            assert_eq!((g.input.h, g.input.w), (13, 13));
+            assert_eq!((g.filter.r, g.filter.s), (3, 3));
+        }
+        // fc6 input is 256·6·6 = 9216.
+        let fc6 = net.nodes().iter().position(|n| n.name == "fc6").unwrap();
+        let s = net.output_shape(net.nodes()[fc6].inputs[0]);
+        assert_eq!(s.sample_len(), 9216);
+    }
+
+    #[test]
+    fn alexnet_parameter_count_is_plausible() {
+        // Single-column AlexNet ≈ 61M parameters.
+        let p = alexnet(1).param_count();
+        assert!((57_000_000..65_000_000).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn resnet18_structure() {
+        let net = resnet18(128);
+        // 1 stem + 16 block convs + 3 projection convs = 20.
+        assert_eq!(net.conv_layers().len(), 20);
+        let last_conv = *net.conv_layers().last().unwrap();
+        let g = net.conv_geometry(last_conv);
+        assert_eq!((g.input.h, g.input.w), (7, 7));
+        // ~11.7M params.
+        let p = net.param_count();
+        assert!((11_000_000..12_500_000).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn resnet50_structure() {
+        let net = resnet50(64);
+        // 1 stem + 3·16 bottleneck convs + 4 projections = 53.
+        assert_eq!(net.conv_layers().len(), 53);
+        // ~25.5M params.
+        let p = net.param_count();
+        assert!((24_000_000..27_000_000).contains(&p), "{p}");
+        // The paper: ResNet-50 has ~10x more conv layers than AlexNet.
+        assert!(net.conv_layers().len() >= 10 * alexnet(64).conv_layers().len());
+    }
+
+    #[test]
+    fn densenet40_growth() {
+        let net = densenet40(256, 40);
+        // conv0 + 36 dense-layer convs + 2 transition convs = 39.
+        assert_eq!(net.conv_layers().len(), 39);
+        // Channel count grows by k per dense layer: after block 0,
+        // 2k + 12k = 14k = 560 channels.
+        let cat11 = net.nodes().iter().position(|n| n.name == "dense0.11.cat").unwrap();
+        assert_eq!(net.output_shape(cat11).c, 14 * 40);
+        // CIFAR spatial sizes: 32 → 16 → 8.
+        let last = *net.conv_layers().last().unwrap();
+        assert_eq!(net.conv_geometry(last).input.h, 8);
+    }
+
+    #[test]
+    fn inception_module_concatenates_towers() {
+        let net = inception_module(32);
+        assert_eq!(net.conv_layers().len(), 6);
+        let last = net.len() - 1;
+        assert_eq!(net.output_shape(last), Shape4::new(32, 256, 28, 28));
+    }
+
+    #[test]
+    fn all_models_infer_shapes_at_any_batch() {
+        for b in [1usize, 32] {
+            for net in [alexnet(b), resnet18(b), resnet50(b), densenet40(b, 12), inception_module(b)] {
+                for id in 0..net.len() {
+                    let s = net.output_shape(id);
+                    assert!(!s.is_empty(), "{}: empty shape at node {id}", net.name);
+                }
+            }
+        }
+    }
+}

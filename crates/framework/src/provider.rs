@@ -1,0 +1,370 @@
+//! Pluggable convolution backends for the framework.
+//!
+//! The framework drives convolutions through the [`ConvProvider`] trait so
+//! the same network code can run against:
+//!
+//! * [`BaselineCudnn`] — plain cuDNN behaviour: the framework picks each
+//!   layer's algorithm once with `SPECIFY_WORKSPACE_LIMIT` and allocates a
+//!   per-layer workspace, exactly like Caffe; or
+//! * [`ucudnn::UcudnnHandle`] — the transparent μ-cuDNN wrapper, which takes
+//!   over algorithm selection, micro-batching and workspace ownership.
+//!
+//! Swapping one for the other is the framework-integration story of the
+//! paper (three lines in Caffe).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use ucudnn::{KernelKey, UcudnnHandle};
+use ucudnn_cudnn_sim::{
+    AlgoPreference, ConvAlgo, ConvOp, ConvolutionDescriptor, CudnnHandle, CudnnError,
+    FilterDescriptor, TensorDescriptor,
+};
+use ucudnn_tensor::ConvGeometry;
+
+/// Errors from a provider (substrate or optimizer).
+#[derive(Debug)]
+pub enum ProviderError {
+    /// Substrate error.
+    Cudnn(CudnnError),
+    /// μ-cuDNN error.
+    Ucudnn(ucudnn::UcudnnError),
+}
+
+impl From<CudnnError> for ProviderError {
+    fn from(e: CudnnError) -> Self {
+        ProviderError::Cudnn(e)
+    }
+}
+
+impl From<ucudnn::UcudnnError> for ProviderError {
+    fn from(e: ucudnn::UcudnnError) -> Self {
+        ProviderError::Ucudnn(e)
+    }
+}
+
+impl core::fmt::Display for ProviderError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProviderError::Cudnn(e) => e.fmt(f),
+            ProviderError::Ucudnn(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ProviderError {}
+
+/// Convolution backend abstraction used by both executors.
+pub trait ConvProvider {
+    /// Called once per kernel during network setup (the framework's
+    /// `get_algorithm` + `get_workspace_size` sequence).
+    ///
+    /// # Errors
+    /// Setup failures (no algorithm fits, optimizer failure, ...).
+    fn setup(&self, op: ConvOp, g: &ConvGeometry) -> Result<(), ProviderError>;
+
+    /// Signal that every kernel has been registered (triggers WD).
+    ///
+    /// # Errors
+    /// Optimizer failures.
+    fn finalize(&self) -> Result<(), ProviderError> {
+        Ok(())
+    }
+
+    /// Execute one convolution op. Data slices are empty under the
+    /// simulated engine, full-size under the CPU engine. `out` is
+    /// `alpha*op(a, b) + beta*out` with the same buffer roles as
+    /// `ucudnn_conv::exec`.
+    ///
+    /// # Errors
+    /// Execution failures.
+    #[allow(clippy::too_many_arguments)] // BLAS/cuDNN-style signature
+    fn execute(
+        &self,
+        op: ConvOp,
+        g: &ConvGeometry,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        alpha: f32,
+        beta: f32,
+    ) -> Result<(), ProviderError>;
+
+    /// The underlying substrate handle (clock access, engine queries).
+    fn handle(&self) -> &CudnnHandle;
+
+    /// Total workspace bytes currently allocated by this provider.
+    fn workspace_bytes(&self) -> usize;
+
+    /// Workspace bytes attributable to one kernel (for memory breakdowns).
+    fn kernel_workspace_bytes(&self, op: ConvOp, g: &ConvGeometry) -> usize;
+}
+
+fn descriptors(
+    g: &ConvGeometry,
+) -> (TensorDescriptor, FilterDescriptor, ConvolutionDescriptor, TensorDescriptor) {
+    (
+        TensorDescriptor::from_shape(g.input).expect("valid input shape"),
+        FilterDescriptor::from_shape(g.filter).expect("valid filter shape"),
+        ConvolutionDescriptor::new_2d(g.pad_h, g.pad_w, g.stride_h, g.stride_w)
+            .expect("valid convolution"),
+        TensorDescriptor::from_shape(g.output()).expect("valid output shape"),
+    )
+}
+
+/// Plain cuDNN with Caffe's workspace policy: per-kernel algorithm chosen
+/// by `SPECIFY_WORKSPACE_LIMIT`, per-kernel workspace allocated up front.
+pub struct BaselineCudnn {
+    handle: CudnnHandle,
+    ws_limit: usize,
+    state: Mutex<BaselineState>,
+}
+
+#[derive(Default)]
+struct BaselineState {
+    algos: HashMap<KernelKey, ConvAlgo>,
+    workspaces: HashMap<KernelKey, Vec<f32>>,
+}
+
+impl BaselineCudnn {
+    /// Wrap a handle with a per-kernel workspace limit in bytes.
+    pub fn new(handle: CudnnHandle, ws_limit: usize) -> Self {
+        Self { handle, ws_limit, state: Mutex::new(BaselineState::default()) }
+    }
+
+    /// The algorithm selected for a kernel (after `setup`).
+    pub fn chosen_algo(&self, op: ConvOp, g: &ConvGeometry) -> Option<ConvAlgo> {
+        self.state.lock().algos.get(&KernelKey::new(op, g)).copied()
+    }
+}
+
+impl ConvProvider for BaselineCudnn {
+    fn setup(&self, op: ConvOp, g: &ConvGeometry) -> Result<(), ProviderError> {
+        let key = KernelKey::new(op, g);
+        let mut st = self.state.lock();
+        if st.algos.contains_key(&key) {
+            return Ok(());
+        }
+        let (xd, wd, cd, _) = descriptors(g);
+        let algo = self.handle.get_algorithm(
+            op,
+            &xd,
+            &wd,
+            &cd,
+            AlgoPreference::SpecifyWorkspaceLimit(self.ws_limit),
+        )?;
+        let bytes = self.handle.get_workspace_size(op, &xd, &wd, &cd, algo)?;
+        st.algos.insert(key, algo);
+        st.workspaces.insert(key, vec![0.0f32; bytes.div_ceil(4)]);
+        Ok(())
+    }
+
+    fn execute(
+        &self,
+        op: ConvOp,
+        g: &ConvGeometry,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        alpha: f32,
+        beta: f32,
+    ) -> Result<(), ProviderError> {
+        let key = KernelKey::new(op, g);
+        let mut st = self.state.lock();
+        if !st.algos.contains_key(&key) {
+            drop(st);
+            self.setup(op, g)?;
+            st = self.state.lock();
+        }
+        let algo = st.algos[&key];
+        let st = &mut *st;
+        let ws = st.workspaces.get_mut(&key).expect("workspace allocated at setup");
+        let (xd, wd, cd, yd) = descriptors(g);
+        match op {
+            ConvOp::Forward => {
+                self.handle.convolution_forward(alpha, &xd, a, &wd, b, &cd, algo, ws, beta, &yd, out)?
+            }
+            ConvOp::BackwardData => self
+                .handle
+                .convolution_backward_data(alpha, &wd, b, &yd, a, &cd, algo, ws, beta, &xd, out)?,
+            ConvOp::BackwardFilter => self
+                .handle
+                .convolution_backward_filter(alpha, &xd, a, &yd, b, &cd, algo, ws, beta, &wd, out)?,
+        }
+        Ok(())
+    }
+
+    fn handle(&self) -> &CudnnHandle {
+        &self.handle
+    }
+
+    fn workspace_bytes(&self) -> usize {
+        4 * self.state.lock().workspaces.values().map(Vec::len).sum::<usize>()
+    }
+
+    fn kernel_workspace_bytes(&self, op: ConvOp, g: &ConvGeometry) -> usize {
+        self.state
+            .lock()
+            .workspaces
+            .get(&KernelKey::new(op, g))
+            .map(|v| 4 * v.len())
+            .unwrap_or(0)
+    }
+}
+
+impl ConvProvider for UcudnnHandle {
+    fn setup(&self, op: ConvOp, g: &ConvGeometry) -> Result<(), ProviderError> {
+        let (xd, wd, cd, _) = descriptors(g);
+        let algo = self.get_algorithm(op, &xd, &wd, &cd)?;
+        // The wrapper reports zero workspace; the framework "allocates" none.
+        let bytes = self.get_workspace_size(op, &xd, &wd, &cd, algo)?;
+        debug_assert_eq!(bytes, 0, "μ-cuDNN must request zero framework workspace");
+        Ok(())
+    }
+
+    fn finalize(&self) -> Result<(), ProviderError> {
+        self.finalize_network()?;
+        Ok(())
+    }
+
+    fn execute(
+        &self,
+        op: ConvOp,
+        g: &ConvGeometry,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        alpha: f32,
+        beta: f32,
+    ) -> Result<(), ProviderError> {
+        let (xd, wd, cd, yd) = descriptors(g);
+        match op {
+            ConvOp::Forward => self.convolution_forward(
+                alpha,
+                &xd,
+                a,
+                &wd,
+                b,
+                &cd,
+                ucudnn::VIRTUAL_ALGO,
+                beta,
+                &yd,
+                out,
+            )?,
+            ConvOp::BackwardData => self.convolution_backward_data(
+                alpha,
+                &wd,
+                b,
+                &yd,
+                a,
+                &cd,
+                ucudnn::VIRTUAL_ALGO,
+                beta,
+                &xd,
+                out,
+            )?,
+            ConvOp::BackwardFilter => self.convolution_backward_filter(
+                alpha,
+                &xd,
+                a,
+                &yd,
+                b,
+                &cd,
+                ucudnn::VIRTUAL_ALGO,
+                beta,
+                &wd,
+                out,
+            )?,
+        }
+        Ok(())
+    }
+
+    fn handle(&self) -> &CudnnHandle {
+        self.inner()
+    }
+
+    fn workspace_bytes(&self) -> usize {
+        self.total_workspace_bytes()
+    }
+
+    fn kernel_workspace_bytes(&self, op: ConvOp, g: &ConvGeometry) -> usize {
+        self.plan(op, g).map(|p| p.config.workspace_bytes()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucudnn_gpu_model::p100_sxm2;
+    use ucudnn_tensor::{FilterShape, Shape4};
+
+    const MIB: usize = 1024 * 1024;
+
+    fn conv2() -> ConvGeometry {
+        ConvGeometry::with_square(
+            Shape4::new(256, 64, 27, 27),
+            FilterShape::new(192, 64, 5, 5),
+            2,
+            1,
+        )
+    }
+
+    #[test]
+    fn baseline_allocates_per_kernel_workspace() {
+        let p = BaselineCudnn::new(CudnnHandle::simulated(p100_sxm2()), 64 * MIB);
+        p.setup(ConvOp::Forward, &conv2()).unwrap();
+        let ws = p.kernel_workspace_bytes(ConvOp::Forward, &conv2());
+        assert!(ws <= 64 * MIB);
+        assert_eq!(p.workspace_bytes(), ws);
+    }
+
+    #[test]
+    fn baseline_executes_and_advances_clock() {
+        let p = BaselineCudnn::new(CudnnHandle::simulated(p100_sxm2()), 64 * MIB);
+        let g = conv2();
+        p.setup(ConvOp::Forward, &g).unwrap();
+        p.execute(ConvOp::Forward, &g, &[], &[], &mut [], 1.0, 0.0).unwrap();
+        assert!(p.handle().elapsed_us() > 0.0);
+        assert_eq!(p.handle().kernels_launched(), 1, "baseline never micro-batches");
+    }
+
+    #[test]
+    fn ucudnn_provider_micro_batches_the_same_kernel() {
+        let h = UcudnnHandle::new(
+            CudnnHandle::simulated(p100_sxm2()),
+            ucudnn::UcudnnOptions {
+                workspace_limit_bytes: 64 * MIB,
+                ..Default::default()
+            },
+        );
+        let g = conv2();
+        ConvProvider::setup(&h, ConvOp::Forward, &g).unwrap();
+        ConvProvider::execute(&h, ConvOp::Forward, &g, &[], &[], &mut [], 1.0, 0.0).unwrap();
+        assert!(
+            h.inner().kernels_launched() > 1,
+            "64 MiB conv2 must be split into micro-batches"
+        );
+    }
+
+    #[test]
+    fn ucudnn_beats_baseline_on_conv2_at_64mib() {
+        // The provider-level statement of Fig. 9.
+        let g = conv2();
+        let base = BaselineCudnn::new(CudnnHandle::simulated(p100_sxm2()), 64 * MIB);
+        base.setup(ConvOp::Forward, &g).unwrap();
+        base.execute(ConvOp::Forward, &g, &[], &[], &mut [], 1.0, 0.0).unwrap();
+
+        let mu = UcudnnHandle::new(
+            CudnnHandle::simulated(p100_sxm2()),
+            ucudnn::UcudnnOptions { workspace_limit_bytes: 64 * MIB, ..Default::default() },
+        );
+        ConvProvider::setup(&mu, ConvOp::Forward, &g).unwrap();
+        ConvProvider::execute(&mu, ConvOp::Forward, &g, &[], &[], &mut [], 1.0, 0.0).unwrap();
+
+        assert!(
+            mu.inner().elapsed_us() < base.handle().elapsed_us(),
+            "μ-cuDNN {} vs baseline {}",
+            mu.inner().elapsed_us(),
+            base.handle().elapsed_us()
+        );
+    }
+}

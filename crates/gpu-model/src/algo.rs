@@ -1,0 +1,180 @@
+//! The cuDNN-level convolution algorithm identifiers.
+
+use serde::{Deserialize, Serialize};
+use ucudnn_tensor::ConvGeometry;
+
+/// Re-exported so callers don't need a direct `ucudnn-conv` dependency for
+/// operation names.
+pub use ucudnn_conv::ConvOp;
+
+/// The eight convolution algorithms, mirroring
+/// `cudnnConvolutionFwdAlgo_t` and friends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ConvAlgo {
+    /// Implicit GEMM: no lowering, zero workspace.
+    ImplicitGemm,
+    /// Implicit GEMM with a precomputed index buffer (small workspace).
+    ImplicitPrecompGemm,
+    /// Explicit im2col + GEMM.
+    Gemm,
+    /// Direct convolution — present in the enum but, as in cuDNN, not
+    /// actually implemented by any kernel.
+    Direct,
+    /// Whole-image FFT convolution.
+    Fft,
+    /// Tiled FFT convolution (32×32 tiles).
+    FftTiling,
+    /// Fused Winograd F(2×2, 3×3).
+    Winograd,
+    /// Non-fused Winograd with explicit transform buffers.
+    WinogradNonfused,
+}
+
+impl ConvAlgo {
+    /// All algorithms in cuDNN enum order.
+    pub const ALL: [ConvAlgo; 8] = [
+        ConvAlgo::ImplicitGemm,
+        ConvAlgo::ImplicitPrecompGemm,
+        ConvAlgo::Gemm,
+        ConvAlgo::Direct,
+        ConvAlgo::Fft,
+        ConvAlgo::FftTiling,
+        ConvAlgo::Winograd,
+        ConvAlgo::WinogradNonfused,
+    ];
+
+    /// Stable numeric id (the position in the cuDNN enum).
+    pub fn id(self) -> u8 {
+        ConvAlgo::ALL.iter().position(|a| *a == self).unwrap() as u8
+    }
+
+    /// Short display name, matching the labels used in the paper's figures
+    /// (e.g. `FFT_TILING` in Fig. 8).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            ConvAlgo::ImplicitGemm => "IMPLICIT_GEMM",
+            ConvAlgo::ImplicitPrecompGemm => "IMPLICIT_PRECOMP_GEMM",
+            ConvAlgo::Gemm => "GEMM",
+            ConvAlgo::Direct => "DIRECT",
+            ConvAlgo::Fft => "FFT",
+            ConvAlgo::FftTiling => "FFT_TILING",
+            ConvAlgo::Winograd => "WINOGRAD",
+            ConvAlgo::WinogradNonfused => "WINOGRAD_NONFUSED",
+        }
+    }
+}
+
+impl core::fmt::Display for ConvAlgo {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Whether the modeled GPU kernel library implements `algo` for `op` on
+/// geometry `g`. Constraints mirror cuDNN's documented ones.
+pub fn algo_supported(algo: ConvAlgo, op: ConvOp, g: &ConvGeometry) -> bool {
+    let unit_stride = g.stride_h == 1 && g.stride_w == 1;
+    let pad_lt_filter = g.pad_h < g.filter.r && g.pad_w < g.filter.s;
+    match algo {
+        ConvAlgo::ImplicitGemm | ConvAlgo::ImplicitPrecompGemm | ConvAlgo::Gemm => true,
+        // cuDNN returns NOT_SUPPORTED for ALGO_DIRECT on every geometry.
+        ConvAlgo::Direct => false,
+        // Whole-image FFT: unit stride, pad < filter, transform fits 256².
+        ConvAlgo::Fft => {
+            unit_stride
+                && pad_lt_filter
+                && g.input.h + g.filter.r - 1 <= 256
+                && g.input.w + g.filter.s - 1 <= 256
+        }
+        // Tiled FFT: unit stride, pad < filter, kernel fits in a 32-tile.
+        ConvAlgo::FftTiling => unit_stride && pad_lt_filter && g.filter.r <= 32 && g.filter.s <= 32,
+        // Fused Winograd: 3×3 unit-stride, forward and backward-data only.
+        ConvAlgo::Winograd => {
+            unit_stride
+                && g.filter.r == 3
+                && g.filter.s == 3
+                && g.pad_h <= 2
+                && g.pad_w <= 2
+                && op != ConvOp::BackwardFilter
+        }
+        // Non-fused Winograd: also covers backward-filter.
+        ConvAlgo::WinogradNonfused => {
+            unit_stride && g.filter.r == 3 && g.filter.s == 3 && g.pad_h <= 2 && g.pad_w <= 2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucudnn_tensor::{FilterShape, Shape4};
+
+    fn geom(k: usize, r: usize, pad: usize, stride: usize) -> ConvGeometry {
+        ConvGeometry::with_square(
+            Shape4::new(4, 8, 27, 27),
+            FilterShape::new(k, 8, r, r),
+            pad,
+            stride,
+        )
+    }
+
+    #[test]
+    fn ids_are_stable_enum_positions() {
+        for (i, a) in ConvAlgo::ALL.iter().enumerate() {
+            assert_eq!(a.id() as usize, i);
+        }
+    }
+
+    #[test]
+    fn direct_is_never_supported_like_cudnn() {
+        for op in ConvOp::ALL {
+            assert!(!algo_supported(ConvAlgo::Direct, op, &geom(4, 3, 1, 1)));
+        }
+    }
+
+    #[test]
+    fn gemm_family_is_universal() {
+        for op in ConvOp::ALL {
+            for (r, pad, stride) in [(3, 1, 1), (11, 2, 4), (5, 2, 1)] {
+                let g = geom(4, r, pad, stride);
+                assert!(algo_supported(ConvAlgo::ImplicitGemm, op, &g));
+                assert!(algo_supported(ConvAlgo::ImplicitPrecompGemm, op, &g));
+                assert!(algo_supported(ConvAlgo::Gemm, op, &g));
+            }
+        }
+    }
+
+    #[test]
+    fn fft_requires_unit_stride() {
+        assert!(algo_supported(ConvAlgo::Fft, ConvOp::Forward, &geom(4, 5, 2, 1)));
+        assert!(!algo_supported(ConvAlgo::Fft, ConvOp::Forward, &geom(4, 5, 2, 2)));
+        assert!(!algo_supported(ConvAlgo::FftTiling, ConvOp::Forward, &geom(4, 5, 2, 2)));
+    }
+
+    #[test]
+    fn fft_rejects_huge_images_but_tiling_accepts() {
+        let g = ConvGeometry::with_square(
+            Shape4::new(2, 3, 300, 300),
+            FilterShape::new(4, 3, 5, 5),
+            2,
+            1,
+        );
+        assert!(!algo_supported(ConvAlgo::Fft, ConvOp::Forward, &g));
+        assert!(algo_supported(ConvAlgo::FftTiling, ConvOp::Forward, &g));
+    }
+
+    #[test]
+    fn winograd_split_over_backward_filter() {
+        let g = geom(4, 3, 1, 1);
+        assert!(!algo_supported(ConvAlgo::Winograd, ConvOp::BackwardFilter, &g));
+        assert!(algo_supported(ConvAlgo::WinogradNonfused, ConvOp::BackwardFilter, &g));
+        assert!(algo_supported(ConvAlgo::Winograd, ConvOp::Forward, &g));
+        assert!(algo_supported(ConvAlgo::Winograd, ConvOp::BackwardData, &g));
+    }
+
+    #[test]
+    fn winograd_is_3x3_only() {
+        assert!(!algo_supported(ConvAlgo::Winograd, ConvOp::Forward, &geom(4, 5, 2, 1)));
+        assert!(!algo_supported(ConvAlgo::WinogradNonfused, ConvOp::Forward, &geom(4, 5, 2, 1)));
+    }
+}

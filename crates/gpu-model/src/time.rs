@@ -1,0 +1,253 @@
+//! Per-algorithm execution-time model.
+//!
+//! Each kernel is modeled with a roofline:
+//! `time = max(flops / (peak · eff · util), bytes / bandwidth) + launches · overhead`.
+//!
+//! * `flops` is the algorithm's real arithmetic count (FFT counts transforms
+//!   plus pointwise products; Winograd counts the reduced multiplies plus
+//!   transform overhead), so algorithmic advantages emerge from arithmetic,
+//!   not hand-tuned constants.
+//! * `eff` is a per-algorithm achievable fraction of peak.
+//! * `util` is a saturating occupancy curve in the amount of parallel work —
+//!   this is what makes tiny micro-batches slower per sample and gives the
+//!   DP optimizer a real trade-off to navigate.
+//! * the fixed launch overhead penalizes fine-grained division.
+//!
+//! The model is a pure function of (device, algorithm, op, geometry): fully
+//! deterministic, so every experiment in this repository is reproducible
+//! bit-for-bit.
+
+use crate::algo::{algo_supported, ConvAlgo, ConvOp};
+use crate::device::DeviceSpec;
+use crate::workspace::workspace_bytes;
+use ucudnn_tensor::ConvGeometry;
+
+/// Achievable fraction of peak FLOP/s per algorithm family.
+fn base_efficiency(algo: ConvAlgo) -> f64 {
+    match algo {
+        ConvAlgo::ImplicitGemm => 0.42,
+        ConvAlgo::ImplicitPrecompGemm => 0.58,
+        ConvAlgo::Gemm => 0.52,
+        ConvAlgo::Direct => 0.0,
+        ConvAlgo::Fft => 0.30,
+        ConvAlgo::FftTiling => 0.32,
+        ConvAlgo::Winograd => 0.62,
+        ConvAlgo::WinogradNonfused => 0.58,
+    }
+}
+
+/// Kernel launches per operation (FFT/Winograd-nonfused are 3-stage
+/// pipelines: transform, batched product, inverse transform).
+fn launches(algo: ConvAlgo) -> f64 {
+    match algo {
+        ConvAlgo::Fft | ConvAlgo::FftTiling | ConvAlgo::WinogradNonfused => 3.0,
+        _ => 1.0,
+    }
+}
+
+/// Saturating occupancy: how well the geometry fills `sm_count` SMs.
+fn utilization(d: &DeviceSpec, g: &ConvGeometry) -> f64 {
+    // Independent thread-block-sized work units: one per (sample, 64-filter
+    // group, 256-output-pixel tile).
+    let pt = g.input.n as f64
+        * (g.filter.k as f64 / 64.0).ceil()
+        * ((g.out_h() * g.out_w()) as f64 / 256.0).ceil();
+    pt / (pt + d.sm_count as f64)
+}
+
+fn fft_edge(image: usize, kernel: usize) -> usize {
+    (image + kernel - 1).max(1).next_power_of_two()
+}
+
+/// Arithmetic performed by the algorithm, in FLOPs.
+fn algo_flops(algo: ConvAlgo, op: ConvOp, g: &ConvGeometry) -> f64 {
+    let direct = g.flops() as f64;
+    let (n, c, k) = (g.input.n as f64, g.input.c as f64, g.filter.k as f64);
+    match algo {
+        ConvAlgo::ImplicitGemm | ConvAlgo::ImplicitPrecompGemm | ConvAlgo::Gemm => direct,
+        ConvAlgo::Direct => f64::INFINITY,
+        ConvAlgo::Fft => {
+            let fh = fft_edge(g.input.h, g.filter.r) as f64;
+            let fw = fft_edge(g.input.w, g.filter.s) as f64;
+            let grid = fh * fw;
+            // Transform every plane of all three operands once.
+            let planes = match op {
+                ConvOp::Forward | ConvOp::BackwardData | ConvOp::BackwardFilter => {
+                    n * c + k * c + n * k
+                }
+            };
+            let transforms = 5.0 * grid * grid.log2() * planes;
+            // Pointwise complex multiply-accumulate over the reduction dim.
+            let pointwise = 8.0 * fh * (fw / 2.0 + 1.0) * n * k * c;
+            transforms + pointwise
+        }
+        ConvAlgo::FftTiling => {
+            let step_h = (32 - g.filter.r + 1).max(1) as f64;
+            let step_w = (32 - g.filter.s + 1).max(1) as f64;
+            let nt = (g.input.h as f64 / step_h).ceil() * (g.input.w as f64 / step_w).ceil();
+            let grid: f64 = 32.0 * 32.0;
+            let planes = nt * (n * c + n * k) + k * c;
+            let transforms = 5.0 * grid * grid.log2() * planes;
+            let pointwise = 8.0 * 32.0 * 17.0 * n * k * c * nt;
+            transforms + pointwise
+        }
+        // F(2×2): 2.25× fewer multiplies, ~50% transform overhead.
+        ConvAlgo::Winograd => direct / 2.25 * 1.5,
+        // F(4×4): 4× fewer multiplies, ~80% transform overhead (explicit
+        // global-memory staging of the transformed tiles).
+        ConvAlgo::WinogradNonfused => direct / 4.0 * 1.8,
+    }
+}
+
+/// Bytes moved through device memory (tensors once, workspace twice).
+fn algo_bytes(algo: ConvAlgo, op: ConvOp, g: &ConvGeometry) -> f64 {
+    let tensors = (g.input.bytes() + g.output().bytes() + g.filter.bytes()) as f64;
+    let ws = workspace_bytes(algo, op, g).unwrap_or(0) as f64;
+    match algo {
+        ConvAlgo::ImplicitGemm | ConvAlgo::ImplicitPrecompGemm | ConvAlgo::Winograd => tensors,
+        // N passes over the per-sample column matrix.
+        ConvAlgo::Gemm => tensors + 2.0 * ws * g.input.n as f64,
+        _ => tensors + 2.0 * ws,
+    }
+}
+
+/// Modeled execution time in microseconds, or `None` when unsupported.
+pub fn kernel_time_us(
+    d: &DeviceSpec,
+    algo: ConvAlgo,
+    op: ConvOp,
+    g: &ConvGeometry,
+) -> Option<f64> {
+    if !algo_supported(algo, op, g) || g.input.n == 0 {
+        return None;
+    }
+    let mut eff = base_efficiency(algo) * utilization(d, g);
+    // Backward-filter reduces over the batch, costing some efficiency.
+    if op == ConvOp::BackwardFilter {
+        eff *= 0.85;
+    }
+    let compute = algo_flops(algo, op, g) / (d.flops_per_us() * eff);
+    let memory = algo_bytes(algo, op, g) / d.bytes_per_us();
+    Some(compute.max(memory) + launches(algo) * d.launch_overhead_us)
+}
+
+/// Modeled time of a memory-bandwidth-bound auxiliary kernel (activation,
+/// pooling, normalization, bias add) that moves `bytes` through device
+/// memory. These layers have trivial arithmetic intensity, so a pure
+/// bandwidth term plus launch overhead is the right model.
+pub fn memory_bound_time_us(d: &DeviceSpec, bytes: f64) -> f64 {
+    bytes / d.bytes_per_us() + d.launch_overhead_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{k80, p100_sxm2, v100_sxm2};
+    use ucudnn_tensor::{FilterShape, Shape4};
+
+    fn conv2() -> ConvGeometry {
+        ConvGeometry::with_square(
+            Shape4::new(256, 64, 27, 27),
+            FilterShape::new(192, 64, 5, 5),
+            2,
+            1,
+        )
+    }
+
+    fn resnet_3x3() -> ConvGeometry {
+        ConvGeometry::with_square(
+            Shape4::new(128, 64, 56, 56),
+            FilterShape::new(64, 64, 3, 3),
+            1,
+            1,
+        )
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = p100_sxm2();
+        let a = kernel_time_us(&d, ConvAlgo::Fft, ConvOp::Forward, &conv2()).unwrap();
+        let b = kernel_time_us(&d, ConvAlgo::Fft, ConvOp::Forward, &conv2()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fft_beats_gemm_on_conv2_at_full_batch() {
+        // The premise of Fig. 9: for 5×5 kernels the FFT algorithm is
+        // substantially faster than GEMM when allowed enough workspace.
+        let d = p100_sxm2();
+        let gemm = kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &conv2()).unwrap();
+        let fft = kernel_time_us(&d, ConvAlgo::Fft, ConvOp::Forward, &conv2()).unwrap();
+        assert!(fft < gemm, "fft {fft} must beat gemm {gemm}");
+        let ratio = gemm / fft;
+        assert!(ratio > 1.5 && ratio < 6.0, "speedup {ratio} out of plausible range");
+    }
+
+    #[test]
+    fn winograd_beats_gemm_on_3x3() {
+        let d = p100_sxm2();
+        let gemm = kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &resnet_3x3()).unwrap();
+        let wino = kernel_time_us(&d, ConvAlgo::Winograd, ConvOp::Forward, &resnet_3x3()).unwrap();
+        assert!(wino < gemm);
+    }
+
+    #[test]
+    fn micro_batching_has_sublinear_cost_until_overhead_dominates() {
+        // 8 kernels of batch 32 must cost more than 1 kernel of batch 256
+        // (launch overhead + redundant filter transforms), but not wildly
+        // more — otherwise micro-batching could never win.
+        let d = p100_sxm2();
+        let full = kernel_time_us(&d, ConvAlgo::Fft, ConvOp::Forward, &conv2()).unwrap();
+        let micro = 8.0
+            * kernel_time_us(&d, ConvAlgo::Fft, ConvOp::Forward, &conv2().with_batch(32)).unwrap();
+        assert!(micro > full);
+        assert!(micro < 1.6 * full, "micro {micro} vs full {full}");
+    }
+
+    #[test]
+    fn batch_1_is_inefficient() {
+        // Per-sample time at micro-batch 1 must exceed per-sample time at
+        // 256 — poor occupancy plus launch overhead.
+        let d = p100_sxm2();
+        let full = kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &conv2()).unwrap() / 256.0;
+        let one = kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &conv2().with_batch(1)).unwrap();
+        assert!(one > 2.0 * full, "one-sample {one} vs per-sample {full}");
+    }
+
+    #[test]
+    fn newer_gpus_are_faster() {
+        let g = conv2();
+        let t_k80 = kernel_time_us(&k80(), ConvAlgo::Gemm, ConvOp::Forward, &g).unwrap();
+        let t_p100 = kernel_time_us(&p100_sxm2(), ConvAlgo::Gemm, ConvOp::Forward, &g).unwrap();
+        let t_v100 = kernel_time_us(&v100_sxm2(), ConvAlgo::Gemm, ConvOp::Forward, &g).unwrap();
+        assert!(t_k80 > t_p100 && t_p100 > t_v100);
+    }
+
+    #[test]
+    fn unsupported_is_none() {
+        let d = p100_sxm2();
+        assert!(kernel_time_us(&d, ConvAlgo::Direct, ConvOp::Forward, &conv2()).is_none());
+        assert!(kernel_time_us(
+            &d,
+            ConvAlgo::Winograd,
+            ConvOp::BackwardFilter,
+            &resnet_3x3()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn zero_batch_is_none() {
+        let d = p100_sxm2();
+        assert!(kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &conv2().with_batch(0)).is_none());
+    }
+
+    #[test]
+    fn time_scales_roughly_linearly_in_batch_at_scale() {
+        let d = p100_sxm2();
+        let t256 = kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &conv2()).unwrap();
+        let t128 = kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &conv2().with_batch(128)).unwrap();
+        let ratio = t256 / t128;
+        assert!(ratio > 1.8 && ratio < 2.2, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Linear and 0-1 integer programming for the WD optimizer.
+//!
+//! The paper solves its Workspace Division problem (Equations 1–4) with
+//! GLPK; this crate is the from-scratch replacement (DESIGN.md §2): a
+//! two-phase dense simplex ([`simplex`]), an exact branch-and-bound binary
+//! ILP solver ([`ilp`]), and a multiple-choice-knapsack front end with an
+//! exhaustive cross-check solver ([`mck`]).
+
+pub mod ilp;
+pub mod mck;
+pub mod simplex;
+
+pub use ilp::{solve_binary, IlpProblem, IlpSolution, IlpStatus};
+pub use mck::{Item, MckInstance};
+pub use simplex::{solve, Cmp, Constraint, LpProblem, LpSolution, LpStatus};

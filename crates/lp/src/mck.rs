@@ -1,0 +1,206 @@
+//! Multiple-choice knapsack: the combinatorial structure of the WD ILP.
+//!
+//! Pick exactly one item from each group, total weight ≤ capacity, minimize
+//! total cost. This module offers a direct exhaustive solver (exponential,
+//! for cross-checking the branch-and-bound ILP in tests and the pruning
+//! ablation) and a helper to phrase an instance as an [`IlpProblem`].
+
+use crate::ilp::{IlpProblem, IlpSolution, IlpStatus};
+use crate::simplex::{Cmp, Constraint, LpProblem};
+
+/// One candidate item: `(cost, weight)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// Cost to minimize (execution time in the WD instance).
+    pub cost: f64,
+    /// Weight consumed (workspace bytes in the WD instance).
+    pub weight: f64,
+}
+
+/// A multiple-choice knapsack instance.
+#[derive(Debug, Clone)]
+pub struct MckInstance {
+    /// Item groups; exactly one item per group must be chosen.
+    pub groups: Vec<Vec<Item>>,
+    /// Total weight budget.
+    pub capacity: f64,
+}
+
+impl MckInstance {
+    /// Encode as a 0-1 ILP (Equations 1–4 of the paper): one binary per
+    /// item, one equality per group, one knapsack row. The group equalities
+    /// imply the binary upper bounds, so they are omitted from the tableau.
+    pub fn to_ilp(&self) -> IlpProblem {
+        let num_vars: usize = self.groups.iter().map(Vec::len).sum();
+        let mut objective = Vec::with_capacity(num_vars);
+        let mut constraints = Vec::with_capacity(self.groups.len() + 1);
+        let mut knapsack = Vec::new();
+        let mut idx = 0usize;
+        for group in &self.groups {
+            assert!(!group.is_empty(), "every group needs at least one item");
+            let mut row = Vec::with_capacity(group.len());
+            for item in group {
+                objective.push(item.cost);
+                if item.weight != 0.0 {
+                    knapsack.push((idx, item.weight));
+                }
+                row.push((idx, 1.0));
+                idx += 1;
+            }
+            constraints.push(Constraint { coeffs: row, cmp: Cmp::Eq, rhs: 1.0 });
+        }
+        constraints.push(Constraint { coeffs: knapsack, cmp: Cmp::Le, rhs: self.capacity });
+        IlpProblem {
+            lp: LpProblem { num_vars, objective, constraints },
+            add_binary_bounds: false,
+        }
+    }
+
+    /// Solve via the branch-and-bound ILP solver; returns the chosen item
+    /// index per group, or `None` when infeasible.
+    pub fn solve(&self) -> Option<(Vec<usize>, f64)> {
+        let sol: IlpSolution = crate::ilp::solve_binary(&self.to_ilp());
+        if sol.status != IlpStatus::Optimal {
+            return None;
+        }
+        Some((self.choices_from(&sol.x), sol.objective))
+    }
+
+    /// Decode a binary assignment into per-group choices.
+    pub fn choices_from(&self, x: &[bool]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.groups.len());
+        let mut idx = 0usize;
+        for group in &self.groups {
+            let chosen = (0..group.len())
+                .find(|j| x[idx + *j])
+                .expect("exactly one item per group must be selected");
+            out.push(chosen);
+            idx += group.len();
+        }
+        out
+    }
+
+    /// Exhaustive exact solver — O(∏ |group|); only for testing and small
+    /// ablations.
+    pub fn solve_exhaustive(&self) -> Option<(Vec<usize>, f64)> {
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        let mut choice = vec![0usize; self.groups.len()];
+        loop {
+            let (mut cost, mut weight) = (0.0, 0.0);
+            for (g, &j) in self.groups.iter().zip(&choice) {
+                cost += g[j].cost;
+                weight += g[j].weight;
+            }
+            if weight <= self.capacity + 1e-9
+                && best.as_ref().is_none_or(|(_, b)| cost < *b - 1e-12)
+            {
+                best = Some((choice.clone(), cost));
+            }
+            // Odometer increment.
+            let mut k = 0;
+            loop {
+                if k == self.groups.len() {
+                    return best;
+                }
+                choice[k] += 1;
+                if choice[k] < self.groups[k].len() {
+                    break;
+                }
+                choice[k] = 0;
+                k += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(cost: f64, weight: f64) -> Item {
+        Item { cost, weight }
+    }
+
+    #[test]
+    fn ilp_matches_exhaustive_on_fixed_instance() {
+        let inst = MckInstance {
+            groups: vec![
+                vec![item(10.0, 0.0), item(4.0, 5.0), item(2.0, 9.0)],
+                vec![item(8.0, 0.0), item(3.0, 4.0)],
+                vec![item(6.0, 0.0), item(1.0, 7.0)],
+            ],
+            capacity: 12.0,
+        };
+        let (ci, vi) = inst.solve().unwrap();
+        let (ce, ve) = inst.solve_exhaustive().unwrap();
+        assert!((vi - ve).abs() < 1e-9, "ilp {vi} vs exhaustive {ve}");
+        // Both must be feasible selections of equal cost (tie-breaks may differ).
+        let cost_of = |ch: &[usize]| -> f64 {
+            inst.groups.iter().zip(ch).map(|(g, &j)| g[j].cost).sum()
+        };
+        assert!((cost_of(&ci) - cost_of(&ce)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_forces_zero_weight_items() {
+        let inst = MckInstance {
+            groups: vec![vec![item(9.0, 0.0), item(1.0, 1.0)]],
+            capacity: 0.0,
+        };
+        let (c, v) = inst.solve().unwrap();
+        assert_eq!(c, vec![0]);
+        assert!((v - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_when_no_combination_fits() {
+        let inst = MckInstance {
+            groups: vec![vec![item(1.0, 5.0)], vec![item(1.0, 5.0)]],
+            capacity: 7.0,
+        };
+        assert!(inst.solve().is_none());
+        assert!(inst.solve_exhaustive().is_none());
+    }
+
+    #[test]
+    fn randomized_cross_check() {
+        // Deterministic pseudo-random instances; B&B must equal exhaustive.
+        let mut rng = ucudnn_tensor_stub::Rng::new(42);
+        for trial in 0..25 {
+            let num_groups = 2 + (rng.next() % 3) as usize;
+            let groups: Vec<Vec<Item>> = (0..num_groups)
+                .map(|_| {
+                    (0..(1 + rng.next() % 4) as usize)
+                        .map(|_| item((rng.next() % 100) as f64, (rng.next() % 50) as f64))
+                        .collect()
+                })
+                .collect();
+            let capacity = (rng.next() % 120) as f64;
+            let inst = MckInstance { groups, capacity };
+            let a = inst.solve().map(|(_, v)| v);
+            let b = inst.solve_exhaustive().map(|(_, v)| v);
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-6, "trial {trial}: {x} vs {y}"),
+                other => panic!("trial {trial}: feasibility mismatch {other:?}"),
+            }
+        }
+    }
+
+    /// Tiny deterministic RNG local to the tests (this crate has no deps).
+    mod ucudnn_tensor_stub {
+        pub struct Rng(u64);
+        impl Rng {
+            pub fn new(seed: u64) -> Self {
+                Rng(seed)
+            }
+            pub fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the simplex and ILP solvers on randomized instances.
+
+use proptest::prelude::*;
+use ucudnn_lp::{solve, solve_binary, Cmp, Constraint, IlpProblem, LpProblem, LpStatus};
+
+/// Random 2-variable LPs with ≤ constraints (always feasible at the origin
+/// when rhs ≥ 0); optimum checked against a dense grid scan.
+fn small_lp() -> impl Strategy<Value = LpProblem> {
+    let coef = -5.0f64..5.0;
+    let rhs = 0.0f64..10.0;
+    (
+        prop::collection::vec((coef.clone(), coef.clone(), rhs), 1..5),
+        (-3.0f64..3.0, -3.0f64..3.0),
+    )
+        .prop_map(|(rows, (c0, c1))| LpProblem {
+            num_vars: 2,
+            objective: vec![c0, c1],
+            constraints: rows
+                .into_iter()
+                .map(|(a, b, r)| Constraint {
+                    coeffs: vec![(0, a), (1, b)],
+                    cmp: Cmp::Le,
+                    rhs: r,
+                })
+                // Keep the region bounded so minimization cannot diverge.
+                .chain([
+                    Constraint { coeffs: vec![(0, 1.0)], cmp: Cmp::Le, rhs: 10.0 },
+                    Constraint { coeffs: vec![(1, 1.0)], cmp: Cmp::Le, rhs: 10.0 },
+                ])
+                .collect(),
+        })
+}
+
+fn feasible(p: &LpProblem, x: &[f64]) -> bool {
+    x.iter().all(|v| *v >= -1e-7)
+        && p.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().map(|&(i, a)| a * x[i]).sum();
+            match c.cmp {
+                Cmp::Le => lhs <= c.rhs + 1e-6,
+                Cmp::Ge => lhs >= c.rhs - 1e-6,
+                Cmp::Eq => (lhs - c.rhs).abs() <= 1e-6,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The reported optimum is feasible and beats every grid point.
+    #[test]
+    fn simplex_optimum_dominates_grid(p in small_lp()) {
+        let sol = solve(&p);
+        // Origin is feasible (all rhs >= 0, all Le), so never infeasible.
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        prop_assert!(feasible(&p, &sol.x), "reported optimum violates constraints");
+        let grid_obj = |x0: f64, x1: f64| p.objective[0] * x0 + p.objective[1] * x1;
+        for i in 0..=40 {
+            for j in 0..=40 {
+                let (x0, x1) = (i as f64 * 0.25, j as f64 * 0.25);
+                if feasible(&p, &[x0, x1]) {
+                    prop_assert!(
+                        sol.objective <= grid_obj(x0, x1) + 1e-5,
+                        "grid point ({x0},{x1}) beats the 'optimum'"
+                    );
+                }
+            }
+        }
+    }
+
+    /// ILP branch & bound equals exhaustive enumeration on random binary
+    /// knapsack-with-side-constraints instances.
+    #[test]
+    fn ilp_matches_exhaustive(
+        values in prop::collection::vec(0.0f64..20.0, 3..7),
+        weights in prop::collection::vec(0.0f64..10.0, 3..7),
+        cap in 0.0f64..30.0,
+    ) {
+        let n = values.len().min(weights.len());
+        let p = IlpProblem {
+            lp: LpProblem {
+                num_vars: n,
+                objective: values[..n].iter().map(|v| -v).collect(),
+                constraints: vec![Constraint {
+                    coeffs: weights[..n].iter().copied().enumerate().collect(),
+                    cmp: Cmp::Le,
+                    rhs: cap,
+                }],
+            },
+            add_binary_bounds: true,
+        };
+        let sol = solve_binary(&p);
+        // Exhaustive.
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << n) {
+            let (mut obj, mut w) = (0.0, 0.0);
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    obj -= values[i];
+                    w += weights[i];
+                }
+            }
+            if w <= cap + 1e-9 && obj < best {
+                best = obj;
+            }
+        }
+        prop_assert!((sol.objective - best).abs() < 1e-6, "{} vs {best}", sol.objective);
+        // The reported assignment must itself be feasible and match the
+        // reported objective.
+        let w: f64 = (0..n).filter(|&i| sol.x[i]).map(|i| weights[i]).sum();
+        let o: f64 = (0..n).filter(|&i| sol.x[i]).map(|i| -values[i]).sum();
+        prop_assert!(w <= cap + 1e-9);
+        prop_assert!((o - sol.objective).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+//! Numerical comparison helpers for validating that micro-batched execution
+//! reproduces undivided execution, and that different convolution algorithms
+//! agree with each other up to floating-point reassociation error.
+
+use crate::tensor::Tensor;
+
+/// Largest absolute elementwise difference between two equally-shaped tensors.
+///
+/// # Panics
+/// Panics when shapes differ.
+pub fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "comparing tensors of different shapes");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Largest relative elementwise difference, with an absolute floor of 1.0 in
+/// the denominator so near-zero entries do not blow up the metric.
+pub fn max_rel_diff(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "comparing tensors of different shapes");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+        .fold(0.0, f32::max)
+}
+
+/// Assert that two tensors agree elementwise within `tol` relative error.
+///
+/// # Panics
+/// Panics (with the offending value) when any element disagrees.
+pub fn assert_all_close(a: &Tensor, b: &Tensor, tol: f32) {
+    let d = max_rel_diff(a, b);
+    assert!(
+        d <= tol,
+        "tensors differ: max relative diff {d:.3e} > tolerance {tol:.3e} (shape {})",
+        a.shape()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape4;
+
+    #[test]
+    fn identical_tensors_have_zero_diff() {
+        let t = Tensor::random(Shape4::new(2, 3, 4, 4), 1);
+        assert_eq!(max_abs_diff(&t, &t), 0.0);
+        assert_eq!(max_rel_diff(&t, &t), 0.0);
+        assert_all_close(&t, &t, 0.0);
+    }
+
+    #[test]
+    fn detects_single_element_change() {
+        let a = Tensor::zeros(Shape4::new(1, 1, 2, 2));
+        let mut b = a.clone();
+        b.set(0, 0, 1, 1, 0.5);
+        assert_eq!(max_abs_diff(&a, &b), 0.5);
+        assert!(max_rel_diff(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn rel_diff_scales_with_magnitude() {
+        let a = Tensor::full(Shape4::new(1, 1, 1, 1), 1000.0);
+        let b = Tensor::full(Shape4::new(1, 1, 1, 1), 1001.0);
+        assert!(max_rel_diff(&a, &b) < 2e-3);
+        assert_eq!(max_abs_diff(&a, &b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensors differ")]
+    fn assert_all_close_fails_loudly() {
+        let a = Tensor::zeros(Shape4::new(1, 1, 1, 1));
+        let b = Tensor::full(Shape4::new(1, 1, 1, 1), 1.0);
+        assert_all_close(&a, &b, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn shape_mismatch_panics() {
+        let a = Tensor::zeros(Shape4::new(1, 1, 1, 1));
+        let b = Tensor::zeros(Shape4::new(1, 1, 1, 2));
+        let _ = max_abs_diff(&a, &b);
+    }
+}

@@ -1,0 +1,322 @@
+//! Shape types: activation shapes, filter shapes, and convolution geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of an activation tensor in NCHW order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape4 {
+    /// Mini-batch size.
+    pub n: usize,
+    /// Number of channels.
+    pub c: usize,
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Create a new NCHW shape.
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// Number of scalar elements.
+    pub const fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// True when the tensor holds no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Elements per sample (the stride of the batch dimension).
+    pub const fn sample_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Size in bytes for `f32` storage.
+    pub const fn bytes(&self) -> usize {
+        self.len() * core::mem::size_of::<f32>()
+    }
+
+    /// The same shape with a different batch size — how micro-batch shapes
+    /// are derived from a mini-batch shape.
+    pub const fn with_batch(&self, n: usize) -> Self {
+        Self { n, ..*self }
+    }
+
+    /// Flat offset of element `(n, c, h, w)`.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+}
+
+impl core::fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+/// Shape of a convolution filter bank in KCRS order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FilterShape {
+    /// Number of output channels (filters).
+    pub k: usize,
+    /// Number of input channels per filter.
+    pub c: usize,
+    /// Kernel height.
+    pub r: usize,
+    /// Kernel width.
+    pub s: usize,
+}
+
+impl FilterShape {
+    /// Create a new KCRS filter shape.
+    pub const fn new(k: usize, c: usize, r: usize, s: usize) -> Self {
+        Self { k, c, r, s }
+    }
+
+    /// Number of scalar elements.
+    pub const fn len(&self) -> usize {
+        self.k * self.c * self.r * self.s
+    }
+
+    /// True when the filter bank holds no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bytes for `f32` storage.
+    pub const fn bytes(&self) -> usize {
+        self.len() * core::mem::size_of::<f32>()
+    }
+
+    /// Flat offset of element `(k, c, r, s)`.
+    #[inline]
+    pub fn index(&self, k: usize, c: usize, r: usize, s: usize) -> usize {
+        debug_assert!(k < self.k && c < self.c && r < self.r && s < self.s);
+        ((k * self.c + c) * self.r + r) * self.s + s
+    }
+
+    /// View this filter bank as a 4-D activation shape (used when a filter
+    /// gradient is accumulated like a tensor).
+    pub const fn as_shape4(&self) -> Shape4 {
+        Shape4::new(self.k, self.c, self.r, self.s)
+    }
+}
+
+impl core::fmt::Display for FilterShape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.k, self.c, self.r, self.s)
+    }
+}
+
+/// Full geometry of a 2-D cross-correlation: input shape, filter shape,
+/// padding and stride. This is the unit the optimizer reasons about — every
+/// cuDNN-style descriptor triple collapses to one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvGeometry {
+    /// Input activation shape (N, C, H, W).
+    pub input: Shape4,
+    /// Filter bank shape (K, C, R, S); `filter.c` must equal `input.c`.
+    pub filter: FilterShape,
+    /// Zero padding applied to height (top and bottom).
+    pub pad_h: usize,
+    /// Zero padding applied to width (left and right).
+    pub pad_w: usize,
+    /// Vertical stride.
+    pub stride_h: usize,
+    /// Horizontal stride.
+    pub stride_w: usize,
+}
+
+impl ConvGeometry {
+    /// Construct and validate a convolution geometry.
+    ///
+    /// # Panics
+    /// Panics when channels mismatch, a stride is zero, or the padded input
+    /// is smaller than the kernel.
+    pub fn new(
+        input: Shape4,
+        filter: FilterShape,
+        pad_h: usize,
+        pad_w: usize,
+        stride_h: usize,
+        stride_w: usize,
+    ) -> Self {
+        assert_eq!(
+            input.c, filter.c,
+            "input channels ({}) must match filter channels ({})",
+            input.c, filter.c
+        );
+        assert!(stride_h > 0 && stride_w > 0, "strides must be positive");
+        assert!(
+            input.h + 2 * pad_h >= filter.r && input.w + 2 * pad_w >= filter.s,
+            "padded input {}x{} smaller than kernel {}x{}",
+            input.h + 2 * pad_h,
+            input.w + 2 * pad_w,
+            filter.r,
+            filter.s
+        );
+        Self { input, filter, pad_h, pad_w, stride_h, stride_w }
+    }
+
+    /// Convenience constructor with square padding/stride.
+    pub fn with_square(input: Shape4, filter: FilterShape, pad: usize, stride: usize) -> Self {
+        Self::new(input, filter, pad, pad, stride, stride)
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.input.h + 2 * self.pad_h - self.filter.r) / self.stride_h + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.input.w + 2 * self.pad_w - self.filter.s) / self.stride_w + 1
+    }
+
+    /// Output activation shape (N, K, Ho, Wo).
+    pub fn output(&self) -> Shape4 {
+        Shape4::new(self.input.n, self.filter.k, self.out_h(), self.out_w())
+    }
+
+    /// The same geometry with a different batch size: micro-batch geometry.
+    pub fn with_batch(&self, n: usize) -> Self {
+        Self { input: self.input.with_batch(n), ..*self }
+    }
+
+    /// Mini-batch size of this geometry.
+    pub const fn batch(&self) -> usize {
+        self.input.n
+    }
+
+    /// Multiply-accumulate count of a direct convolution over the full batch.
+    /// All algorithm cost models are expressed relative to this.
+    pub fn macs(&self) -> u128 {
+        (self.input.n * self.filter.k * self.out_h() * self.out_w()) as u128
+            * (self.input.c * self.filter.r * self.filter.s) as u128
+    }
+
+    /// FLOP count (2 FLOPs per MAC) of a direct convolution.
+    pub fn flops(&self) -> u128 {
+        2 * self.macs()
+    }
+}
+
+impl core::fmt::Display for ConvGeometry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "in={} filt={} pad={}x{} stride={}x{}",
+            self.input, self.filter, self.pad_h, self.pad_w, self.stride_h, self.stride_w
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape4_len_and_index() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.sample_len(), 60);
+        assert_eq!(s.bytes(), 480);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(1, 2, 3, 4), 119);
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+    }
+
+    #[test]
+    fn shape4_with_batch_keeps_chw() {
+        let s = Shape4::new(256, 96, 27, 27).with_batch(32);
+        assert_eq!(s, Shape4::new(32, 96, 27, 27));
+    }
+
+    #[test]
+    fn filter_shape_index_roundtrip() {
+        let f = FilterShape::new(4, 3, 2, 2);
+        assert_eq!(f.len(), 48);
+        assert_eq!(f.index(3, 2, 1, 1), 47);
+        assert_eq!(f.as_shape4().len(), f.len());
+    }
+
+    #[test]
+    fn conv_geometry_output_dims() {
+        // AlexNet conv1 (one weird trick): 224x224x3, 11x11 kernel, stride 4, pad 2 -> 55x55.
+        let g = ConvGeometry::with_square(
+            Shape4::new(128, 3, 224, 224),
+            FilterShape::new(64, 3, 11, 11),
+            2,
+            4,
+        );
+        assert_eq!(g.out_h(), 55);
+        assert_eq!(g.out_w(), 55);
+        assert_eq!(g.output(), Shape4::new(128, 64, 55, 55));
+    }
+
+    #[test]
+    fn conv_geometry_same_padding() {
+        // 3x3 stride-1 pad-1 keeps spatial dims.
+        let g = ConvGeometry::with_square(
+            Shape4::new(1, 16, 13, 17),
+            FilterShape::new(8, 16, 3, 3),
+            1,
+            1,
+        );
+        assert_eq!(g.out_h(), 13);
+        assert_eq!(g.out_w(), 17);
+    }
+
+    #[test]
+    fn conv_geometry_flops_match_loop_nest() {
+        let g = ConvGeometry::with_square(
+            Shape4::new(2, 3, 8, 8),
+            FilterShape::new(4, 3, 3, 3),
+            1,
+            1,
+        );
+        // N*K*Ho*Wo*C*R*S MACs.
+        assert_eq!(g.macs(), (2 * 4 * 8 * 8 * 3 * 3 * 3) as u128);
+        assert_eq!(g.flops(), 2 * g.macs());
+    }
+
+    #[test]
+    #[should_panic(expected = "channels")]
+    fn conv_geometry_rejects_channel_mismatch() {
+        ConvGeometry::with_square(Shape4::new(1, 3, 8, 8), FilterShape::new(4, 5, 3, 3), 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strides")]
+    fn conv_geometry_rejects_zero_stride() {
+        ConvGeometry::new(
+            Shape4::new(1, 3, 8, 8),
+            FilterShape::new(4, 3, 3, 3),
+            1,
+            1,
+            0,
+            1,
+        );
+    }
+
+    #[test]
+    fn micro_batch_geometry() {
+        let g = ConvGeometry::with_square(
+            Shape4::new(256, 64, 27, 27),
+            FilterShape::new(192, 64, 5, 5),
+            2,
+            1,
+        );
+        let m = g.with_batch(32);
+        assert_eq!(m.batch(), 32);
+        assert_eq!(m.out_h(), g.out_h());
+        assert_eq!(m.filter, g.filter);
+    }
+}

@@ -1,0 +1,65 @@
+//! Benchmark a full AlexNet training iteration — plain cuDNN vs μ-cuDNN —
+//! on any of the paper's three GPUs.
+//!
+//! ```text
+//! cargo run --release --example alexnet_training -- [k80|p100|v100] [ws_mib] [batch]
+//! cargo run --release --example alexnet_training -- p100 64 256
+//! ```
+
+use ucudnn::{BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions};
+use ucudnn_cudnn_sim::CudnnHandle;
+use ucudnn_framework::{alexnet, time_command, BaselineCudnn};
+use ucudnn_gpu_model::{k80, p100_sxm2, v100_sxm2, DeviceSpec};
+
+const MIB: usize = 1024 * 1024;
+
+fn device(name: &str) -> DeviceSpec {
+    match name {
+        "k80" => k80(),
+        "v100" => v100_sxm2(),
+        _ => p100_sxm2(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dev = device(args.get(1).map(String::as_str).unwrap_or("p100"));
+    let ws_mib: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let batch: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let net = alexnet(batch);
+    println!("AlexNet, batch {batch}, {} — workspace limit {ws_mib} MiB/kernel\n", dev.name);
+
+    // Plain cuDNN: per-layer algorithm under SPECIFY_WORKSPACE_LIMIT.
+    let base = BaselineCudnn::new(CudnnHandle::simulated(dev.clone()), ws_mib * MIB);
+    let rb = time_command(&base, &net, 1).unwrap();
+    println!("--- plain cuDNN ---\n{}", rb.render());
+
+    // μ-cuDNN with the `all` policy.
+    let mu = UcudnnHandle::new(
+        CudnnHandle::simulated(dev),
+        UcudnnOptions {
+            policy: BatchSizePolicy::All,
+            workspace_limit_bytes: ws_mib * MIB,
+            mode: OptimizerMode::Wr,
+            ..Default::default()
+        },
+    );
+    let rm = time_command(&mu, &net, 1).unwrap();
+    println!("--- ucudnn (WR, all) ---\n{}", rm.render());
+
+    println!(
+        "speedup: {:.2}x entire iteration, {:.2}x convolutions alone",
+        rb.timing.total_us() / rm.timing.total_us(),
+        rb.timing.conv_us() / rm.timing.conv_us()
+    );
+    println!(
+        "optimization took {:.1} ms ({} kernel benchmarks)",
+        mu.optimization_wall_us() / 1000.0,
+        mu.cache_stats().misses
+    );
+    for (key, config, _) in mu.memory_report() {
+        if !config.is_undivided() {
+            println!("  {key}: {config}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: wrap a cuDNN-style handle with μ-cuDNN and watch it unlock a
+//! fast convolution algorithm under a tight workspace limit.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ucudnn::{BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions};
+use ucudnn_cudnn_sim::{
+    ConvOp, ConvolutionDescriptor, CudnnHandle, FilterDescriptor, TensorDescriptor,
+};
+use ucudnn_gpu_model::p100_sxm2;
+
+const MIB: usize = 1024 * 1024;
+
+fn main() {
+    // 1. A handle to the substrate — here the simulated P100 from the
+    //    paper's evaluation. (With a real cuDNN this would be the only line
+    //    that changes in your framework.)
+    let cudnn = CudnnHandle::simulated(p100_sxm2());
+
+    // 2. Wrap it. WR mode, 64 MiB per-kernel workspace, powerOfTwo policy.
+    let handle = UcudnnHandle::new(
+        cudnn,
+        UcudnnOptions {
+            policy: BatchSizePolicy::PowerOfTwo,
+            workspace_limit_bytes: 64 * MIB,
+            mode: OptimizerMode::Wr,
+            ..Default::default()
+        },
+    );
+
+    // 3. Describe AlexNet's conv2 like any framework would.
+    let x = TensorDescriptor::new_4d(256, 64, 27, 27).unwrap();
+    let w = FilterDescriptor::new_4d(192, 64, 5, 5).unwrap();
+    let conv = ConvolutionDescriptor::new_2d(2, 2, 1, 1).unwrap();
+
+    // 4. Ask for an algorithm. μ-cuDNN optimizes the micro-batch division
+    //    behind this call and reports zero required workspace.
+    let algo = handle.get_algorithm(ConvOp::Forward, &x, &w, &conv).unwrap();
+    let ws = handle.get_workspace_size(ConvOp::Forward, &x, &w, &conv, algo).unwrap();
+    assert_eq!(ws, 0);
+
+    // 5. Inspect the installed plan.
+    let g = conv.geometry(&x, &w).unwrap();
+    let plan = handle.plan(ConvOp::Forward, &g).expect("plan installed by get_algorithm");
+    println!("conv2 plan under 64 MiB: {}", plan.config);
+    println!(
+        "  total time {:.3} ms, resident workspace {:.1} MiB",
+        plan.config.time_us() / 1000.0,
+        plan.config.workspace_bytes() as f64 / MIB as f64
+    );
+
+    // 6. Execute: the wrapper replays the plan as micro-batch kernels.
+    //    (Simulated engine: empty data buffers, virtual clock.)
+    let y = TensorDescriptor::from_shape(g.output()).unwrap();
+    handle
+        .convolution_forward(1.0, &x, &[], &w, &[], &conv, algo, 0.0, &y, &mut [])
+        .unwrap();
+    println!(
+        "executed {} kernels in {:.3} ms of simulated GPU time",
+        handle.kernels_launched(),
+        handle.elapsed_us() / 1000.0
+    );
+
+    // Compare with what plain cuDNN would have done under the same limit.
+    let baseline = CudnnHandle::simulated(p100_sxm2());
+    let perfs = baseline.find_algorithms(ConvOp::Forward, &x, &w, &conv).unwrap();
+    let fallback = perfs.iter().find(|p| p.memory_bytes <= 64 * MIB).unwrap();
+    println!(
+        "plain cuDNN at 64 MiB: {} in {:.3} ms -> micro-batching is {:.2}x faster",
+        fallback.algo,
+        fallback.time_us / 1000.0,
+        fallback.time_us / plan.config.time_us()
+    );
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate: re-exports the whole μ-cuDNN reproduction workspace.
+pub use ucudnn;
+pub use ucudnn_conv as conv;
+pub use ucudnn_cudnn_sim as cudnn_sim;
+pub use ucudnn_framework as framework;
+pub use ucudnn_gpu_model as gpu_model;
+pub use ucudnn_lp as lp;
+pub use ucudnn_tensor as tensor;

@@ -1,0 +1,151 @@
+//! Calibration regression: the headline shapes recorded in EXPERIMENTS.md,
+//! pinned as assertions so model changes that silently break the
+//! reproduction fail loudly. Bands are deliberately wide — the claim is the
+//! *shape* (who wins, roughly by how much), not a fragile constant.
+
+use ucudnn::{BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions};
+use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
+use ucudnn_framework::{alexnet, setup_network, time_command};
+use ucudnn_gpu_model::{enumerate, fastest_within, p100_sxm2};
+
+const MIB: usize = 1024 * 1024;
+
+fn conv2_geometry() -> ucudnn_tensor::ConvGeometry {
+    let net = alexnet(256);
+    net.conv_geometry(net.conv_layers()[1])
+}
+
+fn alexnet_speedup(limit: usize, policy: BatchSizePolicy) -> (f64, f64) {
+    let net = alexnet(256);
+    let undiv = UcudnnHandle::new(
+        CudnnHandle::simulated(p100_sxm2()),
+        UcudnnOptions {
+            policy: BatchSizePolicy::Undivided,
+            workspace_limit_bytes: limit,
+            mode: OptimizerMode::Wr,
+            ..Default::default()
+        },
+    );
+    let ru = time_command(&undiv, &net, 1).unwrap();
+    let opt = UcudnnHandle::new(
+        CudnnHandle::simulated(p100_sxm2()),
+        UcudnnOptions {
+            policy,
+            workspace_limit_bytes: limit,
+            mode: OptimizerMode::Wr,
+            ..Default::default()
+        },
+    );
+    let ro = time_command(&opt, &net, 1).unwrap();
+    (
+        ru.timing.total_us() / ro.timing.total_us(),
+        ru.timing.conv_us() / ro.timing.conv_us(),
+    )
+}
+
+/// Fig. 1: conv2's "-1 byte" cliff is large (paper: 4.51×; band: ≥ 2×).
+#[test]
+fn conv2_cliff_band() {
+    let d = p100_sxm2();
+    let g = conv2_geometry();
+    let best = enumerate(&d, ConvOp::Forward, &g)[0];
+    let constrained =
+        fastest_within(&d, ConvOp::Forward, &g, best.workspace_bytes - 1).unwrap();
+    let cliff = constrained.time_us / best.time_us;
+    assert!((2.0..8.0).contains(&cliff), "conv2 cliff {cliff:.2} left the band");
+}
+
+/// Fig. 10 @ P100: `all` vs `undivided` at 64 MiB lands near the paper's
+/// 1.40× iteration / 1.63× convolution speedups.
+#[test]
+fn alexnet_p100_64mib_band() {
+    let (iter, conv) = alexnet_speedup(64 * MIB, BatchSizePolicy::All);
+    assert!((1.2..1.8).contains(&iter), "iteration speedup {iter:.2} left the band");
+    assert!((1.3..2.2).contains(&conv), "convolution speedup {conv:.2} left the band");
+}
+
+/// Fig. 10: no gain at 8 MiB, parity at 512 MiB (P100, batch 256).
+#[test]
+fn alexnet_p100_extremes_band() {
+    let (iter8, _) = alexnet_speedup(8 * MIB, BatchSizePolicy::All);
+    assert!((0.99..1.1).contains(&iter8), "8 MiB speedup {iter8:.3} should be ~1");
+    let (iter512, _) = alexnet_speedup(512 * MIB, BatchSizePolicy::All);
+    assert!((0.99..1.05).contains(&iter512), "512 MiB speedup {iter512:.3} should be ~1");
+}
+
+/// §IV-A: conv2 `all` beats `undivided` by a large factor at 64 MiB
+/// (paper: 2.33×).
+#[test]
+fn conv2_wr_band() {
+    let handle = CudnnHandle::simulated(p100_sxm2());
+    let mut cache = ucudnn::BenchCache::new();
+    let key = ucudnn::KernelKey::new(ConvOp::Forward, &conv2_geometry());
+    let u = ucudnn::optimize_wr(&handle, &mut cache, &key, 64 * MIB, BatchSizePolicy::Undivided, false)
+        .unwrap();
+    let a = ucudnn::optimize_wr(&handle, &mut cache, &key, 64 * MIB, BatchSizePolicy::All, false)
+        .unwrap();
+    let speedup = u.config.time_us() / a.config.time_us();
+    assert!((1.8..3.5).contains(&speedup), "conv2 speedup {speedup:.2} left the band");
+}
+
+/// Fig. 14: under a tight total budget WD concentrates the workspace on
+/// conv2/conv3 (paper: 93.7% of 120 MiB).
+#[test]
+fn wd_concentrates_on_conv2_conv3() {
+    let net = alexnet(256);
+    let handle = UcudnnHandle::new(
+        CudnnHandle::simulated(p100_sxm2()),
+        UcudnnOptions {
+            policy: BatchSizePolicy::PowerOfTwo,
+            workspace_limit_bytes: 120 * MIB,
+            mode: OptimizerMode::Wd,
+            ..Default::default()
+        },
+    );
+    setup_network(&handle, &net).unwrap();
+    let plan = handle.wd_plan().unwrap();
+    let conv23: usize = plan
+        .assignments
+        .iter()
+        .filter(|a| {
+            let g = a.kernel.geometry();
+            // conv2 reads 64ch 27x27; conv3 reads 192ch 13x13.
+            (g.input.c == 64 && g.input.h == 27) || (g.input.c == 192 && g.input.h == 13)
+        })
+        .map(|a| a.config.workspace_bytes())
+        .sum();
+    let share = conv23 as f64 / plan.total_workspace_bytes.max(1) as f64;
+    assert!(share > 0.8, "conv2+conv3 share {share:.2} should dominate (paper 0.937)");
+}
+
+/// The workspace-memory claim of Fig. 10: `all` at 64 MiB uses several
+/// times less workspace than `undivided` at 512 MiB while being at least
+/// as fast.
+#[test]
+fn all_64_dominates_undivided_512_on_memory() {
+    let net = alexnet(256);
+    let roomy = UcudnnHandle::new(
+        CudnnHandle::simulated(p100_sxm2()),
+        UcudnnOptions {
+            policy: BatchSizePolicy::Undivided,
+            workspace_limit_bytes: 512 * MIB,
+            mode: OptimizerMode::Wr,
+            ..Default::default()
+        },
+    );
+    let rr = time_command(&roomy, &net, 1).unwrap();
+    let lean = UcudnnHandle::new(
+        CudnnHandle::simulated(p100_sxm2()),
+        UcudnnOptions {
+            policy: BatchSizePolicy::All,
+            workspace_limit_bytes: 64 * MIB,
+            mode: OptimizerMode::Wr,
+            ..Default::default()
+        },
+    );
+    let rl = time_command(&lean, &net, 1).unwrap();
+    let mem_ratio = rr.workspace_bytes as f64 / rl.workspace_bytes as f64;
+    assert!(mem_ratio > 3.0, "memory ratio {mem_ratio:.2} (paper ~4.1x)");
+    let slowdown = rl.timing.total_us() / rr.timing.total_us();
+    assert!(slowdown < 1.35, "lean config too slow: {slowdown:.2}x (paper 1.04x)");
+}

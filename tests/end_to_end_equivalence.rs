@@ -1,0 +1,145 @@
+//! End-to-end numerical-equivalence tests (real CPU arithmetic): a full
+//! training step executed through μ-cuDNN — which splits every convolution
+//! into micro-batches — must match the undivided plain-cuDNN step.
+//!
+//! This validates the paper's central safety claim (§II): loop splitting of
+//! the mini-batch dimension, with `beta = 1` accumulation for
+//! BackwardFilter, leaves computational semantics unchanged.
+
+use ucudnn::{BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions};
+use ucudnn_cudnn_sim::CudnnHandle;
+use ucudnn_framework::{
+    BaselineCudnn, ConvProvider, LayerSpec, NetworkDef, Params, RealExecutor,
+};
+use ucudnn_tensor::{max_rel_diff, Shape4, Tensor};
+
+fn micro_handle(ws_bytes: usize) -> UcudnnHandle {
+    UcudnnHandle::new(
+        CudnnHandle::real_cpu(),
+        UcudnnOptions {
+            policy: BatchSizePolicy::All,
+            workspace_limit_bytes: ws_bytes,
+            mode: OptimizerMode::Wr,
+            ..Default::default()
+        },
+    )
+}
+
+fn assert_params_close(a: &[Params], b: &[Params], tol: f32) {
+    for (pa, pb) in a.iter().zip(b) {
+        let (wa, wb): (&[f32], &[f32]) = match (pa, pb) {
+            (Params::Conv { w: x, .. }, Params::Conv { w: y, .. }) => (x, y),
+            (Params::Fc { w: x, .. }, Params::Fc { w: y, .. }) => (x, y),
+            (Params::Bn { gamma: x, .. }, Params::Bn { gamma: y, .. }) => (x, y),
+            (Params::None, Params::None) => continue,
+            other => panic!("parameter kind mismatch: {other:?}"),
+        };
+        for (x, y) in wa.iter().zip(wb) {
+            let d = (x - y).abs() / x.abs().max(y.abs()).max(1.0);
+            assert!(d <= tol, "gradient mismatch {x} vs {y} (rel {d:.3e})");
+        }
+    }
+}
+
+/// Run one training step with both providers and compare everything.
+fn check_equivalence(net: NetworkDef, seed: u64, ws_bytes: usize, tol: f32) {
+    let exec = RealExecutor::new(net.clone(), seed);
+    let x = Tensor::random(net.input_shape(), seed + 1);
+    let last = net.len() - 1;
+    let dloss = Tensor::random(net.output_shape(last), seed + 2);
+
+    let base = BaselineCudnn::new(CudnnHandle::real_cpu(), 64 << 20);
+    let acts_ref = exec.forward(&base, &x).unwrap();
+    let (grads_ref, dx_ref) = exec.backward(&base, &acts_ref, &dloss).unwrap();
+
+    let mu = micro_handle(ws_bytes);
+    let acts_mu = exec.forward(&mu, &x).unwrap();
+    let (grads_mu, dx_mu) = exec.backward(&mu, &acts_mu, &dloss).unwrap();
+
+    // The limit must actually force splitting, or the test proves nothing.
+    assert!(
+        mu.inner().kernels_launched() > base.handle().kernels_launched(),
+        "workspace limit did not force micro-batching"
+    );
+
+    assert!(max_rel_diff(&acts_ref[last], &acts_mu[last]) <= tol, "outputs diverge");
+    assert!(max_rel_diff(&dx_ref, &dx_mu) <= tol, "input gradients diverge");
+    assert_params_close(&grads_ref, &grads_mu, tol);
+}
+
+#[test]
+fn plain_cnn_step_is_preserved() {
+    let mut net = NetworkDef::new("cnn", Shape4::new(10, 3, 12, 12));
+    let c1 = net.conv_relu("conv1", net.input(), 8, 5, 1, 2);
+    let p = net.add("pool", LayerSpec::Pool { max: true, kernel: 2, stride: 2, pad: 0 }, &[c1]);
+    let c2 = net.conv_relu("conv2", p, 12, 3, 1, 1);
+    net.add("fc", LayerSpec::FullyConnected { out: 7 }, &[c2]);
+    check_equivalence(net, 11, 64 << 10, 1e-3);
+}
+
+#[test]
+fn residual_block_with_batchnorm_is_preserved() {
+    // BatchNorm couples samples across the batch — but μ-cuDNN never splits
+    // BN, so the step must still match exactly (up to f32 reassociation).
+    let mut net = NetworkDef::new("res", Shape4::new(9, 4, 10, 10));
+    let c1 = net.conv_bn_relu("conv1", net.input(), 8, 3, 1, 1);
+    let c2 = net.add("conv2", LayerSpec::Conv { out_channels: 8, kernel: 3, stride: 1, pad: 1 }, &[c1]);
+    let b2 = net.add("conv2.bn", LayerSpec::BatchNorm, &[c2]);
+    let sum = net.add("add", LayerSpec::Add, &[b2, c1]);
+    let r = net.add("relu", LayerSpec::Relu, &[sum]);
+    let gap = net.add("gap", LayerSpec::GlobalAvgPool, &[r]);
+    net.add("fc", LayerSpec::FullyConnected { out: 4 }, &[gap]);
+    check_equivalence(net, 23, 48 << 10, 1e-3);
+}
+
+#[test]
+fn concat_network_is_preserved() {
+    // DenseNet-style concatenation.
+    let mut net = NetworkDef::new("dense", Shape4::new(6, 3, 8, 8));
+    let c1 = net.add("c1", LayerSpec::Conv { out_channels: 4, kernel: 3, stride: 1, pad: 1 }, &[0]);
+    let cat1 = net.add("cat1", LayerSpec::Concat, &[0, c1]);
+    let c2 = net.add("c2", LayerSpec::Conv { out_channels: 4, kernel: 3, stride: 1, pad: 1 }, &[cat1]);
+    let cat2 = net.add("cat2", LayerSpec::Concat, &[cat1, c2]);
+    net.add("fc", LayerSpec::FullyConnected { out: 3 }, &[cat2]);
+    check_equivalence(net, 37, 32 << 10, 1e-3);
+}
+
+#[test]
+fn odd_batch_sizes_are_tiled_exactly() {
+    // A prime batch size cannot be split uniformly; the DP must still tile
+    // it exactly and the numerics must hold.
+    let mut net = NetworkDef::new("odd", Shape4::new(13, 2, 9, 9));
+    let c1 = net.conv_relu("conv1", net.input(), 6, 3, 1, 1);
+    net.add("fc", LayerSpec::FullyConnected { out: 5 }, &[c1]);
+    check_equivalence(net, 41, 16 << 10, 1e-3);
+}
+
+#[test]
+fn strided_convolutions_are_preserved() {
+    // Stride > 1 excludes FFT/Winograd; only GEMM-family algorithms apply,
+    // and splitting must still be exact.
+    let mut net = NetworkDef::new("strided", Shape4::new(8, 3, 17, 17));
+    let c1 = net.conv_relu("conv1", net.input(), 6, 5, 2, 2);
+    let c2 = net.conv_relu("conv2", c1, 8, 3, 2, 1);
+    net.add("fc", LayerSpec::FullyConnected { out: 4 }, &[c2]);
+    check_equivalence(net, 53, 8 << 10, 1e-3);
+}
+
+#[test]
+fn repeated_steps_reuse_plans_and_stay_consistent() {
+    // Two consecutive steps through the same handle must produce identical
+    // results (plans are cached, workspaces reused).
+    let mut net = NetworkDef::new("twice", Shape4::new(6, 2, 8, 8));
+    let c1 = net.conv_relu("conv1", net.input(), 4, 3, 1, 1);
+    net.add("fc", LayerSpec::FullyConnected { out: 3 }, &[c1]);
+    let exec = RealExecutor::new(net.clone(), 61);
+    let x = Tensor::random(net.input_shape(), 62);
+    let mu = micro_handle(16 << 10);
+    let a1 = exec.forward(&mu, &x).unwrap();
+    let a2 = exec.forward(&mu, &x).unwrap();
+    let last = net.len() - 1;
+    assert_eq!(a1[last], a2[last], "repeated execution must be bitwise identical");
+    // Optimization ran once: the second pass hit the plan cache.
+    let stats = mu.cache_stats();
+    assert!(stats.misses > 0);
+}

@@ -1,0 +1,96 @@
+//! The file-based benchmark database (§III-D): offline benchmarking and
+//! result sharing across homogeneous nodes through the transparent handle.
+
+use ucudnn::{BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions};
+use ucudnn_cudnn_sim::{ConvOp, ConvolutionDescriptor, CudnnHandle, FilterDescriptor, TensorDescriptor};
+use ucudnn_gpu_model::{p100_sxm2, v100_sxm2};
+
+const MIB: usize = 1024 * 1024;
+
+fn tmp_db(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ucudnn-offline-{}-{}", tag, std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("bench.json")
+}
+
+fn opts(db: &std::path::Path) -> UcudnnOptions {
+    UcudnnOptions {
+        policy: BatchSizePolicy::PowerOfTwo,
+        workspace_limit_bytes: 64 * MIB,
+        mode: OptimizerMode::Wr,
+        cache_file: Some(db.to_path_buf()),
+        parallel_benchmark: false,
+    }
+}
+
+fn conv2_descs() -> (TensorDescriptor, FilterDescriptor, ConvolutionDescriptor) {
+    (
+        TensorDescriptor::new_4d(128, 64, 27, 27).unwrap(),
+        FilterDescriptor::new_4d(192, 64, 5, 5).unwrap(),
+        ConvolutionDescriptor::new_2d(2, 2, 1, 1).unwrap(),
+    )
+}
+
+#[test]
+fn second_handle_reuses_the_file_database() {
+    let db = tmp_db("reuse");
+    let (x, w, c) = conv2_descs();
+
+    // "Offline" pass: benchmark, optimize, persist.
+    let plan_a = {
+        let h = UcudnnHandle::new(CudnnHandle::simulated(p100_sxm2()), opts(&db));
+        h.get_algorithm(ConvOp::Forward, &x, &w, &c).unwrap();
+        assert!(h.cache_stats().misses > 0, "cold cache must benchmark");
+        h.save_cache().unwrap();
+        let g = c.geometry(&x, &w).unwrap();
+        h.plan(ConvOp::Forward, &g).unwrap()
+    };
+
+    // "Online" pass on another handle (another process/node in the paper's
+    // NFS-sharing scenario): zero benchmarks, identical plan.
+    let h2 = UcudnnHandle::new(CudnnHandle::simulated(p100_sxm2()), opts(&db));
+    h2.get_algorithm(ConvOp::Forward, &x, &w, &c).unwrap();
+    assert_eq!(h2.cache_stats().misses, 0, "warm cache must not re-benchmark");
+    let g = c.geometry(&x, &w).unwrap();
+    let plan_b = h2.plan(ConvOp::Forward, &g).unwrap();
+    assert_eq!(plan_a.config.describe(), plan_b.config.describe());
+    assert_eq!(plan_a.config.workspace_bytes(), plan_b.config.workspace_bytes());
+
+    std::fs::remove_dir_all(db.parent().unwrap()).ok();
+}
+
+#[test]
+fn different_devices_never_share_cached_results() {
+    let db = tmp_db("devices");
+    let (x, w, c) = conv2_descs();
+    {
+        let h = UcudnnHandle::new(CudnnHandle::simulated(p100_sxm2()), opts(&db));
+        h.get_algorithm(ConvOp::Forward, &x, &w, &c).unwrap();
+        h.save_cache().unwrap();
+    }
+    // A V100 handle with the P100's database must still benchmark.
+    let h2 = UcudnnHandle::new(CudnnHandle::simulated(v100_sxm2()), opts(&db));
+    h2.get_algorithm(ConvOp::Forward, &x, &w, &c).unwrap();
+    assert!(h2.cache_stats().misses > 0, "a different device must re-benchmark");
+
+    std::fs::remove_dir_all(db.parent().unwrap()).ok();
+}
+
+#[test]
+fn parallel_and_serial_benchmarking_agree() {
+    let (x, w, c) = conv2_descs();
+    let g = c.geometry(&x, &w).unwrap();
+    let serial = UcudnnHandle::new(
+        CudnnHandle::simulated(p100_sxm2()),
+        UcudnnOptions { parallel_benchmark: false, ..opts(std::path::Path::new("/nonexistent")) },
+    );
+    let parallel = UcudnnHandle::new(
+        CudnnHandle::simulated(p100_sxm2()),
+        UcudnnOptions { parallel_benchmark: true, ..opts(std::path::Path::new("/nonexistent2")) },
+    );
+    serial.get_algorithm(ConvOp::Forward, &x, &w, &c).unwrap();
+    parallel.get_algorithm(ConvOp::Forward, &x, &w, &c).unwrap();
+    let ps = serial.plan(ConvOp::Forward, &g).unwrap();
+    let pp = parallel.plan(ConvOp::Forward, &g).unwrap();
+    assert_eq!(ps.config, pp.config, "parallel evaluation must not change the plan");
+}

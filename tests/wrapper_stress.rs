@@ -1,0 +1,130 @@
+//! Stateful stress test: drive the transparent wrapper through randomized
+//! sequences of API calls (registration, workspace queries, execution of
+//! all three ops, repeated layers, WD finalization at arbitrary points) and
+//! check its invariants after every step.
+
+use proptest::prelude::*;
+use ucudnn::{BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions, VIRTUAL_ALGO};
+use ucudnn_cudnn_sim::{
+    ConvOp, ConvolutionDescriptor, CudnnHandle, FilterDescriptor, TensorDescriptor,
+};
+use ucudnn_gpu_model::p100_sxm2;
+use ucudnn_tensor::ConvGeometry;
+
+const MIB: usize = 1024 * 1024;
+
+/// A small menu of layer shapes the random walk draws from.
+fn menu() -> Vec<ConvGeometry> {
+    use ucudnn_tensor::{FilterShape, Shape4};
+    vec![
+        ConvGeometry::with_square(Shape4::new(32, 16, 27, 27), FilterShape::new(32, 16, 5, 5), 2, 1),
+        ConvGeometry::with_square(Shape4::new(32, 32, 14, 14), FilterShape::new(32, 32, 3, 3), 1, 1),
+        ConvGeometry::with_square(Shape4::new(32, 8, 56, 56), FilterShape::new(16, 8, 1, 1), 0, 1),
+        ConvGeometry::with_square(Shape4::new(32, 3, 32, 32), FilterShape::new(8, 3, 7, 7), 3, 2),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    Register { layer: usize, op: usize },
+    QueryWorkspace { layer: usize, op: usize },
+    Execute { layer: usize, op: usize },
+    Finalize,
+}
+
+fn actions() -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..4, 0usize..3).prop_map(|(layer, op)| Action::Register { layer, op }),
+            (0usize..4, 0usize..3).prop_map(|(layer, op)| Action::QueryWorkspace { layer, op }),
+            (0usize..4, 0usize..3).prop_map(|(layer, op)| Action::Execute { layer, op }),
+            Just(Action::Finalize),
+        ],
+        1..24,
+    )
+}
+
+fn descriptors(
+    g: &ConvGeometry,
+) -> (TensorDescriptor, FilterDescriptor, ConvolutionDescriptor, TensorDescriptor) {
+    (
+        TensorDescriptor::from_shape(g.input).unwrap(),
+        FilterDescriptor::from_shape(g.filter).unwrap(),
+        ConvolutionDescriptor::new_2d(g.pad_h, g.pad_w, g.stride_h, g.stride_w).unwrap(),
+        TensorDescriptor::from_shape(g.output()).unwrap(),
+    )
+}
+
+fn run_walk(mode: OptimizerMode, limit: usize, walk: &[Action]) {
+    let layers = menu();
+    let h = UcudnnHandle::new(
+        CudnnHandle::simulated(p100_sxm2()),
+        UcudnnOptions {
+            policy: BatchSizePolicy::PowerOfTwo,
+            workspace_limit_bytes: limit,
+            mode,
+            ..Default::default()
+        },
+    );
+    for a in walk {
+        match a {
+            Action::Register { layer, op } => {
+                let g = &layers[*layer];
+                let (x, w, c, _) = descriptors(g);
+                let algo = h.get_algorithm(ConvOp::ALL[*op], &x, &w, &c).unwrap();
+                assert_eq!(algo, VIRTUAL_ALGO);
+            }
+            Action::QueryWorkspace { layer, op } => {
+                let g = &layers[*layer];
+                let (x, w, c, _) = descriptors(g);
+                let ws =
+                    h.get_workspace_size(ConvOp::ALL[*op], &x, &w, &c, VIRTUAL_ALGO).unwrap();
+                assert_eq!(ws, 0, "the wrapper always reports zero workspace");
+            }
+            Action::Execute { layer, op } => {
+                let g = &layers[*layer];
+                let (x, w, c, y) = descriptors(g);
+                let before = h.inner().kernels_launched();
+                match ConvOp::ALL[*op] {
+                    ConvOp::Forward => h
+                        .convolution_forward(1.0, &x, &[], &w, &[], &c, VIRTUAL_ALGO, 0.0, &y, &mut [])
+                        .unwrap(),
+                    ConvOp::BackwardData => h
+                        .convolution_backward_data(1.0, &w, &[], &y, &[], &c, VIRTUAL_ALGO, 0.0, &x, &mut [])
+                        .unwrap(),
+                    ConvOp::BackwardFilter => h
+                        .convolution_backward_filter(1.0, &x, &[], &y, &[], &c, VIRTUAL_ALGO, 0.0, &w, &mut [])
+                        .unwrap(),
+                }
+                // The execution replayed exactly the installed plan.
+                let plan = h.plan(ConvOp::ALL[*op], g).expect("plan exists after execution");
+                assert_eq!(
+                    h.inner().kernels_launched() - before,
+                    plan.config.micros.len() as u64
+                );
+                assert_eq!(plan.config.batch(), g.input.n);
+                assert!(plan.config.workspace_bytes() <= limit);
+            }
+            Action::Finalize => h.finalize_network().unwrap(),
+        }
+        // Global invariants after every action.
+        for (_, config, bytes) in h.memory_report() {
+            assert!(bytes <= limit);
+            assert_eq!(config.workspace_bytes(), bytes);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn wr_wrapper_survives_random_walks(walk in actions(), limit_mib in 1usize..128) {
+        run_walk(OptimizerMode::Wr, limit_mib * MIB, &walk);
+    }
+
+    #[test]
+    fn wd_wrapper_survives_random_walks(walk in actions(), limit_mib in 8usize..256) {
+        run_walk(OptimizerMode::Wd, limit_mib * MIB, &walk);
+    }
+}
