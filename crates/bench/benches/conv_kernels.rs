@@ -39,26 +39,22 @@ fn bench_forward(c: &mut Criterion) {
             }
             let mut y = Tensor::zeros(g.output());
             let mut ws = vec![0.0f32; workspace_floats(engine, ConvOp::Forward, &g)];
-            group.bench_with_input(
-                BenchmarkId::new(format!("{engine:?}"), name),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        exec(
-                            engine,
-                            ConvOp::Forward,
-                            g,
-                            x.as_slice(),
-                            w.as_slice(),
-                            y.as_mut_slice(),
-                            1.0,
-                            0.0,
-                            &mut ws,
-                        )
-                        .unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{engine:?}"), name), &g, |b, g| {
+                b.iter(|| {
+                    exec(
+                        engine,
+                        ConvOp::Forward,
+                        g,
+                        x.as_slice(),
+                        w.as_slice(),
+                        y.as_mut_slice(),
+                        1.0,
+                        0.0,
+                        &mut ws,
+                    )
+                    .unwrap()
+                })
+            });
         }
     }
     group.finish();

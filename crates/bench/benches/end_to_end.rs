@@ -40,7 +40,11 @@ fn bench_setup(c: &mut Criterion) {
     let net = alexnet(256);
     let mut group = c.benchmark_group("network_setup");
     group.sample_size(10);
-    for policy in [BatchSizePolicy::Undivided, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::All] {
+    for policy in [
+        BatchSizePolicy::Undivided,
+        BatchSizePolicy::PowerOfTwo,
+        BatchSizePolicy::All,
+    ] {
         group.bench_function(BenchmarkId::new("wr", policy.name()), |b| {
             b.iter(|| {
                 // Fresh handle each time: measures cold optimization cost.

@@ -30,15 +30,14 @@ fn bench_wr(c: &mut Criterion) {
     ] {
         // Warm cache outside the measurement so the bench isolates the DP
         // (benchmarks themselves are covered by the cache-stats bench).
-        let mut cache = BenchCache::new();
-        optimize_wr(&handle, &mut cache, &conv2(batch), 64 * MIB, policy, false).unwrap();
+        let cache = BenchCache::new();
+        optimize_wr(&handle, &cache, &conv2(batch), 64 * MIB, policy, false).unwrap();
         group.bench_with_input(
             BenchmarkId::new(policy.name(), batch),
             &batch,
             |b, &batch| {
                 b.iter(|| {
-                    optimize_wr(&handle, &mut cache, &conv2(batch), 64 * MIB, policy, false)
-                        .unwrap()
+                    optimize_wr(&handle, &cache, &conv2(batch), 64 * MIB, policy, false).unwrap()
                 })
             },
         );
@@ -51,19 +50,29 @@ fn bench_pareto(c: &mut Criterion) {
     let mut group = c.benchmark_group("desirable_set");
     group.sample_size(10);
     for batch in [64usize, 256] {
-        let mut cache = BenchCache::new();
-        desirable_set(&handle, &mut cache, &conv2(batch), 120 * MIB, BatchSizePolicy::PowerOfTwo);
-        group.bench_with_input(BenchmarkId::new("powerOfTwo", batch), &batch, |b, &batch| {
-            b.iter(|| {
-                desirable_set(
-                    &handle,
-                    &mut cache,
-                    &conv2(batch),
-                    120 * MIB,
-                    BatchSizePolicy::PowerOfTwo,
-                )
-            })
-        });
+        let cache = BenchCache::new();
+        desirable_set(
+            &handle,
+            &cache,
+            &conv2(batch),
+            120 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("powerOfTwo", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    desirable_set(
+                        &handle,
+                        &cache,
+                        &conv2(batch),
+                        120 * MIB,
+                        BatchSizePolicy::PowerOfTwo,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -94,9 +103,15 @@ fn bench_wd_ilp(c: &mut Criterion) {
     let mut group = c.benchmark_group("wd_ilp");
     group.sample_size(10);
     for total_mib in [64usize, 512] {
-        let mut cache = BenchCache::new();
-        optimize_wd(&handle, &mut cache, &kernels, total_mib * MIB, BatchSizePolicy::PowerOfTwo)
-            .unwrap();
+        let cache = BenchCache::new();
+        optimize_wd(
+            &handle,
+            &cache,
+            &kernels,
+            total_mib * MIB,
+            BatchSizePolicy::PowerOfTwo,
+        )
+        .unwrap();
         group.bench_with_input(
             BenchmarkId::new("alexnet_kernels", total_mib),
             &total_mib,
@@ -104,7 +119,7 @@ fn bench_wd_ilp(c: &mut Criterion) {
                 b.iter(|| {
                     optimize_wd(
                         &handle,
-                        &mut cache,
+                        &cache,
                         &kernels,
                         total_mib * MIB,
                         BatchSizePolicy::PowerOfTwo,

@@ -11,7 +11,7 @@ use ucudnn_lp::{Item, MckInstance};
 
 fn main() {
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = BenchCache::new();
+    let cache = BenchCache::new();
     // Kernels from AlexNet at a modest batch so exhaustive search stays
     // tractable (product of group sizes).
     let net = alexnet(32);
@@ -28,15 +28,21 @@ fn main() {
         let groups: Vec<Vec<Item>> = kernels
             .iter()
             .map(|k| {
-                desirable_set(&handle, &mut cache, k, cap, BatchSizePolicy::PowerOfTwo)
+                desirable_set(&handle, &cache, k, cap, BatchSizePolicy::PowerOfTwo)
                     .iter()
-                    .map(|c| Item { cost: c.time_us(), weight: c.workspace_bytes() as f64 })
+                    .map(|c| Item {
+                        cost: c.time_us(),
+                        weight: c.workspace_bytes() as f64,
+                    })
                     .collect()
             })
             .collect();
         let vars: usize = groups.iter().map(Vec::len).sum();
         let space: usize = groups.iter().map(Vec::len).product();
-        let inst = MckInstance { groups, capacity: (cap + cap / 2) as f64 };
+        let inst = MckInstance {
+            groups,
+            capacity: (cap + cap / 2) as f64,
+        };
 
         let t0 = std::time::Instant::now();
         let bb = inst.solve();
@@ -49,7 +55,10 @@ fn main() {
             (Some((_, a)), Some((_, b))) => (*a, *b),
             _ => panic!("both solvers must find a solution"),
         };
-        assert!((bb_v - ex_v).abs() <= 1e-6 * ex_v.max(1.0), "B&B != exhaustive");
+        assert!(
+            (bb_v - ex_v).abs() <= 1e-6 * ex_v.max(1.0),
+            "B&B != exhaustive"
+        );
         rows.push(vec![
             num_kernels.to_string(),
             vars.to_string(),
@@ -69,13 +78,29 @@ fn main() {
     }
     print_table(
         "Ablation — branch-and-bound ILP vs exhaustive enumeration",
-        &["kernels", "0-1 vars", "search space", "B&B (ms)", "exhaustive (ms)", "optimum (ms)"],
+        &[
+            "kernels",
+            "0-1 vars",
+            "search space",
+            "B&B (ms)",
+            "exhaustive (ms)",
+            "optimum (ms)",
+        ],
         &rows,
     );
     write_csv(
         "ablation_ilp.csv",
-        &["kernels", "vars", "space", "bb_us", "exhaustive_us", "optimum_us"],
+        &[
+            "kernels",
+            "vars",
+            "space",
+            "bb_us",
+            "exhaustive_us",
+            "optimum_us",
+        ],
         &csv,
     );
-    println!("\nBoth are exact; B&B scales to the full-network instances exhaustive search cannot.");
+    println!(
+        "\nBoth are exact; B&B scales to the full-network instances exhaustive search cannot."
+    );
 }

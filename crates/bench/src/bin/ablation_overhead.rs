@@ -6,7 +6,7 @@
 //! showing where fine division stops paying (the design constraint the DP
 //! navigates implicitly).
 
-use ucudnn::{optimize_wr, BatchSizePolicy, BenchCache, KernelKey};
+use ucudnn::{optimize_wr_metered, BatchSizePolicy, BenchCache, KernelKey, OptimizerMetrics};
 use ucudnn_bench::{print_table, write_csv, MIB};
 use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
 use ucudnn_gpu_model::p100_sxm2;
@@ -22,22 +22,45 @@ fn main() {
     let key = KernelKey::new(ConvOp::Forward, &g);
     let mut rows = Vec::new();
     let mut csv = Vec::new();
+    let mut sample_json = String::new();
     for overhead_us in [0.0f64, 2.0, 8.0, 32.0, 128.0, 512.0, 2048.0] {
         let mut device = p100_sxm2();
         device.launch_overhead_us = overhead_us;
         let handle = CudnnHandle::simulated(device);
-        let mut cache = BenchCache::new();
-        let undiv =
-            optimize_wr(&handle, &mut cache, &key, 64 * MIB, BatchSizePolicy::Undivided, false)
-                .unwrap();
-        let all =
-            optimize_wr(&handle, &mut cache, &key, 64 * MIB, BatchSizePolicy::All, false).unwrap();
+        let cache = BenchCache::new();
+        let metrics = OptimizerMetrics::new();
+        let undiv = optimize_wr_metered(
+            &handle,
+            &cache,
+            &key,
+            64 * MIB,
+            BatchSizePolicy::Undivided,
+            false,
+            Some(&metrics),
+        )
+        .unwrap();
+        let all = optimize_wr_metered(
+            &handle,
+            &cache,
+            &key,
+            64 * MIB,
+            BatchSizePolicy::All,
+            false,
+            Some(&metrics),
+        )
+        .unwrap();
+        metrics.add_kernels(2);
+        // Per-kernel counts elided: policy=all benchmarks every micro-batch
+        // size, which would print hundreds of rows here.
+        sample_json = metrics.to_json(cache.stats(), &[]);
+        let t = metrics.timings();
         rows.push(vec![
             format!("{overhead_us}"),
             all.config.micros.len().to_string(),
             all.config.describe(),
             format!("{:.3}", all.config.time_us() / 1000.0),
             format!("{:.2}x", undiv.config.time_us() / all.config.time_us()),
+            format!("{}/{}", t.benchmark_us, t.dp_us),
         ]);
         csv.push(vec![
             format!("{overhead_us}"),
@@ -49,7 +72,14 @@ fn main() {
     }
     print_table(
         "Ablation — launch-overhead sensitivity (conv2 forward, 64 MiB, P100 variant)",
-        &["launch (us)", "#micro", "division", "time (ms)", "speedup vs undivided"],
+        &[
+            "launch (us)",
+            "#micro",
+            "division",
+            "time (ms)",
+            "speedup vs undivided",
+            "bench/DP (us)",
+        ],
         &rows,
     );
     write_csv(
@@ -58,4 +88,5 @@ fn main() {
         &csv,
     );
     println!("\nAs overhead grows the DP chooses coarser divisions and the gain shrinks to 1.0x.");
+    println!("\nMetrics JSON (last row):\n{sample_json}");
 }

@@ -26,7 +26,7 @@ fn kernel(n: usize, c: usize, k: usize, r: usize, pad: usize) -> KernelKey {
 /// Full configuration space: exact-duplicate dedup only, no Pareto pruning.
 fn full_costs(
     handle: &CudnnHandle,
-    cache: &mut BenchCache,
+    cache: &BenchCache,
     key: &KernelKey,
     cap: usize,
 ) -> Vec<(f64, usize)> {
@@ -36,7 +36,10 @@ fn full_costs(
             if m == 0 {
                 return Vec::new();
             }
-            let micro = KernelKey { input: key.input.with_batch(m), ..*key };
+            let micro = KernelKey {
+                input: key.input.with_batch(m),
+                ..*key
+            };
             cache
                 .get_or_bench(handle, &micro)
                 .into_iter()
@@ -64,7 +67,7 @@ fn full_costs(
 
 fn main() {
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = BenchCache::new();
+    let cache = BenchCache::new();
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for batch in [4usize, 6, 8] {
@@ -81,15 +84,22 @@ fn main() {
         let pruned_groups: Vec<Vec<Item>> = kernels
             .iter()
             .map(|k| {
-                desirable_set(&handle, &mut cache, k, cap, BatchSizePolicy::All)
+                desirable_set(&handle, &cache, k, cap, BatchSizePolicy::All)
                     .iter()
-                    .map(|c| Item { cost: c.time_us(), weight: c.workspace_bytes() as f64 })
+                    .map(|c| Item {
+                        cost: c.time_us(),
+                        weight: c.workspace_bytes() as f64,
+                    })
                     .collect()
             })
             .collect();
         let pruned_vars: usize = pruned_groups.iter().map(Vec::len).sum();
-        let pruned_opt =
-            MckInstance { groups: pruned_groups, capacity: budget }.solve().map(|(_, v)| v);
+        let pruned_opt = MckInstance {
+            groups: pruned_groups,
+            capacity: budget,
+        }
+        .solve()
+        .map(|(_, v)| v);
         let pruned_us = start.elapsed().as_secs_f64() * 1e6;
 
         // Full path.
@@ -97,14 +107,22 @@ fn main() {
         let full_groups: Vec<Vec<Item>> = kernels
             .iter()
             .map(|k| {
-                full_costs(&handle, &mut cache, k, cap)
+                full_costs(&handle, &cache, k, cap)
                     .into_iter()
-                    .map(|(t, w)| Item { cost: t, weight: w as f64 })
+                    .map(|(t, w)| Item {
+                        cost: t,
+                        weight: w as f64,
+                    })
                     .collect()
             })
             .collect();
         let full_vars: usize = full_groups.iter().map(Vec::len).sum();
-        let full_opt = MckInstance { groups: full_groups, capacity: budget }.solve().map(|(_, v)| v);
+        let full_opt = MckInstance {
+            groups: full_groups,
+            capacity: budget,
+        }
+        .solve()
+        .map(|(_, v)| v);
         let full_us = start.elapsed().as_secs_f64() * 1e6;
 
         let same = match (pruned_opt, full_opt) {
@@ -132,12 +150,26 @@ fn main() {
     }
     print_table(
         "Ablation — Pareto pruning vs full configuration enumeration (3 kernels, 16 MiB cap)",
-        &["batch", "pruned vars", "full vars", "pruned (ms)", "full (ms)", "same optimum"],
+        &[
+            "batch",
+            "pruned vars",
+            "full vars",
+            "pruned (ms)",
+            "full (ms)",
+            "same optimum",
+        ],
         &rows,
     );
     write_csv(
         "ablation_pruning.csv",
-        &["batch", "pruned_vars", "full_vars", "pruned_us", "full_us", "same_optimum"],
+        &[
+            "batch",
+            "pruned_vars",
+            "full_vars",
+            "pruned_us",
+            "full_us",
+            "same_optimum",
+        ],
         &csv,
     );
     println!("\nPruning never changes the optimum (the §III-C1 proof) while shrinking the ILP.");

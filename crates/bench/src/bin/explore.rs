@@ -15,7 +15,10 @@ use ucudnn_gpu_model::{k80, p100_sxm2, v100_sxm2};
 use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
 
 fn arg(n: usize, default: usize) -> usize {
-    std::env::args().nth(n).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -33,10 +36,14 @@ fn main() {
         pad,
         stride,
     );
-    println!("layer: {g}\ndevice: {}, workspace limit {}MiB\n", device.name, ws / MIB);
+    println!(
+        "layer: {g}\ndevice: {}, workspace limit {}MiB\n",
+        device.name,
+        ws / MIB
+    );
 
     let handle = CudnnHandle::simulated(device);
-    let mut cache = BenchCache::new();
+    let cache = BenchCache::new();
 
     for op in ConvOp::ALL {
         let key = KernelKey::new(op, &g);
@@ -49,7 +56,11 @@ fn main() {
                     e.algo.to_string(),
                     format!("{:.3}", e.time_us / 1000.0),
                     mib(e.memory_bytes),
-                    if e.memory_bytes <= ws { "yes".into() } else { "no".into() },
+                    if e.memory_bytes <= ws {
+                        "yes".into()
+                    } else {
+                        "no".into()
+                    },
                 ]
             })
             .collect();
@@ -61,10 +72,12 @@ fn main() {
 
         // WR plans per policy.
         let mut plan_rows = Vec::new();
-        for policy in
-            [BatchSizePolicy::Undivided, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::All]
-        {
-            let r = optimize_wr(&handle, &mut cache, &key, ws, policy, false).unwrap();
+        for policy in [
+            BatchSizePolicy::Undivided,
+            BatchSizePolicy::PowerOfTwo,
+            BatchSizePolicy::All,
+        ] {
+            let r = optimize_wr(&handle, &cache, &key, ws, policy, false).unwrap();
             plan_rows.push(vec![
                 policy.name().to_string(),
                 format!("{:.3}", r.config.time_us() / 1000.0),
@@ -79,10 +92,15 @@ fn main() {
         );
 
         // Desirable front (capped for readability).
-        let front = desirable_set(&handle, &mut cache, &key, ws, BatchSizePolicy::PowerOfTwo);
+        let front = desirable_set(&handle, &cache, &key, ws, BatchSizePolicy::PowerOfTwo);
         println!("{op} desirable front ({} points, powerOfTwo):", front.len());
         for cfg in &front {
-            println!("  {:>9} MiB  {:>9.3} ms  {}", mib(cfg.workspace_bytes()), cfg.time_us() / 1000.0, cfg);
+            println!(
+                "  {:>9} MiB  {:>9.3} ms  {}",
+                mib(cfg.workspace_bytes()),
+                cfg.time_us() / 1000.0,
+                cfg
+            );
         }
         println!();
     }

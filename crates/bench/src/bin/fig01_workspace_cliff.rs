@@ -23,8 +23,13 @@ fn main() {
         let g = net.conv_geometry(id);
         let name = net.nodes()[id].name.clone();
         let best = enumerate(&d, ConvOp::Forward, &g)[0];
-        let constrained = fastest_within(&d, ConvOp::Forward, &g, best.workspace_bytes.saturating_sub(1))
-            .expect("a zero-workspace fallback always exists");
+        let constrained = fastest_within(
+            &d,
+            ConvOp::Forward,
+            &g,
+            best.workspace_bytes.saturating_sub(1),
+        )
+        .expect("a zero-workspace fallback always exists");
         let slowdown = constrained.time_us / best.time_us;
         rows.push(vec![
             name.clone(),
@@ -47,12 +52,28 @@ fn main() {
     }
     print_table(
         "Fig. 1(a) — AlexNet forward conv: Best vs '-1 byte' (P100, N=256)",
-        &["layer", "best algo", "best (ms)", "best WS (MiB)", "-1B algo", "-1B (ms)", "slowdown"],
+        &[
+            "layer",
+            "best algo",
+            "best (ms)",
+            "best WS (MiB)",
+            "-1B algo",
+            "-1B (ms)",
+            "slowdown",
+        ],
         &rows,
     );
     write_csv(
         "fig01a_cliff.csv",
-        &["layer", "best_algo", "best_us", "best_ws_bytes", "m1_algo", "m1_us", "slowdown"],
+        &[
+            "layer",
+            "best_algo",
+            "best_us",
+            "best_ws_bytes",
+            "m1_algo",
+            "m1_us",
+            "slowdown",
+        ],
         &csv,
     );
 
@@ -61,7 +82,11 @@ fn main() {
     let mut sweep = Vec::new();
     let mut csv2 = Vec::new();
     for exp in 0..=14 {
-        let limit = if exp == 0 { 0 } else { (1usize << (exp - 1)) * MIB / 4 }; // 0, 0.25 MiB .. 2048 MiB
+        let limit = if exp == 0 {
+            0
+        } else {
+            (1usize << (exp - 1)) * MIB / 4
+        }; // 0, 0.25 MiB .. 2048 MiB
         let p = fastest_within(&d, ConvOp::Forward, &g2, limit).unwrap();
         sweep.push(vec![
             mib(limit),
@@ -81,7 +106,11 @@ fn main() {
         &["limit (MiB)", "algo", "time (ms)", "WS used (MiB)"],
         &sweep,
     );
-    write_csv("fig01b_conv2_sweep.csv", &["limit_bytes", "algo", "time_us", "ws_bytes"], &csv2);
+    write_csv(
+        "fig01b_conv2_sweep.csv",
+        &["limit_bytes", "algo", "time_us", "ws_bytes"],
+        &csv2,
+    );
 
     let worst = csv
         .iter()

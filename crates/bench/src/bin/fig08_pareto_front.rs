@@ -12,9 +12,9 @@ fn main() {
     let g2 = net.conv_geometry(net.conv_layers()[1]);
     let key = KernelKey::new(ConvOp::Forward, &g2);
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = BenchCache::new();
+    let cache = BenchCache::new();
 
-    let front = desirable_set(&handle, &mut cache, &key, 120 * MIB, BatchSizePolicy::All);
+    let front = desirable_set(&handle, &cache, &key, 120 * MIB, BatchSizePolicy::All);
 
     let rows: Vec<Vec<String>> = front
         .iter()
@@ -43,7 +43,11 @@ fn main() {
             ]
         })
         .collect();
-    write_csv("fig08_pareto.csv", &["ws_bytes", "time_us", "micros", "configuration"], &csv);
+    write_csv(
+        "fig08_pareto.csv",
+        &["ws_bytes", "time_us", "micros", "configuration"],
+        &csv,
+    );
 
     println!(
         "\nFront size: {} (paper: the largest AlexNet desirable set was 68 entries).",

@@ -16,19 +16,27 @@ fn main() {
     let g2 = net.conv_geometry(net.conv_layers()[1]);
     let key = KernelKey::new(ConvOp::Forward, &g2);
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = BenchCache::new();
+    let cache = BenchCache::new();
 
     // The §IV-A workspace anatomy of FFT on conv2.
     let fft_full = workspace_bytes(ConvAlgo::Fft, ConvOp::Forward, &g2).unwrap();
     let fft_32 = workspace_bytes(ConvAlgo::Fft, ConvOp::Forward, &g2.with_batch(32)).unwrap();
-    println!("conv2 FFT workspace: {} MiB undivided, {} MiB at micro-batch 32", mib(fft_full), mib(fft_32));
+    println!(
+        "conv2 FFT workspace: {} MiB undivided, {} MiB at micro-batch 32",
+        mib(fft_full),
+        mib(fft_32)
+    );
     println!("(paper: 213 MiB undivided, 48.9 MiB at micro-batch 32)");
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     let mut undivided_us = 0.0;
-    for policy in [BatchSizePolicy::Undivided, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::All] {
-        let r = optimize_wr(&handle, &mut cache, &key, 64 * MIB, policy, false).unwrap();
+    for policy in [
+        BatchSizePolicy::Undivided,
+        BatchSizePolicy::PowerOfTwo,
+        BatchSizePolicy::All,
+    ] {
+        let r = optimize_wr(&handle, &cache, &key, 64 * MIB, policy, false).unwrap();
         if policy == BatchSizePolicy::Undivided {
             undivided_us = r.config.time_us();
         }
@@ -50,9 +58,19 @@ fn main() {
     }
     print_table(
         "Fig. 9 — conv2 Forward under WR, 64 MiB (P100, N=256)",
-        &["policy", "time (ms)", "WS (MiB)", "speedup", "configuration"],
+        &[
+            "policy",
+            "time (ms)",
+            "WS (MiB)",
+            "speedup",
+            "configuration",
+        ],
         &rows,
     );
-    write_csv("fig09_conv2_wr.csv", &["policy", "time_us", "ws_bytes", "speedup", "configuration"], &csv);
+    write_csv(
+        "fig09_conv2_wr.csv",
+        &["policy", "time_us", "ws_bytes", "speedup", "configuration"],
+        &csv,
+    );
     println!("\n(paper: all reaches 2.33x over undivided on this kernel)");
 }

@@ -21,9 +21,11 @@ fn main() {
         let net = alexnet(batch);
         for limit_mib in [8usize, 64, 512] {
             let mut undivided = (0.0f64, 0.0f64);
-            for policy in
-                [BatchSizePolicy::Undivided, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::All]
-            {
+            for policy in [
+                BatchSizePolicy::Undivided,
+                BatchSizePolicy::PowerOfTwo,
+                BatchSizePolicy::All,
+            ] {
                 let handle = UcudnnHandle::new(
                     CudnnHandle::simulated(device.clone()),
                     UcudnnOptions {
@@ -95,14 +97,30 @@ fn main() {
     );
     write_csv(
         "fig10_alexnet_layers.csv",
-        &["device", "ws_bytes", "policy", "layer", "kind", "forward_us", "backward_us"],
+        &[
+            "device",
+            "ws_bytes",
+            "policy",
+            "layer",
+            "kind",
+            "forward_us",
+            "backward_us",
+        ],
         &layer_csv,
     );
     write_csv(
         "fig10_alexnet_wr.csv",
         &[
-            "device", "ws_bytes", "policy", "fwd_us", "bwd_us", "total_us", "conv_us",
-            "speedup_total", "speedup_conv", "alloc_ws_bytes",
+            "device",
+            "ws_bytes",
+            "policy",
+            "fwd_us",
+            "bwd_us",
+            "total_us",
+            "conv_us",
+            "speedup_total",
+            "speedup_conv",
+            "alloc_ws_bytes",
         ],
         &csv,
     );

@@ -19,9 +19,11 @@ fn main() {
     for net in &nets {
         for limit_mib in [8usize, 64, 512] {
             let mut undivided = 0.0f64;
-            for policy in
-                [BatchSizePolicy::Undivided, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::All]
-            {
+            for policy in [
+                BatchSizePolicy::Undivided,
+                BatchSizePolicy::PowerOfTwo,
+                BatchSizePolicy::All,
+            ] {
                 let handle = UcudnnHandle::new(
                     CudnnHandle::simulated(p100_sxm2()),
                     UcudnnOptions {
@@ -59,12 +61,22 @@ fn main() {
     }
     print_table(
         "Fig. 11 — TensorFlow-style networks on P100",
-        &["network", "batch", "WS (MiB)", "policy", "total (ms)", "conv (ms)", "speedup"],
+        &[
+            "network",
+            "batch",
+            "WS (MiB)",
+            "policy",
+            "total (ms)",
+            "conv (ms)",
+            "speedup",
+        ],
         &rows,
     );
     write_csv(
         "fig11_tensorflow_wr.csv",
-        &["network", "batch", "ws_bytes", "policy", "total_us", "conv_us", "speedup"],
+        &[
+            "network", "batch", "ws_bytes", "policy", "total_us", "conv_us", "speedup",
+        ],
         &csv,
     );
     println!("\n(paper at 64 MiB: AlexNet 1.24x, ResNet-50 1.06x)");

@@ -80,7 +80,14 @@ fn main() {
                 net.name,
                 net.batch()
             ),
-            &["layer", "act (MiB)", "param (MiB)", "WS cuDNN (MiB)", "WS ucuDNN (MiB)", "layer reduction"],
+            &[
+                "layer",
+                "act (MiB)",
+                "param (MiB)",
+                "WS cuDNN (MiB)",
+                "WS ucuDNN (MiB)",
+                "layer reduction",
+            ],
             &rows,
         );
         let file = format!(
@@ -89,7 +96,14 @@ fn main() {
         );
         write_csv(
             &file,
-            &["layer", "act_bytes", "param_bytes", "ws_cudnn", "ws_ucudnn", "reduction"],
+            &[
+                "layer",
+                "act_bytes",
+                "param_bytes",
+                "ws_cudnn",
+                "ws_ucudnn",
+                "reduction",
+            ],
             &csv,
         );
 

@@ -22,14 +22,29 @@ fn kernel_count(net: &NetworkDef) -> usize {
         .sum()
 }
 
-fn run(net: &NetworkDef, mode: OptimizerMode, policy: BatchSizePolicy, limit: usize) -> (f64, f64, usize, Option<(usize, f64)>) {
+fn run(
+    net: &NetworkDef,
+    mode: OptimizerMode,
+    policy: BatchSizePolicy,
+    limit: usize,
+) -> (f64, f64, usize, Option<(usize, f64)>) {
     let handle = UcudnnHandle::new(
         CudnnHandle::simulated(p100_sxm2()),
-        UcudnnOptions { policy, workspace_limit_bytes: limit, mode, ..Default::default() },
+        UcudnnOptions {
+            policy,
+            workspace_limit_bytes: limit,
+            mode,
+            ..Default::default()
+        },
     );
     let r = time_command(&handle, net, 1).expect("time command failed");
     let ilp = handle.wd_plan().map(|p| (p.ilp_variables, p.ilp_solve_us));
-    (r.timing.total_us(), r.timing.conv_us(), r.workspace_bytes, ilp)
+    (
+        r.timing.total_us(),
+        r.timing.conv_us(),
+        r.workspace_bytes,
+        ilp,
+    )
 }
 
 fn main() {
@@ -48,16 +63,30 @@ fn main() {
         for per_kernel_mib in [8usize, 64, 512] {
             let total = per_kernel_mib * MIB * k;
             // WR bars: undivided (the cuDNN baseline) and the policy.
-            let (tu, cu, wsu, _) =
-                run(&net, OptimizerMode::Wr, BatchSizePolicy::Undivided, per_kernel_mib * MIB);
+            let (tu, cu, wsu, _) = run(
+                &net,
+                OptimizerMode::Wr,
+                BatchSizePolicy::Undivided,
+                per_kernel_mib * MIB,
+            );
             wr_undiv_at.push((per_kernel_mib, tu));
             let (ta, ca, wsa, _) = run(&net, OptimizerMode::Wr, policy, per_kernel_mib * MIB);
             // WD bar with the same total budget.
             let (tw, cw, wsw, ilp) = run(&net, OptimizerMode::Wd, policy, total);
             for (label, t, c, ws) in [
                 (format!("WR u @{per_kernel_mib}MiB/kernel"), tu, cu, wsu),
-                (format!("WR {} @{per_kernel_mib}MiB/kernel", policy.name()), ta, ca, wsa),
-                (format!("WD {} @{}MiB total", policy.name(), per_kernel_mib * k), tw, cw, wsw),
+                (
+                    format!("WR {} @{per_kernel_mib}MiB/kernel", policy.name()),
+                    ta,
+                    ca,
+                    wsa,
+                ),
+                (
+                    format!("WD {} @{}MiB total", policy.name(), per_kernel_mib * k),
+                    tw,
+                    cw,
+                    wsw,
+                ),
             ] {
                 rows.push(vec![
                     net.name.clone(),
@@ -99,14 +128,30 @@ fn main() {
     }
     print_table(
         "Fig. 13 — WR vs WD at equal total workspace (P100)",
-        &["network", "setting", "total (ms)", "conv (ms)", "WS (MiB)", "speedup vs WR-u"],
+        &[
+            "network",
+            "setting",
+            "total (ms)",
+            "conv (ms)",
+            "WS (MiB)",
+            "speedup vs WR-u",
+        ],
         &rows,
     );
     write_csv(
         "fig13_wr_vs_wd.csv",
-        &["network", "setting", "total_us", "conv_us", "ws_bytes", "speedup_vs_wr_u"],
+        &[
+            "network",
+            "setting",
+            "total_us",
+            "conv_us",
+            "ws_bytes",
+            "speedup_vs_wr_u",
+        ],
         &csv,
     );
-    println!("\n(paper: AlexNet WD@120MiB = 1.24x over WR-u, 1.38x conv; beats 960 MiB WR baseline;");
+    println!(
+        "\n(paper: AlexNet WD@120MiB = 1.24x over WR-u, 1.38x conv; beats 960 MiB WR baseline;"
+    );
     println!(" ResNet-50 WD@2544MiB = 1.05x, 1.14x conv; ILP: 562 vars, 5.46 ms)");
 }

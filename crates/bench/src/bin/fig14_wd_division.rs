@@ -38,7 +38,10 @@ fn main() {
         rows.push(vec![
             label.clone(),
             mib(ws),
-            format!("{:.1}%", 100.0 * ws as f64 / plan.total_workspace_bytes.max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * ws as f64 / plan.total_workspace_bytes.max(1) as f64
+            ),
             format!("{:.3}", a.config.time_us() / 1000.0),
             a.config.describe(),
         ]);
@@ -57,7 +60,13 @@ fn main() {
     );
     write_csv(
         "fig14_wd_division.csv",
-        &["kernel", "ws_bytes", "offset_bytes", "time_us", "configuration"],
+        &[
+            "kernel",
+            "ws_bytes",
+            "offset_bytes",
+            "time_us",
+            "configuration",
+        ],
         &csv,
     );
     println!(

@@ -18,7 +18,11 @@ fn main() {
     let mut csv = Vec::new();
     let mut all_wall = 0.0f64;
     let mut p2_wall = 0.0f64;
-    for policy in [BatchSizePolicy::Undivided, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::All] {
+    for policy in [
+        BatchSizePolicy::Undivided,
+        BatchSizePolicy::PowerOfTwo,
+        BatchSizePolicy::All,
+    ] {
         let handle = UcudnnHandle::new(
             CudnnHandle::simulated(p100_sxm2()),
             UcudnnOptions {
@@ -54,16 +58,125 @@ fn main() {
     }
     print_table(
         "Optimization cost — AlexNet WR setup on P100, 64 MiB",
-        &["policy", "benchmarks run", "cache hits", "setup wall (ms)", "opt wall (ms)"],
+        &[
+            "policy",
+            "benchmarks run",
+            "cache hits",
+            "setup wall (ms)",
+            "opt wall (ms)",
+        ],
         &rows,
     );
     write_csv(
         "opt_time.csv",
-        &["policy", "benchmarks", "cache_hits", "setup_wall_us", "opt_wall_us"],
+        &[
+            "policy",
+            "benchmarks",
+            "cache_hits",
+            "setup_wall_us",
+            "opt_wall_us",
+        ],
         &csv,
     );
     println!(
         "\nall / powerOfTwo setup-time ratio: {:.1}x (paper: 34.16 s / 3.82 s = 8.9x)",
         all_wall / p2_wall.max(1e-9)
     );
+
+    thread_sweep(&net);
+}
+
+/// Parallel whole-network optimization: the same AlexNet setup fanned over
+/// 1/2/4/8 worker threads. Plans are byte-identical at every width (the
+/// determinism guarantee); only the wall clock changes — it drops when the
+/// host has cores to run the workers on, and degrades to time-slicing
+/// overhead on a single-core box (hence the parallelism line below).
+fn thread_sweep(net: &ucudnn_framework::NetworkDef) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut seq_wall = 0.0f64;
+    let mut seq_plans: Vec<(String, String)> = Vec::new();
+    let mut metrics_json = String::new();
+    for threads in [1usize, 2, 4, 8] {
+        let handle = UcudnnHandle::new(
+            CudnnHandle::simulated(p100_sxm2()),
+            UcudnnOptions {
+                policy: BatchSizePolicy::All,
+                workspace_limit_bytes: 64 * MIB,
+                mode: OptimizerMode::Wr,
+                opt_threads: threads,
+                ..Default::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        setup_network(&handle, net).unwrap();
+        let wall_us = start.elapsed().as_secs_f64() * 1e6;
+        let plans: Vec<(String, String)> = handle
+            .memory_report()
+            .into_iter()
+            .map(|(k, c, _)| (format!("{k}"), c.describe()))
+            .collect();
+        if threads == 1 {
+            seq_wall = wall_us;
+            seq_plans = plans.clone();
+        }
+        if threads == 4 {
+            metrics_json = handle.metrics_json();
+        }
+        let t = handle.metrics().timings();
+        let stats = handle.cache_stats();
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.2}", wall_us / 1000.0),
+            format!("{:.2}x", seq_wall / wall_us.max(1e-9)),
+            format!("{:.2}", t.benchmark_us as f64 / 1000.0),
+            format!("{:.2}", t.dp_us as f64 / 1000.0),
+            format!("{}/{}", stats.hits, stats.misses),
+            if plans == seq_plans {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
+        ]);
+        csv.push(vec![
+            threads.to_string(),
+            format!("{wall_us}"),
+            format!("{}", t.benchmark_us),
+            format!("{}", t.dp_us),
+            stats.hits.to_string(),
+            stats.misses.to_string(),
+            (plans == seq_plans).to_string(),
+        ]);
+    }
+    println!("\navailable parallelism: {cores} core(s)");
+    print_table(
+        "Parallel whole-network optimization — AlexNet WR setup (policy=all)",
+        &[
+            "threads",
+            "setup wall (ms)",
+            "speedup",
+            "bench Σthread (ms)",
+            "DP Σthread (ms)",
+            "hits/misses",
+            "plans = 1-thread",
+        ],
+        &rows,
+    );
+    write_csv(
+        "opt_time_threads.csv",
+        &[
+            "threads",
+            "setup_wall_us",
+            "bench_us",
+            "dp_us",
+            "cache_hits",
+            "cache_misses",
+            "plans_match",
+        ],
+        &csv,
+    );
+    println!("\nMetrics JSON (4 threads):\n{metrics_json}");
 }

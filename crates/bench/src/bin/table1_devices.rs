@@ -17,9 +17,18 @@ fn main() {
             ]
         })
         .collect();
-    let header = ["GPU", "SP TFlop/s", "Mem (GiB)", "BW (GB/s)", "SMs", "launch (us)"];
+    let header = [
+        "GPU",
+        "SP TFlop/s",
+        "Mem (GiB)",
+        "BW (GB/s)",
+        "SMs",
+        "launch (us)",
+    ];
     print_table("Table I — modeled evaluation devices", &header, &rows);
     write_csv("table1_devices.csv", &header, &rows);
     println!("\nPaper Table I: K80 (8.73 SP TFlop/s dual-die board), P100-SXM2 (10.6), V100-SXM2 (15.7).");
-    println!("The K80 entry models a single GK210 die, which is what one framework process drives.");
+    println!(
+        "The K80 entry models a single GK210 die, which is what one framework process drives."
+    );
 }

@@ -59,7 +59,14 @@ pub fn forward(g: &ConvGeometry, x: &[f32], w: &[f32], y: &mut [f32], alpha: f32
 }
 
 /// `dx = alpha * corr_transpose(dy, w) + beta * dx` — the data gradient.
-pub fn backward_data(g: &ConvGeometry, dy: &[f32], w: &[f32], dx: &mut [f32], alpha: f32, beta: f32) {
+pub fn backward_data(
+    g: &ConvGeometry,
+    dy: &[f32],
+    w: &[f32],
+    dx: &mut [f32],
+    alpha: f32,
+    beta: f32,
+) {
     let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
     let (k, r, s) = (g.filter.k, g.filter.r, g.filter.s);
     let (ho, wo) = (g.out_h(), g.out_w());
@@ -116,7 +123,14 @@ pub fn backward_data(g: &ConvGeometry, dy: &[f32], w: &[f32], dx: &mut [f32], al
 ///
 /// With `beta = 1` this is exactly the accumulation mode μ-cuDNN uses to sum
 /// filter-gradient contributions across sequential micro-batches.
-pub fn backward_filter(g: &ConvGeometry, x: &[f32], dy: &[f32], dw: &mut [f32], alpha: f32, beta: f32) {
+pub fn backward_filter(
+    g: &ConvGeometry,
+    x: &[f32],
+    dy: &[f32],
+    dw: &mut [f32],
+    alpha: f32,
+    beta: f32,
+) {
     let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
     let (k, r, s) = (g.filter.k, g.filter.r, g.filter.s);
     let (ho, wo) = (g.out_h(), g.out_w());
@@ -174,7 +188,8 @@ mod tests {
     #[test]
     fn forward_identity_kernel_recovers_input() {
         // A 1x1 kernel with weight 1 on the diagonal channel map copies input.
-        let g = ConvGeometry::with_square(Shape4::new(1, 2, 4, 4), FilterShape::new(2, 2, 1, 1), 0, 1);
+        let g =
+            ConvGeometry::with_square(Shape4::new(1, 2, 4, 4), FilterShape::new(2, 2, 1, 1), 0, 1);
         let x = Tensor::random(g.input, 11);
         let mut w = Tensor::zeros(g.filter.as_shape4());
         w.set(0, 0, 0, 0, 1.0);
@@ -187,7 +202,8 @@ mod tests {
     #[test]
     fn forward_known_small_case() {
         // 1x1x3x3 input, 1x1x2x2 kernel, no pad, stride 1.
-        let g = ConvGeometry::with_square(Shape4::new(1, 1, 3, 3), FilterShape::new(1, 1, 2, 2), 0, 1);
+        let g =
+            ConvGeometry::with_square(Shape4::new(1, 1, 3, 3), FilterShape::new(1, 1, 2, 2), 0, 1);
         let x = Tensor::from_vec(g.input, vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]);
         let w = Tensor::from_vec(g.filter.as_shape4(), vec![1., 0., 0., 1.]);
         let mut y = Tensor::zeros(g.output());
@@ -228,8 +244,18 @@ mod tests {
             forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0);
             let mut dx = Tensor::zeros(g.input);
             backward_data(&g, dy.as_slice(), w.as_slice(), dx.as_mut_slice(), 1.0, 0.0);
-            let lhs: f64 = y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
-            let rhs: f64 = x.as_slice().iter().zip(dx.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+            let lhs: f64 = y
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum();
+            let rhs: f64 = x
+                .as_slice()
+                .iter()
+                .zip(dx.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum();
             assert!(
                 (lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0),
                 "adjoint mismatch at pad={pad} stride={stride}: {lhs} vs {rhs}"
@@ -254,8 +280,18 @@ mod tests {
             forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0);
             let mut dw = Tensor::zeros(g.filter.as_shape4());
             backward_filter(&g, x.as_slice(), dy.as_slice(), dw.as_mut_slice(), 1.0, 0.0);
-            let lhs: f64 = y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
-            let rhs: f64 = w.as_slice().iter().zip(dw.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+            let lhs: f64 = y
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum();
+            let rhs: f64 = w
+                .as_slice()
+                .iter()
+                .zip(dw.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum();
             assert!(
                 (lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0),
                 "adjoint mismatch at pad={pad} stride={stride}: {lhs} vs {rhs}"
@@ -267,11 +303,19 @@ mod tests {
     fn backward_filter_beta_one_accumulates_micro_batches() {
         // The core μ-cuDNN BackwardFilter claim: splitting the batch and
         // accumulating with beta=1 equals the undivided gradient.
-        let g = ConvGeometry::with_square(Shape4::new(8, 3, 6, 6), FilterShape::new(4, 3, 3, 3), 1, 1);
+        let g =
+            ConvGeometry::with_square(Shape4::new(8, 3, 6, 6), FilterShape::new(4, 3, 3, 3), 1, 1);
         let x = Tensor::random(g.input, 7);
         let dy = Tensor::random(g.output(), 8);
         let mut dw_full = Tensor::zeros(g.filter.as_shape4());
-        backward_filter(&g, x.as_slice(), dy.as_slice(), dw_full.as_mut_slice(), 1.0, 0.0);
+        backward_filter(
+            &g,
+            x.as_slice(),
+            dy.as_slice(),
+            dw_full.as_mut_slice(),
+            1.0,
+            0.0,
+        );
 
         let mut dw_micro = Tensor::zeros(g.filter.as_shape4());
         let mut first = true;
@@ -292,16 +336,31 @@ mod tests {
 
     #[test]
     fn forward_micro_batch_equals_undivided() {
-        let g = ConvGeometry::with_square(Shape4::new(6, 3, 6, 6), FilterShape::new(4, 3, 3, 3), 1, 2);
+        let g =
+            ConvGeometry::with_square(Shape4::new(6, 3, 6, 6), FilterShape::new(4, 3, 3, 3), 1, 2);
         let x = Tensor::random(g.input, 9);
         let w = Tensor::random(g.filter.as_shape4(), 10);
         let mut y_full = Tensor::zeros(g.output());
-        forward(&g, x.as_slice(), w.as_slice(), y_full.as_mut_slice(), 1.0, 0.0);
+        forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y_full.as_mut_slice(),
+            1.0,
+            0.0,
+        );
 
         let mut y_micro = Tensor::zeros(g.output());
         for (lo, hi) in [(0usize, 4usize), (4, 6)] {
             let mg = g.with_batch(hi - lo);
-            forward(&mg, x.batch_slice(lo, hi), w.as_slice(), y_micro.batch_slice_mut(lo, hi), 1.0, 0.0);
+            forward(
+                &mg,
+                x.batch_slice(lo, hi),
+                w.as_slice(),
+                y_micro.batch_slice_mut(lo, hi),
+                1.0,
+                0.0,
+            );
         }
         // Bitwise equal: same operations in the same order per sample.
         assert_eq!(y_full.as_slice(), y_micro.as_slice());

@@ -19,13 +19,19 @@ impl C32 {
     /// Complex multiplication.
     #[inline]
     pub fn mul(self, o: Self) -> Self {
-        Self::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Self::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 
     /// `self * conj(o)` — used by the correlation theorem.
     #[inline]
     pub fn mul_conj(self, o: Self) -> Self {
-        Self::new(self.re * o.re + self.im * o.im, self.im * o.re - self.re * o.im)
+        Self::new(
+            self.re * o.re + self.im * o.im,
+            self.im * o.re - self.re * o.im,
+        )
     }
 
     /// Complex addition.
@@ -139,7 +145,12 @@ mod tests {
     fn rand_signal(n: usize, seed: u64) -> Vec<C32> {
         let mut rng = ucudnn_tensor::DeterministicRng::new(seed);
         (0..n)
-            .map(|_| C32::new(rng.next_uniform() * 2.0 - 1.0, rng.next_uniform() * 2.0 - 1.0))
+            .map(|_| {
+                C32::new(
+                    rng.next_uniform() * 2.0 - 1.0,
+                    rng.next_uniform() * 2.0 - 1.0,
+                )
+            })
             .collect()
     }
 
@@ -151,7 +162,10 @@ mod tests {
             fft(&mut got, false);
             let want = naive_dft(&x, false);
             for (g, w) in got.iter().zip(&want) {
-                assert!((g.re - w.re).abs() < 2e-3 && (g.im - w.im).abs() < 2e-3, "n={n}: {g:?} vs {w:?}");
+                assert!(
+                    (g.re - w.re).abs() < 2e-3 && (g.im - w.im).abs() < 2e-3,
+                    "n={n}: {g:?} vs {w:?}"
+                );
             }
         }
     }
@@ -192,11 +206,17 @@ mod tests {
     #[test]
     fn parseval_energy_conserved() {
         let x = rand_signal(256, 12);
-        let time_e: f64 = x.iter().map(|v| (v.re as f64).powi(2) + (v.im as f64).powi(2)).sum();
+        let time_e: f64 = x
+            .iter()
+            .map(|v| (v.re as f64).powi(2) + (v.im as f64).powi(2))
+            .sum();
         let mut y = x.clone();
         fft(&mut y, false);
-        let freq_e: f64 =
-            y.iter().map(|v| (v.re as f64).powi(2) + (v.im as f64).powi(2)).sum::<f64>() / 256.0;
+        let freq_e: f64 = y
+            .iter()
+            .map(|v| (v.re as f64).powi(2) + (v.im as f64).powi(2))
+            .sum::<f64>()
+            / 256.0;
         assert!((time_e - freq_e).abs() < 1e-2 * time_e);
     }
 

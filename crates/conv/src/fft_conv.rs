@@ -47,8 +47,14 @@ fn assert_supported(g: &ConvGeometry) {
 fn grid(g: &ConvGeometry, op: FftOp) -> (usize, usize) {
     let (ho, wo) = (g.out_h(), g.out_w());
     match op {
-        FftOp::Forward => (next_pow2(g.input.h + g.filter.r - 1), next_pow2(g.input.w + g.filter.s - 1)),
-        FftOp::BackwardData => (next_pow2(ho + g.filter.r - 1), next_pow2(wo + g.filter.s - 1)),
+        FftOp::Forward => (
+            next_pow2(g.input.h + g.filter.r - 1),
+            next_pow2(g.input.w + g.filter.s - 1),
+        ),
+        FftOp::BackwardData => (
+            next_pow2(ho + g.filter.r - 1),
+            next_pow2(wo + g.filter.s - 1),
+        ),
         FftOp::BackwardFilter => (next_pow2(g.input.h + ho - 1), next_pow2(g.input.w + wo - 1)),
     }
 }
@@ -88,7 +94,10 @@ struct Grids {
 
 impl Grids {
     fn new(count: usize, grid_len: usize) -> Self {
-        Self { buf: vec![C32::default(); count * grid_len], grid_len }
+        Self {
+            buf: vec![C32::default(); count * grid_len],
+            grid_len,
+        }
     }
 
     fn grid_mut(&mut self, i: usize) -> &mut [C32] {
@@ -124,7 +133,10 @@ pub fn forward(
     ws: &mut [f32],
 ) {
     assert_supported(g);
-    assert!(ws.len() >= workspace_floats(g, FftOp::Forward), "workspace too small");
+    assert!(
+        ws.len() >= workspace_floats(g, FftOp::Forward),
+        "workspace too small"
+    );
     let (fh, fw) = grid(g, FftOp::Forward);
     let gl = fh * fw;
     let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
@@ -189,7 +201,10 @@ pub fn backward_data(
     ws: &mut [f32],
 ) {
     assert_supported(g);
-    assert!(ws.len() >= workspace_floats(g, FftOp::BackwardData), "workspace too small");
+    assert!(
+        ws.len() >= workspace_floats(g, FftOp::BackwardData),
+        "workspace too small"
+    );
     let (fh, fw) = grid(g, FftOp::BackwardData);
     let gl = fh * fw;
     let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
@@ -254,13 +269,19 @@ pub fn backward_filter(
     ws: &mut [f32],
 ) {
     assert_supported(g);
-    assert!(ws.len() >= workspace_floats(g, FftOp::BackwardFilter), "workspace too small");
+    assert!(
+        ws.len() >= workspace_floats(g, FftOp::BackwardFilter),
+        "workspace too small"
+    );
     let (fh, fw) = grid(g, FftOp::BackwardFilter);
     let gl = fh * fw;
     let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
     let (k, r, s) = (g.filter.k, g.filter.r, g.filter.s);
     let (ho, wo) = (g.out_h(), g.out_w());
-    assert!(g.pad_h < ho && g.pad_w < wo, "FFT backward-filter requires pad < output size");
+    assert!(
+        g.pad_h < ho && g.pad_w < wo,
+        "FFT backward-filter requires pad < output size"
+    );
     assert_eq!(x.len(), g.input.len(), "x buffer mismatch");
     assert_eq!(dy.len(), g.output().len(), "dy buffer mismatch");
     assert_eq!(dw.len(), g.filter.len(), "dw buffer mismatch");
@@ -320,7 +341,12 @@ mod tests {
             ConvGeometry::with_square(Shape4::new(2, 2, 9, 9), FilterShape::new(3, 2, 5, 5), 2, 1),
             ConvGeometry::with_square(Shape4::new(1, 1, 6, 10), FilterShape::new(2, 1, 3, 3), 0, 1),
             // AlexNet conv2 shape (scaled down in batch) — the paper's pet layer.
-            ConvGeometry::with_square(Shape4::new(2, 8, 27, 27), FilterShape::new(4, 8, 5, 5), 2, 1),
+            ConvGeometry::with_square(
+                Shape4::new(2, 8, 27, 27),
+                FilterShape::new(4, 8, 5, 5),
+                2,
+                1,
+            ),
         ]
     }
 
@@ -330,10 +356,25 @@ mod tests {
             let x = Tensor::random(g.input, 1);
             let w = Tensor::random(g.filter.as_shape4(), 2);
             let mut y_ref = Tensor::zeros(g.output());
-            direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 1.0, 0.0);
+            direct::forward(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                y_ref.as_mut_slice(),
+                1.0,
+                0.0,
+            );
             let mut y = Tensor::zeros(g.output());
             let mut ws = vec![0.0; workspace_floats(&g, FftOp::Forward)];
-            forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws);
+            forward(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                y.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
             assert_all_close(&y_ref, &y, 2e-3);
         }
     }
@@ -344,10 +385,25 @@ mod tests {
             let dy = Tensor::random(g.output(), 3);
             let w = Tensor::random(g.filter.as_shape4(), 4);
             let mut dx_ref = Tensor::zeros(g.input);
-            direct::backward_data(&g, dy.as_slice(), w.as_slice(), dx_ref.as_mut_slice(), 1.0, 0.0);
+            direct::backward_data(
+                &g,
+                dy.as_slice(),
+                w.as_slice(),
+                dx_ref.as_mut_slice(),
+                1.0,
+                0.0,
+            );
             let mut dx = Tensor::zeros(g.input);
             let mut ws = vec![0.0; workspace_floats(&g, FftOp::BackwardData)];
-            backward_data(&g, dy.as_slice(), w.as_slice(), dx.as_mut_slice(), 1.0, 0.0, &mut ws);
+            backward_data(
+                &g,
+                dy.as_slice(),
+                w.as_slice(),
+                dx.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
             assert_all_close(&dx_ref, &dx, 2e-3);
         }
     }
@@ -358,10 +414,25 @@ mod tests {
             let x = Tensor::random(g.input, 5);
             let dy = Tensor::random(g.output(), 6);
             let mut dw_ref = Tensor::zeros(g.filter.as_shape4());
-            direct::backward_filter(&g, x.as_slice(), dy.as_slice(), dw_ref.as_mut_slice(), 1.0, 0.0);
+            direct::backward_filter(
+                &g,
+                x.as_slice(),
+                dy.as_slice(),
+                dw_ref.as_mut_slice(),
+                1.0,
+                0.0,
+            );
             let mut dw = Tensor::zeros(g.filter.as_shape4());
             let mut ws = vec![0.0; workspace_floats(&g, FftOp::BackwardFilter)];
-            backward_filter(&g, x.as_slice(), dy.as_slice(), dw.as_mut_slice(), 1.0, 0.0, &mut ws);
+            backward_filter(
+                &g,
+                x.as_slice(),
+                dy.as_slice(),
+                dw.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
             assert_all_close(&dw_ref, &dw, 5e-3);
         }
     }
@@ -373,22 +444,39 @@ mod tests {
         let w = Tensor::random(g.filter.as_shape4(), 8);
         let init = Tensor::random(g.output(), 9);
         let mut y_ref = init.clone();
-        direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 0.5, 2.0);
+        direct::forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y_ref.as_mut_slice(),
+            0.5,
+            2.0,
+        );
         let mut y = init.clone();
         let mut ws = vec![0.0; workspace_floats(&g, FftOp::Forward)];
-        forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 0.5, 2.0, &mut ws);
+        forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y.as_mut_slice(),
+            0.5,
+            2.0,
+            &mut ws,
+        );
         assert_all_close(&y_ref, &y, 2e-3);
     }
 
     #[test]
     fn rejects_strided_geometry() {
-        let g = ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 1, 2);
+        let g =
+            ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 1, 2);
         assert!(!supports(&g));
     }
 
     #[test]
     fn rejects_oversized_padding() {
-        let g = ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 3, 1);
+        let g =
+            ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 3, 1);
         assert!(!supports(&g));
     }
 

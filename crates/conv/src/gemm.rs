@@ -191,7 +191,18 @@ mod tests {
     #[test]
     fn empty_dims_are_noops() {
         let mut c = vec![5.0; 4];
-        sgemm(Trans::No, Trans::No, 0, 4, 3, 1.0, &[], &[0.0; 12], 1.0, &mut c);
+        sgemm(
+            Trans::No,
+            Trans::No,
+            0,
+            4,
+            3,
+            1.0,
+            &[],
+            &[0.0; 12],
+            1.0,
+            &mut c,
+        );
         assert_eq!(c, vec![5.0; 4]);
     }
 
@@ -199,6 +210,17 @@ mod tests {
     #[should_panic(expected = "A too small")]
     fn rejects_undersized_a() {
         let mut c = vec![0.0; 4];
-        sgemm(Trans::No, Trans::No, 2, 2, 2, 1.0, &[0.0; 3], &[0.0; 4], 0.0, &mut c);
+        sgemm(
+            Trans::No,
+            Trans::No,
+            2,
+            2,
+            2,
+            1.0,
+            &[0.0; 3],
+            &[0.0; 4],
+            0.0,
+            &mut c,
+        );
     }
 }

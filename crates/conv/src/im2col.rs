@@ -41,7 +41,11 @@ pub fn im2col(g: &ConvGeometry, x: &[f32], col: &mut [f32]) {
                     let xrow = &xc[ih as usize * w..(ih as usize + 1) * w];
                     for q in 0..wo {
                         let iw = (q * g.stride_w + si) as isize - g.pad_w as isize;
-                        dst[p * wo + q] = if iw < 0 || iw >= w as isize { 0.0 } else { xrow[iw as usize] };
+                        dst[p * wo + q] = if iw < 0 || iw >= w as isize {
+                            0.0
+                        } else {
+                            xrow[iw as usize]
+                        };
                     }
                 }
             }
@@ -91,7 +95,8 @@ mod tests {
     #[test]
     fn im2col_identity_1x1() {
         // 1x1 kernel, no pad, stride 1: col is just the flattened sample.
-        let g = ConvGeometry::with_square(Shape4::new(1, 3, 4, 4), FilterShape::new(2, 3, 1, 1), 0, 1);
+        let g =
+            ConvGeometry::with_square(Shape4::new(1, 3, 4, 4), FilterShape::new(2, 3, 1, 1), 0, 1);
         let x = Tensor::random(g.input.with_batch(1), 3);
         let mut col = vec![0.0; col_len(&g)];
         im2col(&g, x.as_slice(), &mut col);
@@ -100,7 +105,8 @@ mod tests {
 
     #[test]
     fn im2col_zero_pads_border() {
-        let g = ConvGeometry::with_square(Shape4::new(1, 1, 2, 2), FilterShape::new(1, 1, 3, 3), 1, 1);
+        let g =
+            ConvGeometry::with_square(Shape4::new(1, 1, 2, 2), FilterShape::new(1, 1, 3, 3), 1, 1);
         let x = vec![1.0, 2.0, 3.0, 4.0];
         let mut col = vec![-1.0; col_len(&g)];
         im2col(&g, &x, &mut col);
@@ -128,15 +134,28 @@ mod tests {
             im2col(&g, x.as_slice(), &mut col);
             let mut back = vec![0.0; x.shape().len()];
             col2im_add(&g, cvec.as_slice(), &mut back, 1.0);
-            let lhs: f64 = col.iter().zip(cvec.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
-            let rhs: f64 = x.as_slice().iter().zip(&back).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
-            assert!((lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0), "pad={pad} stride={stride}");
+            let lhs: f64 = col
+                .iter()
+                .zip(cvec.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum();
+            let rhs: f64 = x
+                .as_slice()
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum();
+            assert!(
+                (lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0),
+                "pad={pad} stride={stride}"
+            );
         }
     }
 
     #[test]
     fn col_len_formula() {
-        let g = ConvGeometry::with_square(Shape4::new(4, 3, 8, 8), FilterShape::new(2, 3, 3, 3), 1, 2);
+        let g =
+            ConvGeometry::with_square(Shape4::new(4, 3, 8, 8), FilterShape::new(2, 3, 3, 3), 1, 2);
         assert_eq!(col_len(&g), 3 * 3 * 3 * g.out_h() * g.out_w());
     }
 }

@@ -175,10 +175,25 @@ mod tests {
             let x = Tensor::random(g.input, 1);
             let w = Tensor::random(g.filter.as_shape4(), 2);
             let mut y_ref = Tensor::zeros(g.output());
-            direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 1.0, 0.0);
+            direct::forward(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                y_ref.as_mut_slice(),
+                1.0,
+                0.0,
+            );
             let mut y = Tensor::zeros(g.output());
             let mut ws = vec![0.0; workspace_floats(&g)];
-            forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws);
+            forward(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                y.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
             assert_all_close(&y_ref, &y, 1e-4);
         }
     }
@@ -189,10 +204,25 @@ mod tests {
             let dy = Tensor::random(g.output(), 3);
             let w = Tensor::random(g.filter.as_shape4(), 4);
             let mut dx_ref = Tensor::zeros(g.input);
-            direct::backward_data(&g, dy.as_slice(), w.as_slice(), dx_ref.as_mut_slice(), 1.0, 0.0);
+            direct::backward_data(
+                &g,
+                dy.as_slice(),
+                w.as_slice(),
+                dx_ref.as_mut_slice(),
+                1.0,
+                0.0,
+            );
             let mut dx = Tensor::zeros(g.input);
             let mut ws = vec![0.0; workspace_floats(&g)];
-            backward_data(&g, dy.as_slice(), w.as_slice(), dx.as_mut_slice(), 1.0, 0.0, &mut ws);
+            backward_data(
+                &g,
+                dy.as_slice(),
+                w.as_slice(),
+                dx.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
             assert_all_close(&dx_ref, &dx, 1e-4);
         }
     }
@@ -203,10 +233,25 @@ mod tests {
             let x = Tensor::random(g.input, 5);
             let dy = Tensor::random(g.output(), 6);
             let mut dw_ref = Tensor::zeros(g.filter.as_shape4());
-            direct::backward_filter(&g, x.as_slice(), dy.as_slice(), dw_ref.as_mut_slice(), 1.0, 0.0);
+            direct::backward_filter(
+                &g,
+                x.as_slice(),
+                dy.as_slice(),
+                dw_ref.as_mut_slice(),
+                1.0,
+                0.0,
+            );
             let mut dw = Tensor::zeros(g.filter.as_shape4());
             let mut ws = vec![0.0; workspace_floats(&g)];
-            backward_filter(&g, x.as_slice(), dy.as_slice(), dw.as_mut_slice(), 1.0, 0.0, &mut ws);
+            backward_filter(
+                &g,
+                x.as_slice(),
+                dy.as_slice(),
+                dw.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
             assert_all_close(&dw_ref, &dw, 1e-3);
         }
     }
@@ -219,21 +264,45 @@ mod tests {
         let init = Tensor::random(g.output(), 9);
         let (alpha, beta) = (0.5, 2.0);
         let mut y_ref = init.clone();
-        direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), alpha, beta);
+        direct::forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y_ref.as_mut_slice(),
+            alpha,
+            beta,
+        );
         let mut y = init.clone();
         let mut ws = vec![0.0; workspace_floats(&g)];
-        forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), alpha, beta, &mut ws);
+        forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y.as_mut_slice(),
+            alpha,
+            beta,
+            &mut ws,
+        );
         assert_all_close(&y_ref, &y, 1e-4);
     }
 
     #[test]
     fn backward_filter_accumulation_across_micro_batches() {
-        let g = ConvGeometry::with_square(Shape4::new(6, 2, 6, 6), FilterShape::new(3, 2, 3, 3), 1, 1);
+        let g =
+            ConvGeometry::with_square(Shape4::new(6, 2, 6, 6), FilterShape::new(3, 2, 3, 3), 1, 1);
         let x = Tensor::random(g.input, 10);
         let dy = Tensor::random(g.output(), 11);
         let mut ws = vec![0.0; workspace_floats(&g)];
         let mut dw_full = Tensor::zeros(g.filter.as_shape4());
-        backward_filter(&g, x.as_slice(), dy.as_slice(), dw_full.as_mut_slice(), 1.0, 0.0, &mut ws);
+        backward_filter(
+            &g,
+            x.as_slice(),
+            dy.as_slice(),
+            dw_full.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
 
         let mut dw_micro = Tensor::zeros(g.filter.as_shape4());
         for (i, (lo, hi)) in [(0usize, 1usize), (1, 4), (4, 6)].into_iter().enumerate() {
@@ -259,6 +328,14 @@ mod tests {
         let w = Tensor::zeros(g.filter.as_shape4());
         let mut y = Tensor::zeros(g.output());
         let mut ws = vec![0.0; workspace_floats(&g) - 1];
-        forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws);
+        forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
     }
 }

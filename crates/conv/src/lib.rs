@@ -41,7 +41,11 @@ pub enum ConvOp {
 
 impl ConvOp {
     /// All three operations, in the paper's order.
-    pub const ALL: [ConvOp; 3] = [ConvOp::Forward, ConvOp::BackwardData, ConvOp::BackwardFilter];
+    pub const ALL: [ConvOp; 3] = [
+        ConvOp::Forward,
+        ConvOp::BackwardData,
+        ConvOp::BackwardFilter,
+    ];
 }
 
 impl core::fmt::Display for ConvOp {
@@ -123,7 +127,8 @@ fn support_reason(engine: EngineKind, op: ConvOp, g: &ConvGeometry) -> Option<&'
         EngineKind::Fft => {
             if !fft_conv::supports(g) {
                 Some("requires unit stride and pad < filter size")
-            } else if op == ConvOp::BackwardFilter && (g.pad_h >= g.out_h() || g.pad_w >= g.out_w()) {
+            } else if op == ConvOp::BackwardFilter && (g.pad_h >= g.out_h() || g.pad_w >= g.out_w())
+            {
                 Some("backward-filter requires pad < output size")
             } else {
                 None
@@ -201,22 +206,43 @@ pub fn exec(
     }
     let need = workspace_floats(engine, op, g);
     if ws.len() < need {
-        return Err(ConvError::WorkspaceTooSmall { need, got: ws.len() });
+        return Err(ConvError::WorkspaceTooSmall {
+            need,
+            got: ws.len(),
+        });
     }
     match (engine, op) {
         (EngineKind::Direct, ConvOp::Forward) => direct::forward(g, a, b, out, alpha, beta),
-        (EngineKind::Direct, ConvOp::BackwardData) => direct::backward_data(g, a, b, out, alpha, beta),
-        (EngineKind::Direct, ConvOp::BackwardFilter) => direct::backward_filter(g, a, b, out, alpha, beta),
+        (EngineKind::Direct, ConvOp::BackwardData) => {
+            direct::backward_data(g, a, b, out, alpha, beta)
+        }
+        (EngineKind::Direct, ConvOp::BackwardFilter) => {
+            direct::backward_filter(g, a, b, out, alpha, beta)
+        }
         (EngineKind::Gemm, ConvOp::Forward) => im2col_gemm::forward(g, a, b, out, alpha, beta, ws),
-        (EngineKind::Gemm, ConvOp::BackwardData) => im2col_gemm::backward_data(g, a, b, out, alpha, beta, ws),
-        (EngineKind::Gemm, ConvOp::BackwardFilter) => im2col_gemm::backward_filter(g, a, b, out, alpha, beta, ws),
+        (EngineKind::Gemm, ConvOp::BackwardData) => {
+            im2col_gemm::backward_data(g, a, b, out, alpha, beta, ws)
+        }
+        (EngineKind::Gemm, ConvOp::BackwardFilter) => {
+            im2col_gemm::backward_filter(g, a, b, out, alpha, beta, ws)
+        }
         (EngineKind::Fft, ConvOp::Forward) => fft_conv::forward(g, a, b, out, alpha, beta, ws),
-        (EngineKind::Fft, ConvOp::BackwardData) => fft_conv::backward_data(g, a, b, out, alpha, beta, ws),
-        (EngineKind::Fft, ConvOp::BackwardFilter) => fft_conv::backward_filter(g, a, b, out, alpha, beta, ws),
+        (EngineKind::Fft, ConvOp::BackwardData) => {
+            fft_conv::backward_data(g, a, b, out, alpha, beta, ws)
+        }
+        (EngineKind::Fft, ConvOp::BackwardFilter) => {
+            fft_conv::backward_filter(g, a, b, out, alpha, beta, ws)
+        }
         (EngineKind::Winograd, ConvOp::Forward) => winograd::forward(g, a, b, out, alpha, beta, ws),
-        (EngineKind::Winograd, ConvOp::BackwardData) => winograd::backward_data(g, a, b, out, alpha, beta, ws),
-        (EngineKind::WinogradF4, ConvOp::Forward) => winograd_f4::forward(g, a, b, out, alpha, beta, ws),
-        (EngineKind::WinogradF4, ConvOp::BackwardData) => winograd_f4::backward_data(g, a, b, out, alpha, beta, ws),
+        (EngineKind::Winograd, ConvOp::BackwardData) => {
+            winograd::backward_data(g, a, b, out, alpha, beta, ws)
+        }
+        (EngineKind::WinogradF4, ConvOp::Forward) => {
+            winograd_f4::forward(g, a, b, out, alpha, beta, ws)
+        }
+        (EngineKind::WinogradF4, ConvOp::BackwardData) => {
+            winograd_f4::backward_data(g, a, b, out, alpha, beta, ws)
+        }
         (EngineKind::Winograd | EngineKind::WinogradF4, ConvOp::BackwardFilter) => {
             unreachable!("rejected above")
         }
@@ -247,8 +273,18 @@ mod tests {
                 ConvOp::BackwardFilter => (x.as_slice(), dy.as_slice(), g.filter.as_shape4()),
             };
             let mut reference = Tensor::zeros(out_shape);
-            exec(EngineKind::Direct, op, &g, a, b, reference.as_mut_slice(), 1.0, 0.0, &mut [])
-                .unwrap();
+            exec(
+                EngineKind::Direct,
+                op,
+                &g,
+                a,
+                b,
+                reference.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut [],
+            )
+            .unwrap();
             for engine in EngineKind::ALL {
                 if !supports(engine, op, &g) {
                     continue;
@@ -263,13 +299,30 @@ mod tests {
 
     #[test]
     fn unsupported_combinations_error_cleanly() {
-        let g = ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 1, 2);
+        let g =
+            ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 1, 2);
         let x = Tensor::zeros(g.input);
         let w = Tensor::zeros(g.filter.as_shape4());
         let mut y = Tensor::zeros(g.output());
-        let err = exec(EngineKind::Fft, ConvOp::Forward, &g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut [])
-            .unwrap_err();
-        assert!(matches!(err, ConvError::NotSupported { engine: EngineKind::Fft, .. }));
+        let err = exec(
+            EngineKind::Fft,
+            ConvOp::Forward,
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut [],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ConvError::NotSupported {
+                engine: EngineKind::Fft,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("stride"));
     }
 
@@ -279,8 +332,18 @@ mod tests {
         let x = Tensor::zeros(g.input);
         let w = Tensor::zeros(g.filter.as_shape4());
         let mut y = Tensor::zeros(g.output());
-        let err = exec(EngineKind::Gemm, ConvOp::Forward, &g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut [])
-            .unwrap_err();
+        let err = exec(
+            EngineKind::Gemm,
+            ConvOp::Forward,
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut [],
+        )
+        .unwrap_err();
         match err {
             ConvError::WorkspaceTooSmall { need, got } => {
                 assert_eq!(need, im2col_gemm::workspace_floats(&g));

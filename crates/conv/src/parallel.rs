@@ -10,7 +10,9 @@ use std::num::NonZeroUsize;
 
 /// Number of worker threads to use for a batch of `n` samples.
 fn worker_count(n: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
     hw.min(n).max(1)
 }
 
@@ -24,7 +26,11 @@ pub fn par_batch_chunks<F>(n: usize, sample_len: usize, out: &mut [f32], body: F
 where
     F: Fn(usize, usize, &mut [f32]) + Sync,
 {
-    assert_eq!(out.len(), n * sample_len, "output length must be n * sample_len");
+    assert_eq!(
+        out.len(),
+        n * sample_len,
+        "output length must be n * sample_len"
+    );
     if n == 0 {
         return;
     }
@@ -67,7 +73,10 @@ mod tests {
             }
         });
         for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, i as f32, "sample element {i} touched wrong number of times");
+            assert_eq!(
+                *v, i as f32,
+                "sample element {i} touched wrong number of times"
+            );
         }
     }
 

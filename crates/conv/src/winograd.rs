@@ -26,7 +26,10 @@ pub fn supports(g: &ConvGeometry) -> bool {
 }
 
 fn assert_supported(g: &ConvGeometry) {
-    assert!(supports(g), "Winograd F(2x2,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})");
+    assert!(
+        supports(g),
+        "Winograd F(2x2,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})"
+    );
 }
 
 /// Output tile grid: `ceil(Ho/2) x ceil(Wo/2)` tiles per image.
@@ -130,7 +133,11 @@ pub fn forward(
     // 1. Filter transform: U[ξ][ki][ci], element stride between ξ's is K*C.
     for ki in 0..k {
         for ci in 0..c {
-            transform_filter(&w[(ki * c + ci) * 9..(ki * c + ci) * 9 + 9], &mut u_buf[ki * c + ci..], k * c);
+            transform_filter(
+                &w[(ki * c + ci) * 9..(ki * c + ci) * 9 + 9],
+                &mut u_buf[ki * c + ci..],
+                k * c,
+            );
         }
     }
 
@@ -236,9 +243,16 @@ pub fn backward_data(
     ws: &mut [f32],
 ) {
     assert_supported(g);
-    assert!(ws.len() >= workspace_floats_backward_data(g), "workspace too small");
+    assert!(
+        ws.len() >= workspace_floats_backward_data(g),
+        "workspace too small"
+    );
     let bg = backward_geometry(g);
-    debug_assert_eq!(bg.output(), g.input, "backward geometry must recover the input shape");
+    debug_assert_eq!(
+        bg.output(),
+        g.input,
+        "backward geometry must recover the input shape"
+    );
     let (k, c) = (g.filter.k, g.input.c);
 
     // Flip: w'[ci][ki][r][s] = w[ki][ci][2-r][2-s], staged at the end of ws.
@@ -247,7 +261,8 @@ pub fn backward_data(
         for ki in 0..k {
             for r in 0..3 {
                 for s in 0..3 {
-                    wflip[((ci * k + ki) * 3 + r) * 3 + s] = w[((ki * c + ci) * 3 + (2 - r)) * 3 + (2 - s)];
+                    wflip[((ci * k + ki) * 3 + r) * 3 + s] =
+                        w[((ki * c + ci) * 3 + (2 - r)) * 3 + (2 - s)];
                 }
             }
         }
@@ -277,10 +292,25 @@ mod tests {
             let x = Tensor::random(g.input, 1);
             let w = Tensor::random(g.filter.as_shape4(), 2);
             let mut y_ref = Tensor::zeros(g.output());
-            direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 1.0, 0.0);
+            direct::forward(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                y_ref.as_mut_slice(),
+                1.0,
+                0.0,
+            );
             let mut y = Tensor::zeros(g.output());
             let mut ws = vec![0.0; workspace_floats(&g)];
-            forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws);
+            forward(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                y.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
             assert_all_close(&y_ref, &y, 1e-3);
         }
     }
@@ -291,10 +321,25 @@ mod tests {
             let dy = Tensor::random(g.output(), 3);
             let w = Tensor::random(g.filter.as_shape4(), 4);
             let mut dx_ref = Tensor::zeros(g.input);
-            direct::backward_data(&g, dy.as_slice(), w.as_slice(), dx_ref.as_mut_slice(), 1.0, 0.0);
+            direct::backward_data(
+                &g,
+                dy.as_slice(),
+                w.as_slice(),
+                dx_ref.as_mut_slice(),
+                1.0,
+                0.0,
+            );
             let mut dx = Tensor::zeros(g.input);
             let mut ws = vec![0.0; workspace_floats_backward_data(&g)];
-            backward_data(&g, dy.as_slice(), w.as_slice(), dx.as_mut_slice(), 1.0, 0.0, &mut ws);
+            backward_data(
+                &g,
+                dy.as_slice(),
+                w.as_slice(),
+                dx.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
             assert_all_close(&dx_ref, &dx, 1e-3);
         }
     }
@@ -306,28 +351,50 @@ mod tests {
         let w = Tensor::random(g.filter.as_shape4(), 8);
         let init = Tensor::random(g.output(), 9);
         let mut y_ref = init.clone();
-        direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 0.5, 2.0);
+        direct::forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y_ref.as_mut_slice(),
+            0.5,
+            2.0,
+        );
         let mut y = init.clone();
         let mut ws = vec![0.0; workspace_floats(&g)];
-        forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 0.5, 2.0, &mut ws);
+        forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y.as_mut_slice(),
+            0.5,
+            2.0,
+            &mut ws,
+        );
         assert_all_close(&y_ref, &y, 1e-3);
     }
 
     #[test]
     fn rejects_non_3x3() {
-        let g = ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 5, 5), 2, 1);
+        let g =
+            ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 5, 5), 2, 1);
         assert!(!supports(&g));
     }
 
     #[test]
     fn rejects_stride() {
-        let g = ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 1, 2);
+        let g =
+            ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 1, 2);
         assert!(!supports(&g));
     }
 
     #[test]
     fn workspace_scales_with_batch() {
-        let g = ConvGeometry::with_square(Shape4::new(64, 16, 16, 16), FilterShape::new(32, 16, 3, 3), 1, 1);
+        let g = ConvGeometry::with_square(
+            Shape4::new(64, 16, 16, 16),
+            FilterShape::new(32, 16, 3, 3),
+            1,
+            1,
+        );
         let w64 = workspace_floats(&g);
         let w8 = workspace_floats(&g.with_batch(8));
         assert!(w8 < w64);

@@ -148,7 +148,10 @@ pub fn forward(
     beta: f32,
     ws: &mut [f32],
 ) {
-    assert!(supports(g), "F(4x4,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})");
+    assert!(
+        supports(g),
+        "F(4x4,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})"
+    );
     assert!(ws.len() >= workspace_floats(g), "workspace too small");
     let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
     let k = g.filter.k;
@@ -166,7 +169,11 @@ pub fn forward(
 
     for ki in 0..k {
         for ci in 0..c {
-            transform_filter(&w[(ki * c + ci) * 9..(ki * c + ci) * 9 + 9], &mut u_buf[ki * c + ci..], k * c);
+            transform_filter(
+                &w[(ki * c + ci) * 9..(ki * c + ci) * 9 + 9],
+                &mut u_buf[ki * c + ci..],
+                k * c,
+            );
         }
     }
 
@@ -267,8 +274,14 @@ pub fn backward_data(
     beta: f32,
     ws: &mut [f32],
 ) {
-    assert!(supports(g), "F(4x4,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})");
-    assert!(ws.len() >= workspace_floats_backward_data(g), "workspace too small");
+    assert!(
+        supports(g),
+        "F(4x4,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})"
+    );
+    assert!(
+        ws.len() >= workspace_floats_backward_data(g),
+        "workspace too small"
+    );
     let bg = backward_geometry(g);
     debug_assert_eq!(bg.output(), g.input);
     let (k, c) = (g.filter.k, g.input.c);
@@ -298,7 +311,12 @@ mod tests {
             // Non-multiple-of-4 outputs exercise edge-tile clipping.
             ConvGeometry::with_square(Shape4::new(1, 2, 9, 11), FilterShape::new(3, 2, 3, 3), 1, 1),
             ConvGeometry::with_square(Shape4::new(3, 1, 6, 6), FilterShape::new(2, 1, 3, 3), 0, 1),
-            ConvGeometry::with_square(Shape4::new(1, 2, 13, 13), FilterShape::new(2, 2, 3, 3), 2, 1),
+            ConvGeometry::with_square(
+                Shape4::new(1, 2, 13, 13),
+                FilterShape::new(2, 2, 3, 3),
+                2,
+                1,
+            ),
         ]
     }
 
@@ -308,10 +326,25 @@ mod tests {
             let x = Tensor::random(g.input, 1);
             let w = Tensor::random(g.filter.as_shape4(), 2);
             let mut y_ref = Tensor::zeros(g.output());
-            direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 1.0, 0.0);
+            direct::forward(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                y_ref.as_mut_slice(),
+                1.0,
+                0.0,
+            );
             let mut y = Tensor::zeros(g.output());
             let mut ws = vec![0.0; workspace_floats(&g)];
-            forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws);
+            forward(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                y.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
             assert_all_close(&y_ref, &y, 5e-3);
         }
     }
@@ -322,10 +355,25 @@ mod tests {
             let dy = Tensor::random(g.output(), 3);
             let w = Tensor::random(g.filter.as_shape4(), 4);
             let mut dx_ref = Tensor::zeros(g.input);
-            direct::backward_data(&g, dy.as_slice(), w.as_slice(), dx_ref.as_mut_slice(), 1.0, 0.0);
+            direct::backward_data(
+                &g,
+                dy.as_slice(),
+                w.as_slice(),
+                dx_ref.as_mut_slice(),
+                1.0,
+                0.0,
+            );
             let mut dx = Tensor::zeros(g.input);
             let mut ws = vec![0.0; workspace_floats_backward_data(&g)];
-            backward_data(&g, dy.as_slice(), w.as_slice(), dx.as_mut_slice(), 1.0, 0.0, &mut ws);
+            backward_data(
+                &g,
+                dy.as_slice(),
+                w.as_slice(),
+                dx.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
             assert_all_close(&dx_ref, &dx, 5e-3);
         }
     }
@@ -337,10 +385,25 @@ mod tests {
         let w = Tensor::random(g.filter.as_shape4(), 8);
         let init = Tensor::random(g.output(), 9);
         let mut y_ref = init.clone();
-        direct::forward(&g, x.as_slice(), w.as_slice(), y_ref.as_mut_slice(), 0.5, 2.0);
+        direct::forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y_ref.as_mut_slice(),
+            0.5,
+            2.0,
+        );
         let mut y = init.clone();
         let mut ws = vec![0.0; workspace_floats(&g)];
-        forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 0.5, 2.0, &mut ws);
+        forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y.as_mut_slice(),
+            0.5,
+            2.0,
+            &mut ws,
+        );
         assert_all_close(&y_ref, &y, 5e-3);
     }
 
@@ -357,18 +420,30 @@ mod tests {
         let f4 = workspace_floats(&g);
         let f2 = crate::winograd::workspace_floats(&g);
         // 36 elements on a quarter of the tiles vs 16 on all of them.
-        assert!(f4 < f2, "F(4x4) ws {f4} should undercut F(2x2) ws {f2} here");
+        assert!(
+            f4 < f2,
+            "F(4x4) ws {f4} should undercut F(2x2) ws {f2} here"
+        );
     }
 
     #[test]
     fn identity_kernel_recovers_input() {
-        let g = ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 1, 1);
+        let g =
+            ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 3, 3), 1, 1);
         let x = Tensor::random(g.input, 11);
         let mut w = Tensor::zeros(g.filter.as_shape4());
         w.set(0, 0, 1, 1, 1.0); // centre tap
         let mut y = Tensor::zeros(g.output());
         let mut ws = vec![0.0; workspace_floats(&g)];
-        forward(&g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws);
+        forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
         assert_all_close(&x, &y, 1e-4);
     }
 }

@@ -5,12 +5,11 @@
 //! micro-batch sizes sum to the mini-batch — e.g. `⟨64, FFT⟩⁴` for a
 //! mini-batch of 256 split four ways.
 
-use serde::{Deserialize, Serialize};
 use ucudnn_gpu_model::ConvAlgo;
 
 /// One micro-configuration: run `algo` on a micro-batch of `micro_batch`
 /// samples, with its benchmarked cost.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MicroConfig {
     /// Micro-batch size.
     pub micro_batch: usize,
@@ -25,7 +24,7 @@ pub struct MicroConfig {
 /// A full division of the mini-batch: micro-configurations executed
 /// sequentially, sharing one workspace (so the resident workspace is the
 /// *maximum*, not the sum, of the parts).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Configuration {
     /// The micro-configurations, in execution order.
     pub micros: Vec<MicroConfig>,
@@ -50,7 +49,11 @@ impl Configuration {
     /// Resident workspace: the maximum over micro-configurations, since the
     /// sequential micro-batches reuse one buffer.
     pub fn workspace_bytes(&self) -> usize {
-        self.micros.iter().map(|m| m.workspace_bytes).max().unwrap_or(0)
+        self.micros
+            .iter()
+            .map(|m| m.workspace_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// True when the mini-batch is not divided.
@@ -104,7 +107,12 @@ mod tests {
     use super::*;
 
     fn mc(b: usize, algo: ConvAlgo, t: f64, w: usize) -> MicroConfig {
-        MicroConfig { micro_batch: b, algo, time_us: t, workspace_bytes: w }
+        MicroConfig {
+            micro_batch: b,
+            algo,
+            time_us: t,
+            workspace_bytes: w,
+        }
     }
 
     #[test]

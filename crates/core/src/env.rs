@@ -9,6 +9,7 @@
 //! | `UCUDNN_OPTIMIZER` | `wr` / `wd` | [`UcudnnOptions::mode`] |
 //! | `UCUDNN_BENCHMARK_CACHE` | file path | [`UcudnnOptions::cache_file`] |
 //! | `UCUDNN_PARALLEL_BENCHMARK` | `0` / `1` | [`UcudnnOptions::parallel_benchmark`] |
+//! | `UCUDNN_OPT_THREADS` | worker threads ≥ 1 | [`UcudnnOptions::opt_threads`] |
 
 use crate::handle::{OptimizerMode, UcudnnOptions};
 use crate::policy::BatchSizePolicy;
@@ -55,18 +56,27 @@ impl UcudnnOptions {
     ) -> core::result::Result<Self, EnvError> {
         let mut opts = UcudnnOptions::default();
         if let Some(v) = lookup("UCUDNN_BATCH_SIZE_POLICY") {
-            opts.policy = BatchSizePolicy::parse(&v)
-                .ok_or(EnvError { variable: "UCUDNN_BATCH_SIZE_POLICY", value: v })?;
+            opts.policy = BatchSizePolicy::parse(&v).ok_or(EnvError {
+                variable: "UCUDNN_BATCH_SIZE_POLICY",
+                value: v,
+            })?;
         }
         if let Some(v) = lookup("UCUDNN_WORKSPACE_LIMIT") {
-            opts.workspace_limit_bytes =
-                parse_bytes(&v).ok_or(EnvError { variable: "UCUDNN_WORKSPACE_LIMIT", value: v })?;
+            opts.workspace_limit_bytes = parse_bytes(&v).ok_or(EnvError {
+                variable: "UCUDNN_WORKSPACE_LIMIT",
+                value: v,
+            })?;
         }
         if let Some(v) = lookup("UCUDNN_OPTIMIZER") {
             opts.mode = match v.as_str() {
                 "wr" | "WR" => OptimizerMode::Wr,
                 "wd" | "WD" => OptimizerMode::Wd,
-                _ => return Err(EnvError { variable: "UCUDNN_OPTIMIZER", value: v }),
+                _ => {
+                    return Err(EnvError {
+                        variable: "UCUDNN_OPTIMIZER",
+                        value: v,
+                    })
+                }
             };
         }
         if let Some(v) = lookup("UCUDNN_BENCHMARK_CACHE") {
@@ -76,8 +86,24 @@ impl UcudnnOptions {
             opts.parallel_benchmark = match v.as_str() {
                 "1" | "true" => true,
                 "0" | "false" => false,
-                _ => return Err(EnvError { variable: "UCUDNN_PARALLEL_BENCHMARK", value: v }),
+                _ => {
+                    return Err(EnvError {
+                        variable: "UCUDNN_PARALLEL_BENCHMARK",
+                        value: v,
+                    })
+                }
             };
+        }
+        if let Some(v) = lookup("UCUDNN_OPT_THREADS") {
+            opts.opt_threads =
+                v.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(EnvError {
+                        variable: "UCUDNN_OPT_THREADS",
+                        value: v,
+                    })?;
         }
         Ok(opts)
     }
@@ -129,13 +155,18 @@ mod tests {
             ("UCUDNN_OPTIMIZER", "wd"),
             ("UCUDNN_BENCHMARK_CACHE", "/tmp/bench.json"),
             ("UCUDNN_PARALLEL_BENCHMARK", "1"),
+            ("UCUDNN_OPT_THREADS", "8"),
         ]))
         .unwrap();
         assert_eq!(opts.policy, BatchSizePolicy::All);
         assert_eq!(opts.workspace_limit_bytes, 120 << 20);
         assert_eq!(opts.mode, OptimizerMode::Wd);
-        assert_eq!(opts.cache_file.as_deref().unwrap().to_str().unwrap(), "/tmp/bench.json");
+        assert_eq!(
+            opts.cache_file.as_deref().unwrap().to_str().unwrap(),
+            "/tmp/bench.json"
+        );
         assert!(opts.parallel_benchmark);
+        assert_eq!(opts.opt_threads, 8);
     }
 
     #[test]
@@ -145,5 +176,7 @@ mod tests {
         assert_eq!(e.variable, "UCUDNN_BATCH_SIZE_POLICY");
         assert!(UcudnnOptions::from_lookup(lookup(&[("UCUDNN_WORKSPACE_LIMIT", "lots")])).is_err());
         assert!(UcudnnOptions::from_lookup(lookup(&[("UCUDNN_OPTIMIZER", "both")])).is_err());
+        assert!(UcudnnOptions::from_lookup(lookup(&[("UCUDNN_OPT_THREADS", "0")])).is_err());
+        assert!(UcudnnOptions::from_lookup(lookup(&[("UCUDNN_OPT_THREADS", "many")])).is_err());
     }
 }

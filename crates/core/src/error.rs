@@ -43,6 +43,8 @@ mod tests {
     fn conversion_and_display() {
         let e: UcudnnError = CudnnError::BadParam("x".into()).into();
         assert!(e.to_string().contains("substrate error"));
-        assert!(UcudnnError::WdInfeasible("y".into()).to_string().contains("infeasible"));
+        assert!(UcudnnError::WdInfeasible("y".into())
+            .to_string()
+            .contains("infeasible"));
     }
 }

@@ -20,12 +20,14 @@ use crate::bench_cache::{BenchCache, CacheStats};
 use crate::config::Configuration;
 use crate::error::UcudnnError;
 use crate::kernel::KernelKey;
+use crate::metrics::OptimizerMetrics;
 use crate::policy::BatchSizePolicy;
-use crate::wd::{optimize_wd_weighted, WdPlan};
-use crate::wr::optimize_wr;
+use crate::wd::{optimize_wd_weighted_parallel, WdPlan};
+use crate::wr::optimize_wr_metered;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use ucudnn_cudnn_sim::{
     ConvAlgo, ConvOp, ConvolutionDescriptor, CudnnHandle, FilterDescriptor, TensorDescriptor,
 };
@@ -63,6 +65,10 @@ pub struct UcudnnOptions {
     /// Evaluate micro-benchmarks on parallel threads (the multi-GPU
     /// parallel-evaluation analogue). Keep off for wall-clock benchmarking.
     pub parallel_benchmark: bool,
+    /// Worker threads for whole-network optimization
+    /// ([`UcudnnHandle::optimize_network`] and the WD desirable-set fan-out).
+    /// Plans are byte-identical for every value; only wall clock changes.
+    pub opt_threads: usize,
 }
 
 impl Default for UcudnnOptions {
@@ -73,6 +79,7 @@ impl Default for UcudnnOptions {
             mode: OptimizerMode::Wr,
             cache_file: None,
             parallel_benchmark: false,
+            opt_threads: 1,
         }
     }
 }
@@ -90,7 +97,6 @@ pub struct Plan {
 
 #[derive(Debug, Default)]
 struct State {
-    cache: BenchCache,
     plans: HashMap<KernelKey, Plan>,
     /// WD: kernels registered during network construction, with counts.
     pending: Vec<KernelKey>,
@@ -104,10 +110,16 @@ struct State {
 }
 
 /// The transparent μ-cuDNN handle.
+///
+/// The benchmark cache and metrics collector live outside the state mutex:
+/// both are internally synchronized, so optimizer worker threads share them
+/// directly while the mutex only guards plan installation.
 #[derive(Debug)]
 pub struct UcudnnHandle {
     inner: CudnnHandle,
     opts: UcudnnOptions,
+    cache: BenchCache,
+    metrics: OptimizerMetrics,
     state: Mutex<State>,
 }
 
@@ -128,8 +140,13 @@ impl UcudnnHandle {
             Some(p) => BenchCache::with_file(p),
             None => BenchCache::new(),
         };
-        let state = State { cache, ..Default::default() };
-        Self { inner, opts, state: Mutex::new(state) }
+        Self {
+            inner,
+            opts,
+            cache,
+            metrics: OptimizerMetrics::new(),
+            state: Mutex::new(State::default()),
+        }
     }
 
     /// The wrapped handle.
@@ -221,12 +238,17 @@ impl UcudnnHandle {
                 None => counts.push((*k, 1)),
             }
         }
-        let plan = optimize_wd_weighted(
+        let threads = self.opts.opt_threads.max(1);
+        self.metrics.set_threads(threads);
+        self.metrics.add_kernels(counts.len());
+        let plan = optimize_wd_weighted_parallel(
             &self.inner,
-            &mut st.cache,
+            &self.cache,
             &counts,
             self.opts.workspace_limit_bytes,
             self.opts.policy,
+            threads,
+            Some(&self.metrics),
         )?;
         st.wd_arena = vec![0.0f32; plan.total_workspace_bytes.div_ceil(4)];
         for (a, (_, mult)) in plan.assignments.iter().zip(&counts) {
@@ -250,19 +272,154 @@ impl UcudnnHandle {
             return Ok(());
         }
         let start = std::time::Instant::now();
-        let r = optimize_wr(
+        let r = optimize_wr_metered(
             &self.inner,
-            &mut st.cache,
+            &self.cache,
             key,
             self.opts.workspace_limit_bytes,
             self.opts.policy,
             self.opts.parallel_benchmark,
+            Some(&self.metrics),
         )?;
         st.opt_wall_us += start.elapsed().as_secs_f64() * 1e6;
+        self.metrics.add_kernels(1);
         let ws_floats = r.config.workspace_bytes().div_ceil(4);
         st.arenas.insert(*key, vec![0.0f32; ws_floats]);
-        st.plans.insert(*key, Plan { config: r.config, offset_floats: 0, multiplicity: 0 });
+        st.plans.insert(
+            *key,
+            Plan {
+                config: r.config,
+                offset_floats: 0,
+                multiplicity: 0,
+            },
+        );
         Ok(())
+    }
+
+    /// Optimize a whole network's kernels in one call, fanning the
+    /// per-kernel WR dynamic programs (or the WD desirable-set
+    /// construction) over [`UcudnnOptions::opt_threads`] workers that share
+    /// the concurrent benchmark cache.
+    ///
+    /// Duplicate keys are folded into one plan with their occurrence count
+    /// as multiplicity. The produced plans are byte-identical to calling
+    /// [`Self::get_algorithm`] kernel-by-kernel with one thread: worker
+    /// results are installed in registration order, and the underlying
+    /// benchmarks are pure functions of (device, kernel).
+    ///
+    /// # Errors
+    /// Propagates the first optimization failure in registration order.
+    pub fn optimize_network(&self, kernels: &[KernelKey]) -> Result<(), UcudnnError> {
+        let start = std::time::Instant::now();
+        let threads = self.opts.opt_threads.max(1);
+        self.metrics.set_threads(threads);
+        match self.opts.mode {
+            OptimizerMode::Wr => self.optimize_network_wr(kernels, threads)?,
+            OptimizerMode::Wd => {
+                {
+                    let mut st = self.state.lock();
+                    for k in kernels {
+                        if !st.plans.contains_key(k) {
+                            st.pending.push(*k);
+                        }
+                    }
+                }
+                self.finalize_network()?;
+            }
+        }
+        let mut st = self.state.lock();
+        st.opt_wall_us += start.elapsed().as_secs_f64() * 1e6;
+        Ok(())
+    }
+
+    fn optimize_network_wr(
+        &self,
+        kernels: &[KernelKey],
+        threads: usize,
+    ) -> Result<(), UcudnnError> {
+        // Fold duplicates and skip kernels that already have plans.
+        let mut counts: Vec<(KernelKey, usize)> = Vec::new();
+        {
+            let st = self.state.lock();
+            for k in kernels {
+                match counts.iter_mut().find(|(kk, _)| kk == k) {
+                    Some((_, c)) => *c += 1,
+                    None if !st.plans.contains_key(k) => counts.push((*k, 1)),
+                    None => {}
+                }
+            }
+        }
+        if counts.is_empty() {
+            return Ok(());
+        }
+        self.metrics.add_kernels(counts.len());
+        type WrOutcome = Result<crate::wr::WrResult, UcudnnError>;
+        let results: Vec<WrOutcome> = if threads > 1 && counts.len() > 1 {
+            // Work-queue fan-out: workers pull kernel indices off a shared
+            // counter; results land in an index-addressed slot vector so the
+            // installation order below is the registration order.
+            let next = AtomicUsize::new(0);
+            let outcomes: Vec<Vec<(usize, WrOutcome)>> = std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..threads.min(counts.len()))
+                    .map(|_| {
+                        let (next, counts) = (&next, &counts);
+                        scope.spawn(move || {
+                            let mut done = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some((k, _)) = counts.get(i) else { break };
+                                done.push((i, self.optimize_one_wr(k)));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("WR worker panicked"))
+                    .collect()
+            });
+            let mut slots: Vec<Option<WrOutcome>> = (0..counts.len()).map(|_| None).collect();
+            for (i, r) in outcomes.into_iter().flatten() {
+                slots[i] = Some(r);
+            }
+            slots
+                .into_iter()
+                .map(|r| r.expect("every kernel index computed"))
+                .collect()
+        } else {
+            counts
+                .iter()
+                .map(|(k, _)| self.optimize_one_wr(k))
+                .collect()
+        };
+        let mut st = self.state.lock();
+        for ((key, mult), result) in counts.iter().zip(results) {
+            let r = result?;
+            let ws_floats = r.config.workspace_bytes().div_ceil(4);
+            st.arenas.insert(*key, vec![0.0f32; ws_floats]);
+            st.plans.insert(
+                *key,
+                Plan {
+                    config: r.config,
+                    offset_floats: 0,
+                    multiplicity: *mult,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    fn optimize_one_wr(&self, key: &KernelKey) -> Result<crate::wr::WrResult, UcudnnError> {
+        optimize_wr_metered(
+            &self.inner,
+            &self.cache,
+            key,
+            self.opts.workspace_limit_bytes,
+            self.opts.policy,
+            self.opts.parallel_benchmark,
+            Some(&self.metrics),
+        )
     }
 
     /// Fetch (or lazily build) the plan for a kernel about to execute.
@@ -495,7 +652,22 @@ impl UcudnnHandle {
 
     /// Benchmark-cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
-        self.state.lock().cache.stats()
+        self.cache.stats()
+    }
+
+    /// The shared optimization metrics collector.
+    pub fn metrics(&self) -> &OptimizerMetrics {
+        &self.metrics
+    }
+
+    /// Full metrics report as JSON: per-phase timings, thread and kernel
+    /// counts, cache traffic, and per-kernel benchmark counts (aggregated
+    /// over micro-batch sizes).
+    pub fn metrics_json(&self) -> String {
+        self.metrics
+            .set_total_us(self.state.lock().opt_wall_us as u64);
+        self.metrics
+            .to_json(self.cache.stats(), &self.cache.benchmark_counts_by_kernel())
     }
 
     /// Persist the benchmark cache to its file DB, if configured.
@@ -503,7 +675,7 @@ impl UcudnnHandle {
     /// # Errors
     /// Propagates I/O failures.
     pub fn save_cache(&self) -> std::io::Result<()> {
-        self.state.lock().cache.save()
+        self.cache.save()
     }
 }
 

@@ -5,13 +5,12 @@
 //! the same size (ResNet) produce identical keys, which is what makes the
 //! benchmark/configuration caches effective (§III-D).
 
-use serde::{Deserialize, Serialize};
 use ucudnn_cudnn_sim::ConvOp;
 use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
 
-/// Serializable stand-in for [`ConvOp`] (the conv crate keeps its enums
-/// serde-free).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Cache-friendly stand-in for [`ConvOp`], owned by this crate so the
+/// optimizer can hash and persist it without depending on conv internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Forward convolution.
     Forward,
@@ -48,7 +47,7 @@ impl core::fmt::Display for OpKind {
 }
 
 /// Unique identity of an optimizable kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KernelKey {
     /// Which convolution operation.
     pub op: OpKind,
@@ -82,7 +81,14 @@ impl KernelKey {
 
     /// The geometry at the full mini-batch size.
     pub fn geometry(&self) -> ConvGeometry {
-        ConvGeometry::new(self.input, self.filter, self.pad_h, self.pad_w, self.stride_h, self.stride_w)
+        ConvGeometry::new(
+            self.input,
+            self.filter,
+            self.pad_h,
+            self.pad_w,
+            self.stride_h,
+            self.stride_w,
+        )
     }
 
     /// The geometry at a micro-batch size.
@@ -113,7 +119,12 @@ mod tests {
     use std::collections::HashSet;
 
     fn g() -> ConvGeometry {
-        ConvGeometry::with_square(Shape4::new(256, 64, 27, 27), FilterShape::new(192, 64, 5, 5), 2, 1)
+        ConvGeometry::with_square(
+            Shape4::new(256, 64, 27, 27),
+            FilterShape::new(192, 64, 5, 5),
+            2,
+            1,
+        )
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub mod config;
 pub mod env;
 pub mod error;
 pub mod handle;
+pub mod json;
 pub mod kernel;
+pub mod metrics;
 pub mod pareto;
 pub mod policy;
 pub mod wd;
@@ -61,7 +63,10 @@ pub use env::{parse_bytes, EnvError};
 pub use error::UcudnnError;
 pub use handle::{OptimizerMode, Plan, UcudnnHandle, UcudnnOptions, VIRTUAL_ALGO};
 pub use kernel::{KernelKey, OpKind};
+pub use metrics::{OptimizerMetrics, Phase, PhaseTimings};
 pub use pareto::{desirable_set, pareto_front};
 pub use policy::BatchSizePolicy;
-pub use wd::{optimize_wd, optimize_wd_weighted, WdAssignment, WdPlan};
-pub use wr::{best_micro, optimize_wr, WrResult};
+pub use wd::{
+    optimize_wd, optimize_wd_weighted, optimize_wd_weighted_parallel, WdAssignment, WdPlan,
+};
+pub use wr::{best_micro, optimize_wr, optimize_wr_metered, WrResult};

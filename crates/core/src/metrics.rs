@@ -1,0 +1,295 @@
+//! Optimization-time metrics: where does μ-cuDNN's setup cost go?
+//!
+//! The paper reports optimizer overhead as a single wall-clock number
+//! (§IV-E); this module breaks it down by phase — micro-benchmarking, WR
+//! dynamic programming, Pareto-front construction, and WD ILP solving — and
+//! pairs it with the cache traffic counters so a training run can tell *why*
+//! setup was fast or slow (e.g. 95% cache hits after a warm file DB load).
+//!
+//! All counters are atomic: optimizer worker threads record into one shared
+//! [`OptimizerMetrics`] without locking. Phase times are *aggregated over
+//! threads*, so with N workers the per-phase sums can exceed the end-to-end
+//! wall clock; `total_us` is recorded once by the orchestrator and is the
+//! actual elapsed time. The ratio between the two is the parallel speedup.
+
+use crate::bench_cache::CacheStats;
+use crate::json::{self, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The optimizer phases that are individually timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Micro-benchmark evaluation (cache misses running `Find`).
+    Benchmark,
+    /// WR dynamic programming over batch divisions.
+    Dp,
+    /// Pareto-front / desirable-set construction for WD.
+    Pareto,
+    /// WD 0-1 ILP solving.
+    Ilp,
+}
+
+/// Immutable snapshot of the per-phase timings, microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Micro-benchmarking time, summed across worker threads.
+    pub benchmark_us: u64,
+    /// WR dynamic-programming time, summed across worker threads.
+    pub dp_us: u64,
+    /// Pareto/desirable-set construction time, summed across worker threads.
+    pub pareto_us: u64,
+    /// ILP solve time (always single-threaded).
+    pub ilp_us: u64,
+    /// End-to-end optimization wall clock (not a sum over threads).
+    pub total_us: u64,
+}
+
+/// Shared, thread-safe metrics collector for one optimization run.
+#[derive(Debug, Default)]
+pub struct OptimizerMetrics {
+    benchmark_us: AtomicU64,
+    dp_us: AtomicU64,
+    pareto_us: AtomicU64,
+    ilp_us: AtomicU64,
+    total_us: AtomicU64,
+    threads: AtomicU64,
+    kernels: AtomicU64,
+}
+
+impl OptimizerMetrics {
+    /// Fresh collector with all counters zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `micros` to a phase counter.
+    pub fn add(&self, phase: Phase, micros: u64) {
+        let counter = match phase {
+            Phase::Benchmark => &self.benchmark_us,
+            Phase::Dp => &self.dp_us,
+            Phase::Pareto => &self.pareto_us,
+            Phase::Ilp => &self.ilp_us,
+        };
+        counter.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Run `f`, charging its wall time to `phase`.
+    pub fn time<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed().as_micros() as u64);
+        out
+    }
+
+    /// Record the end-to-end wall clock of the whole optimization.
+    pub fn set_total_us(&self, micros: u64) {
+        self.total_us.store(micros, Ordering::Relaxed);
+    }
+
+    /// Record how many worker threads the run used.
+    pub fn set_threads(&self, n: usize) {
+        self.threads.store(n as u64, Ordering::Relaxed);
+    }
+
+    /// Count kernels whose plans were (re)computed.
+    pub fn add_kernels(&self, n: usize) {
+        self.kernels.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Worker thread count of the last run.
+    pub fn threads(&self) -> usize {
+        self.threads.load(Ordering::Relaxed) as usize
+    }
+
+    /// Total kernels optimized so far.
+    pub fn kernels(&self) -> u64 {
+        self.kernels.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the per-phase timings.
+    pub fn timings(&self) -> PhaseTimings {
+        PhaseTimings {
+            benchmark_us: self.benchmark_us.load(Ordering::Relaxed),
+            dp_us: self.dp_us.load(Ordering::Relaxed),
+            pareto_us: self.pareto_us.load(Ordering::Relaxed),
+            ilp_us: self.ilp_us.load(Ordering::Relaxed),
+            total_us: self.total_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero (for back-to-back measured runs).
+    pub fn reset(&self) {
+        for c in [
+            &self.benchmark_us,
+            &self.dp_us,
+            &self.pareto_us,
+            &self.ilp_us,
+            &self.total_us,
+            &self.threads,
+            &self.kernels,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Render the full metrics report as a JSON document: per-phase
+    /// timings, cache traffic, and per-kernel benchmark counts.
+    pub fn to_json(&self, cache: CacheStats, bench_counts: &[(String, u64)]) -> String {
+        let t = self.timings();
+        json::obj([
+            (
+                "phases_us",
+                json::obj([
+                    ("benchmark", json::num(t.benchmark_us as f64)),
+                    ("dp", json::num(t.dp_us as f64)),
+                    ("pareto", json::num(t.pareto_us as f64)),
+                    ("ilp", json::num(t.ilp_us as f64)),
+                    ("total_wall", json::num(t.total_us as f64)),
+                ]),
+            ),
+            ("threads", json::num(self.threads() as f64)),
+            ("kernels_optimized", json::num(self.kernels() as f64)),
+            (
+                "cache",
+                json::obj([
+                    ("hits", json::num(cache.hits as f64)),
+                    ("misses", json::num(cache.misses as f64)),
+                    (
+                        "single_flight_waits",
+                        json::num(cache.single_flight_waits as f64),
+                    ),
+                ]),
+            ),
+            (
+                "benchmark_counts",
+                Value::Obj(
+                    bench_counts
+                        .iter()
+                        .map(|(k, n)| (k.clone(), json::num(*n as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_independently() {
+        let m = OptimizerMetrics::new();
+        m.add(Phase::Benchmark, 10);
+        m.add(Phase::Benchmark, 5);
+        m.add(Phase::Dp, 7);
+        m.add(Phase::Pareto, 3);
+        m.add(Phase::Ilp, 2);
+        m.set_total_us(20);
+        let t = m.timings();
+        assert_eq!(t.benchmark_us, 15);
+        assert_eq!(t.dp_us, 7);
+        assert_eq!(t.pareto_us, 3);
+        assert_eq!(t.ilp_us, 2);
+        assert_eq!(t.total_us, 20);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = OptimizerMetrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.add(Phase::Dp, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.timings().dp_us, 8000);
+    }
+
+    #[test]
+    fn time_charges_the_right_phase() {
+        let m = OptimizerMetrics::new();
+        let out = m.time(Phase::Pareto, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(
+            m.timings().pareto_us >= 1000,
+            "sleep must be charged to pareto"
+        );
+        assert_eq!(m.timings().dp_us, 0);
+    }
+
+    #[test]
+    fn json_export_is_parseable_and_complete() {
+        let m = OptimizerMetrics::new();
+        m.add(Phase::Benchmark, 100);
+        m.set_total_us(150);
+        m.set_threads(4);
+        m.add_kernels(9);
+        let stats = crate::CacheStats {
+            hits: 3,
+            misses: 2,
+            single_flight_waits: 1,
+        };
+        let counts = vec![("fwd[k]".to_string(), 1u64)];
+        let text = m.to_json(stats, &counts);
+        let doc = Value::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("phases_us")
+                .unwrap()
+                .get("benchmark")
+                .unwrap()
+                .as_u64(),
+            Some(100)
+        );
+        assert_eq!(
+            doc.get("phases_us")
+                .unwrap()
+                .get("total_wall")
+                .unwrap()
+                .as_u64(),
+            Some(150)
+        );
+        assert_eq!(doc.get("threads").unwrap().as_u64(), Some(4));
+        assert_eq!(doc.get("kernels_optimized").unwrap().as_u64(), Some(9));
+        assert_eq!(
+            doc.get("cache").unwrap().get("hits").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            doc.get("cache")
+                .unwrap()
+                .get("single_flight_waits")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("benchmark_counts")
+                .unwrap()
+                .get("fwd[k]")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = OptimizerMetrics::new();
+        m.add(Phase::Ilp, 5);
+        m.set_threads(2);
+        m.add_kernels(3);
+        m.reset();
+        assert_eq!(m.timings(), PhaseTimings::default());
+        assert_eq!(m.threads(), 0);
+        assert_eq!(m.kernels(), 0);
+    }
+}

@@ -40,7 +40,7 @@ pub fn pareto_front(mut configs: Vec<Configuration>) -> Vec<Configuration> {
 /// Returned sorted by ascending workspace (so descending time).
 pub fn desirable_set(
     handle: &CudnnHandle,
-    cache: &mut BenchCache,
+    cache: &BenchCache,
     kernel: &KernelKey,
     ws_cap: usize,
     policy: BatchSizePolicy,
@@ -53,7 +53,10 @@ pub fn desirable_set(
     let micro_fronts: Vec<(usize, Vec<MicroConfig>)> = sizes
         .iter()
         .map(|&m| {
-            let micro_key = KernelKey { input: kernel.input.with_batch(m), ..*kernel };
+            let micro_key = KernelKey {
+                input: kernel.input.with_batch(m),
+                ..*kernel
+            };
             let entries = cache.get_or_bench(handle, &micro_key);
             let singles: Vec<Configuration> = entries
                 .into_iter()
@@ -67,7 +70,13 @@ pub fn desirable_set(
                     })
                 })
                 .collect();
-            (m, pareto_front(singles).into_iter().map(|c| c.micros[0]).collect())
+            (
+                m,
+                pareto_front(singles)
+                    .into_iter()
+                    .map(|c| c.micros[0])
+                    .collect(),
+            )
         })
         .collect();
 
@@ -132,7 +141,10 @@ mod tests {
     #[test]
     fn front_removes_dominated_points() {
         let front = pareto_front(vec![mc(10.0, 0), mc(8.0, 5), mc(9.0, 6), mc(3.0, 10)]);
-        let pts: Vec<(f64, usize)> = front.iter().map(|c| (c.time_us(), c.workspace_bytes())).collect();
+        let pts: Vec<(f64, usize)> = front
+            .iter()
+            .map(|c| (c.time_us(), c.workspace_bytes()))
+            .collect();
         // (9,6) is dominated by (8,5).
         assert_eq!(pts, vec![(10.0, 0), (8.0, 5), (3.0, 10)]);
     }
@@ -140,7 +152,10 @@ mod tests {
     #[test]
     fn front_keeps_fastest_on_workspace_ties() {
         let front = pareto_front(vec![mc(10.0, 5), mc(7.0, 5), mc(12.0, 0)]);
-        let pts: Vec<(f64, usize)> = front.iter().map(|c| (c.time_us(), c.workspace_bytes())).collect();
+        let pts: Vec<(f64, usize)> = front
+            .iter()
+            .map(|c| (c.time_us(), c.workspace_bytes()))
+            .collect();
         assert_eq!(pts, vec![(12.0, 0), (7.0, 5)]);
     }
 
@@ -148,8 +163,14 @@ mod tests {
     fn front_is_monotone() {
         // Fundamental invariant: ws strictly ascending, time strictly descending.
         let h = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
-        let ds = desirable_set(&h, &mut cache, &conv2(64), 120 * MIB, BatchSizePolicy::PowerOfTwo);
+        let cache = BenchCache::new();
+        let ds = desirable_set(
+            &h,
+            &cache,
+            &conv2(64),
+            120 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+        );
         assert!(!ds.is_empty());
         for w in ds.windows(2) {
             assert!(w[0].workspace_bytes() < w[1].workspace_bytes());
@@ -160,8 +181,14 @@ mod tests {
     #[test]
     fn every_configuration_covers_the_batch() {
         let h = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
-        let ds = desirable_set(&h, &mut cache, &conv2(64), 120 * MIB, BatchSizePolicy::PowerOfTwo);
+        let cache = BenchCache::new();
+        let ds = desirable_set(
+            &h,
+            &cache,
+            &conv2(64),
+            120 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+        );
         for c in &ds {
             assert_eq!(c.batch(), 64, "configuration {c} does not tile the batch");
             assert!(c.workspace_bytes() <= 120 * MIB);
@@ -173,11 +200,18 @@ mod tests {
         // The paper notes T(B) ∈ D(B): the fastest WR configuration is one
         // endpoint of the desirable set.
         let h = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
+        let cache = BenchCache::new();
         let key = conv2(128);
-        let ds = desirable_set(&h, &mut cache, &key, 120 * MIB, BatchSizePolicy::PowerOfTwo);
-        let wr = crate::wr::optimize_wr(&h, &mut cache, &key, 120 * MIB, BatchSizePolicy::PowerOfTwo, false)
-            .unwrap();
+        let ds = desirable_set(&h, &cache, &key, 120 * MIB, BatchSizePolicy::PowerOfTwo);
+        let wr = crate::wr::optimize_wr(
+            &h,
+            &cache,
+            &key,
+            120 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+            false,
+        )
+        .unwrap();
         let fastest = ds.last().unwrap();
         assert!(
             (fastest.time_us() - wr.config.time_us()).abs() < 1e-6,
@@ -193,16 +227,26 @@ mod tests {
         // entries — far below the exponential enumeration. Sanity-check the
         // same order of magnitude.
         let h = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
-        let ds = desirable_set(&h, &mut cache, &conv2(256), 120 * MIB, BatchSizePolicy::PowerOfTwo);
-        assert!(ds.len() <= 128, "desirable set unexpectedly large: {}", ds.len());
+        let cache = BenchCache::new();
+        let ds = desirable_set(
+            &h,
+            &cache,
+            &conv2(256),
+            120 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+        );
+        assert!(
+            ds.len() <= 128,
+            "desirable set unexpectedly large: {}",
+            ds.len()
+        );
     }
 
     #[test]
     fn zero_cap_yields_single_zero_workspace_configuration() {
         let h = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
-        let ds = desirable_set(&h, &mut cache, &conv2(32), 0, BatchSizePolicy::PowerOfTwo);
+        let cache = BenchCache::new();
+        let ds = desirable_set(&h, &cache, &conv2(32), 0, BatchSizePolicy::PowerOfTwo);
         assert_eq!(ds.len(), 1);
         assert_eq!(ds[0].workspace_bytes(), 0);
     }

@@ -1,9 +1,7 @@
 //! Batch-size policies (§III-D): which micro-batch sizes are benchmarked.
 
-use serde::{Deserialize, Serialize};
-
 /// Which micro-batch sizes step 1 of the WR algorithm benchmarks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BatchSizePolicy {
     /// Every size `1..=B`. Finds the true optimum at `O(B)` benchmark cost.
     All,
@@ -74,9 +72,15 @@ mod tests {
 
     #[test]
     fn power_of_two_includes_the_minibatch() {
-        assert_eq!(BatchSizePolicy::PowerOfTwo.candidate_sizes(256), vec![1, 2, 4, 8, 16, 32, 64, 128, 256]);
+        assert_eq!(
+            BatchSizePolicy::PowerOfTwo.candidate_sizes(256),
+            vec![1, 2, 4, 8, 16, 32, 64, 128, 256]
+        );
         // Non-power-of-two mini-batch keeps B as an extra candidate.
-        assert_eq!(BatchSizePolicy::PowerOfTwo.candidate_sizes(6), vec![1, 2, 4, 6]);
+        assert_eq!(
+            BatchSizePolicy::PowerOfTwo.candidate_sizes(6),
+            vec![1, 2, 4, 6]
+        );
     }
 
     #[test]
@@ -86,14 +90,22 @@ mod tests {
 
     #[test]
     fn zero_batch_is_empty() {
-        for p in [BatchSizePolicy::All, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::Undivided] {
+        for p in [
+            BatchSizePolicy::All,
+            BatchSizePolicy::PowerOfTwo,
+            BatchSizePolicy::Undivided,
+        ] {
             assert!(p.candidate_sizes(0).is_empty());
         }
     }
 
     #[test]
     fn parse_round_trips() {
-        for p in [BatchSizePolicy::All, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::Undivided] {
+        for p in [
+            BatchSizePolicy::All,
+            BatchSizePolicy::PowerOfTwo,
+            BatchSizePolicy::Undivided,
+        ] {
             assert_eq!(BatchSizePolicy::parse(p.name()), Some(p));
         }
         assert_eq!(BatchSizePolicy::parse("bogus"), None);

@@ -17,9 +17,11 @@ use crate::bench_cache::BenchCache;
 use crate::config::Configuration;
 use crate::error::UcudnnError;
 use crate::kernel::KernelKey;
+use crate::metrics::{OptimizerMetrics, Phase};
 use crate::pareto::desirable_set;
 use crate::policy::BatchSizePolicy;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use ucudnn_cudnn_sim::CudnnHandle;
 use ucudnn_lp::{Item, MckInstance};
 
@@ -83,8 +85,8 @@ impl WdPlan {
 ///     })
 ///     .collect();
 /// let handle = CudnnHandle::simulated(ucudnn_gpu_model::p100_sxm2());
-/// let mut cache = BenchCache::new();
-/// let plan = optimize_wd(&handle, &mut cache, &kernels, 64 << 20,
+/// let cache = BenchCache::new();
+/// let plan = optimize_wd(&handle, &cache, &kernels, 64 << 20,
 ///                        BatchSizePolicy::PowerOfTwo).unwrap();
 /// assert_eq!(plan.assignments.len(), 2);
 /// assert!(plan.total_workspace_bytes <= 64 << 20);
@@ -100,7 +102,7 @@ impl WdPlan {
 /// exceed the budget.
 pub fn optimize_wd(
     handle: &CudnnHandle,
-    cache: &mut BenchCache,
+    cache: &BenchCache,
     kernels: &[KernelKey],
     total_limit: usize,
     policy: BatchSizePolicy,
@@ -119,24 +121,112 @@ pub fn optimize_wd(
 /// Same conditions as [`optimize_wd`].
 pub fn optimize_wd_weighted(
     handle: &CudnnHandle,
-    cache: &mut BenchCache,
+    cache: &BenchCache,
     weighted_kernels: &[(KernelKey, usize)],
     total_limit: usize,
     policy: BatchSizePolicy,
 ) -> Result<WdPlan, UcudnnError> {
+    optimize_wd_weighted_parallel(
+        handle,
+        cache,
+        weighted_kernels,
+        total_limit,
+        policy,
+        1,
+        None,
+    )
+}
+
+/// [`optimize_wd_weighted`] with the desirable-set (Pareto) construction
+/// fanned out over `threads` workers and per-phase timings recorded into
+/// `metrics`.
+///
+/// Workers pull unique kernels off a shared index counter and feed the
+/// shared [`BenchCache`], whose single-flight arbitration guarantees every
+/// micro-benchmark runs exactly once even when kernels share micro-batch
+/// shapes. Completed fronts land in a slot vector indexed by kernel
+/// position, so the ILP consumes them in registration order and the plan is
+/// byte-identical for every thread count (the simulated benchmark is a pure
+/// function of device and kernel, and DP/Pareto/ILP are deterministic given
+/// the cache contents).
+///
+/// # Errors
+/// Same conditions as [`optimize_wd`].
+pub fn optimize_wd_weighted_parallel(
+    handle: &CudnnHandle,
+    cache: &BenchCache,
+    weighted_kernels: &[(KernelKey, usize)],
+    total_limit: usize,
+    policy: BatchSizePolicy,
+    threads: usize,
+    metrics: Option<&OptimizerMetrics>,
+) -> Result<WdPlan, UcudnnError> {
     let kernels: Vec<KernelKey> = weighted_kernels.iter().map(|(k, _)| *k).collect();
-    // Desirable sets, shared across identical kernel shapes.
-    let mut sets: HashMap<KernelKey, Vec<Configuration>> = HashMap::new();
+    // Unique kernel shapes in first-seen order; identical shapes share one
+    // desirable set.
+    let mut unique: Vec<KernelKey> = Vec::new();
     for k in &kernels {
-        if !sets.contains_key(k) {
-            let ds = desirable_set(handle, cache, k, total_limit, policy);
-            if ds.is_empty() {
-                return Err(UcudnnError::WdInfeasible(format!(
-                    "kernel {k} has no configuration within {total_limit} bytes"
-                )));
-            }
-            sets.insert(*k, ds);
+        if !unique.contains(k) {
+            unique.push(*k);
         }
+    }
+
+    let fronts: Vec<Vec<Configuration>> = if threads > 1 && unique.len() > 1 {
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Vec<(usize, Vec<Configuration>)>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads.min(unique.len()))
+                .map(|_| {
+                    let (next, unique) = (&next, &unique);
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(k) = unique.get(i) else { break };
+                            let ds = match metrics {
+                                Some(m) => m.time(Phase::Pareto, || {
+                                    desirable_set(handle, cache, k, total_limit, policy)
+                                }),
+                                None => desirable_set(handle, cache, k, total_limit, policy),
+                            };
+                            done.push((i, ds));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("WD worker panicked"))
+                .collect()
+        });
+        let mut merged: Vec<Option<Vec<Configuration>>> = vec![None; unique.len()];
+        for (i, ds) in slots.drain(..).flatten() {
+            merged[i] = Some(ds);
+        }
+        merged
+            .into_iter()
+            .map(|ds| ds.expect("every kernel index computed"))
+            .collect()
+    } else {
+        unique
+            .iter()
+            .map(|k| match metrics {
+                Some(m) => m.time(Phase::Pareto, || {
+                    desirable_set(handle, cache, k, total_limit, policy)
+                }),
+                None => desirable_set(handle, cache, k, total_limit, policy),
+            })
+            .collect()
+    };
+
+    let mut sets: HashMap<KernelKey, Vec<Configuration>> = HashMap::new();
+    for (k, ds) in unique.iter().zip(fronts) {
+        if ds.is_empty() {
+            return Err(UcudnnError::WdInfeasible(format!(
+                "kernel {k} has no configuration within {total_limit} bytes"
+            )));
+        }
+        sets.insert(*k, ds);
     }
 
     // Build and solve the multiple-choice knapsack.
@@ -153,11 +243,17 @@ pub fn optimize_wd_weighted(
         })
         .collect();
     let ilp_variables = groups.iter().map(Vec::len).sum();
-    let instance = MckInstance { groups, capacity: total_limit as f64 };
+    let instance = MckInstance {
+        groups,
+        capacity: total_limit as f64,
+    };
     let ilp = instance.to_ilp();
     let start = std::time::Instant::now();
     let sol = ucudnn_lp::solve_binary(&ilp);
     let ilp_solve_us = start.elapsed().as_secs_f64() * 1e6;
+    if let Some(m) = metrics {
+        m.add(Phase::Ilp, ilp_solve_us as u64);
+    }
     if sol.status != ucudnn_lp::IlpStatus::Optimal {
         return Err(UcudnnError::WdInfeasible(format!(
             "no combination of configurations fits {total_limit} bytes"
@@ -171,7 +267,11 @@ pub fn optimize_wd_weighted(
     for (k, choice) in kernels.iter().zip(choices) {
         let config = sets[k][choice].clone();
         let bytes = config.workspace_bytes();
-        assignments.push(WdAssignment { kernel: *k, config, offset_bytes: offset });
+        assignments.push(WdAssignment {
+            kernel: *k,
+            config,
+            offset_bytes: offset,
+        });
         offset += bytes;
     }
     Ok(WdPlan {
@@ -192,7 +292,15 @@ mod tests {
 
     const MIB: usize = 1024 * 1024;
 
-    fn kernel(op: ConvOp, n: usize, c: usize, hw: usize, k: usize, r: usize, pad: usize) -> KernelKey {
+    fn kernel(
+        op: ConvOp,
+        n: usize,
+        c: usize,
+        hw: usize,
+        k: usize,
+        r: usize,
+        pad: usize,
+    ) -> KernelKey {
         let g = ConvGeometry::with_square(
             Shape4::new(n, c, hw, hw),
             FilterShape::new(k, c, r, r),
@@ -214,10 +322,10 @@ mod tests {
     #[test]
     fn respects_the_total_budget() {
         let h = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
+        let cache = BenchCache::new();
         for limit in [0, 8 * MIB, 64 * MIB, 512 * MIB] {
             let plan =
-                optimize_wd(&h, &mut cache, &kernels(), limit, BatchSizePolicy::PowerOfTwo).unwrap();
+                optimize_wd(&h, &cache, &kernels(), limit, BatchSizePolicy::PowerOfTwo).unwrap();
             assert!(
                 plan.total_workspace_bytes <= limit,
                 "plan uses {} > limit {limit}",
@@ -230,9 +338,15 @@ mod tests {
     #[test]
     fn segments_do_not_overlap() {
         let h = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
-        let plan =
-            optimize_wd(&h, &mut cache, &kernels(), 256 * MIB, BatchSizePolicy::PowerOfTwo).unwrap();
+        let cache = BenchCache::new();
+        let plan = optimize_wd(
+            &h,
+            &cache,
+            &kernels(),
+            256 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+        )
+        .unwrap();
         let mut spans: Vec<(usize, usize)> = plan
             .assignments
             .iter()
@@ -248,12 +362,15 @@ mod tests {
     #[test]
     fn more_budget_is_never_slower() {
         let h = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
+        let cache = BenchCache::new();
         let mut prev = f64::INFINITY;
         for limit in [0, 8 * MIB, 40 * MIB, 120 * MIB, 512 * MIB] {
             let plan =
-                optimize_wd(&h, &mut cache, &kernels(), limit, BatchSizePolicy::PowerOfTwo).unwrap();
-            assert!(plan.time_us() <= prev + 1e-6, "budget {limit} slower than smaller budget");
+                optimize_wd(&h, &cache, &kernels(), limit, BatchSizePolicy::PowerOfTwo).unwrap();
+            assert!(
+                plan.time_us() <= prev + 1e-6,
+                "budget {limit} slower than smaller budget"
+            );
             prev = plan.time_us();
         }
     }
@@ -263,18 +380,25 @@ mod tests {
         // The Fig. 13 claim: a shared budget of K·L bytes, divided adaptively
         // by WD, beats giving every kernel L bytes under WR.
         let h = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
+        let cache = BenchCache::new();
         let ks = kernels();
         let per_kernel = 8 * MIB;
         let total = per_kernel * ks.len();
-        let wd = optimize_wd(&h, &mut cache, &ks, total, BatchSizePolicy::PowerOfTwo).unwrap();
+        let wd = optimize_wd(&h, &cache, &ks, total, BatchSizePolicy::PowerOfTwo).unwrap();
         let wr_total: f64 = ks
             .iter()
             .map(|k| {
-                crate::wr::optimize_wr(&h, &mut cache, k, per_kernel, BatchSizePolicy::PowerOfTwo, false)
-                    .unwrap()
-                    .config
-                    .time_us()
+                crate::wr::optimize_wr(
+                    &h,
+                    &cache,
+                    k,
+                    per_kernel,
+                    BatchSizePolicy::PowerOfTwo,
+                    false,
+                )
+                .unwrap()
+                .config
+                .time_us()
             })
             .sum();
         assert!(
@@ -287,24 +411,33 @@ mod tests {
     #[test]
     fn identical_kernels_each_get_a_segment() {
         let h = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
+        let cache = BenchCache::new();
         let k = kernel(ConvOp::Forward, 64, 64, 27, 192, 5, 2);
         let plan =
-            optimize_wd(&h, &mut cache, &[k, k], 200 * MIB, BatchSizePolicy::PowerOfTwo).unwrap();
+            optimize_wd(&h, &cache, &[k, k], 200 * MIB, BatchSizePolicy::PowerOfTwo).unwrap();
         assert_eq!(plan.assignments.len(), 2);
         // Same shape ⇒ same configuration, but distinct segments.
         assert_eq!(plan.assignments[0].config, plan.assignments[1].config);
         if plan.assignments[0].config.workspace_bytes() > 0 {
-            assert_ne!(plan.assignments[0].offset_bytes, plan.assignments[1].offset_bytes);
+            assert_ne!(
+                plan.assignments[0].offset_bytes,
+                plan.assignments[1].offset_bytes
+            );
         }
     }
 
     #[test]
     fn ilp_stats_are_populated() {
         let h = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
-        let plan =
-            optimize_wd(&h, &mut cache, &kernels(), 120 * MIB, BatchSizePolicy::PowerOfTwo).unwrap();
+        let cache = BenchCache::new();
+        let plan = optimize_wd(
+            &h,
+            &cache,
+            &kernels(),
+            120 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+        )
+        .unwrap();
         assert!(plan.ilp_variables >= 3);
         assert!(plan.ilp_nodes >= 1);
         assert!(plan.ilp_solve_us > 0.0);

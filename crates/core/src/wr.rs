@@ -16,6 +16,7 @@ use crate::bench_cache::BenchCache;
 use crate::config::{Configuration, MicroConfig};
 use crate::error::UcudnnError;
 use crate::kernel::KernelKey;
+use crate::metrics::{OptimizerMetrics, Phase};
 use crate::policy::BatchSizePolicy;
 use ucudnn_cudnn_sim::CudnnHandle;
 
@@ -23,12 +24,15 @@ use ucudnn_cudnn_sim::CudnnHandle;
 /// (step 1 of the WR algorithm).
 pub fn best_micro(
     handle: &CudnnHandle,
-    cache: &mut BenchCache,
+    cache: &BenchCache,
     kernel: &KernelKey,
     micro_batch: usize,
     ws_limit: usize,
 ) -> Option<MicroConfig> {
-    let micro_key = KernelKey { input: kernel.input.with_batch(micro_batch), ..*kernel };
+    let micro_key = KernelKey {
+        input: kernel.input.with_batch(micro_batch),
+        ..*kernel
+    };
     cache
         .get_or_bench(handle, &micro_key)
         .into_iter()
@@ -66,10 +70,10 @@ pub struct WrResult {
 ///     1,
 /// );
 /// let handle = CudnnHandle::simulated(ucudnn_gpu_model::p100_sxm2());
-/// let mut cache = BenchCache::new();
+/// let cache = BenchCache::new();
 /// let r = optimize_wr(
 ///     &handle,
-///     &mut cache,
+///     &cache,
 ///     &KernelKey::new(ConvOp::Forward, &g),
 ///     64 << 20,
 ///     BatchSizePolicy::PowerOfTwo,
@@ -90,11 +94,37 @@ pub struct WrResult {
 #[allow(clippy::too_many_arguments)] // BLAS/cuDNN-style signature
 pub fn optimize_wr(
     handle: &CudnnHandle,
-    cache: &mut BenchCache,
+    cache: &BenchCache,
     kernel: &KernelKey,
     ws_limit: usize,
     policy: BatchSizePolicy,
     parallel_benchmark: bool,
+) -> Result<WrResult, UcudnnError> {
+    optimize_wr_metered(
+        handle,
+        cache,
+        kernel,
+        ws_limit,
+        policy,
+        parallel_benchmark,
+        None,
+    )
+}
+
+/// [`optimize_wr`] with per-phase timing recorded into `metrics`
+/// (benchmarking vs. dynamic programming). The plan produced is identical.
+///
+/// # Errors
+/// Same as [`optimize_wr`].
+#[allow(clippy::too_many_arguments)] // BLAS/cuDNN-style signature
+pub fn optimize_wr_metered(
+    handle: &CudnnHandle,
+    cache: &BenchCache,
+    kernel: &KernelKey,
+    ws_limit: usize,
+    policy: BatchSizePolicy,
+    parallel_benchmark: bool,
+    metrics: Option<&OptimizerMetrics>,
 ) -> Result<WrResult, UcudnnError> {
     let b = kernel.batch();
     let sizes = policy.candidate_sizes(b);
@@ -102,16 +132,24 @@ pub fn optimize_wr(
     // analogue of multi-GPU benchmark distribution).
     let micro_keys: Vec<KernelKey> = sizes
         .iter()
-        .map(|&m| KernelKey { input: kernel.input.with_batch(m), ..*kernel })
+        .map(|&m| KernelKey {
+            input: kernel.input.with_batch(m),
+            ..*kernel
+        })
         .collect();
+    let bench_start = std::time::Instant::now();
     cache.prefetch(handle, &micro_keys, parallel_benchmark);
 
     let per_size: Vec<(usize, Option<MicroConfig>)> = sizes
         .iter()
         .map(|&m| (m, best_micro(handle, cache, kernel, m, ws_limit)))
         .collect();
+    if let Some(m) = metrics {
+        m.add(Phase::Benchmark, bench_start.elapsed().as_micros() as u64);
+    }
 
     // Step 2: DP over the total batch with the benchmarked sizes as atoms.
+    let dp_start = std::time::Instant::now();
     const INF: f64 = f64::INFINITY;
     let mut t = vec![INF; b + 1];
     let mut step: Vec<Option<&MicroConfig>> = vec![None; b + 1];
@@ -144,7 +182,13 @@ pub fn optimize_wr(
         n -= mc.micro_batch;
     }
     micros.sort_by_key(|m| std::cmp::Reverse(m.micro_batch));
-    Ok(WrResult { config: Configuration { micros }, per_size })
+    if let Some(m) = metrics {
+        m.add(Phase::Dp, dp_start.elapsed().as_micros() as u64);
+    }
+    Ok(WrResult {
+        config: Configuration { micros },
+        per_size,
+    })
 }
 
 #[cfg(test)]
@@ -173,9 +217,16 @@ mod tests {
 
     #[test]
     fn undivided_policy_reproduces_cudnn_choice() {
-        let (h, mut c) = setup();
-        let r = optimize_wr(&h, &mut c, &conv2(256), 64 * MIB, BatchSizePolicy::Undivided, false)
-            .unwrap();
+        let (h, c) = setup();
+        let r = optimize_wr(
+            &h,
+            &c,
+            &conv2(256),
+            64 * MIB,
+            BatchSizePolicy::Undivided,
+            false,
+        )
+        .unwrap();
         assert!(r.config.is_undivided());
         assert_eq!(r.config.micros[0].micro_batch, 256);
         // 64 MiB excludes FFT undivided: must be a GEMM-family algorithm.
@@ -189,16 +240,33 @@ mod tests {
     fn power_of_two_unlocks_fft_at_64mib() {
         // §IV-A: powerOfTwo enables FFT with micro-batches of 32 within the
         // 64 MiB constraint, beating the undivided GEMM configuration.
-        let (h, mut c) = setup();
-        let undiv = optimize_wr(&h, &mut c, &conv2(256), 64 * MIB, BatchSizePolicy::Undivided, false)
-            .unwrap();
-        let p2 = optimize_wr(&h, &mut c, &conv2(256), 64 * MIB, BatchSizePolicy::PowerOfTwo, false)
-            .unwrap();
+        let (h, c) = setup();
+        let undiv = optimize_wr(
+            &h,
+            &c,
+            &conv2(256),
+            64 * MIB,
+            BatchSizePolicy::Undivided,
+            false,
+        )
+        .unwrap();
+        let p2 = optimize_wr(
+            &h,
+            &c,
+            &conv2(256),
+            64 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+            false,
+        )
+        .unwrap();
         assert!(!p2.config.is_undivided());
         assert!(p2.config.time_us() < undiv.config.time_us());
         assert!(p2.config.workspace_bytes() <= 64 * MIB);
         assert!(
-            p2.config.micros.iter().any(|m| matches!(m.algo, ConvAlgo::Fft | ConvAlgo::FftTiling)),
+            p2.config
+                .micros
+                .iter()
+                .any(|m| matches!(m.algo, ConvAlgo::Fft | ConvAlgo::FftTiling)),
             "expected an FFT micro-config, got {}",
             p2.config
         );
@@ -206,11 +274,17 @@ mod tests {
 
     #[test]
     fn all_is_at_least_as_good_as_power_of_two() {
-        let (h, mut c) = setup();
-        let p2 = optimize_wr(&h, &mut c, &conv2(256), 64 * MIB, BatchSizePolicy::PowerOfTwo, false)
-            .unwrap();
-        let all =
-            optimize_wr(&h, &mut c, &conv2(256), 64 * MIB, BatchSizePolicy::All, false).unwrap();
+        let (h, c) = setup();
+        let p2 = optimize_wr(
+            &h,
+            &c,
+            &conv2(256),
+            64 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+            false,
+        )
+        .unwrap();
+        let all = optimize_wr(&h, &c, &conv2(256), 64 * MIB, BatchSizePolicy::All, false).unwrap();
         assert!(all.config.time_us() <= p2.config.time_us() + 1e-9);
         // And both tile the mini-batch exactly.
         assert_eq!(all.config.batch(), 256);
@@ -219,8 +293,8 @@ mod tests {
 
     #[test]
     fn tiny_limit_degenerates_to_zero_workspace_algorithms() {
-        let (h, mut c) = setup();
-        let r = optimize_wr(&h, &mut c, &conv2(256), 0, BatchSizePolicy::All, false).unwrap();
+        let (h, c) = setup();
+        let r = optimize_wr(&h, &c, &conv2(256), 0, BatchSizePolicy::All, false).unwrap();
         assert_eq!(r.config.workspace_bytes(), 0);
         assert_eq!(r.config.batch(), 256);
     }
@@ -230,16 +304,15 @@ mod tests {
         // With 512 MiB the best undivided algorithm fits, so dividing only
         // adds launch overhead — the DP must keep one kernel (Fig. 10's
         // "no benefit at 512 MiB" result).
-        let (h, mut c) = setup();
-        let r = optimize_wr(&h, &mut c, &conv2(256), 512 * MIB, BatchSizePolicy::All, false).unwrap();
+        let (h, c) = setup();
+        let r = optimize_wr(&h, &c, &conv2(256), 512 * MIB, BatchSizePolicy::All, false).unwrap();
         assert!(r.config.is_undivided(), "got {}", r.config);
     }
 
     #[test]
     fn dp_beats_or_equals_any_uniform_division() {
-        let (h, mut c) = setup();
-        let r =
-            optimize_wr(&h, &mut c, &conv2(256), 64 * MIB, BatchSizePolicy::All, false).unwrap();
+        let (h, c) = setup();
+        let r = optimize_wr(&h, &c, &conv2(256), 64 * MIB, BatchSizePolicy::All, false).unwrap();
         // Compare against every uniform division of benchmarked sizes.
         for (m, mc) in &r.per_size {
             let Some(mc) = mc else { continue };
@@ -259,23 +332,42 @@ mod tests {
 
     #[test]
     fn per_size_table_matches_policy() {
-        let (h, mut c) = setup();
-        let r = optimize_wr(&h, &mut c, &conv2(64), 64 * MIB, BatchSizePolicy::PowerOfTwo, false)
-            .unwrap();
+        let (h, c) = setup();
+        let r = optimize_wr(
+            &h,
+            &c,
+            &conv2(64),
+            64 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+            false,
+        )
+        .unwrap();
         let sizes: Vec<usize> = r.per_size.iter().map(|(m, _)| *m).collect();
         assert_eq!(sizes, vec![1, 2, 4, 8, 16, 32, 64]);
     }
 
     #[test]
     fn parallel_benchmark_gives_identical_plan() {
-        let (h, mut c1) = setup();
-        let serial =
-            optimize_wr(&h, &mut c1, &conv2(128), 64 * MIB, BatchSizePolicy::PowerOfTwo, false)
-                .unwrap();
-        let mut c2 = BenchCache::new();
-        let parallel =
-            optimize_wr(&h, &mut c2, &conv2(128), 64 * MIB, BatchSizePolicy::PowerOfTwo, true)
-                .unwrap();
+        let (h, c1) = setup();
+        let serial = optimize_wr(
+            &h,
+            &c1,
+            &conv2(128),
+            64 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+            false,
+        )
+        .unwrap();
+        let c2 = BenchCache::new();
+        let parallel = optimize_wr(
+            &h,
+            &c2,
+            &conv2(128),
+            64 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+            true,
+        )
+        .unwrap();
         assert_eq!(serial.config, parallel.config);
     }
 }

@@ -1,0 +1,148 @@
+//! Stress test: the shared benchmark cache under heavy thread overlap.
+//!
+//! Many threads request overlapping kernel sets simultaneously. The
+//! single-flight protocol must guarantee that every (kernel, micro-batch)
+//! pair is benchmarked exactly once, every lookup is classified exactly once
+//! (hit, miss, or single-flight wait), and all threads observe identical
+//! results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use ucudnn::{BenchCache, BenchEntry, CacheStats, KernelKey};
+use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
+use ucudnn_gpu_model::p100_sxm2;
+use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
+
+/// A distinct kernel for each (channel, micro-batch) pair.
+fn key(c: usize, n: usize) -> KernelKey {
+    let g = ConvGeometry::with_square(
+        Shape4::new(n, c, 16, 16),
+        FilterShape::new(c, c, 3, 3),
+        1,
+        1,
+    );
+    KernelKey::new(ConvOp::Forward, &g)
+}
+
+#[test]
+fn stress_each_kernel_benchmarked_exactly_once() {
+    const THREADS: usize = 16;
+    const ROUNDS: usize = 4;
+    let h = CudnnHandle::simulated(p100_sxm2());
+    let cache = BenchCache::new();
+    // 24 distinct kernels; every thread walks all of them several times, so
+    // the key sets overlap completely across threads.
+    let keys: Vec<KernelKey> = [8usize, 16, 32]
+        .iter()
+        .flat_map(|&c| (0..8).map(move |i| key(c, 1 << i)))
+        .collect();
+    let lookups = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (cache, h, keys, lookups) = (&cache, &h, &keys, &lookups);
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    // Stagger the starting point per thread so leaders vary.
+                    for i in 0..keys.len() {
+                        let k = &keys[(i + t + round) % keys.len()];
+                        let entries = cache.get_or_bench(h, k);
+                        assert!(!entries.is_empty());
+                        lookups.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    assert_eq!(
+        stats.misses,
+        keys.len() as u64,
+        "single-flight: one benchmark per key"
+    );
+    assert_eq!(
+        stats.hits + stats.misses + stats.single_flight_waits,
+        lookups.load(Ordering::Relaxed) as u64,
+        "every lookup classified exactly once"
+    );
+    for (label, runs) in cache.benchmark_counts() {
+        assert_eq!(runs, 1, "{label} was measured {runs} times");
+    }
+    assert_eq!(cache.len(), keys.len());
+}
+
+#[test]
+fn stress_all_threads_observe_identical_results() {
+    const THREADS: usize = 12;
+    let h = CudnnHandle::simulated(p100_sxm2());
+    let cache = BenchCache::new();
+    let keys: Vec<KernelKey> = (0..6).map(|i| key(16, 1 << i)).collect();
+    let per_thread: Vec<Vec<Vec<BenchEntry>>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (cache, h, keys) = (&cache, &h, &keys);
+                scope.spawn(move || keys.iter().map(|k| cache.get_or_bench(h, k)).collect())
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    for results in &per_thread[1..] {
+        assert_eq!(
+            results, &per_thread[0],
+            "cache must serve one truth to every thread"
+        );
+    }
+    // A waiter is never misclassified as a hit: the three counters must
+    // exactly cover all THREADS * keys.len() lookups even when most of them
+    // blocked on an in-flight leader.
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits + stats.misses + stats.single_flight_waits,
+        (THREADS * keys.len()) as u64
+    );
+    assert_eq!(stats.misses, keys.len() as u64);
+}
+
+#[test]
+fn stress_matches_sequential_ground_truth() {
+    let h = CudnnHandle::simulated(p100_sxm2());
+    let keys: Vec<KernelKey> = (0..8).map(|i| key(8, 1 << i)).collect();
+
+    let sequential = BenchCache::new();
+    let want: Vec<Vec<BenchEntry>> = keys
+        .iter()
+        .map(|k| sequential.get_or_bench(&h, k))
+        .collect();
+
+    let concurrent = BenchCache::new();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let (cache, h, keys) = (&concurrent, &h, &keys);
+            scope.spawn(move || {
+                for k in keys {
+                    cache.get_or_bench(h, k);
+                }
+            });
+        }
+    });
+    let got: Vec<Vec<BenchEntry>> = keys
+        .iter()
+        .map(|k| concurrent.get_or_bench(&h, k))
+        .collect();
+    assert_eq!(
+        got, want,
+        "concurrent benchmarking must not change any result"
+    );
+    assert_eq!(
+        concurrent.stats().misses,
+        sequential.stats().misses,
+        "same number of benchmarks run"
+    );
+    assert_eq!(
+        sequential.stats(),
+        CacheStats {
+            hits: 0,
+            misses: keys.len() as u64,
+            single_flight_waits: 0
+        },
+        "sequential pass benchmarks every key exactly once"
+    );
+}

@@ -1,0 +1,168 @@
+//! Integration tests for the file-backed benchmark database (§III-D):
+//! concurrent save/load round-trips and graceful degradation on corruption.
+
+use std::path::PathBuf;
+use ucudnn::{BenchCache, BenchEntry, KernelKey};
+use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
+use ucudnn_gpu_model::p100_sxm2;
+use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
+
+fn key(n: usize) -> KernelKey {
+    let g = ConvGeometry::with_square(
+        Shape4::new(n, 16, 16, 16),
+        FilterShape::new(16, 16, 3, 3),
+        1,
+        1,
+    );
+    KernelKey::new(ConvOp::Forward, &g)
+}
+
+/// Fresh temp dir per test (std-only; no tempfile crate offline).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("ucudnn-filedb-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn concurrent_benchmarking_with_interleaved_saves_round_trips() {
+    let dir = TempDir::new("concurrent");
+    let db = dir.path("bench.json");
+    let h = CudnnHandle::simulated(p100_sxm2());
+    let keys: Vec<KernelKey> = (0..10).map(|i| key(1 << i)).collect();
+
+    let cache = BenchCache::with_file(&db);
+    // Benchmark threads race with a saver thread that snapshots mid-flight:
+    // save() must tolerate concurrent inserts and in-flight (unfilled) slots.
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let (cache, h, keys) = (&cache, &h, &keys);
+            scope.spawn(move || {
+                for k in keys {
+                    cache.get_or_bench(h, k);
+                }
+            });
+        }
+        let cache = &cache;
+        scope.spawn(move || {
+            for _ in 0..5 {
+                cache.save().unwrap();
+                std::thread::yield_now();
+            }
+        });
+    });
+    cache.save().unwrap();
+
+    // Reload: every entry must come back bit-exact, with zero benchmarks.
+    let reloaded = BenchCache::with_file(&db);
+    assert_eq!(reloaded.len(), keys.len());
+    let want: Vec<Vec<BenchEntry>> = keys.iter().map(|k| cache.get_or_bench(&h, k)).collect();
+    let got: Vec<Vec<BenchEntry>> = keys.iter().map(|k| reloaded.get_or_bench(&h, k)).collect();
+    assert_eq!(got, want, "file DB round-trip must be bit-exact");
+    assert_eq!(reloaded.stats().misses, 0, "warm cache never re-benchmarks");
+    assert!(
+        reloaded.benchmark_counts().is_empty(),
+        "loaded entries count zero runs"
+    );
+}
+
+#[test]
+fn concurrent_loads_of_one_db_file_agree() {
+    let dir = TempDir::new("multireader");
+    let db = dir.path("bench.json");
+    let h = CudnnHandle::simulated(p100_sxm2());
+    let writer = BenchCache::with_file(&db);
+    for i in 0..6 {
+        writer.get_or_bench(&h, &key(1 << i));
+    }
+    writer.save().unwrap();
+
+    // Homogeneous-cluster scenario: many processes load the same DB file.
+    let snapshots: Vec<Vec<(String, Vec<BenchEntry>)>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let (db, h) = (&db, &h);
+                scope.spawn(move || {
+                    let c = BenchCache::with_file(db);
+                    (0..6)
+                        .map(|i| {
+                            let k = key(1 << i);
+                            (format!("{k}"), c.get_or_bench(h, &k))
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    for s in &snapshots[1..] {
+        assert_eq!(s, &snapshots[0]);
+    }
+}
+
+#[test]
+fn corrupted_db_degrades_to_cold_cache_and_recovers_on_save() {
+    let dir = TempDir::new("corrupt");
+    let db = dir.path("bench.json");
+    for garbage in [
+        "",
+        "not json at all",
+        "{\"truncated\":",
+        "[{\"engine\":42}]",
+        "[[1,2,3]]",
+    ] {
+        std::fs::write(&db, garbage).unwrap();
+        let cache = BenchCache::with_file(&db);
+        assert!(
+            cache.is_empty(),
+            "corrupt DB ({garbage:?}) must load as empty"
+        );
+        // The cache stays fully functional: benchmarks run and persist.
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let entries = cache.get_or_bench(&h, &key(4));
+        assert!(!entries.is_empty());
+        assert_eq!(cache.stats().misses, 1, "cold cache re-benchmarks");
+        cache.save().unwrap();
+        let recovered = BenchCache::with_file(&db);
+        assert_eq!(recovered.len(), 1, "save must repair the DB in place");
+        assert_eq!(recovered.get_or_bench(&h, &key(4)), entries);
+    }
+}
+
+#[test]
+fn partially_valid_db_is_rejected_wholesale() {
+    // One bad row poisons the file: parsing is all-or-nothing, so a torn
+    // write can never smuggle half a database in as truth.
+    let dir = TempDir::new("torn");
+    let db = dir.path("bench.json");
+    let h = CudnnHandle::simulated(p100_sxm2());
+    let writer = BenchCache::with_file(&db);
+    writer.get_or_bench(&h, &key(8));
+    writer.save().unwrap();
+    let valid = std::fs::read_to_string(&db).unwrap();
+    let torn = format!(
+        "{},{{\"engine\":\"x\"}}]",
+        valid.trim_end().trim_end_matches(']')
+    );
+    std::fs::write(&db, torn).unwrap();
+    let cache = BenchCache::with_file(&db);
+    assert!(
+        cache.is_empty(),
+        "a file with any invalid row loads as empty"
+    );
+}

@@ -11,7 +11,15 @@ use ucudnn_gpu_model::{p100_sxm2, ConvAlgo};
 use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
 
 fn kernels() -> impl Strategy<Value = KernelKey> {
-    (2usize..=48, 1usize..=32, 8usize..=30, 1usize..=64, 1usize..=3, 0usize..=2, 0usize..3)
+    (
+        2usize..=48,
+        1usize..=32,
+        8usize..=30,
+        1usize..=64,
+        1usize..=3,
+        0usize..=2,
+        0usize..3,
+    )
         .prop_map(|(n, c, hw, k, half_r, pad, op_i)| {
             let r = 2 * half_r - 1;
             let g = ConvGeometry::with_square(
@@ -33,8 +41,8 @@ proptest! {
     fn wr_plans_are_always_valid(key in kernels(), limit_mib in 0usize..128, policy_i in 0usize..3) {
         let policy = [BatchSizePolicy::All, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::Undivided][policy_i];
         let handle = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
-        let r = optimize_wr(&handle, &mut cache, &key, limit_mib << 20, policy, false).unwrap();
+        let cache = BenchCache::new();
+        let r = optimize_wr(&handle, &cache, &key, limit_mib << 20, policy, false).unwrap();
         prop_assert_eq!(r.config.batch(), key.batch());
         prop_assert!(r.config.workspace_bytes() <= limit_mib << 20);
         prop_assert!(r.config.time_us().is_finite() && r.config.time_us() > 0.0);
@@ -44,10 +52,10 @@ proptest! {
     #[test]
     fn wr_time_is_monotone_in_limit(key in kernels()) {
         let handle = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
+        let cache = BenchCache::new();
         let mut prev = f64::INFINITY;
         for limit_mib in [0usize, 1, 8, 64, 512] {
-            let r = optimize_wr(&handle, &mut cache, &key, limit_mib << 20, BatchSizePolicy::PowerOfTwo, false)
+            let r = optimize_wr(&handle, &cache, &key, limit_mib << 20, BatchSizePolicy::PowerOfTwo, false)
                 .unwrap();
             prop_assert!(r.config.time_us() <= prev + 1e-9, "limit {limit_mib} MiB regressed");
             prev = r.config.time_us();
@@ -59,9 +67,9 @@ proptest! {
     #[test]
     fn policy_hierarchy(key in kernels(), limit_mib in 0usize..128) {
         let handle = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
+        let cache = BenchCache::new();
         let limit = limit_mib << 20;
-        let mut t = |p| optimize_wr(&handle, &mut cache, &key, limit, p, false).unwrap().config.time_us();
+        let t = |p| optimize_wr(&handle, &cache, &key, limit, p, false).unwrap().config.time_us();
         let tu = t(BatchSizePolicy::Undivided);
         let tp = t(BatchSizePolicy::PowerOfTwo);
         let ta = t(BatchSizePolicy::All);
@@ -74,9 +82,9 @@ proptest! {
     #[test]
     fn desirable_sets_are_fronts(key in kernels(), cap_mib in 1usize..128) {
         let handle = CudnnHandle::simulated(p100_sxm2());
-        let mut cache = BenchCache::new();
+        let cache = BenchCache::new();
         let cap = cap_mib << 20;
-        let ds = desirable_set(&handle, &mut cache, &key, cap, BatchSizePolicy::PowerOfTwo);
+        let ds = desirable_set(&handle, &cache, &key, cap, BatchSizePolicy::PowerOfTwo);
         prop_assert!(!ds.is_empty());
         for c in &ds {
             prop_assert_eq!(c.batch(), key.batch());
@@ -86,7 +94,7 @@ proptest! {
             prop_assert!(w[0].workspace_bytes() < w[1].workspace_bytes());
             prop_assert!(w[0].time_us() > w[1].time_us());
         }
-        let wr = optimize_wr(&handle, &mut cache, &key, cap, BatchSizePolicy::PowerOfTwo, false).unwrap();
+        let wr = optimize_wr(&handle, &cache, &key, cap, BatchSizePolicy::PowerOfTwo, false).unwrap();
         let fastest = ds.last().unwrap();
         prop_assert!((fastest.time_us() - wr.config.time_us()).abs() <= 1e-6 * wr.config.time_us());
     }

@@ -18,9 +18,13 @@ impl TensorDescriptor {
     /// `cudnnSetTensor4dDescriptor(NCHW, FLOAT, n, c, h, w)`.
     pub fn new_4d(n: usize, c: usize, h: usize, w: usize) -> Result<Self> {
         if n == 0 || c == 0 || h == 0 || w == 0 {
-            return Err(CudnnError::BadParam(format!("zero tensor dimension {n}x{c}x{h}x{w}")));
+            return Err(CudnnError::BadParam(format!(
+                "zero tensor dimension {n}x{c}x{h}x{w}"
+            )));
         }
-        Ok(Self { shape: Shape4::new(n, c, h, w) })
+        Ok(Self {
+            shape: Shape4::new(n, c, h, w),
+        })
     }
 
     /// Build from a shape directly.
@@ -54,9 +58,13 @@ impl FilterDescriptor {
     /// `cudnnSetFilter4dDescriptor(FLOAT, NCHW, k, c, r, s)`.
     pub fn new_4d(k: usize, c: usize, r: usize, s: usize) -> Result<Self> {
         if k == 0 || c == 0 || r == 0 || s == 0 {
-            return Err(CudnnError::BadParam(format!("zero filter dimension {k}x{c}x{r}x{s}")));
+            return Err(CudnnError::BadParam(format!(
+                "zero filter dimension {k}x{c}x{r}x{s}"
+            )));
         }
-        Ok(Self { shape: FilterShape::new(k, c, r, s) })
+        Ok(Self {
+            shape: FilterShape::new(k, c, r, s),
+        })
     }
 
     /// Build from a shape directly.
@@ -88,9 +96,16 @@ impl ConvolutionDescriptor {
     /// CROSS_CORRELATION, FLOAT)`. Dilation is not supported (dilation 1).
     pub fn new_2d(pad_h: usize, pad_w: usize, stride_h: usize, stride_w: usize) -> Result<Self> {
         if stride_h == 0 || stride_w == 0 {
-            return Err(CudnnError::BadParam("convolution stride must be positive".into()));
+            return Err(CudnnError::BadParam(
+                "convolution stride must be positive".into(),
+            ));
         }
-        Ok(Self { pad_h, pad_w, stride_h, stride_w })
+        Ok(Self {
+            pad_h,
+            pad_w,
+            stride_h,
+            stride_w,
+        })
     }
 
     /// Assemble the full geometry, validating descriptor compatibility —
@@ -113,15 +128,18 @@ impl ConvolutionDescriptor {
                 ws.s
             )));
         }
-        Ok(ConvGeometry::new(xs, ws, self.pad_h, self.pad_w, self.stride_h, self.stride_w))
+        Ok(ConvGeometry::new(
+            xs,
+            ws,
+            self.pad_h,
+            self.pad_w,
+            self.stride_h,
+            self.stride_w,
+        ))
     }
 
     /// `cudnnGetConvolution2dForwardOutputDim`.
-    pub fn forward_output_dim(
-        &self,
-        x: &TensorDescriptor,
-        w: &FilterDescriptor,
-    ) -> Result<Shape4> {
+    pub fn forward_output_dim(&self, x: &TensorDescriptor, w: &FilterDescriptor) -> Result<Shape4> {
         Ok(self.geometry(x, w)?.output())
     }
 }

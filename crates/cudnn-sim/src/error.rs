@@ -43,8 +43,14 @@ mod tests {
 
     #[test]
     fn display_includes_status_names() {
-        assert!(CudnnError::BadParam("x".into()).to_string().contains("BAD_PARAM"));
-        assert!(CudnnError::NotSupported("x".into()).to_string().contains("NOT_SUPPORTED"));
-        assert!(CudnnError::WorkspaceTooSmall { need: 2, got: 1 }.to_string().contains("need 2"));
+        assert!(CudnnError::BadParam("x".into())
+            .to_string()
+            .contains("BAD_PARAM"));
+        assert!(CudnnError::NotSupported("x".into())
+            .to_string()
+            .contains("NOT_SUPPORTED"));
+        assert!(CudnnError::WorkspaceTooSmall { need: 2, got: 1 }
+            .to_string()
+            .contains("need 2"));
     }
 }

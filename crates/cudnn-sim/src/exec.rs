@@ -31,9 +31,18 @@ struct CallCtx<'a> {
 
 impl CudnnHandle {
     fn run(&self, ctx: CallCtx<'_>, a: &[f32], b: &[f32], out: &mut [f32]) -> Result<()> {
-        let CallCtx { op, g, algo, alpha, beta, ws } = ctx;
+        let CallCtx {
+            op,
+            g,
+            algo,
+            alpha,
+            beta,
+            ws,
+        } = ctx;
         if !supported_on(self.engine(), algo, op, &g) {
-            return Err(CudnnError::NotSupported(format!("{algo} cannot run {op} on {g}")));
+            return Err(CudnnError::NotSupported(format!(
+                "{algo} cannot run {op} on {g}"
+            )));
         }
         let need = workspace_bytes_on(self.engine(), algo, op, &g).unwrap_or(0);
         let got = 4 * ws.len();
@@ -48,8 +57,9 @@ impl CudnnHandle {
                             .into(),
                     ));
                 }
-                let t = kernel_time_us(d, algo, op, &g)
-                    .ok_or_else(|| CudnnError::NotSupported(format!("{algo} unsupported on {g}")))?;
+                let t = kernel_time_us(d, algo, op, &g).ok_or_else(|| {
+                    CudnnError::NotSupported(format!("{algo} unsupported on {g}"))
+                })?;
                 self.advance(t);
                 Ok(())
             }
@@ -102,7 +112,19 @@ impl CudnnHandle {
                 g.output()
             )));
         }
-        self.run(CallCtx { op: ConvOp::Forward, g, algo, alpha, beta, ws }, x, w, y)
+        self.run(
+            CallCtx {
+                op: ConvOp::Forward,
+                g,
+                algo,
+                alpha,
+                beta,
+                ws,
+            },
+            x,
+            w,
+            y,
+        )
     }
 
     /// `cudnnConvolutionBackwardData`: `dx = alpha * grad_x + beta * dx`.
@@ -129,7 +151,19 @@ impl CudnnHandle {
                 g.output()
             )));
         }
-        self.run(CallCtx { op: ConvOp::BackwardData, g, algo, alpha, beta, ws }, dy, w, dx)
+        self.run(
+            CallCtx {
+                op: ConvOp::BackwardData,
+                g,
+                algo,
+                alpha,
+                beta,
+                ws,
+            },
+            dy,
+            w,
+            dx,
+        )
     }
 
     /// `cudnnConvolutionBackwardFilter`: `dw = alpha * grad_w + beta * dw`.
@@ -158,7 +192,19 @@ impl CudnnHandle {
                 g.output()
             )));
         }
-        self.run(CallCtx { op: ConvOp::BackwardFilter, g, algo, alpha, beta, ws }, x, dy, dw)
+        self.run(
+            CallCtx {
+                op: ConvOp::BackwardFilter,
+                g,
+                algo,
+                alpha,
+                beta,
+                ws,
+            },
+            x,
+            dy,
+            dw,
+        )
     }
 }
 
@@ -168,7 +214,14 @@ mod tests {
     use ucudnn_gpu_model::p100_sxm2;
     use ucudnn_tensor::{assert_all_close, Shape4, Tensor};
 
-    fn descs(n: usize) -> (TensorDescriptor, FilterDescriptor, ConvolutionDescriptor, TensorDescriptor) {
+    fn descs(
+        n: usize,
+    ) -> (
+        TensorDescriptor,
+        FilterDescriptor,
+        ConvolutionDescriptor,
+        TensorDescriptor,
+    ) {
         let x = TensorDescriptor::new_4d(n, 3, 8, 8).unwrap();
         let w = FilterDescriptor::new_4d(4, 3, 3, 3).unwrap();
         let c = ConvolutionDescriptor::new_2d(1, 1, 1, 1).unwrap();
@@ -180,8 +233,20 @@ mod tests {
     fn simulated_forward_advances_clock_only() {
         let h = CudnnHandle::simulated(p100_sxm2());
         let (xd, wd, cd, yd) = descs(16);
-        h.convolution_forward(1.0, &xd, &[], &wd, &[], &cd, ConvAlgo::ImplicitGemm, &mut [], 0.0, &yd, &mut [])
-            .unwrap();
+        h.convolution_forward(
+            1.0,
+            &xd,
+            &[],
+            &wd,
+            &[],
+            &cd,
+            ConvAlgo::ImplicitGemm,
+            &mut [],
+            0.0,
+            &yd,
+            &mut [],
+        )
+        .unwrap();
         assert!(h.elapsed_us() > 0.0);
         assert_eq!(h.kernels_launched(), 1);
     }
@@ -219,10 +284,19 @@ mod tests {
         let x = Tensor::random(g.input, 1);
         let w = Tensor::random(g.filter.as_shape4(), 2);
         let mut want = Tensor::zeros(g.output());
-        ucudnn_conv::direct::forward(&g, x.as_slice(), w.as_slice(), want.as_mut_slice(), 1.0, 0.0);
+        ucudnn_conv::direct::forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            want.as_mut_slice(),
+            1.0,
+            0.0,
+        );
 
         for algo in [ConvAlgo::Gemm, ConvAlgo::Fft, ConvAlgo::Winograd] {
-            let bytes = h.get_workspace_size(ConvOp::Forward, &xd, &wd, &cd, algo).unwrap();
+            let bytes = h
+                .get_workspace_size(ConvOp::Forward, &xd, &wd, &cd, algo)
+                .unwrap();
             let mut ws = vec![0.0f32; bytes.div_ceil(4)];
             let mut y = Tensor::zeros(g.output());
             h.convolution_forward(
@@ -253,15 +327,33 @@ mod tests {
         let dy = Tensor::random(g.output(), 4);
         let mut dw_once = Tensor::zeros(g.filter.as_shape4());
         h.convolution_backward_filter(
-            1.0, &xd, x.as_slice(), &yd, dy.as_slice(), &cd, ConvAlgo::ImplicitGemm, &mut [], 0.0,
-            &wd, dw_once.as_mut_slice(),
+            1.0,
+            &xd,
+            x.as_slice(),
+            &yd,
+            dy.as_slice(),
+            &cd,
+            ConvAlgo::ImplicitGemm,
+            &mut [],
+            0.0,
+            &wd,
+            dw_once.as_mut_slice(),
         )
         .unwrap();
         // Running it again with beta=1 must exactly double the gradient.
         let mut dw_twice = dw_once.clone();
         h.convolution_backward_filter(
-            1.0, &xd, x.as_slice(), &yd, dy.as_slice(), &cd, ConvAlgo::ImplicitGemm, &mut [], 1.0,
-            &wd, dw_twice.as_mut_slice(),
+            1.0,
+            &xd,
+            x.as_slice(),
+            &yd,
+            dy.as_slice(),
+            &cd,
+            ConvAlgo::ImplicitGemm,
+            &mut [],
+            1.0,
+            &wd,
+            dw_twice.as_mut_slice(),
         )
         .unwrap();
         let mut want = dw_once.clone();
@@ -273,13 +365,31 @@ mod tests {
     fn workspace_too_small_is_rejected_before_execution() {
         let h = CudnnHandle::simulated(p100_sxm2());
         let (xd, wd, cd, yd) = descs(64);
-        let need = h.get_workspace_size(ConvOp::Forward, &xd, &wd, &cd, ConvAlgo::WinogradNonfused).unwrap();
+        let need = h
+            .get_workspace_size(ConvOp::Forward, &xd, &wd, &cd, ConvAlgo::WinogradNonfused)
+            .unwrap();
         assert!(need > 0);
         let err = h
-            .convolution_forward(1.0, &xd, &[], &wd, &[], &cd, ConvAlgo::WinogradNonfused, &mut [], 0.0, &yd, &mut [])
+            .convolution_forward(
+                1.0,
+                &xd,
+                &[],
+                &wd,
+                &[],
+                &cd,
+                ConvAlgo::WinogradNonfused,
+                &mut [],
+                0.0,
+                &yd,
+                &mut [],
+            )
             .unwrap_err();
         assert!(matches!(err, CudnnError::WorkspaceTooSmall { .. }));
-        assert_eq!(h.kernels_launched(), 0, "failed calls must not advance the clock");
+        assert_eq!(
+            h.kernels_launched(),
+            0,
+            "failed calls must not advance the clock"
+        );
     }
 
     #[test]
@@ -288,7 +398,19 @@ mod tests {
         let (xd, wd, cd, _) = descs(2);
         let bad_y = TensorDescriptor::from_shape(Shape4::new(2, 4, 5, 5)).unwrap();
         let err = h
-            .convolution_forward(1.0, &xd, &[], &wd, &[], &cd, ConvAlgo::ImplicitGemm, &mut [], 0.0, &bad_y, &mut [])
+            .convolution_forward(
+                1.0,
+                &xd,
+                &[],
+                &wd,
+                &[],
+                &cd,
+                ConvAlgo::ImplicitGemm,
+                &mut [],
+                0.0,
+                &bad_y,
+                &mut [],
+            )
             .unwrap_err();
         assert!(matches!(err, CudnnError::BadParam(_)));
     }
@@ -300,7 +422,19 @@ mod tests {
         // dy descriptor deliberately wrong (channels).
         let bad_dy = TensorDescriptor::new_4d(2, 3, yd.shape().h, yd.shape().w).unwrap();
         let err = h
-            .convolution_backward_data(1.0, &wd, &[], &bad_dy, &[], &cd, ConvAlgo::ImplicitGemm, &mut [], 0.0, &xd, &mut [])
+            .convolution_backward_data(
+                1.0,
+                &wd,
+                &[],
+                &bad_dy,
+                &[],
+                &cd,
+                ConvAlgo::ImplicitGemm,
+                &mut [],
+                0.0,
+                &xd,
+                &mut [],
+            )
             .unwrap_err();
         assert!(matches!(err, CudnnError::BadParam(_)));
     }

@@ -51,7 +51,11 @@ impl CudnnHandle {
         match self.engine() {
             Engine::Simulated(d) => Ok(enumerate(d, op, &g)
                 .into_iter()
-                .map(|p| AlgoPerf { algo: p.algo, time_us: p.time_us, memory_bytes: p.workspace_bytes })
+                .map(|p| AlgoPerf {
+                    algo: p.algo,
+                    time_us: p.time_us,
+                    memory_bytes: p.workspace_bytes,
+                })
                 .collect()),
             Engine::RealCpu => {
                 let mut perfs: Vec<AlgoPerf> = ConvAlgo::ALL
@@ -60,7 +64,11 @@ impl CudnnHandle {
                     .map(|&a| {
                         let mem = workspace_bytes_on(self.engine(), a, op, &g).unwrap_or(0);
                         let time_us = bench_cpu(a, op, &g, mem);
-                        AlgoPerf { algo: a, time_us, memory_bytes: mem }
+                        AlgoPerf {
+                            algo: a,
+                            time_us,
+                            memory_bytes: mem,
+                        }
                     })
                     .collect();
                 perfs.sort_by(|a, b| a.time_us.total_cmp(&b.time_us));
@@ -116,7 +124,11 @@ fn bench_cpu(algo: ConvAlgo, op: ConvOp, g: &ConvGeometry, ws_bytes: usize) -> f
     let (a, b, mut out) = match op {
         ConvOp::Forward => (x.as_slice(), w.as_slice(), Tensor::zeros(g.output())),
         ConvOp::BackwardData => (dy.as_slice(), w.as_slice(), Tensor::zeros(g.input)),
-        ConvOp::BackwardFilter => (x.as_slice(), dy.as_slice(), Tensor::zeros(g.filter.as_shape4())),
+        ConvOp::BackwardFilter => (
+            x.as_slice(),
+            dy.as_slice(),
+            Tensor::zeros(g.filter.as_shape4()),
+        ),
     };
     let mut ws = vec![0.0f32; ws_bytes.div_ceil(4)];
     let start = std::time::Instant::now();
@@ -130,9 +142,7 @@ mod tests {
     use super::*;
     use ucudnn_gpu_model::p100_sxm2;
 
-    fn descs(
-        n: usize,
-    ) -> (TensorDescriptor, FilterDescriptor, ConvolutionDescriptor) {
+    fn descs(n: usize) -> (TensorDescriptor, FilterDescriptor, ConvolutionDescriptor) {
         (
             TensorDescriptor::new_4d(n, 8, 16, 16).unwrap(),
             FilterDescriptor::new_4d(8, 8, 3, 3).unwrap(),
@@ -165,14 +175,18 @@ mod tests {
     fn get_algorithm_respects_workspace_limits() {
         let h = CudnnHandle::simulated(p100_sxm2());
         let (x, w, c) = descs(32);
-        let free = h.get_algorithm(ConvOp::Forward, &x, &w, &c, AlgoPreference::NoWorkspace).unwrap();
+        let free = h
+            .get_algorithm(ConvOp::Forward, &x, &w, &c, AlgoPreference::NoWorkspace)
+            .unwrap();
         assert_eq!(
-            h.get_workspace_size(ConvOp::Forward, &x, &w, &c, free).unwrap(),
+            h.get_workspace_size(ConvOp::Forward, &x, &w, &c, free)
+                .unwrap(),
             0,
             "NO_WORKSPACE must return a zero-workspace algorithm"
         );
-        let fastest =
-            h.get_algorithm(ConvOp::Forward, &x, &w, &c, AlgoPreference::PreferFastest).unwrap();
+        let fastest = h
+            .get_algorithm(ConvOp::Forward, &x, &w, &c, AlgoPreference::PreferFastest)
+            .unwrap();
         let perfs = h.find_algorithms(ConvOp::Forward, &x, &w, &c).unwrap();
         assert_eq!(fastest, perfs[0].algo);
     }

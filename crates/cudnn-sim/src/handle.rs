@@ -1,6 +1,6 @@
 //! The library handle and its execution engines.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use ucudnn_gpu_model::DeviceSpec;
 
 /// Which substrate executes kernels issued through a [`CudnnHandle`].
@@ -21,22 +21,38 @@ pub enum Engine {
 /// A handle owns an execution engine and a monotonically accumulating clock
 /// measuring total kernel time issued through it (microseconds — virtual for
 /// the simulated engine, wall time for the CPU engine).
+///
+/// The clock is lock-free (atomics), so a handle can be shared by reference
+/// across benchmark threads: concurrent `Find` calls from the parallel
+/// optimizer never serialize behind a clock mutex. The time accumulator
+/// stores `f64` bits in an `AtomicU64` with a compare-exchange add;
+/// accumulation order across threads is unspecified, but timing consumers
+/// always bracket a single-threaded measured region with
+/// [`CudnnHandle::reset_clock`].
 #[derive(Debug)]
 pub struct CudnnHandle {
     engine: Engine,
-    clock_us: Mutex<f64>,
-    kernels_launched: Mutex<u64>,
+    clock_us_bits: AtomicU64,
+    kernels_launched: AtomicU64,
 }
 
 impl CudnnHandle {
     /// Create a handle backed by the GPU performance model for `device`.
     pub fn simulated(device: DeviceSpec) -> Self {
-        Self { engine: Engine::Simulated(device), clock_us: Mutex::new(0.0), kernels_launched: Mutex::new(0) }
+        Self {
+            engine: Engine::Simulated(device),
+            clock_us_bits: AtomicU64::new(0f64.to_bits()),
+            kernels_launched: AtomicU64::new(0),
+        }
     }
 
     /// Create a handle backed by real CPU execution.
     pub fn real_cpu() -> Self {
-        Self { engine: Engine::RealCpu, clock_us: Mutex::new(0.0), kernels_launched: Mutex::new(0) }
+        Self {
+            engine: Engine::RealCpu,
+            clock_us_bits: AtomicU64::new(0f64.to_bits()),
+            kernels_launched: AtomicU64::new(0),
+        }
     }
 
     /// The execution engine.
@@ -54,24 +70,36 @@ impl CudnnHandle {
 
     /// Total kernel time issued through this handle, in microseconds.
     pub fn elapsed_us(&self) -> f64 {
-        *self.clock_us.lock()
+        f64::from_bits(self.clock_us_bits.load(Ordering::Relaxed))
     }
 
     /// Number of kernels issued through this handle.
     pub fn kernels_launched(&self) -> u64 {
-        *self.kernels_launched.lock()
+        self.kernels_launched.load(Ordering::Relaxed)
     }
 
     /// Reset the clock and kernel counter (start of a timed region).
     pub fn reset_clock(&self) {
-        *self.clock_us.lock() = 0.0;
-        *self.kernels_launched.lock() = 0;
+        self.clock_us_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.kernels_launched.store(0, Ordering::Relaxed);
     }
 
     /// Record one kernel execution of `us` microseconds.
     pub(crate) fn advance(&self, us: f64) {
-        *self.clock_us.lock() += us;
-        *self.kernels_launched.lock() += 1;
+        let mut cur = self.clock_us_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + us).to_bits();
+            match self.clock_us_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        self.kernels_launched.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -91,6 +119,24 @@ mod tests {
         h.reset_clock();
         assert_eq!(h.elapsed_us(), 0.0);
         assert_eq!(h.kernels_launched(), 0);
+    }
+
+    #[test]
+    fn concurrent_advances_lose_no_kernels() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        h.advance(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.kernels_launched(), 4000);
+        // 1.0 sums exactly in f64 at this magnitude, so the CAS loop must
+        // account for every advance.
+        assert_eq!(h.elapsed_us(), 4000.0);
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub use error::{CudnnError, Result};
 pub use find::{AlgoPerf, AlgoPreference};
 pub use handle::{CudnnHandle, Engine};
 pub use map::{cpu_engine_for, supported_on, workspace_bytes_on};
-pub use ops::{ActivationDescriptor, ActivationMode, PoolingDescriptor, PoolingMode, BN_MIN_EPSILON};
+pub use ops::{
+    ActivationDescriptor, ActivationMode, PoolingDescriptor, PoolingMode, BN_MIN_EPSILON,
+};
 
 // Re-export the vocabulary types callers need alongside the API.
 pub use ucudnn_conv::ConvOp;

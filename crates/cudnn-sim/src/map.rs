@@ -59,14 +59,24 @@ mod tests {
     use ucudnn_tensor::{FilterShape, Shape4};
 
     fn g33() -> ConvGeometry {
-        ConvGeometry::with_square(Shape4::new(4, 8, 16, 16), FilterShape::new(8, 8, 3, 3), 1, 1)
+        ConvGeometry::with_square(
+            Shape4::new(4, 8, 16, 16),
+            FilterShape::new(8, 8, 3, 3),
+            1,
+            1,
+        )
     }
 
     #[test]
     fn direct_has_no_kernel_anywhere() {
         assert!(cpu_engine_for(ConvAlgo::Direct).is_none());
         for engine in [Engine::Simulated(p100_sxm2()), Engine::RealCpu] {
-            assert!(!supported_on(&engine, ConvAlgo::Direct, ConvOp::Forward, &g33()));
+            assert!(!supported_on(
+                &engine,
+                ConvAlgo::Direct,
+                ConvOp::Forward,
+                &g33()
+            ));
         }
     }
 
@@ -85,7 +95,8 @@ mod tests {
         // On the CPU engine, GEMM workspace is the real column buffer of the
         // im2col engine, not the GPU model's figure.
         let g = g33();
-        let cpu = workspace_bytes_on(&Engine::RealCpu, ConvAlgo::Gemm, ConvOp::Forward, &g).unwrap();
+        let cpu =
+            workspace_bytes_on(&Engine::RealCpu, ConvAlgo::Gemm, ConvOp::Forward, &g).unwrap();
         assert_eq!(cpu, 4 * ucudnn_conv::im2col_gemm::workspace_floats(&g));
     }
 
@@ -100,6 +111,11 @@ mod tests {
             ConvOp::BackwardFilter,
             &g
         ));
-        assert!(!supported_on(&Engine::RealCpu, ConvAlgo::WinogradNonfused, ConvOp::BackwardFilter, &g));
+        assert!(!supported_on(
+            &Engine::RealCpu,
+            ConvAlgo::WinogradNonfused,
+            ConvOp::BackwardFilter,
+            &g
+        ));
     }
 }

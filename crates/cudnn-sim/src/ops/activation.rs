@@ -105,7 +105,9 @@ impl CudnnHandle {
     ) -> Result<()> {
         let s = x_desc.shape();
         if y_desc.shape() != s || dy_desc.shape() != s || dx_desc.shape() != s {
-            return Err(CudnnError::BadParam("activation gradient shapes must match".into()));
+            return Err(CudnnError::BadParam(
+                "activation gradient shapes must match".into(),
+            ));
         }
         check_len("y", y.len(), s.len())?;
         check_len("dy", dy.len(), s.len())?;
@@ -139,7 +141,8 @@ mod tests {
         let x = Tensor::random(d.shape(), 1);
         let mut y = Tensor::zeros(d.shape());
         let act = ActivationDescriptor::new(ActivationMode::Relu);
-        h.activation_forward(&act, 1.0, &d, x.as_slice(), 0.0, &d, y.as_mut_slice()).unwrap();
+        h.activation_forward(&act, 1.0, &d, x.as_slice(), 0.0, &d, y.as_mut_slice())
+            .unwrap();
         for (&xi, &yi) in x.as_slice().iter().zip(y.as_slice()) {
             assert_eq!(yi, xi.max(0.0));
         }
@@ -150,15 +153,29 @@ mod tests {
     fn backward_matches_finite_differences() {
         let h = CudnnHandle::real_cpu();
         let d = desc();
-        for mode in [ActivationMode::Relu, ActivationMode::Sigmoid, ActivationMode::Tanh] {
+        for mode in [
+            ActivationMode::Relu,
+            ActivationMode::Sigmoid,
+            ActivationMode::Tanh,
+        ] {
             let act = ActivationDescriptor::new(mode);
             let x = Tensor::random(d.shape(), 7);
             let dy = Tensor::random(d.shape(), 8);
             let mut y = Tensor::zeros(d.shape());
-            h.activation_forward(&act, 1.0, &d, x.as_slice(), 0.0, &d, y.as_mut_slice()).unwrap();
+            h.activation_forward(&act, 1.0, &d, x.as_slice(), 0.0, &d, y.as_mut_slice())
+                .unwrap();
             let mut dx = Tensor::zeros(d.shape());
             h.activation_backward(
-                &act, 1.0, &d, y.as_slice(), &d, dy.as_slice(), &d, x.as_slice(), 0.0, &d,
+                &act,
+                1.0,
+                &d,
+                y.as_slice(),
+                &d,
+                dy.as_slice(),
+                &d,
+                x.as_slice(),
+                0.0,
+                &d,
                 dx.as_mut_slice(),
             )
             .unwrap();
@@ -186,7 +203,8 @@ mod tests {
         let h = CudnnHandle::simulated(p100_sxm2());
         let d = desc();
         let act = ActivationDescriptor::new(ActivationMode::Relu);
-        h.activation_forward(&act, 1.0, &d, &[], 0.0, &d, &mut []).unwrap();
+        h.activation_forward(&act, 1.0, &d, &[], 0.0, &d, &mut [])
+            .unwrap();
         assert!(h.elapsed_us() > 0.0);
     }
 
@@ -196,6 +214,8 @@ mod tests {
         let a = desc();
         let b = TensorDescriptor::from_shape(Shape4::new(2, 3, 4, 5)).unwrap();
         let act = ActivationDescriptor::new(ActivationMode::Relu);
-        assert!(h.activation_forward(&act, 1.0, &a, &[], 0.0, &b, &mut []).is_err());
+        assert!(h
+            .activation_forward(&act, 1.0, &a, &[], 0.0, &b, &mut [])
+            .is_err());
     }
 }

@@ -72,7 +72,9 @@ impl CudnnHandle {
             return Err(CudnnError::BadParam("batch-norm shapes must match".into()));
         }
         if epsilon < BN_MIN_EPSILON {
-            return Err(CudnnError::BadParam(format!("epsilon {epsilon} < CUDNN_BN_MIN_EPSILON")));
+            return Err(CudnnError::BadParam(format!(
+                "epsilon {epsilon} < CUDNN_BN_MIN_EPSILON"
+            )));
         }
         check_len("x", x.len(), s.len())?;
         check_len("y", y.len(), s.len())?;
@@ -83,7 +85,9 @@ impl CudnnHandle {
                 || saved_mean.len() != s.c
                 || saved_inv_var.len() != s.c)
         {
-            return Err(CudnnError::BadParam("per-channel parameter length mismatch".into()));
+            return Err(CudnnError::BadParam(
+                "per-channel parameter length mismatch".into(),
+            ));
         }
         // Two passes over x plus one write of y.
         let bytes = 4 * 3 * s.len();
@@ -132,7 +136,9 @@ impl CudnnHandle {
     ) -> Result<()> {
         let s = x_desc.shape();
         if dy_desc.shape() != s || dx_desc.shape() != s {
-            return Err(CudnnError::BadParam("batch-norm gradient shapes must match".into()));
+            return Err(CudnnError::BadParam(
+                "batch-norm gradient shapes must match".into(),
+            ));
         }
         check_len("x", x.len(), s.len())?;
         check_len("dy", dy.len(), s.len())?;
@@ -146,8 +152,10 @@ impl CudnnHandle {
                     (saved_mean.to_vec(), saved_inv_var.to_vec())
                 } else {
                     let (mean, var) = spatial_stats(s, x);
-                    let inv: Vec<f32> =
-                        var.iter().map(|v| 1.0 / (v + epsilon as f32).sqrt()).collect();
+                    let inv: Vec<f32> = var
+                        .iter()
+                        .map(|v| 1.0 / (v + epsilon as f32).sqrt())
+                        .collect();
                     (mean, inv)
                 };
             dgamma.iter_mut().for_each(|v| *v = 0.0);
@@ -201,8 +209,17 @@ mod tests {
         let mut y = Tensor::zeros(s);
         let (mut sm, mut siv) = (vec![0.0; s.c], vec![0.0; s.c]);
         h.batch_norm_forward_training(
-            1.0, 0.0, &d, x.as_slice(), &d, y.as_mut_slice(), &[1.0, 1.0], &[0.0, 0.0],
-            BN_MIN_EPSILON, &mut sm, &mut siv,
+            1.0,
+            0.0,
+            &d,
+            x.as_slice(),
+            &d,
+            y.as_mut_slice(),
+            &[1.0, 1.0],
+            &[0.0, 0.0],
+            BN_MIN_EPSILON,
+            &mut sm,
+            &mut siv,
         )
         .unwrap();
         let (mean, var) = spatial_stats(s, y.as_slice());
@@ -225,24 +242,56 @@ mod tests {
             let mut y = Tensor::zeros(s);
             let (mut sm, mut siv) = (vec![0.0; s.c], vec![0.0; s.c]);
             h.batch_norm_forward_training(
-                1.0, 0.0, &d, xv.as_slice(), &d, y.as_mut_slice(), &gamma, &beta_p,
-                BN_MIN_EPSILON, &mut sm, &mut siv,
+                1.0,
+                0.0,
+                &d,
+                xv.as_slice(),
+                &d,
+                y.as_mut_slice(),
+                &gamma,
+                &beta_p,
+                BN_MIN_EPSILON,
+                &mut sm,
+                &mut siv,
             )
             .unwrap();
-            y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum()
+            y.as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum()
         };
         let mut y = Tensor::zeros(s);
         let (mut sm, mut siv) = (vec![0.0; s.c], vec![0.0; s.c]);
         h.batch_norm_forward_training(
-            1.0, 0.0, &d, x.as_slice(), &d, y.as_mut_slice(), &gamma, &beta_p, BN_MIN_EPSILON,
-            &mut sm, &mut siv,
+            1.0,
+            0.0,
+            &d,
+            x.as_slice(),
+            &d,
+            y.as_mut_slice(),
+            &gamma,
+            &beta_p,
+            BN_MIN_EPSILON,
+            &mut sm,
+            &mut siv,
         )
         .unwrap();
         let mut dx = Tensor::zeros(s);
         let (mut dg, mut db) = (vec![0.0; s.c], vec![0.0; s.c]);
         h.batch_norm_backward(
-            &d, x.as_slice(), &d, dy.as_slice(), &d, dx.as_mut_slice(), &gamma, &mut dg, &mut db,
-            BN_MIN_EPSILON, &sm, &siv,
+            &d,
+            x.as_slice(),
+            &d,
+            dy.as_slice(),
+            &d,
+            dx.as_mut_slice(),
+            &gamma,
+            &mut dg,
+            &mut db,
+            BN_MIN_EPSILON,
+            &sm,
+            &siv,
         )
         .unwrap();
         let eps = 1e-2f32;
@@ -271,16 +320,35 @@ mod tests {
         let mut y = Tensor::zeros(s);
         let (mut sm, mut siv) = (vec![0.0; s.c], vec![0.0; s.c]);
         h.batch_norm_forward_training(
-            1.0, 0.0, &d, x.as_slice(), &d, y.as_mut_slice(), &gamma, &[0.0, 0.0],
-            BN_MIN_EPSILON, &mut sm, &mut siv,
+            1.0,
+            0.0,
+            &d,
+            x.as_slice(),
+            &d,
+            y.as_mut_slice(),
+            &gamma,
+            &[0.0, 0.0],
+            BN_MIN_EPSILON,
+            &mut sm,
+            &mut siv,
         )
         .unwrap();
         let run = |saved_m: &[f32], saved_iv: &[f32]| -> (Tensor, Vec<f32>) {
             let mut dx = Tensor::zeros(s);
             let (mut dg, mut db) = (vec![0.0; s.c], vec![0.0; s.c]);
             h.batch_norm_backward(
-                &d, x.as_slice(), &d, dy.as_slice(), &d, dx.as_mut_slice(), &gamma, &mut dg,
-                &mut db, BN_MIN_EPSILON, saved_m, saved_iv,
+                &d,
+                x.as_slice(),
+                &d,
+                dy.as_slice(),
+                &d,
+                dx.as_mut_slice(),
+                &gamma,
+                &mut dg,
+                &mut db,
+                BN_MIN_EPSILON,
+                saved_m,
+                saved_iv,
             )
             .unwrap();
             (dx, dg)
@@ -299,7 +367,17 @@ mod tests {
         let d = desc();
         let err = h
             .batch_norm_forward_training(
-                1.0, 0.0, &d, &[], &d, &mut [], &[], &[], 1e-9, &mut [], &mut [],
+                1.0,
+                0.0,
+                &d,
+                &[],
+                &d,
+                &mut [],
+                &[],
+                &[],
+                1e-9,
+                &mut [],
+                &mut [],
             )
             .unwrap_err();
         assert!(matches!(err, CudnnError::BadParam(_)));
@@ -310,7 +388,17 @@ mod tests {
         let h = CudnnHandle::simulated(p100_sxm2());
         let d = desc();
         h.batch_norm_forward_training(
-            1.0, 0.0, &d, &[], &d, &mut [], &[], &[], BN_MIN_EPSILON, &mut [], &mut [],
+            1.0,
+            0.0,
+            &d,
+            &[],
+            &d,
+            &mut [],
+            &[],
+            &[],
+            BN_MIN_EPSILON,
+            &mut [],
+            &mut [],
         )
         .unwrap();
         assert!(h.elapsed_us() > 0.0);

@@ -76,7 +76,10 @@ mod tests {
     #[test]
     fn simulated_aux_op_prices_by_bytes() {
         let h = CudnnHandle::simulated(p100_sxm2());
-        h.aux_op(1_000_000, false, || unreachable!("simulated must not compute")).unwrap();
+        h.aux_op(1_000_000, false, || {
+            unreachable!("simulated must not compute")
+        })
+        .unwrap();
         let small = h.elapsed_us();
         h.reset_clock();
         h.aux_op(100_000_000, false, || unreachable!()).unwrap();

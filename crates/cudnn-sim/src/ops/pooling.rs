@@ -47,9 +47,19 @@ impl PoolingDescriptor {
         stride_w: usize,
     ) -> Result<Self> {
         if stride_h == 0 || stride_w == 0 || window_h == 0 || window_w == 0 {
-            return Err(CudnnError::BadParam("pooling window/stride must be positive".into()));
+            return Err(CudnnError::BadParam(
+                "pooling window/stride must be positive".into(),
+            ));
         }
-        Ok(Self { mode, window_h, window_w, pad_h, pad_w, stride_h, stride_w })
+        Ok(Self {
+            mode,
+            window_h,
+            window_w,
+            pad_h,
+            pad_w,
+            stride_h,
+            stride_w,
+        })
     }
 
     /// Square-window convenience constructor.
@@ -66,7 +76,14 @@ impl PoolingDescriptor {
     }
 
     /// Clipped window bounds along one axis.
-    fn window(&self, p: usize, stride: usize, pad: usize, window: usize, len: usize) -> (usize, usize) {
+    fn window(
+        &self,
+        p: usize,
+        stride: usize,
+        pad: usize,
+        window: usize,
+        len: usize,
+    ) -> (usize, usize) {
         let start = (p * stride) as isize - pad as isize;
         let lo = start.max(0) as usize;
         let hi = ((start + window as isize).max(0) as usize).min(len);
@@ -106,9 +123,11 @@ impl CudnnHandle {
             for ni in 0..ys.n {
                 for ci in 0..ys.c {
                     for p in 0..ys.h {
-                        let (hlo, hhi) = pool.window(p, pool.stride_h, pool.pad_h, pool.window_h, xs.h);
+                        let (hlo, hhi) =
+                            pool.window(p, pool.stride_h, pool.pad_h, pool.window_h, xs.h);
                         for q in 0..ys.w {
-                            let (wlo, whi) = pool.window(q, pool.stride_w, pool.pad_w, pool.window_w, xs.w);
+                            let (wlo, whi) =
+                                pool.window(q, pool.stride_w, pool.pad_w, pool.window_w, xs.w);
                             let mut acc = match pool.mode {
                                 PoolingMode::Max => f32::NEG_INFINITY,
                                 PoolingMode::AverageIncludePadding => 0.0,
@@ -164,7 +183,9 @@ impl CudnnHandle {
     ) -> Result<()> {
         let ys = pool.output_dim(x_desc);
         if y_desc.shape() != ys || dy_desc.shape() != ys || dx_desc.shape() != x_desc.shape() {
-            return Err(CudnnError::BadParam("pooling gradient shapes must match".into()));
+            return Err(CudnnError::BadParam(
+                "pooling gradient shapes must match".into(),
+            ));
         }
         check_len("dy", dy.len(), ys.len())?;
         check_len("x", x.len(), x_desc.len())?;
@@ -182,9 +203,11 @@ impl CudnnHandle {
             for ni in 0..ys.n {
                 for ci in 0..ys.c {
                     for p in 0..ys.h {
-                        let (hlo, hhi) = pool.window(p, pool.stride_h, pool.pad_h, pool.window_h, xs.h);
+                        let (hlo, hhi) =
+                            pool.window(p, pool.stride_h, pool.pad_h, pool.window_h, xs.h);
                         for q in 0..ys.w {
-                            let (wlo, whi) = pool.window(q, pool.stride_w, pool.pad_w, pool.window_w, xs.w);
+                            let (wlo, whi) =
+                                pool.window(q, pool.stride_w, pool.pad_w, pool.window_w, xs.w);
                             let g = alpha * dy[ys.index(ni, ci, p, q)];
                             match pool.mode {
                                 PoolingMode::Max => {
@@ -240,12 +263,22 @@ mod tests {
         let yd = TensorDescriptor::from_shape(p.output_dim(&xd)).unwrap();
         let x = Tensor::from_vec(xd.shape(), vec![1.0, 4.0, 2.0, 3.0]);
         let mut y = Tensor::zeros(yd.shape());
-        h.pooling_forward(&p, 1.0, &xd, x.as_slice(), 0.0, &yd, y.as_mut_slice()).unwrap();
+        h.pooling_forward(&p, 1.0, &xd, x.as_slice(), 0.0, &yd, y.as_mut_slice())
+            .unwrap();
         assert_eq!(y.as_slice(), &[4.0]);
         let dy = Tensor::full(yd.shape(), 5.0);
         let mut dx = Tensor::zeros(xd.shape());
         h.pooling_backward(
-            &p, 1.0, &yd, y.as_slice(), &yd, dy.as_slice(), &xd, x.as_slice(), 0.0, &xd,
+            &p,
+            1.0,
+            &yd,
+            y.as_slice(),
+            &yd,
+            dy.as_slice(),
+            &xd,
+            x.as_slice(),
+            0.0,
+            &xd,
             dx.as_mut_slice(),
         )
         .unwrap();
@@ -262,15 +295,35 @@ mod tests {
         let x = Tensor::random(xd.shape(), 1);
         let dy = Tensor::random(yd.shape(), 2);
         let mut y = Tensor::zeros(yd.shape());
-        h.pooling_forward(&p, 1.0, &xd, x.as_slice(), 0.0, &yd, y.as_mut_slice()).unwrap();
+        h.pooling_forward(&p, 1.0, &xd, x.as_slice(), 0.0, &yd, y.as_mut_slice())
+            .unwrap();
         let mut dx = Tensor::zeros(xd.shape());
         h.pooling_backward(
-            &p, 1.0, &yd, y.as_slice(), &yd, dy.as_slice(), &xd, x.as_slice(), 0.0, &xd,
+            &p,
+            1.0,
+            &yd,
+            y.as_slice(),
+            &yd,
+            dy.as_slice(),
+            &xd,
+            x.as_slice(),
+            0.0,
+            &xd,
             dx.as_mut_slice(),
         )
         .unwrap();
-        let lhs: f64 = y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
-        let rhs: f64 = x.as_slice().iter().zip(dx.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let lhs: f64 = y
+            .as_slice()
+            .iter()
+            .zip(dy.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(dx.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0));
     }
 
@@ -284,7 +337,8 @@ mod tests {
         assert_eq!(yd.shape(), Shape4::new(1, 2, 1, 1));
         let x = Tensor::full(xd.shape(), 3.0);
         let mut y = Tensor::zeros(yd.shape());
-        h.pooling_forward(&p, 1.0, &xd, x.as_slice(), 0.0, &yd, y.as_mut_slice()).unwrap();
+        h.pooling_forward(&p, 1.0, &xd, x.as_slice(), 0.0, &yd, y.as_mut_slice())
+            .unwrap();
         assert_eq!(y.as_slice(), &[3.0, 3.0]);
     }
 
@@ -294,7 +348,8 @@ mod tests {
         let xd = TensorDescriptor::new_4d(64, 64, 55, 55).unwrap();
         let p = PoolingDescriptor::square(PoolingMode::Max, 3, 0, 2).unwrap();
         let yd = TensorDescriptor::from_shape(p.output_dim(&xd)).unwrap();
-        h.pooling_forward(&p, 1.0, &xd, &[], 0.0, &yd, &mut []).unwrap();
+        h.pooling_forward(&p, 1.0, &xd, &[], 0.0, &yd, &mut [])
+            .unwrap();
         assert!(h.elapsed_us() > 0.0);
     }
 
@@ -304,6 +359,8 @@ mod tests {
         let xd = TensorDescriptor::new_4d(1, 1, 8, 8).unwrap();
         let p = PoolingDescriptor::square(PoolingMode::Max, 2, 0, 2).unwrap();
         let bad = TensorDescriptor::new_4d(1, 1, 3, 3).unwrap();
-        assert!(h.pooling_forward(&p, 1.0, &xd, &[], 0.0, &bad, &mut []).is_err());
+        assert!(h
+            .pooling_forward(&p, 1.0, &xd, &[], 0.0, &bad, &mut [])
+            .is_err());
     }
 }

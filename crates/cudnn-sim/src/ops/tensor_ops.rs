@@ -99,7 +99,8 @@ mod tests {
         let bd = TensorDescriptor::from_shape(Shape4::new(1, 3, 1, 1)).unwrap();
         let bias = [1.0f32, 2.0, 3.0];
         let mut y = Tensor::zeros(yd.shape());
-        h.add_tensor(1.0, &bd, &bias, 1.0, &yd, y.as_mut_slice()).unwrap();
+        h.add_tensor(1.0, &bd, &bias, 1.0, &yd, y.as_mut_slice())
+            .unwrap();
         for ni in 0..2 {
             for (ci, b) in bias.iter().enumerate() {
                 assert_eq!(y.get(ni, ci, 1, 1), *b);
@@ -116,11 +117,23 @@ mod tests {
         let b = Tensor::random(bd.shape(), 1);
         let dy = Tensor::random(yd.shape(), 2);
         let mut broadcast = Tensor::zeros(yd.shape());
-        h.add_tensor(1.0, &bd, b.as_slice(), 0.0, &yd, broadcast.as_mut_slice()).unwrap();
+        h.add_tensor(1.0, &bd, b.as_slice(), 0.0, &yd, broadcast.as_mut_slice())
+            .unwrap();
         let mut db = Tensor::zeros(bd.shape());
-        h.convolution_backward_bias(1.0, &yd, dy.as_slice(), 0.0, &bd, db.as_mut_slice()).unwrap();
-        let lhs: f64 = broadcast.as_slice().iter().zip(dy.as_slice()).map(|(a, c)| (*a as f64) * (*c as f64)).sum();
-        let rhs: f64 = b.as_slice().iter().zip(db.as_slice()).map(|(a, c)| (*a as f64) * (*c as f64)).sum();
+        h.convolution_backward_bias(1.0, &yd, dy.as_slice(), 0.0, &bd, db.as_mut_slice())
+            .unwrap();
+        let lhs: f64 = broadcast
+            .as_slice()
+            .iter()
+            .zip(dy.as_slice())
+            .map(|(a, c)| (*a as f64) * (*c as f64))
+            .sum();
+        let rhs: f64 = b
+            .as_slice()
+            .iter()
+            .zip(db.as_slice())
+            .map(|(a, c)| (*a as f64) * (*c as f64))
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0));
     }
 
@@ -138,7 +151,8 @@ mod tests {
         let yd = TensorDescriptor::from_shape(Shape4::new(64, 64, 27, 27)).unwrap();
         let bd = TensorDescriptor::from_shape(Shape4::new(1, 64, 1, 1)).unwrap();
         h.add_tensor(1.0, &bd, &[], 1.0, &yd, &mut []).unwrap();
-        h.convolution_backward_bias(1.0, &yd, &[], 0.0, &bd, &mut []).unwrap();
+        h.convolution_backward_bias(1.0, &yd, &[], 0.0, &bd, &mut [])
+            .unwrap();
         assert_eq!(h.kernels_launched(), 2);
     }
 }

@@ -59,7 +59,11 @@ impl OverlapReport {
 ///
 /// # Panics
 /// Panics when `streams` is zero or the timing does not match the network.
-pub fn overlap_schedule(net: &NetworkDef, timing: &IterationTiming, streams: usize) -> OverlapReport {
+pub fn overlap_schedule(
+    net: &NetworkDef,
+    timing: &IterationTiming,
+    streams: usize,
+) -> OverlapReport {
     assert!(streams > 0, "at least one stream");
     assert_eq!(timing.layers.len(), net.len(), "timing/network mismatch");
     let depth = levels(net);
@@ -123,7 +127,11 @@ mod tests {
         let t = time_iteration(&p, &inception).unwrap();
         let r = overlap_schedule(&inception, &t, 4);
         assert!(r.max_width >= 4, "four towers must be concurrent");
-        assert!(r.speedup() > 1.05, "inception must benefit: {:.3}", r.speedup());
+        assert!(
+            r.speedup() > 1.05,
+            "inception must benefit: {:.3}",
+            r.speedup()
+        );
         assert!(r.overlapped_us <= r.serial_us);
 
         // AlexNet is a pure chain: overlap cannot help.
@@ -132,7 +140,10 @@ mod tests {
         setup_network(&p2, &chain).unwrap();
         let tc = time_iteration(&p2, &chain).unwrap();
         let rc = overlap_schedule(&chain, &tc, 4);
-        assert!((rc.speedup() - 1.0).abs() < 1e-9, "chains have nothing to overlap");
+        assert!(
+            (rc.speedup() - 1.0).abs() < 1e-9,
+            "chains have nothing to overlap"
+        );
     }
 
     #[test]

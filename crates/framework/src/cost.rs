@@ -68,7 +68,16 @@ mod tests {
     fn net() -> (NetworkDef, NodeId, NodeId, NodeId) {
         let mut n = NetworkDef::new("t", Shape4::new(64, 64, 28, 28));
         let r = n.add("relu", LayerSpec::Relu, &[0]);
-        let p = n.add("pool", LayerSpec::Pool { max: true, kernel: 2, stride: 2, pad: 0 }, &[r]);
+        let p = n.add(
+            "pool",
+            LayerSpec::Pool {
+                max: true,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[r],
+        );
         let f = n.add("fc", LayerSpec::FullyConnected { out: 1000 }, &[p]);
         (n, r, p, f)
     }

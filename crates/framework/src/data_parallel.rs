@@ -28,7 +28,11 @@ pub struct ClusterSpec {
 impl ClusterSpec {
     /// A DGX-1-like 8-GPU NVLink node.
     pub fn dgx1_like() -> Self {
-        Self { gpus: 8, interconnect_gbps: 40.0, ring_latency_us: 20.0 }
+        Self {
+            gpus: 8,
+            interconnect_gbps: 40.0,
+            ring_latency_us: 20.0,
+        }
     }
 
     /// Ring all-reduce time for `param_bytes` of gradients across `g`
@@ -144,7 +148,7 @@ mod tests {
     fn strong_scaling_improves_throughput_sublinearly() {
         let pts = points(512);
         assert_eq!(pts.len(), 4); // 1, 2, 4, 8
-        // Throughput grows with GPUs…
+                                  // Throughput grows with GPUs…
         for w in pts.windows(2) {
             assert!(w[1].samples_per_sec > w[0].samples_per_sec);
         }

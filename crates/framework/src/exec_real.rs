@@ -20,8 +20,8 @@ use crate::graph::{LayerSpec, NetworkDef};
 use crate::provider::{ConvProvider, ProviderError};
 use ucudnn_conv::gemm::{sgemm, Trans};
 use ucudnn_cudnn_sim::{
-    ActivationDescriptor, ActivationMode, ConvOp, PoolingDescriptor, PoolingMode,
-    TensorDescriptor, BN_MIN_EPSILON,
+    ActivationDescriptor, ActivationMode, ConvOp, PoolingDescriptor, PoolingMode, TensorDescriptor,
+    BN_MIN_EPSILON,
 };
 use ucudnn_tensor::{DeterministicRng, Shape4, Tensor};
 
@@ -73,7 +73,11 @@ fn bias_desc(c: usize) -> TensorDescriptor {
 }
 
 fn pool_desc(max: bool, kernel: usize, stride: usize, pad: usize) -> PoolingDescriptor {
-    let mode = if max { PoolingMode::Max } else { PoolingMode::AverageIncludePadding };
+    let mode = if max {
+        PoolingMode::Max
+    } else {
+        PoolingMode::AverageIncludePadding
+    };
     PoolingDescriptor::square(mode, kernel, pad, stride).expect("validated pooling params")
 }
 
@@ -82,7 +86,9 @@ fn gap_desc(s: Shape4) -> PoolingDescriptor {
         .expect("validated pooling params")
 }
 
-const RELU: ActivationDescriptor = ActivationDescriptor { mode: ActivationMode::Relu };
+const RELU: ActivationDescriptor = ActivationDescriptor {
+    mode: ActivationMode::Relu,
+};
 
 impl RealExecutor {
     /// Instantiate a network with deterministic He-style initialization.
@@ -91,21 +97,31 @@ impl RealExecutor {
         let mut params = Vec::with_capacity(net.len());
         for id in 0..net.len() {
             let p = match &net.nodes()[id].spec {
-                LayerSpec::Conv { out_channels, kernel, .. } => {
+                LayerSpec::Conv {
+                    out_channels,
+                    kernel,
+                    ..
+                } => {
                     let cin = net.output_shape(net.nodes()[id].inputs[0]).c;
                     let fan_in = cin * kernel * kernel;
                     let scale = (2.0 / fan_in as f32).sqrt();
                     let w = (0..out_channels * fan_in)
                         .map(|_| (rng.next_uniform() * 2.0 - 1.0) * scale)
                         .collect();
-                    let b = (0..*out_channels).map(|_| (rng.next_uniform() - 0.5) * 0.1).collect();
+                    let b = (0..*out_channels)
+                        .map(|_| (rng.next_uniform() - 0.5) * 0.1)
+                        .collect();
                     Params::Conv { w, b }
                 }
                 LayerSpec::FullyConnected { out } => {
                     let nin = net.output_shape(net.nodes()[id].inputs[0]).sample_len();
                     let scale = (2.0 / nin as f32).sqrt();
-                    let w = (0..out * nin).map(|_| (rng.next_uniform() * 2.0 - 1.0) * scale).collect();
-                    let b = (0..*out).map(|_| (rng.next_uniform() - 0.5) * 0.1).collect();
+                    let w = (0..out * nin)
+                        .map(|_| (rng.next_uniform() * 2.0 - 1.0) * scale)
+                        .collect();
+                    let b = (0..*out)
+                        .map(|_| (rng.next_uniform() - 0.5) * 0.1)
+                        .collect();
                     Params::Fc { w, b }
                 }
                 LayerSpec::BatchNorm => {
@@ -139,7 +155,11 @@ impl RealExecutor {
         provider: &impl ConvProvider,
         input: &Tensor,
     ) -> Result<Activations, ProviderError> {
-        assert_eq!(input.shape(), self.net.input_shape(), "input shape mismatch");
+        assert_eq!(
+            input.shape(),
+            self.net.input_shape(),
+            "input shape mismatch"
+        );
         let h = provider.handle();
         let mut acts: Activations = Vec::with_capacity(self.net.len());
         for id in 0..self.net.len() {
@@ -151,7 +171,9 @@ impl RealExecutor {
                 LayerSpec::Input => out = input.clone(),
                 LayerSpec::Conv { .. } => {
                     let g = self.net.conv_geometry(id);
-                    let Params::Conv { w, b } = &self.params[id] else { unreachable!() };
+                    let Params::Conv { w, b } = &self.params[id] else {
+                        unreachable!()
+                    };
                     provider.execute(
                         ConvOp::Forward,
                         &g,
@@ -161,9 +183,21 @@ impl RealExecutor {
                         1.0,
                         0.0,
                     )?;
-                    h.add_tensor(1.0, &bias_desc(out_shape.c), b, 1.0, &tdesc(out_shape), out.as_mut_slice())?;
+                    h.add_tensor(
+                        1.0,
+                        &bias_desc(out_shape.c),
+                        b,
+                        1.0,
+                        &tdesc(out_shape),
+                        out.as_mut_slice(),
+                    )?;
                 }
-                LayerSpec::Pool { max, kernel, stride, pad } => {
+                LayerSpec::Pool {
+                    max,
+                    kernel,
+                    stride,
+                    pad,
+                } => {
                     h.pooling_forward(
                         &pool_desc(*max, *kernel, *stride, *pad),
                         1.0,
@@ -186,7 +220,9 @@ impl RealExecutor {
                     )?;
                 }
                 LayerSpec::BatchNorm => {
-                    let Params::Bn { gamma, beta } = &self.params[id] else { unreachable!() };
+                    let Params::Bn { gamma, beta } = &self.params[id] else {
+                        unreachable!()
+                    };
                     // Saved statistics are recomputed in backward (the
                     // NULL-pointer path of cuDNN), so scratch them here.
                     let mut sm = vec![0.0f32; out_shape.c];
@@ -206,13 +242,29 @@ impl RealExecutor {
                     )?;
                 }
                 LayerSpec::FullyConnected { out: nout } => {
-                    let Params::Fc { w, b } = &self.params[id] else { unreachable!() };
+                    let Params::Fc { w, b } = &self.params[id] else {
+                        unreachable!()
+                    };
                     let x = &acts[node.inputs[0]];
                     let (n, nin) = (x.shape().n, x.shape().sample_len());
                     // y (N x out) = x (N x in) @ W^T (in x out)
-                    sgemm(Trans::No, Trans::Yes, n, *nout, nin, 1.0, x.as_slice(), w, 0.0, out.as_mut_slice());
+                    sgemm(
+                        Trans::No,
+                        Trans::Yes,
+                        n,
+                        *nout,
+                        nin,
+                        1.0,
+                        x.as_slice(),
+                        w,
+                        0.0,
+                        out.as_mut_slice(),
+                    );
                     for ni in 0..n {
-                        for (o, bias) in out.as_mut_slice()[ni * nout..(ni + 1) * nout].iter_mut().zip(b) {
+                        for (o, bias) in out.as_mut_slice()[ni * nout..(ni + 1) * nout]
+                            .iter_mut()
+                            .zip(b)
+                        {
                             *o += bias;
                         }
                     }
@@ -225,7 +277,10 @@ impl RealExecutor {
                     }
                 }
                 LayerSpec::Concat => {
-                    concat_forward(&node.inputs.iter().map(|&i| &acts[i]).collect::<Vec<_>>(), &mut out);
+                    concat_forward(
+                        &node.inputs.iter().map(|&i| &acts[i]).collect::<Vec<_>>(),
+                        &mut out,
+                    );
                 }
                 LayerSpec::GlobalAvgPool => {
                     let s = in_shape.unwrap();
@@ -258,7 +313,11 @@ impl RealExecutor {
     ) -> Result<(Vec<Params>, Tensor), ProviderError> {
         let h = provider.handle();
         let last = self.net.len() - 1;
-        assert_eq!(dloss.shape(), self.net.output_shape(last), "loss gradient shape mismatch");
+        assert_eq!(
+            dloss.shape(),
+            self.net.output_shape(last),
+            "loss gradient shape mismatch"
+        );
         let mut grads: Vec<Option<Tensor>> = vec![None; self.net.len()];
         grads[last] = Some(dloss.clone());
         let mut pgrads: Vec<Params> = vec![Params::None; self.net.len()];
@@ -275,10 +334,20 @@ impl RealExecutor {
                 }
                 LayerSpec::Conv { .. } => {
                     let g = self.net.conv_geometry(id);
-                    let Params::Conv { w, b } = &self.params[id] else { unreachable!() };
+                    let Params::Conv { w, b } = &self.params[id] else {
+                        unreachable!()
+                    };
                     let x = &acts[node.inputs[0]];
                     let mut dw = vec![0.0f32; w.len()];
-                    provider.execute(ConvOp::BackwardFilter, &g, x.as_slice(), dy.as_slice(), &mut dw, 1.0, 0.0)?;
+                    provider.execute(
+                        ConvOp::BackwardFilter,
+                        &g,
+                        x.as_slice(),
+                        dy.as_slice(),
+                        &mut dw,
+                        1.0,
+                        0.0,
+                    )?;
                     let mut db = vec![0.0f32; b.len()];
                     h.convolution_backward_bias(
                         1.0,
@@ -291,11 +360,24 @@ impl RealExecutor {
                     pgrads[id] = Params::Conv { w: dw, b: db };
                     if self.net.needs_backward_data(id) {
                         let mut dx = Tensor::zeros(g.input);
-                        provider.execute(ConvOp::BackwardData, &g, dy.as_slice(), w, dx.as_mut_slice(), 1.0, 0.0)?;
+                        provider.execute(
+                            ConvOp::BackwardData,
+                            &g,
+                            dy.as_slice(),
+                            w,
+                            dx.as_mut_slice(),
+                            1.0,
+                            0.0,
+                        )?;
                         accumulate(&mut grads[node.inputs[0]], dx);
                     }
                 }
-                LayerSpec::Pool { max, kernel, stride, pad } => {
+                LayerSpec::Pool {
+                    max,
+                    kernel,
+                    stride,
+                    pad,
+                } => {
                     let x = &acts[node.inputs[0]];
                     let mut dx = Tensor::zeros(x.shape());
                     h.pooling_backward(
@@ -332,7 +414,9 @@ impl RealExecutor {
                     accumulate(&mut grads[node.inputs[0]], dx);
                 }
                 LayerSpec::BatchNorm => {
-                    let Params::Bn { gamma, .. } = &self.params[id] else { unreachable!() };
+                    let Params::Bn { gamma, .. } = &self.params[id] else {
+                        unreachable!()
+                    };
                     let x = &acts[node.inputs[0]];
                     let mut dx = Tensor::zeros(x.shape());
                     let mut dgamma = vec![0.0f32; out_shape.c];
@@ -353,26 +437,56 @@ impl RealExecutor {
                         &[],
                         &[],
                     )?;
-                    pgrads[id] = Params::Bn { gamma: dgamma, beta: dbeta };
+                    pgrads[id] = Params::Bn {
+                        gamma: dgamma,
+                        beta: dbeta,
+                    };
                     accumulate(&mut grads[node.inputs[0]], dx);
                 }
                 LayerSpec::FullyConnected { out: nout } => {
-                    let Params::Fc { w, .. } = &self.params[id] else { unreachable!() };
+                    let Params::Fc { w, .. } = &self.params[id] else {
+                        unreachable!()
+                    };
                     let x = &acts[node.inputs[0]];
                     let (n, nin) = (x.shape().n, x.shape().sample_len());
                     // dW (out x in) = dy^T (out x N) @ x (N x in)
                     let mut dw = vec![0.0f32; w.len()];
-                    sgemm(Trans::Yes, Trans::No, *nout, nin, n, 1.0, dy.as_slice(), x.as_slice(), 0.0, &mut dw);
+                    sgemm(
+                        Trans::Yes,
+                        Trans::No,
+                        *nout,
+                        nin,
+                        n,
+                        1.0,
+                        dy.as_slice(),
+                        x.as_slice(),
+                        0.0,
+                        &mut dw,
+                    );
                     let mut db = vec![0.0f32; *nout];
                     for ni in 0..n {
-                        for (d, g) in db.iter_mut().zip(&dy.as_slice()[ni * nout..(ni + 1) * nout]) {
+                        for (d, g) in db
+                            .iter_mut()
+                            .zip(&dy.as_slice()[ni * nout..(ni + 1) * nout])
+                        {
                             *d += g;
                         }
                     }
                     pgrads[id] = Params::Fc { w: dw, b: db };
                     // dx (N x in) = dy (N x out) @ W (out x in)
                     let mut dx = Tensor::zeros(x.shape());
-                    sgemm(Trans::No, Trans::No, n, nin, *nout, 1.0, dy.as_slice(), w, 0.0, dx.as_mut_slice());
+                    sgemm(
+                        Trans::No,
+                        Trans::No,
+                        n,
+                        nin,
+                        *nout,
+                        1.0,
+                        dy.as_slice(),
+                        w,
+                        0.0,
+                        dx.as_mut_slice(),
+                    );
                     accumulate(&mut grads[node.inputs[0]], dx);
                 }
                 LayerSpec::Add => {
@@ -469,10 +583,28 @@ mod tests {
     fn tiny_net(n: usize) -> NetworkDef {
         let mut net = NetworkDef::new("tiny", Shape4::new(n, 3, 8, 8));
         let c1 = net.conv_bn_relu("conv1", net.input(), 4, 3, 1, 1);
-        let p = net.add("pool", LayerSpec::Pool { max: true, kernel: 2, stride: 2, pad: 0 }, &[c1]);
+        let p = net.add(
+            "pool",
+            LayerSpec::Pool {
+                max: true,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[c1],
+        );
         let c2 = net.conv_relu("conv2", p, 6, 3, 1, 1);
         // Residual branch exercising Add and 1x1 conv.
-        let sc = net.add("proj", LayerSpec::Conv { out_channels: 6, kernel: 1, stride: 1, pad: 0 }, &[p]);
+        let sc = net.add(
+            "proj",
+            LayerSpec::Conv {
+                out_channels: 6,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+            },
+            &[p],
+        );
         let sum = net.add("sum", LayerSpec::Add, &[c2, sc]);
         let gap = net.add("gap", LayerSpec::GlobalAvgPool, &[sum]);
         net.add("fc", LayerSpec::FullyConnected { out: 5 }, &[gap]);
@@ -503,7 +635,11 @@ mod tests {
 
         let loss = |e: &RealExecutor| -> f64 {
             let acts = e.forward(&p, &x).unwrap();
-            acts[last].as_slice().iter().map(|v| 0.5 * (*v as f64).powi(2)).sum()
+            acts[last]
+                .as_slice()
+                .iter()
+                .map(|v| 0.5 * (*v as f64).powi(2))
+                .sum()
         };
         let acts = exec.forward(&p, &x).unwrap();
         let dloss = acts[last].clone();
@@ -551,14 +687,25 @@ mod tests {
     fn bias_gradients_flow_through_backward_bias() {
         // d/db <y, dy> with dy = 1 is N*Ho*Wo per output channel.
         let mut net = NetworkDef::new("t", Shape4::new(2, 1, 4, 4));
-        net.add("c", LayerSpec::Conv { out_channels: 3, kernel: 3, stride: 1, pad: 1 }, &[0]);
+        net.add(
+            "c",
+            LayerSpec::Conv {
+                out_channels: 3,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
+            &[0],
+        );
         let exec = RealExecutor::new(net.clone(), 5);
         let p = provider();
         let x = Tensor::random(net.input_shape(), 6);
         let acts = exec.forward(&p, &x).unwrap();
         let dloss = Tensor::full(net.output_shape(1), 1.0);
         let (pgrads, _) = exec.backward(&p, &acts, &dloss).unwrap();
-        let Params::Conv { b: db, .. } = &pgrads[1] else { panic!() };
+        let Params::Conv { b: db, .. } = &pgrads[1] else {
+            panic!()
+        };
         for v in db {
             assert!((v - (2 * 4 * 4) as f32).abs() < 1e-3, "bias grad {v}");
         }
@@ -567,8 +714,26 @@ mod tests {
     #[test]
     fn concat_round_trips_through_backward() {
         let mut net = NetworkDef::new("t", Shape4::new(2, 2, 4, 4));
-        let a = net.add("a", LayerSpec::Conv { out_channels: 2, kernel: 1, stride: 1, pad: 0 }, &[0]);
-        let b = net.add("b", LayerSpec::Conv { out_channels: 3, kernel: 1, stride: 1, pad: 0 }, &[0]);
+        let a = net.add(
+            "a",
+            LayerSpec::Conv {
+                out_channels: 2,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+            },
+            &[0],
+        );
+        let b = net.add(
+            "b",
+            LayerSpec::Conv {
+                out_channels: 3,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+            },
+            &[0],
+        );
         net.add("cat", LayerSpec::Concat, &[a, b]);
         let exec = RealExecutor::new(net.clone(), 3);
         let p = provider();
@@ -586,7 +751,16 @@ mod tests {
     #[test]
     fn max_pool_routes_gradient_to_argmax() {
         let mut net = NetworkDef::new("t", Shape4::new(1, 1, 2, 2));
-        net.add("p", LayerSpec::Pool { max: true, kernel: 2, stride: 2, pad: 0 }, &[0]);
+        net.add(
+            "p",
+            LayerSpec::Pool {
+                max: true,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[0],
+        );
         let exec = RealExecutor::new(net.clone(), 1);
         let p = provider();
         let x = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, 4.0, 2.0, 3.0]);
@@ -600,7 +774,16 @@ mod tests {
     #[test]
     fn avg_pool_distributes_gradient() {
         let mut net = NetworkDef::new("t", Shape4::new(1, 1, 2, 2));
-        net.add("p", LayerSpec::Pool { max: false, kernel: 2, stride: 2, pad: 0 }, &[0]);
+        net.add(
+            "p",
+            LayerSpec::Pool {
+                max: false,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[0],
+        );
         let exec = RealExecutor::new(net.clone(), 1);
         let p = provider();
         let x = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
@@ -617,7 +800,10 @@ mod tests {
         net.add("bn", LayerSpec::BatchNorm, &[0]);
         let mut exec = RealExecutor::new(net.clone(), 1);
         // Force identity scale/shift to observe the normalization itself.
-        exec.params[1] = Params::Bn { gamma: vec![1.0, 1.0], beta: vec![0.0, 0.0] };
+        exec.params[1] = Params::Bn {
+            gamma: vec![1.0, 1.0],
+            beta: vec![0.0, 0.0],
+        };
         let p = provider();
         let x = Tensor::random(net.input_shape(), 9);
         let acts = exec.forward(&p, &x).unwrap();

@@ -58,17 +58,24 @@ impl IterationTiming {
 /// Register every convolution kernel of the network with the provider
 /// (the framework's initialization pass), then finalize (triggers WD).
 ///
+/// The kernels are collected first and handed to the provider in one
+/// [`ConvProvider::prepare`] call, so an optimizing provider can fan the
+/// per-kernel optimization over worker threads instead of being driven
+/// one `setup` at a time.
+///
 /// # Errors
 /// Setup/optimization failures.
 pub fn setup_network(provider: &impl ConvProvider, net: &NetworkDef) -> Result<(), ProviderError> {
+    let mut kernels = Vec::new();
     for id in net.conv_layers() {
         let g = net.conv_geometry(id);
-        provider.setup(ConvOp::Forward, &g)?;
+        kernels.push((ConvOp::Forward, g));
         if net.needs_backward_data(id) {
-            provider.setup(ConvOp::BackwardData, &g)?;
+            kernels.push((ConvOp::BackwardData, g));
         }
-        provider.setup(ConvOp::BackwardFilter, &g)?;
+        kernels.push((ConvOp::BackwardFilter, g));
     }
+    provider.prepare(&kernels)?;
     provider.finalize()
 }
 
@@ -162,7 +169,16 @@ mod tests {
     fn small_net(n: usize) -> NetworkDef {
         let mut net = NetworkDef::new("small", Shape4::new(n, 3, 32, 32));
         let c1 = net.conv_relu("conv1", net.input(), 16, 5, 1, 2);
-        let p1 = net.add("pool1", LayerSpec::Pool { max: true, kernel: 2, stride: 2, pad: 0 }, &[c1]);
+        let p1 = net.add(
+            "pool1",
+            LayerSpec::Pool {
+                max: true,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[c1],
+        );
         let c2 = net.conv_relu("conv2", p1, 32, 5, 1, 2);
         let c3 = net.conv_relu("conv3", c2, 32, 3, 1, 1);
         net.add("fc", LayerSpec::FullyConnected { out: 10 }, &[c3]);
@@ -197,7 +213,10 @@ mod tests {
 
             let mu = UcudnnHandle::new(
                 CudnnHandle::simulated(p100_sxm2()),
-                UcudnnOptions { workspace_limit_bytes: limit, ..Default::default() },
+                UcudnnOptions {
+                    workspace_limit_bytes: limit,
+                    ..Default::default()
+                },
             );
             setup_network(&mu, &net).unwrap();
             let tm = time_iteration(&mu, &net).unwrap();

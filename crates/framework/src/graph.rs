@@ -108,8 +108,17 @@ pub struct NetworkDef {
 impl NetworkDef {
     /// Start a network with the given input shape (N, C, H, W).
     pub fn new(name: impl Into<String>, input_shape: Shape4) -> Self {
-        let nodes = vec![Node { name: "data".into(), spec: LayerSpec::Input, inputs: vec![] }];
-        Self { name: name.into(), nodes, input_shape, shapes: vec![input_shape] }
+        let nodes = vec![Node {
+            name: "data".into(),
+            spec: LayerSpec::Input,
+            inputs: vec![],
+        }];
+        Self {
+            name: name.into(),
+            nodes,
+            input_shape,
+            shapes: vec![input_shape],
+        }
     }
 
     /// The input node.
@@ -149,12 +158,23 @@ impl NetworkDef {
             self.nodes.iter().all(|n| n.name != name),
             "duplicate layer name {name}"
         );
-        assert!(spec.arity_ok(inputs.len()), "layer {name} ({spec:?}) got {} inputs", inputs.len());
+        assert!(
+            spec.arity_ok(inputs.len()),
+            "layer {name} ({spec:?}) got {} inputs",
+            inputs.len()
+        );
         for &i in inputs {
-            assert!(i < self.nodes.len(), "layer {name} references undefined node {i}");
+            assert!(
+                i < self.nodes.len(),
+                "layer {name} references undefined node {i}"
+            );
         }
         let id = self.nodes.len();
-        self.nodes.push(Node { name, spec, inputs: inputs.to_vec() });
+        self.nodes.push(Node {
+            name,
+            spec,
+            inputs: inputs.to_vec(),
+        });
         // Infer and memoize eagerly; panics with a useful message if the
         // shapes are inconsistent.
         let shape = self.infer_shape(id);
@@ -172,7 +192,16 @@ impl NetworkDef {
         stride: usize,
         pad: usize,
     ) -> NodeId {
-        let c = self.add(name.to_string(), LayerSpec::Conv { out_channels, kernel, stride, pad }, &[input]);
+        let c = self.add(
+            name.to_string(),
+            LayerSpec::Conv {
+                out_channels,
+                kernel,
+                stride,
+                pad,
+            },
+            &[input],
+        );
         self.add(format!("{name}.relu"), LayerSpec::Relu, &[c])
     }
 
@@ -186,7 +215,16 @@ impl NetworkDef {
         stride: usize,
         pad: usize,
     ) -> NodeId {
-        let c = self.add(name.to_string(), LayerSpec::Conv { out_channels, kernel, stride, pad }, &[input]);
+        let c = self.add(
+            name.to_string(),
+            LayerSpec::Conv {
+                out_channels,
+                kernel,
+                stride,
+                pad,
+            },
+            &[input],
+        );
         let b = self.add(format!("{name}.bn"), LayerSpec::BatchNorm, &[c]);
         self.add(format!("{name}.relu"), LayerSpec::Relu, &[b])
     }
@@ -214,11 +252,15 @@ impl NetworkDef {
     /// Shape inference for the newest node, reading memoized input shapes.
     fn infer_shape(&self, id: NodeId) -> Shape4 {
         let node = &self.nodes[id];
-        let in_shapes: Vec<Shape4> =
-            node.inputs.iter().map(|&i| self.shapes[i]).collect();
+        let in_shapes: Vec<Shape4> = node.inputs.iter().map(|&i| self.shapes[i]).collect();
         match &node.spec {
             LayerSpec::Input => self.input_shape,
-            LayerSpec::Conv { out_channels, kernel, stride, pad } => {
+            LayerSpec::Conv {
+                out_channels,
+                kernel,
+                stride,
+                pad,
+            } => {
                 let g = ConvGeometry::with_square(
                     in_shapes[0],
                     FilterShape::new(*out_channels, in_shapes[0].c, *kernel, *kernel),
@@ -227,7 +269,12 @@ impl NetworkDef {
                 );
                 g.output()
             }
-            LayerSpec::Pool { kernel, stride, pad, .. } => {
+            LayerSpec::Pool {
+                kernel,
+                stride,
+                pad,
+                ..
+            } => {
                 let s = in_shapes[0];
                 // Caffe pooling: ceil-mode output size.
                 let oh = (s.h + 2 * pad - kernel).div_ceil(*stride) + 1;
@@ -237,7 +284,10 @@ impl NetworkDef {
             LayerSpec::Relu | LayerSpec::BatchNorm => in_shapes[0],
             LayerSpec::FullyConnected { out } => Shape4::new(in_shapes[0].n, *out, 1, 1),
             LayerSpec::Add => {
-                assert_eq!(in_shapes[0], in_shapes[1], "Add inputs must match: {node:?}");
+                assert_eq!(
+                    in_shapes[0], in_shapes[1],
+                    "Add inputs must match: {node:?}"
+                );
                 in_shapes[0]
             }
             LayerSpec::Concat => {
@@ -262,7 +312,13 @@ impl NetworkDef {
     /// Panics when `id` is not a conv layer.
     pub fn conv_geometry(&self, id: NodeId) -> ConvGeometry {
         let node = &self.nodes[id];
-        let LayerSpec::Conv { out_channels, kernel, stride, pad } = node.spec else {
+        let LayerSpec::Conv {
+            out_channels,
+            kernel,
+            stride,
+            pad,
+        } = node.spec
+        else {
             panic!("node {} is not a convolution", node.name);
         };
         let input = self.output_shape(node.inputs[0]);
@@ -291,7 +347,11 @@ impl NetworkDef {
     pub fn param_count(&self) -> usize {
         (0..self.nodes.len())
             .map(|i| match &self.nodes[i].spec {
-                LayerSpec::Conv { out_channels, kernel, .. } => {
+                LayerSpec::Conv {
+                    out_channels,
+                    kernel,
+                    ..
+                } => {
                     let cin = self.output_shape(self.nodes[i].inputs[0]).c;
                     out_channels * cin * kernel * kernel + out_channels
                 }
@@ -324,7 +384,16 @@ mod tests {
     fn tiny() -> NetworkDef {
         let mut net = NetworkDef::new("tiny", Shape4::new(4, 3, 16, 16));
         let c1 = net.conv_relu("conv1", net.input(), 8, 3, 1, 1);
-        let p = net.add("pool1", LayerSpec::Pool { max: true, kernel: 2, stride: 2, pad: 0 }, &[c1]);
+        let p = net.add(
+            "pool1",
+            LayerSpec::Pool {
+                max: true,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[c1],
+        );
         let c2 = net.conv_relu("conv2", p, 16, 3, 1, 1);
         net.add("fc", LayerSpec::FullyConnected { out: 10 }, &[c2]);
         net
@@ -359,15 +428,42 @@ mod tests {
     fn pool_uses_ceil_mode_like_caffe() {
         // AlexNet pool1: 55 → ceil((55-3)/2)+1 = 27.
         let mut net = NetworkDef::new("t", Shape4::new(1, 1, 55, 55));
-        let p = net.add("p", LayerSpec::Pool { max: true, kernel: 3, stride: 2, pad: 0 }, &[net.input()]);
+        let p = net.add(
+            "p",
+            LayerSpec::Pool {
+                max: true,
+                kernel: 3,
+                stride: 2,
+                pad: 0,
+            },
+            &[net.input()],
+        );
         assert_eq!(net.output_shape(p), Shape4::new(1, 1, 27, 27));
     }
 
     #[test]
     fn concat_sums_channels() {
         let mut net = NetworkDef::new("t", Shape4::new(2, 4, 8, 8));
-        let a = net.add("a", LayerSpec::Conv { out_channels: 3, kernel: 1, stride: 1, pad: 0 }, &[net.input()]);
-        let b = net.add("b", LayerSpec::Conv { out_channels: 5, kernel: 1, stride: 1, pad: 0 }, &[net.input()]);
+        let a = net.add(
+            "a",
+            LayerSpec::Conv {
+                out_channels: 3,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+            },
+            &[net.input()],
+        );
+        let b = net.add(
+            "b",
+            LayerSpec::Conv {
+                out_channels: 5,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+            },
+            &[net.input()],
+        );
         let c = net.add("c", LayerSpec::Concat, &[a, b]);
         assert_eq!(net.output_shape(c).c, 8);
     }
@@ -375,7 +471,16 @@ mod tests {
     #[test]
     fn param_count_counts_weights_and_biases() {
         let mut net = NetworkDef::new("t", Shape4::new(1, 3, 4, 4));
-        net.add("c", LayerSpec::Conv { out_channels: 2, kernel: 3, stride: 1, pad: 1 }, &[0]);
+        net.add(
+            "c",
+            LayerSpec::Conv {
+                out_channels: 2,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
+            &[0],
+        );
         // 2*3*3*3 + 2 bias = 56
         assert_eq!(net.param_count(), 56);
     }
@@ -392,8 +497,26 @@ mod tests {
     #[should_panic(expected = "Add inputs must match")]
     fn add_shape_mismatch_rejected() {
         let mut net = NetworkDef::new("t", Shape4::new(1, 3, 4, 4));
-        let a = net.add("a", LayerSpec::Conv { out_channels: 2, kernel: 1, stride: 1, pad: 0 }, &[0]);
-        let b = net.add("b", LayerSpec::Conv { out_channels: 3, kernel: 1, stride: 1, pad: 0 }, &[0]);
+        let a = net.add(
+            "a",
+            LayerSpec::Conv {
+                out_channels: 2,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+            },
+            &[0],
+        );
+        let b = net.add(
+            "b",
+            LayerSpec::Conv {
+                out_channels: 3,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+            },
+            &[0],
+        );
         net.add("sum", LayerSpec::Add, &[a, b]);
     }
 

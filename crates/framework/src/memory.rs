@@ -33,7 +33,11 @@ impl LayerMemory {
 
 fn param_bytes(net: &NetworkDef, id: NodeId) -> usize {
     4 * match &net.nodes()[id].spec {
-        LayerSpec::Conv { out_channels, kernel, .. } => {
+        LayerSpec::Conv {
+            out_channels,
+            kernel,
+            ..
+        } => {
             let cin = net.output_shape(net.nodes()[id].inputs[0]).c;
             out_channels * cin * kernel * kernel + out_channels
         }
@@ -135,12 +139,20 @@ mod tests {
 
         let mu = UcudnnHandle::new(
             CudnnHandle::simulated(p100_sxm2()),
-            UcudnnOptions { workspace_limit_bytes: 64 * MIB, ..Default::default() },
+            UcudnnOptions {
+                workspace_limit_bytes: 64 * MIB,
+                ..Default::default()
+            },
         );
         setup_network(&mu, &net).unwrap();
         let tm = totals(&memory_report(&mu, &net));
 
-        assert!(tm.workspace < tb.workspace, "{} vs {}", tm.workspace, tb.workspace);
+        assert!(
+            tm.workspace < tb.workspace,
+            "{} vs {}",
+            tm.workspace,
+            tb.workspace
+        );
         assert!(
             tb.workspace as f64 / tm.workspace as f64 > 2.0,
             "expected >2x workspace reduction, got {:.2}x",
@@ -157,8 +169,16 @@ mod tests {
         let p = BaselineCudnn::new(CudnnHandle::simulated(p100_sxm2()), 8 * MIB);
         setup_network(&p, &net).unwrap();
         let report = memory_report(&p, &net);
-        let fc: usize = report.iter().filter(|l| l.kind == "fc").map(|l| l.param_bytes).sum();
-        let conv: usize = report.iter().filter(|l| l.kind == "conv").map(|l| l.param_bytes).sum();
+        let fc: usize = report
+            .iter()
+            .filter(|l| l.kind == "fc")
+            .map(|l| l.param_bytes)
+            .sum();
+        let conv: usize = report
+            .iter()
+            .filter(|l| l.kind == "conv")
+            .map(|l| l.param_bytes)
+            .sum();
         assert!(fc > 10 * conv, "AlexNet's params live in the FC layers");
     }
 
@@ -175,7 +195,10 @@ mod tests {
 
         let mu = UcudnnHandle::new(
             CudnnHandle::simulated(dev.clone()),
-            UcudnnOptions { workspace_limit_bytes: 64 * MIB, ..Default::default() },
+            UcudnnOptions {
+                workspace_limit_bytes: 64 * MIB,
+                ..Default::default()
+            },
         );
         setup_network(&mu, &net).unwrap();
         let tm = totals(&memory_report(&mu, &net));

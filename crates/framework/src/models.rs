@@ -14,13 +14,40 @@ use ucudnn_tensor::Shape4;
 pub fn alexnet(batch: usize) -> NetworkDef {
     let mut net = NetworkDef::new("AlexNet", Shape4::new(batch, 3, 224, 224));
     let c1 = net.conv_relu("conv1", net.input(), 64, 11, 4, 2);
-    let p1 = net.add("pool1", LayerSpec::Pool { max: true, kernel: 3, stride: 2, pad: 0 }, &[c1]);
+    let p1 = net.add(
+        "pool1",
+        LayerSpec::Pool {
+            max: true,
+            kernel: 3,
+            stride: 2,
+            pad: 0,
+        },
+        &[c1],
+    );
     let c2 = net.conv_relu("conv2", p1, 192, 5, 1, 2);
-    let p2 = net.add("pool2", LayerSpec::Pool { max: true, kernel: 3, stride: 2, pad: 0 }, &[c2]);
+    let p2 = net.add(
+        "pool2",
+        LayerSpec::Pool {
+            max: true,
+            kernel: 3,
+            stride: 2,
+            pad: 0,
+        },
+        &[c2],
+    );
     let c3 = net.conv_relu("conv3", p2, 384, 3, 1, 1);
     let c4 = net.conv_relu("conv4", c3, 256, 3, 1, 1);
     let c5 = net.conv_relu("conv5", c4, 256, 3, 1, 1);
-    let p5 = net.add("pool5", LayerSpec::Pool { max: true, kernel: 3, stride: 2, pad: 0 }, &[c5]);
+    let p5 = net.add(
+        "pool5",
+        LayerSpec::Pool {
+            max: true,
+            kernel: 3,
+            stride: 2,
+            pad: 0,
+        },
+        &[c5],
+    );
     let f6 = net.add("fc6", LayerSpec::FullyConnected { out: 4096 }, &[p5]);
     let r6 = net.add("fc6.relu", LayerSpec::Relu, &[f6]);
     let f7 = net.add("fc7", LayerSpec::FullyConnected { out: 4096 }, &[r6]);
@@ -31,19 +58,35 @@ pub fn alexnet(batch: usize) -> NetworkDef {
 
 /// ResNet basic block (two 3×3 convolutions) with projection shortcut on
 /// stride/channel changes.
-fn basic_block(net: &mut NetworkDef, name: &str, input: NodeId, channels: usize, stride: usize) -> NodeId {
+fn basic_block(
+    net: &mut NetworkDef,
+    name: &str,
+    input: NodeId,
+    channels: usize,
+    stride: usize,
+) -> NodeId {
     let in_c = net.output_shape(input).c;
     let a = net.conv_bn_relu(&format!("{name}.conv1"), input, channels, 3, stride, 1);
     let b = net.add(
         format!("{name}.conv2"),
-        LayerSpec::Conv { out_channels: channels, kernel: 3, stride: 1, pad: 1 },
+        LayerSpec::Conv {
+            out_channels: channels,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        },
         &[a],
     );
     let b = net.add(format!("{name}.conv2.bn"), LayerSpec::BatchNorm, &[b]);
     let shortcut = if stride != 1 || in_c != channels {
         let s = net.add(
             format!("{name}.proj"),
-            LayerSpec::Conv { out_channels: channels, kernel: 1, stride, pad: 0 },
+            LayerSpec::Conv {
+                out_channels: channels,
+                kernel: 1,
+                stride,
+                pad: 0,
+            },
             &[input],
         );
         net.add(format!("{name}.proj.bn"), LayerSpec::BatchNorm, &[s])
@@ -55,21 +98,37 @@ fn basic_block(net: &mut NetworkDef, name: &str, input: NodeId, channels: usize,
 }
 
 /// ResNet bottleneck block (1×1 → 3×3 → 1×1, 4× expansion).
-fn bottleneck_block(net: &mut NetworkDef, name: &str, input: NodeId, width: usize, stride: usize) -> NodeId {
+fn bottleneck_block(
+    net: &mut NetworkDef,
+    name: &str,
+    input: NodeId,
+    width: usize,
+    stride: usize,
+) -> NodeId {
     let out_c = 4 * width;
     let in_c = net.output_shape(input).c;
     let a = net.conv_bn_relu(&format!("{name}.conv1"), input, width, 1, 1, 0);
     let b = net.conv_bn_relu(&format!("{name}.conv2"), a, width, 3, stride, 1);
     let c = net.add(
         format!("{name}.conv3"),
-        LayerSpec::Conv { out_channels: out_c, kernel: 1, stride: 1, pad: 0 },
+        LayerSpec::Conv {
+            out_channels: out_c,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        },
         &[b],
     );
     let c = net.add(format!("{name}.conv3.bn"), LayerSpec::BatchNorm, &[c]);
     let shortcut = if stride != 1 || in_c != out_c {
         let s = net.add(
             format!("{name}.proj"),
-            LayerSpec::Conv { out_channels: out_c, kernel: 1, stride, pad: 0 },
+            LayerSpec::Conv {
+                out_channels: out_c,
+                kernel: 1,
+                stride,
+                pad: 0,
+            },
             &[input],
         );
         net.add(format!("{name}.proj.bn"), LayerSpec::BatchNorm, &[s])
@@ -83,7 +142,16 @@ fn bottleneck_block(net: &mut NetworkDef, name: &str, input: NodeId, width: usiz
 fn resnet_stem(net: &mut NetworkDef) -> NodeId {
     let c1 = net.conv_bn_relu("conv1", net.input(), 64, 7, 2, 3);
     // Caffe ceil-mode pooling: 3x3/2 unpadded on 112 gives 56.
-    net.add("pool1", LayerSpec::Pool { max: true, kernel: 3, stride: 2, pad: 0 }, &[c1])
+    net.add(
+        "pool1",
+        LayerSpec::Pool {
+            max: true,
+            kernel: 3,
+            stride: 2,
+            pad: 0,
+        },
+        &[c1],
+    )
 }
 
 fn resnet_head(net: &mut NetworkDef, x: NodeId) {
@@ -95,11 +163,19 @@ fn resnet_head(net: &mut NetworkDef, x: NodeId) {
 pub fn resnet18(batch: usize) -> NetworkDef {
     let mut net = NetworkDef::new("ResNet-18", Shape4::new(batch, 3, 224, 224));
     let mut x = resnet_stem(&mut net);
-    for (stage, (channels, blocks)) in [(64, 2), (128, 2), (256, 2), (512, 2)].into_iter().enumerate()
+    for (stage, (channels, blocks)) in [(64, 2), (128, 2), (256, 2), (512, 2)]
+        .into_iter()
+        .enumerate()
     {
         for b in 0..blocks {
             let stride = if stage > 0 && b == 0 { 2 } else { 1 };
-            x = basic_block(&mut net, &format!("res{}.{b}", stage + 2), x, channels, stride);
+            x = basic_block(
+                &mut net,
+                &format!("res{}.{b}", stage + 2),
+                x,
+                channels,
+                stride,
+            );
         }
     }
     resnet_head(&mut net, x);
@@ -110,7 +186,10 @@ pub fn resnet18(batch: usize) -> NetworkDef {
 pub fn resnet50(batch: usize) -> NetworkDef {
     let mut net = NetworkDef::new("ResNet-50", Shape4::new(batch, 3, 224, 224));
     let mut x = resnet_stem(&mut net);
-    for (stage, (width, blocks)) in [(64, 3), (128, 4), (256, 6), (512, 3)].into_iter().enumerate() {
+    for (stage, (width, blocks)) in [(64, 3), (128, 4), (256, 6), (512, 3)]
+        .into_iter()
+        .enumerate()
+    {
         for b in 0..blocks {
             let stride = if stage > 0 && b == 0 { 2 } else { 1 };
             x = bottleneck_block(&mut net, &format!("res{}.{b}", stage + 2), x, width, stride);
@@ -127,7 +206,12 @@ pub fn densenet40(batch: usize, k: usize) -> NetworkDef {
     let mut net = NetworkDef::new(format!("DenseNet-40(k={k})"), Shape4::new(batch, 3, 32, 32));
     let mut x = net.add(
         "conv0",
-        LayerSpec::Conv { out_channels: 2 * k, kernel: 3, stride: 1, pad: 1 },
+        LayerSpec::Conv {
+            out_channels: 2 * k,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        },
         &[net.input()],
     );
     for block in 0..3 {
@@ -137,7 +221,12 @@ pub fn densenet40(batch: usize, k: usize) -> NetworkDef {
             let r = net.add(format!("{name}.relu"), LayerSpec::Relu, &[b]);
             let c = net.add(
                 format!("{name}.conv"),
-                LayerSpec::Conv { out_channels: k, kernel: 3, stride: 1, pad: 1 },
+                LayerSpec::Conv {
+                    out_channels: k,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
                 &[r],
             );
             x = net.add(format!("{name}.cat"), LayerSpec::Concat, &[x, c]);
@@ -149,12 +238,22 @@ pub fn densenet40(batch: usize, k: usize) -> NetworkDef {
             let r = net.add(format!("{name}.relu"), LayerSpec::Relu, &[b]);
             let c = net.add(
                 format!("{name}.conv"),
-                LayerSpec::Conv { out_channels: ch / 2, kernel: 1, stride: 1, pad: 0 },
+                LayerSpec::Conv {
+                    out_channels: ch / 2,
+                    kernel: 1,
+                    stride: 1,
+                    pad: 0,
+                },
                 &[r],
             );
             x = net.add(
                 format!("{name}.pool"),
-                LayerSpec::Pool { max: false, kernel: 2, stride: 2, pad: 0 },
+                LayerSpec::Pool {
+                    max: false,
+                    kernel: 2,
+                    stride: 2,
+                    pad: 0,
+                },
                 &[c],
             );
         }
@@ -175,7 +274,16 @@ pub fn inception_module(batch: usize) -> NetworkDef {
     let t3 = net.conv_relu("3x3", r3, 128, 3, 1, 1);
     let r5 = net.conv_relu("5x5.reduce", input, 16, 1, 1, 0);
     let t5 = net.conv_relu("5x5", r5, 32, 5, 1, 2);
-    let pp = net.add("pool", LayerSpec::Pool { max: true, kernel: 3, stride: 1, pad: 1 }, &[input]);
+    let pp = net.add(
+        "pool",
+        LayerSpec::Pool {
+            max: true,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        },
+        &[input],
+    );
     let tp = net.conv_relu("pool.proj", pp, 32, 1, 1, 0);
     net.add("concat", LayerSpec::Concat, &[t1, t3, t5, tp]);
     net
@@ -246,7 +354,11 @@ mod tests {
         assert_eq!(net.conv_layers().len(), 39);
         // Channel count grows by k per dense layer: after block 0,
         // 2k + 12k = 14k = 560 channels.
-        let cat11 = net.nodes().iter().position(|n| n.name == "dense0.11.cat").unwrap();
+        let cat11 = net
+            .nodes()
+            .iter()
+            .position(|n| n.name == "dense0.11.cat")
+            .unwrap();
         assert_eq!(net.output_shape(cat11).c, 14 * 40);
         // CIFAR spatial sizes: 32 → 16 → 8.
         let last = *net.conv_layers().last().unwrap();
@@ -264,7 +376,13 @@ mod tests {
     #[test]
     fn all_models_infer_shapes_at_any_batch() {
         for b in [1usize, 32] {
-            for net in [alexnet(b), resnet18(b), resnet50(b), densenet40(b, 12), inception_module(b)] {
+            for net in [
+                alexnet(b),
+                resnet18(b),
+                resnet50(b),
+                densenet40(b, 12),
+                inception_module(b),
+            ] {
                 for id in 0..net.len() {
                     let s = net.output_shape(id);
                     assert!(!s.is_empty(), "{}: empty shape at node {id}", net.name);

@@ -16,7 +16,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use ucudnn::{KernelKey, UcudnnHandle};
 use ucudnn_cudnn_sim::{
-    AlgoPreference, ConvAlgo, ConvOp, ConvolutionDescriptor, CudnnHandle, CudnnError,
+    AlgoPreference, ConvAlgo, ConvOp, ConvolutionDescriptor, CudnnError, CudnnHandle,
     FilterDescriptor, TensorDescriptor,
 };
 use ucudnn_tensor::ConvGeometry;
@@ -62,6 +62,21 @@ pub trait ConvProvider {
     /// Setup failures (no algorithm fits, optimizer failure, ...).
     fn setup(&self, op: ConvOp, g: &ConvGeometry) -> Result<(), ProviderError>;
 
+    /// Register a whole network's kernels in one call (the framework's
+    /// post-construction initialization hook). The default implementation
+    /// registers them one at a time through [`Self::setup`]; optimizing
+    /// providers override it to fan the per-kernel optimization over worker
+    /// threads ([`UcudnnHandle::optimize_network`]).
+    ///
+    /// # Errors
+    /// Setup failures for any kernel, in registration order.
+    fn prepare(&self, kernels: &[(ConvOp, ConvGeometry)]) -> Result<(), ProviderError> {
+        for (op, g) in kernels {
+            self.setup(*op, g)?;
+        }
+        Ok(())
+    }
+
     /// Signal that every kernel has been registered (triggers WD).
     ///
     /// # Errors
@@ -101,7 +116,12 @@ pub trait ConvProvider {
 
 fn descriptors(
     g: &ConvGeometry,
-) -> (TensorDescriptor, FilterDescriptor, ConvolutionDescriptor, TensorDescriptor) {
+) -> (
+    TensorDescriptor,
+    FilterDescriptor,
+    ConvolutionDescriptor,
+    TensorDescriptor,
+) {
     (
         TensorDescriptor::from_shape(g.input).expect("valid input shape"),
         FilterDescriptor::from_shape(g.filter).expect("valid filter shape"),
@@ -128,7 +148,11 @@ struct BaselineState {
 impl BaselineCudnn {
     /// Wrap a handle with a per-kernel workspace limit in bytes.
     pub fn new(handle: CudnnHandle, ws_limit: usize) -> Self {
-        Self { handle, ws_limit, state: Mutex::new(BaselineState::default()) }
+        Self {
+            handle,
+            ws_limit,
+            state: Mutex::new(BaselineState::default()),
+        }
     }
 
     /// The algorithm selected for a kernel (after `setup`).
@@ -177,18 +201,21 @@ impl ConvProvider for BaselineCudnn {
         }
         let algo = st.algos[&key];
         let st = &mut *st;
-        let ws = st.workspaces.get_mut(&key).expect("workspace allocated at setup");
+        let ws = st
+            .workspaces
+            .get_mut(&key)
+            .expect("workspace allocated at setup");
         let (xd, wd, cd, yd) = descriptors(g);
         match op {
-            ConvOp::Forward => {
-                self.handle.convolution_forward(alpha, &xd, a, &wd, b, &cd, algo, ws, beta, &yd, out)?
-            }
+            ConvOp::Forward => self
+                .handle
+                .convolution_forward(alpha, &xd, a, &wd, b, &cd, algo, ws, beta, &yd, out)?,
             ConvOp::BackwardData => self
                 .handle
                 .convolution_backward_data(alpha, &wd, b, &yd, a, &cd, algo, ws, beta, &xd, out)?,
-            ConvOp::BackwardFilter => self
-                .handle
-                .convolution_backward_filter(alpha, &xd, a, &yd, b, &cd, algo, ws, beta, &wd, out)?,
+            ConvOp::BackwardFilter => self.handle.convolution_backward_filter(
+                alpha, &xd, a, &yd, b, &cd, algo, ws, beta, &wd, out,
+            )?,
         }
         Ok(())
     }
@@ -198,7 +225,13 @@ impl ConvProvider for BaselineCudnn {
     }
 
     fn workspace_bytes(&self) -> usize {
-        4 * self.state.lock().workspaces.values().map(Vec::len).sum::<usize>()
+        4 * self
+            .state
+            .lock()
+            .workspaces
+            .values()
+            .map(Vec::len)
+            .sum::<usize>()
     }
 
     fn kernel_workspace_bytes(&self, op: ConvOp, g: &ConvGeometry) -> usize {
@@ -218,6 +251,15 @@ impl ConvProvider for UcudnnHandle {
         // The wrapper reports zero workspace; the framework "allocates" none.
         let bytes = self.get_workspace_size(op, &xd, &wd, &cd, algo)?;
         debug_assert_eq!(bytes, 0, "μ-cuDNN must request zero framework workspace");
+        Ok(())
+    }
+
+    fn prepare(&self, kernels: &[(ConvOp, ConvGeometry)]) -> Result<(), ProviderError> {
+        let keys: Vec<KernelKey> = kernels
+            .iter()
+            .map(|(op, g)| KernelKey::new(*op, g))
+            .collect();
+        self.optimize_network(&keys)?;
         Ok(())
     }
 
@@ -287,7 +329,9 @@ impl ConvProvider for UcudnnHandle {
     }
 
     fn kernel_workspace_bytes(&self, op: ConvOp, g: &ConvGeometry) -> usize {
-        self.plan(op, g).map(|p| p.config.workspace_bytes()).unwrap_or(0)
+        self.plan(op, g)
+            .map(|p| p.config.workspace_bytes())
+            .unwrap_or(0)
     }
 }
 
@@ -322,9 +366,14 @@ mod tests {
         let p = BaselineCudnn::new(CudnnHandle::simulated(p100_sxm2()), 64 * MIB);
         let g = conv2();
         p.setup(ConvOp::Forward, &g).unwrap();
-        p.execute(ConvOp::Forward, &g, &[], &[], &mut [], 1.0, 0.0).unwrap();
+        p.execute(ConvOp::Forward, &g, &[], &[], &mut [], 1.0, 0.0)
+            .unwrap();
         assert!(p.handle().elapsed_us() > 0.0);
-        assert_eq!(p.handle().kernels_launched(), 1, "baseline never micro-batches");
+        assert_eq!(
+            p.handle().kernels_launched(),
+            1,
+            "baseline never micro-batches"
+        );
     }
 
     #[test]
@@ -351,11 +400,15 @@ mod tests {
         let g = conv2();
         let base = BaselineCudnn::new(CudnnHandle::simulated(p100_sxm2()), 64 * MIB);
         base.setup(ConvOp::Forward, &g).unwrap();
-        base.execute(ConvOp::Forward, &g, &[], &[], &mut [], 1.0, 0.0).unwrap();
+        base.execute(ConvOp::Forward, &g, &[], &[], &mut [], 1.0, 0.0)
+            .unwrap();
 
         let mu = UcudnnHandle::new(
             CudnnHandle::simulated(p100_sxm2()),
-            ucudnn::UcudnnOptions { workspace_limit_bytes: 64 * MIB, ..Default::default() },
+            ucudnn::UcudnnOptions {
+                workspace_limit_bytes: 64 * MIB,
+                ..Default::default()
+            },
         );
         ConvProvider::setup(&mu, ConvOp::Forward, &g).unwrap();
         ConvProvider::execute(&mu, ConvOp::Forward, &g, &[], &[], &mut [], 1.0, 0.0).unwrap();

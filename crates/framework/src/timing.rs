@@ -38,7 +38,10 @@ impl TimeReport {
             "=== {} (batch {}) — avg over {} iteration(s) ===\n",
             self.network, self.batch, self.iterations
         ));
-        out.push_str(&format!("{:<22} {:>6} {:>12} {:>12}\n", "layer", "kind", "forward(us)", "backward(us)"));
+        out.push_str(&format!(
+            "{:<22} {:>6} {:>12} {:>12}\n",
+            "layer", "kind", "forward(us)", "backward(us)"
+        ));
         for l in &self.timing.layers {
             out.push_str(&format!(
                 "{:<22} {:>6} {:>12.1} {:>12.1}\n",

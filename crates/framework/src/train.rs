@@ -50,7 +50,13 @@ pub fn sgd_step(exec: &mut RealExecutor, grads: &[Params], lr: f32) {
                     *x -= lr * d;
                 }
             }
-            (Params::Bn { gamma, beta }, Params::Bn { gamma: gg, beta: gb }) => {
+            (
+                Params::Bn { gamma, beta },
+                Params::Bn {
+                    gamma: gg,
+                    beta: gb,
+                },
+            ) => {
                 for (x, d) in gamma.iter_mut().zip(gg) {
                     *x -= lr * d;
                 }
@@ -78,9 +84,14 @@ impl SyntheticDataset {
     /// `(1, C, H, W)` (pass the network input shape with `n = 1`).
     pub fn new(sample_shape: ucudnn_tensor::Shape4, classes: usize, seed: u64) -> Self {
         assert_eq!(sample_shape.n, 1, "template shape must have batch 1");
-        let templates =
-            (0..classes).map(|i| Tensor::random(sample_shape, seed ^ (i as u64 + 1))).collect();
-        Self { templates, rng: DeterministicRng::new(seed), classes }
+        let templates = (0..classes)
+            .map(|i| Tensor::random(sample_shape, seed ^ (i as u64 + 1)))
+            .collect();
+        Self {
+            templates,
+            rng: DeterministicRng::new(seed),
+            classes,
+        }
     }
 
     /// Draw a deterministic mini-batch of `n` (input, label) pairs.
@@ -137,7 +148,16 @@ mod tests {
     fn tiny_classifier(n: usize) -> NetworkDef {
         let mut net = NetworkDef::new("clf", Shape4::new(n, 2, 8, 8));
         let c1 = net.conv_relu("conv1", net.input(), 6, 3, 1, 1);
-        let p = net.add("pool", LayerSpec::Pool { max: true, kernel: 2, stride: 2, pad: 0 }, &[c1]);
+        let p = net.add(
+            "pool",
+            LayerSpec::Pool {
+                max: true,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[c1],
+        );
         let c2 = net.conv_relu("conv2", p, 8, 3, 1, 1);
         let gap = net.add("gap", LayerSpec::GlobalAvgPool, &[c2]);
         net.add("fc", LayerSpec::FullyConnected { out: 3 }, &[gap]);

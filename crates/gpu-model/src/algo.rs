@@ -1,6 +1,5 @@
 //! The cuDNN-level convolution algorithm identifiers.
 
-use serde::{Deserialize, Serialize};
 use ucudnn_tensor::ConvGeometry;
 
 /// Re-exported so callers don't need a direct `ucudnn-conv` dependency for
@@ -9,7 +8,7 @@ pub use ucudnn_conv::ConvOp;
 
 /// The eight convolution algorithms, mirroring
 /// `cudnnConvolutionFwdAlgo_t` and friends.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ConvAlgo {
     /// Implicit GEMM: no lowering, zero workspace.
     ImplicitGemm,
@@ -146,9 +145,21 @@ mod tests {
 
     #[test]
     fn fft_requires_unit_stride() {
-        assert!(algo_supported(ConvAlgo::Fft, ConvOp::Forward, &geom(4, 5, 2, 1)));
-        assert!(!algo_supported(ConvAlgo::Fft, ConvOp::Forward, &geom(4, 5, 2, 2)));
-        assert!(!algo_supported(ConvAlgo::FftTiling, ConvOp::Forward, &geom(4, 5, 2, 2)));
+        assert!(algo_supported(
+            ConvAlgo::Fft,
+            ConvOp::Forward,
+            &geom(4, 5, 2, 1)
+        ));
+        assert!(!algo_supported(
+            ConvAlgo::Fft,
+            ConvOp::Forward,
+            &geom(4, 5, 2, 2)
+        ));
+        assert!(!algo_supported(
+            ConvAlgo::FftTiling,
+            ConvOp::Forward,
+            &geom(4, 5, 2, 2)
+        ));
     }
 
     #[test]
@@ -166,15 +177,31 @@ mod tests {
     #[test]
     fn winograd_split_over_backward_filter() {
         let g = geom(4, 3, 1, 1);
-        assert!(!algo_supported(ConvAlgo::Winograd, ConvOp::BackwardFilter, &g));
-        assert!(algo_supported(ConvAlgo::WinogradNonfused, ConvOp::BackwardFilter, &g));
+        assert!(!algo_supported(
+            ConvAlgo::Winograd,
+            ConvOp::BackwardFilter,
+            &g
+        ));
+        assert!(algo_supported(
+            ConvAlgo::WinogradNonfused,
+            ConvOp::BackwardFilter,
+            &g
+        ));
         assert!(algo_supported(ConvAlgo::Winograd, ConvOp::Forward, &g));
         assert!(algo_supported(ConvAlgo::Winograd, ConvOp::BackwardData, &g));
     }
 
     #[test]
     fn winograd_is_3x3_only() {
-        assert!(!algo_supported(ConvAlgo::Winograd, ConvOp::Forward, &geom(4, 5, 2, 1)));
-        assert!(!algo_supported(ConvAlgo::WinogradNonfused, ConvOp::Forward, &geom(4, 5, 2, 1)));
+        assert!(!algo_supported(
+            ConvAlgo::Winograd,
+            ConvOp::Forward,
+            &geom(4, 5, 2, 1)
+        ));
+        assert!(!algo_supported(
+            ConvAlgo::WinogradNonfused,
+            ConvOp::Forward,
+            &geom(4, 5, 2, 1)
+        ));
     }
 }

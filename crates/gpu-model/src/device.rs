@@ -1,14 +1,12 @@
 //! Device cards for the GPUs in the paper's Table I.
 
-use serde::{Deserialize, Serialize};
-
 /// Static description of a GPU used by the analytic performance model.
 ///
 /// Values for the three built-in cards come from Table I of the paper
 /// (single-precision peak, memory capacity, memory bandwidth); the
 /// microarchitectural knobs (SM count, launch overhead) are taken from the
 /// public specifications of the same parts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Marketing name, e.g. "P100-SXM2".
     pub name: String,

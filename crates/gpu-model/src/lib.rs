@@ -32,17 +32,28 @@ pub struct KernelProfile {
 }
 
 /// Profile a single algorithm, or `None` when unsupported.
-pub fn profile(d: &DeviceSpec, algo: ConvAlgo, op: ConvOp, g: &ConvGeometry) -> Option<KernelProfile> {
+pub fn profile(
+    d: &DeviceSpec,
+    algo: ConvAlgo,
+    op: ConvOp,
+    g: &ConvGeometry,
+) -> Option<KernelProfile> {
     let time_us = kernel_time_us(d, algo, op, g)?;
     let workspace = workspace_bytes(algo, op, g)?;
-    Some(KernelProfile { algo, time_us, workspace_bytes: workspace })
+    Some(KernelProfile {
+        algo,
+        time_us,
+        workspace_bytes: workspace,
+    })
 }
 
 /// Profile every supported algorithm, sorted fastest first — the result of
 /// an exhaustive `Find` benchmark.
 pub fn enumerate(d: &DeviceSpec, op: ConvOp, g: &ConvGeometry) -> Vec<KernelProfile> {
-    let mut v: Vec<KernelProfile> =
-        ConvAlgo::ALL.iter().filter_map(|&a| profile(d, a, op, g)).collect();
+    let mut v: Vec<KernelProfile> = ConvAlgo::ALL
+        .iter()
+        .filter_map(|&a| profile(d, a, op, g))
+        .collect();
     v.sort_by(|a, b| a.time_us.total_cmp(&b.time_us));
     v
 }
@@ -58,7 +69,9 @@ pub fn fastest_within(
     g: &ConvGeometry,
     limit_bytes: usize,
 ) -> Option<KernelProfile> {
-    enumerate(d, op, g).into_iter().find(|p| p.workspace_bytes <= limit_bytes)
+    enumerate(d, op, g)
+        .into_iter()
+        .find(|p| p.workspace_bytes <= limit_bytes)
 }
 
 #[cfg(test)]
@@ -113,14 +126,26 @@ mod tests {
         // for conv2 — the situation μ-cuDNN fixes with micro-batching.
         let p = fastest_within(&p100_sxm2(), ConvOp::Forward, &conv2(), 64 * MIB).unwrap();
         assert!(
-            matches!(p.algo, ConvAlgo::Gemm | ConvAlgo::ImplicitPrecompGemm | ConvAlgo::ImplicitGemm),
+            matches!(
+                p.algo,
+                ConvAlgo::Gemm | ConvAlgo::ImplicitPrecompGemm | ConvAlgo::ImplicitGemm
+            ),
             "got {}",
             p.algo
         );
         // But a micro-batch of 32 unlocks FFT within the same limit.
-        let m = fastest_within(&p100_sxm2(), ConvOp::Forward, &conv2().with_batch(32), 64 * MIB)
-            .unwrap();
-        assert!(matches!(m.algo, ConvAlgo::Fft | ConvAlgo::FftTiling), "got {}", m.algo);
+        let m = fastest_within(
+            &p100_sxm2(),
+            ConvOp::Forward,
+            &conv2().with_batch(32),
+            64 * MIB,
+        )
+        .unwrap();
+        assert!(
+            matches!(m.algo, ConvAlgo::Fft | ConvAlgo::FftTiling),
+            "got {}",
+            m.algo
+        );
     }
 
     #[test]

@@ -112,12 +112,7 @@ fn algo_bytes(algo: ConvAlgo, op: ConvOp, g: &ConvGeometry) -> f64 {
 }
 
 /// Modeled execution time in microseconds, or `None` when unsupported.
-pub fn kernel_time_us(
-    d: &DeviceSpec,
-    algo: ConvAlgo,
-    op: ConvOp,
-    g: &ConvGeometry,
-) -> Option<f64> {
+pub fn kernel_time_us(d: &DeviceSpec, algo: ConvAlgo, op: ConvOp, g: &ConvGeometry) -> Option<f64> {
     if !algo_supported(algo, op, g) || g.input.n == 0 {
         return None;
     }
@@ -180,7 +175,10 @@ mod tests {
         let fft = kernel_time_us(&d, ConvAlgo::Fft, ConvOp::Forward, &conv2()).unwrap();
         assert!(fft < gemm, "fft {fft} must beat gemm {gemm}");
         let ratio = gemm / fft;
-        assert!(ratio > 1.5 && ratio < 6.0, "speedup {ratio} out of plausible range");
+        assert!(
+            ratio > 1.5 && ratio < 6.0,
+            "speedup {ratio} out of plausible range"
+        );
     }
 
     #[test]
@@ -210,7 +208,8 @@ mod tests {
         // 256 — poor occupancy plus launch overhead.
         let d = p100_sxm2();
         let full = kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &conv2()).unwrap() / 256.0;
-        let one = kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &conv2().with_batch(1)).unwrap();
+        let one =
+            kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &conv2().with_batch(1)).unwrap();
         assert!(one > 2.0 * full, "one-sample {one} vs per-sample {full}");
     }
 
@@ -239,14 +238,22 @@ mod tests {
     #[test]
     fn zero_batch_is_none() {
         let d = p100_sxm2();
-        assert!(kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &conv2().with_batch(0)).is_none());
+        assert!(
+            kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &conv2().with_batch(0)).is_none()
+        );
     }
 
     #[test]
     fn time_scales_roughly_linearly_in_batch_at_scale() {
         let d = p100_sxm2();
         let t256 = kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &conv2()).unwrap();
-        let t128 = kernel_time_us(&d, ConvAlgo::Gemm, ConvOp::Forward, &conv2().with_batch(128)).unwrap();
+        let t128 = kernel_time_us(
+            &d,
+            ConvAlgo::Gemm,
+            ConvOp::Forward,
+            &conv2().with_batch(128),
+        )
+        .unwrap();
         let ratio = t256 / t128;
         assert!(ratio > 1.8 && ratio < 2.2, "ratio {ratio}");
     }

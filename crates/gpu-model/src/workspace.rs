@@ -105,7 +105,10 @@ mod tests {
 
     #[test]
     fn implicit_gemm_is_free() {
-        assert_eq!(workspace_bytes(ConvAlgo::ImplicitGemm, ConvOp::Forward, &conv2()), Some(0));
+        assert_eq!(
+            workspace_bytes(ConvAlgo::ImplicitGemm, ConvOp::Forward, &conv2()),
+            Some(0)
+        );
     }
 
     #[test]
@@ -125,8 +128,16 @@ mod tests {
         let g = conv2();
         let w256 = workspace_bytes(ConvAlgo::Fft, ConvOp::Forward, &g).unwrap();
         let w32 = workspace_bytes(ConvAlgo::Fft, ConvOp::Forward, &g.with_batch(32)).unwrap();
-        assert!(w256 > 64 * MIB, "undivided FFT must exceed 64 MiB (got {} MiB)", w256 / MIB);
-        assert!(w32 <= 64 * MIB, "FFT @32 must fit in 64 MiB (got {} MiB)", w32 / MIB);
+        assert!(
+            w256 > 64 * MIB,
+            "undivided FFT must exceed 64 MiB (got {} MiB)",
+            w256 / MIB
+        );
+        assert!(
+            w32 <= 64 * MIB,
+            "FFT @32 must fit in 64 MiB (got {} MiB)",
+            w32 / MIB
+        );
         // Sub-linear scaling: the filter-spectrum term does not shrink.
         assert!(w32 > w256 / 8);
     }
@@ -148,8 +159,14 @@ mod tests {
             2,
             2,
         );
-        assert_eq!(workspace_bytes(ConvAlgo::Fft, ConvOp::Forward, &strided), None);
-        assert_eq!(workspace_bytes(ConvAlgo::Direct, ConvOp::Forward, &conv2()), None);
+        assert_eq!(
+            workspace_bytes(ConvAlgo::Fft, ConvOp::Forward, &strided),
+            None
+        );
+        assert_eq!(
+            workspace_bytes(ConvAlgo::Direct, ConvOp::Forward, &conv2()),
+            None
+        );
     }
 
     #[test]
@@ -160,9 +177,17 @@ mod tests {
             1,
             1,
         );
-        assert_eq!(workspace_bytes(ConvAlgo::Winograd, ConvOp::Forward, &g), Some(0));
+        assert_eq!(
+            workspace_bytes(ConvAlgo::Winograd, ConvOp::Forward, &g),
+            Some(0)
+        );
         let big = workspace_bytes(ConvAlgo::WinogradNonfused, ConvOp::Forward, &g).unwrap();
-        let small = workspace_bytes(ConvAlgo::WinogradNonfused, ConvOp::Forward, &g.with_batch(16)).unwrap();
+        let small = workspace_bytes(
+            ConvAlgo::WinogradNonfused,
+            ConvOp::Forward,
+            &g.with_batch(16),
+        )
+        .unwrap();
         assert!(small < big && small > big / 16);
     }
 
@@ -170,7 +195,8 @@ mod tests {
     fn backward_filter_fft_scales_fully_with_batch() {
         let g = conv2();
         let full = workspace_bytes(ConvAlgo::Fft, ConvOp::BackwardFilter, &g).unwrap();
-        let half = workspace_bytes(ConvAlgo::Fft, ConvOp::BackwardFilter, &g.with_batch(128)).unwrap();
+        let half =
+            workspace_bytes(ConvAlgo::Fft, ConvOp::BackwardFilter, &g.with_batch(128)).unwrap();
         // No fixed filter term for backward-filter: scaling is ~linear.
         let ratio = full as f64 / half as f64;
         assert!(ratio > 1.9 && ratio < 2.1, "ratio {ratio}");

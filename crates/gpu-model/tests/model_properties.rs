@@ -9,7 +9,15 @@ use ucudnn_gpu_model::{
 use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
 
 fn geometries() -> impl Strategy<Value = ConvGeometry> {
-    (2usize..=64, 1usize..=64, 6usize..=56, 1usize..=128, 1usize..=3, 0usize..=2, 1usize..=2)
+    (
+        2usize..=64,
+        1usize..=64,
+        6usize..=56,
+        1usize..=128,
+        1usize..=3,
+        0usize..=2,
+        1usize..=2,
+    )
         .prop_map(|(n, c, hw, k, half_r, pad, stride)| {
             let r = 2 * half_r - 1;
             ConvGeometry::with_square(

@@ -47,7 +47,11 @@ pub fn solve_binary(p: &IlpProblem) -> IlpSolution {
     let mut base = p.lp.clone();
     if p.add_binary_bounds {
         for v in 0..n {
-            base.constraints.push(Constraint { coeffs: vec![(v, 1.0)], cmp: Cmp::Le, rhs: 1.0 });
+            base.constraints.push(Constraint {
+                coeffs: vec![(v, 1.0)],
+                cmp: Cmp::Le,
+                rhs: 1.0,
+            });
         }
     }
 
@@ -111,8 +115,20 @@ pub fn solve_binary(p: &IlpProblem) -> IlpSolution {
     }
 
     match incumbent {
-        Some((x, objective)) => IlpSolution { status: IlpStatus::Optimal, x, objective, nodes, pivots },
-        None => IlpSolution { status: IlpStatus::Infeasible, x: vec![false; n], objective: 0.0, nodes, pivots },
+        Some((x, objective)) => IlpSolution {
+            status: IlpStatus::Optimal,
+            x,
+            objective,
+            nodes,
+            pivots,
+        },
+        None => IlpSolution {
+            status: IlpStatus::Infeasible,
+            x: vec![false; n],
+            objective: 0.0,
+            nodes,
+            pivots,
+        },
     }
 }
 
@@ -180,9 +196,21 @@ mod tests {
                 num_vars: 4,
                 objective: vec![10.0, 2.0, 8.0, 1.0],
                 constraints: vec![
-                    Constraint { coeffs: vec![(0, 1.0), (1, 1.0)], cmp: Cmp::Eq, rhs: 1.0 },
-                    Constraint { coeffs: vec![(2, 1.0), (3, 1.0)], cmp: Cmp::Eq, rhs: 1.0 },
-                    Constraint { coeffs: vec![(1, 8.0), (3, 6.0)], cmp: Cmp::Le, rhs: 10.0 },
+                    Constraint {
+                        coeffs: vec![(0, 1.0), (1, 1.0)],
+                        cmp: Cmp::Eq,
+                        rhs: 1.0,
+                    },
+                    Constraint {
+                        coeffs: vec![(2, 1.0), (3, 1.0)],
+                        cmp: Cmp::Eq,
+                        rhs: 1.0,
+                    },
+                    Constraint {
+                        coeffs: vec![(1, 8.0), (3, 6.0)],
+                        cmp: Cmp::Le,
+                        rhs: 10.0,
+                    },
                 ],
             },
             add_binary_bounds: false,
@@ -191,7 +219,11 @@ mod tests {
         assert_eq!(sol.status, IlpStatus::Optimal);
         // Budget admits only one fast config: B fast (ws 6) + A slow = 11,
         // or A fast (ws 8) + B slow = 10 → optimum 10.
-        assert!((sol.objective - 10.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 10.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert_eq!(sol.x, vec![false, true, true, false]);
     }
 
@@ -203,8 +235,16 @@ mod tests {
                 num_vars: 2,
                 objective: vec![1.0, 1.0],
                 constraints: vec![
-                    Constraint { coeffs: vec![(0, 1.0), (1, 1.0)], cmp: Cmp::Eq, rhs: 1.0 },
-                    Constraint { coeffs: vec![(0, 1.0), (1, 1.0)], cmp: Cmp::Ge, rhs: 2.0 },
+                    Constraint {
+                        coeffs: vec![(0, 1.0), (1, 1.0)],
+                        cmp: Cmp::Eq,
+                        rhs: 1.0,
+                    },
+                    Constraint {
+                        coeffs: vec![(0, 1.0), (1, 1.0)],
+                        cmp: Cmp::Ge,
+                        rhs: 2.0,
+                    },
                 ],
             },
             add_binary_bounds: true,
@@ -230,13 +270,20 @@ mod tests {
         let sol = solve_binary(&p);
         assert_eq!(sol.status, IlpStatus::Optimal);
         assert!((-sol.objective - 1.0).abs() < 1e-6);
-        assert!(sol.nodes >= 2, "LP optimum is fractional; branching required");
+        assert!(
+            sol.nodes >= 2,
+            "LP optimum is fractional; branching required"
+        );
     }
 
     #[test]
     fn zero_variable_problem() {
         let p = IlpProblem {
-            lp: LpProblem { num_vars: 0, objective: vec![], constraints: vec![] },
+            lp: LpProblem {
+                num_vars: 0,
+                objective: vec![],
+                constraints: vec![],
+            },
             add_binary_bounds: true,
         };
         let sol = solve_binary(&p);

@@ -47,11 +47,23 @@ impl MckInstance {
                 row.push((idx, 1.0));
                 idx += 1;
             }
-            constraints.push(Constraint { coeffs: row, cmp: Cmp::Eq, rhs: 1.0 });
+            constraints.push(Constraint {
+                coeffs: row,
+                cmp: Cmp::Eq,
+                rhs: 1.0,
+            });
         }
-        constraints.push(Constraint { coeffs: knapsack, cmp: Cmp::Le, rhs: self.capacity });
+        constraints.push(Constraint {
+            coeffs: knapsack,
+            cmp: Cmp::Le,
+            rhs: self.capacity,
+        });
         IlpProblem {
-            lp: LpProblem { num_vars, objective, constraints },
+            lp: LpProblem {
+                num_vars,
+                objective,
+                constraints,
+            },
             add_binary_bounds: false,
         }
     }
@@ -135,9 +147,8 @@ mod tests {
         let (ce, ve) = inst.solve_exhaustive().unwrap();
         assert!((vi - ve).abs() < 1e-9, "ilp {vi} vs exhaustive {ve}");
         // Both must be feasible selections of equal cost (tie-breaks may differ).
-        let cost_of = |ch: &[usize]| -> f64 {
-            inst.groups.iter().zip(ch).map(|(g, &j)| g[j].cost).sum()
-        };
+        let cost_of =
+            |ch: &[usize]| -> f64 { inst.groups.iter().zip(ch).map(|(g, &j)| g[j].cost).sum() };
         assert!((cost_of(&ci) - cost_of(&ce)).abs() < 1e-9);
     }
 

@@ -218,7 +218,12 @@ pub fn solve(p: &LpProblem) -> LpSolution {
     // Phase-1 optimum is -z1[rhs]; infeasible when positive.
     let phase1 = -z1[cols - 1];
     if phase1 > 1e-6 {
-        return LpSolution { status: LpStatus::Infeasible, x: vec![0.0; n], objective: 0.0, pivots: t.pivots };
+        return LpSolution {
+            status: LpStatus::Infeasible,
+            x: vec![0.0; n],
+            objective: 0.0,
+            pivots: t.pivots,
+        };
     }
     // Drive any artificial still in the basis out (degenerate rows).
     for r in 0..m {
@@ -249,7 +254,12 @@ pub fn solve(p: &LpProblem) -> LpSolution {
         z2[n + num_slack + r] = f64::INFINITY;
     }
     if !t.optimize(&mut z2, n + num_slack) {
-        return LpSolution { status: LpStatus::Unbounded, x: vec![0.0; n], objective: f64::NEG_INFINITY, pivots: t.pivots };
+        return LpSolution {
+            status: LpStatus::Unbounded,
+            x: vec![0.0; n],
+            objective: f64::NEG_INFINITY,
+            pivots: t.pivots,
+        };
     }
 
     let mut x = vec![0.0; n];
@@ -259,7 +269,12 @@ pub fn solve(p: &LpProblem) -> LpSolution {
         }
     }
     let objective = p.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
-    LpSolution { status: LpStatus::Optimal, x, objective, pivots: t.pivots }
+    LpSolution {
+        status: LpStatus::Optimal,
+        x,
+        objective,
+        pivots: t.pivots,
+    }
 }
 
 #[cfg(test)]
@@ -267,7 +282,11 @@ mod tests {
     use super::*;
 
     fn c(coeffs: &[(usize, f64)], cmp: Cmp, rhs: f64) -> Constraint {
-        Constraint { coeffs: coeffs.to_vec(), cmp, rhs }
+        Constraint {
+            coeffs: coeffs.to_vec(),
+            cmp,
+            rhs,
+        }
     }
 
     #[test]
@@ -375,8 +394,15 @@ mod tests {
         };
         let s = solve(&p);
         assert_eq!(s.status, LpStatus::Optimal);
-        let frac = s.x.iter().filter(|v| v.fract().abs() > 1e-6 && (1.0 - v.fract()).abs() > 1e-6).count();
-        assert!(frac <= 2, "MCK relaxation should be near-integral, got {:?}", s.x);
+        let frac =
+            s.x.iter()
+                .filter(|v| v.fract().abs() > 1e-6 && (1.0 - v.fract()).abs() > 1e-6)
+                .count();
+        assert!(
+            frac <= 2,
+            "MCK relaxation should be near-integral, got {:?}",
+            s.x
+        );
         // Objective must be <= any integral solution; best integral is 2+8=10
         // (A fast + B slow) or 10+1=11; LP can mix: must be <= 10.
         assert!(s.objective <= 10.0 + 1e-6);

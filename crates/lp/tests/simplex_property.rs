@@ -24,8 +24,16 @@ fn small_lp() -> impl Strategy<Value = LpProblem> {
                 })
                 // Keep the region bounded so minimization cannot diverge.
                 .chain([
-                    Constraint { coeffs: vec![(0, 1.0)], cmp: Cmp::Le, rhs: 10.0 },
-                    Constraint { coeffs: vec![(1, 1.0)], cmp: Cmp::Le, rhs: 10.0 },
+                    Constraint {
+                        coeffs: vec![(0, 1.0)],
+                        cmp: Cmp::Le,
+                        rhs: 10.0,
+                    },
+                    Constraint {
+                        coeffs: vec![(1, 1.0)],
+                        cmp: Cmp::Le,
+                        rhs: 10.0,
+                    },
                 ])
                 .collect(),
         })

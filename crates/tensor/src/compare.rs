@@ -9,7 +9,11 @@ use crate::tensor::Tensor;
 /// # Panics
 /// Panics when shapes differ.
 pub fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
-    assert_eq!(a.shape(), b.shape(), "comparing tensors of different shapes");
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "comparing tensors of different shapes"
+    );
     a.as_slice()
         .iter()
         .zip(b.as_slice())
@@ -20,7 +24,11 @@ pub fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
 /// Largest relative elementwise difference, with an absolute floor of 1.0 in
 /// the denominator so near-zero entries do not blow up the metric.
 pub fn max_rel_diff(a: &Tensor, b: &Tensor) -> f32 {
-    assert_eq!(a.shape(), b.shape(), "comparing tensors of different shapes");
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "comparing tensors of different shapes"
+    );
     a.as_slice()
         .iter()
         .zip(b.as_slice())

@@ -1,9 +1,7 @@
 //! Shape types: activation shapes, filter shapes, and convolution geometry.
 
-use serde::{Deserialize, Serialize};
-
 /// Shape of an activation tensor in NCHW order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Shape4 {
     /// Mini-batch size.
     pub n: usize,
@@ -62,7 +60,7 @@ impl core::fmt::Display for Shape4 {
 }
 
 /// Shape of a convolution filter bank in KCRS order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FilterShape {
     /// Number of output channels (filters).
     pub k: usize,
@@ -118,7 +116,7 @@ impl core::fmt::Display for FilterShape {
 /// Full geometry of a 2-D cross-correlation: input shape, filter shape,
 /// padding and stride. This is the unit the optimizer reasons about — every
 /// cuDNN-style descriptor triple collapses to one of these.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvGeometry {
     /// Input activation shape (N, C, H, W).
     pub input: Shape4,
@@ -162,7 +160,14 @@ impl ConvGeometry {
             filter.r,
             filter.s
         );
-        Self { input, filter, pad_h, pad_w, stride_h, stride_w }
+        Self {
+            input,
+            filter,
+            pad_h,
+            pad_w,
+            stride_h,
+            stride_w,
+        }
     }
 
     /// Convenience constructor with square padding/stride.
@@ -187,7 +192,10 @@ impl ConvGeometry {
 
     /// The same geometry with a different batch size: micro-batch geometry.
     pub fn with_batch(&self, n: usize) -> Self {
-        Self { input: self.input.with_batch(n), ..*self }
+        Self {
+            input: self.input.with_batch(n),
+            ..*self
+        }
     }
 
     /// Mini-batch size of this geometry.
@@ -276,12 +284,8 @@ mod tests {
 
     #[test]
     fn conv_geometry_flops_match_loop_nest() {
-        let g = ConvGeometry::with_square(
-            Shape4::new(2, 3, 8, 8),
-            FilterShape::new(4, 3, 3, 3),
-            1,
-            1,
-        );
+        let g =
+            ConvGeometry::with_square(Shape4::new(2, 3, 8, 8), FilterShape::new(4, 3, 3, 3), 1, 1);
         // N*K*Ho*Wo*C*R*S MACs.
         assert_eq!(g.macs(), (2 * 4 * 8 * 8 * 3 * 3 * 3) as u128);
         assert_eq!(g.flops(), 2 * g.macs());

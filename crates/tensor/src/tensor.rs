@@ -17,12 +17,18 @@ pub struct Tensor {
 impl Tensor {
     /// Allocate a zero-filled tensor.
     pub fn zeros(shape: Shape4) -> Self {
-        Self { shape, data: vec![0.0; shape.len()] }
+        Self {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
     }
 
     /// Allocate a tensor filled with a constant.
     pub fn full(shape: Shape4, value: f32) -> Self {
-        Self { shape, data: vec![value; shape.len()] }
+        Self {
+            shape,
+            data: vec![value; shape.len()],
+        }
     }
 
     /// Build a tensor from an existing buffer.
@@ -38,7 +44,9 @@ impl Tensor {
     /// runs and platforms (used instead of dataset pixels; see DESIGN.md).
     pub fn random(shape: Shape4, seed: u64) -> Self {
         let mut rng = DeterministicRng::new(seed);
-        let data = (0..shape.len()).map(|_| rng.next_uniform() * 2.0 - 1.0).collect();
+        let data = (0..shape.len())
+            .map(|_| rng.next_uniform() * 2.0 - 1.0)
+            .collect();
         Self { shape, data }
     }
 
@@ -80,14 +88,22 @@ impl Tensor {
     /// # Panics
     /// Panics when `lo > hi` or `hi` exceeds the batch size.
     pub fn batch_slice(&self, lo: usize, hi: usize) -> &[f32] {
-        assert!(lo <= hi && hi <= self.shape.n, "batch range {lo}..{hi} out of 0..{}", self.shape.n);
+        assert!(
+            lo <= hi && hi <= self.shape.n,
+            "batch range {lo}..{hi} out of 0..{}",
+            self.shape.n
+        );
         let s = self.shape.sample_len();
         &self.data[lo * s..hi * s]
     }
 
     /// Contiguous mutable view of samples `[lo, hi)`.
     pub fn batch_slice_mut(&mut self, lo: usize, hi: usize) -> &mut [f32] {
-        assert!(lo <= hi && hi <= self.shape.n, "batch range {lo}..{hi} out of 0..{}", self.shape.n);
+        assert!(
+            lo <= hi && hi <= self.shape.n,
+            "batch range {lo}..{hi} out of 0..{}",
+            self.shape.n
+        );
         let s = self.shape.sample_len();
         &mut self.data[lo * s..hi * s]
     }

@@ -5,7 +5,8 @@ use proptest::prelude::*;
 use ucudnn_tensor::{max_abs_diff, DeterministicRng, Shape4, Tensor};
 
 fn shapes() -> impl Strategy<Value = Shape4> {
-    (1usize..=8, 1usize..=8, 1usize..=8, 1usize..=8).prop_map(|(n, c, h, w)| Shape4::new(n, c, h, w))
+    (1usize..=8, 1usize..=8, 1usize..=8, 1usize..=8)
+        .prop_map(|(n, c, h, w)| Shape4::new(n, c, h, w))
 }
 
 proptest! {

@@ -27,7 +27,10 @@ fn main() {
     let ws_mib: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(64);
     let batch: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(256);
     let net = alexnet(batch);
-    println!("AlexNet, batch {batch}, {} — workspace limit {ws_mib} MiB/kernel\n", dev.name);
+    println!(
+        "AlexNet, batch {batch}, {} — workspace limit {ws_mib} MiB/kernel\n",
+        dev.name
+    );
 
     // Plain cuDNN: per-layer algorithm under SPECIFY_WORKSPACE_LIMIT.
     let base = BaselineCudnn::new(CudnnHandle::simulated(dev.clone()), ws_mib * MIB);

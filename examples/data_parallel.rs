@@ -37,7 +37,10 @@ fn print_curve(label: &str, pts: &[ScalingPoint]) {
 fn main() {
     let cluster = ClusterSpec::dgx1_like();
     let global = 512usize;
-    println!("AlexNet, global batch {global}, up to {} P100s, 64 MiB workspace/kernel", cluster.gpus);
+    println!(
+        "AlexNet, global batch {global}, up to {} P100s, 64 MiB workspace/kernel",
+        cluster.gpus
+    );
 
     let base = strong_scaling(
         alexnet,

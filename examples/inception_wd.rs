@@ -15,7 +15,10 @@ use ucudnn_gpu_model::p100_sxm2;
 const MIB: usize = 1024 * 1024;
 
 fn main() {
-    let total_mib: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(96);
+    let total_mib: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(96);
     let net = inception_module(128);
     let kernels: usize = net
         .conv_layers()
@@ -48,7 +51,12 @@ fn main() {
     let tm = time_iteration(&mu, &net).unwrap();
 
     let plan = mu.wd_plan().unwrap();
-    println!("WD division ({} ILP variables, {} B&B nodes, {:.2} ms solve):", plan.ilp_variables, plan.ilp_nodes, plan.ilp_solve_us / 1000.0);
+    println!(
+        "WD division ({} ILP variables, {} B&B nodes, {:.2} ms solve):",
+        plan.ilp_variables,
+        plan.ilp_nodes,
+        plan.ilp_solve_us / 1000.0
+    );
     for a in &plan.assignments {
         println!(
             "  {:<36} {:>7.1} MiB  {}",

@@ -9,15 +9,22 @@
 
 use ucudnn::{BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions};
 use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
-use ucudnn_framework::{
-    BaselineCudnn, ConvProvider, LayerSpec, NetworkDef, Params, RealExecutor,
-};
+use ucudnn_framework::{BaselineCudnn, ConvProvider, LayerSpec, NetworkDef, Params, RealExecutor};
 use ucudnn_tensor::{max_rel_diff, Shape4, Tensor};
 
 fn small_cnn(batch: usize) -> NetworkDef {
     let mut net = NetworkDef::new("small-cnn", Shape4::new(batch, 3, 16, 16));
     let c1 = net.conv_bn_relu("conv1", net.input(), 8, 3, 1, 1);
-    let p1 = net.add("pool1", LayerSpec::Pool { max: true, kernel: 2, stride: 2, pad: 0 }, &[c1]);
+    let p1 = net.add(
+        "pool1",
+        LayerSpec::Pool {
+            max: true,
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+        },
+        &[c1],
+    );
     let c2 = net.conv_relu("conv2", p1, 16, 5, 1, 2);
     let c3 = net.conv_relu("conv3", c2, 16, 3, 1, 1);
     let gap = net.add("gap", LayerSpec::GlobalAvgPool, &[c3]);
@@ -59,9 +66,11 @@ fn main() {
             println!("  {:<8} {}", net.nodes()[id].name, plan.config);
         }
     }
-    println!("({} kernels launched vs {} undivided)", mu.inner().kernels_launched(), {
-        base.handle().kernels_launched()
-    });
+    println!(
+        "({} kernels launched vs {} undivided)",
+        mu.inner().kernels_launched(),
+        { base.handle().kernels_launched() }
+    );
 
     // Compare everything.
     let out_diff = max_rel_diff(&acts_ref[last], &acts_mu[last]);

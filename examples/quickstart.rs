@@ -37,13 +37,19 @@ fn main() {
 
     // 4. Ask for an algorithm. μ-cuDNN optimizes the micro-batch division
     //    behind this call and reports zero required workspace.
-    let algo = handle.get_algorithm(ConvOp::Forward, &x, &w, &conv).unwrap();
-    let ws = handle.get_workspace_size(ConvOp::Forward, &x, &w, &conv, algo).unwrap();
+    let algo = handle
+        .get_algorithm(ConvOp::Forward, &x, &w, &conv)
+        .unwrap();
+    let ws = handle
+        .get_workspace_size(ConvOp::Forward, &x, &w, &conv, algo)
+        .unwrap();
     assert_eq!(ws, 0);
 
     // 5. Inspect the installed plan.
     let g = conv.geometry(&x, &w).unwrap();
-    let plan = handle.plan(ConvOp::Forward, &g).expect("plan installed by get_algorithm");
+    let plan = handle
+        .plan(ConvOp::Forward, &g)
+        .expect("plan installed by get_algorithm");
     println!("conv2 plan under 64 MiB: {}", plan.config);
     println!(
         "  total time {:.3} ms, resident workspace {:.1} MiB",
@@ -65,7 +71,9 @@ fn main() {
 
     // Compare with what plain cuDNN would have done under the same limit.
     let baseline = CudnnHandle::simulated(p100_sxm2());
-    let perfs = baseline.find_algorithms(ConvOp::Forward, &x, &w, &conv).unwrap();
+    let perfs = baseline
+        .find_algorithms(ConvOp::Forward, &x, &w, &conv)
+        .unwrap();
     let fallback = perfs.iter().find(|p| p.memory_bytes <= 64 * MIB).unwrap();
     println!(
         "plain cuDNN at 64 MiB: {} in {:.3} ms -> micro-batching is {:.2}x faster",

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ilp-0f562010b88bc06c.d: crates/bench/src/bin/ablation_ilp.rs
+
+/root/repo/target/release/deps/ablation_ilp-0f562010b88bc06c: crates/bench/src/bin/ablation_ilp.rs
+
+crates/bench/src/bin/ablation_ilp.rs:

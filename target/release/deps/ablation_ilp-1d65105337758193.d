@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ilp-1d65105337758193.d: crates/bench/src/bin/ablation_ilp.rs
+
+/root/repo/target/release/deps/ablation_ilp-1d65105337758193: crates/bench/src/bin/ablation_ilp.rs
+
+crates/bench/src/bin/ablation_ilp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_ilp-36b06871b4023266.d: crates/bench/src/bin/ablation_ilp.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_ilp-36b06871b4023266.rmeta: crates/bench/src/bin/ablation_ilp.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ilp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

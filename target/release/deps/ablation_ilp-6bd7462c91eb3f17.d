@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_ilp-6bd7462c91eb3f17.d: crates/bench/src/bin/ablation_ilp.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_ilp-6bd7462c91eb3f17.rmeta: crates/bench/src/bin/ablation_ilp.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ilp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ilp-7ac3739586454b69.d: crates/bench/src/bin/ablation_ilp.rs
+
+/root/repo/target/release/deps/ablation_ilp-7ac3739586454b69: crates/bench/src/bin/ablation_ilp.rs
+
+crates/bench/src/bin/ablation_ilp.rs:

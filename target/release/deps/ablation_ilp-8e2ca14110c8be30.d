@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ilp-8e2ca14110c8be30.d: crates/bench/src/bin/ablation_ilp.rs
+
+/root/repo/target/release/deps/ablation_ilp-8e2ca14110c8be30: crates/bench/src/bin/ablation_ilp.rs
+
+crates/bench/src/bin/ablation_ilp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_ilp-a2b7787b6e5f2ee3.d: crates/bench/src/bin/ablation_ilp.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_ilp-a2b7787b6e5f2ee3.rmeta: crates/bench/src/bin/ablation_ilp.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ilp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_ilp-fb5b96e85a8fdf0e.d: crates/bench/src/bin/ablation_ilp.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_ilp-fb5b96e85a8fdf0e.rmeta: crates/bench/src/bin/ablation_ilp.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ilp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

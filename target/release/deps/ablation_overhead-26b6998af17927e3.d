@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_overhead-26b6998af17927e3.d: crates/bench/src/bin/ablation_overhead.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_overhead-26b6998af17927e3.rmeta: crates/bench/src/bin/ablation_overhead.rs Cargo.toml
+
+crates/bench/src/bin/ablation_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_overhead-3feef56fcd56310a.d: crates/bench/src/bin/ablation_overhead.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_overhead-3feef56fcd56310a.rmeta: crates/bench/src/bin/ablation_overhead.rs Cargo.toml
+
+crates/bench/src/bin/ablation_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

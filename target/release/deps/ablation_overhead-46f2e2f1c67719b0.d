@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_overhead-46f2e2f1c67719b0.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/release/deps/ablation_overhead-46f2e2f1c67719b0: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_overhead-918f08d8ca62e407.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/release/deps/ablation_overhead-918f08d8ca62e407: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_overhead-a00cf2d1f1b7c24a.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/release/deps/ablation_overhead-a00cf2d1f1b7c24a: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_overhead-cda32df1da6d5c4c.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/release/deps/ablation_overhead-cda32df1da6d5c4c: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_overhead-e9d071d56cdfcf21.d: crates/bench/src/bin/ablation_overhead.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_overhead-e9d071d56cdfcf21.rmeta: crates/bench/src/bin/ablation_overhead.rs Cargo.toml
+
+crates/bench/src/bin/ablation_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

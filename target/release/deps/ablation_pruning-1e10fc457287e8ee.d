@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_pruning-1e10fc457287e8ee.d: crates/bench/src/bin/ablation_pruning.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_pruning-1e10fc457287e8ee.rmeta: crates/bench/src/bin/ablation_pruning.rs Cargo.toml
+
+crates/bench/src/bin/ablation_pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pruning-5dd833113c6530b5.d: crates/bench/src/bin/ablation_pruning.rs
+
+/root/repo/target/release/deps/ablation_pruning-5dd833113c6530b5: crates/bench/src/bin/ablation_pruning.rs
+
+crates/bench/src/bin/ablation_pruning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pruning-679a5c725392c57f.d: crates/bench/src/bin/ablation_pruning.rs
+
+/root/repo/target/release/deps/ablation_pruning-679a5c725392c57f: crates/bench/src/bin/ablation_pruning.rs
+
+crates/bench/src/bin/ablation_pruning.rs:

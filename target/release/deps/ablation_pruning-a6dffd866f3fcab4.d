@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pruning-a6dffd866f3fcab4.d: crates/bench/src/bin/ablation_pruning.rs
+
+/root/repo/target/release/deps/ablation_pruning-a6dffd866f3fcab4: crates/bench/src/bin/ablation_pruning.rs
+
+crates/bench/src/bin/ablation_pruning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_pruning-a92371600d66b4fa.d: crates/bench/src/bin/ablation_pruning.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_pruning-a92371600d66b4fa.rmeta: crates/bench/src/bin/ablation_pruning.rs Cargo.toml
+
+crates/bench/src/bin/ablation_pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_pruning-ec8e4c7fcce77092.d: crates/bench/src/bin/ablation_pruning.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_pruning-ec8e4c7fcce77092.rmeta: crates/bench/src/bin/ablation_pruning.rs Cargo.toml
+
+crates/bench/src/bin/ablation_pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

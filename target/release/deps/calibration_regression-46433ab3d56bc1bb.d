@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibration_regression-46433ab3d56bc1bb.d: tests/calibration_regression.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibration_regression-46433ab3d56bc1bb.rmeta: tests/calibration_regression.rs Cargo.toml
+
+tests/calibration_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

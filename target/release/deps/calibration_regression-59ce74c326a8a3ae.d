@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration_regression-59ce74c326a8a3ae.d: tests/calibration_regression.rs
+
+/root/repo/target/release/deps/calibration_regression-59ce74c326a8a3ae: tests/calibration_regression.rs
+
+tests/calibration_regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration_regression-f2387088ad068fe7.d: tests/calibration_regression.rs
+
+/root/repo/target/release/deps/calibration_regression-f2387088ad068fe7: tests/calibration_regression.rs
+
+tests/calibration_regression.rs:

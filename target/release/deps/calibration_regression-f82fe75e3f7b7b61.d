@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibration_regression-f82fe75e3f7b7b61.d: tests/calibration_regression.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibration_regression-f82fe75e3f7b7b61.rmeta: tests/calibration_regression.rs Cargo.toml
+
+tests/calibration_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrent_cache-2fcaaea441163688.d: crates/core/tests/concurrent_cache.rs
+
+/root/repo/target/release/deps/concurrent_cache-2fcaaea441163688: crates/core/tests/concurrent_cache.rs
+
+crates/core/tests/concurrent_cache.rs:

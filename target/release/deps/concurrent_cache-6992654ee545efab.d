@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrent_cache-6992654ee545efab.d: crates/core/tests/concurrent_cache.rs
+
+/root/repo/target/release/deps/concurrent_cache-6992654ee545efab: crates/core/tests/concurrent_cache.rs
+
+crates/core/tests/concurrent_cache.rs:

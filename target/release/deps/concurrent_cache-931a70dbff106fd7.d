@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/concurrent_cache-931a70dbff106fd7.d: crates/core/tests/concurrent_cache.rs Cargo.toml
+
+/root/repo/target/release/deps/libconcurrent_cache-931a70dbff106fd7.rmeta: crates/core/tests/concurrent_cache.rs Cargo.toml
+
+crates/core/tests/concurrent_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/conv_kernels-451e53e7d1f5804b.d: crates/bench/benches/conv_kernels.rs Cargo.toml
+
+/root/repo/target/release/deps/libconv_kernels-451e53e7d1f5804b.rmeta: crates/bench/benches/conv_kernels.rs Cargo.toml
+
+crates/bench/benches/conv_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

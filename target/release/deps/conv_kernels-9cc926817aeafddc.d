@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conv_kernels-9cc926817aeafddc.d: crates/bench/benches/conv_kernels.rs
+
+/root/repo/target/release/deps/conv_kernels-9cc926817aeafddc: crates/bench/benches/conv_kernels.rs
+
+crates/bench/benches/conv_kernels.rs:

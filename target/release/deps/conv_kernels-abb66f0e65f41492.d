@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conv_kernels-abb66f0e65f41492.d: crates/bench/benches/conv_kernels.rs
+
+/root/repo/target/release/deps/conv_kernels-abb66f0e65f41492: crates/bench/benches/conv_kernels.rs
+
+crates/bench/benches/conv_kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/conv_kernels-af0bd16f1b4fa25a.d: crates/bench/benches/conv_kernels.rs Cargo.toml
+
+/root/repo/target/release/deps/libconv_kernels-af0bd16f1b4fa25a.rmeta: crates/bench/benches/conv_kernels.rs Cargo.toml
+
+crates/bench/benches/conv_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/conv_property-0efc705d6003eb6e.d: tests/conv_property.rs Cargo.toml
+
+/root/repo/target/release/deps/libconv_property-0efc705d6003eb6e.rmeta: tests/conv_property.rs Cargo.toml
+
+tests/conv_property.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conv_property-1cf7244449e19b1f.d: tests/conv_property.rs
+
+/root/repo/target/release/deps/conv_property-1cf7244449e19b1f: tests/conv_property.rs
+
+tests/conv_property.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conv_property-79aa8b1a1c4704d7.d: tests/conv_property.rs
+
+/root/repo/target/release/deps/conv_property-79aa8b1a1c4704d7: tests/conv_property.rs
+
+tests/conv_property.rs:

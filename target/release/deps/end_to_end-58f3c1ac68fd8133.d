@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-58f3c1ac68fd8133.d: crates/bench/benches/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-58f3c1ac68fd8133: crates/bench/benches/end_to_end.rs
+
+crates/bench/benches/end_to_end.rs:

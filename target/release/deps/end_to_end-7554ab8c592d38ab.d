@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-7554ab8c592d38ab.d: crates/bench/benches/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-7554ab8c592d38ab: crates/bench/benches/end_to_end.rs
+
+crates/bench/benches/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/end_to_end-86882153540d7245.d: crates/bench/benches/end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/libend_to_end-86882153540d7245.rmeta: crates/bench/benches/end_to_end.rs Cargo.toml
+
+crates/bench/benches/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/end_to_end-da0fa1386d8af0b3.d: crates/bench/benches/end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/libend_to_end-da0fa1386d8af0b3.rmeta: crates/bench/benches/end_to_end.rs Cargo.toml
+
+crates/bench/benches/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/end_to_end_equivalence-15c8d0f0547fc98c.d: tests/end_to_end_equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libend_to_end_equivalence-15c8d0f0547fc98c.rmeta: tests/end_to_end_equivalence.rs Cargo.toml
+
+tests/end_to_end_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_equivalence-4282dfdddd24658f.d: tests/end_to_end_equivalence.rs
+
+/root/repo/target/release/deps/end_to_end_equivalence-4282dfdddd24658f: tests/end_to_end_equivalence.rs
+
+tests/end_to_end_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_equivalence-b4c49c046227420f.d: tests/end_to_end_equivalence.rs
+
+/root/repo/target/release/deps/end_to_end_equivalence-b4c49c046227420f: tests/end_to_end_equivalence.rs
+
+tests/end_to_end_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/explore-1b02acb0d4ca1f54.d: crates/bench/src/bin/explore.rs Cargo.toml
+
+/root/repo/target/release/deps/libexplore-1b02acb0d4ca1f54.rmeta: crates/bench/src/bin/explore.rs Cargo.toml
+
+crates/bench/src/bin/explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

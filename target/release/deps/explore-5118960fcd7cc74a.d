@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/explore-5118960fcd7cc74a.d: crates/bench/src/bin/explore.rs Cargo.toml
+
+/root/repo/target/release/deps/libexplore-5118960fcd7cc74a.rmeta: crates/bench/src/bin/explore.rs Cargo.toml
+
+crates/bench/src/bin/explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explore-5de31542f30c21ba.d: crates/bench/src/bin/explore.rs
+
+/root/repo/target/release/deps/explore-5de31542f30c21ba: crates/bench/src/bin/explore.rs
+
+crates/bench/src/bin/explore.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/explore-652685d4a9dee62e.d: crates/bench/src/bin/explore.rs Cargo.toml
+
+/root/repo/target/release/deps/libexplore-652685d4a9dee62e.rmeta: crates/bench/src/bin/explore.rs Cargo.toml
+
+crates/bench/src/bin/explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

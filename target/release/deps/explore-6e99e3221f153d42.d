@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explore-6e99e3221f153d42.d: crates/bench/src/bin/explore.rs
+
+/root/repo/target/release/deps/explore-6e99e3221f153d42: crates/bench/src/bin/explore.rs
+
+crates/bench/src/bin/explore.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/explore-75646e0b3788e5b0.d: crates/bench/src/bin/explore.rs Cargo.toml
+
+/root/repo/target/release/deps/libexplore-75646e0b3788e5b0.rmeta: crates/bench/src/bin/explore.rs Cargo.toml
+
+crates/bench/src/bin/explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explore-8faf3c007880ab81.d: crates/bench/src/bin/explore.rs
+
+/root/repo/target/release/deps/explore-8faf3c007880ab81: crates/bench/src/bin/explore.rs
+
+crates/bench/src/bin/explore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explore-e8617996343f1dd6.d: crates/bench/src/bin/explore.rs
+
+/root/repo/target/release/deps/explore-e8617996343f1dd6: crates/bench/src/bin/explore.rs
+
+crates/bench/src/bin/explore.rs:

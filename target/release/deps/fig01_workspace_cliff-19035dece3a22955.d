@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_workspace_cliff-19035dece3a22955.d: crates/bench/src/bin/fig01_workspace_cliff.rs
+
+/root/repo/target/release/deps/fig01_workspace_cliff-19035dece3a22955: crates/bench/src/bin/fig01_workspace_cliff.rs
+
+crates/bench/src/bin/fig01_workspace_cliff.rs:

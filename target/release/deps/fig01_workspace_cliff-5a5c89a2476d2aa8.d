@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_workspace_cliff-5a5c89a2476d2aa8.d: crates/bench/src/bin/fig01_workspace_cliff.rs
+
+/root/repo/target/release/deps/fig01_workspace_cliff-5a5c89a2476d2aa8: crates/bench/src/bin/fig01_workspace_cliff.rs
+
+crates/bench/src/bin/fig01_workspace_cliff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig01_workspace_cliff-7341ea4784376eb0.d: crates/bench/src/bin/fig01_workspace_cliff.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig01_workspace_cliff-7341ea4784376eb0.rmeta: crates/bench/src/bin/fig01_workspace_cliff.rs Cargo.toml
+
+crates/bench/src/bin/fig01_workspace_cliff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

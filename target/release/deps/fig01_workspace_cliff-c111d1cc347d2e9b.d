@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_workspace_cliff-c111d1cc347d2e9b.d: crates/bench/src/bin/fig01_workspace_cliff.rs
+
+/root/repo/target/release/deps/fig01_workspace_cliff-c111d1cc347d2e9b: crates/bench/src/bin/fig01_workspace_cliff.rs
+
+crates/bench/src/bin/fig01_workspace_cliff.rs:

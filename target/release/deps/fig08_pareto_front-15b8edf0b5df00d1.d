@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_pareto_front-15b8edf0b5df00d1.d: crates/bench/src/bin/fig08_pareto_front.rs
+
+/root/repo/target/release/deps/fig08_pareto_front-15b8edf0b5df00d1: crates/bench/src/bin/fig08_pareto_front.rs
+
+crates/bench/src/bin/fig08_pareto_front.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_pareto_front-1bd17a0c850b3420.d: crates/bench/src/bin/fig08_pareto_front.rs
+
+/root/repo/target/release/deps/fig08_pareto_front-1bd17a0c850b3420: crates/bench/src/bin/fig08_pareto_front.rs
+
+crates/bench/src/bin/fig08_pareto_front.rs:

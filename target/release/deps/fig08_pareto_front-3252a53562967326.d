@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_pareto_front-3252a53562967326.d: crates/bench/src/bin/fig08_pareto_front.rs
+
+/root/repo/target/release/deps/fig08_pareto_front-3252a53562967326: crates/bench/src/bin/fig08_pareto_front.rs
+
+crates/bench/src/bin/fig08_pareto_front.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08_pareto_front-539df8eb2f7ee218.d: crates/bench/src/bin/fig08_pareto_front.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08_pareto_front-539df8eb2f7ee218.rmeta: crates/bench/src/bin/fig08_pareto_front.rs Cargo.toml
+
+crates/bench/src/bin/fig08_pareto_front.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_pareto_front-724c7ceb60a8d3e7.d: crates/bench/src/bin/fig08_pareto_front.rs
+
+/root/repo/target/release/deps/fig08_pareto_front-724c7ceb60a8d3e7: crates/bench/src/bin/fig08_pareto_front.rs
+
+crates/bench/src/bin/fig08_pareto_front.rs:

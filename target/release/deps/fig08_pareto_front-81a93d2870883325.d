@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08_pareto_front-81a93d2870883325.d: crates/bench/src/bin/fig08_pareto_front.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08_pareto_front-81a93d2870883325.rmeta: crates/bench/src/bin/fig08_pareto_front.rs Cargo.toml
+
+crates/bench/src/bin/fig08_pareto_front.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08_pareto_front-f544b3bb3a59dd29.d: crates/bench/src/bin/fig08_pareto_front.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08_pareto_front-f544b3bb3a59dd29.rmeta: crates/bench/src/bin/fig08_pareto_front.rs Cargo.toml
+
+crates/bench/src/bin/fig08_pareto_front.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09_conv2_wr-081c62103db47ced.d: crates/bench/src/bin/fig09_conv2_wr.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09_conv2_wr-081c62103db47ced.rmeta: crates/bench/src/bin/fig09_conv2_wr.rs Cargo.toml
+
+crates/bench/src/bin/fig09_conv2_wr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

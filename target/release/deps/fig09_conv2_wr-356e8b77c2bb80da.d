@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_conv2_wr-356e8b77c2bb80da.d: crates/bench/src/bin/fig09_conv2_wr.rs
+
+/root/repo/target/release/deps/fig09_conv2_wr-356e8b77c2bb80da: crates/bench/src/bin/fig09_conv2_wr.rs
+
+crates/bench/src/bin/fig09_conv2_wr.rs:

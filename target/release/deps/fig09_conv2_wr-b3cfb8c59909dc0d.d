@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_conv2_wr-b3cfb8c59909dc0d.d: crates/bench/src/bin/fig09_conv2_wr.rs
+
+/root/repo/target/release/deps/fig09_conv2_wr-b3cfb8c59909dc0d: crates/bench/src/bin/fig09_conv2_wr.rs
+
+crates/bench/src/bin/fig09_conv2_wr.rs:

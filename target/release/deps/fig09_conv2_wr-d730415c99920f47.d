@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09_conv2_wr-d730415c99920f47.d: crates/bench/src/bin/fig09_conv2_wr.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09_conv2_wr-d730415c99920f47.rmeta: crates/bench/src/bin/fig09_conv2_wr.rs Cargo.toml
+
+crates/bench/src/bin/fig09_conv2_wr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

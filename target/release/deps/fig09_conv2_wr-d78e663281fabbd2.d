@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_conv2_wr-d78e663281fabbd2.d: crates/bench/src/bin/fig09_conv2_wr.rs
+
+/root/repo/target/release/deps/fig09_conv2_wr-d78e663281fabbd2: crates/bench/src/bin/fig09_conv2_wr.rs
+
+crates/bench/src/bin/fig09_conv2_wr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_alexnet_wr-2883347a6d0817c3.d: crates/bench/src/bin/fig10_alexnet_wr.rs
+
+/root/repo/target/release/deps/fig10_alexnet_wr-2883347a6d0817c3: crates/bench/src/bin/fig10_alexnet_wr.rs
+
+crates/bench/src/bin/fig10_alexnet_wr.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_alexnet_wr-289c8ab9f18773b6.d: crates/bench/src/bin/fig10_alexnet_wr.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_alexnet_wr-289c8ab9f18773b6.rmeta: crates/bench/src/bin/fig10_alexnet_wr.rs Cargo.toml
+
+crates/bench/src/bin/fig10_alexnet_wr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

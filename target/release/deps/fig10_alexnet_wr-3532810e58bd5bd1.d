@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_alexnet_wr-3532810e58bd5bd1.d: crates/bench/src/bin/fig10_alexnet_wr.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_alexnet_wr-3532810e58bd5bd1.rmeta: crates/bench/src/bin/fig10_alexnet_wr.rs Cargo.toml
+
+crates/bench/src/bin/fig10_alexnet_wr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_alexnet_wr-3add3c7ef1c836c0.d: crates/bench/src/bin/fig10_alexnet_wr.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_alexnet_wr-3add3c7ef1c836c0.rmeta: crates/bench/src/bin/fig10_alexnet_wr.rs Cargo.toml
+
+crates/bench/src/bin/fig10_alexnet_wr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_alexnet_wr-87bfa5c945d5d078.d: crates/bench/src/bin/fig10_alexnet_wr.rs
+
+/root/repo/target/release/deps/fig10_alexnet_wr-87bfa5c945d5d078: crates/bench/src/bin/fig10_alexnet_wr.rs
+
+crates/bench/src/bin/fig10_alexnet_wr.rs:

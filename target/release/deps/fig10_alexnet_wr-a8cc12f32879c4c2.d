@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_alexnet_wr-a8cc12f32879c4c2.d: crates/bench/src/bin/fig10_alexnet_wr.rs
+
+/root/repo/target/release/deps/fig10_alexnet_wr-a8cc12f32879c4c2: crates/bench/src/bin/fig10_alexnet_wr.rs
+
+crates/bench/src/bin/fig10_alexnet_wr.rs:

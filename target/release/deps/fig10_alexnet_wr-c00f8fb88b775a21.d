@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_alexnet_wr-c00f8fb88b775a21.d: crates/bench/src/bin/fig10_alexnet_wr.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_alexnet_wr-c00f8fb88b775a21.rmeta: crates/bench/src/bin/fig10_alexnet_wr.rs Cargo.toml
+
+crates/bench/src/bin/fig10_alexnet_wr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

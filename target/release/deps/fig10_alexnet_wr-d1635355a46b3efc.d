@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_alexnet_wr-d1635355a46b3efc.d: crates/bench/src/bin/fig10_alexnet_wr.rs
+
+/root/repo/target/release/deps/fig10_alexnet_wr-d1635355a46b3efc: crates/bench/src/bin/fig10_alexnet_wr.rs
+
+crates/bench/src/bin/fig10_alexnet_wr.rs:

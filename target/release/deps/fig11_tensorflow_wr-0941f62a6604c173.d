@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_tensorflow_wr-0941f62a6604c173.d: crates/bench/src/bin/fig11_tensorflow_wr.rs
+
+/root/repo/target/release/deps/fig11_tensorflow_wr-0941f62a6604c173: crates/bench/src/bin/fig11_tensorflow_wr.rs
+
+crates/bench/src/bin/fig11_tensorflow_wr.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11_tensorflow_wr-377e36c77c81badf.d: crates/bench/src/bin/fig11_tensorflow_wr.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11_tensorflow_wr-377e36c77c81badf.rmeta: crates/bench/src/bin/fig11_tensorflow_wr.rs Cargo.toml
+
+crates/bench/src/bin/fig11_tensorflow_wr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

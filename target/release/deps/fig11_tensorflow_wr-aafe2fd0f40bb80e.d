@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_tensorflow_wr-aafe2fd0f40bb80e.d: crates/bench/src/bin/fig11_tensorflow_wr.rs
+
+/root/repo/target/release/deps/fig11_tensorflow_wr-aafe2fd0f40bb80e: crates/bench/src/bin/fig11_tensorflow_wr.rs
+
+crates/bench/src/bin/fig11_tensorflow_wr.rs:

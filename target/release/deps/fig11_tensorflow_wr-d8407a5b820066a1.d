@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_tensorflow_wr-d8407a5b820066a1.d: crates/bench/src/bin/fig11_tensorflow_wr.rs
+
+/root/repo/target/release/deps/fig11_tensorflow_wr-d8407a5b820066a1: crates/bench/src/bin/fig11_tensorflow_wr.rs
+
+crates/bench/src/bin/fig11_tensorflow_wr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_tensorflow_wr-dc524ee661d2e822.d: crates/bench/src/bin/fig11_tensorflow_wr.rs
+
+/root/repo/target/release/deps/fig11_tensorflow_wr-dc524ee661d2e822: crates/bench/src/bin/fig11_tensorflow_wr.rs
+
+crates/bench/src/bin/fig11_tensorflow_wr.rs:

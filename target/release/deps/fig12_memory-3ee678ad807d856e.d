@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_memory-3ee678ad807d856e.d: crates/bench/src/bin/fig12_memory.rs
+
+/root/repo/target/release/deps/fig12_memory-3ee678ad807d856e: crates/bench/src/bin/fig12_memory.rs
+
+crates/bench/src/bin/fig12_memory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12_memory-3fb0d94f12ff1de9.d: crates/bench/src/bin/fig12_memory.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12_memory-3fb0d94f12ff1de9.rmeta: crates/bench/src/bin/fig12_memory.rs Cargo.toml
+
+crates/bench/src/bin/fig12_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

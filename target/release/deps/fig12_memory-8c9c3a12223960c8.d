@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12_memory-8c9c3a12223960c8.d: crates/bench/src/bin/fig12_memory.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12_memory-8c9c3a12223960c8.rmeta: crates/bench/src/bin/fig12_memory.rs Cargo.toml
+
+crates/bench/src/bin/fig12_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12_memory-9bab439056577e52.d: crates/bench/src/bin/fig12_memory.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12_memory-9bab439056577e52.rmeta: crates/bench/src/bin/fig12_memory.rs Cargo.toml
+
+crates/bench/src/bin/fig12_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12_memory-ba8490f904d24f2f.d: crates/bench/src/bin/fig12_memory.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12_memory-ba8490f904d24f2f.rmeta: crates/bench/src/bin/fig12_memory.rs Cargo.toml
+
+crates/bench/src/bin/fig12_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

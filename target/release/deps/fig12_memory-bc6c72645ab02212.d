@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_memory-bc6c72645ab02212.d: crates/bench/src/bin/fig12_memory.rs
+
+/root/repo/target/release/deps/fig12_memory-bc6c72645ab02212: crates/bench/src/bin/fig12_memory.rs
+
+crates/bench/src/bin/fig12_memory.rs:

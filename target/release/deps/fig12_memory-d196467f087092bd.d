@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_memory-d196467f087092bd.d: crates/bench/src/bin/fig12_memory.rs
+
+/root/repo/target/release/deps/fig12_memory-d196467f087092bd: crates/bench/src/bin/fig12_memory.rs
+
+crates/bench/src/bin/fig12_memory.rs:

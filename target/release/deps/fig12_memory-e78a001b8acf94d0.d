@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_memory-e78a001b8acf94d0.d: crates/bench/src/bin/fig12_memory.rs
+
+/root/repo/target/release/deps/fig12_memory-e78a001b8acf94d0: crates/bench/src/bin/fig12_memory.rs
+
+crates/bench/src/bin/fig12_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_wr_vs_wd-307a6c6c0bf8ed7c.d: crates/bench/src/bin/fig13_wr_vs_wd.rs
+
+/root/repo/target/release/deps/fig13_wr_vs_wd-307a6c6c0bf8ed7c: crates/bench/src/bin/fig13_wr_vs_wd.rs
+
+crates/bench/src/bin/fig13_wr_vs_wd.rs:

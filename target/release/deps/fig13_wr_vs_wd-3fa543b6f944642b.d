@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_wr_vs_wd-3fa543b6f944642b.d: crates/bench/src/bin/fig13_wr_vs_wd.rs
+
+/root/repo/target/release/deps/fig13_wr_vs_wd-3fa543b6f944642b: crates/bench/src/bin/fig13_wr_vs_wd.rs
+
+crates/bench/src/bin/fig13_wr_vs_wd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig13_wr_vs_wd-55dfdc0c4687ea2b.d: crates/bench/src/bin/fig13_wr_vs_wd.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig13_wr_vs_wd-55dfdc0c4687ea2b.rmeta: crates/bench/src/bin/fig13_wr_vs_wd.rs Cargo.toml
+
+crates/bench/src/bin/fig13_wr_vs_wd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

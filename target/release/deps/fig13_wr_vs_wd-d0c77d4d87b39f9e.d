@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_wr_vs_wd-d0c77d4d87b39f9e.d: crates/bench/src/bin/fig13_wr_vs_wd.rs
+
+/root/repo/target/release/deps/fig13_wr_vs_wd-d0c77d4d87b39f9e: crates/bench/src/bin/fig13_wr_vs_wd.rs
+
+crates/bench/src/bin/fig13_wr_vs_wd.rs:

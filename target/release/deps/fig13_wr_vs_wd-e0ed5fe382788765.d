@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_wr_vs_wd-e0ed5fe382788765.d: crates/bench/src/bin/fig13_wr_vs_wd.rs
+
+/root/repo/target/release/deps/fig13_wr_vs_wd-e0ed5fe382788765: crates/bench/src/bin/fig13_wr_vs_wd.rs
+
+crates/bench/src/bin/fig13_wr_vs_wd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_wd_division-2240a94971fb4796.d: crates/bench/src/bin/fig14_wd_division.rs
+
+/root/repo/target/release/deps/fig14_wd_division-2240a94971fb4796: crates/bench/src/bin/fig14_wd_division.rs
+
+crates/bench/src/bin/fig14_wd_division.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_wd_division-2d1c343aad205b9e.d: crates/bench/src/bin/fig14_wd_division.rs
+
+/root/repo/target/release/deps/fig14_wd_division-2d1c343aad205b9e: crates/bench/src/bin/fig14_wd_division.rs
+
+crates/bench/src/bin/fig14_wd_division.rs:

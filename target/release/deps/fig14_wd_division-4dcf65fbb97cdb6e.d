@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_wd_division-4dcf65fbb97cdb6e.d: crates/bench/src/bin/fig14_wd_division.rs
+
+/root/repo/target/release/deps/fig14_wd_division-4dcf65fbb97cdb6e: crates/bench/src/bin/fig14_wd_division.rs
+
+crates/bench/src/bin/fig14_wd_division.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig14_wd_division-b17b2b5209278e7c.d: crates/bench/src/bin/fig14_wd_division.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig14_wd_division-b17b2b5209278e7c.rmeta: crates/bench/src/bin/fig14_wd_division.rs Cargo.toml
+
+crates/bench/src/bin/fig14_wd_division.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

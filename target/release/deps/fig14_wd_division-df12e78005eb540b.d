@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_wd_division-df12e78005eb540b.d: crates/bench/src/bin/fig14_wd_division.rs
+
+/root/repo/target/release/deps/fig14_wd_division-df12e78005eb540b: crates/bench/src/bin/fig14_wd_division.rs
+
+crates/bench/src/bin/fig14_wd_division.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/file_db-11cfb6b0470a983c.d: crates/core/tests/file_db.rs Cargo.toml
+
+/root/repo/target/release/deps/libfile_db-11cfb6b0470a983c.rmeta: crates/core/tests/file_db.rs Cargo.toml
+
+crates/core/tests/file_db.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

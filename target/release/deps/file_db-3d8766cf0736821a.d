@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/file_db-3d8766cf0736821a.d: crates/core/tests/file_db.rs
+
+/root/repo/target/release/deps/file_db-3d8766cf0736821a: crates/core/tests/file_db.rs
+
+crates/core/tests/file_db.rs:

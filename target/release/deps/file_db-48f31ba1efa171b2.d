@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/file_db-48f31ba1efa171b2.d: crates/core/tests/file_db.rs Cargo.toml
+
+/root/repo/target/release/deps/libfile_db-48f31ba1efa171b2.rmeta: crates/core/tests/file_db.rs Cargo.toml
+
+crates/core/tests/file_db.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/file_db-7df94a003daf7e09.d: crates/core/tests/file_db.rs
+
+/root/repo/target/release/deps/file_db-7df94a003daf7e09: crates/core/tests/file_db.rs
+
+crates/core/tests/file_db.rs:

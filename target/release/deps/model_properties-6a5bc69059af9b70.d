@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_properties-6a5bc69059af9b70.d: crates/gpu-model/tests/model_properties.rs
+
+/root/repo/target/release/deps/model_properties-6a5bc69059af9b70: crates/gpu-model/tests/model_properties.rs
+
+crates/gpu-model/tests/model_properties.rs:

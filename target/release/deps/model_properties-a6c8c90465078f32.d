@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/model_properties-a6c8c90465078f32.d: crates/gpu-model/tests/model_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libmodel_properties-a6c8c90465078f32.rmeta: crates/gpu-model/tests/model_properties.rs Cargo.toml
+
+crates/gpu-model/tests/model_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

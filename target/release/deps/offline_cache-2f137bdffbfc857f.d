@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/offline_cache-2f137bdffbfc857f.d: tests/offline_cache.rs Cargo.toml
+
+/root/repo/target/release/deps/liboffline_cache-2f137bdffbfc857f.rmeta: tests/offline_cache.rs Cargo.toml
+
+tests/offline_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/offline_cache-6c89bb976412ef19.d: tests/offline_cache.rs
+
+/root/repo/target/release/deps/offline_cache-6c89bb976412ef19: tests/offline_cache.rs
+
+tests/offline_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/offline_cache-80a81f5403621c3d.d: tests/offline_cache.rs
+
+/root/repo/target/release/deps/offline_cache-80a81f5403621c3d: tests/offline_cache.rs
+
+tests/offline_cache.rs:

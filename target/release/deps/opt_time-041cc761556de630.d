@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/opt_time-041cc761556de630.d: crates/bench/src/bin/opt_time.rs Cargo.toml
+
+/root/repo/target/release/deps/libopt_time-041cc761556de630.rmeta: crates/bench/src/bin/opt_time.rs Cargo.toml
+
+crates/bench/src/bin/opt_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/opt_time-0566f1e67d3641a0.d: crates/bench/src/bin/opt_time.rs Cargo.toml
+
+/root/repo/target/release/deps/libopt_time-0566f1e67d3641a0.rmeta: crates/bench/src/bin/opt_time.rs Cargo.toml
+
+crates/bench/src/bin/opt_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

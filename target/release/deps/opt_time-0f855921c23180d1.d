@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/opt_time-0f855921c23180d1.d: crates/bench/src/bin/opt_time.rs
+
+/root/repo/target/release/deps/opt_time-0f855921c23180d1: crates/bench/src/bin/opt_time.rs
+
+crates/bench/src/bin/opt_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/opt_time-117640810eaddf14.d: crates/bench/src/bin/opt_time.rs
+
+/root/repo/target/release/deps/opt_time-117640810eaddf14: crates/bench/src/bin/opt_time.rs
+
+crates/bench/src/bin/opt_time.rs:

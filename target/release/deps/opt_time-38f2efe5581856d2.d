@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/opt_time-38f2efe5581856d2.d: crates/bench/src/bin/opt_time.rs
+
+/root/repo/target/release/deps/opt_time-38f2efe5581856d2: crates/bench/src/bin/opt_time.rs
+
+crates/bench/src/bin/opt_time.rs:

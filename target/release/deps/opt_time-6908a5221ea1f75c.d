@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/opt_time-6908a5221ea1f75c.d: crates/bench/src/bin/opt_time.rs
+
+/root/repo/target/release/deps/opt_time-6908a5221ea1f75c: crates/bench/src/bin/opt_time.rs
+
+crates/bench/src/bin/opt_time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/opt_time-ca3f8445ec176e5c.d: crates/bench/src/bin/opt_time.rs Cargo.toml
+
+/root/repo/target/release/deps/libopt_time-ca3f8445ec176e5c.rmeta: crates/bench/src/bin/opt_time.rs Cargo.toml
+
+crates/bench/src/bin/opt_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

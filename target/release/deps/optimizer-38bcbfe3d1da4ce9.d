@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizer-38bcbfe3d1da4ce9.d: crates/bench/benches/optimizer.rs
+
+/root/repo/target/release/deps/optimizer-38bcbfe3d1da4ce9: crates/bench/benches/optimizer.rs
+
+crates/bench/benches/optimizer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/optimizer-9d27693c8ccc0ab4.d: crates/bench/benches/optimizer.rs Cargo.toml
+
+/root/repo/target/release/deps/liboptimizer-9d27693c8ccc0ab4.rmeta: crates/bench/benches/optimizer.rs Cargo.toml
+
+crates/bench/benches/optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

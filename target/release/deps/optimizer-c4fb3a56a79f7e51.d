@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizer-c4fb3a56a79f7e51.d: crates/bench/benches/optimizer.rs
+
+/root/repo/target/release/deps/optimizer-c4fb3a56a79f7e51: crates/bench/benches/optimizer.rs
+
+crates/bench/benches/optimizer.rs:

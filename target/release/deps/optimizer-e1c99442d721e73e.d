@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/optimizer-e1c99442d721e73e.d: crates/bench/benches/optimizer.rs Cargo.toml
+
+/root/repo/target/release/deps/liboptimizer-e1c99442d721e73e.rmeta: crates/bench/benches/optimizer.rs Cargo.toml
+
+crates/bench/benches/optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

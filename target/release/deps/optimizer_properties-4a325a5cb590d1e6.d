@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizer_properties-4a325a5cb590d1e6.d: crates/core/tests/optimizer_properties.rs
+
+/root/repo/target/release/deps/optimizer_properties-4a325a5cb590d1e6: crates/core/tests/optimizer_properties.rs
+
+crates/core/tests/optimizer_properties.rs:

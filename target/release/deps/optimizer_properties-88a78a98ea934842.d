@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/optimizer_properties-88a78a98ea934842.d: crates/core/tests/optimizer_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/liboptimizer_properties-88a78a98ea934842.rmeta: crates/core/tests/optimizer_properties.rs Cargo.toml
+
+crates/core/tests/optimizer_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizer_properties-fc23fdab504efbb3.d: crates/core/tests/optimizer_properties.rs
+
+/root/repo/target/release/deps/optimizer_properties-fc23fdab504efbb3: crates/core/tests/optimizer_properties.rs
+
+crates/core/tests/optimizer_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-68d435821354a41c.d: tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-68d435821354a41c: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-873438dcbdbc0ec1.d: tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-873438dcbdbc0ec1: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

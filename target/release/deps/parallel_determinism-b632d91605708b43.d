@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parallel_determinism-b632d91605708b43.d: tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libparallel_determinism-b632d91605708b43.rmeta: tests/parallel_determinism.rs Cargo.toml
+
+tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

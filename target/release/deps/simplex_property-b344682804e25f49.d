@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/simplex_property-b344682804e25f49.d: crates/lp/tests/simplex_property.rs Cargo.toml
+
+/root/repo/target/release/deps/libsimplex_property-b344682804e25f49.rmeta: crates/lp/tests/simplex_property.rs Cargo.toml
+
+crates/lp/tests/simplex_property.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

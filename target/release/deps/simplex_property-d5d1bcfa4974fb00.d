@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simplex_property-d5d1bcfa4974fb00.d: crates/lp/tests/simplex_property.rs
+
+/root/repo/target/release/deps/simplex_property-d5d1bcfa4974fb00: crates/lp/tests/simplex_property.rs
+
+crates/lp/tests/simplex_property.rs:

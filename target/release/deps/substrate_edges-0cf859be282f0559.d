@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/substrate_edges-0cf859be282f0559.d: tests/substrate_edges.rs Cargo.toml
+
+/root/repo/target/release/deps/libsubstrate_edges-0cf859be282f0559.rmeta: tests/substrate_edges.rs Cargo.toml
+
+tests/substrate_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

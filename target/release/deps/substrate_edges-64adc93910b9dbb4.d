@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate_edges-64adc93910b9dbb4.d: tests/substrate_edges.rs
+
+/root/repo/target/release/deps/substrate_edges-64adc93910b9dbb4: tests/substrate_edges.rs
+
+tests/substrate_edges.rs:

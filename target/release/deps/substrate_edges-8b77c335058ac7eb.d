@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate_edges-8b77c335058ac7eb.d: tests/substrate_edges.rs
+
+/root/repo/target/release/deps/substrate_edges-8b77c335058ac7eb: tests/substrate_edges.rs
+
+tests/substrate_edges.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/substrate_edges-bbac2ea5e5d342f9.d: tests/substrate_edges.rs Cargo.toml
+
+/root/repo/target/release/deps/libsubstrate_edges-bbac2ea5e5d342f9.rmeta: tests/substrate_edges.rs Cargo.toml
+
+tests/substrate_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

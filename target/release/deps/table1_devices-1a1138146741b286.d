@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1_devices-1a1138146741b286.d: crates/bench/src/bin/table1_devices.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1_devices-1a1138146741b286.rmeta: crates/bench/src/bin/table1_devices.rs Cargo.toml
+
+crates/bench/src/bin/table1_devices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

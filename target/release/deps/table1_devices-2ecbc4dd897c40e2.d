@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_devices-2ecbc4dd897c40e2.d: crates/bench/src/bin/table1_devices.rs
+
+/root/repo/target/release/deps/table1_devices-2ecbc4dd897c40e2: crates/bench/src/bin/table1_devices.rs
+
+crates/bench/src/bin/table1_devices.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_devices-83d1bddee64964e4.d: crates/bench/src/bin/table1_devices.rs
+
+/root/repo/target/release/deps/table1_devices-83d1bddee64964e4: crates/bench/src/bin/table1_devices.rs
+
+crates/bench/src/bin/table1_devices.rs:

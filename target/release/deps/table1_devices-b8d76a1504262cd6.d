@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_devices-b8d76a1504262cd6.d: crates/bench/src/bin/table1_devices.rs
+
+/root/repo/target/release/deps/table1_devices-b8d76a1504262cd6: crates/bench/src/bin/table1_devices.rs
+
+crates/bench/src/bin/table1_devices.rs:

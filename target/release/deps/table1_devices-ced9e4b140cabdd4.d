@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_devices-ced9e4b140cabdd4.d: crates/bench/src/bin/table1_devices.rs
+
+/root/repo/target/release/deps/table1_devices-ced9e4b140cabdd4: crates/bench/src/bin/table1_devices.rs
+
+crates/bench/src/bin/table1_devices.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1_devices-f72470eaf28162a0.d: crates/bench/src/bin/table1_devices.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1_devices-f72470eaf28162a0.rmeta: crates/bench/src/bin/table1_devices.rs Cargo.toml
+
+crates/bench/src/bin/table1_devices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

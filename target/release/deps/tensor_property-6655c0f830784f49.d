@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tensor_property-6655c0f830784f49.d: crates/tensor/tests/tensor_property.rs Cargo.toml
+
+/root/repo/target/release/deps/libtensor_property-6655c0f830784f49.rmeta: crates/tensor/tests/tensor_property.rs Cargo.toml
+
+crates/tensor/tests/tensor_property.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

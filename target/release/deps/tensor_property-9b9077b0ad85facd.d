@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tensor_property-9b9077b0ad85facd.d: crates/tensor/tests/tensor_property.rs
+
+/root/repo/target/release/deps/tensor_property-9b9077b0ad85facd: crates/tensor/tests/tensor_property.rs
+
+crates/tensor/tests/tensor_property.rs:

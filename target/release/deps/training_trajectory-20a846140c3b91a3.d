@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/training_trajectory-20a846140c3b91a3.d: tests/training_trajectory.rs
+
+/root/repo/target/release/deps/training_trajectory-20a846140c3b91a3: tests/training_trajectory.rs
+
+tests/training_trajectory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/training_trajectory-b31b9ce287f7eaca.d: tests/training_trajectory.rs
+
+/root/repo/target/release/deps/training_trajectory-b31b9ce287f7eaca: tests/training_trajectory.rs
+
+tests/training_trajectory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/training_trajectory-e9756ca8ece8173e.d: tests/training_trajectory.rs Cargo.toml
+
+/root/repo/target/release/deps/libtraining_trajectory-e9756ca8ece8173e.rmeta: tests/training_trajectory.rs Cargo.toml
+
+tests/training_trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transparent_wrapper-83976e619c2db3ad.d: tests/transparent_wrapper.rs
+
+/root/repo/target/release/deps/transparent_wrapper-83976e619c2db3ad: tests/transparent_wrapper.rs
+
+tests/transparent_wrapper.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/transparent_wrapper-c022758fa598723c.d: tests/transparent_wrapper.rs Cargo.toml
+
+/root/repo/target/release/deps/libtransparent_wrapper-c022758fa598723c.rmeta: tests/transparent_wrapper.rs Cargo.toml
+
+tests/transparent_wrapper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

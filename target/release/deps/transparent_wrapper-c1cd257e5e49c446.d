@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transparent_wrapper-c1cd257e5e49c446.d: tests/transparent_wrapper.rs
+
+/root/repo/target/release/deps/transparent_wrapper-c1cd257e5e49c446: tests/transparent_wrapper.rs
+
+tests/transparent_wrapper.rs:

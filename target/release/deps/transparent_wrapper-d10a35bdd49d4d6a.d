@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/transparent_wrapper-d10a35bdd49d4d6a.d: tests/transparent_wrapper.rs Cargo.toml
+
+/root/repo/target/release/deps/libtransparent_wrapper-d10a35bdd49d4d6a.rmeta: tests/transparent_wrapper.rs Cargo.toml
+
+tests/transparent_wrapper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

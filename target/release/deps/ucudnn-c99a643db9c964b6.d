@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ucudnn-c99a643db9c964b6.d: crates/core/src/lib.rs crates/core/src/bench_cache.rs crates/core/src/config.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/handle.rs crates/core/src/json.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/wd.rs crates/core/src/wr.rs
+
+/root/repo/target/release/deps/ucudnn-c99a643db9c964b6: crates/core/src/lib.rs crates/core/src/bench_cache.rs crates/core/src/config.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/handle.rs crates/core/src/json.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/wd.rs crates/core/src/wr.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bench_cache.rs:
+crates/core/src/config.rs:
+crates/core/src/env.rs:
+crates/core/src/error.rs:
+crates/core/src/handle.rs:
+crates/core/src/json.rs:
+crates/core/src/kernel.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pareto.rs:
+crates/core/src/policy.rs:
+crates/core/src/wd.rs:
+crates/core/src/wr.rs:

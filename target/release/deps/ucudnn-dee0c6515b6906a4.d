@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/ucudnn-dee0c6515b6906a4.d: crates/core/src/lib.rs crates/core/src/bench_cache.rs crates/core/src/config.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/handle.rs crates/core/src/json.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/wd.rs crates/core/src/wr.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn-dee0c6515b6906a4.rmeta: crates/core/src/lib.rs crates/core/src/bench_cache.rs crates/core/src/config.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/handle.rs crates/core/src/json.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/wd.rs crates/core/src/wr.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bench_cache.rs:
+crates/core/src/config.rs:
+crates/core/src/env.rs:
+crates/core/src/error.rs:
+crates/core/src/handle.rs:
+crates/core/src/json.rs:
+crates/core/src/kernel.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pareto.rs:
+crates/core/src/policy.rs:
+crates/core/src/wd.rs:
+crates/core/src/wr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ucudnn_bench-0d26f67161332b5b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_bench-0d26f67161332b5b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_bench-0d26f67161332b5b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ucudnn_bench-1082d1ce4b93ba17.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_bench-1082d1ce4b93ba17.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ucudnn_bench-5b8ab464a2fe0b58.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_bench-5b8ab464a2fe0b58.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ucudnn_bench-a54dba832b8a8673.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_bench-a54dba832b8a8673.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

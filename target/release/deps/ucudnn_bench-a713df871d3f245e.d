@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ucudnn_bench-a713df871d3f245e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/ucudnn_bench-a713df871d3f245e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

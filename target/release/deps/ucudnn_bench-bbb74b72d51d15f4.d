@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ucudnn_bench-bbb74b72d51d15f4.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_bench-bbb74b72d51d15f4.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ucudnn_bench-e2a4218e0c532610.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/ucudnn_bench-e2a4218e0c532610: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ucudnn_bench-fd1b7aa67e88311b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_bench-fd1b7aa67e88311b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_bench-fd1b7aa67e88311b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

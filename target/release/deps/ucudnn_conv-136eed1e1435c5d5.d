@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ucudnn_conv-136eed1e1435c5d5.d: crates/conv/src/lib.rs crates/conv/src/direct.rs crates/conv/src/fft.rs crates/conv/src/fft_conv.rs crates/conv/src/gemm.rs crates/conv/src/im2col.rs crates/conv/src/im2col_gemm.rs crates/conv/src/parallel.rs crates/conv/src/winograd.rs crates/conv/src/winograd_f4.rs
+
+/root/repo/target/release/deps/ucudnn_conv-136eed1e1435c5d5: crates/conv/src/lib.rs crates/conv/src/direct.rs crates/conv/src/fft.rs crates/conv/src/fft_conv.rs crates/conv/src/gemm.rs crates/conv/src/im2col.rs crates/conv/src/im2col_gemm.rs crates/conv/src/parallel.rs crates/conv/src/winograd.rs crates/conv/src/winograd_f4.rs
+
+crates/conv/src/lib.rs:
+crates/conv/src/direct.rs:
+crates/conv/src/fft.rs:
+crates/conv/src/fft_conv.rs:
+crates/conv/src/gemm.rs:
+crates/conv/src/im2col.rs:
+crates/conv/src/im2col_gemm.rs:
+crates/conv/src/parallel.rs:
+crates/conv/src/winograd.rs:
+crates/conv/src/winograd_f4.rs:

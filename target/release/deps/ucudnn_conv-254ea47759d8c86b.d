@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ucudnn_conv-254ea47759d8c86b.d: crates/conv/src/lib.rs crates/conv/src/direct.rs crates/conv/src/fft.rs crates/conv/src/fft_conv.rs crates/conv/src/gemm.rs crates/conv/src/im2col.rs crates/conv/src/im2col_gemm.rs crates/conv/src/parallel.rs crates/conv/src/winograd.rs crates/conv/src/winograd_f4.rs
+
+/root/repo/target/release/deps/libucudnn_conv-254ea47759d8c86b.rlib: crates/conv/src/lib.rs crates/conv/src/direct.rs crates/conv/src/fft.rs crates/conv/src/fft_conv.rs crates/conv/src/gemm.rs crates/conv/src/im2col.rs crates/conv/src/im2col_gemm.rs crates/conv/src/parallel.rs crates/conv/src/winograd.rs crates/conv/src/winograd_f4.rs
+
+/root/repo/target/release/deps/libucudnn_conv-254ea47759d8c86b.rmeta: crates/conv/src/lib.rs crates/conv/src/direct.rs crates/conv/src/fft.rs crates/conv/src/fft_conv.rs crates/conv/src/gemm.rs crates/conv/src/im2col.rs crates/conv/src/im2col_gemm.rs crates/conv/src/parallel.rs crates/conv/src/winograd.rs crates/conv/src/winograd_f4.rs
+
+crates/conv/src/lib.rs:
+crates/conv/src/direct.rs:
+crates/conv/src/fft.rs:
+crates/conv/src/fft_conv.rs:
+crates/conv/src/gemm.rs:
+crates/conv/src/im2col.rs:
+crates/conv/src/im2col_gemm.rs:
+crates/conv/src/parallel.rs:
+crates/conv/src/winograd.rs:
+crates/conv/src/winograd_f4.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ucudnn_conv-a898b0324a7dbbdc.d: crates/conv/src/lib.rs crates/conv/src/direct.rs crates/conv/src/fft.rs crates/conv/src/fft_conv.rs crates/conv/src/gemm.rs crates/conv/src/im2col.rs crates/conv/src/im2col_gemm.rs crates/conv/src/parallel.rs crates/conv/src/winograd.rs crates/conv/src/winograd_f4.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_conv-a898b0324a7dbbdc.rmeta: crates/conv/src/lib.rs crates/conv/src/direct.rs crates/conv/src/fft.rs crates/conv/src/fft_conv.rs crates/conv/src/gemm.rs crates/conv/src/im2col.rs crates/conv/src/im2col_gemm.rs crates/conv/src/parallel.rs crates/conv/src/winograd.rs crates/conv/src/winograd_f4.rs Cargo.toml
+
+crates/conv/src/lib.rs:
+crates/conv/src/direct.rs:
+crates/conv/src/fft.rs:
+crates/conv/src/fft_conv.rs:
+crates/conv/src/gemm.rs:
+crates/conv/src/im2col.rs:
+crates/conv/src/im2col_gemm.rs:
+crates/conv/src/parallel.rs:
+crates/conv/src/winograd.rs:
+crates/conv/src/winograd_f4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

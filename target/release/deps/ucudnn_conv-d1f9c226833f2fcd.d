@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ucudnn_conv-d1f9c226833f2fcd.d: crates/conv/src/lib.rs crates/conv/src/direct.rs crates/conv/src/fft.rs crates/conv/src/fft_conv.rs crates/conv/src/gemm.rs crates/conv/src/im2col.rs crates/conv/src/im2col_gemm.rs crates/conv/src/parallel.rs crates/conv/src/winograd.rs crates/conv/src/winograd_f4.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_conv-d1f9c226833f2fcd.rmeta: crates/conv/src/lib.rs crates/conv/src/direct.rs crates/conv/src/fft.rs crates/conv/src/fft_conv.rs crates/conv/src/gemm.rs crates/conv/src/im2col.rs crates/conv/src/im2col_gemm.rs crates/conv/src/parallel.rs crates/conv/src/winograd.rs crates/conv/src/winograd_f4.rs Cargo.toml
+
+crates/conv/src/lib.rs:
+crates/conv/src/direct.rs:
+crates/conv/src/fft.rs:
+crates/conv/src/fft_conv.rs:
+crates/conv/src/gemm.rs:
+crates/conv/src/im2col.rs:
+crates/conv/src/im2col_gemm.rs:
+crates/conv/src/parallel.rs:
+crates/conv/src/winograd.rs:
+crates/conv/src/winograd_f4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

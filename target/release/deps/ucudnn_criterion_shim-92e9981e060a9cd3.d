@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ucudnn_criterion_shim-92e9981e060a9cd3.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/ucudnn_criterion_shim-92e9981e060a9cd3: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

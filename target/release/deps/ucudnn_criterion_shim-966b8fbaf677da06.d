@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ucudnn_criterion_shim-966b8fbaf677da06.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_criterion_shim-966b8fbaf677da06.rlib: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_criterion_shim-966b8fbaf677da06.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

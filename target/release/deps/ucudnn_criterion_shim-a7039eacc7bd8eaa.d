@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ucudnn_criterion_shim-a7039eacc7bd8eaa.d: crates/criterion-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_criterion_shim-a7039eacc7bd8eaa.rmeta: crates/criterion-shim/src/lib.rs Cargo.toml
+
+crates/criterion-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/ucudnn_cudnn_sim-5dff6cce3e81099b.d: crates/cudnn-sim/src/lib.rs crates/cudnn-sim/src/descriptor.rs crates/cudnn-sim/src/error.rs crates/cudnn-sim/src/exec.rs crates/cudnn-sim/src/find.rs crates/cudnn-sim/src/handle.rs crates/cudnn-sim/src/map.rs crates/cudnn-sim/src/ops/mod.rs crates/cudnn-sim/src/ops/activation.rs crates/cudnn-sim/src/ops/batchnorm.rs crates/cudnn-sim/src/ops/pooling.rs crates/cudnn-sim/src/ops/tensor_ops.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_cudnn_sim-5dff6cce3e81099b.rmeta: crates/cudnn-sim/src/lib.rs crates/cudnn-sim/src/descriptor.rs crates/cudnn-sim/src/error.rs crates/cudnn-sim/src/exec.rs crates/cudnn-sim/src/find.rs crates/cudnn-sim/src/handle.rs crates/cudnn-sim/src/map.rs crates/cudnn-sim/src/ops/mod.rs crates/cudnn-sim/src/ops/activation.rs crates/cudnn-sim/src/ops/batchnorm.rs crates/cudnn-sim/src/ops/pooling.rs crates/cudnn-sim/src/ops/tensor_ops.rs Cargo.toml
+
+crates/cudnn-sim/src/lib.rs:
+crates/cudnn-sim/src/descriptor.rs:
+crates/cudnn-sim/src/error.rs:
+crates/cudnn-sim/src/exec.rs:
+crates/cudnn-sim/src/find.rs:
+crates/cudnn-sim/src/handle.rs:
+crates/cudnn-sim/src/map.rs:
+crates/cudnn-sim/src/ops/mod.rs:
+crates/cudnn-sim/src/ops/activation.rs:
+crates/cudnn-sim/src/ops/batchnorm.rs:
+crates/cudnn-sim/src/ops/pooling.rs:
+crates/cudnn-sim/src/ops/tensor_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

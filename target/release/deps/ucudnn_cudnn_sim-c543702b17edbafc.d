@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ucudnn_cudnn_sim-c543702b17edbafc.d: crates/cudnn-sim/src/lib.rs crates/cudnn-sim/src/descriptor.rs crates/cudnn-sim/src/error.rs crates/cudnn-sim/src/exec.rs crates/cudnn-sim/src/find.rs crates/cudnn-sim/src/handle.rs crates/cudnn-sim/src/map.rs crates/cudnn-sim/src/ops/mod.rs crates/cudnn-sim/src/ops/activation.rs crates/cudnn-sim/src/ops/batchnorm.rs crates/cudnn-sim/src/ops/pooling.rs crates/cudnn-sim/src/ops/tensor_ops.rs
+
+/root/repo/target/release/deps/ucudnn_cudnn_sim-c543702b17edbafc: crates/cudnn-sim/src/lib.rs crates/cudnn-sim/src/descriptor.rs crates/cudnn-sim/src/error.rs crates/cudnn-sim/src/exec.rs crates/cudnn-sim/src/find.rs crates/cudnn-sim/src/handle.rs crates/cudnn-sim/src/map.rs crates/cudnn-sim/src/ops/mod.rs crates/cudnn-sim/src/ops/activation.rs crates/cudnn-sim/src/ops/batchnorm.rs crates/cudnn-sim/src/ops/pooling.rs crates/cudnn-sim/src/ops/tensor_ops.rs
+
+crates/cudnn-sim/src/lib.rs:
+crates/cudnn-sim/src/descriptor.rs:
+crates/cudnn-sim/src/error.rs:
+crates/cudnn-sim/src/exec.rs:
+crates/cudnn-sim/src/find.rs:
+crates/cudnn-sim/src/handle.rs:
+crates/cudnn-sim/src/map.rs:
+crates/cudnn-sim/src/ops/mod.rs:
+crates/cudnn-sim/src/ops/activation.rs:
+crates/cudnn-sim/src/ops/batchnorm.rs:
+crates/cudnn-sim/src/ops/pooling.rs:
+crates/cudnn-sim/src/ops/tensor_ops.rs:

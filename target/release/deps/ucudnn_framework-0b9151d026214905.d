@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ucudnn_framework-0b9151d026214905.d: crates/framework/src/lib.rs crates/framework/src/concurrency.rs crates/framework/src/cost.rs crates/framework/src/data_parallel.rs crates/framework/src/exec_real.rs crates/framework/src/exec_sim.rs crates/framework/src/graph.rs crates/framework/src/memory.rs crates/framework/src/models.rs crates/framework/src/provider.rs crates/framework/src/timing.rs crates/framework/src/train.rs
+
+/root/repo/target/release/deps/ucudnn_framework-0b9151d026214905: crates/framework/src/lib.rs crates/framework/src/concurrency.rs crates/framework/src/cost.rs crates/framework/src/data_parallel.rs crates/framework/src/exec_real.rs crates/framework/src/exec_sim.rs crates/framework/src/graph.rs crates/framework/src/memory.rs crates/framework/src/models.rs crates/framework/src/provider.rs crates/framework/src/timing.rs crates/framework/src/train.rs
+
+crates/framework/src/lib.rs:
+crates/framework/src/concurrency.rs:
+crates/framework/src/cost.rs:
+crates/framework/src/data_parallel.rs:
+crates/framework/src/exec_real.rs:
+crates/framework/src/exec_sim.rs:
+crates/framework/src/graph.rs:
+crates/framework/src/memory.rs:
+crates/framework/src/models.rs:
+crates/framework/src/provider.rs:
+crates/framework/src/timing.rs:
+crates/framework/src/train.rs:

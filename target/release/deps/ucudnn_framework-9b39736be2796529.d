@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/ucudnn_framework-9b39736be2796529.d: crates/framework/src/lib.rs crates/framework/src/concurrency.rs crates/framework/src/cost.rs crates/framework/src/data_parallel.rs crates/framework/src/exec_real.rs crates/framework/src/exec_sim.rs crates/framework/src/graph.rs crates/framework/src/memory.rs crates/framework/src/models.rs crates/framework/src/provider.rs crates/framework/src/timing.rs crates/framework/src/train.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_framework-9b39736be2796529.rmeta: crates/framework/src/lib.rs crates/framework/src/concurrency.rs crates/framework/src/cost.rs crates/framework/src/data_parallel.rs crates/framework/src/exec_real.rs crates/framework/src/exec_sim.rs crates/framework/src/graph.rs crates/framework/src/memory.rs crates/framework/src/models.rs crates/framework/src/provider.rs crates/framework/src/timing.rs crates/framework/src/train.rs Cargo.toml
+
+crates/framework/src/lib.rs:
+crates/framework/src/concurrency.rs:
+crates/framework/src/cost.rs:
+crates/framework/src/data_parallel.rs:
+crates/framework/src/exec_real.rs:
+crates/framework/src/exec_sim.rs:
+crates/framework/src/graph.rs:
+crates/framework/src/memory.rs:
+crates/framework/src/models.rs:
+crates/framework/src/provider.rs:
+crates/framework/src/timing.rs:
+crates/framework/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

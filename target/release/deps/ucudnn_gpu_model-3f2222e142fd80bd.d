@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ucudnn_gpu_model-3f2222e142fd80bd.d: crates/gpu-model/src/lib.rs crates/gpu-model/src/algo.rs crates/gpu-model/src/device.rs crates/gpu-model/src/time.rs crates/gpu-model/src/workspace.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_gpu_model-3f2222e142fd80bd.rmeta: crates/gpu-model/src/lib.rs crates/gpu-model/src/algo.rs crates/gpu-model/src/device.rs crates/gpu-model/src/time.rs crates/gpu-model/src/workspace.rs Cargo.toml
+
+crates/gpu-model/src/lib.rs:
+crates/gpu-model/src/algo.rs:
+crates/gpu-model/src/device.rs:
+crates/gpu-model/src/time.rs:
+crates/gpu-model/src/workspace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

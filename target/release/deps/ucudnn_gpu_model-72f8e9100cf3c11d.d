@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ucudnn_gpu_model-72f8e9100cf3c11d.d: crates/gpu-model/src/lib.rs crates/gpu-model/src/algo.rs crates/gpu-model/src/device.rs crates/gpu-model/src/time.rs crates/gpu-model/src/workspace.rs
+
+/root/repo/target/release/deps/libucudnn_gpu_model-72f8e9100cf3c11d.rlib: crates/gpu-model/src/lib.rs crates/gpu-model/src/algo.rs crates/gpu-model/src/device.rs crates/gpu-model/src/time.rs crates/gpu-model/src/workspace.rs
+
+/root/repo/target/release/deps/libucudnn_gpu_model-72f8e9100cf3c11d.rmeta: crates/gpu-model/src/lib.rs crates/gpu-model/src/algo.rs crates/gpu-model/src/device.rs crates/gpu-model/src/time.rs crates/gpu-model/src/workspace.rs
+
+crates/gpu-model/src/lib.rs:
+crates/gpu-model/src/algo.rs:
+crates/gpu-model/src/device.rs:
+crates/gpu-model/src/time.rs:
+crates/gpu-model/src/workspace.rs:

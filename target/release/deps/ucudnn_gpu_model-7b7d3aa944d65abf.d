@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ucudnn_gpu_model-7b7d3aa944d65abf.d: crates/gpu-model/src/lib.rs crates/gpu-model/src/algo.rs crates/gpu-model/src/device.rs crates/gpu-model/src/time.rs crates/gpu-model/src/workspace.rs
+
+/root/repo/target/release/deps/ucudnn_gpu_model-7b7d3aa944d65abf: crates/gpu-model/src/lib.rs crates/gpu-model/src/algo.rs crates/gpu-model/src/device.rs crates/gpu-model/src/time.rs crates/gpu-model/src/workspace.rs
+
+crates/gpu-model/src/lib.rs:
+crates/gpu-model/src/algo.rs:
+crates/gpu-model/src/device.rs:
+crates/gpu-model/src/time.rs:
+crates/gpu-model/src/workspace.rs:

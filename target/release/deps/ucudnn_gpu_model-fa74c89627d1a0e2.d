@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ucudnn_gpu_model-fa74c89627d1a0e2.d: crates/gpu-model/src/lib.rs crates/gpu-model/src/algo.rs crates/gpu-model/src/device.rs crates/gpu-model/src/time.rs crates/gpu-model/src/workspace.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_gpu_model-fa74c89627d1a0e2.rmeta: crates/gpu-model/src/lib.rs crates/gpu-model/src/algo.rs crates/gpu-model/src/device.rs crates/gpu-model/src/time.rs crates/gpu-model/src/workspace.rs Cargo.toml
+
+crates/gpu-model/src/lib.rs:
+crates/gpu-model/src/algo.rs:
+crates/gpu-model/src/device.rs:
+crates/gpu-model/src/time.rs:
+crates/gpu-model/src/workspace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ucudnn_lp-62c8d2d30fe6c42b.d: crates/lp/src/lib.rs crates/lp/src/ilp.rs crates/lp/src/mck.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/ucudnn_lp-62c8d2d30fe6c42b: crates/lp/src/lib.rs crates/lp/src/ilp.rs crates/lp/src/mck.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/ilp.rs:
+crates/lp/src/mck.rs:
+crates/lp/src/simplex.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ucudnn_lp-afa6ab4940022eed.d: crates/lp/src/lib.rs crates/lp/src/ilp.rs crates/lp/src/mck.rs crates/lp/src/simplex.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_lp-afa6ab4940022eed.rmeta: crates/lp/src/lib.rs crates/lp/src/ilp.rs crates/lp/src/mck.rs crates/lp/src/simplex.rs Cargo.toml
+
+crates/lp/src/lib.rs:
+crates/lp/src/ilp.rs:
+crates/lp/src/mck.rs:
+crates/lp/src/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

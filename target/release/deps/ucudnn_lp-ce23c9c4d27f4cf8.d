@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ucudnn_lp-ce23c9c4d27f4cf8.d: crates/lp/src/lib.rs crates/lp/src/ilp.rs crates/lp/src/mck.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/libucudnn_lp-ce23c9c4d27f4cf8.rlib: crates/lp/src/lib.rs crates/lp/src/ilp.rs crates/lp/src/mck.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/libucudnn_lp-ce23c9c4d27f4cf8.rmeta: crates/lp/src/lib.rs crates/lp/src/ilp.rs crates/lp/src/mck.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/ilp.rs:
+crates/lp/src/mck.rs:
+crates/lp/src/simplex.rs:

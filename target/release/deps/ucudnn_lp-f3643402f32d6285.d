@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ucudnn_lp-f3643402f32d6285.d: crates/lp/src/lib.rs crates/lp/src/ilp.rs crates/lp/src/mck.rs crates/lp/src/simplex.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_lp-f3643402f32d6285.rmeta: crates/lp/src/lib.rs crates/lp/src/ilp.rs crates/lp/src/mck.rs crates/lp/src/simplex.rs Cargo.toml
+
+crates/lp/src/lib.rs:
+crates/lp/src/ilp.rs:
+crates/lp/src/mck.rs:
+crates/lp/src/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ucudnn_proptest_shim-1dc571fece17afa4.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_proptest_shim-1dc571fece17afa4.rlib: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_proptest_shim-1dc571fece17afa4.rmeta: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

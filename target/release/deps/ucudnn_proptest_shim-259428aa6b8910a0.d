@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ucudnn_proptest_shim-259428aa6b8910a0.d: crates/proptest-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_proptest_shim-259428aa6b8910a0.rmeta: crates/proptest-shim/src/lib.rs Cargo.toml
+
+crates/proptest-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

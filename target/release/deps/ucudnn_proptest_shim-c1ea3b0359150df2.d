@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ucudnn_proptest_shim-c1ea3b0359150df2.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/release/deps/ucudnn_proptest_shim-c1ea3b0359150df2: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ucudnn_repro-01ac3eddf29216b0.d: src/lib.rs
+
+/root/repo/target/release/deps/ucudnn_repro-01ac3eddf29216b0: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ucudnn_repro-31fc7b8f157af1f2.d: src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_repro-31fc7b8f157af1f2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_repro-31fc7b8f157af1f2.rmeta: src/lib.rs
+
+src/lib.rs:

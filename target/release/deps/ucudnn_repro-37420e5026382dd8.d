@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ucudnn_repro-37420e5026382dd8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_repro-37420e5026382dd8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ucudnn_repro-3b3e099b6ae244c0.d: src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_repro-3b3e099b6ae244c0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_repro-3b3e099b6ae244c0.rmeta: src/lib.rs
+
+src/lib.rs:

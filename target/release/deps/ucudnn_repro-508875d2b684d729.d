@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ucudnn_repro-508875d2b684d729.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_repro-508875d2b684d729.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ucudnn_repro-566a7525535bd969.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_repro-566a7525535bd969.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

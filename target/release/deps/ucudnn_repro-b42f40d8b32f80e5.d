@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ucudnn_repro-b42f40d8b32f80e5.d: src/lib.rs
+
+/root/repo/target/release/deps/ucudnn_repro-b42f40d8b32f80e5: src/lib.rs
+
+src/lib.rs:

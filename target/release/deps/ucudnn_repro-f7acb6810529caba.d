@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ucudnn_repro-f7acb6810529caba.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_repro-f7acb6810529caba.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

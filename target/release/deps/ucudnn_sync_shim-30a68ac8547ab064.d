@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ucudnn_sync_shim-30a68ac8547ab064.d: crates/sync-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_sync_shim-30a68ac8547ab064.rmeta: crates/sync-shim/src/lib.rs Cargo.toml
+
+crates/sync-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

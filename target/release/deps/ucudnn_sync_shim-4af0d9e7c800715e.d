@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ucudnn_sync_shim-4af0d9e7c800715e.d: crates/sync-shim/src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_sync_shim-4af0d9e7c800715e.rlib: crates/sync-shim/src/lib.rs
+
+/root/repo/target/release/deps/libucudnn_sync_shim-4af0d9e7c800715e.rmeta: crates/sync-shim/src/lib.rs
+
+crates/sync-shim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ucudnn_sync_shim-87e6c08e98a414d3.d: crates/sync-shim/src/lib.rs
+
+/root/repo/target/release/deps/ucudnn_sync_shim-87e6c08e98a414d3: crates/sync-shim/src/lib.rs
+
+crates/sync-shim/src/lib.rs:

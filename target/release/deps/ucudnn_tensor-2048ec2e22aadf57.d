@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ucudnn_tensor-2048ec2e22aadf57.d: crates/tensor/src/lib.rs crates/tensor/src/compare.rs crates/tensor/src/fill.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/release/deps/libucudnn_tensor-2048ec2e22aadf57.rmeta: crates/tensor/src/lib.rs crates/tensor/src/compare.rs crates/tensor/src/fill.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/compare.rs:
+crates/tensor/src/fill.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ucudnn_tensor-42048e5134ec6420.d: crates/tensor/src/lib.rs crates/tensor/src/compare.rs crates/tensor/src/fill.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/ucudnn_tensor-42048e5134ec6420: crates/tensor/src/lib.rs crates/tensor/src/compare.rs crates/tensor/src/fill.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/compare.rs:
+crates/tensor/src/fill.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ucudnn_tensor-5ec56cb351fdd7c6.d: crates/tensor/src/lib.rs crates/tensor/src/compare.rs crates/tensor/src/fill.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libucudnn_tensor-5ec56cb351fdd7c6.rlib: crates/tensor/src/lib.rs crates/tensor/src/compare.rs crates/tensor/src/fill.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libucudnn_tensor-5ec56cb351fdd7c6.rmeta: crates/tensor/src/lib.rs crates/tensor/src/compare.rs crates/tensor/src/fill.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/compare.rs:
+crates/tensor/src/fill.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wd_pruning-2198c2b30cdc140c.d: tests/wd_pruning.rs
+
+/root/repo/target/release/deps/wd_pruning-2198c2b30cdc140c: tests/wd_pruning.rs
+
+tests/wd_pruning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wd_pruning-3d94a690f1f43400.d: tests/wd_pruning.rs Cargo.toml
+
+/root/repo/target/release/deps/libwd_pruning-3d94a690f1f43400.rmeta: tests/wd_pruning.rs Cargo.toml
+
+tests/wd_pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wd_pruning-81059dbb9244d097.d: tests/wd_pruning.rs
+
+/root/repo/target/release/deps/wd_pruning-81059dbb9244d097: tests/wd_pruning.rs
+
+tests/wd_pruning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wd_pruning-b0bb292436343f8f.d: tests/wd_pruning.rs Cargo.toml
+
+/root/repo/target/release/deps/libwd_pruning-b0bb292436343f8f.rmeta: tests/wd_pruning.rs Cargo.toml
+
+tests/wd_pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wr_optimality-80df0ebbd2e2fa02.d: tests/wr_optimality.rs
+
+/root/repo/target/release/deps/wr_optimality-80df0ebbd2e2fa02: tests/wr_optimality.rs
+
+tests/wr_optimality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wr_optimality-8b174f1e45defa0b.d: tests/wr_optimality.rs
+
+/root/repo/target/release/deps/wr_optimality-8b174f1e45defa0b: tests/wr_optimality.rs
+
+tests/wr_optimality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wr_optimality-d3dd84753ff28f80.d: tests/wr_optimality.rs Cargo.toml
+
+/root/repo/target/release/deps/libwr_optimality-d3dd84753ff28f80.rmeta: tests/wr_optimality.rs Cargo.toml
+
+tests/wr_optimality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

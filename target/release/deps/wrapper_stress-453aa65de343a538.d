@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wrapper_stress-453aa65de343a538.d: tests/wrapper_stress.rs
+
+/root/repo/target/release/deps/wrapper_stress-453aa65de343a538: tests/wrapper_stress.rs
+
+tests/wrapper_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wrapper_stress-498fbb54d024a303.d: tests/wrapper_stress.rs Cargo.toml
+
+/root/repo/target/release/deps/libwrapper_stress-498fbb54d024a303.rmeta: tests/wrapper_stress.rs Cargo.toml
+
+tests/wrapper_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

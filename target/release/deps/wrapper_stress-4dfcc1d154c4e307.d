@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wrapper_stress-4dfcc1d154c4e307.d: tests/wrapper_stress.rs Cargo.toml
+
+/root/repo/target/release/deps/libwrapper_stress-4dfcc1d154c4e307.rmeta: tests/wrapper_stress.rs Cargo.toml
+
+tests/wrapper_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

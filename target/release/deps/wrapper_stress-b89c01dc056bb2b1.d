@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wrapper_stress-b89c01dc056bb2b1.d: tests/wrapper_stress.rs
+
+/root/repo/target/release/deps/wrapper_stress-b89c01dc056bb2b1: tests/wrapper_stress.rs
+
+tests/wrapper_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/alexnet_training-3735c14f2710c671.d: examples/alexnet_training.rs Cargo.toml
+
+/root/repo/target/release/examples/libalexnet_training-3735c14f2710c671.rmeta: examples/alexnet_training.rs Cargo.toml
+
+examples/alexnet_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

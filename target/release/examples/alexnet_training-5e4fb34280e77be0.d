@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/alexnet_training-5e4fb34280e77be0.d: examples/alexnet_training.rs
+
+/root/repo/target/release/examples/alexnet_training-5e4fb34280e77be0: examples/alexnet_training.rs
+
+examples/alexnet_training.rs:

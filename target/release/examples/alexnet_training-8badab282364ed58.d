@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/alexnet_training-8badab282364ed58.d: examples/alexnet_training.rs
+
+/root/repo/target/release/examples/alexnet_training-8badab282364ed58: examples/alexnet_training.rs
+
+examples/alexnet_training.rs:

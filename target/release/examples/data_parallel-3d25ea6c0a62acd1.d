@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/data_parallel-3d25ea6c0a62acd1.d: examples/data_parallel.rs
+
+/root/repo/target/release/examples/data_parallel-3d25ea6c0a62acd1: examples/data_parallel.rs
+
+examples/data_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/data_parallel-c9c25db2f65eec68.d: examples/data_parallel.rs
+
+/root/repo/target/release/examples/data_parallel-c9c25db2f65eec68: examples/data_parallel.rs
+
+examples/data_parallel.rs:

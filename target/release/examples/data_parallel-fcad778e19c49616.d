@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/data_parallel-fcad778e19c49616.d: examples/data_parallel.rs Cargo.toml
+
+/root/repo/target/release/examples/libdata_parallel-fcad778e19c49616.rmeta: examples/data_parallel.rs Cargo.toml
+
+examples/data_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/inception_wd-4227129cad5d5e47.d: examples/inception_wd.rs
+
+/root/repo/target/release/examples/inception_wd-4227129cad5d5e47: examples/inception_wd.rs
+
+examples/inception_wd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/inception_wd-7e6457f3396a77a6.d: examples/inception_wd.rs
+
+/root/repo/target/release/examples/inception_wd-7e6457f3396a77a6: examples/inception_wd.rs
+
+examples/inception_wd.rs:

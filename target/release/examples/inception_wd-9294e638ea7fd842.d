@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/inception_wd-9294e638ea7fd842.d: examples/inception_wd.rs Cargo.toml
+
+/root/repo/target/release/examples/libinception_wd-9294e638ea7fd842.rmeta: examples/inception_wd.rs Cargo.toml
+
+examples/inception_wd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/inception_wd-a5471e7471fe5700.d: examples/inception_wd.rs Cargo.toml
+
+/root/repo/target/release/examples/libinception_wd-a5471e7471fe5700.rmeta: examples/inception_wd.rs Cargo.toml
+
+examples/inception_wd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

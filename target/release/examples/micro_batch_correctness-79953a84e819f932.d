@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/micro_batch_correctness-79953a84e819f932.d: examples/micro_batch_correctness.rs
+
+/root/repo/target/release/examples/micro_batch_correctness-79953a84e819f932: examples/micro_batch_correctness.rs
+
+examples/micro_batch_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/micro_batch_correctness-a800802448d3c06e.d: examples/micro_batch_correctness.rs Cargo.toml
+
+/root/repo/target/release/examples/libmicro_batch_correctness-a800802448d3c06e.rmeta: examples/micro_batch_correctness.rs Cargo.toml
+
+examples/micro_batch_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

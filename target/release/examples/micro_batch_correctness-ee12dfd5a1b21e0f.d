@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/micro_batch_correctness-ee12dfd5a1b21e0f.d: examples/micro_batch_correctness.rs
+
+/root/repo/target/release/examples/micro_batch_correctness-ee12dfd5a1b21e0f: examples/micro_batch_correctness.rs
+
+examples/micro_batch_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-30509fd38f4630e1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-30509fd38f4630e1: examples/quickstart.rs
+
+examples/quickstart.rs:

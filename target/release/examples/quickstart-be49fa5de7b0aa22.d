@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-be49fa5de7b0aa22.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-be49fa5de7b0aa22.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-d9abf8cbff0bc8d7.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-d9abf8cbff0bc8d7.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f220eb7fb38c3807.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f220eb7fb38c3807: examples/quickstart.rs
+
+examples/quickstart.rs:

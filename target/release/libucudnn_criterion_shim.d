@@ -1,0 +1,1 @@
+/root/repo/target/release/libucudnn_criterion_shim.rlib: /root/repo/crates/criterion-shim/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libucudnn_lp.rlib: /root/repo/crates/lp/src/ilp.rs /root/repo/crates/lp/src/lib.rs /root/repo/crates/lp/src/mck.rs /root/repo/crates/lp/src/simplex.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libucudnn_sync_shim.rlib: /root/repo/crates/sync-shim/src/lib.rs

@@ -49,10 +49,12 @@ fn conv2_cliff_band() {
     let d = p100_sxm2();
     let g = conv2_geometry();
     let best = enumerate(&d, ConvOp::Forward, &g)[0];
-    let constrained =
-        fastest_within(&d, ConvOp::Forward, &g, best.workspace_bytes - 1).unwrap();
+    let constrained = fastest_within(&d, ConvOp::Forward, &g, best.workspace_bytes - 1).unwrap();
     let cliff = constrained.time_us / best.time_us;
-    assert!((2.0..8.0).contains(&cliff), "conv2 cliff {cliff:.2} left the band");
+    assert!(
+        (2.0..8.0).contains(&cliff),
+        "conv2 cliff {cliff:.2} left the band"
+    );
 }
 
 /// Fig. 10 @ P100: `all` vs `undivided` at 64 MiB lands near the paper's
@@ -60,17 +62,29 @@ fn conv2_cliff_band() {
 #[test]
 fn alexnet_p100_64mib_band() {
     let (iter, conv) = alexnet_speedup(64 * MIB, BatchSizePolicy::All);
-    assert!((1.2..1.8).contains(&iter), "iteration speedup {iter:.2} left the band");
-    assert!((1.3..2.2).contains(&conv), "convolution speedup {conv:.2} left the band");
+    assert!(
+        (1.2..1.8).contains(&iter),
+        "iteration speedup {iter:.2} left the band"
+    );
+    assert!(
+        (1.3..2.2).contains(&conv),
+        "convolution speedup {conv:.2} left the band"
+    );
 }
 
 /// Fig. 10: no gain at 8 MiB, parity at 512 MiB (P100, batch 256).
 #[test]
 fn alexnet_p100_extremes_band() {
     let (iter8, _) = alexnet_speedup(8 * MIB, BatchSizePolicy::All);
-    assert!((0.99..1.1).contains(&iter8), "8 MiB speedup {iter8:.3} should be ~1");
+    assert!(
+        (0.99..1.1).contains(&iter8),
+        "8 MiB speedup {iter8:.3} should be ~1"
+    );
     let (iter512, _) = alexnet_speedup(512 * MIB, BatchSizePolicy::All);
-    assert!((0.99..1.05).contains(&iter512), "512 MiB speedup {iter512:.3} should be ~1");
+    assert!(
+        (0.99..1.05).contains(&iter512),
+        "512 MiB speedup {iter512:.3} should be ~1"
+    );
 }
 
 /// §IV-A: conv2 `all` beats `undivided` by a large factor at 64 MiB
@@ -78,14 +92,24 @@ fn alexnet_p100_extremes_band() {
 #[test]
 fn conv2_wr_band() {
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = ucudnn::BenchCache::new();
+    let cache = ucudnn::BenchCache::new();
     let key = ucudnn::KernelKey::new(ConvOp::Forward, &conv2_geometry());
-    let u = ucudnn::optimize_wr(&handle, &mut cache, &key, 64 * MIB, BatchSizePolicy::Undivided, false)
-        .unwrap();
-    let a = ucudnn::optimize_wr(&handle, &mut cache, &key, 64 * MIB, BatchSizePolicy::All, false)
-        .unwrap();
+    let u = ucudnn::optimize_wr(
+        &handle,
+        &cache,
+        &key,
+        64 * MIB,
+        BatchSizePolicy::Undivided,
+        false,
+    )
+    .unwrap();
+    let a =
+        ucudnn::optimize_wr(&handle, &cache, &key, 64 * MIB, BatchSizePolicy::All, false).unwrap();
     let speedup = u.config.time_us() / a.config.time_us();
-    assert!((1.8..3.5).contains(&speedup), "conv2 speedup {speedup:.2} left the band");
+    assert!(
+        (1.8..3.5).contains(&speedup),
+        "conv2 speedup {speedup:.2} left the band"
+    );
 }
 
 /// Fig. 14: under a tight total budget WD concentrates the workspace on
@@ -115,7 +139,10 @@ fn wd_concentrates_on_conv2_conv3() {
         .map(|a| a.config.workspace_bytes())
         .sum();
     let share = conv23 as f64 / plan.total_workspace_bytes.max(1) as f64;
-    assert!(share > 0.8, "conv2+conv3 share {share:.2} should dominate (paper 0.937)");
+    assert!(
+        share > 0.8,
+        "conv2+conv3 share {share:.2} should dominate (paper 0.937)"
+    );
 }
 
 /// The workspace-memory claim of Fig. 10: `all` at 64 MiB uses several
@@ -147,5 +174,8 @@ fn all_64_dominates_undivided_512_on_memory() {
     let mem_ratio = rr.workspace_bytes as f64 / rl.workspace_bytes as f64;
     assert!(mem_ratio > 3.0, "memory ratio {mem_ratio:.2} (paper ~4.1x)");
     let slowdown = rl.timing.total_us() / rr.timing.total_us();
-    assert!(slowdown < 1.35, "lean config too slow: {slowdown:.2}x (paper 1.04x)");
+    assert!(
+        slowdown < 1.35,
+        "lean config too slow: {slowdown:.2}x (paper 1.04x)"
+    );
 }

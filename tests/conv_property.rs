@@ -7,8 +7,16 @@ use ucudnn_tensor::{max_rel_diff, ConvGeometry, FilterShape, Shape4, Tensor};
 
 /// Random small-but-nontrivial convolution geometries.
 fn geometries() -> impl Strategy<Value = ConvGeometry> {
-    (1usize..=6, 1usize..=4, 4usize..=10, 1usize..=4, 1usize..=3, 0usize..=2, 1usize..=2).prop_map(
-        |(n, c, hw, k, half_r, pad, stride)| {
+    (
+        1usize..=6,
+        1usize..=4,
+        4usize..=10,
+        1usize..=4,
+        1usize..=3,
+        0usize..=2,
+        1usize..=2,
+    )
+        .prop_map(|(n, c, hw, k, half_r, pad, stride)| {
             let r = 2 * half_r - 1; // odd kernels 1/3/5
             let pad = pad.min(r - 1);
             ConvGeometry::with_square(
@@ -17,8 +25,7 @@ fn geometries() -> impl Strategy<Value = ConvGeometry> {
                 pad,
                 stride,
             )
-        },
-    )
+        })
 }
 
 fn run_engine(
@@ -31,7 +38,18 @@ fn run_engine(
 ) -> Tensor {
     let mut out = Tensor::zeros(out_shape);
     let mut ws = vec![0.0f32; workspace_floats(engine, op, g)];
-    exec(engine, op, g, a.as_slice(), b.as_slice(), out.as_mut_slice(), 1.0, 0.0, &mut ws).unwrap();
+    exec(
+        engine,
+        op,
+        g,
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        1.0,
+        0.0,
+        &mut ws,
+    )
+    .unwrap();
     out
 }
 

@@ -8,9 +8,7 @@
 
 use ucudnn::{BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions};
 use ucudnn_cudnn_sim::CudnnHandle;
-use ucudnn_framework::{
-    BaselineCudnn, ConvProvider, LayerSpec, NetworkDef, Params, RealExecutor,
-};
+use ucudnn_framework::{BaselineCudnn, ConvProvider, LayerSpec, NetworkDef, Params, RealExecutor};
 use ucudnn_tensor::{max_rel_diff, Shape4, Tensor};
 
 fn micro_handle(ws_bytes: usize) -> UcudnnHandle {
@@ -62,8 +60,14 @@ fn check_equivalence(net: NetworkDef, seed: u64, ws_bytes: usize, tol: f32) {
         "workspace limit did not force micro-batching"
     );
 
-    assert!(max_rel_diff(&acts_ref[last], &acts_mu[last]) <= tol, "outputs diverge");
-    assert!(max_rel_diff(&dx_ref, &dx_mu) <= tol, "input gradients diverge");
+    assert!(
+        max_rel_diff(&acts_ref[last], &acts_mu[last]) <= tol,
+        "outputs diverge"
+    );
+    assert!(
+        max_rel_diff(&dx_ref, &dx_mu) <= tol,
+        "input gradients diverge"
+    );
     assert_params_close(&grads_ref, &grads_mu, tol);
 }
 
@@ -71,7 +75,16 @@ fn check_equivalence(net: NetworkDef, seed: u64, ws_bytes: usize, tol: f32) {
 fn plain_cnn_step_is_preserved() {
     let mut net = NetworkDef::new("cnn", Shape4::new(10, 3, 12, 12));
     let c1 = net.conv_relu("conv1", net.input(), 8, 5, 1, 2);
-    let p = net.add("pool", LayerSpec::Pool { max: true, kernel: 2, stride: 2, pad: 0 }, &[c1]);
+    let p = net.add(
+        "pool",
+        LayerSpec::Pool {
+            max: true,
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+        },
+        &[c1],
+    );
     let c2 = net.conv_relu("conv2", p, 12, 3, 1, 1);
     net.add("fc", LayerSpec::FullyConnected { out: 7 }, &[c2]);
     check_equivalence(net, 11, 64 << 10, 1e-3);
@@ -83,7 +96,16 @@ fn residual_block_with_batchnorm_is_preserved() {
     // BN, so the step must still match exactly (up to f32 reassociation).
     let mut net = NetworkDef::new("res", Shape4::new(9, 4, 10, 10));
     let c1 = net.conv_bn_relu("conv1", net.input(), 8, 3, 1, 1);
-    let c2 = net.add("conv2", LayerSpec::Conv { out_channels: 8, kernel: 3, stride: 1, pad: 1 }, &[c1]);
+    let c2 = net.add(
+        "conv2",
+        LayerSpec::Conv {
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        },
+        &[c1],
+    );
     let b2 = net.add("conv2.bn", LayerSpec::BatchNorm, &[c2]);
     let sum = net.add("add", LayerSpec::Add, &[b2, c1]);
     let r = net.add("relu", LayerSpec::Relu, &[sum]);
@@ -96,9 +118,27 @@ fn residual_block_with_batchnorm_is_preserved() {
 fn concat_network_is_preserved() {
     // DenseNet-style concatenation.
     let mut net = NetworkDef::new("dense", Shape4::new(6, 3, 8, 8));
-    let c1 = net.add("c1", LayerSpec::Conv { out_channels: 4, kernel: 3, stride: 1, pad: 1 }, &[0]);
+    let c1 = net.add(
+        "c1",
+        LayerSpec::Conv {
+            out_channels: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        },
+        &[0],
+    );
     let cat1 = net.add("cat1", LayerSpec::Concat, &[0, c1]);
-    let c2 = net.add("c2", LayerSpec::Conv { out_channels: 4, kernel: 3, stride: 1, pad: 1 }, &[cat1]);
+    let c2 = net.add(
+        "c2",
+        LayerSpec::Conv {
+            out_channels: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        },
+        &[cat1],
+    );
     let cat2 = net.add("cat2", LayerSpec::Concat, &[cat1, c2]);
     net.add("fc", LayerSpec::FullyConnected { out: 3 }, &[cat2]);
     check_equivalence(net, 37, 32 << 10, 1e-3);
@@ -138,7 +178,10 @@ fn repeated_steps_reuse_plans_and_stay_consistent() {
     let a1 = exec.forward(&mu, &x).unwrap();
     let a2 = exec.forward(&mu, &x).unwrap();
     let last = net.len() - 1;
-    assert_eq!(a1[last], a2[last], "repeated execution must be bitwise identical");
+    assert_eq!(
+        a1[last], a2[last],
+        "repeated execution must be bitwise identical"
+    );
     // Optimization ran once: the second pass hit the plan cache.
     let stats = mu.cache_stats();
     assert!(stats.misses > 0);

@@ -2,7 +2,9 @@
 //! result sharing across homogeneous nodes through the transparent handle.
 
 use ucudnn::{BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions};
-use ucudnn_cudnn_sim::{ConvOp, ConvolutionDescriptor, CudnnHandle, FilterDescriptor, TensorDescriptor};
+use ucudnn_cudnn_sim::{
+    ConvOp, ConvolutionDescriptor, CudnnHandle, FilterDescriptor, TensorDescriptor,
+};
 use ucudnn_gpu_model::{p100_sxm2, v100_sxm2};
 
 const MIB: usize = 1024 * 1024;
@@ -20,6 +22,7 @@ fn opts(db: &std::path::Path) -> UcudnnOptions {
         mode: OptimizerMode::Wr,
         cache_file: Some(db.to_path_buf()),
         parallel_benchmark: false,
+        opt_threads: 1,
     }
 }
 
@@ -50,11 +53,18 @@ fn second_handle_reuses_the_file_database() {
     // NFS-sharing scenario): zero benchmarks, identical plan.
     let h2 = UcudnnHandle::new(CudnnHandle::simulated(p100_sxm2()), opts(&db));
     h2.get_algorithm(ConvOp::Forward, &x, &w, &c).unwrap();
-    assert_eq!(h2.cache_stats().misses, 0, "warm cache must not re-benchmark");
+    assert_eq!(
+        h2.cache_stats().misses,
+        0,
+        "warm cache must not re-benchmark"
+    );
     let g = c.geometry(&x, &w).unwrap();
     let plan_b = h2.plan(ConvOp::Forward, &g).unwrap();
     assert_eq!(plan_a.config.describe(), plan_b.config.describe());
-    assert_eq!(plan_a.config.workspace_bytes(), plan_b.config.workspace_bytes());
+    assert_eq!(
+        plan_a.config.workspace_bytes(),
+        plan_b.config.workspace_bytes()
+    );
 
     std::fs::remove_dir_all(db.parent().unwrap()).ok();
 }
@@ -71,7 +81,10 @@ fn different_devices_never_share_cached_results() {
     // A V100 handle with the P100's database must still benchmark.
     let h2 = UcudnnHandle::new(CudnnHandle::simulated(v100_sxm2()), opts(&db));
     h2.get_algorithm(ConvOp::Forward, &x, &w, &c).unwrap();
-    assert!(h2.cache_stats().misses > 0, "a different device must re-benchmark");
+    assert!(
+        h2.cache_stats().misses > 0,
+        "a different device must re-benchmark"
+    );
 
     std::fs::remove_dir_all(db.parent().unwrap()).ok();
 }
@@ -82,15 +95,24 @@ fn parallel_and_serial_benchmarking_agree() {
     let g = c.geometry(&x, &w).unwrap();
     let serial = UcudnnHandle::new(
         CudnnHandle::simulated(p100_sxm2()),
-        UcudnnOptions { parallel_benchmark: false, ..opts(std::path::Path::new("/nonexistent")) },
+        UcudnnOptions {
+            parallel_benchmark: false,
+            ..opts(std::path::Path::new("/nonexistent"))
+        },
     );
     let parallel = UcudnnHandle::new(
         CudnnHandle::simulated(p100_sxm2()),
-        UcudnnOptions { parallel_benchmark: true, ..opts(std::path::Path::new("/nonexistent2")) },
+        UcudnnOptions {
+            parallel_benchmark: true,
+            ..opts(std::path::Path::new("/nonexistent2"))
+        },
     );
     serial.get_algorithm(ConvOp::Forward, &x, &w, &c).unwrap();
     parallel.get_algorithm(ConvOp::Forward, &x, &w, &c).unwrap();
     let ps = serial.plan(ConvOp::Forward, &g).unwrap();
     let pp = parallel.plan(ConvOp::Forward, &g).unwrap();
-    assert_eq!(ps.config, pp.config, "parallel evaluation must not change the plan");
+    assert_eq!(
+        ps.config, pp.config,
+        "parallel evaluation must not change the plan"
+    );
 }

@@ -1,0 +1,132 @@
+//! Regression: parallel whole-network optimization is plan-deterministic.
+//!
+//! The optimizer's guarantee (DESIGN.md §parallel): for any worker thread
+//! count, the installed plans — micro-batch divisions, algorithm choices,
+//! workspace assignments — are identical to the sequential result, because
+//! benchmarks are pure functions of (device, kernel) and worker results are
+//! installed in registration order. These tests pin that guarantee for
+//! AlexNet and ResNet-18 under both WR and WD.
+
+use ucudnn::{
+    BatchSizePolicy, Configuration, KernelKey, OptimizerMode, UcudnnHandle, UcudnnOptions,
+};
+use ucudnn_cudnn_sim::CudnnHandle;
+use ucudnn_framework::{alexnet, resnet18, setup_network, time_iteration, NetworkDef};
+use ucudnn_gpu_model::p100_sxm2;
+
+const MIB: usize = 1024 * 1024;
+
+/// Optimize `net` with `threads` workers and return the full plan table
+/// (sorted by kernel) plus the predicted time of one training iteration.
+fn optimize(
+    net: &NetworkDef,
+    mode: OptimizerMode,
+    threads: usize,
+) -> (Vec<(KernelKey, Configuration, usize)>, f64) {
+    let handle = UcudnnHandle::new(
+        CudnnHandle::simulated(p100_sxm2()),
+        UcudnnOptions {
+            policy: BatchSizePolicy::PowerOfTwo,
+            workspace_limit_bytes: 64 * MIB,
+            mode,
+            opt_threads: threads,
+            ..Default::default()
+        },
+    );
+    setup_network(&handle, net).unwrap();
+    let plans = handle.memory_report();
+    handle.inner().reset_clock();
+    let timing = time_iteration(&handle, net).unwrap();
+    (plans, timing.total_us())
+}
+
+/// Assert plan tables and predicted times are exactly equal (f64 bit-for-bit:
+/// the virtual clock is deterministic, so no tolerance is needed).
+fn assert_deterministic(net: &NetworkDef, mode: OptimizerMode) {
+    let (seq_plans, seq_time) = optimize(net, mode, 1);
+    assert!(!seq_plans.is_empty(), "network must produce plans");
+    for threads in [2usize, 8] {
+        let (plans, time) = optimize(net, mode, threads);
+        assert_eq!(
+            plans, seq_plans,
+            "{mode:?} plans with {threads} threads differ from sequential"
+        );
+        assert_eq!(
+            time, seq_time,
+            "{mode:?} predicted iteration time with {threads} threads differs"
+        );
+    }
+}
+
+#[test]
+fn alexnet_wr_plans_identical_across_thread_counts() {
+    assert_deterministic(&alexnet(256), OptimizerMode::Wr);
+}
+
+#[test]
+fn alexnet_wd_plans_identical_across_thread_counts() {
+    assert_deterministic(&alexnet(256), OptimizerMode::Wd);
+}
+
+#[test]
+fn resnet18_wr_plans_identical_across_thread_counts() {
+    assert_deterministic(&resnet18(64), OptimizerMode::Wr);
+}
+
+#[test]
+fn resnet18_wd_plans_identical_across_thread_counts() {
+    assert_deterministic(&resnet18(64), OptimizerMode::Wd);
+}
+
+#[test]
+fn wd_segment_offsets_identical_across_thread_counts() {
+    // memory_report drops workspace offsets; pin them via the WD plan.
+    let net = alexnet(256);
+    let seq = wd_assignments(&net, 1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            wd_assignments(&net, threads),
+            seq,
+            "{threads}-thread WD offsets differ"
+        );
+    }
+}
+
+fn wd_assignments(net: &NetworkDef, threads: usize) -> Vec<(KernelKey, Configuration, usize)> {
+    let handle = UcudnnHandle::new(
+        CudnnHandle::simulated(p100_sxm2()),
+        UcudnnOptions {
+            policy: BatchSizePolicy::PowerOfTwo,
+            workspace_limit_bytes: 64 * MIB,
+            mode: OptimizerMode::Wd,
+            opt_threads: threads,
+            ..Default::default()
+        },
+    );
+    setup_network(&handle, net).unwrap();
+    let plan = handle.wd_plan().expect("WD ran at setup");
+    plan.assignments
+        .into_iter()
+        .map(|a| (a.kernel, a.config, a.offset_bytes))
+        .collect()
+}
+
+#[test]
+fn parallel_run_reports_thread_count_in_metrics() {
+    let net = alexnet(256);
+    let handle = UcudnnHandle::new(
+        CudnnHandle::simulated(p100_sxm2()),
+        UcudnnOptions {
+            workspace_limit_bytes: 64 * MIB,
+            opt_threads: 4,
+            ..Default::default()
+        },
+    );
+    setup_network(&handle, &net).unwrap();
+    assert_eq!(handle.metrics().threads(), 4);
+    let json = handle.metrics_json();
+    assert!(
+        json.contains("\"threads\":4"),
+        "metrics JSON must report the thread count: {json}"
+    );
+}

@@ -20,9 +20,23 @@ fn one_by_one_everything() {
         }
         let mut y = Tensor::zeros(g.output());
         let mut ws = vec![0.0; workspace_floats(engine, ConvOp::Forward, &g)];
-        exec(engine, ConvOp::Forward, &g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws)
-            .unwrap();
-        assert!((y.as_slice()[0] - 6.0).abs() < 1e-5, "{engine:?} got {}", y.as_slice()[0]);
+        exec(
+            engine,
+            ConvOp::Forward,
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        )
+        .unwrap();
+        assert!(
+            (y.as_slice()[0] - 6.0).abs() < 1e-5,
+            "{engine:?} got {}",
+            y.as_slice()[0]
+        );
     }
 }
 
@@ -34,25 +48,54 @@ fn kernel_equals_image() {
     let x = Tensor::random(g.input, 1);
     let w = Tensor::random(g.filter.as_shape4(), 2);
     let mut direct = Tensor::zeros(g.output());
-    exec(EngineKind::Direct, ConvOp::Forward, &g, x.as_slice(), w.as_slice(), direct.as_mut_slice(), 1.0, 0.0, &mut [])
-        .unwrap();
+    exec(
+        EngineKind::Direct,
+        ConvOp::Forward,
+        &g,
+        x.as_slice(),
+        w.as_slice(),
+        direct.as_mut_slice(),
+        1.0,
+        0.0,
+        &mut [],
+    )
+    .unwrap();
     let mut fft = Tensor::zeros(g.output());
     let mut ws = vec![0.0; workspace_floats(EngineKind::Fft, ConvOp::Forward, &g)];
-    exec(EngineKind::Fft, ConvOp::Forward, &g, x.as_slice(), w.as_slice(), fft.as_mut_slice(), 1.0, 0.0, &mut ws)
-        .unwrap();
+    exec(
+        EngineKind::Fft,
+        ConvOp::Forward,
+        &g,
+        x.as_slice(),
+        w.as_slice(),
+        fft.as_mut_slice(),
+        1.0,
+        0.0,
+        &mut ws,
+    )
+    .unwrap();
     ucudnn_tensor::assert_all_close(&direct, &fft, 5e-3);
 }
 
 /// WR on a batch of one: the only division is no division.
 #[test]
 fn wr_batch_of_one() {
-    let g = ConvGeometry::with_square(Shape4::new(1, 8, 14, 14), FilterShape::new(8, 8, 3, 3), 1, 1);
+    let g = ConvGeometry::with_square(
+        Shape4::new(1, 8, 14, 14),
+        FilterShape::new(8, 8, 3, 3),
+        1,
+        1,
+    );
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = BenchCache::new();
-    for policy in [BatchSizePolicy::All, BatchSizePolicy::PowerOfTwo, BatchSizePolicy::Undivided] {
+    let cache = BenchCache::new();
+    for policy in [
+        BatchSizePolicy::All,
+        BatchSizePolicy::PowerOfTwo,
+        BatchSizePolicy::Undivided,
+    ] {
         let r = optimize_wr(
             &handle,
-            &mut cache,
+            &cache,
             &KernelKey::new(ucudnn_cudnn_sim::ConvOp::Forward, &g),
             64 << 20,
             policy,
@@ -68,8 +111,8 @@ fn wr_batch_of_one() {
 #[test]
 fn wd_with_no_kernels() {
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = BenchCache::new();
-    let plan = optimize_wd(&handle, &mut cache, &[], 64 << 20, BatchSizePolicy::PowerOfTwo).unwrap();
+    let cache = BenchCache::new();
+    let plan = optimize_wd(&handle, &cache, &[], 64 << 20, BatchSizePolicy::PowerOfTwo).unwrap();
     assert!(plan.assignments.is_empty());
     assert_eq!(plan.total_workspace_bytes, 0);
 }
@@ -82,13 +125,20 @@ fn oversized_padding_falls_back_cleanly() {
     // plan from the remaining algorithms.
     let g = ConvGeometry::with_square(Shape4::new(4, 4, 9, 9), FilterShape::new(4, 4, 3, 3), 2, 1);
     assert!(supports(EngineKind::Fft, ConvOp::Forward, &g)); // pad 2 < 3: fine
-    let g_bad = ConvGeometry::new(Shape4::new(4, 4, 9, 9), FilterShape::new(4, 4, 3, 3), 3, 3, 1, 1);
+    let g_bad = ConvGeometry::new(
+        Shape4::new(4, 4, 9, 9),
+        FilterShape::new(4, 4, 3, 3),
+        3,
+        3,
+        1,
+        1,
+    );
     assert!(!supports(EngineKind::Fft, ConvOp::Forward, &g_bad));
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = BenchCache::new();
+    let cache = BenchCache::new();
     let r = optimize_wr(
         &handle,
-        &mut cache,
+        &cache,
         &KernelKey::new(ucudnn_cudnn_sim::ConvOp::Forward, &g_bad),
         64 << 20,
         BatchSizePolicy::PowerOfTwo,
@@ -112,16 +162,36 @@ fn rectangular_geometry_agreement() {
     let x = Tensor::random(g.input, 5);
     let w = Tensor::random(g.filter.as_shape4(), 6);
     let mut reference = Tensor::zeros(g.output());
-    exec(EngineKind::Direct, ConvOp::Forward, &g, x.as_slice(), w.as_slice(), reference.as_mut_slice(), 1.0, 0.0, &mut [])
-        .unwrap();
+    exec(
+        EngineKind::Direct,
+        ConvOp::Forward,
+        &g,
+        x.as_slice(),
+        w.as_slice(),
+        reference.as_mut_slice(),
+        1.0,
+        0.0,
+        &mut [],
+    )
+    .unwrap();
     for engine in [EngineKind::Gemm, EngineKind::Fft] {
         if !supports(engine, ConvOp::Forward, &g) {
             continue;
         }
         let mut y = Tensor::zeros(g.output());
         let mut ws = vec![0.0; workspace_floats(engine, ConvOp::Forward, &g)];
-        exec(engine, ConvOp::Forward, &g, x.as_slice(), w.as_slice(), y.as_mut_slice(), 1.0, 0.0, &mut ws)
-            .unwrap();
+        exec(
+            engine,
+            ConvOp::Forward,
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        )
+        .unwrap();
         ucudnn_tensor::assert_all_close(&reference, &y, 5e-3);
     }
 }

@@ -13,7 +13,16 @@ use ucudnn_tensor::Shape4;
 fn classifier(n: usize) -> NetworkDef {
     let mut net = NetworkDef::new("clf", Shape4::new(n, 2, 10, 10));
     let c1 = net.conv_relu("conv1", net.input(), 6, 5, 1, 2);
-    let p = net.add("pool", LayerSpec::Pool { max: true, kernel: 2, stride: 2, pad: 0 }, &[c1]);
+    let p = net.add(
+        "pool",
+        LayerSpec::Pool {
+            max: true,
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+        },
+        &[c1],
+    );
     let c2 = net.conv_relu("conv2", p, 8, 3, 1, 1);
     let gap = net.add("gap", LayerSpec::GlobalAvgPool, &[c2]);
     net.add("fc", LayerSpec::FullyConnected { out: 4 }, &[gap]);
@@ -82,6 +91,9 @@ fn micro_batched_training_matches_undivided_trajectory() {
     // synthetic_task` over a longer run; 12 steps only need to *match*).
     let chance = (4.0f64).ln();
     for l in &losses_a {
-        assert!(l.is_finite() && *l > 0.0 && *l < 3.0 * chance, "implausible loss {l}");
+        assert!(
+            l.is_finite() && *l > 0.0 && *l < 3.0 * chance,
+            "implausible loss {l}"
+        );
     }
 }

@@ -1,9 +1,7 @@
 //! Contract tests for the transparent wrapper (`UcudnnHandle`): the
 //! integration surface a deep learning framework sees (§III-D/E).
 
-use ucudnn::{
-    BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions, VIRTUAL_ALGO,
-};
+use ucudnn::{BatchSizePolicy, OptimizerMode, UcudnnHandle, UcudnnOptions, VIRTUAL_ALGO};
 use ucudnn_cudnn_sim::{
     ConvOp, ConvolutionDescriptor, CudnnHandle, FilterDescriptor, TensorDescriptor,
 };
@@ -18,7 +16,12 @@ fn descs(
     k: usize,
     r: usize,
     pad: usize,
-) -> (TensorDescriptor, FilterDescriptor, ConvolutionDescriptor, TensorDescriptor) {
+) -> (
+    TensorDescriptor,
+    FilterDescriptor,
+    ConvolutionDescriptor,
+    TensorDescriptor,
+) {
     let x = TensorDescriptor::new_4d(n, c, hw, hw).unwrap();
     let w = FilterDescriptor::new_4d(k, c, r, r).unwrap();
     let conv = ConvolutionDescriptor::new_2d(pad, pad, 1, 1).unwrap();
@@ -44,7 +47,11 @@ fn get_algorithm_returns_virtual_id_and_zero_workspace() {
     let (x, w, conv, _) = descs(256, 64, 27, 192, 5, 2);
     let algo = h.get_algorithm(ConvOp::Forward, &x, &w, &conv).unwrap();
     assert_eq!(algo, VIRTUAL_ALGO);
-    assert_eq!(h.get_workspace_size(ConvOp::Forward, &x, &w, &conv, algo).unwrap(), 0);
+    assert_eq!(
+        h.get_workspace_size(ConvOp::Forward, &x, &w, &conv, algo)
+            .unwrap(),
+        0
+    );
 }
 
 #[test]
@@ -67,8 +74,12 @@ fn execution_replays_the_planned_micro_batches() {
     let g = conv.geometry(&x, &w).unwrap();
     let plan = h.plan(ConvOp::Forward, &g).unwrap();
     assert!(plan.config.micros.len() > 1, "64 MiB conv2 must split");
-    h.convolution_forward(1.0, &x, &[], &w, &[], &conv, algo, 0.0, &y, &mut []).unwrap();
-    assert_eq!(h.inner().kernels_launched() as usize, plan.config.micros.len());
+    h.convolution_forward(1.0, &x, &[], &w, &[], &conv, algo, 0.0, &y, &mut [])
+        .unwrap();
+    assert_eq!(
+        h.inner().kernels_launched() as usize,
+        plan.config.micros.len()
+    );
     // The virtual clock advanced by exactly the plan's predicted time.
     assert!((h.inner().elapsed_us() - plan.config.time_us()).abs() < 1e-6);
 }
@@ -79,7 +90,8 @@ fn unregistered_kernels_are_optimized_lazily() {
     // convolution call optimizes on the fly.
     let h = wr_handle(16 * MIB, BatchSizePolicy::PowerOfTwo);
     let (x, w, conv, y) = descs(64, 32, 27, 64, 5, 2);
-    h.convolution_forward(1.0, &x, &[], &w, &[], &conv, VIRTUAL_ALGO, 0.0, &y, &mut []).unwrap();
+    h.convolution_forward(1.0, &x, &[], &w, &[], &conv, VIRTUAL_ALGO, 0.0, &y, &mut [])
+        .unwrap();
     let g = conv.geometry(&x, &w).unwrap();
     assert!(h.plan(ConvOp::Forward, &g).is_some());
 }
@@ -92,7 +104,11 @@ fn replicated_layers_hit_the_benchmark_cache() {
     h.get_algorithm(ConvOp::Forward, &x, &w, &conv).unwrap();
     let misses_after_first = h.cache_stats().misses;
     h.get_algorithm(ConvOp::Forward, &x, &w, &conv).unwrap();
-    assert_eq!(h.cache_stats().misses, misses_after_first, "second registration re-benchmarked");
+    assert_eq!(
+        h.cache_stats().misses,
+        misses_after_first,
+        "second registration re-benchmarked"
+    );
 }
 
 #[test]
@@ -111,7 +127,19 @@ fn wd_mode_defers_optimization_until_first_execution() {
     h.get_algorithm(ConvOp::Forward, &x1, &w1, &c1).unwrap();
     h.get_algorithm(ConvOp::Forward, &x2, &w2, &c2).unwrap();
     assert!(h.wd_plan().is_none(), "WD must not run during registration");
-    h.convolution_forward(1.0, &x1, &[], &w1, &[], &c1, VIRTUAL_ALGO, 0.0, &y1, &mut []).unwrap();
+    h.convolution_forward(
+        1.0,
+        &x1,
+        &[],
+        &w1,
+        &[],
+        &c1,
+        VIRTUAL_ALGO,
+        0.0,
+        &y1,
+        &mut [],
+    )
+    .unwrap();
     let plan = h.wd_plan().expect("first convolution triggers WD");
     assert_eq!(plan.assignments.len(), 2);
     assert!(plan.total_workspace_bytes <= 120 * MIB);
@@ -156,15 +184,30 @@ fn undivided_policy_reproduces_baseline_cudnn_timing() {
             ucudnn_cudnn_sim::AlgoPreference::SpecifyWorkspaceLimit(limit),
         )
         .unwrap();
-    let ws_bytes = baseline.get_workspace_size(ConvOp::Forward, &x, &w, &conv, algo).unwrap();
+    let ws_bytes = baseline
+        .get_workspace_size(ConvOp::Forward, &x, &w, &conv, algo)
+        .unwrap();
     let mut ws = vec![0.0f32; ws_bytes.div_ceil(4)];
     baseline
-        .convolution_forward(1.0, &x, &[], &w, &[], &conv, algo, &mut ws, 0.0, &y, &mut [])
+        .convolution_forward(
+            1.0,
+            &x,
+            &[],
+            &w,
+            &[],
+            &conv,
+            algo,
+            &mut ws,
+            0.0,
+            &y,
+            &mut [],
+        )
         .unwrap();
 
     let h = wr_handle(limit, BatchSizePolicy::Undivided);
     let va = h.get_algorithm(ConvOp::Forward, &x, &w, &conv).unwrap();
-    h.convolution_forward(1.0, &x, &[], &w, &[], &conv, va, 0.0, &y, &mut []).unwrap();
+    h.convolution_forward(1.0, &x, &[], &w, &[], &conv, va, 0.0, &y, &mut [])
+        .unwrap();
 
     assert!((h.inner().elapsed_us() - baseline.elapsed_us()).abs() < 1e-9);
 }

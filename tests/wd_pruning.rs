@@ -29,7 +29,7 @@ fn kernel(n: usize, c: usize, k: usize, r: usize, pad: usize) -> KernelKey {
 /// kernel within the cap, deduplicated. Exponential; `b` must be tiny.
 fn full_configuration_costs(
     handle: &CudnnHandle,
-    cache: &mut BenchCache,
+    cache: &BenchCache,
     key: &KernelKey,
     cap: usize,
 ) -> Vec<(f64, usize)> {
@@ -40,7 +40,10 @@ fn full_configuration_costs(
             if m == 0 {
                 return Vec::new();
             }
-            let micro_key = KernelKey { input: key.input.with_batch(m), ..*key };
+            let micro_key = KernelKey {
+                input: key.input.with_batch(m),
+                ..*key
+            };
             cache
                 .get_or_bench(handle, &micro_key)
                 .into_iter()
@@ -77,20 +80,26 @@ fn full_configuration_costs(
 #[test]
 fn pruned_ilp_matches_full_space_ilp() {
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = BenchCache::new();
+    let cache = BenchCache::new();
     // Three small kernels with different algorithm menus: a 5×5 (FFT
     // territory), a 3×3 (Winograd territory) and a 1×1 (GEMM only wins).
-    let kernels =
-        [kernel(4, 16, 32, 5, 2), kernel(4, 32, 32, 3, 1), kernel(4, 64, 16, 1, 0)];
+    let kernels = [
+        kernel(4, 16, 32, 5, 2),
+        kernel(4, 32, 32, 3, 1),
+        kernel(4, 64, 16, 1, 0),
+    ];
     for cap_mib in [1usize, 4, 16, 64] {
         let cap = cap_mib * MIB;
         // Pruned path: the production desirable sets.
         let pruned_groups: Vec<Vec<Item>> = kernels
             .iter()
             .map(|k| {
-                desirable_set(&handle, &mut cache, k, cap, BatchSizePolicy::All)
+                desirable_set(&handle, &cache, k, cap, BatchSizePolicy::All)
                     .iter()
-                    .map(|c| Item { cost: c.time_us(), weight: c.workspace_bytes() as f64 })
+                    .map(|c| Item {
+                        cost: c.time_us(),
+                        weight: c.workspace_bytes() as f64,
+                    })
                     .collect()
             })
             .collect();
@@ -98,9 +107,12 @@ fn pruned_ilp_matches_full_space_ilp() {
         let full_groups: Vec<Vec<Item>> = kernels
             .iter()
             .map(|k| {
-                full_configuration_costs(&handle, &mut cache, k, cap)
+                full_configuration_costs(&handle, &cache, k, cap)
                     .into_iter()
-                    .map(|(t, w)| Item { cost: t, weight: w as f64 })
+                    .map(|(t, w)| Item {
+                        cost: t,
+                        weight: w as f64,
+                    })
                     .collect()
             })
             .collect();
@@ -112,9 +124,18 @@ fn pruned_ilp_matches_full_space_ilp() {
         );
 
         let budget = (cap / 2) as f64; // a binding global budget
-        let pruned =
-            MckInstance { groups: pruned_groups, capacity: budget }.solve().map(|(_, v)| v);
-        let full = MckInstance { groups: full_groups, capacity: budget }.solve().map(|(_, v)| v);
+        let pruned = MckInstance {
+            groups: pruned_groups,
+            capacity: budget,
+        }
+        .solve()
+        .map(|(_, v)| v);
+        let full = MckInstance {
+            groups: full_groups,
+            capacity: budget,
+        }
+        .solve()
+        .map(|(_, v)| v);
         match (pruned, full) {
             (Some(p), Some(f)) => assert!(
                 (p - f).abs() <= 1e-6 * f.max(1.0),
@@ -131,11 +152,11 @@ fn desirable_set_is_a_subset_of_the_full_space() {
     // Every pruned configuration's (time, ws) must be achievable in the
     // full enumeration (no fabricated points).
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = BenchCache::new();
+    let cache = BenchCache::new();
     let key = kernel(4, 16, 32, 5, 2);
     let cap = 32 * MIB;
-    let full = full_configuration_costs(&handle, &mut cache, &key, cap);
-    let pruned = desirable_set(&handle, &mut cache, &key, cap, BatchSizePolicy::All);
+    let full = full_configuration_costs(&handle, &cache, &key, cap);
+    let pruned = desirable_set(&handle, &cache, &key, cap, BatchSizePolicy::All);
     for c in &pruned {
         let found = full.iter().any(|&(t, w)| {
             (t - c.time_us()).abs() <= 1e-6 * t.max(1.0) && w == c.workspace_bytes()
@@ -149,15 +170,15 @@ fn no_pruned_configuration_is_dominated() {
     // The definitional property of the desirable set: no member is both
     // slower and at least as large as another member of the full space.
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = BenchCache::new();
+    let cache = BenchCache::new();
     let key = kernel(4, 32, 32, 3, 1);
     let cap = 16 * MIB;
-    let full = full_configuration_costs(&handle, &mut cache, &key, cap);
-    let pruned = desirable_set(&handle, &mut cache, &key, cap, BatchSizePolicy::All);
+    let full = full_configuration_costs(&handle, &cache, &key, cap);
+    let pruned = desirable_set(&handle, &cache, &key, cap, BatchSizePolicy::All);
     for c in &pruned {
-        let dominated = full.iter().any(|&(t, w)| {
-            t < c.time_us() - 1e-6 && w < c.workspace_bytes()
-        });
+        let dominated = full
+            .iter()
+            .any(|&(t, w)| t < c.time_us() - 1e-6 && w < c.workspace_bytes());
         assert!(!dominated, "{c} is dominated by a full-space configuration");
     }
 }

@@ -22,7 +22,7 @@ fn kernel(op: ConvOp, n: usize) -> KernelKey {
 /// Best single-kernel time at micro-batch `m` within the limit.
 fn best_time(
     handle: &CudnnHandle,
-    cache: &mut BenchCache,
+    cache: &BenchCache,
     key: &KernelKey,
     m: usize,
     limit: usize,
@@ -32,9 +32,22 @@ fn best_time(
 
 /// Exhaustive optimum over all compositions of `b` (ordered partitions;
 /// order is irrelevant to cost, so this covers every division).
-fn exhaustive(handle: &CudnnHandle, cache: &mut BenchCache, key: &KernelKey, b: usize, limit: usize) -> f64 {
-    let per: Vec<Option<f64>> =
-        (0..=b).map(|m| if m == 0 { None } else { best_time(handle, cache, key, m, limit) }).collect();
+fn exhaustive(
+    handle: &CudnnHandle,
+    cache: &BenchCache,
+    key: &KernelKey,
+    b: usize,
+    limit: usize,
+) -> f64 {
+    let per: Vec<Option<f64>> = (0..=b)
+        .map(|m| {
+            if m == 0 {
+                None
+            } else {
+                best_time(handle, cache, key, m, limit)
+            }
+        })
+        .collect();
     // DP-free recursion with memo-free exponential enumeration (b ≤ 12).
     fn rec(b: usize, per: &[Option<f64>]) -> f64 {
         if b == 0 {
@@ -57,14 +70,14 @@ fn exhaustive(handle: &CudnnHandle, cache: &mut BenchCache, key: &KernelKey, b: 
 #[test]
 fn dp_matches_exhaustive_for_small_batches() {
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = BenchCache::new();
+    let cache = BenchCache::new();
     for b in [1usize, 2, 3, 5, 7, 8, 11, 12] {
         for limit in [0, 4 * MIB, 16 * MIB, 64 * MIB] {
             for op in ConvOp::ALL {
                 let key = kernel(op, b);
-                let dp = optimize_wr(&handle, &mut cache, &key, limit, BatchSizePolicy::All, false)
-                    .unwrap();
-                let brute = exhaustive(&handle, &mut cache, &key, b, limit);
+                let dp =
+                    optimize_wr(&handle, &cache, &key, limit, BatchSizePolicy::All, false).unwrap();
+                let brute = exhaustive(&handle, &cache, &key, b, limit);
                 assert!(
                     (dp.config.time_us() - brute).abs() <= 1e-9 * brute.max(1.0),
                     "b={b} limit={limit} op={op}: DP {} vs exhaustive {brute}",
@@ -78,18 +91,22 @@ fn dp_matches_exhaustive_for_small_batches() {
 #[test]
 fn dp_division_always_tiles_the_batch_and_respects_the_limit() {
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = BenchCache::new();
+    let cache = BenchCache::new();
     for b in [6usize, 9, 16, 33] {
         for limit in [2 * MIB, 32 * MIB] {
             let key = kernel(ConvOp::Forward, b);
-            let r = optimize_wr(&handle, &mut cache, &key, limit, BatchSizePolicy::All, false).unwrap();
+            let r = optimize_wr(&handle, &cache, &key, limit, BatchSizePolicy::All, false).unwrap();
             assert_eq!(r.config.batch(), b);
             assert!(r.config.workspace_bytes() <= limit);
             // Each micro-config's cost must match a fresh benchmark lookup
             // (no stale cache corruption).
             for m in &r.config.micros {
-                let again = ucudnn::best_micro(&handle, &mut cache, &key, m.micro_batch, limit).unwrap();
-                assert!(m.time_us <= again.time_us + 1e-9, "stored micro worse than best");
+                let again =
+                    ucudnn::best_micro(&handle, &cache, &key, m.micro_batch, limit).unwrap();
+                assert!(
+                    m.time_us <= again.time_us + 1e-9,
+                    "stored micro worse than best"
+                );
             }
         }
     }
@@ -100,17 +117,24 @@ fn power_of_two_is_optimal_within_its_size_menu() {
     // powerOfTwo restricted exhaustive check: enumerate compositions built
     // only from power-of-two parts.
     let handle = CudnnHandle::simulated(p100_sxm2());
-    let mut cache = BenchCache::new();
+    let cache = BenchCache::new();
     let b = 16usize;
     let limit = 16 * MIB;
     let key = kernel(ConvOp::Forward, b);
-    let dp =
-        optimize_wr(&handle, &mut cache, &key, limit, BatchSizePolicy::PowerOfTwo, false).unwrap();
+    let dp = optimize_wr(
+        &handle,
+        &cache,
+        &key,
+        limit,
+        BatchSizePolicy::PowerOfTwo,
+        false,
+    )
+    .unwrap();
     let sizes = [1usize, 2, 4, 8, 16];
     let per: Vec<Option<f64>> = (0..=b)
         .map(|m| {
             if sizes.contains(&m) {
-                ucudnn::best_micro(&handle, &mut cache, &key, m, limit).map(|mc| mc.time_us)
+                ucudnn::best_micro(&handle, &cache, &key, m, limit).map(|mc| mc.time_us)
             } else {
                 None
             }

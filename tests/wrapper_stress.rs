@@ -17,10 +17,30 @@ const MIB: usize = 1024 * 1024;
 fn menu() -> Vec<ConvGeometry> {
     use ucudnn_tensor::{FilterShape, Shape4};
     vec![
-        ConvGeometry::with_square(Shape4::new(32, 16, 27, 27), FilterShape::new(32, 16, 5, 5), 2, 1),
-        ConvGeometry::with_square(Shape4::new(32, 32, 14, 14), FilterShape::new(32, 32, 3, 3), 1, 1),
-        ConvGeometry::with_square(Shape4::new(32, 8, 56, 56), FilterShape::new(16, 8, 1, 1), 0, 1),
-        ConvGeometry::with_square(Shape4::new(32, 3, 32, 32), FilterShape::new(8, 3, 7, 7), 3, 2),
+        ConvGeometry::with_square(
+            Shape4::new(32, 16, 27, 27),
+            FilterShape::new(32, 16, 5, 5),
+            2,
+            1,
+        ),
+        ConvGeometry::with_square(
+            Shape4::new(32, 32, 14, 14),
+            FilterShape::new(32, 32, 3, 3),
+            1,
+            1,
+        ),
+        ConvGeometry::with_square(
+            Shape4::new(32, 8, 56, 56),
+            FilterShape::new(16, 8, 1, 1),
+            0,
+            1,
+        ),
+        ConvGeometry::with_square(
+            Shape4::new(32, 3, 32, 32),
+            FilterShape::new(8, 3, 7, 7),
+            3,
+            2,
+        ),
     ]
 }
 
@@ -46,7 +66,12 @@ fn actions() -> impl Strategy<Value = Vec<Action>> {
 
 fn descriptors(
     g: &ConvGeometry,
-) -> (TensorDescriptor, FilterDescriptor, ConvolutionDescriptor, TensorDescriptor) {
+) -> (
+    TensorDescriptor,
+    FilterDescriptor,
+    ConvolutionDescriptor,
+    TensorDescriptor,
+) {
     (
         TensorDescriptor::from_shape(g.input).unwrap(),
         FilterDescriptor::from_shape(g.filter).unwrap(),
@@ -77,8 +102,9 @@ fn run_walk(mode: OptimizerMode, limit: usize, walk: &[Action]) {
             Action::QueryWorkspace { layer, op } => {
                 let g = &layers[*layer];
                 let (x, w, c, _) = descriptors(g);
-                let ws =
-                    h.get_workspace_size(ConvOp::ALL[*op], &x, &w, &c, VIRTUAL_ALGO).unwrap();
+                let ws = h
+                    .get_workspace_size(ConvOp::ALL[*op], &x, &w, &c, VIRTUAL_ALGO)
+                    .unwrap();
                 assert_eq!(ws, 0, "the wrapper always reports zero workspace");
             }
             Action::Execute { layer, op } => {
@@ -87,17 +113,52 @@ fn run_walk(mode: OptimizerMode, limit: usize, walk: &[Action]) {
                 let before = h.inner().kernels_launched();
                 match ConvOp::ALL[*op] {
                     ConvOp::Forward => h
-                        .convolution_forward(1.0, &x, &[], &w, &[], &c, VIRTUAL_ALGO, 0.0, &y, &mut [])
+                        .convolution_forward(
+                            1.0,
+                            &x,
+                            &[],
+                            &w,
+                            &[],
+                            &c,
+                            VIRTUAL_ALGO,
+                            0.0,
+                            &y,
+                            &mut [],
+                        )
                         .unwrap(),
                     ConvOp::BackwardData => h
-                        .convolution_backward_data(1.0, &w, &[], &y, &[], &c, VIRTUAL_ALGO, 0.0, &x, &mut [])
+                        .convolution_backward_data(
+                            1.0,
+                            &w,
+                            &[],
+                            &y,
+                            &[],
+                            &c,
+                            VIRTUAL_ALGO,
+                            0.0,
+                            &x,
+                            &mut [],
+                        )
                         .unwrap(),
                     ConvOp::BackwardFilter => h
-                        .convolution_backward_filter(1.0, &x, &[], &y, &[], &c, VIRTUAL_ALGO, 0.0, &w, &mut [])
+                        .convolution_backward_filter(
+                            1.0,
+                            &x,
+                            &[],
+                            &y,
+                            &[],
+                            &c,
+                            VIRTUAL_ALGO,
+                            0.0,
+                            &w,
+                            &mut [],
+                        )
                         .unwrap(),
                 }
                 // The execution replayed exactly the installed plan.
-                let plan = h.plan(ConvOp::ALL[*op], g).expect("plan exists after execution");
+                let plan = h
+                    .plan(ConvOp::ALL[*op], g)
+                    .expect("plan exists after execution");
                 assert_eq!(
                     h.inner().kernels_launched() - before,
                     plan.config.micros.len() as u64
