@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration_regression-f1d7683bbd055eb5.d: tests/calibration_regression.rs
+
+/root/repo/target/debug/deps/calibration_regression-f1d7683bbd055eb5: tests/calibration_regression.rs
+
+tests/calibration_regression.rs:

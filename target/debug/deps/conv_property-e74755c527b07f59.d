@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conv_property-e74755c527b07f59.d: tests/conv_property.rs
+
+/root/repo/target/debug/deps/conv_property-e74755c527b07f59: tests/conv_property.rs
+
+tests/conv_property.rs:

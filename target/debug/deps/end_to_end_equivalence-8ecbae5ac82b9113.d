@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_equivalence-8ecbae5ac82b9113.d: tests/end_to_end_equivalence.rs
+
+/root/repo/target/debug/deps/end_to_end_equivalence-8ecbae5ac82b9113: tests/end_to_end_equivalence.rs
+
+tests/end_to_end_equivalence.rs:

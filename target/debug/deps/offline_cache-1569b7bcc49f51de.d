@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/offline_cache-1569b7bcc49f51de.d: tests/offline_cache.rs
+
+/root/repo/target/debug/deps/offline_cache-1569b7bcc49f51de: tests/offline_cache.rs
+
+tests/offline_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-7ce6a5936392ced7.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-7ce6a5936392ced7: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_edges-0cc86a51058813d0.d: tests/substrate_edges.rs
+
+/root/repo/target/debug/deps/substrate_edges-0cc86a51058813d0: tests/substrate_edges.rs
+
+tests/substrate_edges.rs:

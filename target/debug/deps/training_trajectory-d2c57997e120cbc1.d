@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training_trajectory-d2c57997e120cbc1.d: tests/training_trajectory.rs
+
+/root/repo/target/debug/deps/training_trajectory-d2c57997e120cbc1: tests/training_trajectory.rs
+
+tests/training_trajectory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transparent_wrapper-5aadf28773056ca2.d: tests/transparent_wrapper.rs
+
+/root/repo/target/debug/deps/transparent_wrapper-5aadf28773056ca2: tests/transparent_wrapper.rs
+
+tests/transparent_wrapper.rs:

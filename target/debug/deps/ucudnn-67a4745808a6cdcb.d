@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ucudnn-67a4745808a6cdcb.d: crates/core/src/lib.rs crates/core/src/bench_cache.rs crates/core/src/config.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/handle.rs crates/core/src/json.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/wd.rs crates/core/src/wr.rs
+
+/root/repo/target/debug/deps/libucudnn-67a4745808a6cdcb.rlib: crates/core/src/lib.rs crates/core/src/bench_cache.rs crates/core/src/config.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/handle.rs crates/core/src/json.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/wd.rs crates/core/src/wr.rs
+
+/root/repo/target/debug/deps/libucudnn-67a4745808a6cdcb.rmeta: crates/core/src/lib.rs crates/core/src/bench_cache.rs crates/core/src/config.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/handle.rs crates/core/src/json.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/wd.rs crates/core/src/wr.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bench_cache.rs:
+crates/core/src/config.rs:
+crates/core/src/env.rs:
+crates/core/src/error.rs:
+crates/core/src/handle.rs:
+crates/core/src/json.rs:
+crates/core/src/kernel.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pareto.rs:
+crates/core/src/policy.rs:
+crates/core/src/wd.rs:
+crates/core/src/wr.rs:

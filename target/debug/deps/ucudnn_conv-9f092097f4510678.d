@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ucudnn_conv-9f092097f4510678.d: crates/conv/src/lib.rs crates/conv/src/direct.rs crates/conv/src/fft.rs crates/conv/src/fft_conv.rs crates/conv/src/gemm.rs crates/conv/src/im2col.rs crates/conv/src/im2col_gemm.rs crates/conv/src/parallel.rs crates/conv/src/winograd.rs crates/conv/src/winograd_f4.rs
+
+/root/repo/target/debug/deps/libucudnn_conv-9f092097f4510678.rlib: crates/conv/src/lib.rs crates/conv/src/direct.rs crates/conv/src/fft.rs crates/conv/src/fft_conv.rs crates/conv/src/gemm.rs crates/conv/src/im2col.rs crates/conv/src/im2col_gemm.rs crates/conv/src/parallel.rs crates/conv/src/winograd.rs crates/conv/src/winograd_f4.rs
+
+/root/repo/target/debug/deps/libucudnn_conv-9f092097f4510678.rmeta: crates/conv/src/lib.rs crates/conv/src/direct.rs crates/conv/src/fft.rs crates/conv/src/fft_conv.rs crates/conv/src/gemm.rs crates/conv/src/im2col.rs crates/conv/src/im2col_gemm.rs crates/conv/src/parallel.rs crates/conv/src/winograd.rs crates/conv/src/winograd_f4.rs
+
+crates/conv/src/lib.rs:
+crates/conv/src/direct.rs:
+crates/conv/src/fft.rs:
+crates/conv/src/fft_conv.rs:
+crates/conv/src/gemm.rs:
+crates/conv/src/im2col.rs:
+crates/conv/src/im2col_gemm.rs:
+crates/conv/src/parallel.rs:
+crates/conv/src/winograd.rs:
+crates/conv/src/winograd_f4.rs:

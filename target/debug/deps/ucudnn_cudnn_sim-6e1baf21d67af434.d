@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ucudnn_cudnn_sim-6e1baf21d67af434.d: crates/cudnn-sim/src/lib.rs crates/cudnn-sim/src/descriptor.rs crates/cudnn-sim/src/error.rs crates/cudnn-sim/src/exec.rs crates/cudnn-sim/src/find.rs crates/cudnn-sim/src/handle.rs crates/cudnn-sim/src/map.rs crates/cudnn-sim/src/ops/mod.rs crates/cudnn-sim/src/ops/activation.rs crates/cudnn-sim/src/ops/batchnorm.rs crates/cudnn-sim/src/ops/pooling.rs crates/cudnn-sim/src/ops/tensor_ops.rs
+
+/root/repo/target/debug/deps/libucudnn_cudnn_sim-6e1baf21d67af434.rlib: crates/cudnn-sim/src/lib.rs crates/cudnn-sim/src/descriptor.rs crates/cudnn-sim/src/error.rs crates/cudnn-sim/src/exec.rs crates/cudnn-sim/src/find.rs crates/cudnn-sim/src/handle.rs crates/cudnn-sim/src/map.rs crates/cudnn-sim/src/ops/mod.rs crates/cudnn-sim/src/ops/activation.rs crates/cudnn-sim/src/ops/batchnorm.rs crates/cudnn-sim/src/ops/pooling.rs crates/cudnn-sim/src/ops/tensor_ops.rs
+
+/root/repo/target/debug/deps/libucudnn_cudnn_sim-6e1baf21d67af434.rmeta: crates/cudnn-sim/src/lib.rs crates/cudnn-sim/src/descriptor.rs crates/cudnn-sim/src/error.rs crates/cudnn-sim/src/exec.rs crates/cudnn-sim/src/find.rs crates/cudnn-sim/src/handle.rs crates/cudnn-sim/src/map.rs crates/cudnn-sim/src/ops/mod.rs crates/cudnn-sim/src/ops/activation.rs crates/cudnn-sim/src/ops/batchnorm.rs crates/cudnn-sim/src/ops/pooling.rs crates/cudnn-sim/src/ops/tensor_ops.rs
+
+crates/cudnn-sim/src/lib.rs:
+crates/cudnn-sim/src/descriptor.rs:
+crates/cudnn-sim/src/error.rs:
+crates/cudnn-sim/src/exec.rs:
+crates/cudnn-sim/src/find.rs:
+crates/cudnn-sim/src/handle.rs:
+crates/cudnn-sim/src/map.rs:
+crates/cudnn-sim/src/ops/mod.rs:
+crates/cudnn-sim/src/ops/activation.rs:
+crates/cudnn-sim/src/ops/batchnorm.rs:
+crates/cudnn-sim/src/ops/pooling.rs:
+crates/cudnn-sim/src/ops/tensor_ops.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ucudnn_framework-8e61615b26d87478.d: crates/framework/src/lib.rs crates/framework/src/concurrency.rs crates/framework/src/cost.rs crates/framework/src/data_parallel.rs crates/framework/src/exec_real.rs crates/framework/src/exec_sim.rs crates/framework/src/graph.rs crates/framework/src/memory.rs crates/framework/src/models.rs crates/framework/src/provider.rs crates/framework/src/timing.rs crates/framework/src/train.rs
+
+/root/repo/target/debug/deps/libucudnn_framework-8e61615b26d87478.rlib: crates/framework/src/lib.rs crates/framework/src/concurrency.rs crates/framework/src/cost.rs crates/framework/src/data_parallel.rs crates/framework/src/exec_real.rs crates/framework/src/exec_sim.rs crates/framework/src/graph.rs crates/framework/src/memory.rs crates/framework/src/models.rs crates/framework/src/provider.rs crates/framework/src/timing.rs crates/framework/src/train.rs
+
+/root/repo/target/debug/deps/libucudnn_framework-8e61615b26d87478.rmeta: crates/framework/src/lib.rs crates/framework/src/concurrency.rs crates/framework/src/cost.rs crates/framework/src/data_parallel.rs crates/framework/src/exec_real.rs crates/framework/src/exec_sim.rs crates/framework/src/graph.rs crates/framework/src/memory.rs crates/framework/src/models.rs crates/framework/src/provider.rs crates/framework/src/timing.rs crates/framework/src/train.rs
+
+crates/framework/src/lib.rs:
+crates/framework/src/concurrency.rs:
+crates/framework/src/cost.rs:
+crates/framework/src/data_parallel.rs:
+crates/framework/src/exec_real.rs:
+crates/framework/src/exec_sim.rs:
+crates/framework/src/graph.rs:
+crates/framework/src/memory.rs:
+crates/framework/src/models.rs:
+crates/framework/src/provider.rs:
+crates/framework/src/timing.rs:
+crates/framework/src/train.rs:

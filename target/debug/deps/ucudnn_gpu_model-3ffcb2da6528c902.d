@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ucudnn_gpu_model-3ffcb2da6528c902.d: crates/gpu-model/src/lib.rs crates/gpu-model/src/algo.rs crates/gpu-model/src/device.rs crates/gpu-model/src/time.rs crates/gpu-model/src/workspace.rs
+
+/root/repo/target/debug/deps/libucudnn_gpu_model-3ffcb2da6528c902.rlib: crates/gpu-model/src/lib.rs crates/gpu-model/src/algo.rs crates/gpu-model/src/device.rs crates/gpu-model/src/time.rs crates/gpu-model/src/workspace.rs
+
+/root/repo/target/debug/deps/libucudnn_gpu_model-3ffcb2da6528c902.rmeta: crates/gpu-model/src/lib.rs crates/gpu-model/src/algo.rs crates/gpu-model/src/device.rs crates/gpu-model/src/time.rs crates/gpu-model/src/workspace.rs
+
+crates/gpu-model/src/lib.rs:
+crates/gpu-model/src/algo.rs:
+crates/gpu-model/src/device.rs:
+crates/gpu-model/src/time.rs:
+crates/gpu-model/src/workspace.rs:

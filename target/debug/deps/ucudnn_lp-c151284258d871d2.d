@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ucudnn_lp-c151284258d871d2.d: crates/lp/src/lib.rs crates/lp/src/ilp.rs crates/lp/src/mck.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libucudnn_lp-c151284258d871d2.rlib: crates/lp/src/lib.rs crates/lp/src/ilp.rs crates/lp/src/mck.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libucudnn_lp-c151284258d871d2.rmeta: crates/lp/src/lib.rs crates/lp/src/ilp.rs crates/lp/src/mck.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/ilp.rs:
+crates/lp/src/mck.rs:
+crates/lp/src/simplex.rs:

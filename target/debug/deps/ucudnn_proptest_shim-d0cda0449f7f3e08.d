@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ucudnn_proptest_shim-d0cda0449f7f3e08.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libucudnn_proptest_shim-d0cda0449f7f3e08.rlib: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libucudnn_proptest_shim-d0cda0449f7f3e08.rmeta: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

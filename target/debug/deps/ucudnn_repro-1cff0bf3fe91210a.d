@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ucudnn_repro-1cff0bf3fe91210a.d: src/lib.rs
+
+/root/repo/target/debug/deps/ucudnn_repro-1cff0bf3fe91210a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ucudnn_repro-5539ad6fc895f55b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libucudnn_repro-5539ad6fc895f55b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libucudnn_repro-5539ad6fc895f55b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ucudnn_sync_shim-53e4c5ee6b1255de.d: crates/sync-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libucudnn_sync_shim-53e4c5ee6b1255de.rlib: crates/sync-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libucudnn_sync_shim-53e4c5ee6b1255de.rmeta: crates/sync-shim/src/lib.rs
+
+crates/sync-shim/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ucudnn_tensor-732440c149bc1153.d: crates/tensor/src/lib.rs crates/tensor/src/compare.rs crates/tensor/src/fill.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libucudnn_tensor-732440c149bc1153.rlib: crates/tensor/src/lib.rs crates/tensor/src/compare.rs crates/tensor/src/fill.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libucudnn_tensor-732440c149bc1153.rmeta: crates/tensor/src/lib.rs crates/tensor/src/compare.rs crates/tensor/src/fill.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/compare.rs:
+crates/tensor/src/fill.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

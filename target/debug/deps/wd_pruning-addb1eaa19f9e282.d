@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wd_pruning-addb1eaa19f9e282.d: tests/wd_pruning.rs
+
+/root/repo/target/debug/deps/wd_pruning-addb1eaa19f9e282: tests/wd_pruning.rs
+
+tests/wd_pruning.rs:

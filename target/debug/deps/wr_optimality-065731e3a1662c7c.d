@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wr_optimality-065731e3a1662c7c.d: tests/wr_optimality.rs
+
+/root/repo/target/debug/deps/wr_optimality-065731e3a1662c7c: tests/wr_optimality.rs
+
+tests/wr_optimality.rs:

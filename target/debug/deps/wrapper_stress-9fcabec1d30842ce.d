@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wrapper_stress-9fcabec1d30842ce.d: tests/wrapper_stress.rs
+
+/root/repo/target/debug/deps/wrapper_stress-9fcabec1d30842ce: tests/wrapper_stress.rs
+
+tests/wrapper_stress.rs:

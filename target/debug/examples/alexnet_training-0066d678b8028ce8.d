@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alexnet_training-0066d678b8028ce8.d: examples/alexnet_training.rs
+
+/root/repo/target/debug/examples/alexnet_training-0066d678b8028ce8: examples/alexnet_training.rs
+
+examples/alexnet_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_parallel-6d1d6bfb99228eab.d: examples/data_parallel.rs
+
+/root/repo/target/debug/examples/data_parallel-6d1d6bfb99228eab: examples/data_parallel.rs
+
+examples/data_parallel.rs:

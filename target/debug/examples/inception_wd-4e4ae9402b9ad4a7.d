@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inception_wd-4e4ae9402b9ad4a7.d: examples/inception_wd.rs
+
+/root/repo/target/debug/examples/inception_wd-4e4ae9402b9ad4a7: examples/inception_wd.rs
+
+examples/inception_wd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/micro_batch_correctness-6f83e634376c05db.d: examples/micro_batch_correctness.rs
+
+/root/repo/target/debug/examples/micro_batch_correctness-6f83e634376c05db: examples/micro_batch_correctness.rs
+
+examples/micro_batch_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-593864f15baeb467.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-593864f15baeb467: examples/quickstart.rs
+
+examples/quickstart.rs:
