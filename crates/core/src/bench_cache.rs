@@ -25,9 +25,15 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use ucudnn_cudnn_sim::{
-    ConvolutionDescriptor, CudnnHandle, Engine, FilterDescriptor, TensorDescriptor,
+    AlgoStatus, ConvolutionDescriptor, CudnnError, CudnnHandle, Engine, FilterDescriptor,
+    TensorDescriptor,
 };
 use ucudnn_gpu_model::ConvAlgo;
+
+/// File-DB format version. Bump on any incompatible layout change; files
+/// with a different (or missing) version are quarantined wholesale rather
+/// than half-parsed.
+const DB_VERSION: usize = 2;
 
 /// One cached benchmark row (a persistable `AlgoPerf`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,17 +75,34 @@ pub struct CacheStats {
     /// Lookups that found another thread already benchmarking the same key
     /// and blocked until its result landed.
     pub single_flight_waits: u64,
+    /// (algo, micro-batch) measurements dropped because the algorithm
+    /// failed while benchmarking — each is a degradation of the search
+    /// space the optimizer would otherwise have explored.
+    pub bench_points_dropped: u64,
+    /// Whole-key benchmark re-runs taken to ride out transient faults.
+    pub bench_retries: u64,
+    /// Rows accepted from the file DB at load time.
+    pub db_rows_loaded: u64,
+    /// Rows (or whole files counted as one) rejected at load time:
+    /// malformed fields, truncation, or a wrong/missing format version.
+    pub db_rows_quarantined: u64,
 }
+
+/// What a leader's benchmark produced: measurements, or the failure that
+/// every later lookup of the key will observe (failures are cached too —
+/// retrying a permanently faulted kernel on every lookup would serialize
+/// the optimizer behind known-dead benchmarks).
+type BenchOutcome = Result<Vec<BenchEntry>, CudnnError>;
 
 /// Per-key single-flight slot. `result` is `None` while the leader is still
 /// benchmarking; waiters sleep on `ready` until it is filled.
 #[derive(Debug)]
 struct Slot {
-    result: Mutex<Option<Vec<BenchEntry>>>,
+    result: Mutex<Option<BenchOutcome>>,
     ready: Condvar,
     /// How many times this key's benchmark actually ran (0 for entries
     /// loaded from the file DB; the single-flight guarantee keeps it ≤ 1
-    /// otherwise).
+    /// outside transient-fault retries).
     runs: AtomicU64,
 }
 
@@ -94,7 +117,7 @@ impl Slot {
 
     fn filled(entries: Vec<BenchEntry>) -> Self {
         Self {
-            result: Mutex::new(Some(entries)),
+            result: Mutex::new(Some(Ok(entries))),
             ready: Condvar::new(),
             runs: AtomicU64::new(0),
         }
@@ -114,6 +137,10 @@ pub struct BenchCache {
     hits: AtomicU64,
     misses: AtomicU64,
     single_flight_waits: AtomicU64,
+    bench_points_dropped: AtomicU64,
+    bench_retries: AtomicU64,
+    db_rows_loaded: AtomicU64,
+    db_rows_quarantined: AtomicU64,
 }
 
 impl BenchCache {
@@ -127,20 +154,30 @@ impl BenchCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             single_flight_waits: AtomicU64::new(0),
+            bench_points_dropped: AtomicU64::new(0),
+            bench_retries: AtomicU64::new(0),
+            db_rows_loaded: AtomicU64::new(0),
+            db_rows_quarantined: AtomicU64::new(0),
         }
     }
 
-    /// Cache backed by a JSON database at `path`; existing contents are
-    /// loaded (ignoring a missing or corrupt file, which just means a cold
-    /// cache that re-benchmarks everything).
+    /// Cache backed by a JSON database at `path`. Existing contents are
+    /// loaded row by row: valid rows land in the cache
+    /// ([`CacheStats::db_rows_loaded`]), malformed rows are *quarantined* —
+    /// skipped and counted ([`CacheStats::db_rows_quarantined`]) — never
+    /// coerced into zero-valued measurements. A missing file is a cold
+    /// cache; a file with a wrong or missing format version is quarantined
+    /// wholesale.
     pub fn with_file(path: impl AsRef<Path>) -> Self {
         let path = path.as_ref().to_path_buf();
         let mut cache = Self::new();
         cache.file = Some(path.clone());
-        if let Some(rows) = std::fs::read_to_string(&path)
-            .ok()
-            .and_then(|s| parse_db(&s))
-        {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            let (rows, loaded, quarantined) = load_db(&text);
+            cache.db_rows_loaded.store(loaded, Ordering::Relaxed);
+            cache
+                .db_rows_quarantined
+                .store(quarantined, Ordering::Relaxed);
             for (key, entries) in rows {
                 let shard = &cache.shards[shard_index(&key)];
                 shard.write().insert(key, Arc::new(Slot::filled(entries)));
@@ -157,7 +194,7 @@ impl BenchCache {
             .map(|s| {
                 s.read()
                     .values()
-                    .filter(|slot| slot.result.lock().is_some())
+                    .filter(|slot| matches!(*slot.result.lock(), Some(Ok(_))))
                     .count()
             })
             .sum()
@@ -174,6 +211,10 @@ impl BenchCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             single_flight_waits: self.single_flight_waits.load(Ordering::Relaxed),
+            bench_points_dropped: self.bench_points_dropped.load(Ordering::Relaxed),
+            bench_retries: self.bench_retries.load(Ordering::Relaxed),
+            db_rows_loaded: self.db_rows_loaded.load(Ordering::Relaxed),
+            db_rows_quarantined: self.db_rows_quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -185,6 +226,23 @@ impl BenchCache {
     /// arbitration ensures the benchmark for any key runs exactly once, and
     /// benchmarks for distinct keys proceed in parallel.
     pub fn get_or_bench(&self, handle: &CudnnHandle, kernel: &KernelKey) -> Vec<BenchEntry> {
+        self.try_get_or_bench(handle, kernel).unwrap_or_default()
+    }
+
+    /// [`Self::get_or_bench`] with the failure visible: a key whose
+    /// benchmark failed outright (every algorithm faulted, or the substrate
+    /// refused the query) returns the cached error so callers can count the
+    /// degradation and fall back. Transient faults are retried here, up to
+    /// the handle's [`CudnnHandle::fault_retry_budget`] extra attempts
+    /// (counted in [`CacheStats::bench_retries`]).
+    ///
+    /// # Errors
+    /// The benchmark failure for this key, cached like any other result.
+    pub fn try_get_or_bench(
+        &self,
+        handle: &CudnnHandle,
+        kernel: &KernelKey,
+    ) -> Result<Vec<BenchEntry>, CudnnError> {
         let key = CacheKey {
             engine: engine_tag(handle),
             kernel: *kernel,
@@ -192,12 +250,11 @@ impl BenchCache {
         let (slot, leader) = self.slot_for(key);
         if leader {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            let entries = run_benchmark(handle, kernel);
-            slot.runs.fetch_add(1, Ordering::Relaxed);
+            let outcome = self.lead_benchmark(handle, kernel, &slot);
             let mut guard = slot.result.lock();
-            *guard = Some(entries.clone());
+            *guard = Some(outcome.clone());
             slot.ready.notify_all();
-            return entries;
+            return outcome;
         }
         let mut guard = slot.result.lock();
         if guard.is_none() {
@@ -211,6 +268,43 @@ impl BenchCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         guard.clone().expect("slot filled after wait")
+    }
+
+    /// Run the benchmark for a key this thread leads, riding out transient
+    /// faults within the handle's retry budget and folding per-algorithm
+    /// failures into [`CacheStats::bench_points_dropped`].
+    fn lead_benchmark(
+        &self,
+        handle: &CudnnHandle,
+        kernel: &KernelKey,
+        slot: &Slot,
+    ) -> BenchOutcome {
+        let budget = handle.fault_retry_budget();
+        let mut attempt = 0u32;
+        let result = loop {
+            let res = run_benchmark(handle, kernel);
+            slot.runs.fetch_add(1, Ordering::Relaxed);
+            let clean = matches!(&res, Ok((_, 0)));
+            if clean || attempt >= budget {
+                break res;
+            }
+            attempt += 1;
+            self.bench_retries.fetch_add(1, Ordering::Relaxed);
+        };
+        match result {
+            Ok((entries, dropped)) => {
+                self.bench_points_dropped
+                    .fetch_add(dropped, Ordering::Relaxed);
+                if entries.is_empty() && dropped > 0 {
+                    Err(CudnnError::ExecutionFailed(
+                        "every algorithm failed while benchmarking".into(),
+                    ))
+                } else {
+                    Ok(entries)
+                }
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Find or create the slot for `key`. The thread that inserts the slot
@@ -299,7 +393,13 @@ impl BenchCache {
 
     /// Persist the cache to its file DB (no-op for in-memory caches).
     /// Rows are sorted by key, so identical contents produce byte-identical
-    /// files regardless of benchmarking order or thread count.
+    /// files regardless of benchmarking order or thread count. Only
+    /// successful measurements are persisted — cached benchmark *failures*
+    /// are runtime state, not truth worth sharing with other nodes.
+    ///
+    /// The write is atomic: the document lands in a `<name>.tmp` sibling
+    /// first and is renamed over the target, so a reader (or a crash)
+    /// mid-save can never observe a torn database.
     ///
     /// # Errors
     /// Propagates I/O failures.
@@ -313,18 +413,26 @@ impl BenchCache {
             .flat_map(|s| {
                 s.read()
                     .iter()
-                    .filter_map(|(key, slot)| {
-                        slot.result
-                            .lock()
-                            .as_ref()
-                            .map(|v| (key.clone(), v.clone()))
+                    .filter_map(|(key, slot)| match slot.result.lock().as_ref() {
+                        Some(Ok(v)) => Some((key.clone(), v.clone())),
+                        _ => None,
                     })
                     .collect::<Vec<_>>()
             })
             .collect();
         rows.sort_by_key(|(k, _)| (k.engine.clone(), format!("{}", k.kernel)));
-        let doc = Value::Arr(rows.iter().map(|(k, v)| row_to_json(k, v)).collect());
-        std::fs::write(path, doc.to_json())
+        let doc = json::obj([
+            ("version", json::num(DB_VERSION as f64)),
+            (
+                "rows",
+                Value::Arr(rows.iter().map(|(k, v)| row_to_json(k, v)).collect()),
+            ),
+        ]);
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        std::fs::write(&tmp, doc.to_json())?;
+        std::fs::rename(&tmp, path)
     }
 }
 
@@ -441,41 +549,90 @@ fn row_from_json(row: &Value) -> Option<(CacheKey, Vec<BenchEntry>)> {
                 return None;
             }
             let algo = *ConvAlgo::ALL.get(e[0].as_usize()?)?;
+            let time_us = e[1].as_f64()?;
+            // A non-finite or negative time can never be a measurement;
+            // accepting it would hand the optimizer a fake free kernel.
+            if !time_us.is_finite() || time_us < 0.0 {
+                return None;
+            }
             Some(BenchEntry {
                 algo,
-                time_us: e[1].as_f64()?,
+                time_us,
                 memory_bytes: e[2].as_usize()?,
             })
         })
         .collect::<Option<Vec<_>>>()?;
+    // An entry-less row is a truncation artifact, not a benchmark result.
+    if entries.is_empty() {
+        return None;
+    }
     Some((CacheKey { engine, kernel }, entries))
 }
 
-fn parse_db(text: &str) -> Option<Vec<(CacheKey, Vec<BenchEntry>)>> {
-    Value::parse(text)?
-        .as_arr()?
-        .iter()
-        .map(row_from_json)
-        .collect()
+/// Parse a file DB: `(accepted rows, loaded count, quarantined count)`.
+///
+/// Only a well-formed version-`DB_VERSION` document contributes rows; its
+/// malformed rows are skipped and counted individually. Anything else —
+/// unparseable JSON, a bare legacy array, a wrong version — quarantines the
+/// whole file, counted as the number of rows visible (minimum 1).
+fn load_db(text: &str) -> (Vec<(CacheKey, Vec<BenchEntry>)>, u64, u64) {
+    let Some(doc) = Value::parse(text) else {
+        return (Vec::new(), 0, 1);
+    };
+    if doc.get("version").and_then(|v| v.as_usize()) != Some(DB_VERSION) {
+        let visible = doc
+            .as_arr()
+            .or_else(|| doc.get("rows").and_then(|r| r.as_arr()))
+            .map_or(1, |a| a.len().max(1) as u64);
+        return (Vec::new(), 0, visible);
+    }
+    let Some(rows) = doc.get("rows").and_then(|r| r.as_arr()) else {
+        return (Vec::new(), 0, 1);
+    };
+    let mut out = Vec::new();
+    let (mut loaded, mut quarantined) = (0u64, 0u64);
+    for row in rows {
+        match row_from_json(row) {
+            Some(parsed) => {
+                out.push(parsed);
+                loaded += 1;
+            }
+            None => quarantined += 1,
+        }
+    }
+    (out, loaded, quarantined)
 }
 
 /// Run the substrate's `Find` benchmark for one micro-batch kernel.
-fn run_benchmark(handle: &CudnnHandle, kernel: &KernelKey) -> Vec<BenchEntry> {
+/// Returns the successful measurements (already fastest-first) plus the
+/// number of per-algorithm failures dropped from the result.
+///
+/// # Errors
+/// The substrate's own refusal (e.g. an injected allocation failure on the
+/// workspace query, or a degenerate geometry).
+fn run_benchmark(
+    handle: &CudnnHandle,
+    kernel: &KernelKey,
+) -> Result<(Vec<BenchEntry>, u64), CudnnError> {
     let g = kernel.geometry();
-    let xd = TensorDescriptor::from_shape(g.input).expect("valid shape");
-    let wd = FilterDescriptor::from_shape(g.filter).expect("valid filter");
-    let cd = ConvolutionDescriptor::new_2d(g.pad_h, g.pad_w, g.stride_h, g.stride_w)
-        .expect("valid convolution");
-    handle
-        .find_algorithms(kernel.conv_op(), &xd, &wd, &cd)
-        .expect("find_algorithms failed for a validated geometry")
+    let xd = TensorDescriptor::from_shape(g.input)?;
+    let wd = FilterDescriptor::from_shape(g.filter)?;
+    let cd = ConvolutionDescriptor::new_2d(g.pad_h, g.pad_w, g.stride_h, g.stride_w)?;
+    let perfs = handle.find_algorithms(kernel.conv_op(), &xd, &wd, &cd)?;
+    let dropped = perfs
+        .iter()
+        .filter(|p| p.status != AlgoStatus::Success)
+        .count() as u64;
+    let entries = perfs
         .into_iter()
+        .filter(|p| p.status == AlgoStatus::Success)
         .map(|p| BenchEntry {
             algo: p.algo,
             time_us: p.time_us,
             memory_bytes: p.memory_bytes,
         })
-        .collect()
+        .collect();
+    Ok((entries, dropped))
 }
 
 #[cfg(test)]
@@ -507,7 +664,7 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                single_flight_waits: 0
+                ..CacheStats::default()
             }
         );
         assert_eq!(c.len(), 1);
@@ -556,8 +713,8 @@ mod tests {
             c2.stats(),
             CacheStats {
                 hits: 1,
-                misses: 0,
-                single_flight_waits: 0
+                db_rows_loaded: 1,
+                ..CacheStats::default()
             }
         );
         std::fs::remove_dir_all(&dir).ok();
@@ -596,7 +753,130 @@ mod tests {
         std::fs::write(&path, "not json").unwrap();
         let c = BenchCache::with_file(&path);
         assert!(c.is_empty());
+        assert_eq!(c.stats().db_rows_quarantined, 1);
+        assert_eq!(c.stats().db_rows_loaded, 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_rows_are_quarantined_not_zeroed() {
+        // A v2 document with one valid row, one row whose time field is
+        // garbage, and one truncated row: the valid row loads, the other
+        // two are counted — never parsed as zero-time configurations.
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let dir = std::env::temp_dir().join(format!("ucudnn-cache-quar-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let writer = BenchCache::with_file(&path);
+        let good = writer.get_or_bench(&h, &key(8));
+        writer.save().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Extract the one valid row and append two corrupted copies: one
+        // with an unknown op tag, one truncated to an empty entry list.
+        let row = Value::parse(&text)
+            .unwrap()
+            .get("rows")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0]
+            .to_json();
+        let bad_op = row.replace("\"op\":\"fwd\"", "\"op\":\"bogus\"");
+        assert_ne!(bad_op, row, "corruption must have applied");
+        let entries_at = row.find("\"entries\":[").unwrap() + "\"entries\":[".len();
+        let truncated = format!("{}]}}", &row[..entries_at]);
+        let doctored = format!("{{\"version\":2,\"rows\":[{row},{bad_op},{truncated}]}}");
+        std::fs::write(&path, &doctored).unwrap();
+
+        let c = BenchCache::with_file(&path);
+        assert_eq!(c.len(), 1, "only the intact row loads");
+        assert_eq!(c.stats().db_rows_loaded, 1);
+        assert_eq!(c.stats().db_rows_quarantined, 2);
+        assert_eq!(c.get_or_bench(&h, &key(8)), good);
+        assert_eq!(c.stats().misses, 0, "the good row still serves lookups");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_version_quarantines_the_whole_file() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let dir = std::env::temp_dir().join(format!("ucudnn-cache-ver-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let writer = BenchCache::with_file(&path);
+        writer.get_or_bench(&h, &key(8));
+        writer.get_or_bench(&h, &key(16));
+        writer.save().unwrap();
+        let future = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"version\":2", "\"version\":99");
+        std::fs::write(&path, future).unwrap();
+        let c = BenchCache::with_file(&path);
+        assert!(c.is_empty(), "a future format version must not half-parse");
+        assert_eq!(c.stats().db_rows_quarantined, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_file_behind() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let dir = std::env::temp_dir().join(format!("ucudnn-cache-tmp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let c = BenchCache::with_file(&path);
+        c.get_or_bench(&h, &key(8));
+        c.save().unwrap();
+        assert!(path.exists());
+        assert!(
+            !dir.join("bench.json.tmp").exists(),
+            "atomic save must rename its temp file away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_benchmarks_are_cached_and_never_persisted() {
+        use ucudnn_cudnn_sim::{FaultPlan, FaultTarget};
+        let h = CudnnHandle::simulated(p100_sxm2()).with_faults(FaultPlan {
+            targets: vec![FaultTarget::any()],
+            ..FaultPlan::default()
+        });
+        let dir = std::env::temp_dir().join(format!("ucudnn-cache-fail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let c = BenchCache::with_file(&path);
+        assert!(c.try_get_or_bench(&h, &key(8)).is_err());
+        assert!(
+            c.try_get_or_bench(&h, &key(8)).is_err(),
+            "the failure is cached"
+        );
+        let stats = c.stats();
+        assert_eq!(stats.misses, 1, "the dead key is benchmarked only once");
+        assert_eq!(stats.hits, 1);
+        assert!(stats.bench_points_dropped > 0);
+        assert!(c.is_empty(), "failed keys hold no measurements");
+        c.save().unwrap();
+        let reloaded = BenchCache::with_file(&path);
+        assert!(reloaded.is_empty(), "failures must not be persisted");
+        assert_eq!(reloaded.stats().db_rows_quarantined, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_bench_fault_recovers_within_retry_budget() {
+        use ucudnn_cudnn_sim::{FaultPlan, FaultTarget};
+        let clean = CudnnHandle::simulated(p100_sxm2());
+        let want = BenchCache::new().get_or_bench(&clean, &key(8));
+        let h = CudnnHandle::simulated(p100_sxm2()).with_faults(FaultPlan {
+            targets: vec![FaultTarget::any()],
+            transient_tries: 1,
+            ..FaultPlan::default()
+        });
+        let c = BenchCache::new();
+        let got = c.try_get_or_bench(&h, &key(8)).unwrap();
+        assert_eq!(got, want, "the retried benchmark is a clean measurement");
+        let stats = c.stats();
+        assert_eq!(stats.bench_retries, 1);
+        assert_eq!(stats.bench_points_dropped, 0, "the retry wiped the drops");
     }
 
     #[test]

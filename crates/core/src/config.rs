@@ -47,13 +47,23 @@ impl Configuration {
     }
 
     /// Resident workspace: the maximum over micro-configurations, since the
-    /// sequential micro-batches reuse one buffer.
+    /// sequential micro-batches reuse one buffer. The empty configuration
+    /// owns no workspace — the `unwrap_or(0)` is that deliberate default,
+    /// not a parse fallback; use [`Configuration::covers`] to reject empty
+    /// or mis-sized configurations before installing them.
     pub fn workspace_bytes(&self) -> usize {
         self.micros
             .iter()
             .map(|m| m.workspace_bytes)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Validity guard: whether this configuration exactly tiles a
+    /// mini-batch of `batch` samples with at least one micro-batch. The
+    /// empty configuration covers no batch.
+    pub fn covers(&self, batch: usize) -> bool {
+        !self.micros.is_empty() && self.batch() == batch
     }
 
     /// True when the mini-batch is not divided.
@@ -167,5 +177,14 @@ mod tests {
         assert_eq!(c.batch(), 0);
         assert_eq!(c.workspace_bytes(), 0);
         assert_eq!(c.describe(), "⟨⟩");
+    }
+
+    #[test]
+    fn covers_rejects_empty_and_mis_sized_configurations() {
+        assert!(!Configuration::default().covers(0));
+        assert!(!Configuration::default().covers(64));
+        let c = Configuration::undivided(mc(64, ConvAlgo::Gemm, 1.0, 0));
+        assert!(c.covers(64));
+        assert!(!c.covers(128));
     }
 }

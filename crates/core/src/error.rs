@@ -14,6 +14,19 @@ pub enum UcudnnError {
     /// A kernel was executed that was never registered or optimized and
     /// lazy optimization is disabled.
     UnknownKernel(String),
+    /// Optimization could not even fall back to the undivided
+    /// zero-workspace configuration — nothing runnable remains for the
+    /// kernel. Recoverable degradations (dropped benchmark points, shrunk
+    /// workspaces) are *not* errors; they are counted in the metrics.
+    Degraded {
+        /// The kernel that could not be planned.
+        kernel: String,
+        /// What was lost before the ladder ran out.
+        lost: String,
+    },
+    /// An optimizer worker thread panicked and its kernels could not be
+    /// recomputed sequentially.
+    WorkerPanicked(String),
 }
 
 impl From<CudnnError> for UcudnnError {
@@ -29,6 +42,10 @@ impl core::fmt::Display for UcudnnError {
             UcudnnError::NoFeasibleConfiguration(m) => write!(f, "no feasible configuration: {m}"),
             UcudnnError::WdInfeasible(m) => write!(f, "WD ILP infeasible: {m}"),
             UcudnnError::UnknownKernel(m) => write!(f, "unknown kernel: {m}"),
+            UcudnnError::Degraded { kernel, lost } => {
+                write!(f, "kernel {kernel} degraded beyond recovery: {lost}")
+            }
+            UcudnnError::WorkerPanicked(m) => write!(f, "optimizer worker panicked: {m}"),
         }
     }
 }
@@ -46,5 +63,14 @@ mod tests {
         assert!(UcudnnError::WdInfeasible("y".into())
             .to_string()
             .contains("infeasible"));
+        assert!(UcudnnError::Degraded {
+            kernel: "fwd[k]".into(),
+            lost: "all algorithms failed".into()
+        }
+        .to_string()
+        .contains("degraded beyond recovery"));
+        assert!(UcudnnError::WorkerPanicked("boom".into())
+            .to_string()
+            .contains("panicked"));
     }
 }

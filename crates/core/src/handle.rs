@@ -23,13 +23,15 @@ use crate::kernel::KernelKey;
 use crate::metrics::OptimizerMetrics;
 use crate::policy::BatchSizePolicy;
 use crate::wd::{optimize_wd_weighted_parallel, WdPlan};
-use crate::wr::optimize_wr_metered;
+use crate::wr::{optimize_wr_metered, WrResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use ucudnn_cudnn_sim::{
-    ConvAlgo, ConvOp, ConvolutionDescriptor, CudnnHandle, FilterDescriptor, TensorDescriptor,
+    ConvAlgo, ConvOp, ConvolutionDescriptor, CudnnError, CudnnHandle, FilterDescriptor,
+    TensorDescriptor,
 };
 use ucudnn_tensor::Shape4;
 
@@ -241,15 +243,31 @@ impl UcudnnHandle {
         let threads = self.opts.opt_threads.max(1);
         self.metrics.set_threads(threads);
         self.metrics.add_kernels(counts.len());
-        let plan = optimize_wd_weighted_parallel(
-            &self.inner,
-            &self.cache,
-            &counts,
-            self.opts.workspace_limit_bytes,
-            self.opts.policy,
-            threads,
-            Some(&self.metrics),
-        )?;
+        // Shrink-and-retry on allocation faults: every failed arena
+        // allocation re-solves the ILP with a budget strictly below the
+        // failed size, descending monotonically to zero (which never
+        // faults — the threshold is strict).
+        let mut limit = self.opts.workspace_limit_bytes;
+        let plan = loop {
+            let plan = optimize_wd_weighted_parallel(
+                &self.inner,
+                &self.cache,
+                &counts,
+                limit,
+                self.opts.policy,
+                threads,
+                Some(&self.metrics),
+            )?;
+            if self
+                .inner
+                .fault_check_alloc(plan.total_workspace_bytes)
+                .is_ok()
+            {
+                break plan;
+            }
+            self.metrics.degradation();
+            limit = plan.total_workspace_bytes - 1;
+        };
         st.wd_arena = vec![0.0f32; plan.total_workspace_bytes.div_ceil(4)];
         for (a, (_, mult)) in plan.assignments.iter().zip(&counts) {
             st.plans.insert(
@@ -281,19 +299,77 @@ impl UcudnnHandle {
             self.opts.parallel_benchmark,
             Some(&self.metrics),
         )?;
+        let (config, arena) = self.wr_arena_with_shrink(key, r)?;
         st.opt_wall_us += start.elapsed().as_secs_f64() * 1e6;
         self.metrics.add_kernels(1);
-        let ws_floats = r.config.workspace_bytes().div_ceil(4);
-        st.arenas.insert(*key, vec![0.0f32; ws_floats]);
+        st.arenas.insert(*key, arena);
         st.plans.insert(
             *key,
             Plan {
-                config: r.config,
+                config,
                 offset_floats: 0,
                 multiplicity: 0,
             },
         );
         Ok(())
+    }
+
+    /// Allocate a WR arena for an optimized configuration, degrading on
+    /// allocation faults: every failed allocation re-runs the DP with the
+    /// workspace limit strictly below the failed size, so the loop descends
+    /// monotonically and bottoms out at the zero-workspace configuration
+    /// (a zero-byte allocation never faults — the threshold is strict).
+    fn wr_arena_with_shrink(
+        &self,
+        key: &KernelKey,
+        mut r: WrResult,
+    ) -> Result<(Configuration, Vec<f32>), UcudnnError> {
+        loop {
+            if !r.config.covers(key.batch()) {
+                return Err(UcudnnError::Degraded {
+                    kernel: key.to_string(),
+                    lost: format!(
+                        "optimizer produced a configuration that does not tile the batch: {}",
+                        r.config
+                    ),
+                });
+            }
+            let bytes = r.config.workspace_bytes();
+            if self.inner.fault_check_alloc(bytes).is_ok() {
+                return Ok((r.config, vec![0.0f32; bytes.div_ceil(4)]));
+            }
+            self.metrics.degradation();
+            r = optimize_wr_metered(
+                &self.inner,
+                &self.cache,
+                key,
+                bytes - 1,
+                self.opts.policy,
+                self.opts.parallel_benchmark,
+                Some(&self.metrics),
+            )?;
+        }
+    }
+
+    /// Run a substrate call, retrying transient injected execution faults
+    /// up to the handle's retry budget. Non-execution errors (and faults
+    /// that persist past the budget) propagate.
+    fn with_exec_retries(
+        &self,
+        mut call: impl FnMut() -> ucudnn_cudnn_sim::Result<()>,
+    ) -> Result<(), UcudnnError> {
+        let budget = self.inner.fault_retry_budget();
+        let mut attempt = 0u32;
+        loop {
+            match call() {
+                Ok(()) => return Ok(()),
+                Err(CudnnError::ExecutionFailed(_)) if attempt < budget => {
+                    attempt += 1;
+                    self.metrics.add_exec_retries(1);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Optimize a whole network's kernels in one call, fanning the
@@ -357,9 +433,11 @@ impl UcudnnHandle {
         let results: Vec<WrOutcome> = if threads > 1 && counts.len() > 1 {
             // Work-queue fan-out: workers pull kernel indices off a shared
             // counter; results land in an index-addressed slot vector so the
-            // installation order below is the registration order.
+            // installation order below is the registration order. A panic in
+            // one kernel's optimization loses that slot, not the process —
+            // lost slots are recomputed sequentially below.
             let next = AtomicUsize::new(0);
-            let outcomes: Vec<Vec<(usize, WrOutcome)>> = std::thread::scope(|scope| {
+            let outcomes: Vec<Vec<(usize, Option<WrOutcome>)>> = std::thread::scope(|scope| {
                 let workers: Vec<_> = (0..threads.min(counts.len()))
                     .map(|_| {
                         let (next, counts) = (&next, &counts);
@@ -368,7 +446,8 @@ impl UcudnnHandle {
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some((k, _)) = counts.get(i) else { break };
-                                done.push((i, self.optimize_one_wr(k)));
+                                let r = catch_unwind(AssertUnwindSafe(|| self.optimize_one_wr(k)));
+                                done.push((i, r.ok()));
                             }
                             done
                         })
@@ -376,16 +455,33 @@ impl UcudnnHandle {
                     .collect();
                 workers
                     .into_iter()
-                    .map(|w| w.join().expect("WR worker panicked"))
+                    .map(|w| w.join().unwrap_or_default())
                     .collect()
             });
             let mut slots: Vec<Option<WrOutcome>> = (0..counts.len()).map(|_| None).collect();
             for (i, r) in outcomes.into_iter().flatten() {
-                slots[i] = Some(r);
+                if let Some(r) = r {
+                    slots[i] = Some(r);
+                }
             }
+            // Refill slots lost to worker panics; a second panic on the
+            // calling thread is reported as an error instead of crashing.
             slots
                 .into_iter()
-                .map(|r| r.expect("every kernel index computed"))
+                .enumerate()
+                .map(|(i, r)| match r {
+                    Some(r) => r,
+                    None => {
+                        let (k, _) = &counts[i];
+                        catch_unwind(AssertUnwindSafe(|| self.optimize_one_wr(k))).unwrap_or_else(
+                            |_| {
+                                Err(UcudnnError::WorkerPanicked(format!(
+                                    "WR optimization for {k}"
+                                )))
+                            },
+                        )
+                    }
+                })
                 .collect()
         } else {
             counts
@@ -393,15 +489,18 @@ impl UcudnnHandle {
                 .map(|(k, _)| self.optimize_one_wr(k))
                 .collect()
         };
-        let mut st = self.state.lock();
-        for ((key, mult), result) in counts.iter().zip(results) {
+        let mut installed = Vec::with_capacity(counts.len());
+        for ((key, _), result) in counts.iter().zip(results) {
             let r = result?;
-            let ws_floats = r.config.workspace_bytes().div_ceil(4);
-            st.arenas.insert(*key, vec![0.0f32; ws_floats]);
+            installed.push(self.wr_arena_with_shrink(key, r)?);
+        }
+        let mut st = self.state.lock();
+        for ((key, mult), (config, arena)) in counts.iter().zip(installed) {
+            st.arenas.insert(*key, arena);
             st.plans.insert(
                 *key,
                 Plan {
-                    config: r.config,
+                    config,
                     offset_floats: 0,
                     multiplicity: *mult,
                 },
@@ -476,19 +575,21 @@ impl UcudnnHandle {
             let hi = lo + m.micro_batch;
             let mxd = desc(g.input.with_batch(m.micro_batch));
             let myd = desc(out_shape.with_batch(m.micro_batch));
-            self.inner.convolution_forward(
-                alpha,
-                &mxd,
-                sub(x, lo, hi, in_s),
-                w_desc,
-                w,
-                conv,
-                m.algo,
-                ws,
-                beta,
-                &myd,
-                sub_mut(y, lo, hi, out_s),
-            )?;
+            self.with_exec_retries(|| {
+                self.inner.convolution_forward(
+                    alpha,
+                    &mxd,
+                    sub(x, lo, hi, in_s),
+                    w_desc,
+                    w,
+                    conv,
+                    m.algo,
+                    ws,
+                    beta,
+                    &myd,
+                    sub_mut(y, lo, hi, out_s),
+                )
+            })?;
             lo = hi;
         }
         debug_assert_eq!(lo, g.input.n, "configuration must tile the mini-batch");
@@ -534,19 +635,21 @@ impl UcudnnHandle {
             let hi = lo + m.micro_batch;
             let mdyd = desc(out_shape.with_batch(m.micro_batch));
             let mdxd = desc(g.input.with_batch(m.micro_batch));
-            self.inner.convolution_backward_data(
-                alpha,
-                w_desc,
-                w,
-                &mdyd,
-                sub(dy, lo, hi, out_s),
-                conv,
-                m.algo,
-                ws,
-                beta,
-                &mdxd,
-                sub_mut(dx, lo, hi, in_s),
-            )?;
+            self.with_exec_retries(|| {
+                self.inner.convolution_backward_data(
+                    alpha,
+                    w_desc,
+                    w,
+                    &mdyd,
+                    sub(dy, lo, hi, out_s),
+                    conv,
+                    m.algo,
+                    ws,
+                    beta,
+                    &mdxd,
+                    sub_mut(dx, lo, hi, in_s),
+                )
+            })?;
             lo = hi;
         }
         debug_assert_eq!(lo, g.input.n);
@@ -596,19 +699,21 @@ impl UcudnnHandle {
             let mxd = desc(g.input.with_batch(m.micro_batch));
             let mdyd = desc(out_shape.with_batch(m.micro_batch));
             let micro_beta = if i == 0 { beta } else { 1.0 };
-            self.inner.convolution_backward_filter(
-                alpha,
-                &mxd,
-                sub(x, lo, hi, in_s),
-                &mdyd,
-                sub(dy, lo, hi, out_s),
-                conv,
-                m.algo,
-                ws,
-                micro_beta,
-                dw_desc,
-                dw,
-            )?;
+            self.with_exec_retries(|| {
+                self.inner.convolution_backward_filter(
+                    alpha,
+                    &mxd,
+                    sub(x, lo, hi, in_s),
+                    &mdyd,
+                    sub(dy, lo, hi, out_s),
+                    conv,
+                    m.algo,
+                    ws,
+                    micro_beta,
+                    dw_desc,
+                    dw,
+                )
+            })?;
             lo = hi;
         }
         debug_assert_eq!(lo, g.input.n);
@@ -661,13 +766,17 @@ impl UcudnnHandle {
     }
 
     /// Full metrics report as JSON: per-phase timings, thread and kernel
-    /// counts, cache traffic, and per-kernel benchmark counts (aggregated
-    /// over micro-batch sizes).
+    /// counts, cache traffic, per-kernel benchmark counts (aggregated over
+    /// micro-batch sizes), and the robustness ledger (degradations,
+    /// injected faults, retries, DB quarantine counts).
     pub fn metrics_json(&self) -> String {
         self.metrics
             .set_total_us(self.state.lock().opt_wall_us as u64);
-        self.metrics
-            .to_json(self.cache.stats(), &self.cache.benchmark_counts_by_kernel())
+        self.metrics.to_json(
+            self.cache.stats(),
+            &self.cache.benchmark_counts_by_kernel(),
+            self.inner.faults_injected(),
+        )
     }
 
     /// Persist the benchmark cache to its file DB, if configured.

@@ -64,7 +64,7 @@ pub use error::UcudnnError;
 pub use handle::{OptimizerMode, Plan, UcudnnHandle, UcudnnOptions, VIRTUAL_ALGO};
 pub use kernel::{KernelKey, OpKind};
 pub use metrics::{OptimizerMetrics, Phase, PhaseTimings};
-pub use pareto::{desirable_set, pareto_front};
+pub use pareto::{desirable_set, desirable_set_metered, pareto_front};
 pub use policy::BatchSizePolicy;
 pub use wd::{
     optimize_wd, optimize_wd_weighted, optimize_wd_weighted_parallel, WdAssignment, WdPlan,

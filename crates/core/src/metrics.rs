@@ -55,6 +55,8 @@ pub struct OptimizerMetrics {
     total_us: AtomicU64,
     threads: AtomicU64,
     kernels: AtomicU64,
+    degradations: AtomicU64,
+    exec_retries: AtomicU64,
 }
 
 impl OptimizerMetrics {
@@ -107,6 +109,28 @@ impl OptimizerMetrics {
         self.kernels.load(Ordering::Relaxed)
     }
 
+    /// Record one graceful degradation: a plan fell down a rung of the
+    /// ladder (dropped benchmark point, undivided fallback, shrunk
+    /// workspace) instead of failing the optimization.
+    pub fn degradation(&self) {
+        self.degradations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Degradations recorded so far.
+    pub fn degradations(&self) -> u64 {
+        self.degradations.load(Ordering::Relaxed)
+    }
+
+    /// Count execution-time retries after transient kernel faults.
+    pub fn add_exec_retries(&self, n: u64) {
+        self.exec_retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Execution retries recorded so far.
+    pub fn exec_retries(&self) -> u64 {
+        self.exec_retries.load(Ordering::Relaxed)
+    }
+
     /// Snapshot the per-phase timings.
     pub fn timings(&self) -> PhaseTimings {
         PhaseTimings {
@@ -128,15 +152,28 @@ impl OptimizerMetrics {
             &self.total_us,
             &self.threads,
             &self.kernels,
+            &self.degradations,
+            &self.exec_retries,
         ] {
             c.store(0, Ordering::Relaxed);
         }
     }
 
     /// Render the full metrics report as a JSON document: per-phase
-    /// timings, cache traffic, and per-kernel benchmark counts.
-    pub fn to_json(&self, cache: CacheStats, bench_counts: &[(String, u64)]) -> String {
+    /// timings, cache traffic, per-kernel benchmark counts, and the
+    /// robustness ledger (degradations, injected faults, retries, and DB
+    /// quarantine counts). `faults_injected` comes from the substrate's
+    /// fault injector ([`ucudnn_cudnn_sim::CudnnHandle::faults_injected`]).
+    pub fn to_json(
+        &self,
+        cache: CacheStats,
+        bench_counts: &[(String, u64)],
+        faults_injected: u64,
+    ) -> String {
         let t = self.timings();
+        // Degradations observed anywhere: explicit ladder steps recorded by
+        // the optimizers plus benchmark points the cache had to drop.
+        let degradations = self.degradations() + cache.bench_points_dropped;
         json::obj([
             (
                 "phases_us",
@@ -158,6 +195,24 @@ impl OptimizerMetrics {
                     (
                         "single_flight_waits",
                         json::num(cache.single_flight_waits as f64),
+                    ),
+                ]),
+            ),
+            (
+                "robustness",
+                json::obj([
+                    ("degradations", json::num(degradations as f64)),
+                    ("faults_injected", json::num(faults_injected as f64)),
+                    (
+                        "bench_points_dropped",
+                        json::num(cache.bench_points_dropped as f64),
+                    ),
+                    ("bench_retries", json::num(cache.bench_retries as f64)),
+                    ("exec_retries", json::num(self.exec_retries() as f64)),
+                    ("db_rows_loaded", json::num(cache.db_rows_loaded as f64)),
+                    (
+                        "db_rows_quarantined",
+                        json::num(cache.db_rows_quarantined as f64),
                     ),
                 ]),
             ),
@@ -233,13 +288,19 @@ mod tests {
         m.set_total_us(150);
         m.set_threads(4);
         m.add_kernels(9);
+        m.degradation();
+        m.add_exec_retries(2);
         let stats = crate::CacheStats {
             hits: 3,
             misses: 2,
             single_flight_waits: 1,
+            bench_points_dropped: 4,
+            bench_retries: 1,
+            db_rows_loaded: 7,
+            db_rows_quarantined: 2,
         };
         let counts = vec![("fwd[k]".to_string(), 1u64)];
-        let text = m.to_json(stats, &counts);
+        let text = m.to_json(stats, &counts, 6);
         let doc = Value::parse(&text).expect("valid JSON");
         assert_eq!(
             doc.get("phases_us")
@@ -279,6 +340,14 @@ mod tests {
                 .as_u64(),
             Some(1)
         );
+        let rob = doc.get("robustness").unwrap();
+        // 1 explicit degradation + 4 dropped benchmark points.
+        assert_eq!(rob.get("degradations").unwrap().as_u64(), Some(5));
+        assert_eq!(rob.get("faults_injected").unwrap().as_u64(), Some(6));
+        assert_eq!(rob.get("bench_retries").unwrap().as_u64(), Some(1));
+        assert_eq!(rob.get("exec_retries").unwrap().as_u64(), Some(2));
+        assert_eq!(rob.get("db_rows_loaded").unwrap().as_u64(), Some(7));
+        assert_eq!(rob.get("db_rows_quarantined").unwrap().as_u64(), Some(2));
     }
 
     #[test]
@@ -287,9 +356,13 @@ mod tests {
         m.add(Phase::Ilp, 5);
         m.set_threads(2);
         m.add_kernels(3);
+        m.degradation();
+        m.add_exec_retries(4);
         m.reset();
         assert_eq!(m.timings(), PhaseTimings::default());
         assert_eq!(m.threads(), 0);
         assert_eq!(m.kernels(), 0);
+        assert_eq!(m.degradations(), 0);
+        assert_eq!(m.exec_retries(), 0);
     }
 }

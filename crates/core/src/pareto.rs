@@ -11,6 +11,7 @@
 use crate::bench_cache::BenchCache;
 use crate::config::{Configuration, MicroConfig};
 use crate::kernel::KernelKey;
+use crate::metrics::OptimizerMetrics;
 use crate::policy::BatchSizePolicy;
 use ucudnn_cudnn_sim::CudnnHandle;
 
@@ -45,6 +46,23 @@ pub fn desirable_set(
     ws_cap: usize,
     policy: BatchSizePolicy,
 ) -> Vec<Configuration> {
+    desirable_set_metered(handle, cache, kernel, ws_cap, policy, None)
+}
+
+/// [`desirable_set`] with degradations recorded into `metrics`: a
+/// benchmarked size whose `Find` call failed outright contributes no
+/// micro-configurations (its points are dropped — one rung down the
+/// degradation ladder) instead of aborting the construction. When *every*
+/// size fails, the returned set is empty and the WD optimizer substitutes
+/// the undivided zero-workspace fallback.
+pub fn desirable_set_metered(
+    handle: &CudnnHandle,
+    cache: &BenchCache,
+    kernel: &KernelKey,
+    ws_cap: usize,
+    policy: BatchSizePolicy,
+    metrics: Option<&OptimizerMetrics>,
+) -> Vec<Configuration> {
     let b = kernel.batch();
     let sizes = policy.candidate_sizes(b);
 
@@ -57,7 +75,15 @@ pub fn desirable_set(
                 input: kernel.input.with_batch(m),
                 ..*kernel
             };
-            let entries = cache.get_or_bench(handle, &micro_key);
+            let entries = match cache.try_get_or_bench(handle, &micro_key) {
+                Ok(entries) => entries,
+                Err(_) => {
+                    if let Some(mx) = metrics {
+                        mx.degradation();
+                    }
+                    Vec::new()
+                }
+            };
             let singles: Vec<Configuration> = entries
                 .into_iter()
                 .filter(|e| e.memory_bytes <= ws_cap)

@@ -18,12 +18,21 @@ use crate::config::Configuration;
 use crate::error::UcudnnError;
 use crate::kernel::KernelKey;
 use crate::metrics::{OptimizerMetrics, Phase};
-use crate::pareto::desirable_set;
+use crate::pareto::desirable_set_metered;
 use crate::policy::BatchSizePolicy;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use ucudnn_cudnn_sim::CudnnHandle;
 use ucudnn_lp::{Item, MckInstance};
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
 
 /// One kernel's slot in a WD plan.
 #[derive(Debug, Clone)]
@@ -99,7 +108,10 @@ impl WdPlan {
 ///
 /// # Errors
 /// [`UcudnnError::WdInfeasible`] when even the smallest configurations
-/// exceed the budget.
+/// exceed the budget. Kernels whose benchmarks all fail (fault injection,
+/// crashed auto-tuner) degrade to the undivided zero-workspace fallback
+/// instead of failing; [`UcudnnError::Degraded`] is returned only when that
+/// fallback is impossible too.
 pub fn optimize_wd(
     handle: &CudnnHandle,
     cache: &BenchCache,
@@ -171,24 +183,30 @@ pub fn optimize_wd_weighted_parallel(
         }
     }
 
+    let compute_front = |k: &KernelKey| match metrics {
+        Some(m) => m.time(Phase::Pareto, || {
+            desirable_set_metered(handle, cache, k, total_limit, policy, metrics)
+        }),
+        None => desirable_set_metered(handle, cache, k, total_limit, policy, None),
+    };
+
     let fronts: Vec<Vec<Configuration>> = if threads > 1 && unique.len() > 1 {
         let next = AtomicUsize::new(0);
-        let mut slots: Vec<Vec<(usize, Vec<Configuration>)>> = std::thread::scope(|scope| {
+        let outcomes: Vec<Vec<(usize, Option<Vec<Configuration>>)>> = std::thread::scope(|scope| {
             let workers: Vec<_> = (0..threads.min(unique.len()))
                 .map(|_| {
-                    let (next, unique) = (&next, &unique);
+                    let (next, unique, compute_front) = (&next, &unique, &compute_front);
                     scope.spawn(move || {
                         let mut done = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(k) = unique.get(i) else { break };
-                            let ds = match metrics {
-                                Some(m) => m.time(Phase::Pareto, || {
-                                    desirable_set(handle, cache, k, total_limit, policy)
-                                }),
-                                None => desirable_set(handle, cache, k, total_limit, policy),
-                            };
-                            done.push((i, ds));
+                            // A panic loses this slot, not the process;
+                            // lost slots are refilled sequentially below.
+                            done.push((
+                                i,
+                                catch_unwind(AssertUnwindSafe(|| compute_front(k))).ok(),
+                            ));
                         }
                         done
                     })
@@ -196,36 +214,62 @@ pub fn optimize_wd_weighted_parallel(
                 .collect();
             workers
                 .into_iter()
-                .map(|w| w.join().expect("WD worker panicked"))
+                .map(|w| w.join().unwrap_or_default())
                 .collect()
         });
         let mut merged: Vec<Option<Vec<Configuration>>> = vec![None; unique.len()];
-        for (i, ds) in slots.drain(..).flatten() {
-            merged[i] = Some(ds);
+        for (i, ds) in outcomes.into_iter().flatten() {
+            if let Some(ds) = ds {
+                merged[i] = Some(ds);
+            }
         }
-        merged
-            .into_iter()
-            .map(|ds| ds.expect("every kernel index computed"))
-            .collect()
+        // Refill slots lost to worker panics. A second panic on the calling
+        // thread is reported as an error instead of crashing the caller.
+        for (i, slot) in merged.iter_mut().enumerate() {
+            if slot.is_none() {
+                let k = &unique[i];
+                match catch_unwind(AssertUnwindSafe(|| compute_front(k))) {
+                    Ok(ds) => *slot = Some(ds),
+                    Err(p) => {
+                        return Err(UcudnnError::WorkerPanicked(format!(
+                            "desirable set for {k}: {}",
+                            panic_message(p.as_ref())
+                        )))
+                    }
+                }
+            }
+        }
+        merged.into_iter().flatten().collect()
     } else {
-        unique
-            .iter()
-            .map(|k| match metrics {
-                Some(m) => m.time(Phase::Pareto, || {
-                    desirable_set(handle, cache, k, total_limit, policy)
-                }),
-                None => desirable_set(handle, cache, k, total_limit, policy),
-            })
-            .collect()
+        unique.iter().map(compute_front).collect()
     };
 
     let mut sets: HashMap<KernelKey, Vec<Configuration>> = HashMap::new();
     for (k, ds) in unique.iter().zip(fronts) {
-        if ds.is_empty() {
-            return Err(UcudnnError::WdInfeasible(format!(
-                "kernel {k} has no configuration within {total_limit} bytes"
-            )));
-        }
+        let ds = if ds.is_empty() {
+            // Every benchmark for this kernel failed outright: degrade to
+            // the undivided zero-workspace fallback (it fits any budget)
+            // instead of declaring the whole network infeasible.
+            match crate::wr::undivided_fallback(handle, k) {
+                Some(mc) => {
+                    if let Some(m) = metrics {
+                        m.degradation();
+                    }
+                    vec![Configuration::undivided(mc)]
+                }
+                None => {
+                    return Err(UcudnnError::Degraded {
+                        kernel: k.to_string(),
+                        lost: format!(
+                            "no desirable configuration within {total_limit} bytes and no \
+                             undivided zero-workspace algorithm remains"
+                        ),
+                    })
+                }
+            }
+        } else {
+            ds
+        };
         sets.insert(*k, ds);
     }
 
@@ -423,6 +467,73 @@ mod tests {
                 plan.assignments[0].offset_bytes,
                 plan.assignments[1].offset_bytes
             );
+        }
+    }
+
+    #[test]
+    fn fully_faulted_benchmarks_degrade_to_zero_workspace_plan() {
+        use ucudnn_cudnn_sim::{FaultPlan, FaultTarget};
+        let h = CudnnHandle::simulated(p100_sxm2()).with_faults(FaultPlan {
+            targets: vec![FaultTarget::any()],
+            ..FaultPlan::default()
+        });
+        let cache = BenchCache::new();
+        let m = OptimizerMetrics::new();
+        let weighted: Vec<(KernelKey, usize)> = kernels().iter().map(|k| (*k, 1)).collect();
+        let plan = optimize_wd_weighted_parallel(
+            &h,
+            &cache,
+            &weighted,
+            64 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+            1,
+            Some(&m),
+        )
+        .unwrap();
+        assert_eq!(plan.assignments.len(), 3);
+        assert_eq!(plan.total_workspace_bytes, 0);
+        for a in &plan.assignments {
+            assert!(a.config.is_undivided());
+            assert_eq!(a.config.workspace_bytes(), 0);
+        }
+        assert!(m.degradations() > 0);
+    }
+
+    #[test]
+    fn faulted_wd_plans_are_identical_across_thread_counts() {
+        use ucudnn_cudnn_sim::{FaultPlan, FaultTarget};
+        use ucudnn_gpu_model::ConvAlgo;
+        let plan_at = |threads: usize| {
+            let h = CudnnHandle::simulated(p100_sxm2()).with_faults(FaultPlan {
+                targets: vec![FaultTarget::algo(ConvAlgo::Fft)],
+                exec_rate: 0.05,
+                ..FaultPlan::default()
+            });
+            let cache = BenchCache::new();
+            let weighted: Vec<(KernelKey, usize)> = kernels().iter().map(|k| (*k, 1)).collect();
+            optimize_wd_weighted_parallel(
+                &h,
+                &cache,
+                &weighted,
+                64 * MIB,
+                BatchSizePolicy::PowerOfTwo,
+                threads,
+                None,
+            )
+            .unwrap()
+        };
+        let one = plan_at(1);
+        for threads in [2, 8] {
+            let multi = plan_at(threads);
+            assert_eq!(one.assignments.len(), multi.assignments.len());
+            for (a, b) in one.assignments.iter().zip(&multi.assignments) {
+                assert_eq!(a.kernel, b.kernel);
+                assert_eq!(
+                    a.config, b.config,
+                    "fault verdicts must be schedule-independent"
+                );
+                assert_eq!(a.offset_bytes, b.offset_bytes);
+            }
         }
     }
 

@@ -18,7 +18,8 @@ use crate::error::UcudnnError;
 use crate::kernel::KernelKey;
 use crate::metrics::{OptimizerMetrics, Phase};
 use crate::policy::BatchSizePolicy;
-use ucudnn_cudnn_sim::CudnnHandle;
+use ucudnn_cudnn_sim::{supported_on, workspace_bytes_on, CudnnHandle, Engine};
+use ucudnn_gpu_model::{kernel_time_us, ConvAlgo};
 
 /// Fastest micro-configuration at one size within the workspace limit
 /// (step 1 of the WR algorithm).
@@ -46,6 +47,76 @@ pub fn best_micro(
         })
 }
 
+/// Like [`best_micro`], but aware of benchmark failures: a size whose
+/// benchmark errored out (injected or real) is dropped from the DP — one
+/// rung down the degradation ladder — and counted in `metrics`.
+fn best_micro_degrading(
+    handle: &CudnnHandle,
+    cache: &BenchCache,
+    kernel: &KernelKey,
+    micro_batch: usize,
+    ws_limit: usize,
+    metrics: Option<&OptimizerMetrics>,
+    lost_points: &mut bool,
+) -> Option<MicroConfig> {
+    let micro_key = KernelKey {
+        input: kernel.input.with_batch(micro_batch),
+        ..*kernel
+    };
+    match cache.try_get_or_bench(handle, &micro_key) {
+        Ok(entries) => entries
+            .into_iter()
+            .filter(|e| e.memory_bytes <= ws_limit)
+            .min_by(|a, b| a.time_us.total_cmp(&b.time_us))
+            .map(|e| MicroConfig {
+                micro_batch,
+                algo: e.algo,
+                time_us: e.time_us,
+                workspace_bytes: e.memory_bytes,
+            }),
+        Err(_) => {
+            *lost_points = true;
+            if let Some(m) = metrics {
+                m.degradation();
+            }
+            None
+        }
+    }
+}
+
+/// The last rung of the degradation ladder: the undivided configuration on
+/// a zero-workspace algorithm — the paper's baseline that every cuDNN
+/// deployment can run regardless of memory pressure. Pure function of
+/// (engine, kernel); never benchmarks, so it works even when every `Find`
+/// call fails.
+pub(crate) fn undivided_fallback(handle: &CudnnHandle, kernel: &KernelKey) -> Option<MicroConfig> {
+    let g = kernel.geometry();
+    let op = kernel.conv_op();
+    ConvAlgo::ALL
+        .iter()
+        .filter(|&&algo| supported_on(handle.engine(), algo, op, &g))
+        .filter(|&&algo| workspace_bytes_on(handle.engine(), algo, op, &g) == Some(0))
+        .map(|&algo| {
+            // Price with the model when available; on the CPU engine use a
+            // large flat penalty so degraded plans sort after measured ones.
+            let time_us = match handle.engine() {
+                Engine::Simulated(d) => kernel_time_us(d, algo, op, &g).unwrap_or(1e9),
+                Engine::RealCpu => 1e9,
+            };
+            MicroConfig {
+                micro_batch: kernel.batch(),
+                algo,
+                time_us,
+                workspace_bytes: 0,
+            }
+        })
+        .min_by(|a, b| {
+            a.time_us
+                .total_cmp(&b.time_us)
+                .then(a.algo.id().cmp(&b.algo.id()))
+        })
+}
+
 /// Result of a WR optimization.
 #[derive(Debug, Clone)]
 pub struct WrResult {
@@ -53,6 +124,9 @@ pub struct WrResult {
     pub config: Configuration,
     /// The `t*(m)` table: best micro-configuration per benchmarked size.
     pub per_size: Vec<(usize, Option<MicroConfig>)>,
+    /// Whether the plan lost benchmark points or fell back to the
+    /// undivided zero-workspace configuration (degradation ladder).
+    pub degraded: bool,
 }
 
 /// Optimize one kernel under the WR policy.
@@ -87,10 +161,12 @@ pub struct WrResult {
 /// ```
 ///
 /// # Errors
-/// Returns [`UcudnnError::NoFeasibleConfiguration`] when no algorithm fits
-/// the limit at any candidate size that can tile the mini-batch (with a
-/// zero-workspace algorithm always available this does not happen in
-/// practice, but a caller-restricted substrate could trigger it).
+/// When no benchmarked algorithm can tile the mini-batch within the limit
+/// (e.g. every `Find` call failed under fault injection), the optimizer
+/// *degrades* to the undivided zero-workspace configuration rather than
+/// erroring, marking [`WrResult::degraded`]. [`UcudnnError::Degraded`] is
+/// returned only when even that fallback is impossible — no zero-workspace
+/// algorithm supports the kernel on this engine.
 #[allow(clippy::too_many_arguments)] // BLAS/cuDNN-style signature
 pub fn optimize_wr(
     handle: &CudnnHandle,
@@ -140,9 +216,23 @@ pub fn optimize_wr_metered(
     let bench_start = std::time::Instant::now();
     cache.prefetch(handle, &micro_keys, parallel_benchmark);
 
+    let mut lost_points = false;
     let per_size: Vec<(usize, Option<MicroConfig>)> = sizes
         .iter()
-        .map(|&m| (m, best_micro(handle, cache, kernel, m, ws_limit)))
+        .map(|&m| {
+            (
+                m,
+                best_micro_degrading(
+                    handle,
+                    cache,
+                    kernel,
+                    m,
+                    ws_limit,
+                    metrics,
+                    &mut lost_points,
+                ),
+            )
+        })
         .collect();
     if let Some(m) = metrics {
         m.add(Phase::Benchmark, bench_start.elapsed().as_micros() as u64);
@@ -168,9 +258,26 @@ pub fn optimize_wr_metered(
         }
     }
     if t[b] == INF {
-        return Err(UcudnnError::NoFeasibleConfiguration(format!(
-            "kernel {kernel} cannot tile batch {b} within {ws_limit} bytes"
-        )));
+        // Degradation ladder, last rung: run the batch undivided on a
+        // zero-workspace algorithm rather than fail the optimization.
+        if let Some(mc) = undivided_fallback(handle, kernel) {
+            if let Some(m) = metrics {
+                m.degradation();
+                m.add(Phase::Dp, dp_start.elapsed().as_micros() as u64);
+            }
+            return Ok(WrResult {
+                config: Configuration { micros: vec![mc] },
+                per_size,
+                degraded: true,
+            });
+        }
+        return Err(UcudnnError::Degraded {
+            kernel: kernel.to_string(),
+            lost: format!(
+                "cannot tile batch {b} within {ws_limit} bytes and no \
+                 undivided zero-workspace algorithm remains"
+            ),
+        });
     }
 
     // Step 3: reconstruct the optimal division, largest micro-batches first.
@@ -188,6 +295,7 @@ pub fn optimize_wr_metered(
     Ok(WrResult {
         config: Configuration { micros },
         per_size,
+        degraded: lost_points,
     })
 }
 
@@ -344,6 +452,71 @@ mod tests {
         .unwrap();
         let sizes: Vec<usize> = r.per_size.iter().map(|(m, _)| *m).collect();
         assert_eq!(sizes, vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn fully_faulted_benchmarks_degrade_to_undivided_zero_workspace() {
+        use crate::metrics::OptimizerMetrics;
+        use ucudnn_cudnn_sim::{FaultPlan, FaultTarget};
+        // Every Find call fails: the ladder must bottom out at the
+        // undivided zero-workspace configuration, not an error.
+        let h = CudnnHandle::simulated(p100_sxm2()).with_faults(FaultPlan {
+            targets: vec![FaultTarget::any()],
+            ..FaultPlan::default()
+        });
+        let c = BenchCache::new();
+        let m = OptimizerMetrics::new();
+        let r = optimize_wr_metered(
+            &h,
+            &c,
+            &conv2(256),
+            64 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+            false,
+            Some(&m),
+        )
+        .unwrap();
+        assert!(r.degraded);
+        assert!(r.config.is_undivided());
+        assert_eq!(r.config.batch(), 256);
+        assert_eq!(r.config.workspace_bytes(), 0);
+        assert!(m.degradations() > 0);
+        assert!(h.faults_injected() > 0);
+    }
+
+    #[test]
+    fn single_faulted_algorithm_only_drops_that_algorithm() {
+        use ucudnn_cudnn_sim::{FaultPlan, FaultTarget};
+        let (h_clean, c_clean) = setup();
+        let clean = optimize_wr(
+            &h_clean,
+            &c_clean,
+            &conv2(256),
+            512 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+            false,
+        )
+        .unwrap();
+        // Fault the algorithm the clean plan chose; the optimizer must pick
+        // the next-best configuration instead of failing.
+        let faulted_algo = clean.config.micros[0].algo;
+        let h = CudnnHandle::simulated(p100_sxm2()).with_faults(FaultPlan {
+            targets: vec![FaultTarget::algo(faulted_algo)],
+            ..FaultPlan::default()
+        });
+        let c = BenchCache::new();
+        let r = optimize_wr(
+            &h,
+            &c,
+            &conv2(256),
+            512 * MIB,
+            BatchSizePolicy::PowerOfTwo,
+            false,
+        )
+        .unwrap();
+        assert!(r.config.micros.iter().all(|mc| mc.algo != faulted_algo));
+        assert_eq!(r.config.batch(), 256);
+        assert!(r.config.time_us() >= clean.config.time_us());
     }
 
     #[test]

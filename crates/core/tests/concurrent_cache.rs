@@ -141,7 +141,7 @@ fn stress_matches_sequential_ground_truth() {
         CacheStats {
             hits: 0,
             misses: keys.len() as u64,
-            single_flight_waits: 0
+            ..CacheStats::default()
         },
         "sequential pass benchmarks every key exactly once"
     );

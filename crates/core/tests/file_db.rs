@@ -145,24 +145,34 @@ fn corrupted_db_degrades_to_cold_cache_and_recovers_on_save() {
 }
 
 #[test]
-fn partially_valid_db_is_rejected_wholesale() {
-    // One bad row poisons the file: parsing is all-or-nothing, so a torn
-    // write can never smuggle half a database in as truth.
+fn partially_valid_db_quarantines_bad_rows_and_keeps_the_rest() {
+    // A torn write mangles one row. The intact rows still load — losing a
+    // whole cluster-shared database to one bad record would force every
+    // node to re-benchmark — and the damage stays visible in the
+    // quarantine counter rather than being coerced into fake measurements.
     let dir = TempDir::new("torn");
     let db = dir.path("bench.json");
     let h = CudnnHandle::simulated(p100_sxm2());
     let writer = BenchCache::with_file(&db);
-    writer.get_or_bench(&h, &key(8));
+    let want8 = writer.get_or_bench(&h, &key(8));
+    let want16 = writer.get_or_bench(&h, &key(16));
     writer.save().unwrap();
     let valid = std::fs::read_to_string(&db).unwrap();
-    let torn = format!(
-        "{},{{\"engine\":\"x\"}}]",
-        valid.trim_end().trim_end_matches(']')
-    );
+    let torn = valid.replace("\"rows\":[", "\"rows\":[{\"engine\":\"x\"},");
+    assert_ne!(torn, valid, "corruption must have applied");
     std::fs::write(&db, torn).unwrap();
+
     let cache = BenchCache::with_file(&db);
-    assert!(
-        cache.is_empty(),
-        "a file with any invalid row loads as empty"
-    );
+    assert_eq!(cache.len(), 2, "intact rows survive a torn sibling");
+    assert_eq!(cache.stats().db_rows_loaded, 2);
+    assert_eq!(cache.stats().db_rows_quarantined, 1);
+    assert_eq!(cache.get_or_bench(&h, &key(8)), want8);
+    assert_eq!(cache.get_or_bench(&h, &key(16)), want16);
+    assert_eq!(cache.stats().misses, 0, "surviving rows serve lookups warm");
+
+    // Saving the repaired cache writes a fully valid database again.
+    cache.save().unwrap();
+    let recovered = BenchCache::with_file(&db);
+    assert_eq!(recovered.len(), 2);
+    assert_eq!(recovered.stats().db_rows_quarantined, 0);
 }

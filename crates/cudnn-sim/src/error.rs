@@ -17,6 +17,12 @@ pub enum CudnnError {
     },
     /// The kernel failed during execution (`CUDNN_STATUS_EXECUTION_FAILED`).
     ExecutionFailed(String),
+    /// A workspace query or allocation failed
+    /// (`CUDNN_STATUS_ALLOC_FAILED`).
+    AllocFailed {
+        /// Bytes requested.
+        requested: usize,
+    },
 }
 
 impl core::fmt::Display for CudnnError {
@@ -28,6 +34,9 @@ impl core::fmt::Display for CudnnError {
                 write!(f, "workspace too small: need {need} bytes, got {got}")
             }
             CudnnError::ExecutionFailed(m) => write!(f, "CUDNN_STATUS_EXECUTION_FAILED: {m}"),
+            CudnnError::AllocFailed { requested } => {
+                write!(f, "CUDNN_STATUS_ALLOC_FAILED: requested {requested} bytes")
+            }
         }
     }
 }
@@ -52,5 +61,8 @@ mod tests {
         assert!(CudnnError::WorkspaceTooSmall { need: 2, got: 1 }
             .to_string()
             .contains("need 2"));
+        assert!(CudnnError::AllocFailed { requested: 64 }
+            .to_string()
+            .contains("ALLOC_FAILED"));
     }
 }

@@ -49,6 +49,10 @@ impl CudnnHandle {
         if got < need {
             return Err(CudnnError::WorkspaceTooSmall { need, got });
         }
+        // Injected execution faults fire after validation, before the
+        // kernel: a faulted call never advances the clock, like a real
+        // kernel that aborts at launch.
+        self.fault_exec(op, algo, g.input.n)?;
         match self.engine() {
             Engine::Simulated(d) => {
                 if !a.is_empty() || !b.is_empty() || !out.is_empty() {

@@ -9,15 +9,32 @@ use ucudnn_conv::ConvOp;
 use ucudnn_gpu_model::{enumerate, ConvAlgo};
 use ucudnn_tensor::{ConvGeometry, Tensor};
 
+/// Per-algorithm outcome of a `Find` benchmark, mirroring the `status`
+/// field of `cudnnConvolution*AlgoPerf_t`: real auto-tuners report the
+/// kernels that crashed or could not get memory alongside the ones they
+/// measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoStatus {
+    /// The algorithm ran and `time_us` is a valid measurement.
+    Success,
+    /// The kernel failed while benchmarking; `time_us` is meaningless.
+    ExecutionFailed,
+    /// The benchmark could not obtain the algorithm's workspace.
+    AllocFailed,
+}
+
 /// One row of a `Find` benchmark result (`cudnnConvolution*AlgoPerf_t`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlgoPerf {
     /// The algorithm.
     pub algo: ConvAlgo,
-    /// Benchmarked (or modeled) execution time in microseconds.
+    /// Benchmarked (or modeled) execution time in microseconds. Only
+    /// meaningful when `status` is [`AlgoStatus::Success`].
     pub time_us: f64,
     /// Workspace requirement in bytes.
     pub memory_bytes: usize,
+    /// Whether the benchmark succeeded for this algorithm.
+    pub status: AlgoStatus,
 }
 
 /// Algorithm-selection preference (`cudnnConvolutionFwdPreference_t`).
@@ -48,32 +65,68 @@ impl CudnnHandle {
         conv: &ConvolutionDescriptor,
     ) -> Result<Vec<AlgoPerf>> {
         let g = conv.geometry(x, w)?;
-        match self.engine() {
-            Engine::Simulated(d) => Ok(enumerate(d, op, &g)
+        let mut perfs: Vec<AlgoPerf> = match self.engine() {
+            Engine::Simulated(d) => enumerate(d, op, &g)
                 .into_iter()
                 .map(|p| AlgoPerf {
                     algo: p.algo,
                     time_us: p.time_us,
                     memory_bytes: p.workspace_bytes,
+                    status: self.bench_status(op, p.algo, g.input.n, p.workspace_bytes),
                 })
-                .collect()),
-            Engine::RealCpu => {
-                let mut perfs: Vec<AlgoPerf> = ConvAlgo::ALL
-                    .iter()
-                    .filter(|&&a| supported_on(self.engine(), a, op, &g))
-                    .map(|&a| {
-                        let mem = workspace_bytes_on(self.engine(), a, op, &g).unwrap_or(0);
-                        let time_us = bench_cpu(a, op, &g, mem);
-                        AlgoPerf {
+                .collect(),
+            Engine::RealCpu => ConvAlgo::ALL
+                .iter()
+                .filter(|&&a| supported_on(self.engine(), a, op, &g))
+                .map(|&a| {
+                    let mem = workspace_bytes_on(self.engine(), a, op, &g).unwrap_or(0);
+                    match self.bench_status(op, a, g.input.n, mem) {
+                        AlgoStatus::Success => match bench_cpu(a, op, &g, mem) {
+                            Ok(time_us) => AlgoPerf {
+                                algo: a,
+                                time_us,
+                                memory_bytes: mem,
+                                status: AlgoStatus::Success,
+                            },
+                            // A kernel that dies mid-benchmark is a failed
+                            // row, not a process abort — exactly how the
+                            // real auto-tuner reports it.
+                            Err(_) => AlgoPerf {
+                                algo: a,
+                                time_us: 0.0,
+                                memory_bytes: mem,
+                                status: AlgoStatus::ExecutionFailed,
+                            },
+                        },
+                        status => AlgoPerf {
                             algo: a,
-                            time_us,
+                            time_us: 0.0,
                             memory_bytes: mem,
-                        }
-                    })
-                    .collect();
-                perfs.sort_by(|a, b| a.time_us.total_cmp(&b.time_us));
-                Ok(perfs)
-            }
+                            status,
+                        },
+                    }
+                })
+                .collect(),
+        };
+        // Successful rows first, fastest-first; failed rows trail.
+        perfs.sort_by(|a, b| {
+            (a.status != AlgoStatus::Success)
+                .cmp(&(b.status != AlgoStatus::Success))
+                .then(a.time_us.total_cmp(&b.time_us))
+        });
+        Ok(perfs)
+    }
+
+    /// Fault-plan verdict for benchmarking one algorithm: injected
+    /// allocation failures (workspace above the plan's threshold) win over
+    /// injected execution failures; no plan means success.
+    fn bench_status(&self, op: ConvOp, algo: ConvAlgo, n: usize, mem: usize) -> AlgoStatus {
+        if self.fault_check_alloc(mem).is_err() {
+            AlgoStatus::AllocFailed
+        } else if self.fault_bench(op, algo, n) {
+            AlgoStatus::ExecutionFailed
+        } else {
+            AlgoStatus::Success
         }
     }
 
@@ -95,7 +148,7 @@ impl CudnnHandle {
         };
         perfs
             .into_iter()
-            .find(|p| p.memory_bytes <= limit)
+            .find(|p| p.status == AlgoStatus::Success && p.memory_bytes <= limit)
             .map(|p| p.algo)
             .ok_or_else(|| CudnnError::NotSupported("no algorithm fits the workspace limit".into()))
     }
@@ -110,14 +163,20 @@ impl CudnnHandle {
         algo: ConvAlgo,
     ) -> Result<usize> {
         let g = conv.geometry(x, w)?;
-        workspace_bytes_on(self.engine(), algo, op, &g)
-            .ok_or_else(|| CudnnError::NotSupported(format!("{algo} cannot run {op} on {g}")))
+        let bytes = workspace_bytes_on(self.engine(), algo, op, &g)
+            .ok_or_else(|| CudnnError::NotSupported(format!("{algo} cannot run {op} on {g}")))?;
+        // The fault plan can fail workspace *queries* above its threshold,
+        // modeling cudnnGetConvolution*WorkspaceSize returning ALLOC_FAILED.
+        self.fault_check_alloc(bytes)?;
+        Ok(bytes)
     }
 }
 
-/// Execute one CPU kernel on synthetic data and return wall microseconds.
-fn bench_cpu(algo: ConvAlgo, op: ConvOp, g: &ConvGeometry, ws_bytes: usize) -> f64 {
-    let kind = cpu_engine_for(algo).expect("checked supported");
+/// Execute one CPU kernel on synthetic data and return wall microseconds,
+/// or the kernel's own failure — benchmarking must never abort the process.
+fn bench_cpu(algo: ConvAlgo, op: ConvOp, g: &ConvGeometry, ws_bytes: usize) -> Result<f64> {
+    let kind = cpu_engine_for(algo)
+        .ok_or_else(|| CudnnError::NotSupported(format!("{algo} has no CPU kernel")))?;
     let x = Tensor::random(g.input, 0x5eed);
     let w = Tensor::random(g.filter.as_shape4(), 0x5eed + 1);
     let dy = Tensor::random(g.output(), 0x5eed + 2);
@@ -133,8 +192,8 @@ fn bench_cpu(algo: ConvAlgo, op: ConvOp, g: &ConvGeometry, ws_bytes: usize) -> f
     let mut ws = vec![0.0f32; ws_bytes.div_ceil(4)];
     let start = std::time::Instant::now();
     ucudnn_conv::exec(kind, op, g, a, b, out.as_mut_slice(), 1.0, 0.0, &mut ws)
-        .expect("benchmark kernel failed on a supported combination");
-    start.elapsed().as_secs_f64() * 1e6
+        .map_err(|e| CudnnError::ExecutionFailed(e.to_string()))?;
+    Ok(start.elapsed().as_secs_f64() * 1e6)
 }
 
 #[cfg(test)]
@@ -209,6 +268,71 @@ mod tests {
                 .unwrap();
             assert_ne!(algo, best.algo);
         }
+    }
+
+    #[test]
+    fn faulted_benchmarks_report_failed_rows_instead_of_dying() {
+        use crate::fault::{FaultPlan, FaultTarget};
+        let plan = FaultPlan {
+            targets: vec![
+                FaultTarget::algo(ConvAlgo::Fft),
+                FaultTarget::algo(ConvAlgo::FftTiling),
+            ],
+            ..FaultPlan::default()
+        };
+        let (x, w, c) = descs(32);
+        for h in [
+            CudnnHandle::simulated(p100_sxm2()).with_faults(plan.clone()),
+            CudnnHandle::real_cpu().with_faults(plan),
+        ] {
+            let perfs = h.find_algorithms(ConvOp::Forward, &x, &w, &c).unwrap();
+            let (ok, failed): (Vec<&AlgoPerf>, Vec<&AlgoPerf>) =
+                perfs.iter().partition(|p| p.status == AlgoStatus::Success);
+            assert!(!ok.is_empty(), "non-targeted algorithms still succeed");
+            assert_eq!(failed.len(), 2, "both FFT variants must be failed rows");
+            assert!(failed
+                .iter()
+                .all(|p| matches!(p.algo, ConvAlgo::Fft | ConvAlgo::FftTiling)));
+            // Failed rows sort after every successful row.
+            let first_failed = perfs
+                .iter()
+                .position(|p| p.status != AlgoStatus::Success)
+                .unwrap();
+            assert_eq!(first_failed, ok.len());
+            // get_algorithm never selects a failed row.
+            let fastest = h
+                .get_algorithm(ConvOp::Forward, &x, &w, &c, AlgoPreference::PreferFastest)
+                .unwrap();
+            assert!(!matches!(fastest, ConvAlgo::Fft | ConvAlgo::FftTiling));
+            assert!(h.faults_injected() > 0);
+            assert!(!h.fault_log().is_empty());
+        }
+    }
+
+    #[test]
+    fn alloc_threshold_faults_workspace_queries() {
+        use crate::fault::FaultPlan;
+        let h = CudnnHandle::simulated(p100_sxm2()).with_faults(FaultPlan {
+            alloc_fail_above: Some(0),
+            ..FaultPlan::default()
+        });
+        let (x, w, c) = descs(32);
+        // Zero-workspace queries still succeed; any positive request fails.
+        assert_eq!(
+            h.get_workspace_size(ConvOp::Forward, &x, &w, &c, ConvAlgo::ImplicitGemm)
+                .unwrap(),
+            0
+        );
+        assert!(matches!(
+            h.get_workspace_size(ConvOp::Forward, &x, &w, &c, ConvAlgo::WinogradNonfused),
+            Err(CudnnError::AllocFailed { .. })
+        ));
+        // find_algorithms keeps only what fits: everything above the
+        // threshold is an AllocFailed row.
+        let perfs = h.find_algorithms(ConvOp::Forward, &x, &w, &c).unwrap();
+        assert!(perfs
+            .iter()
+            .all(|p| (p.status == AlgoStatus::Success) == (p.memory_bytes == 0)));
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The library handle and its execution engines.
 
+use crate::error::{CudnnError, Result};
+use crate::fault::{FaultInjector, FaultPlan, FaultRecord, FaultSite};
 use std::sync::atomic::{AtomicU64, Ordering};
-use ucudnn_gpu_model::DeviceSpec;
+use ucudnn_conv::ConvOp;
+use ucudnn_gpu_model::{ConvAlgo, DeviceSpec};
 
 /// Which substrate executes kernels issued through a [`CudnnHandle`].
 #[derive(Debug, Clone)]
@@ -34,6 +37,7 @@ pub struct CudnnHandle {
     engine: Engine,
     clock_us_bits: AtomicU64,
     kernels_launched: AtomicU64,
+    faults: Option<FaultInjector>,
 }
 
 impl CudnnHandle {
@@ -43,6 +47,7 @@ impl CudnnHandle {
             engine: Engine::Simulated(device),
             clock_us_bits: AtomicU64::new(0f64.to_bits()),
             kernels_launched: AtomicU64::new(0),
+            faults: None,
         }
     }
 
@@ -52,6 +57,72 @@ impl CudnnHandle {
             engine: Engine::RealCpu,
             clock_us_bits: AtomicU64::new(0f64.to_bits()),
             kernels_launched: AtomicU64::new(0),
+            faults: None,
+        }
+    }
+
+    /// Attach a deterministic [`FaultPlan`] (builder-style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(FaultInjector::new(plan));
+        self
+    }
+
+    /// Attach the fault plan described by `UCUDNN_FAULT_*` environment
+    /// variables, if any are set ([`FaultPlan::from_env`]).
+    pub fn with_env_faults(self) -> Self {
+        match FaultPlan::from_env() {
+            Some(plan) => self.with_faults(plan),
+            None => self,
+        }
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
+    }
+
+    /// Total number of faults injected through this handle.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.injected())
+    }
+
+    /// The recorded fault log (capped; the counter is not).
+    pub fn fault_log(&self) -> Vec<FaultRecord> {
+        self.faults.as_ref().map_or_else(Vec::new, |f| f.log())
+    }
+
+    /// How many retries a caller should budget for transient faults:
+    /// the plan's `transient_tries`, or 0 without a plan.
+    pub fn fault_retry_budget(&self) -> u32 {
+        self.faults.as_ref().map_or(0, |f| f.plan().transient_tries)
+    }
+
+    /// Fail if the fault plan rejects an allocation of `bytes`
+    /// (`CUDNN_STATUS_ALLOC_FAILED`). The wrapper calls this before every
+    /// workspace arena allocation; a plan-less handle always succeeds.
+    pub fn fault_check_alloc(&self, bytes: usize) -> Result<()> {
+        match &self.faults {
+            Some(f) if f.should_fail_alloc(bytes) => {
+                Err(CudnnError::AllocFailed { requested: bytes })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Whether benchmarking `algo` for (`op`, micro-batch) should fail now.
+    pub(crate) fn fault_bench(&self, op: ConvOp, algo: ConvAlgo, micro_batch: usize) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.should_fail(FaultSite::Benchmark, op, algo, micro_batch))
+    }
+
+    /// Fail if the fault plan injects an execution failure for this call.
+    pub(crate) fn fault_exec(&self, op: ConvOp, algo: ConvAlgo, micro_batch: usize) -> Result<()> {
+        match &self.faults {
+            Some(f) if f.should_fail(FaultSite::Execution, op, algo, micro_batch) => Err(
+                CudnnError::ExecutionFailed(format!("injected fault: {op} {algo} n={micro_batch}")),
+            ),
+            _ => Ok(()),
         }
     }
 

@@ -21,6 +21,7 @@
 pub mod descriptor;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod find;
 pub mod handle;
 pub mod map;
@@ -28,7 +29,8 @@ pub mod ops;
 
 pub use descriptor::{ConvolutionDescriptor, FilterDescriptor, TensorDescriptor};
 pub use error::{CudnnError, Result};
-pub use find::{AlgoPerf, AlgoPreference};
+pub use fault::{FaultPlan, FaultRecord, FaultSite, FaultTarget};
+pub use find::{AlgoPerf, AlgoPreference, AlgoStatus};
 pub use handle::{CudnnHandle, Engine};
 pub use map::{cpu_engine_for, supported_on, workspace_bytes_on};
 pub use ops::{

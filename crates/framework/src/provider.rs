@@ -395,6 +395,36 @@ mod tests {
     }
 
     #[test]
+    fn ucudnn_provider_degrades_gracefully_under_full_benchmark_faults() {
+        use ucudnn_cudnn_sim::{FaultPlan, FaultSite, FaultTarget};
+        // Every benchmark fails, yet the provider must still set up and
+        // execute: the optimizer degrades to the undivided zero-workspace
+        // plan instead of surfacing an error to the framework.
+        let h = UcudnnHandle::new(
+            CudnnHandle::simulated(p100_sxm2()).with_faults(FaultPlan {
+                targets: vec![FaultTarget {
+                    site: Some(FaultSite::Benchmark),
+                    ..FaultTarget::any()
+                }],
+                ..FaultPlan::default()
+            }),
+            ucudnn::UcudnnOptions {
+                workspace_limit_bytes: 64 * MIB,
+                ..Default::default()
+            },
+        );
+        let g = conv2();
+        ConvProvider::setup(&h, ConvOp::Forward, &g).unwrap();
+        ConvProvider::execute(&h, ConvOp::Forward, &g, &[], &[], &mut [], 1.0, 0.0).unwrap();
+        let plan = h.plan(ConvOp::Forward, &g).unwrap();
+        assert!(plan.config.is_undivided());
+        assert_eq!(plan.config.workspace_bytes(), 0);
+        assert!(h.inner().faults_injected() > 0);
+        let metrics = h.metrics_json();
+        assert!(metrics.contains("\"degradations\""));
+    }
+
+    #[test]
     fn ucudnn_beats_baseline_on_conv2_at_64mib() {
         // The provider-level statement of Fig. 9.
         let g = conv2();
