@@ -88,5 +88,47 @@ fn main() {
         &csv,
     );
     println!("\nAs overhead grows the DP chooses coarser divisions and the gain shrinks to 1.0x.");
+    let path = ucudnn_bench::results_dir().join("ablation_overhead_metrics.json");
+    std::fs::write(&path, &sample_json).expect("cannot write metrics JSON");
+    println!("[json] wrote {}", path.display());
     println!("\nMetrics JSON (last row):\n{sample_json}");
+
+    tracing_overhead(&key);
+}
+
+/// A/B the trace instrumentation on the WR optimizer: the disabled path is
+/// one relaxed atomic load per emit site (expected well under 1% of
+/// optimization wall clock); an active session pays for building and
+/// buffering the events.
+fn tracing_overhead(key: &KernelKey) {
+    let handle = CudnnHandle::simulated(p100_sxm2());
+    let reps = 20;
+    let run = || {
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            let cache = BenchCache::new();
+            optimize_wr_metered(
+                &handle,
+                &cache,
+                key,
+                64 * MIB,
+                BatchSizePolicy::All,
+                false,
+                None,
+            )
+            .unwrap();
+        }
+        start.elapsed().as_secs_f64() * 1e6 / f64::from(reps)
+    };
+    let disabled_us = run();
+    let session = ucudnn::trace::session(ucudnn::TraceConfig::default());
+    let enabled_us = run();
+    let trace = session.finish();
+    println!(
+        "\nTracing overhead on WR optimize (conv2, policy=all, {reps} reps):\n\
+         disabled {disabled_us:.1} us/opt, session active {enabled_us:.1} us/opt \
+         ({:+.2}% while collecting {} events/opt)",
+        (enabled_us / disabled_us - 1.0) * 100.0,
+        trace.events.len() / reps as usize
+    );
 }

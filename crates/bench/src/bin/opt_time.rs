@@ -178,5 +178,8 @@ fn thread_sweep(net: &ucudnn_framework::NetworkDef) {
         ],
         &csv,
     );
+    let path = ucudnn_bench::results_dir().join("opt_time_metrics.json");
+    std::fs::write(&path, &metrics_json).expect("cannot write metrics JSON");
+    println!("[json] wrote {}", path.display());
     println!("\nMetrics JSON (4 threads):\n{metrics_json}");
 }

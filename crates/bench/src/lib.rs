@@ -4,6 +4,8 @@
 //! writes a CSV under `results/` (override with `UCUDNN_RESULTS_DIR`) so
 //! EXPERIMENTS.md can reference machine-readable outputs.
 
+pub mod report;
+
 use std::io::Write;
 use std::path::PathBuf;
 use ucudnn::KernelKey;

@@ -251,6 +251,20 @@ impl BenchCache {
         if leader {
             self.misses.fetch_add(1, Ordering::Relaxed);
             let outcome = self.lead_benchmark(handle, kernel, &slot);
+            // Single-flight means exactly one such event per unique micro
+            // kernel — the event set is thread-count-invariant.
+            crate::trace::event("bench", "benchmark", || {
+                (
+                    kernel.to_string(),
+                    crate::json::obj([
+                        (
+                            "entries",
+                            crate::json::num(outcome.as_ref().map_or(0, Vec::len) as f64),
+                        ),
+                        ("failed", crate::json::Value::Bool(outcome.is_err())),
+                    ]),
+                )
+            });
             let mut guard = slot.result.lock();
             *guard = Some(outcome.clone());
             slot.ready.notify_all();

@@ -10,6 +10,10 @@
 //! | `UCUDNN_BENCHMARK_CACHE` | file path | [`UcudnnOptions::cache_file`] |
 //! | `UCUDNN_PARALLEL_BENCHMARK` | `0` / `1` | [`UcudnnOptions::parallel_benchmark`] |
 //! | `UCUDNN_OPT_THREADS` | worker threads ≥ 1 | [`UcudnnOptions::opt_threads`] |
+//! | `UCUDNN_TRACE` | trace file path (enables tracing) | [`crate::trace::TraceConfig::path`] |
+//! | `UCUDNN_TRACE_FORMAT` | `jsonl` / `chrome` | [`crate::trace::TraceConfig::format`] |
+//! | `UCUDNN_TRACE_CLOCK` | `wall` / `logical` | [`crate::trace::TraceConfig::clock`] |
+//! | `UCUDNN_TRACE_BUF` | event-buffer capacity ≥ 1 | [`crate::trace::TraceConfig::capacity`] |
 
 use crate::handle::{OptimizerMode, UcudnnOptions};
 use crate::policy::BatchSizePolicy;

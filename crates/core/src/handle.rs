@@ -22,6 +22,7 @@ use crate::error::UcudnnError;
 use crate::kernel::KernelKey;
 use crate::metrics::OptimizerMetrics;
 use crate::policy::BatchSizePolicy;
+use crate::trace::{self, PlanProvenance};
 use crate::wd::{optimize_wd_weighted_parallel, WdPlan};
 use crate::wr::{optimize_wr_metered, WrResult};
 use parking_lot::Mutex;
@@ -95,6 +96,8 @@ pub struct Plan {
     pub offset_floats: usize,
     /// How many times this kernel was registered (replicated layers).
     pub multiplicity: usize,
+    /// The decision record explaining this plan (DESIGN.md §10).
+    pub provenance: PlanProvenance,
 }
 
 #[derive(Debug, Default)]
@@ -248,6 +251,9 @@ impl UcudnnHandle {
         // failed size, descending monotonically to zero (which never
         // faults — the threshold is strict).
         let mut limit = self.opts.workspace_limit_bytes;
+        // Degradation rungs taken before the final solve, prepended to every
+        // assignment's provenance so the record reads in ladder order.
+        let mut shrink_rungs: Vec<String> = Vec::new();
         let plan = loop {
             let plan = optimize_wd_weighted_parallel(
                 &self.inner,
@@ -267,15 +273,24 @@ impl UcudnnHandle {
             }
             self.metrics.degradation();
             limit = plan.total_workspace_bytes - 1;
+            shrink_rungs.push(format!("wd_shrink:{limit}"));
         };
         st.wd_arena = vec![0.0f32; plan.total_workspace_bytes.div_ceil(4)];
         for (a, (_, mult)) in plan.assignments.iter().zip(&counts) {
+            let mut provenance = a.provenance.clone();
+            if !shrink_rungs.is_empty() {
+                let mut rungs = shrink_rungs.clone();
+                rungs.append(&mut provenance.degradations);
+                provenance.degradations = rungs;
+            }
+            trace::plan_event(&a.kernel, &a.config, &provenance);
             st.plans.insert(
                 a.kernel,
                 Plan {
                     config: a.config.clone(),
                     offset_floats: a.offset_bytes / 4,
                     multiplicity: *mult,
+                    provenance,
                 },
             );
         }
@@ -299,7 +314,7 @@ impl UcudnnHandle {
             self.opts.parallel_benchmark,
             Some(&self.metrics),
         )?;
-        let (config, arena) = self.wr_arena_with_shrink(key, r)?;
+        let (config, arena, provenance) = self.wr_arena_with_shrink(key, r)?;
         st.opt_wall_us += start.elapsed().as_secs_f64() * 1e6;
         self.metrics.add_kernels(1);
         st.arenas.insert(*key, arena);
@@ -309,6 +324,7 @@ impl UcudnnHandle {
                 config,
                 offset_floats: 0,
                 multiplicity: 0,
+                provenance,
             },
         );
         Ok(())
@@ -323,7 +339,11 @@ impl UcudnnHandle {
         &self,
         key: &KernelKey,
         mut r: WrResult,
-    ) -> Result<(Configuration, Vec<f32>), UcudnnError> {
+    ) -> Result<(Configuration, Vec<f32>, PlanProvenance), UcudnnError> {
+        // Rungs taken by this loop, prepended so the provenance record
+        // reads in ladder order: shrink rungs first, then whatever the
+        // final re-optimization itself degraded through.
+        let mut shrink_rungs: Vec<String> = Vec::new();
         loop {
             if !r.config.covers(key.batch()) {
                 return Err(UcudnnError::Degraded {
@@ -336,9 +356,16 @@ impl UcudnnHandle {
             }
             let bytes = r.config.workspace_bytes();
             if self.inner.fault_check_alloc(bytes).is_ok() {
-                return Ok((r.config, vec![0.0f32; bytes.div_ceil(4)]));
+                let mut provenance = r.provenance;
+                if !shrink_rungs.is_empty() {
+                    shrink_rungs.append(&mut provenance.degradations);
+                    provenance.degradations = shrink_rungs;
+                }
+                trace::plan_event(key, &r.config, &provenance);
+                return Ok((r.config, vec![0.0f32; bytes.div_ceil(4)], provenance));
             }
             self.metrics.degradation();
+            shrink_rungs.push(format!("shrink_reoptimize:{}", bytes - 1));
             r = optimize_wr_metered(
                 &self.inner,
                 &self.cache,
@@ -405,6 +432,17 @@ impl UcudnnHandle {
         }
         let mut st = self.state.lock();
         st.opt_wall_us += start.elapsed().as_secs_f64() * 1e6;
+        // Args are thread-count-independent on purpose: logical-clock traces
+        // of the same network must not differ by `opt_threads`.
+        trace::event("opt", "network_done", || {
+            (
+                match self.opts.mode {
+                    OptimizerMode::Wr => "wr".to_string(),
+                    OptimizerMode::Wd => "wd".to_string(),
+                },
+                crate::json::obj([("kernels", crate::json::num(kernels.len() as f64))]),
+            )
+        });
         Ok(())
     }
 
@@ -495,7 +533,7 @@ impl UcudnnHandle {
             installed.push(self.wr_arena_with_shrink(key, r)?);
         }
         let mut st = self.state.lock();
-        for ((key, mult), (config, arena)) in counts.iter().zip(installed) {
+        for ((key, mult), (config, arena, provenance)) in counts.iter().zip(installed) {
             st.arenas.insert(*key, arena);
             st.plans.insert(
                 *key,
@@ -503,6 +541,7 @@ impl UcudnnHandle {
                     config,
                     offset_floats: 0,
                     multiplicity: *mult,
+                    provenance,
                 },
             );
         }
@@ -571,10 +610,11 @@ impl UcudnnHandle {
         let st = &mut *st;
         let ws = arena(st, &key, &plan);
         let mut lo = 0usize;
-        for m in &plan.config.micros {
+        for (i, m) in plan.config.micros.iter().enumerate() {
             let hi = lo + m.micro_batch;
             let mxd = desc(g.input.with_batch(m.micro_batch));
             let myd = desc(out_shape.with_batch(m.micro_batch));
+            let _micro = micro_span(&key, i, m);
             self.with_exec_retries(|| {
                 self.inner.convolution_forward(
                     alpha,
@@ -631,10 +671,11 @@ impl UcudnnHandle {
         let st = &mut *st;
         let ws = arena(st, &key, &plan);
         let mut lo = 0usize;
-        for m in &plan.config.micros {
+        for (i, m) in plan.config.micros.iter().enumerate() {
             let hi = lo + m.micro_batch;
             let mdyd = desc(out_shape.with_batch(m.micro_batch));
             let mdxd = desc(g.input.with_batch(m.micro_batch));
+            let _micro = micro_span(&key, i, m);
             self.with_exec_retries(|| {
                 self.inner.convolution_backward_data(
                     alpha,
@@ -699,6 +740,7 @@ impl UcudnnHandle {
             let mxd = desc(g.input.with_batch(m.micro_batch));
             let mdyd = desc(out_shape.with_batch(m.micro_batch));
             let micro_beta = if i == 0 { beta } else { 1.0 };
+            let _micro = micro_span(&key, i, m);
             self.with_exec_retries(|| {
                 self.inner.convolution_backward_filter(
                     alpha,
@@ -786,6 +828,20 @@ impl UcudnnHandle {
     pub fn save_cache(&self) -> std::io::Result<()> {
         self.cache.save()
     }
+}
+
+/// Span around one micro-batch kernel replay (cat `exec`, name `micro`).
+fn micro_span(key: &KernelKey, i: usize, m: &crate::config::MicroConfig) -> trace::SpanGuard {
+    trace::span("exec", "micro", || {
+        (
+            format!("{key}#{i}"),
+            crate::json::obj([
+                ("algo", crate::json::Value::Str(m.algo.to_string())),
+                ("micro_batch", crate::json::num(m.micro_batch as f64)),
+                ("modeled_us", crate::json::num(m.time_us)),
+            ]),
+        )
+    })
 }
 
 /// Workspace slice for a kernel: its private arena under WR, its segment of

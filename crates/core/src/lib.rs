@@ -54,6 +54,7 @@ pub mod kernel;
 pub mod metrics;
 pub mod pareto;
 pub mod policy;
+pub mod trace;
 pub mod wd;
 pub mod wr;
 
@@ -64,8 +65,13 @@ pub use error::UcudnnError;
 pub use handle::{OptimizerMode, Plan, UcudnnHandle, UcudnnOptions, VIRTUAL_ALGO};
 pub use kernel::{KernelKey, OpKind};
 pub use metrics::{OptimizerMetrics, Phase, PhaseTimings};
-pub use pareto::{desirable_set, desirable_set_metered, pareto_front};
+pub use pareto::{
+    desirable_set, desirable_set_metered, desirable_set_traced, pareto_front, DesirableStats,
+};
 pub use policy::BatchSizePolicy;
+pub use trace::{
+    ClockMode, PlanProvenance, Trace, TraceConfig, TraceEvent, TraceFormat, TraceSession,
+};
 pub use wd::{
     optimize_wd, optimize_wd_weighted, optimize_wd_weighted_parallel, WdAssignment, WdPlan,
 };

@@ -63,6 +63,33 @@ pub fn desirable_set_metered(
     policy: BatchSizePolicy,
     metrics: Option<&OptimizerMetrics>,
 ) -> Vec<Configuration> {
+    desirable_set_traced(handle, cache, kernel, ws_cap, policy, metrics).0
+}
+
+/// How a desirable set was built — the Pareto half of a WD plan's
+/// provenance record (DESIGN.md §10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DesirableStats {
+    /// Micro-batch sizes the policy put up for benchmarking.
+    pub candidate_sizes: usize,
+    /// Sizes that yielded at least one usable micro-configuration.
+    pub sizes_kept: usize,
+    /// Configurations generated at the final DP stage, before pruning.
+    pub generated: usize,
+    /// Desirable-set size after Pareto pruning.
+    pub kept: usize,
+}
+
+/// [`desirable_set_metered`], additionally reporting [`DesirableStats`]
+/// for plan provenance.
+pub fn desirable_set_traced(
+    handle: &CudnnHandle,
+    cache: &BenchCache,
+    kernel: &KernelKey,
+    ws_cap: usize,
+    policy: BatchSizePolicy,
+    metrics: Option<&OptimizerMetrics>,
+) -> (Vec<Configuration>, DesirableStats) {
     let b = kernel.batch();
     let sizes = policy.candidate_sizes(b);
 
@@ -106,6 +133,12 @@ pub fn desirable_set_metered(
         })
         .collect();
 
+    let mut stats = DesirableStats {
+        candidate_sizes: sizes.len(),
+        sizes_kept: micro_fronts.iter().filter(|(_, f)| !f.is_empty()).count(),
+        ..DesirableStats::default()
+    };
+
     // Set-valued DP: fronts[n] = desirable configurations covering n samples.
     let mut fronts: Vec<Vec<Configuration>> = vec![Vec::new(); b + 1];
     fronts[0] = vec![Configuration::default()];
@@ -126,14 +159,18 @@ pub fn desirable_set_metered(
                 }
             }
         }
+        if n == b {
+            stats.generated = candidates.len();
+        }
         fronts[n] = pareto_front(candidates);
     }
     let mut out = std::mem::take(&mut fronts[b]);
+    stats.kept = out.len();
     // Canonical ordering of micros within each configuration.
     for c in &mut out {
         c.micros.sort_by_key(|m| std::cmp::Reverse(m.micro_batch));
     }
-    out
+    (out, stats)
 }
 
 #[cfg(test)]

@@ -18,8 +18,9 @@ use crate::config::Configuration;
 use crate::error::UcudnnError;
 use crate::kernel::KernelKey;
 use crate::metrics::{OptimizerMetrics, Phase};
-use crate::pareto::desirable_set_metered;
+use crate::pareto::{desirable_set_traced, DesirableStats};
 use crate::policy::BatchSizePolicy;
+use crate::trace::PlanProvenance;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,6 +44,9 @@ pub struct WdAssignment {
     pub config: Configuration,
     /// Byte offset of this kernel's segment within the global workspace.
     pub offset_bytes: usize,
+    /// The decision record: desirable-set sizes, ILP choice vs. the WR
+    /// endpoint, degradation rungs (DESIGN.md §10).
+    pub provenance: PlanProvenance,
 }
 
 /// Result of a WD optimization.
@@ -183,16 +187,19 @@ pub fn optimize_wd_weighted_parallel(
         }
     }
 
-    let compute_front = |k: &KernelKey| match metrics {
-        Some(m) => m.time(Phase::Pareto, || {
-            desirable_set_metered(handle, cache, k, total_limit, policy, metrics)
-        }),
-        None => desirable_set_metered(handle, cache, k, total_limit, policy, None),
+    type Front = (Vec<Configuration>, DesirableStats);
+    let compute_front = |k: &KernelKey| -> Front {
+        match metrics {
+            Some(m) => m.time(Phase::Pareto, || {
+                desirable_set_traced(handle, cache, k, total_limit, policy, metrics)
+            }),
+            None => desirable_set_traced(handle, cache, k, total_limit, policy, None),
+        }
     };
 
-    let fronts: Vec<Vec<Configuration>> = if threads > 1 && unique.len() > 1 {
+    let fronts: Vec<Front> = if threads > 1 && unique.len() > 1 {
         let next = AtomicUsize::new(0);
-        let outcomes: Vec<Vec<(usize, Option<Vec<Configuration>>)>> = std::thread::scope(|scope| {
+        let outcomes: Vec<Vec<(usize, Option<Front>)>> = std::thread::scope(|scope| {
             let workers: Vec<_> = (0..threads.min(unique.len()))
                 .map(|_| {
                     let (next, unique, compute_front) = (&next, &unique, &compute_front);
@@ -217,7 +224,7 @@ pub fn optimize_wd_weighted_parallel(
                 .map(|w| w.join().unwrap_or_default())
                 .collect()
         });
-        let mut merged: Vec<Option<Vec<Configuration>>> = vec![None; unique.len()];
+        let mut merged: Vec<Option<Front>> = vec![None; unique.len()];
         for (i, ds) in outcomes.into_iter().flatten() {
             if let Some(ds) = ds {
                 merged[i] = Some(ds);
@@ -244,9 +251,11 @@ pub fn optimize_wd_weighted_parallel(
         unique.iter().map(compute_front).collect()
     };
 
-    let mut sets: HashMap<KernelKey, Vec<Configuration>> = HashMap::new();
-    for (k, ds) in unique.iter().zip(fronts) {
-        let ds = if ds.is_empty() {
+    // Per unique kernel: the desirable set, its construction stats, and
+    // whether it is the undivided fallback (a provenance degradation rung).
+    let mut sets: HashMap<KernelKey, (Vec<Configuration>, DesirableStats, bool)> = HashMap::new();
+    for (k, (ds, stats)) in unique.iter().zip(fronts) {
+        let (ds, fallback) = if ds.is_empty() {
             // Every benchmark for this kernel failed outright: degrade to
             // the undivided zero-workspace fallback (it fits any budget)
             // instead of declaring the whole network infeasible.
@@ -255,7 +264,7 @@ pub fn optimize_wd_weighted_parallel(
                     if let Some(m) = metrics {
                         m.degradation();
                     }
-                    vec![Configuration::undivided(mc)]
+                    (vec![Configuration::undivided(mc)], true)
                 }
                 None => {
                     return Err(UcudnnError::Degraded {
@@ -268,9 +277,9 @@ pub fn optimize_wd_weighted_parallel(
                 }
             }
         } else {
-            ds
+            (ds, false)
         };
-        sets.insert(*k, ds);
+        sets.insert(*k, (ds, stats, fallback));
     }
 
     // Build and solve the multiple-choice knapsack.
@@ -278,6 +287,7 @@ pub fn optimize_wd_weighted_parallel(
         .iter()
         .map(|(k, mult)| {
             sets[k]
+                .0
                 .iter()
                 .map(|c| Item {
                     cost: *mult as f64 * c.time_us(),
@@ -309,12 +319,31 @@ pub fn optimize_wd_weighted_parallel(
     let mut assignments = Vec::with_capacity(kernels.len());
     let mut offset = 0usize;
     for (k, choice) in kernels.iter().zip(choices) {
-        let config = sets[k][choice].clone();
+        let (ds, stats, fallback) = &sets[k];
+        let config = ds[choice].clone();
         let bytes = config.workspace_bytes();
+        let provenance = PlanProvenance {
+            optimizer: "wd",
+            candidate_sizes: stats.candidate_sizes,
+            candidates_kept: stats.sizes_kept,
+            pareto_generated: stats.generated,
+            pareto_kept: stats.kept,
+            ilp_choice: Some(choice),
+            // The fastest endpoint of the desirable set is what WR would
+            // have picked for this kernel alone.
+            wr_choice: Some(ds.len() - 1),
+            workspace_granted_bytes: bytes,
+            degradations: if *fallback {
+                vec!["undivided_fallback".into()]
+            } else {
+                Vec::new()
+            },
+        };
         assignments.push(WdAssignment {
             kernel: *k,
             config,
             offset_bytes: offset,
+            provenance,
         });
         offset += bytes;
     }

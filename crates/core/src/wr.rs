@@ -18,6 +18,7 @@ use crate::error::UcudnnError;
 use crate::kernel::KernelKey;
 use crate::metrics::{OptimizerMetrics, Phase};
 use crate::policy::BatchSizePolicy;
+use crate::trace::PlanProvenance;
 use ucudnn_cudnn_sim::{supported_on, workspace_bytes_on, CudnnHandle, Engine};
 use ucudnn_gpu_model::{kernel_time_us, ConvAlgo};
 
@@ -127,6 +128,9 @@ pub struct WrResult {
     /// Whether the plan lost benchmark points or fell back to the
     /// undivided zero-workspace configuration (degradation ladder).
     pub degraded: bool,
+    /// The decision record: what was evaluated, what was kept, which
+    /// degradation rungs fired (DESIGN.md §10).
+    pub provenance: PlanProvenance,
 }
 
 /// Optimize one kernel under the WR policy.
@@ -237,6 +241,15 @@ pub fn optimize_wr_metered(
     if let Some(m) = metrics {
         m.add(Phase::Benchmark, bench_start.elapsed().as_micros() as u64);
     }
+    let mut provenance = PlanProvenance {
+        optimizer: "wr",
+        candidate_sizes: sizes.len(),
+        candidates_kept: per_size.iter().filter(|(_, mc)| mc.is_some()).count(),
+        ..PlanProvenance::default()
+    };
+    if lost_points {
+        provenance.degradations.push("dropped_bench_points".into());
+    }
 
     // Step 2: DP over the total batch with the benchmarked sizes as atoms.
     let dp_start = std::time::Instant::now();
@@ -265,10 +278,12 @@ pub fn optimize_wr_metered(
                 m.degradation();
                 m.add(Phase::Dp, dp_start.elapsed().as_micros() as u64);
             }
+            provenance.degradations.push("undivided_fallback".into());
             return Ok(WrResult {
                 config: Configuration { micros: vec![mc] },
                 per_size,
                 degraded: true,
+                provenance,
             });
         }
         return Err(UcudnnError::Degraded {
@@ -292,10 +307,13 @@ pub fn optimize_wr_metered(
     if let Some(m) = metrics {
         m.add(Phase::Dp, dp_start.elapsed().as_micros() as u64);
     }
+    let config = Configuration { micros };
+    provenance.workspace_granted_bytes = config.workspace_bytes();
     Ok(WrResult {
-        config: Configuration { micros },
+        config,
         per_size,
         degraded: lost_points,
+        provenance,
     })
 }
 

@@ -114,6 +114,15 @@ impl CudnnHandle {
                 .cmp(&(b.status != AlgoStatus::Success))
                 .then(a.time_us.total_cmp(&b.time_us))
         });
+        crate::observe::emit_with(|| crate::observe::CallEvent {
+            site: crate::observe::CallSite::Find,
+            op,
+            algo: None,
+            micro_batch: g.input.n,
+            geometry: format!("{g}"),
+            rows: perfs.len(),
+            modeled_us: 0.0,
+        });
         Ok(perfs)
     }
 

@@ -25,6 +25,7 @@ pub mod fault;
 pub mod find;
 pub mod handle;
 pub mod map;
+pub mod observe;
 pub mod ops;
 
 pub use descriptor::{ConvolutionDescriptor, FilterDescriptor, TensorDescriptor};
@@ -33,6 +34,7 @@ pub use fault::{FaultPlan, FaultRecord, FaultSite, FaultTarget};
 pub use find::{AlgoPerf, AlgoPreference, AlgoStatus};
 pub use handle::{CudnnHandle, Engine};
 pub use map::{cpu_engine_for, supported_on, workspace_bytes_on};
+pub use observe::{set_call_observer, CallEvent, CallObserver, CallSite};
 pub use ops::{
     ActivationDescriptor, ActivationMode, PoolingDescriptor, PoolingMode, BN_MIN_EPSILON,
 };

@@ -98,6 +98,18 @@ pub fn strong_scaling<P: ConvProvider>(
             let param_bytes = 4 * net.param_count();
             let comm_us = cluster.allreduce_us(g, param_bytes);
             let iter_us = compute_us + comm_us;
+            ucudnn::trace::event("train", "scaling_point", move || {
+                (
+                    format!("gpus{g}"),
+                    ucudnn::json::obj([
+                        ("gpus", ucudnn::json::num(g as f64)),
+                        ("per_gpu_batch", ucudnn::json::num(per as f64)),
+                        ("compute_us", ucudnn::json::num(compute_us)),
+                        ("comm_us", ucudnn::json::num(comm_us)),
+                        ("iter_us", ucudnn::json::num(iter_us)),
+                    ]),
+                )
+            });
             points.push(ScalingPoint {
                 gpus: g,
                 per_gpu_batch: per,

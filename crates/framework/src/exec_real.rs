@@ -90,6 +90,26 @@ const RELU: ActivationDescriptor = ActivationDescriptor {
     mode: ActivationMode::Relu,
 };
 
+/// Input shape of a layer that requires exactly one input edge.
+///
+/// Graphs are normally validated at build time, but a hand-assembled
+/// [`NetworkDef`] can reach the executor with a shape-consuming layer that
+/// has no inputs; surface that as [`ProviderError::MalformedGraph`] instead
+/// of panicking mid-pass.
+fn require_input(in_shape: Option<Shape4>, name: &str) -> Result<Shape4, ProviderError> {
+    in_shape.ok_or_else(|| ProviderError::MalformedGraph(format!("layer {name} has no input edge")))
+}
+
+fn layer_span(phase: &'static str, name: &str, id: usize) -> ucudnn::trace::SpanGuard {
+    let key = name.to_string();
+    ucudnn::trace::span("train", phase, move || {
+        (
+            key,
+            ucudnn::json::obj([("node", ucudnn::json::num(id as f64))]),
+        )
+    })
+}
+
 impl RealExecutor {
     /// Instantiate a network with deterministic He-style initialization.
     pub fn new(net: NetworkDef, seed: u64) -> Self {
@@ -167,6 +187,7 @@ impl RealExecutor {
             let out_shape = self.net.output_shape(id);
             let mut out = Tensor::zeros(out_shape);
             let in_shape = node.inputs.first().map(|&i| acts[i].shape());
+            let _layer = layer_span("forward_layer", &node.name, id);
             match &node.spec {
                 LayerSpec::Input => out = input.clone(),
                 LayerSpec::Conv { .. } => {
@@ -201,7 +222,7 @@ impl RealExecutor {
                     h.pooling_forward(
                         &pool_desc(*max, *kernel, *stride, *pad),
                         1.0,
-                        &tdesc(in_shape.unwrap()),
+                        &tdesc(require_input(in_shape, &node.name)?),
                         acts[node.inputs[0]].as_slice(),
                         0.0,
                         &tdesc(out_shape),
@@ -212,7 +233,7 @@ impl RealExecutor {
                     h.activation_forward(
                         &RELU,
                         1.0,
-                        &tdesc(in_shape.unwrap()),
+                        &tdesc(require_input(in_shape, &node.name)?),
                         acts[node.inputs[0]].as_slice(),
                         0.0,
                         &tdesc(out_shape),
@@ -230,7 +251,7 @@ impl RealExecutor {
                     h.batch_norm_forward_training(
                         1.0,
                         0.0,
-                        &tdesc(in_shape.unwrap()),
+                        &tdesc(require_input(in_shape, &node.name)?),
                         acts[node.inputs[0]].as_slice(),
                         &tdesc(out_shape),
                         out.as_mut_slice(),
@@ -283,7 +304,7 @@ impl RealExecutor {
                     );
                 }
                 LayerSpec::GlobalAvgPool => {
-                    let s = in_shape.unwrap();
+                    let s = require_input(in_shape, &node.name)?;
                     h.pooling_forward(
                         &gap_desc(s),
                         1.0,
@@ -327,6 +348,7 @@ impl RealExecutor {
             let node = &self.net.nodes()[id];
             let out_shape = self.net.output_shape(id);
             let in_shape = node.inputs.first().map(|&i| acts[i].shape());
+            let _layer = layer_span("backward_layer", &node.name, id);
             match &node.spec {
                 LayerSpec::Input => {
                     grads[id] = Some(dy); // keep the input gradient
@@ -507,7 +529,7 @@ impl RealExecutor {
                     let x = &acts[node.inputs[0]];
                     let mut dx = Tensor::zeros(x.shape());
                     h.pooling_backward(
-                        &gap_desc(in_shape.unwrap()),
+                        &gap_desc(require_input(in_shape, &node.name)?),
                         1.0,
                         &tdesc(out_shape),
                         acts[id].as_slice(),

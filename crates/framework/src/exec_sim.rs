@@ -108,6 +108,19 @@ pub fn time_iteration(
             }
             _ => layer_forward_us(&device, net, id),
         };
+        ucudnn::trace::event("train", "sim_forward", || {
+            (
+                node.name.clone(),
+                ucudnn::json::obj([
+                    ("node", ucudnn::json::num(id as f64)),
+                    (
+                        "kind",
+                        ucudnn::json::Value::Str(node.spec.kind_name().to_string()),
+                    ),
+                    ("modeled_us", ucudnn::json::num(forward_us)),
+                ]),
+            )
+        });
         layers.push(LayerTiming {
             name: node.name.clone(),
             kind: node.spec.kind_name(),
@@ -130,6 +143,19 @@ pub fn time_iteration(
             LayerSpec::Input => 0.0,
             _ => layer_backward_us(&device, net, id),
         };
+        ucudnn::trace::event("train", "sim_backward", || {
+            (
+                node.name.clone(),
+                ucudnn::json::obj([
+                    ("node", ucudnn::json::num(id as f64)),
+                    (
+                        "kind",
+                        ucudnn::json::Value::Str(node.spec.kind_name().to_string()),
+                    ),
+                    ("modeled_us", ucudnn::json::num(backward_us)),
+                ]),
+            )
+        });
         layers[id].backward_us = backward_us;
     }
 

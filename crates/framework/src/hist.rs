@@ -1,0 +1,180 @@
+//! Streaming log-bucketed histograms for latency percentiles.
+//!
+//! The `time` command used to report only per-layer means; means hide tail
+//! behaviour (an occasional slow iteration is invisible). A
+//! [`StreamingHistogram`] records observations into geometrically spaced
+//! buckets in O(1) per sample and fixed memory, and answers p50/p95/p99
+//! queries with bounded relative error (one bucket width, ~5%).
+
+/// Smallest representable observation, microseconds. Anything at or below
+/// lands in bucket 0.
+const LO_US: f64 = 0.01;
+/// Geometric bucket growth factor; bounds the relative quantile error.
+const FACTOR: f64 = 1.05;
+/// Bucket count: covers `LO_US * FACTOR^BUCKETS` ≈ 7e8 us (~12 minutes),
+/// far beyond any single layer or iteration time here.
+const BUCKETS: usize = 512;
+
+/// A fixed-memory streaming histogram over positive durations (µs).
+#[derive(Debug, Clone)]
+pub struct StreamingHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation (microseconds). Non-finite values are ignored.
+    pub fn record(&mut self, us: f64) {
+        if !us.is_finite() {
+            return;
+        }
+        let idx = if us <= LO_US {
+            0
+        } else {
+            (((us / LO_US).ln() / FACTOR.ln()).ceil() as usize).min(BUCKETS - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.min = self.min.min(us);
+        self.max = self.max.max(us);
+        self.sum += us;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded observations; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// The q-quantile (`0.0 ..= 1.0`), microseconds; 0 when empty.
+    ///
+    /// Walks the cumulative bucket counts and returns the representative
+    /// value of the bucket containing the target rank, clamped to the
+    /// observed `[min, max]` so single-sample histograms answer exactly.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = LO_US * FACTOR.powi(idx as i32);
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience bundle of the three reported quantiles.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50_us: self.quantile(0.50),
+            p95_us: self.quantile(0.95),
+            p99_us: self.quantile(0.99),
+        }
+    }
+}
+
+/// The p50/p95/p99 summary reported by the `time` command and
+/// `ucudnn-report`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Percentiles {
+    /// Median, microseconds.
+    pub p50_us: f64,
+    /// 95th percentile, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = StreamingHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_exact() {
+        let mut h = StreamingHistogram::new();
+        h.record(123.4);
+        assert_eq!(h.quantile(0.5), 123.4);
+        assert_eq!(h.quantile(0.99), 123.4);
+        assert!((h.mean() - 123.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let mut h = StreamingHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        // p50 ≈ 500, p95 ≈ 950, p99 ≈ 990, each within ~5% relative error.
+        for (q, want) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - want).abs() / want < 0.06,
+                "q{q}: got {got}, want ~{want}"
+            );
+        }
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = StreamingHistogram::new();
+        for v in [0.5, 2.0, 8.0, 100.0, 5000.0, 5000.0] {
+            h.record(v);
+        }
+        let p = h.percentiles();
+        assert!(p.p50_us <= p.p95_us && p.p95_us <= p.p99_us);
+        assert!(h.quantile(0.0) >= 0.5 && h.quantile(1.0) <= 5000.0);
+    }
+
+    #[test]
+    fn extreme_and_nonfinite_values_are_safe() {
+        let mut h = StreamingHistogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        h.record(0.0); // below LO -> bucket 0
+        h.record(1e12); // beyond range -> clamped to last bucket
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) <= 1e12);
+    }
+}

@@ -28,6 +28,10 @@ pub enum ProviderError {
     Cudnn(CudnnError),
     /// μ-cuDNN error.
     Ucudnn(ucudnn::UcudnnError),
+    /// The network graph is structurally invalid (e.g. a layer that needs
+    /// an input has no input edge). Surfaced as an error instead of a
+    /// panic so a bad graph cannot take down a training service.
+    MalformedGraph(String),
 }
 
 impl From<CudnnError> for ProviderError {
@@ -47,6 +51,7 @@ impl core::fmt::Display for ProviderError {
         match self {
             ProviderError::Cudnn(e) => e.fmt(f),
             ProviderError::Ucudnn(e) => e.fmt(f),
+            ProviderError::MalformedGraph(msg) => write!(f, "malformed network graph: {msg}"),
         }
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::exec_sim::{setup_network, time_iteration, IterationTiming};
 use crate::graph::NetworkDef;
+use crate::hist::{Percentiles, StreamingHistogram};
 use crate::provider::{ConvProvider, ProviderError};
 
 /// Aggregated result of a `time` run.
@@ -18,6 +19,11 @@ pub struct TimeReport {
     pub iterations: usize,
     /// Provider workspace footprint after setup, bytes.
     pub workspace_bytes: usize,
+    /// Streaming percentile summary of whole-iteration times.
+    pub iteration_percentiles: Percentiles,
+    /// Per-layer (forward, backward) percentiles, same order as
+    /// `timing.layers`.
+    pub layer_percentiles: Vec<(Percentiles, Percentiles)>,
 }
 
 impl TimeReport {
@@ -54,6 +60,12 @@ impl TimeReport {
             self.conv_ms(),
             self.workspace_bytes as f64 / (1024.0 * 1024.0)
         ));
+        out.push_str(&format!(
+            "iteration p50 {:.1} us, p95 {:.1} us, p99 {:.1} us\n",
+            self.iteration_percentiles.p50_us,
+            self.iteration_percentiles.p95_us,
+            self.iteration_percentiles.p99_us
+        ));
         out
     }
 }
@@ -71,8 +83,28 @@ pub fn time_command(
     assert!(iterations > 0, "at least one iteration");
     setup_network(provider, net)?;
     let mut acc: Option<IterationTiming> = None;
-    for _ in 0..iterations {
+    let mut iter_hist = StreamingHistogram::new();
+    let mut layer_hists: Vec<(StreamingHistogram, StreamingHistogram)> = Vec::new();
+    for i in 0..iterations {
+        let _iter = ucudnn::trace::span("train", "iteration", move || {
+            (
+                format!("iter{i}"),
+                ucudnn::json::obj([("iteration", ucudnn::json::num(i as f64))]),
+            )
+        });
         let t = time_iteration(provider, net)?;
+        iter_hist.record(t.total_us());
+        if layer_hists.is_empty() {
+            layer_hists = t
+                .layers
+                .iter()
+                .map(|_| (StreamingHistogram::new(), StreamingHistogram::new()))
+                .collect();
+        }
+        for (h, l) in layer_hists.iter_mut().zip(&t.layers) {
+            h.0.record(l.forward_us);
+            h.1.record(l.backward_us);
+        }
         match &mut acc {
             None => acc = Some(t),
             Some(a) => {
@@ -94,6 +126,11 @@ pub fn time_command(
         timing,
         iterations,
         workspace_bytes: provider.workspace_bytes(),
+        iteration_percentiles: iter_hist.percentiles(),
+        layer_percentiles: layer_hists
+            .into_iter()
+            .map(|(f, b)| (f.percentiles(), b.percentiles()))
+            .collect(),
     })
 }
 

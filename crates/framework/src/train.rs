@@ -125,15 +125,38 @@ pub fn train(
 ) -> Result<Vec<f64>, ProviderError> {
     let n = exec.net().batch();
     let mut losses = Vec::with_capacity(steps);
-    for _ in 0..steps {
-        let (x, labels) = dataset.batch(n);
-        let acts = exec.forward(provider, &x)?;
-        let last = acts.len() - 1;
-        let (loss, dlogits) = softmax_cross_entropy(&acts[last], &labels);
-        let (grads, _) = exec.backward(provider, &acts, &dlogits)?;
-        sgd_step(exec, &grads, lr);
-        losses.push(loss);
+    // Workspace high-water mark across the run: the provider's footprint can
+    // only be observed between steps, so sample it each step and report the
+    // peak.
+    let mut ws_hwm = provider.workspace_bytes();
+    for i in 0..steps {
+        let step = {
+            let _span = ucudnn::trace::span("train", "step", move || {
+                (
+                    format!("step{i}"),
+                    ucudnn::json::obj([("step", ucudnn::json::num(i as f64))]),
+                )
+            });
+            let (x, labels) = dataset.batch(n);
+            let acts = exec.forward(provider, &x)?;
+            let last = acts.len() - 1;
+            let (loss, dlogits) = softmax_cross_entropy(&acts[last], &labels);
+            let (grads, _) = exec.backward(provider, &acts, &dlogits)?;
+            sgd_step(exec, &grads, lr);
+            loss
+        };
+        ws_hwm = ws_hwm.max(provider.workspace_bytes());
+        losses.push(step);
     }
+    ucudnn::trace::event("train", "workspace_hwm", move || {
+        (
+            "train".to_string(),
+            ucudnn::json::obj([
+                ("bytes", ucudnn::json::num(ws_hwm as f64)),
+                ("steps", ucudnn::json::num(steps as f64)),
+            ]),
+        )
+    });
     Ok(losses)
 }
 
