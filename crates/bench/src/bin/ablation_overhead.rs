@@ -52,7 +52,12 @@ fn main() {
         metrics.add_kernels(2);
         // Per-kernel counts elided: policy=all benchmarks every micro-batch
         // size, which would print hundreds of rows here.
-        sample_json = metrics.to_json(cache.stats(), &[], handle.faults_injected());
+        sample_json = metrics.to_json(
+            cache.stats(),
+            &[],
+            handle.faults_injected(),
+            handle.exec_cache_stats(),
+        );
         let t = metrics.timings();
         rows.push(vec![
             format!("{overhead_us}"),

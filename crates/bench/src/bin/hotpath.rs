@@ -1,0 +1,338 @@
+//! Hot-path kernel benchmark: the packed/planned execution substrate
+//! against the retained naive references.
+//!
+//! Each row times one kernel two ways on identical inputs:
+//!
+//! * **naive** — the reference path kept for exactly this purpose
+//!   (`sgemm_ref` triple loop / plan-free engines that re-derive packed
+//!   panels, FFT tables and Winograd filter transforms on every call);
+//! * **fast** — the register-blocked packed GEMM with a warm
+//!   [`ucudnn_conv::EnginePlan`], i.e. what a layer's second and later
+//!   micro-batches execute.
+//!
+//! Results go to stdout and to `BENCH_hotpath.json` (override with
+//! `--out <path>`): per-kernel GFLOP/s for both paths plus the speedup.
+//! `--smoke` shrinks repetitions for CI. The committed JSON at the repo
+//! root backs the numbers quoted in README's Performance section.
+
+use std::time::Instant;
+use ucudnn_conv::gemm::{sgemm, sgemm_ref, Trans};
+use ucudnn_conv::{fft_conv, im2col_gemm, winograd, winograd_f4};
+use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4, Tensor};
+
+/// One benchmarked kernel: label, shape note, FLOPs per call, and the two
+/// timed closures.
+struct Kernel<'a> {
+    name: &'static str,
+    shape: String,
+    flops: f64,
+    naive: Box<dyn FnMut() + 'a>,
+    fast: Box<dyn FnMut() + 'a>,
+}
+
+struct Row {
+    name: &'static str,
+    shape: String,
+    flops: f64,
+    naive_us: f64,
+    fast_us: f64,
+}
+
+impl Row {
+    fn naive_gflops(&self) -> f64 {
+        self.flops / self.naive_us / 1e3
+    }
+    fn fast_gflops(&self) -> f64 {
+        self.flops / self.fast_us / 1e3
+    }
+    fn speedup(&self) -> f64 {
+        self.naive_us / self.fast_us
+    }
+}
+
+/// Best-of-`reps` wall times of an interleaved naive/fast pair, in
+/// microseconds. Interleaving means both paths see the same background
+/// noise, and minimum time is the standard noise-robust estimator on a
+/// shared machine (noise only ever adds time).
+fn time_pair_us(reps: usize, naive: &mut dyn FnMut(), fast: &mut dyn FnMut()) -> (f64, f64) {
+    let one = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        start.elapsed().as_secs_f64() * 1e6
+    };
+    // Warm-up: populates plans/caches so "fast" measures the steady state.
+    one(naive);
+    one(fast);
+    let (mut best_naive, mut best_fast) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps.max(1) {
+        best_naive = best_naive.min(one(naive));
+        best_fast = best_fast.min(one(fast));
+    }
+    (best_naive, best_fast)
+}
+
+fn filled(len: usize, seed: usize) -> Vec<f32> {
+    // Deterministic, non-degenerate values in roughly [-1, 1].
+    (0..len)
+        .map(|i| {
+            let v = ((i * 2654435761 + seed * 40503) % 2048) as f32;
+            v / 1024.0 - 1.0
+        })
+        .collect()
+}
+
+fn json_escape_free(s: &str) -> &str {
+    assert!(
+        !s.contains(['"', '\\']) && s.is_ascii(),
+        "labels must not need JSON escaping: {s}"
+    );
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args[i + 1].clone())
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let reps = if smoke { 9 } else { 12 };
+
+    // ResNet-shaped 3x3 layer (conv2_x: 64 ch, 56x56) at micro-batch 8 —
+    // the acceptance-gate kernel — plus the raw GEMM it lowers to and the
+    // other planned engines.
+    let g_resnet = ConvGeometry::with_square(
+        Shape4::new(8, 64, 56, 56),
+        FilterShape::new(64, 64, 3, 3),
+        1,
+        1,
+    );
+    // VGG-shaped 3x3 layer: more channels, smaller image.
+    let g_vgg = ConvGeometry::with_square(
+        Shape4::new(8, 256, 14, 14),
+        FilterShape::new(256, 256, 3, 3),
+        1,
+        1,
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    {
+        // Raw GEMM at the ResNet lowering shape: K x CRS @ CRS x HoWo.
+        let (m, k, n) = (64, 64 * 9, 56 * 56);
+        let a = filled(m * k, 1);
+        let b = filled(k * n, 2);
+        let mut c = vec![0.0f32; m * n];
+        let mut kernels = vec![Kernel {
+            name: "sgemm",
+            shape: format!("{m}x{n}x{k}"),
+            flops: 2.0 * (m * n * k) as f64,
+            naive: Box::new({
+                let (a, b) = (a.clone(), b.clone());
+                let mut c = c.clone();
+                move || sgemm_ref(Trans::No, Trans::No, m, n, k, 1.0, &a, &b, 0.0, &mut c)
+            }),
+            fast: Box::new(move || sgemm(Trans::No, Trans::No, m, n, k, 1.0, &a, &b, 0.0, &mut c)),
+        }];
+
+        for (tag, g) in [("resnet3x3", &g_resnet), ("vgg3x3", &g_vgg)] {
+            let conv_kernels = planned_conv_kernels(tag, g);
+            kernels.extend(conv_kernels);
+        }
+
+        for kern in &mut kernels {
+            let (naive_us, fast_us) = time_pair_us(reps, &mut kern.naive, &mut kern.fast);
+            rows.push(Row {
+                name: kern.name,
+                shape: kern.shape.clone(),
+                flops: kern.flops,
+                naive_us,
+                fast_us,
+            });
+        }
+    }
+
+    println!(
+        "{:<28} {:>16} {:>12} {:>12} {:>12} {:>9}",
+        "kernel", "shape", "naive GF/s", "fast GF/s", "fast us", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<28} {:>16} {:>12.2} {:>12.2} {:>12.1} {:>8.2}x",
+            r.name,
+            r.shape,
+            r.naive_gflops(),
+            r.fast_gflops(),
+            r.fast_us,
+            r.speedup()
+        );
+    }
+
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"shape\": \"{}\", \"flops\": {}, \
+                 \"naive_us\": {:.3}, \"fast_us\": {:.3}, \
+                 \"naive_gflops\": {:.3}, \"fast_gflops\": {:.3}, \
+                 \"speedup\": {:.3}}}",
+                json_escape_free(r.name),
+                json_escape_free(&r.shape),
+                r.flops,
+                r.naive_us,
+                r.fast_us,
+                r.naive_gflops(),
+                r.fast_gflops(),
+                r.speedup()
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"smoke\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        smoke,
+        body.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&out)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(dir).expect("cannot create output directory");
+    }
+    std::fs::write(&out, doc).expect("cannot write benchmark JSON");
+    println!("[json] wrote {out}");
+}
+
+/// Build the naive/fast kernel pairs for the planned conv engines on `g`.
+fn planned_conv_kernels(tag: &'static str, g: &ConvGeometry) -> Vec<Kernel<'static>> {
+    let g = *g;
+    let x = Tensor::random(g.input, 11).as_slice().to_vec();
+    let w = Tensor::random(g.filter.as_shape4(), 12).as_slice().to_vec();
+    let y_len = g.output().len();
+    let macs = g.macs() as f64;
+    let mut kernels = Vec::new();
+
+    // im2col+GEMM forward: naive = im2col + sgemm_ref per sample (the
+    // pre-substrate path), fast = warm plan + packed GEMM.
+    {
+        let (xa, wa) = (x.clone(), w.clone());
+        let mut y = vec![0.0f32; y_len];
+        let mut ws = vec![0.0f32; im2col_gemm::workspace_floats(&g)];
+        let naive = Box::new(move || {
+            let (k, crs) = (g.filter.k, g.input.c * g.filter.r * g.filter.s);
+            let howo = g.out_h() * g.out_w();
+            let in_sample = g.input.sample_len();
+            for ni in 0..g.input.n {
+                let col = &mut ws[..crs * howo];
+                ucudnn_conv::im2col::im2col(&g, &xa[ni * in_sample..(ni + 1) * in_sample], col);
+                sgemm_ref(
+                    Trans::No,
+                    Trans::No,
+                    k,
+                    howo,
+                    crs,
+                    1.0,
+                    &wa,
+                    col,
+                    0.0,
+                    &mut y[ni * k * howo..(ni + 1) * k * howo],
+                );
+            }
+        });
+        let (xa, wa) = (x.clone(), w.clone());
+        let mut y = vec![0.0f32; y_len];
+        let mut ws = vec![0.0f32; im2col_gemm::workspace_floats(&g)];
+        let mut plan = ucudnn_conv::plan::GemmPlan::default();
+        let fast = Box::new(move || {
+            im2col_gemm::forward_with_plan(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws, &mut plan);
+        });
+        kernels.push(Kernel {
+            name: match tag {
+                "resnet3x3" => "im2col_fwd_resnet3x3",
+                _ => "im2col_fwd_vgg3x3",
+            },
+            shape: format!("{g}"),
+            flops: 2.0 * macs,
+            naive,
+            fast,
+        });
+    }
+
+    // Winograd F(2x2) forward: naive = plan-free (filter re-transformed and
+    // re-packed per call), fast = warm plan.
+    if winograd::supports(&g) {
+        let (xa, wa) = (x.clone(), w.clone());
+        let mut y = vec![0.0f32; y_len];
+        let mut ws = vec![0.0f32; winograd::workspace_floats(&g)];
+        let naive = Box::new(move || winograd::forward(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws));
+        let (xa, wa) = (x.clone(), w.clone());
+        let mut y = vec![0.0f32; y_len];
+        let mut ws = vec![0.0f32; winograd::workspace_floats(&g)];
+        let mut plan = ucudnn_conv::plan::WinogradPlan::default();
+        let fast = Box::new(move || {
+            winograd::forward_with_plan(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws, &mut plan);
+        });
+        kernels.push(Kernel {
+            name: match tag {
+                "resnet3x3" => "winograd_fwd_resnet3x3",
+                _ => "winograd_fwd_vgg3x3",
+            },
+            shape: format!("{g}"),
+            flops: 2.0 * macs,
+            naive,
+            fast,
+        });
+    }
+
+    // Winograd F(4x4) forward (same 3x3/stride-1 support set as F(2x2)).
+    if winograd::supports(&g) {
+        let (xa, wa) = (x.clone(), w.clone());
+        let mut y = vec![0.0f32; y_len];
+        let mut ws = vec![0.0f32; winograd_f4::workspace_floats(&g)];
+        let naive = Box::new(move || winograd_f4::forward(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws));
+        let (xa, wa) = (x.clone(), w.clone());
+        let mut y = vec![0.0f32; y_len];
+        let mut ws = vec![0.0f32; winograd_f4::workspace_floats(&g)];
+        let mut plan = ucudnn_conv::plan::WinogradPlan::default();
+        let fast = Box::new(move || {
+            winograd_f4::forward_with_plan(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws, &mut plan);
+        });
+        kernels.push(Kernel {
+            name: match tag {
+                "resnet3x3" => "winograd4_fwd_resnet3x3",
+                _ => "winograd4_fwd_vgg3x3",
+            },
+            shape: format!("{g}"),
+            flops: 2.0 * macs,
+            naive,
+            fast,
+        });
+    }
+
+    // FFT forward: naive = plan-free (tables + filter spectra rebuilt per
+    // call), fast = warm plan reusing both.
+    if fft_conv::supports(&g) {
+        let (xa, wa) = (x.clone(), w.clone());
+        let mut y = vec![0.0f32; y_len];
+        let mut ws = vec![0.0f32; fft_conv::workspace_floats(&g, fft_conv::FftOp::Forward)];
+        let naive = Box::new(move || fft_conv::forward(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws));
+        let (xa, wa) = (x, w);
+        let mut y = vec![0.0f32; y_len];
+        let mut ws = vec![0.0f32; fft_conv::workspace_floats(&g, fft_conv::FftOp::Forward)];
+        let mut plan = ucudnn_conv::plan::FftPlan::default();
+        let fast = Box::new(move || {
+            fft_conv::forward_with_plan(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws, &mut plan);
+        });
+        kernels.push(Kernel {
+            name: match tag {
+                "resnet3x3" => "fft_fwd_resnet3x3",
+                _ => "fft_fwd_vgg3x3",
+            },
+            shape: format!("{g}"),
+            flops: 2.0 * macs,
+            naive,
+            fast,
+        });
+    }
+
+    kernels
+}

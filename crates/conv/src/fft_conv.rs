@@ -18,7 +18,8 @@
 //!   the input with the output gradient, so
 //!   `dw[r] = IFFT(X ⊙ conj(DY))[(r - pad) mod F]` with `F ≥ H + Ho - 1`.
 
-use crate::fft::{fft2d, next_pow2, C32};
+use crate::fft::{next_pow2, C32};
+use crate::plan::{fingerprint_f32, FftPlan};
 use ucudnn_tensor::ConvGeometry;
 
 /// Why the FFT engine refuses a geometry.
@@ -84,31 +85,6 @@ pub fn workspace_floats(g: &ConvGeometry, op: FftOp) -> usize {
     2 * fh * fw * images
 }
 
-/// Reinterpret an `f32` workspace as complex grids (alignment of `C32` and
-/// `[f32; 2]` is identical; we copy through a typed Vec instead of unsafe
-/// casts for clarity — grids live in `ws_c` for the duration of the call).
-struct Grids {
-    buf: Vec<C32>,
-    grid_len: usize,
-}
-
-impl Grids {
-    fn new(count: usize, grid_len: usize) -> Self {
-        Self {
-            buf: vec![C32::default(); count * grid_len],
-            grid_len,
-        }
-    }
-
-    fn grid_mut(&mut self, i: usize) -> &mut [C32] {
-        &mut self.buf[i * self.grid_len..(i + 1) * self.grid_len]
-    }
-
-    fn grid(&self, i: usize) -> &[C32] {
-        &self.buf[i * self.grid_len..(i + 1) * self.grid_len]
-    }
-}
-
 /// Load a (h × w) real image into the top-left of an (fh × fw) complex grid.
 fn load(grid: &mut [C32], img: &[f32], h: usize, w: usize, fw: usize) {
     grid.fill(C32::default());
@@ -117,6 +93,16 @@ fn load(grid: &mut [C32], img: &[f32], h: usize, w: usize, fw: usize) {
             grid[i * fw + j].re = img[i * w + j];
         }
     }
+}
+
+/// Grid `i` of a flat spectra buffer.
+fn spec(buf: &[C32], i: usize, gl: usize) -> &[C32] {
+    &buf[i * gl..(i + 1) * gl]
+}
+
+/// Mutable grid `i` of a flat spectra buffer.
+fn spec_mut(buf: &mut [C32], i: usize, gl: usize) -> &mut [C32] {
+    &mut buf[i * gl..(i + 1) * gl]
 }
 
 /// `y = alpha * conv(x, w) + beta * y` via the correlation theorem.
@@ -132,6 +118,24 @@ pub fn forward(
     beta: f32,
     ws: &mut [f32],
 ) {
+    forward_with_plan(g, x, w, y, alpha, beta, ws, &mut FftPlan::default());
+}
+
+/// [`forward`] with a reusable plan: FFT tables, scratch grids, and the
+/// filter spectra (revalidated by fingerprint) persist across calls, so
+/// every micro-batch after the first skips the `K*C` filter transforms.
+/// Bit-identical to the plan-free path.
+#[allow(clippy::too_many_arguments)] // mirrors the cuDNN convolution ABI
+pub fn forward_with_plan(
+    g: &ConvGeometry,
+    x: &[f32],
+    w: &[f32],
+    y: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+    plan: &mut FftPlan,
+) {
     assert_supported(g);
     assert!(
         ws.len() >= workspace_floats(g, FftOp::Forward),
@@ -146,38 +150,55 @@ pub fn forward(
     assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
     assert_eq!(y.len(), g.output().len(), "y buffer mismatch");
 
-    // Spectra of every input channel-plane and every filter plane.
-    let mut xs = Grids::new(n * c, gl);
+    plan.ensure_tables(fh, fw);
+    let w_fp = fingerprint_f32(w);
+    let refresh_b = plan.b_fp != Some(w_fp) || plan.b_spec.len() != k * c * gl;
+    let FftPlan {
+        tables,
+        col,
+        a_spec,
+        b_spec,
+        acc,
+        b_fp,
+    } = plan;
+    let (_, th, tw) = tables.as_ref().unwrap();
+
+    // Spectra of every input channel-plane (per-call) ...
+    a_spec.resize(n * c * gl, C32::default());
     for ni in 0..n {
         for ci in 0..c {
             let img = &x[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
-            let gbuf = xs.grid_mut(ni * c + ci);
+            let gbuf = spec_mut(a_spec, ni * c + ci, gl);
             load(gbuf, img, h, wd, fw);
-            fft2d(gbuf, fh, fw, false);
+            crate::fft::fft2d_with_tables(gbuf, tw, th, false, col);
         }
     }
-    let mut wsp = Grids::new(k * c, gl);
-    for ki in 0..k {
-        for ci in 0..c {
-            let img = &w[(ki * c + ci) * r * s..(ki * c + ci + 1) * r * s];
-            let gbuf = wsp.grid_mut(ki * c + ci);
-            load(gbuf, img, r, s, fw);
-            fft2d(gbuf, fh, fw, false);
+    // ... and of every filter plane (reused while the filter bits hold).
+    if refresh_b {
+        b_spec.resize(k * c * gl, C32::default());
+        for ki in 0..k {
+            for ci in 0..c {
+                let img = &w[(ki * c + ci) * r * s..(ki * c + ci + 1) * r * s];
+                let gbuf = spec_mut(b_spec, ki * c + ci, gl);
+                load(gbuf, img, r, s, fw);
+                crate::fft::fft2d_with_tables(gbuf, tw, th, false, col);
+            }
         }
+        *b_fp = Some(w_fp);
     }
 
-    let mut acc = vec![C32::default(); gl];
+    acc.resize(gl, C32::default());
     for ni in 0..n {
         for ki in 0..k {
             acc.fill(C32::default());
             for ci in 0..c {
-                let xg = xs.grid(ni * c + ci);
-                let wg = wsp.grid(ki * c + ci);
+                let xg = spec(a_spec, ni * c + ci, gl);
+                let wg = spec(b_spec, ki * c + ci, gl);
                 for (a, (xv, wv)) in acc.iter_mut().zip(xg.iter().zip(wg)) {
                     *a = a.add(xv.mul_conj(*wv));
                 }
             }
-            fft2d(&mut acc, fh, fw, true);
+            crate::fft::fft2d_with_tables(acc, tw, th, true, col);
             for p in 0..ho {
                 let ti = (p + fh - g.pad_h) % fh; // (p - pad) mod fh
                 for q in 0..wo {
@@ -200,6 +221,22 @@ pub fn backward_data(
     beta: f32,
     ws: &mut [f32],
 ) {
+    backward_data_with_plan(g, dy, w, dx, alpha, beta, ws, &mut FftPlan::default());
+}
+
+/// [`backward_data`] with a reusable plan (tables, scratch, filter spectra).
+/// Bit-identical to the plan-free path.
+#[allow(clippy::too_many_arguments)] // mirrors the cuDNN convolution ABI
+pub fn backward_data_with_plan(
+    g: &ConvGeometry,
+    dy: &[f32],
+    w: &[f32],
+    dx: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+    plan: &mut FftPlan,
+) {
     assert_supported(g);
     assert!(
         ws.len() >= workspace_floats(g, FftOp::BackwardData),
@@ -214,37 +251,53 @@ pub fn backward_data(
     assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
     assert_eq!(dx.len(), g.input.len(), "dx buffer mismatch");
 
-    let mut dys = Grids::new(n * k, gl);
+    plan.ensure_tables(fh, fw);
+    let w_fp = fingerprint_f32(w);
+    let refresh_b = plan.b_fp != Some(w_fp) || plan.b_spec.len() != k * c * gl;
+    let FftPlan {
+        tables,
+        col,
+        a_spec,
+        b_spec,
+        acc,
+        b_fp,
+    } = plan;
+    let (_, th, tw) = tables.as_ref().unwrap();
+
+    a_spec.resize(n * k * gl, C32::default());
     for ni in 0..n {
         for ki in 0..k {
             let img = &dy[(ni * k + ki) * ho * wo..(ni * k + ki + 1) * ho * wo];
-            let gbuf = dys.grid_mut(ni * k + ki);
+            let gbuf = spec_mut(a_spec, ni * k + ki, gl);
             load(gbuf, img, ho, wo, fw);
-            fft2d(gbuf, fh, fw, false);
+            crate::fft::fft2d_with_tables(gbuf, tw, th, false, col);
         }
     }
-    let mut wsp = Grids::new(k * c, gl);
-    for ki in 0..k {
-        for ci in 0..c {
-            let img = &w[(ki * c + ci) * r * s..(ki * c + ci + 1) * r * s];
-            let gbuf = wsp.grid_mut(ki * c + ci);
-            load(gbuf, img, r, s, fw);
-            fft2d(gbuf, fh, fw, false);
+    if refresh_b {
+        b_spec.resize(k * c * gl, C32::default());
+        for ki in 0..k {
+            for ci in 0..c {
+                let img = &w[(ki * c + ci) * r * s..(ki * c + ci + 1) * r * s];
+                let gbuf = spec_mut(b_spec, ki * c + ci, gl);
+                load(gbuf, img, r, s, fw);
+                crate::fft::fft2d_with_tables(gbuf, tw, th, false, col);
+            }
         }
+        *b_fp = Some(w_fp);
     }
 
-    let mut acc = vec![C32::default(); gl];
+    acc.resize(gl, C32::default());
     for ni in 0..n {
         for ci in 0..c {
             acc.fill(C32::default());
             for ki in 0..k {
-                let dg = dys.grid(ni * k + ki);
-                let wg = wsp.grid(ki * c + ci);
+                let dg = spec(a_spec, ni * k + ki, gl);
+                let wg = spec(b_spec, ki * c + ci, gl);
                 for (a, (dv, wv)) in acc.iter_mut().zip(dg.iter().zip(wg)) {
                     *a = a.add(dv.mul(*wv));
                 }
             }
-            fft2d(&mut acc, fh, fw, true);
+            crate::fft::fft2d_with_tables(acc, tw, th, true, col);
             for ih in 0..h {
                 let ui = ih + g.pad_h; // < fh by construction
                 for iw in 0..wd {
@@ -268,6 +321,23 @@ pub fn backward_filter(
     beta: f32,
     ws: &mut [f32],
 ) {
+    backward_filter_with_plan(g, x, dy, dw, alpha, beta, ws, &mut FftPlan::default());
+}
+
+/// [`backward_filter`] with a reusable plan. Both operands vary per call, so
+/// only the tables and scratch grids are reused (no spectra caching).
+/// Bit-identical to the plan-free path.
+#[allow(clippy::too_many_arguments)] // mirrors the cuDNN convolution ABI
+pub fn backward_filter_with_plan(
+    g: &ConvGeometry,
+    x: &[f32],
+    dy: &[f32],
+    dw: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+    plan: &mut FftPlan,
+) {
     assert_supported(g);
     assert!(
         ws.len() >= workspace_floats(g, FftOp::BackwardFilter),
@@ -286,37 +356,51 @@ pub fn backward_filter(
     assert_eq!(dy.len(), g.output().len(), "dy buffer mismatch");
     assert_eq!(dw.len(), g.filter.len(), "dw buffer mismatch");
 
-    let mut xs = Grids::new(n * c, gl);
+    plan.ensure_tables(fh, fw);
+    let FftPlan {
+        tables,
+        col,
+        a_spec,
+        b_spec,
+        acc,
+        b_fp,
+    } = plan;
+    let (_, th, tw) = tables.as_ref().unwrap();
+    // Both spectra sets are per-call here; make sure a half-filled cache from
+    // a mistakenly shared plan can never alias as valid filter spectra.
+    *b_fp = None;
+
+    a_spec.resize(n * c * gl, C32::default());
     for ni in 0..n {
         for ci in 0..c {
             let img = &x[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
-            let gbuf = xs.grid_mut(ni * c + ci);
+            let gbuf = spec_mut(a_spec, ni * c + ci, gl);
             load(gbuf, img, h, wd, fw);
-            fft2d(gbuf, fh, fw, false);
+            crate::fft::fft2d_with_tables(gbuf, tw, th, false, col);
         }
     }
-    let mut dys = Grids::new(n * k, gl);
+    b_spec.resize(n * k * gl, C32::default());
     for ni in 0..n {
         for ki in 0..k {
             let img = &dy[(ni * k + ki) * ho * wo..(ni * k + ki + 1) * ho * wo];
-            let gbuf = dys.grid_mut(ni * k + ki);
+            let gbuf = spec_mut(b_spec, ni * k + ki, gl);
             load(gbuf, img, ho, wo, fw);
-            fft2d(gbuf, fh, fw, false);
+            crate::fft::fft2d_with_tables(gbuf, tw, th, false, col);
         }
     }
 
-    let mut acc = vec![C32::default(); gl];
+    acc.resize(gl, C32::default());
     for ki in 0..k {
         for ci in 0..c {
             acc.fill(C32::default());
             for ni in 0..n {
-                let xg = xs.grid(ni * c + ci);
-                let dg = dys.grid(ni * k + ki);
+                let xg = spec(a_spec, ni * c + ci, gl);
+                let dg = spec(b_spec, ni * k + ki, gl);
                 for (a, (xv, dv)) in acc.iter_mut().zip(xg.iter().zip(dg)) {
                     *a = a.add(xv.mul_conj(*dv));
                 }
             }
-            fft2d(&mut acc, fh, fw, true);
+            crate::fft::fft2d_with_tables(acc, tw, th, true, col);
             for ri in 0..r {
                 let ti = (ri + fh - g.pad_h) % fh;
                 for si in 0..s {
@@ -464,6 +548,123 @@ mod tests {
             &mut ws,
         );
         assert_all_close(&y_ref, &y, 2e-3);
+    }
+
+    #[test]
+    fn warm_plan_is_bit_identical_and_skips_filter_transforms() {
+        for g in geoms() {
+            let x = Tensor::random(g.input, 31);
+            let w = Tensor::random(g.filter.as_shape4(), 32);
+            let dy = Tensor::random(g.output(), 33);
+            let mut ws = vec![0.0; workspace_floats(&g, FftOp::Forward)];
+
+            let mut cold = Tensor::zeros(g.output());
+            forward(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                cold.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
+
+            let mut plan = FftPlan::default();
+            for _ in 0..3 {
+                let mut warm = Tensor::zeros(g.output());
+                forward_with_plan(
+                    &g,
+                    x.as_slice(),
+                    w.as_slice(),
+                    warm.as_mut_slice(),
+                    1.0,
+                    0.0,
+                    &mut ws,
+                    &mut plan,
+                );
+                for (a, b) in cold.as_slice().iter().zip(warm.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "plan path diverged ({g})");
+                }
+            }
+            assert!(plan.bytes() > 0, "warm plan should hold cached state");
+
+            // Backward-data with its own plan, same bit-identity contract.
+            let mut ws = vec![0.0; workspace_floats(&g, FftOp::BackwardData)];
+            let mut cold_dx = Tensor::zeros(g.input);
+            backward_data(
+                &g,
+                dy.as_slice(),
+                w.as_slice(),
+                cold_dx.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
+            let mut plan = FftPlan::default();
+            for _ in 0..2 {
+                let mut warm_dx = Tensor::zeros(g.input);
+                backward_data_with_plan(
+                    &g,
+                    dy.as_slice(),
+                    w.as_slice(),
+                    warm_dx.as_mut_slice(),
+                    1.0,
+                    0.0,
+                    &mut ws,
+                    &mut plan,
+                );
+                for (a, b) in cold_dx.as_slice().iter().zip(warm_dx.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "bwd-data plan diverged ({g})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_revalidates_on_filter_update() {
+        let g = geoms()[0];
+        let x = Tensor::random(g.input, 41);
+        let w1 = Tensor::random(g.filter.as_shape4(), 42);
+        let w2 = Tensor::random(g.filter.as_shape4(), 43);
+        let mut ws = vec![0.0; workspace_floats(&g, FftOp::Forward)];
+        let mut plan = FftPlan::default();
+        // Warm the plan on w1, then run with w2: the fingerprint must force a
+        // re-transform, matching a cold w2 run exactly.
+        let mut scratch = Tensor::zeros(g.output());
+        forward_with_plan(
+            &g,
+            x.as_slice(),
+            w1.as_slice(),
+            scratch.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+            &mut plan,
+        );
+        let mut cold = Tensor::zeros(g.output());
+        forward(
+            &g,
+            x.as_slice(),
+            w2.as_slice(),
+            cold.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
+        let mut warm = Tensor::zeros(g.output());
+        forward_with_plan(
+            &g,
+            x.as_slice(),
+            w2.as_slice(),
+            warm.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+            &mut plan,
+        );
+        for (a, b) in cold.as_slice().iter().zip(warm.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "stale filter spectra reused");
+        }
     }
 
     #[test]

@@ -1,12 +1,42 @@
-//! A small single-precision GEMM.
+//! A single-precision GEMM built around a register-blocked micro-kernel.
 //!
 //! `C = alpha * op(A) * op(B) + beta * C`, row-major, with optional
 //! transposition of either operand. This is the compute core of the
-//! im2col-based convolution engine (the analogue of cuDNN's `ALGO_GEMM`).
+//! im2col-based convolution engine (the analogue of cuDNN's `ALGO_GEMM`)
+//! and of the Winograd engines' per-ξ batched products.
 //!
-//! The kernel is a cache-blocked ikj loop: modest, but the reproduction's
-//! timing claims come from the GPU performance model, not from this code —
-//! the CPU engines exist to validate numerical semantics.
+//! # Structure
+//!
+//! [`sgemm`] follows the classic BLIS decomposition:
+//!
+//! 1. **Pack** `op(A)` into row panels of [`MR`] rows ([`pack_a`]) and
+//!    `op(B)` into column panels of [`NR`] columns ([`pack_b_into`]). Panels
+//!    are k-major, so the micro-kernel reads both operands with unit stride
+//!    regardless of the original transpose; edge panels are zero-padded to
+//!    full width.
+//! 2. **Micro-kernel**: an `MR x NR` tile of C is accumulated in a local
+//!    `[[f32; NR]; MR]` array whose fixed-trip-count loops the
+//!    autovectorizer unrolls and keeps in vector registers for the whole
+//!    k loop (baseline x86-64 SSE2: two 4-lane registers per row).
+//! 3. **Masked tail**: edge tiles run the same full-width kernel over the
+//!    zero-padded panels, then write back only the `rows x cols` valid
+//!    corner.
+//!
+//! Filters are the `A` operand of every im2col GEMM and are identical across
+//! a layer's micro-batches, so [`pack_a`] / [`sgemm_prepacked_a`] expose the
+//! packing step: pack the filter once per layer execution and reuse the
+//! panels for every micro-batch (the packed-weight analogue of the paper's
+//! WR workspace reuse). [`sgemm_ref`], the previous cache-blocked ikj
+//! kernel, is retained as the naive reference the property tests and the
+//! `hotpath` benchmark compare against.
+//!
+//! # beta semantics
+//!
+//! Like cuDNN (and unlike BLAS), `beta == 0` means the prior contents of
+//! `C` are *not read*: NaN or Inf garbage in an uninitialized output buffer
+//! is overwritten, not propagated.
+
+use core::cell::RefCell;
 
 /// Whether an operand is used as stored or transposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,11 +47,247 @@ pub enum Trans {
     Yes,
 }
 
+/// Micro-kernel tile rows. With AVX, 6 rows x 16 columns keeps 12 ymm
+/// accumulators plus broadcast and B registers inside the 16 vector
+/// registers (empirically the best shape on AVX2 and AVX-512 hosts).
+#[cfg(target_feature = "avx")]
+pub const MR: usize = 6;
+/// Micro-kernel tile columns.
+#[cfg(target_feature = "avx")]
+pub const NR: usize = 16;
+
+/// Micro-kernel tile rows. On baseline x86-64 (SSE2) 4 rows x 8 columns =
+/// 8 four-lane accumulator registers plus one broadcast and two B registers
+/// — comfortably inside the 16 xmm registers.
+#[cfg(not(target_feature = "avx"))]
+pub const MR: usize = 4;
+/// Micro-kernel tile columns.
+#[cfg(not(target_feature = "avx"))]
+pub const NR: usize = 8;
+
+/// One fused (or mul+add) step of the accumulator update. `mul_add` maps to
+/// a single hardware instruction only when the target has FMA; without it
+/// LLVM calls libm per lane, so the plain two-op form is used instead.
+#[inline(always)]
+fn madd(acc: f32, a: f32, b: f32) -> f32 {
+    if cfg!(target_feature = "fma") {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
 const BLOCK: usize = 64;
+
+/// Scale `c` by `beta` with cuDNN semantics: `beta == 0` writes zeros
+/// without reading the prior contents.
+fn scale_beta(c: &mut [f32], beta: f32) {
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+}
+
+/// `op(A)` (`m x k`) packed into `ceil(m/MR)` zero-padded row panels,
+/// k-major within each panel: element `(r, p)` of panel `pi` lives at
+/// `pi*MR*k + p*MR + r`. Pack once per layer execution and reuse across
+/// micro-batches via [`sgemm_prepacked_a`].
+#[derive(Debug, Clone)]
+pub struct PackedA {
+    m: usize,
+    k: usize,
+    buf: Vec<f32>,
+}
+
+impl PackedA {
+    /// Rows of `op(A)`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Inner (reduction) dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Heap bytes held by the packed panels (for cache accounting).
+    pub fn bytes(&self) -> usize {
+        self.buf.len() * core::mem::size_of::<f32>()
+    }
+}
+
+fn packed_a_len(m: usize, k: usize) -> usize {
+    m.div_ceil(MR) * MR * k
+}
+
+fn packed_b_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * NR * k
+}
+
+fn pack_a_into(trans_a: Trans, m: usize, k: usize, a: &[f32], buf: &mut Vec<f32>) {
+    buf.clear();
+    buf.resize(packed_a_len(m, k), 0.0);
+    for pi in 0..m.div_ceil(MR) {
+        let rows = MR.min(m - pi * MR);
+        let panel = &mut buf[pi * MR * k..(pi + 1) * MR * k];
+        match trans_a {
+            // op(A)[i][p] = a[i*k + p]: copy each source row at stride MR.
+            Trans::No => {
+                for r in 0..rows {
+                    let arow = &a[(pi * MR + r) * k..][..k];
+                    for (p, &v) in arow.iter().enumerate() {
+                        panel[p * MR + r] = v;
+                    }
+                }
+            }
+            // op(A)[i][p] = a[p*m + i]: rows of a panel are contiguous in
+            // the source, so each k step is a short memcpy.
+            Trans::Yes => {
+                for p in 0..k {
+                    let src = &a[p * m + pi * MR..][..rows];
+                    panel[p * MR..p * MR + rows].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
+fn pack_b_into(trans_b: Trans, k: usize, n: usize, b: &[f32], buf: &mut Vec<f32>) {
+    buf.clear();
+    buf.resize(packed_b_len(k, n), 0.0);
+    for pj in 0..n.div_ceil(NR) {
+        let cols = NR.min(n - pj * NR);
+        let panel = &mut buf[pj * NR * k..(pj + 1) * NR * k];
+        match trans_b {
+            // op(B)[p][j] = b[p*n + j]: each k step is a short memcpy.
+            Trans::No => {
+                for p in 0..k {
+                    let src = &b[p * n + pj * NR..][..cols];
+                    panel[p * NR..p * NR + cols].copy_from_slice(src);
+                }
+            }
+            // op(B)[p][j] = b[j*k + p]: copy each source row at stride NR.
+            Trans::Yes => {
+                for c in 0..cols {
+                    let src = &b[(pj * NR + c) * k..][..k];
+                    for (p, &v) in src.iter().enumerate() {
+                        panel[p * NR + c] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack `op(A)` for reuse across multiple [`sgemm_prepacked_a`] calls.
+///
+/// # Panics
+/// Panics when `a` is smaller than `m * k`.
+pub fn pack_a(trans_a: Trans, m: usize, k: usize, a: &[f32]) -> PackedA {
+    assert!(a.len() >= m * k, "A too small: {} < {}", a.len(), m * k);
+    let mut buf = Vec::new();
+    pack_a_into(trans_a, m, k, a, &mut buf);
+    PackedA { m, k, buf }
+}
+
+/// The `MR x NR` register tile: accumulate `alpha * panelA . panelB` into
+/// the tile of C at `(i0, j0)`, writing back only `rows x cols` (edge tiles
+/// run full-width over the zero padding and mask on writeback).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn microkernel(
+    k: usize,
+    ap: &[f32],
+    bp: &[f32],
+    alpha: f32,
+    c: &mut [f32],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    // chunks_exact gives the optimizer fixed-size slices, so the r/j loops
+    // fully unroll and `acc` stays in vector registers across the k loop.
+    for (arow, brow) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
+        for r in 0..MR {
+            let av = arow[r];
+            for j in 0..NR {
+                acc[r][j] = madd(acc[r][j], av, brow[j]);
+            }
+        }
+    }
+    if rows == MR && cols == NR {
+        for r in 0..MR {
+            let crow = &mut c[(i0 + r) * ldc + j0..][..NR];
+            for (cv, av) in crow.iter_mut().zip(acc[r]) {
+                *cv += alpha * av;
+            }
+        }
+    } else {
+        for r in 0..rows {
+            let crow = &mut c[(i0 + r) * ldc + j0..][..cols];
+            for (cv, av) in crow.iter_mut().zip(acc[r]) {
+                *cv += alpha * av;
+            }
+        }
+    }
+}
+
+/// Macro-loop over packed panels. B panels are the outer loop so each one
+/// stays cache-hot while every A panel streams past it.
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    pa: &[f32],
+    pb: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    scale_beta(&mut c[..m * n], beta);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for pj in 0..n.div_ceil(NR) {
+        let cols = NR.min(n - pj * NR);
+        let bp = &pb[pj * NR * k..(pj + 1) * NR * k];
+        for pi in 0..m.div_ceil(MR) {
+            let rows = MR.min(m - pi * MR);
+            let ap = &pa[pi * MR * k..(pi + 1) * MR * k];
+            microkernel(k, ap, bp, alpha, c, n, pi * MR, pj * NR, rows, cols);
+        }
+    }
+}
+
+struct Scratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+thread_local! {
+    // Reusable pack buffers: sgemm is called per sample / per ξ inside the
+    // engines, so per-call allocation would dominate small problems.
+    static SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            a: Vec::new(),
+            b: Vec::new(),
+        })
+    };
+}
 
 /// `C = alpha * op(A) * op(B) + beta * C` where `op(A)` is `m x k` and
 /// `op(B)` is `k x n`; `C` is `m x n`. All matrices are dense row-major with
 /// no padding (leading dimension equals the stored row width).
+///
+/// `beta == 0` overwrites `C` without reading it (cuDNN semantics — NaN in
+/// an uninitialized output buffer does not propagate).
 ///
 /// # Panics
 /// Panics when a buffer is smaller than its shape requires.
@@ -41,12 +307,72 @@ pub fn sgemm(
     assert!(a.len() >= m * k, "A too small: {} < {}", a.len(), m * k);
     assert!(b.len() >= k * n, "B too small: {} < {}", b.len(), k * n);
     assert!(c.len() >= m * n, "C too small: {} < {}", c.len(), m * n);
-
-    if beta != 1.0 {
-        for x in c[..m * n].iter_mut() {
-            *x *= beta;
-        }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        scale_beta(&mut c[..m * n], beta);
+        return;
     }
+    SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        pack_a_into(trans_a, m, k, a, &mut s.a);
+        pack_b_into(trans_b, k, n, b, &mut s.b);
+        gemm_packed(m, n, k, alpha, &s.a, &s.b, beta, c);
+    });
+}
+
+/// [`sgemm`] with `op(A)` already packed by [`pack_a`]: `m` and `k` come
+/// from the packed operand. The filter operand of a convolution layer is
+/// identical across its micro-batches, so the engines pack it once and call
+/// this per micro-batch.
+///
+/// # Panics
+/// Panics when `b` or `c` is smaller than its shape requires.
+pub fn sgemm_prepacked_a(
+    pa: &PackedA,
+    trans_b: Trans,
+    n: usize,
+    alpha: f32,
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    let (m, k) = (pa.m, pa.k);
+    assert!(b.len() >= k * n, "B too small: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "C too small: {} < {}", c.len(), m * n);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        scale_beta(&mut c[..m * n], beta);
+        return;
+    }
+    SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        pack_b_into(trans_b, k, n, b, &mut s.b);
+        gemm_packed(m, n, k, alpha, &pa.buf, &s.b, beta, c);
+    });
+}
+
+/// The retained naive reference: the cache-blocked ikj kernel that predates
+/// the packed micro-kernel. Property tests pin [`sgemm`] against it and the
+/// `hotpath` benchmark reports speedup over it. Same cuDNN beta semantics.
+///
+/// # Panics
+/// Panics when a buffer is smaller than its shape requires.
+#[allow(clippy::too_many_arguments)] // BLAS/cuDNN-style signature
+pub fn sgemm_ref(
+    trans_a: Trans,
+    trans_b: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert!(a.len() >= m * k, "A too small: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "B too small: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "C too small: {} < {}", c.len(), m * n);
+
+    scale_beta(&mut c[..m * n], beta);
     if alpha == 0.0 || m == 0 || n == 0 {
         return;
     }
@@ -135,11 +461,16 @@ mod tests {
     fn check(trans_a: Trans, trans_b: Trans, m: usize, n: usize, k: usize) {
         let a = fill(m * k, 1);
         let b = fill(k * n, 2);
+        let want = naive(trans_a, trans_b, m, n, k, &a, &b);
         let mut c = vec![0.0; m * n];
         sgemm(trans_a, trans_b, m, n, k, 1.0, &a, &b, 0.0, &mut c);
-        let want = naive(trans_a, trans_b, m, n, k, &a, &b);
         for (x, y) in c.iter().zip(&want) {
             assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+        let mut cr = vec![0.0; m * n];
+        sgemm_ref(trans_a, trans_b, m, n, k, 1.0, &a, &b, 0.0, &mut cr);
+        for (x, y) in cr.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4, "ref: {x} vs {y}");
         }
     }
 
@@ -164,6 +495,18 @@ mod tests {
     }
 
     #[test]
+    fn tile_edges_are_masked() {
+        // One past / one short of every tile boundary around MR and NR.
+        for m in [1, MR - 1, MR, MR + 1, 2 * MR + 3] {
+            for n in [1, NR - 1, NR, NR + 1, 2 * NR + 5] {
+                for k in [1, 2, 7, 64] {
+                    check(Trans::No, Trans::No, m, n, k);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn alpha_beta_scaling() {
         let a = vec![1.0, 2.0, 3.0, 4.0]; // 2x2
         let b = vec![1.0, 0.0, 0.0, 1.0]; // identity
@@ -174,18 +517,63 @@ mod tests {
 
     #[test]
     fn beta_zero_overwrites_garbage() {
+        // cuDNN semantics: beta=0 means the prior contents of C are never
+        // read, so NaN/Inf in an uninitialized buffer must not propagate.
         let a = vec![1.0];
         let b = vec![1.0];
         let mut c = vec![f32::NAN];
-        // beta=0 must still clear NaN per "overwrite" semantics? cuDNN's
-        // beta=0 means the prior value is not read; we multiply, so NaN*0=NaN.
-        // Mirror BLAS semantics instead: scale then accumulate.
         sgemm(Trans::No, Trans::No, 1, 1, 1, 1.0, &a, &b, 0.0, &mut c);
-        // BLAS-style: 0 * NaN = NaN. Document the behaviour by asserting it.
-        assert!(c[0].is_nan());
-        let mut c2 = vec![3.0];
-        sgemm(Trans::No, Trans::No, 1, 1, 1, 1.0, &a, &b, 0.0, &mut c2);
-        assert_eq!(c2[0], 1.0);
+        assert_eq!(c[0], 1.0);
+        let mut c = vec![f32::INFINITY];
+        sgemm_ref(Trans::No, Trans::No, 1, 1, 1, 1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c[0], 1.0);
+        // Even alpha=0 with beta=0 must clear garbage, not multiply it.
+        let mut c = vec![f32::NAN; 4];
+        sgemm(
+            Trans::No,
+            Trans::No,
+            2,
+            2,
+            1,
+            0.0,
+            &[1.0; 2],
+            &[1.0; 2],
+            0.0,
+            &mut c,
+        );
+        assert_eq!(c, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn prepacked_a_matches_fresh_pack() {
+        let (m, n, k) = (13, 21, 37);
+        let a = fill(m * k, 3);
+        let pa = pack_a(Trans::No, m, k, &a);
+        assert_eq!(pa.m(), m);
+        assert_eq!(pa.k(), k);
+        assert!(pa.bytes() >= m * k * 4);
+        for (seed, trans_b) in [(4u64, Trans::No), (5, Trans::Yes)] {
+            let b = fill(k * n, seed);
+            let mut c = vec![1.0; m * n];
+            let mut want = vec![1.0; m * n];
+            sgemm(Trans::No, trans_b, m, n, k, 0.5, &a, &b, 2.0, &mut want);
+            sgemm_prepacked_a(&pa, trans_b, n, 0.5, &b, 2.0, &mut c);
+            assert_eq!(c, want, "prepacked path must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn prepacked_transposed_a() {
+        let (m, n, k) = (9, 14, 11);
+        let a = fill(k * m, 6); // stored k x m, used transposed
+        let b = fill(k * n, 7);
+        let pa = pack_a(Trans::Yes, m, k, &a);
+        let mut c = vec![0.0; m * n];
+        sgemm_prepacked_a(&pa, Trans::No, n, 1.0, &b, 0.0, &mut c);
+        let want = naive(Trans::Yes, Trans::No, m, n, k, &a, &b);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
     }
 
     #[test]
@@ -204,6 +592,10 @@ mod tests {
             &mut c,
         );
         assert_eq!(c, vec![5.0; 4]);
+        // k == 0 still applies beta.
+        let mut c = vec![5.0; 4];
+        sgemm(Trans::No, Trans::No, 2, 2, 0, 1.0, &[], &[], 0.5, &mut c);
+        assert_eq!(c, vec![2.5; 4]);
     }
 
     #[test]

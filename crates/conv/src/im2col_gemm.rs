@@ -6,8 +6,9 @@
 //! single-sample column buffer (correctness is the goal — the *model* of the
 //! GPU algorithm's workspace lives in `ucudnn-gpu-model`).
 
-use crate::gemm::{sgemm, Trans};
+use crate::gemm::{sgemm, sgemm_prepacked_a, Trans};
 use crate::im2col::{col2im_add, col_len, im2col};
+use crate::plan::GemmPlan;
 use ucudnn_tensor::ConvGeometry;
 
 /// Workspace (in `f32` elements) required by this engine for any of the
@@ -35,6 +36,24 @@ pub fn forward(
     beta: f32,
     ws: &mut [f32],
 ) {
+    forward_with_plan(g, x, w, y, alpha, beta, ws, &mut GemmPlan::default());
+}
+
+/// [`forward`] with a reusable plan: the filter is packed into GEMM panels
+/// once (revalidated by fingerprint) and every sample — and every subsequent
+/// micro-batch of the same layer — reuses the packed panels. Bit-identical
+/// to the plan-free path (packing is deterministic).
+#[allow(clippy::too_many_arguments)] // mirrors the cuDNN convolution ABI
+pub fn forward_with_plan(
+    g: &ConvGeometry,
+    x: &[f32],
+    w: &[f32],
+    y: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+    plan: &mut GemmPlan,
+) {
     check_ws(g, ws);
     let n = g.input.n;
     let (k, crs) = (g.filter.k, g.input.c * g.filter.r * g.filter.s);
@@ -45,18 +64,16 @@ pub fn forward(
     assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
     assert_eq!(y.len(), n * out_sample, "y buffer mismatch");
 
+    let packed_w = plan.packed_forward(k, crs, w);
     let col = &mut ws[..crs * howo];
     for ni in 0..n {
         im2col(g, &x[ni * in_sample..(ni + 1) * in_sample], col);
         // y[n] (K x HoWo) = alpha * W (K x CRS) @ col (CRS x HoWo) + beta * y[n]
-        sgemm(
+        sgemm_prepacked_a(
+            packed_w,
             Trans::No,
-            Trans::No,
-            k,
             howo,
-            crs,
             alpha,
-            w,
             col,
             beta,
             &mut y[ni * out_sample..(ni + 1) * out_sample],
@@ -74,6 +91,22 @@ pub fn backward_data(
     beta: f32,
     ws: &mut [f32],
 ) {
+    backward_data_with_plan(g, dy, w, dx, alpha, beta, ws, &mut GemmPlan::default());
+}
+
+/// [`backward_data`] with a reusable plan holding the packed `Wᵀ` panels.
+/// Bit-identical to the plan-free path.
+#[allow(clippy::too_many_arguments)] // mirrors the cuDNN convolution ABI
+pub fn backward_data_with_plan(
+    g: &ConvGeometry,
+    dy: &[f32],
+    w: &[f32],
+    dx: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+    plan: &mut GemmPlan,
+) {
     check_ws(g, ws);
     let n = g.input.n;
     let (k, crs) = (g.filter.k, g.input.c * g.filter.r * g.filter.s);
@@ -84,23 +117,24 @@ pub fn backward_data(
     assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
     assert_eq!(dx.len(), g.input.len(), "dx buffer mismatch");
 
+    let packed_wt = plan.packed_backward_data(crs, k, w);
     let col = &mut ws[..crs * howo];
     for ni in 0..n {
         // col (CRS x HoWo) = W^T (CRS x K) @ dy[n] (K x HoWo)
-        sgemm(
-            Trans::Yes,
+        sgemm_prepacked_a(
+            packed_wt,
             Trans::No,
-            crs,
             howo,
-            k,
             1.0,
-            w,
             &dy[ni * out_sample..(ni + 1) * out_sample],
             0.0,
             col,
         );
         let dxs = &mut dx[ni * in_sample..(ni + 1) * in_sample];
-        if beta != 1.0 {
+        if beta == 0.0 {
+            // cuDNN semantics: beta == 0 must not read the output buffer.
+            dxs.fill(0.0);
+        } else if beta != 1.0 {
             for v in dxs.iter_mut() {
                 *v *= beta;
             }
@@ -131,7 +165,10 @@ pub fn backward_filter(
     assert_eq!(dw.len(), g.filter.len(), "dw buffer mismatch");
 
     let col = &mut ws[..crs * howo];
-    if beta != 1.0 {
+    if beta == 0.0 {
+        // cuDNN semantics: beta == 0 must not read the output buffer.
+        dw.fill(0.0);
+    } else if beta != 1.0 {
         for v in dw.iter_mut() {
             *v *= beta;
         }
@@ -318,6 +355,125 @@ mod tests {
             );
         }
         assert_all_close(&dw_full, &dw_micro, 1e-3);
+    }
+
+    #[test]
+    fn warm_plan_is_bit_identical() {
+        for g in geoms() {
+            let x = Tensor::random(g.input, 21);
+            let w = Tensor::random(g.filter.as_shape4(), 22);
+            let dy = Tensor::random(g.output(), 23);
+            let mut ws = vec![0.0; workspace_floats(&g)];
+
+            let mut cold_y = Tensor::zeros(g.output());
+            forward(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                cold_y.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
+            let mut plan = GemmPlan::default();
+            for _ in 0..3 {
+                let mut warm_y = Tensor::zeros(g.output());
+                forward_with_plan(
+                    &g,
+                    x.as_slice(),
+                    w.as_slice(),
+                    warm_y.as_mut_slice(),
+                    1.0,
+                    0.0,
+                    &mut ws,
+                    &mut plan,
+                );
+                for (a, b) in cold_y.as_slice().iter().zip(warm_y.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "plan forward diverged ({g})");
+                }
+            }
+
+            let mut cold_dx = Tensor::zeros(g.input);
+            backward_data(
+                &g,
+                dy.as_slice(),
+                w.as_slice(),
+                cold_dx.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
+            for _ in 0..2 {
+                let mut warm_dx = Tensor::zeros(g.input);
+                backward_data_with_plan(
+                    &g,
+                    dy.as_slice(),
+                    w.as_slice(),
+                    warm_dx.as_mut_slice(),
+                    1.0,
+                    0.0,
+                    &mut ws,
+                    &mut plan,
+                );
+                for (a, b) in cold_dx.as_slice().iter().zip(warm_dx.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "plan bwd-data diverged ({g})");
+                }
+            }
+            assert!(plan.bytes() > 0, "warm plan should hold packed panels");
+        }
+    }
+
+    #[test]
+    fn backward_data_beta_zero_ignores_garbage_output() {
+        let g = geoms()[0];
+        let dy = Tensor::random(g.output(), 25);
+        let w = Tensor::random(g.filter.as_shape4(), 26);
+        let mut ws = vec![0.0; workspace_floats(&g)];
+        let mut clean = Tensor::zeros(g.input);
+        backward_data(
+            &g,
+            dy.as_slice(),
+            w.as_slice(),
+            clean.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
+        let mut dirty = Tensor::zeros(g.input);
+        dirty.as_mut_slice().fill(f32::NAN);
+        backward_data(
+            &g,
+            dy.as_slice(),
+            w.as_slice(),
+            dirty.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
+        for (a, b) in clean.as_slice().iter().zip(dirty.as_slice()) {
+            assert!(b.is_finite(), "beta=0 must not read the NaN-seeded output");
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn backward_filter_beta_zero_ignores_garbage_output() {
+        let g = geoms()[0];
+        let x = Tensor::random(g.input, 27);
+        let dy = Tensor::random(g.output(), 28);
+        let mut ws = vec![0.0; workspace_floats(&g)];
+        let mut dw = Tensor::zeros(g.filter.as_shape4());
+        dw.as_mut_slice().fill(f32::NAN);
+        backward_filter(
+            &g,
+            x.as_slice(),
+            dy.as_slice(),
+            dw.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
+        assert!(dw.as_slice().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -23,9 +23,11 @@ pub mod gemm;
 pub mod im2col;
 pub mod im2col_gemm;
 pub mod parallel;
+pub mod plan;
 pub mod winograd;
 pub mod winograd_f4;
 
+pub use plan::EnginePlan;
 use ucudnn_tensor::ConvGeometry;
 
 /// Which of the three convolution operations to run.
@@ -201,6 +203,33 @@ pub fn exec(
     beta: f32,
     ws: &mut [f32],
 ) -> Result<(), ConvError> {
+    // Delegating through a fresh plan guarantees the cached and uncached
+    // paths are the same code — plans can never change results.
+    let mut plan = EnginePlan::for_engine(engine);
+    exec_with_plan(engine, op, g, a, b, out, alpha, beta, ws, &mut plan)
+}
+
+/// [`exec`] with a caller-held [`EnginePlan`] that caches call-invariant
+/// state (packed filter panels, FFT tables and filter spectra, transformed
+/// Winograd filters) across invocations. Reusing one plan for a layer's
+/// micro-batches — and across training iterations — skips the per-call
+/// re-derivation; results are bit-identical to [`exec`].
+///
+/// The plan variant must match `engine` (pass
+/// [`EnginePlan::for_engine`]`(engine)`); a mismatch returns `NotSupported`.
+#[allow(clippy::too_many_arguments)] // BLAS/cuDNN-style signature
+pub fn exec_with_plan(
+    engine: EngineKind,
+    op: ConvOp,
+    g: &ConvGeometry,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+    plan: &mut EnginePlan,
+) -> Result<(), ConvError> {
     if let Some(reason) = support_reason(engine, op, g) {
         return Err(ConvError::NotSupported { engine, op, reason });
     }
@@ -211,40 +240,56 @@ pub fn exec(
             got: ws.len(),
         });
     }
-    match (engine, op) {
-        (EngineKind::Direct, ConvOp::Forward) => direct::forward(g, a, b, out, alpha, beta),
-        (EngineKind::Direct, ConvOp::BackwardData) => {
+    match (engine, op, plan) {
+        (EngineKind::Direct, ConvOp::Forward, EnginePlan::Direct) => {
+            direct::forward(g, a, b, out, alpha, beta)
+        }
+        (EngineKind::Direct, ConvOp::BackwardData, EnginePlan::Direct) => {
             direct::backward_data(g, a, b, out, alpha, beta)
         }
-        (EngineKind::Direct, ConvOp::BackwardFilter) => {
+        (EngineKind::Direct, ConvOp::BackwardFilter, EnginePlan::Direct) => {
             direct::backward_filter(g, a, b, out, alpha, beta)
         }
-        (EngineKind::Gemm, ConvOp::Forward) => im2col_gemm::forward(g, a, b, out, alpha, beta, ws),
-        (EngineKind::Gemm, ConvOp::BackwardData) => {
-            im2col_gemm::backward_data(g, a, b, out, alpha, beta, ws)
+        (EngineKind::Gemm, ConvOp::Forward, EnginePlan::Gemm(p)) => {
+            im2col_gemm::forward_with_plan(g, a, b, out, alpha, beta, ws, p)
         }
-        (EngineKind::Gemm, ConvOp::BackwardFilter) => {
+        (EngineKind::Gemm, ConvOp::BackwardData, EnginePlan::Gemm(p)) => {
+            im2col_gemm::backward_data_with_plan(g, a, b, out, alpha, beta, ws, p)
+        }
+        (EngineKind::Gemm, ConvOp::BackwardFilter, EnginePlan::Gemm(_)) => {
+            // Both GEMM operands vary per call here; nothing to cache.
             im2col_gemm::backward_filter(g, a, b, out, alpha, beta, ws)
         }
-        (EngineKind::Fft, ConvOp::Forward) => fft_conv::forward(g, a, b, out, alpha, beta, ws),
-        (EngineKind::Fft, ConvOp::BackwardData) => {
-            fft_conv::backward_data(g, a, b, out, alpha, beta, ws)
+        (EngineKind::Fft, ConvOp::Forward, EnginePlan::Fft(p)) => {
+            fft_conv::forward_with_plan(g, a, b, out, alpha, beta, ws, p)
         }
-        (EngineKind::Fft, ConvOp::BackwardFilter) => {
-            fft_conv::backward_filter(g, a, b, out, alpha, beta, ws)
+        (EngineKind::Fft, ConvOp::BackwardData, EnginePlan::Fft(p)) => {
+            fft_conv::backward_data_with_plan(g, a, b, out, alpha, beta, ws, p)
         }
-        (EngineKind::Winograd, ConvOp::Forward) => winograd::forward(g, a, b, out, alpha, beta, ws),
-        (EngineKind::Winograd, ConvOp::BackwardData) => {
-            winograd::backward_data(g, a, b, out, alpha, beta, ws)
+        (EngineKind::Fft, ConvOp::BackwardFilter, EnginePlan::Fft(p)) => {
+            fft_conv::backward_filter_with_plan(g, a, b, out, alpha, beta, ws, p)
         }
-        (EngineKind::WinogradF4, ConvOp::Forward) => {
-            winograd_f4::forward(g, a, b, out, alpha, beta, ws)
+        (EngineKind::Winograd, ConvOp::Forward, EnginePlan::Winograd(p)) => {
+            winograd::forward_with_plan(g, a, b, out, alpha, beta, ws, p)
         }
-        (EngineKind::WinogradF4, ConvOp::BackwardData) => {
-            winograd_f4::backward_data(g, a, b, out, alpha, beta, ws)
+        (EngineKind::Winograd, ConvOp::BackwardData, EnginePlan::Winograd(p)) => {
+            winograd::backward_data_with_plan(g, a, b, out, alpha, beta, ws, p)
         }
-        (EngineKind::Winograd | EngineKind::WinogradF4, ConvOp::BackwardFilter) => {
+        (EngineKind::WinogradF4, ConvOp::Forward, EnginePlan::WinogradF4(p)) => {
+            winograd_f4::forward_with_plan(g, a, b, out, alpha, beta, ws, p)
+        }
+        (EngineKind::WinogradF4, ConvOp::BackwardData, EnginePlan::WinogradF4(p)) => {
+            winograd_f4::backward_data_with_plan(g, a, b, out, alpha, beta, ws, p)
+        }
+        (EngineKind::Winograd | EngineKind::WinogradF4, ConvOp::BackwardFilter, _) => {
             unreachable!("rejected above")
+        }
+        _ => {
+            return Err(ConvError::NotSupported {
+                engine,
+                op,
+                reason: "plan variant does not match the engine",
+            })
         }
     }
     Ok(())
@@ -351,6 +396,80 @@ mod tests {
             }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    /// A warm plan yields byte-identical output to the plan-free entry point
+    /// for every supported (engine, op) pair — the determinism contract the
+    /// cuDNN-sim plan cache relies on.
+    #[test]
+    fn warm_plans_are_bit_identical_across_engines() {
+        let g = g33();
+        let x = Tensor::random(g.input, 71);
+        let w = Tensor::random(g.filter.as_shape4(), 72);
+        let dy = Tensor::random(g.output(), 73);
+        for engine in EngineKind::ALL {
+            let mut plan = EnginePlan::for_engine(engine);
+            for op in ConvOp::ALL {
+                if !supports(engine, op, &g) {
+                    continue;
+                }
+                let (a, b, out_shape) = match op {
+                    ConvOp::Forward => (x.as_slice(), w.as_slice(), g.output()),
+                    ConvOp::BackwardData => (dy.as_slice(), w.as_slice(), g.input),
+                    ConvOp::BackwardFilter => (x.as_slice(), dy.as_slice(), g.filter.as_shape4()),
+                };
+                let mut ws = vec![0.0; workspace_floats(engine, op, &g)];
+                let mut cold = Tensor::zeros(out_shape);
+                exec(engine, op, &g, a, b, cold.as_mut_slice(), 1.0, 0.0, &mut ws).unwrap();
+                for round in 0..3 {
+                    let mut warm = Tensor::zeros(out_shape);
+                    exec_with_plan(
+                        engine,
+                        op,
+                        &g,
+                        a,
+                        b,
+                        warm.as_mut_slice(),
+                        1.0,
+                        0.0,
+                        &mut ws,
+                        &mut plan,
+                    )
+                    .unwrap();
+                    for (c, h) in cold.as_slice().iter().zip(warm.as_slice()) {
+                        assert_eq!(
+                            c.to_bits(),
+                            h.to_bits(),
+                            "{engine:?}/{op} diverged on round {round}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_plan_variant_is_rejected() {
+        let g = g33();
+        let x = Tensor::zeros(g.input);
+        let w = Tensor::zeros(g.filter.as_shape4());
+        let mut y = Tensor::zeros(g.output());
+        let mut ws = vec![0.0; workspace_floats(EngineKind::Gemm, ConvOp::Forward, &g)];
+        let mut plan = EnginePlan::for_engine(EngineKind::Fft);
+        let err = exec_with_plan(
+            EngineKind::Gemm,
+            ConvOp::Forward,
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            y.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+            &mut plan,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("plan variant"));
     }
 
     #[test]

@@ -7,13 +7,57 @@
 //! construction.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Hardware parallelism, probed once per process (`available_parallelism`
+/// takes a syscall on some platforms — too hot for a per-GEMM query).
+fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Process-wide execution-thread cap: 0 = unset (use `UCUDNN_EXEC_THREADS`
+/// or the hardware count).
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap from the `UCUDNN_EXEC_THREADS` environment variable, read once.
+fn env_thread_cap() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("UCUDNN_EXEC_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&v| v > 0)
+    })
+}
+
+/// Override the execution-thread cap programmatically (e.g. from tests or a
+/// framework sweep). `Some(t)` caps workers at `t`; `None` restores the
+/// default (`UCUDNN_EXEC_THREADS` env var, else hardware parallelism).
+/// Returns the previous override. Process-global, like the env var.
+pub fn set_thread_cap(cap: Option<usize>) -> Option<usize> {
+    let prev = THREAD_CAP.swap(cap.unwrap_or(0), Ordering::SeqCst);
+    (prev > 0).then_some(prev)
+}
+
+/// Effective maximum number of execution worker threads: the programmatic
+/// override, else `UCUDNN_EXEC_THREADS`, else hardware parallelism.
+pub fn max_workers() -> usize {
+    let cap = THREAD_CAP.load(Ordering::SeqCst);
+    if cap > 0 {
+        return cap;
+    }
+    env_thread_cap().unwrap_or_else(hardware_threads)
+}
 
 /// Number of worker threads to use for a batch of `n` samples.
 fn worker_count(n: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    hw.min(n).max(1)
+    max_workers().min(n).max(1)
 }
 
 /// Run `body(batch_lo, batch_hi, out_chunk)` over disjoint, contiguous batch
@@ -101,5 +145,33 @@ mod tests {
     fn rejects_bad_output_length() {
         let mut out = vec![0.0f32; 5];
         par_batch_chunks(2, 3, &mut out, |_, _, _| {});
+    }
+
+    /// Thread-cap override wins over env/hardware and results stay correct
+    /// at every cap (the split only changes chunk boundaries, not coverage).
+    #[test]
+    fn thread_cap_override_bounds_workers_and_preserves_results() {
+        let n = 16;
+        let sample_len = 3;
+        let run = |cap: Option<usize>| {
+            let prev = set_thread_cap(cap);
+            let mut out = vec![0.0f32; n * sample_len];
+            par_batch_chunks(n, sample_len, &mut out, |lo, _hi, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (lo * sample_len + i) as f32 * 2.0;
+                }
+            });
+            set_thread_cap(prev);
+            out
+        };
+        let baseline = run(Some(1));
+        for cap in [2, 8, 64] {
+            assert_eq!(run(Some(cap)), baseline, "cap={cap} changed results");
+        }
+        assert!(worker_count(4) <= max_workers());
+        let prev = set_thread_cap(Some(2));
+        assert_eq!(max_workers(), 2);
+        assert_eq!(worker_count(100), 2);
+        set_thread_cap(prev);
     }
 }

@@ -1,0 +1,258 @@
+//! Per-(engine, op, geometry) execution plans.
+//!
+//! Every engine re-derives call-invariant state on each invocation: the GEMM
+//! engine packs the filter panels, the FFT engine rebuilds twiddle and
+//! bit-reversal tables and re-transforms the filter spectra, the Winograd
+//! engines re-transform (and re-pack) the filters. A [`EnginePlan`] owns that
+//! state so it can be derived once and reused — across the micro-batches of
+//! one layer execution (the filter operand is identical for all of them, the
+//! packed-weight analogue of WR's workspace reuse) and across training
+//! iterations (the cuDNN-simulation layer keys plans by geometry and keeps
+//! them in an LRU cache).
+//!
+//! Filter-dependent state is revalidated by a cheap 64-bit FNV fingerprint
+//! of the filter bits: within an iteration every micro-batch hits; after an
+//! SGD step the fingerprint changes and the state is re-derived once.
+//! Plans never change numerical results — the cached state is bit-identical
+//! to what the uncached path would recompute, so execution with and without
+//! plans (or with a cold vs. warm plan) produces byte-identical outputs.
+
+use crate::fft::{FftTables, C32};
+use crate::gemm::{pack_a, PackedA, Trans};
+use crate::EngineKind;
+
+/// 64-bit FNV-1a-style fingerprint over the raw bits of an `f32` slice.
+/// Used to revalidate filter-derived plan state; collisions only cost
+/// correctness if two distinct filters collide *and* share a geometry key,
+/// which FNV makes vanishingly unlikely for non-adversarial training data.
+pub fn fingerprint_f32(data: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in data {
+        h = (h ^ u64::from(v.to_bits())).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cached state for the im2col+GEMM engine: the filter packed as the `A`
+/// operand of the forward (`W`, `K x CRS`) and backward-data (`Wᵀ`,
+/// `CRS x K`) GEMMs.
+#[derive(Debug, Default)]
+pub struct GemmPlan {
+    fp: Option<u64>,
+    fwd: Option<PackedA>,
+    bwd: Option<PackedA>,
+}
+
+impl GemmPlan {
+    /// Drop filter-derived state when the filter bits changed.
+    fn revalidate(&mut self, w: &[f32]) {
+        let fp = fingerprint_f32(w);
+        if self.fp != Some(fp) {
+            self.fp = Some(fp);
+            self.fwd = None;
+            self.bwd = None;
+        }
+    }
+
+    /// Packed `W` (`K x CRS`) for the forward GEMM, repacking only when the
+    /// filter bits changed since the last call.
+    pub(crate) fn packed_forward(&mut self, k: usize, crs: usize, w: &[f32]) -> &PackedA {
+        self.revalidate(w);
+        if self.fwd.as_ref().is_none_or(|p| p.m() != k || p.k() != crs) {
+            self.fwd = Some(pack_a(Trans::No, k, crs, w));
+        }
+        self.fwd.as_ref().unwrap()
+    }
+
+    /// Packed `Wᵀ` (`CRS x K`) for the backward-data GEMM.
+    pub(crate) fn packed_backward_data(&mut self, crs: usize, k: usize, w: &[f32]) -> &PackedA {
+        self.revalidate(w);
+        if self.bwd.as_ref().is_none_or(|p| p.m() != crs || p.k() != k) {
+            self.bwd = Some(pack_a(Trans::Yes, crs, k, w));
+        }
+        self.bwd.as_ref().unwrap()
+    }
+
+    /// Heap bytes held.
+    pub fn bytes(&self) -> usize {
+        self.fwd.as_ref().map_or(0, PackedA::bytes) + self.bwd.as_ref().map_or(0, PackedA::bytes)
+    }
+}
+
+/// Cached state for the FFT engine: twiddle/bit-reversal tables for the
+/// transform grid, reusable complex scratch, and — for forward and
+/// backward-data, whose `b` operand is the filter — the filter spectra.
+#[derive(Debug, Default)]
+pub struct FftPlan {
+    /// Tables for the row (width `fw`) and column (height `fh`) transforms,
+    /// tagged with the grid they were built for.
+    pub(crate) tables: Option<((usize, usize), FftTables, FftTables)>,
+    /// Column-gather scratch for the 2-D transforms.
+    pub(crate) col: Vec<C32>,
+    /// Spectra of the per-call operand (activations / gradients).
+    pub(crate) a_spec: Vec<C32>,
+    /// Spectra of the reusable operand (filter), cached under `b_fp`.
+    pub(crate) b_spec: Vec<C32>,
+    /// Product accumulator grid.
+    pub(crate) acc: Vec<C32>,
+    /// Fingerprint of the filter bits `b_spec` was derived from, when valid.
+    pub(crate) b_fp: Option<u64>,
+}
+
+impl FftPlan {
+    /// Make sure tables exist for an `fh x fw` grid, rebuilding only when
+    /// the grid changed (callers then borrow `self.tables` directly so the
+    /// scratch fields stay independently borrowable).
+    pub(crate) fn ensure_tables(&mut self, fh: usize, fw: usize) {
+        if self.tables.as_ref().is_none_or(|(g, ..)| *g != (fh, fw)) {
+            self.tables = Some(((fh, fw), FftTables::new(fh), FftTables::new(fw)));
+            self.b_fp = None; // spectra were for the old grid
+        }
+    }
+
+    /// Heap bytes held (vector capacities, not lengths — the scratch grows
+    /// to the largest micro-batch and stays).
+    pub fn bytes(&self) -> usize {
+        let c32 = core::mem::size_of::<C32>();
+        let tables = self
+            .tables
+            .as_ref()
+            .map_or(0, |(_, th, tw)| th.bytes() + tw.bytes());
+        tables
+            + (self.col.capacity()
+                + self.a_spec.capacity()
+                + self.b_spec.capacity()
+                + self.acc.capacity())
+                * c32
+    }
+}
+
+/// Cached state for the Winograd engines: the transformed filter `U`, packed
+/// per ξ as the `A` operand of the per-ξ GEMMs. `tiles` is 16 for
+/// F(2×2, 3×3) and 36 for F(4×4, 3×3).
+#[derive(Debug, Default)]
+pub struct WinogradPlan {
+    fp: Option<u64>,
+    tiles: usize,
+    u_packed: Vec<PackedA>,
+}
+
+impl WinogradPlan {
+    /// Packed `U[ξ]` panels for a filter, re-deriving them via `transform`
+    /// (which must fill a `tiles*k*c` buffer in ξ-major `[ξ][k][c]` layout)
+    /// only when the filter bits changed.
+    pub(crate) fn packed_u(
+        &mut self,
+        tiles: usize,
+        k: usize,
+        c: usize,
+        w: &[f32],
+        transform: impl FnOnce(&mut [f32]),
+    ) -> &[PackedA] {
+        let fp = fingerprint_f32(w);
+        let stale = self.fp != Some(fp)
+            || self.tiles != tiles
+            || self.u_packed.len() != tiles
+            || self
+                .u_packed
+                .first()
+                .is_some_and(|p| p.m() != k || p.k() != c);
+        if stale {
+            let mut u = vec![0.0f32; tiles * k * c];
+            transform(&mut u);
+            self.u_packed = (0..tiles)
+                .map(|xi| pack_a(Trans::No, k, c, &u[xi * k * c..(xi + 1) * k * c]))
+                .collect();
+            self.fp = Some(fp);
+            self.tiles = tiles;
+        }
+        &self.u_packed
+    }
+
+    /// Heap bytes held.
+    pub fn bytes(&self) -> usize {
+        self.u_packed.iter().map(PackedA::bytes).sum()
+    }
+}
+
+/// The cached execution state of one (engine, op, geometry) key. Constructed
+/// empty; engines lazily populate it on first use and revalidate
+/// filter-derived entries by fingerprint.
+#[derive(Debug)]
+pub enum EnginePlan {
+    /// The direct engine has no reusable state.
+    Direct,
+    /// im2col+GEMM packed filter panels.
+    Gemm(GemmPlan),
+    /// FFT tables, scratch grids, and filter spectra.
+    Fft(FftPlan),
+    /// F(2×2, 3×3) packed transformed filters.
+    Winograd(WinogradPlan),
+    /// F(4×4, 3×3) packed transformed filters.
+    WinogradF4(WinogradPlan),
+}
+
+impl EnginePlan {
+    /// An empty plan for `engine`.
+    pub fn for_engine(engine: EngineKind) -> Self {
+        match engine {
+            EngineKind::Direct => EnginePlan::Direct,
+            EngineKind::Gemm => EnginePlan::Gemm(GemmPlan::default()),
+            EngineKind::Fft => EnginePlan::Fft(FftPlan::default()),
+            EngineKind::Winograd => EnginePlan::Winograd(WinogradPlan::default()),
+            EngineKind::WinogradF4 => EnginePlan::WinogradF4(WinogradPlan::default()),
+        }
+    }
+
+    /// Heap bytes held by the cached state (for LRU byte accounting).
+    pub fn bytes(&self) -> usize {
+        match self {
+            EnginePlan::Direct => 0,
+            EnginePlan::Gemm(p) => p.bytes(),
+            EnginePlan::Fft(p) => p.bytes(),
+            EnginePlan::Winograd(p) | EnginePlan::WinogradF4(p) => p.bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_distinguishes_values_and_orders() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [1.0f32, 2.0, 4.0];
+        let c = [3.0f32, 2.0, 1.0];
+        assert_eq!(fingerprint_f32(&a), fingerprint_f32(&a));
+        assert_ne!(fingerprint_f32(&a), fingerprint_f32(&b));
+        assert_ne!(fingerprint_f32(&a), fingerprint_f32(&c));
+        // 0.0 and -0.0 have different bits — fingerprint sees raw bits.
+        assert_ne!(fingerprint_f32(&[0.0]), fingerprint_f32(&[-0.0]));
+    }
+
+    #[test]
+    fn gemm_plan_repacks_only_on_filter_change() {
+        let w1 = vec![1.0f32; 12];
+        let w2 = vec![2.0f32; 12];
+        let mut plan = GemmPlan::default();
+        let p1 = plan.packed_forward(3, 4, &w1) as *const PackedA;
+        let p1b = plan.packed_forward(3, 4, &w1) as *const PackedA;
+        assert_eq!(p1, p1b, "unchanged filter must not repack");
+        plan.packed_forward(3, 4, &w2);
+        assert!(plan.bytes() > 0);
+        // Changing the filter invalidates both directions.
+        plan.packed_backward_data(4, 3, &w2);
+        let before = plan.bytes();
+        plan.packed_forward(3, 4, &w1);
+        assert!(plan.bytes() < before, "stale backward pack must be dropped");
+    }
+
+    #[test]
+    fn engine_plan_variants_report_bytes() {
+        for e in EngineKind::ALL {
+            let plan = EnginePlan::for_engine(e);
+            assert_eq!(plan.bytes(), 0, "fresh plans hold no heap state");
+        }
+    }
+}

@@ -12,7 +12,8 @@
 //! Forward and BackwardData only (BackwardData is Forward on the
 //! channel-transposed, 180°-rotated filter with complementary padding).
 
-use crate::gemm::{sgemm, Trans};
+use crate::gemm::{sgemm_prepacked_a, Trans};
+use crate::plan::WinogradPlan;
 use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
 
 /// True when this engine can run the geometry for forward / backward-data.
@@ -114,6 +115,24 @@ pub fn forward(
     beta: f32,
     ws: &mut [f32],
 ) {
+    forward_with_plan(g, x, w, y, alpha, beta, ws, &mut WinogradPlan::default());
+}
+
+/// [`forward`] with a reusable plan: the transformed filter `U` is computed
+/// and packed into GEMM panels once (revalidated by fingerprint), so every
+/// micro-batch after the first skips both the `K·C` filter transforms and
+/// the per-ξ `A`-panel packing. Bit-identical to the plan-free path.
+#[allow(clippy::too_many_arguments)] // mirrors the cuDNN convolution ABI
+pub fn forward_with_plan(
+    g: &ConvGeometry,
+    x: &[f32],
+    w: &[f32],
+    y: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+    plan: &mut WinogradPlan,
+) {
     assert_supported(g);
     assert!(ws.len() >= workspace_floats(g), "workspace too small");
     let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
@@ -125,21 +144,27 @@ pub fn forward(
     assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
     assert_eq!(y.len(), g.output().len(), "y buffer mismatch");
 
-    // Workspace layout: U[16][K][C] | V[16][C][T] | M[16][K][T].
-    let (u_buf, rest) = ws.split_at_mut(16 * k * c);
+    // Workspace layout: U[16][K][C] | V[16][C][T] | M[16][K][T]. The plan
+    // path leaves the U region untouched (U lives packed in the plan) but
+    // the layout — and therefore `workspace_floats` — is unchanged.
+    let (_, rest) = ws.split_at_mut(16 * k * c);
     let (v_buf, m_rest) = rest.split_at_mut(16 * c * t);
     let m_buf = &mut m_rest[..16 * k * t];
 
-    // 1. Filter transform: U[ξ][ki][ci], element stride between ξ's is K*C.
-    for ki in 0..k {
-        for ci in 0..c {
-            transform_filter(
-                &w[(ki * c + ci) * 9..(ki * c + ci) * 9 + 9],
-                &mut u_buf[ki * c + ci..],
-                k * c,
-            );
+    // 1. Filter transform: U[ξ][ki][ci], element stride between ξ's is K*C —
+    //    derived and packed once per distinct filter, reused across
+    //    micro-batches and iterations until the weights change.
+    let u_packed = plan.packed_u(16, k, c, w, |u| {
+        for ki in 0..k {
+            for ci in 0..c {
+                transform_filter(
+                    &w[(ki * c + ci) * 9..(ki * c + ci) * 9 + 9],
+                    &mut u[ki * c + ci..],
+                    k * c,
+                );
+            }
         }
-    }
+    });
 
     // 2. Input transform: V[ξ][ci][tile].
     for ni in 0..n {
@@ -171,15 +196,12 @@ pub fn forward(
     }
 
     // 3. 16 GEMMs: M[ξ] (K x T) = U[ξ] (K x C) @ V[ξ] (C x T).
-    for xi in 0..16 {
-        sgemm(
+    for (xi, u_xi) in u_packed.iter().enumerate() {
+        sgemm_prepacked_a(
+            u_xi,
             Trans::No,
-            Trans::No,
-            k,
             t,
-            c,
             1.0,
-            &u_buf[xi * k * c..(xi + 1) * k * c],
             &v_buf[xi * c * t..(xi + 1) * c * t],
             0.0,
             &mut m_buf[xi * k * t..(xi + 1) * k * t],
@@ -242,6 +264,23 @@ pub fn backward_data(
     beta: f32,
     ws: &mut [f32],
 ) {
+    backward_data_with_plan(g, dy, w, dx, alpha, beta, ws, &mut WinogradPlan::default());
+}
+
+/// [`backward_data`] with a reusable plan. The plan fingerprints the flipped
+/// filter (a deterministic function of the weights), so the cached `U` stays
+/// valid across micro-batches exactly like the forward path.
+#[allow(clippy::too_many_arguments)] // mirrors the cuDNN convolution ABI
+pub fn backward_data_with_plan(
+    g: &ConvGeometry,
+    dy: &[f32],
+    w: &[f32],
+    dx: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+    plan: &mut WinogradPlan,
+) {
     assert_supported(g);
     assert!(
         ws.len() >= workspace_floats_backward_data(g),
@@ -267,7 +306,7 @@ pub fn backward_data(
             }
         }
     }
-    forward(&bg, dy, wflip, dx, alpha, beta, rest);
+    forward_with_plan(&bg, dy, wflip, dx, alpha, beta, rest, plan);
 }
 
 #[cfg(test)]
@@ -371,6 +410,43 @@ mod tests {
             &mut ws,
         );
         assert_all_close(&y_ref, &y, 1e-3);
+    }
+
+    #[test]
+    fn warm_plan_is_bit_identical() {
+        for g in geoms() {
+            let x = Tensor::random(g.input, 51);
+            let w = Tensor::random(g.filter.as_shape4(), 52);
+            let mut ws = vec![0.0; workspace_floats(&g)];
+            let mut cold = Tensor::zeros(g.output());
+            forward(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                cold.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
+            let mut plan = WinogradPlan::default();
+            for _ in 0..3 {
+                let mut warm = Tensor::zeros(g.output());
+                forward_with_plan(
+                    &g,
+                    x.as_slice(),
+                    w.as_slice(),
+                    warm.as_mut_slice(),
+                    1.0,
+                    0.0,
+                    &mut ws,
+                    &mut plan,
+                );
+                for (a, b) in cold.as_slice().iter().zip(warm.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "plan path diverged ({g})");
+                }
+            }
+            assert!(plan.bytes() > 0, "warm plan should hold packed U panels");
+        }
     }
 
     #[test]

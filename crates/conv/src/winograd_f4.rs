@@ -18,7 +18,8 @@
 //! Same support envelope as the fused engine: 3×3 filters, unit stride,
 //! pad ≤ 2; Forward and BackwardData (flipped-filter trick).
 
-use crate::gemm::{sgemm, Trans};
+use crate::gemm::{sgemm_prepacked_a, Trans};
+use crate::plan::WinogradPlan;
 use crate::winograd::supports;
 use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
 
@@ -148,6 +149,23 @@ pub fn forward(
     beta: f32,
     ws: &mut [f32],
 ) {
+    forward_with_plan(g, x, w, y, alpha, beta, ws, &mut WinogradPlan::default());
+}
+
+/// [`forward`] with a reusable plan holding the packed transformed filter
+/// `U` (see [`crate::winograd::forward_with_plan`]). Bit-identical to the
+/// plan-free path.
+#[allow(clippy::too_many_arguments)] // mirrors the cuDNN convolution ABI
+pub fn forward_with_plan(
+    g: &ConvGeometry,
+    x: &[f32],
+    w: &[f32],
+    y: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+    plan: &mut WinogradPlan,
+) {
     assert!(
         supports(g),
         "F(4x4,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})"
@@ -162,20 +180,23 @@ pub fn forward(
     assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
     assert_eq!(y.len(), g.output().len(), "y buffer mismatch");
 
-    // Workspace layout: U[36][K][C] | V[36][C][T] | M[36][K][T].
-    let (u_buf, rest) = ws.split_at_mut(36 * k * c);
+    // Workspace layout: U[36][K][C] | V[36][C][T] | M[36][K][T]. The plan
+    // path leaves the U region untouched (U lives packed in the plan).
+    let (_, rest) = ws.split_at_mut(36 * k * c);
     let (v_buf, m_rest) = rest.split_at_mut(36 * c * t);
     let m_buf = &mut m_rest[..36 * k * t];
 
-    for ki in 0..k {
-        for ci in 0..c {
-            transform_filter(
-                &w[(ki * c + ci) * 9..(ki * c + ci) * 9 + 9],
-                &mut u_buf[ki * c + ci..],
-                k * c,
-            );
+    let u_packed = plan.packed_u(36, k, c, w, |u| {
+        for ki in 0..k {
+            for ci in 0..c {
+                transform_filter(
+                    &w[(ki * c + ci) * 9..(ki * c + ci) * 9 + 9],
+                    &mut u[ki * c + ci..],
+                    k * c,
+                );
+            }
         }
-    }
+    });
 
     for ni in 0..n {
         for ci in 0..c {
@@ -206,15 +227,12 @@ pub fn forward(
     }
 
     // 36 GEMMs: M[ξ] (K x T) = U[ξ] (K x C) @ V[ξ] (C x T).
-    for xi in 0..36 {
-        sgemm(
+    for (xi, u_xi) in u_packed.iter().enumerate() {
+        sgemm_prepacked_a(
+            u_xi,
             Trans::No,
-            Trans::No,
-            k,
             t,
-            c,
             1.0,
-            &u_buf[xi * k * c..(xi + 1) * k * c],
             &v_buf[xi * c * t..(xi + 1) * c * t],
             0.0,
             &mut m_buf[xi * k * t..(xi + 1) * k * t],
@@ -274,6 +292,21 @@ pub fn backward_data(
     beta: f32,
     ws: &mut [f32],
 ) {
+    backward_data_with_plan(g, dy, w, dx, alpha, beta, ws, &mut WinogradPlan::default());
+}
+
+/// [`backward_data`] with a reusable plan (fingerprints the flipped filter).
+#[allow(clippy::too_many_arguments)] // mirrors the cuDNN convolution ABI
+pub fn backward_data_with_plan(
+    g: &ConvGeometry,
+    dy: &[f32],
+    w: &[f32],
+    dx: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+    plan: &mut WinogradPlan,
+) {
     assert!(
         supports(g),
         "F(4x4,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})"
@@ -296,7 +329,7 @@ pub fn backward_data(
             }
         }
     }
-    forward(&bg, dy, wflip, dx, alpha, beta, rest);
+    forward_with_plan(&bg, dy, wflip, dx, alpha, beta, rest, plan);
 }
 
 #[cfg(test)]
@@ -405,6 +438,42 @@ mod tests {
             &mut ws,
         );
         assert_all_close(&y_ref, &y, 5e-3);
+    }
+
+    #[test]
+    fn warm_plan_is_bit_identical() {
+        let g = geoms()[1];
+        let x = Tensor::random(g.input, 61);
+        let w = Tensor::random(g.filter.as_shape4(), 62);
+        let mut ws = vec![0.0; workspace_floats(&g)];
+        let mut cold = Tensor::zeros(g.output());
+        forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            cold.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
+        let mut plan = WinogradPlan::default();
+        for _ in 0..3 {
+            let mut warm = Tensor::zeros(g.output());
+            forward_with_plan(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                warm.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+                &mut plan,
+            );
+            for (a, b) in cold.as_slice().iter().zip(warm.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "plan path diverged");
+            }
+        }
+        assert!(plan.bytes() > 0);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Property tests pinning the register-blocked packed GEMM to a plain
+//! triple-loop oracle across the whole call surface: all four transpose
+//! combinations, odd/tail-heavy shapes, and the alpha/beta values the
+//! engines actually use.
+
+use proptest::prelude::*;
+use ucudnn_conv::gemm::{pack_a, sgemm, sgemm_prepacked_a, sgemm_ref, Trans};
+
+/// Unblocked triple-loop oracle, deliberately independent of the library's
+/// own `sgemm_ref` blocking. `op(A)` is `m x k`, `op(B)` is `k x n`,
+/// row-major.
+#[allow(clippy::too_many_arguments)]
+fn gemm_oracle(
+    trans_a: Trans,
+    trans_b: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for l in 0..k {
+                let av = match trans_a {
+                    Trans::No => a[i * k + l],
+                    Trans::Yes => a[l * m + i],
+                };
+                let bv = match trans_b {
+                    Trans::No => b[l * n + j],
+                    Trans::Yes => b[j * k + l],
+                };
+                acc += f64::from(av) * f64::from(bv);
+            }
+            let prior = if beta == 0.0 {
+                0.0
+            } else {
+                beta * c[i * n + j]
+            };
+            c[i * n + j] = alpha * acc as f32 + prior;
+        }
+    }
+}
+
+fn trans() -> impl Strategy<Value = Trans> {
+    prop_oneof![Just(Trans::No), Just(Trans::Yes)]
+}
+
+/// The scale values the conv engines pass: identity, accumulate, halve,
+/// negate — including the beta == 0 "do not read C" case.
+fn scale() -> impl Strategy<Value = f32> {
+    prop_oneof![Just(0.0f32), Just(1.0f32), Just(0.5f32), Just(-1.0f32)]
+}
+
+/// Odd, deliberately non-tile-aligned dimensions so every case exercises
+/// the masked tail paths of the micro-kernel.
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..40, 1usize..40, 1usize..40).prop_map(|(m, n, k)| (m | 1, n | 1, k | 1))
+}
+
+fn filled(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = proptest::TestRng::new(seed.max(1));
+    (0..len)
+        .map(|_| (rng.next_f64() as f32) * 2.0 - 1.0)
+        .collect()
+}
+
+/// Absolute-plus-relative closeness against the f64 oracle: the packed
+/// kernel reassociates sums (and may fuse multiplies), so exact equality
+/// with a sequential f32 loop is not the contract — agreement to f32
+/// rounding is.
+fn assert_close(got: &[f32], want: &[f32], k: usize) {
+    let tol = 1e-5 * (k as f32).sqrt().max(1.0);
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let scale = w.abs().max(1.0);
+        assert!(
+            (g - w).abs() <= tol * scale,
+            "element {i}: got {g}, oracle {w} (tol {tol})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Packed GEMM matches the triple loop on every transpose combination,
+    /// odd shape, and engine scale value.
+    #[test]
+    fn sgemm_matches_triple_loop(
+        mnk in dims(),
+        ta in trans(),
+        tb in trans(),
+        alpha in scale(),
+        beta in scale(),
+        seed in 1u64..1_000_000,
+    ) {
+        let (m, n, k) = mnk;
+        let a = filled(m * k, seed);
+        let b = filled(k * n, seed ^ 0x9e37_79b9);
+        // Seed C with garbage when beta == 0: cuDNN semantics say it must
+        // be overwritten, never read.
+        let c_init: Vec<f32> = if beta == 0.0 {
+            vec![f32::NAN; m * n]
+        } else {
+            filled(m * n, seed ^ 0x5bd1_e995)
+        };
+        let mut want = c_init.clone();
+        gemm_oracle(ta, tb, m, n, k, alpha, &a, &b, beta, &mut want);
+
+        let mut got = c_init.clone();
+        sgemm(ta, tb, m, n, k, alpha, &a, &b, beta, &mut got);
+        assert_close(&got, &want, k);
+
+        let mut refr = c_init.clone();
+        sgemm_ref(ta, tb, m, n, k, alpha, &a, &b, beta, &mut refr);
+        assert_close(&refr, &want, k);
+    }
+
+    /// Pre-packing A (the micro-batch filter-reuse path) is bit-identical
+    /// to packing inside the call, and repeated calls are deterministic.
+    #[test]
+    fn prepacked_a_is_bit_identical_and_deterministic(
+        mnk in dims(),
+        ta in trans(),
+        tb in trans(),
+        seed in 1u64..1_000_000,
+    ) {
+        let (m, n, k) = mnk;
+        let a = filled(m * k, seed);
+        let b = filled(k * n, seed ^ 0xc2b2_ae35);
+        let mut fresh = vec![0.0f32; m * n];
+        sgemm(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut fresh);
+
+        let pa = pack_a(ta, m, k, &a);
+        for round in 0..2 {
+            let mut warm = vec![f32::NAN; m * n];
+            sgemm_prepacked_a(&pa, tb, n, 1.0, &b, 0.0, &mut warm);
+            for (i, (f, w)) in fresh.iter().zip(&warm).enumerate() {
+                prop_assert_eq!(
+                    f.to_bits(),
+                    w.to_bits(),
+                    "element {} differs on round {}",
+                    i,
+                    round
+                );
+            }
+        }
+    }
+}

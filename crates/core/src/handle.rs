@@ -809,8 +809,9 @@ impl UcudnnHandle {
 
     /// Full metrics report as JSON: per-phase timings, thread and kernel
     /// counts, cache traffic, per-kernel benchmark counts (aggregated over
-    /// micro-batch sizes), and the robustness ledger (degradations,
-    /// injected faults, retries, DB quarantine counts).
+    /// micro-batch sizes), execution-plan cache counters, and the
+    /// robustness ledger (degradations, injected faults, retries, DB
+    /// quarantine counts).
     pub fn metrics_json(&self) -> String {
         self.metrics
             .set_total_us(self.state.lock().opt_wall_us as u64);
@@ -818,6 +819,7 @@ impl UcudnnHandle {
             self.cache.stats(),
             &self.cache.benchmark_counts_by_kernel(),
             self.inner.faults_injected(),
+            self.inner.exec_cache_stats(),
         )
     }
 

@@ -16,6 +16,7 @@ use crate::bench_cache::CacheStats;
 use crate::json::{self, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+use ucudnn_cudnn_sim::ExecCacheStats;
 
 /// The optimizer phases that are individually timed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,15 +161,18 @@ impl OptimizerMetrics {
     }
 
     /// Render the full metrics report as a JSON document: per-phase
-    /// timings, cache traffic, per-kernel benchmark counts, and the
-    /// robustness ledger (degradations, injected faults, retries, and DB
-    /// quarantine counts). `faults_injected` comes from the substrate's
-    /// fault injector ([`ucudnn_cudnn_sim::CudnnHandle::faults_injected`]).
+    /// timings, cache traffic, per-kernel benchmark counts, the
+    /// execution-plan cache counters, and the robustness ledger
+    /// (degradations, injected faults, retries, and DB quarantine counts).
+    /// `faults_injected` comes from the substrate's fault injector
+    /// ([`ucudnn_cudnn_sim::CudnnHandle::faults_injected`]); `exec_cache`
+    /// from [`ucudnn_cudnn_sim::CudnnHandle::exec_cache_stats`].
     pub fn to_json(
         &self,
         cache: CacheStats,
         bench_counts: &[(String, u64)],
         faults_injected: u64,
+        exec_cache: ExecCacheStats,
     ) -> String {
         let t = self.timings();
         // Degradations observed anywhere: explicit ladder steps recorded by
@@ -196,6 +200,15 @@ impl OptimizerMetrics {
                         "single_flight_waits",
                         json::num(cache.single_flight_waits as f64),
                     ),
+                ]),
+            ),
+            (
+                "exec_cache",
+                json::obj([
+                    ("hits", json::num(exec_cache.hits as f64)),
+                    ("misses", json::num(exec_cache.misses as f64)),
+                    ("evictions", json::num(exec_cache.evictions as f64)),
+                    ("bytes", json::num(exec_cache.bytes as f64)),
                 ]),
             ),
             (
@@ -300,7 +313,13 @@ mod tests {
             db_rows_quarantined: 2,
         };
         let counts = vec![("fwd[k]".to_string(), 1u64)];
-        let text = m.to_json(stats, &counts, 6);
+        let exec = ExecCacheStats {
+            hits: 12,
+            misses: 3,
+            evictions: 1,
+            bytes: 2048,
+        };
+        let text = m.to_json(stats, &counts, 6, exec);
         let doc = Value::parse(&text).expect("valid JSON");
         assert_eq!(
             doc.get("phases_us")
@@ -340,6 +359,11 @@ mod tests {
                 .as_u64(),
             Some(1)
         );
+        let ec = doc.get("exec_cache").unwrap();
+        assert_eq!(ec.get("hits").unwrap().as_u64(), Some(12));
+        assert_eq!(ec.get("misses").unwrap().as_u64(), Some(3));
+        assert_eq!(ec.get("evictions").unwrap().as_u64(), Some(1));
+        assert_eq!(ec.get("bytes").unwrap().as_u64(), Some(2048));
         let rob = doc.get("robustness").unwrap();
         // 1 explicit degradation + 4 dropped benchmark points.
         assert_eq!(rob.get("degradations").unwrap().as_u64(), Some(5));

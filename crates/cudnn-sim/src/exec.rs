@@ -93,7 +93,25 @@ impl CudnnHandle {
                 let kind = cpu_engine_for(algo)
                     .ok_or_else(|| CudnnError::NotSupported(format!("{algo} has no kernel")))?;
                 let start = std::time::Instant::now();
-                ucudnn_conv::exec(kind, op, &g, a, b, out, alpha, beta, ws)
+                // Execute through the plan cache: call-invariant state
+                // (packed filter panels, FFT tables and filter spectra,
+                // Winograd-transformed filters) is derived once per
+                // (engine, op, batch-1 geometry) and reused across the
+                // micro-batches and iterations that follow. Cached and
+                // uncached execution are bit-identical, so the cache — and
+                // an injected allocation fault degrading a call to uncached
+                // execution — never changes results.
+                self.plan_cache()
+                    .with_plan(
+                        crate::plan_cache::plan_key(kind, op, &g),
+                        kind,
+                        |bytes| self.fault_check_alloc(bytes).is_ok(),
+                        |plan| {
+                            ucudnn_conv::exec_with_plan(
+                                kind, op, &g, a, b, out, alpha, beta, ws, plan,
+                            )
+                        },
+                    )
                     .map_err(|e| CudnnError::ExecutionFailed(e.to_string()))?;
                 self.advance(start.elapsed().as_secs_f64() * 1e6);
                 crate::observe::emit_with(|| crate::observe::CallEvent {
@@ -340,6 +358,121 @@ mod tests {
             assert_all_close(&want, &y, 5e-3);
         }
         assert!(h.elapsed_us() > 0.0);
+    }
+
+    /// Repeated RealCpu calls hit the plan cache, micro-batches of one layer
+    /// share the entry, and warm results are bit-identical to cold ones.
+    #[test]
+    fn real_cpu_exec_warms_plan_cache_bit_identically() {
+        let h = CudnnHandle::real_cpu();
+        let run = |handle: &CudnnHandle, n: usize| {
+            let (xd, wd, cd, yd) = descs(n);
+            let g = cd.geometry(&xd, &wd).unwrap();
+            let x = Tensor::random(g.input, 1);
+            let w = Tensor::random(g.filter.as_shape4(), 2);
+            let bytes = handle
+                .get_workspace_size(ConvOp::Forward, &xd, &wd, &cd, ConvAlgo::Gemm)
+                .unwrap();
+            let mut ws = vec![0.0f32; bytes.div_ceil(4)];
+            let mut y = Tensor::zeros(g.output());
+            handle
+                .convolution_forward(
+                    1.0,
+                    &xd,
+                    x.as_slice(),
+                    &wd,
+                    w.as_slice(),
+                    &cd,
+                    ConvAlgo::Gemm,
+                    &mut ws,
+                    0.0,
+                    &yd,
+                    y.as_mut_slice(),
+                )
+                .unwrap();
+            y
+        };
+        let cold = run(&h, 2);
+        let stats = h.exec_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        assert!(stats.bytes > 0, "a warm plan must hold packed panels");
+        for round in 1..=3 {
+            let warm = run(&h, 2);
+            assert!(
+                cold.as_slice()
+                    .iter()
+                    .zip(warm.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "warm round {round} diverged from cold execution"
+            );
+        }
+        assert_eq!(h.exec_cache_stats().hits, 3);
+        // A different micro-batch size of the same layer shares the entry.
+        run(&h, 7);
+        assert_eq!(h.exec_cache_stats().hits, 4);
+        // A cache-disabled handle computes bit-identical results.
+        let uncached = CudnnHandle::real_cpu().with_exec_cache_bytes(0);
+        let plain = run(&uncached, 2);
+        assert!(cold
+            .as_slice()
+            .iter()
+            .zip(plain.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(uncached.exec_cache_stats().hits, 0);
+    }
+
+    /// An injected allocation fault keeps plans out of the cache but must
+    /// not fail the call or change its results (graceful degradation).
+    #[test]
+    fn alloc_fault_degrades_exec_to_uncached() {
+        let faulty = CudnnHandle::real_cpu().with_faults(crate::fault::FaultPlan {
+            alloc_fail_above: Some(0),
+            ..Default::default()
+        });
+        let clean = CudnnHandle::real_cpu();
+        let (xd, wd, cd, yd) = descs(2);
+        let g = cd.geometry(&xd, &wd).unwrap();
+        let x = Tensor::random(g.input, 5);
+        let w = Tensor::random(g.filter.as_shape4(), 6);
+        // Workspace sized via the clean handle: the faulty one rejects the
+        // query itself (workspace queries share the allocation fault site).
+        let bytes = clean
+            .get_workspace_size(ConvOp::Forward, &xd, &wd, &cd, ConvAlgo::Gemm)
+            .unwrap();
+        let run = |handle: &CudnnHandle| {
+            let mut ws = vec![0.0f32; bytes.div_ceil(4)];
+            let mut y = Tensor::zeros(g.output());
+            handle
+                .convolution_forward(
+                    1.0,
+                    &xd,
+                    x.as_slice(),
+                    &wd,
+                    w.as_slice(),
+                    &cd,
+                    ConvAlgo::Gemm,
+                    &mut ws,
+                    0.0,
+                    &yd,
+                    y.as_mut_slice(),
+                )
+                .unwrap();
+            y
+        };
+        let want = run(&clean);
+        for _ in 0..2 {
+            let got = run(&faulty);
+            assert!(want
+                .as_slice()
+                .iter()
+                .zip(got.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+        let stats = faulty.exec_cache_stats();
+        assert_eq!(stats.hits, 0, "vetoed plans must never be retained");
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.bytes, 0);
+        assert!(faulty.faults_injected() >= 2);
     }
 
     #[test]

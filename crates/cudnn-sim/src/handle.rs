@@ -2,6 +2,7 @@
 
 use crate::error::{CudnnError, Result};
 use crate::fault::{FaultInjector, FaultPlan, FaultRecord, FaultSite};
+use crate::plan_cache::{ExecCacheStats, PlanCache};
 use std::sync::atomic::{AtomicU64, Ordering};
 use ucudnn_conv::ConvOp;
 use ucudnn_gpu_model::{ConvAlgo, DeviceSpec};
@@ -38,6 +39,7 @@ pub struct CudnnHandle {
     clock_us_bits: AtomicU64,
     kernels_launched: AtomicU64,
     faults: Option<FaultInjector>,
+    plan_cache: PlanCache,
 }
 
 impl CudnnHandle {
@@ -48,6 +50,7 @@ impl CudnnHandle {
             clock_us_bits: AtomicU64::new(0f64.to_bits()),
             kernels_launched: AtomicU64::new(0),
             faults: None,
+            plan_cache: PlanCache::from_env(),
         }
     }
 
@@ -58,7 +61,26 @@ impl CudnnHandle {
             clock_us_bits: AtomicU64::new(0f64.to_bits()),
             kernels_launched: AtomicU64::new(0),
             faults: None,
+            plan_cache: PlanCache::from_env(),
         }
+    }
+
+    /// Replace the execution-plan cache with one of `capacity` bytes
+    /// (builder-style; 0 disables caching). The default capacity comes from
+    /// `UCUDNN_EXEC_CACHE_BYTES`.
+    pub fn with_exec_cache_bytes(mut self, capacity: usize) -> Self {
+        self.plan_cache = PlanCache::new(capacity);
+        self
+    }
+
+    /// The execution-plan cache backing the CPU engine.
+    pub(crate) fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// Counter snapshot of the execution-plan cache.
+    pub fn exec_cache_stats(&self) -> ExecCacheStats {
+        self.plan_cache.stats()
     }
 
     /// Attach a deterministic [`FaultPlan`] (builder-style).

@@ -27,6 +27,7 @@ pub mod handle;
 pub mod map;
 pub mod observe;
 pub mod ops;
+pub mod plan_cache;
 
 pub use descriptor::{ConvolutionDescriptor, FilterDescriptor, TensorDescriptor};
 pub use error::{CudnnError, Result};
@@ -38,6 +39,7 @@ pub use observe::{set_call_observer, CallEvent, CallObserver, CallSite};
 pub use ops::{
     ActivationDescriptor, ActivationMode, PoolingDescriptor, PoolingMode, BN_MIN_EPSILON,
 };
+pub use plan_cache::{ExecCacheStats, PlanCache, DEFAULT_EXEC_CACHE_BYTES};
 
 // Re-export the vocabulary types callers need alongside the API.
 pub use ucudnn_conv::ConvOp;
