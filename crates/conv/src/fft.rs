@@ -101,157 +101,18 @@ pub fn fft(buf: &mut [C32], inverse: bool) {
     }
 }
 
-/// Precomputed bit-reversal permutation and per-stage twiddle factors for a
-/// fixed power-of-two transform length.
-///
-/// The twiddles are generated by the *same* incremental recurrence
-/// (`w = w.mul(wlen)` in f32, `wlen` from f64 angles) that [`fft`] evaluates
-/// inline, so a table-driven transform is bit-identical to the direct one —
-/// plans may cache tables without perturbing results.
-#[derive(Debug, Clone)]
-pub struct FftTables {
-    n: usize,
-    /// `swap(i, bitrev[i])` targets with `i < bitrev[i]`, pre-filtered.
-    swaps: Vec<(u32, u32)>,
-    /// Forward twiddles, stages concatenated: `len=2` contributes 1 entry,
-    /// `len=4` two, … (`n-1` total).
-    fwd: Vec<C32>,
-    /// Inverse twiddles, same layout.
-    inv: Vec<C32>,
-}
-
-impl FftTables {
-    /// Build tables for transforms of length `n` (a power of two).
-    ///
-    /// # Panics
-    /// Panics when `n` is not a power of two.
-    pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
-        let mut swaps = Vec::new();
-        if n > 1 {
-            let bits = n.trailing_zeros();
-            for i in 0..n {
-                let j = i.reverse_bits() >> (usize::BITS - bits);
-                if i < j {
-                    swaps.push((i as u32, j as u32));
-                }
-            }
-        }
-        let twiddles = |sign: f64| {
-            let mut t = Vec::with_capacity(n.saturating_sub(1));
-            let mut len = 2;
-            while len <= n {
-                let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-                let wlen = C32::new(ang.cos() as f32, ang.sin() as f32);
-                let mut w = C32::new(1.0, 0.0);
-                for _ in 0..len / 2 {
-                    t.push(w);
-                    w = w.mul(wlen);
-                }
-                len <<= 1;
-            }
-            t
-        };
-        Self {
-            n,
-            swaps,
-            fwd: twiddles(-1.0),
-            inv: twiddles(1.0),
-        }
-    }
-
-    /// Transform length these tables serve.
-    pub fn len(&self) -> usize {
-        self.n
-    }
-
-    /// True for the degenerate length-1 transform.
-    pub fn is_empty(&self) -> bool {
-        self.n <= 1
-    }
-
-    /// Heap bytes held (for plan-cache accounting).
-    pub fn bytes(&self) -> usize {
-        self.swaps.capacity() * std::mem::size_of::<(u32, u32)>()
-            + (self.fwd.capacity() + self.inv.capacity()) * std::mem::size_of::<C32>()
-    }
-}
-
-/// In-place radix-2 FFT using precomputed tables. Bit-identical to
-/// [`fft`] on the same input.
-///
-/// # Panics
-/// Panics when `buf.len()` differs from the tables' length.
-pub fn fft_with_tables(buf: &mut [C32], tables: &FftTables, inverse: bool) {
-    let n = buf.len();
-    assert_eq!(n, tables.n, "FFT length mismatch with tables");
-    if n <= 1 {
-        return;
-    }
-
-    for &(i, j) in &tables.swaps {
-        buf.swap(i as usize, j as usize);
-    }
-
-    let tw = if inverse { &tables.inv } else { &tables.fwd };
-    let mut len = 2;
-    let mut stage = 0;
-    while len <= n {
-        let ws = &tw[stage..stage + len / 2];
-        for start in (0..n).step_by(len) {
-            for (i, &w) in ws.iter().enumerate() {
-                let a = buf[start + i];
-                let b = buf[start + i + len / 2].mul(w);
-                buf[start + i] = a.add(b);
-                buf[start + i + len / 2] = a.sub(b);
-            }
-        }
-        stage += len / 2;
-        len <<= 1;
-    }
-
-    if inverse {
-        let inv = 1.0 / n as f32;
-        for v in buf.iter_mut() {
-            v.re *= inv;
-            v.im *= inv;
-        }
-    }
-}
-
 /// In-place 2-D FFT over an `fh x fw` row-major grid (both powers of two).
 pub fn fft2d(buf: &mut [C32], fh: usize, fw: usize, inverse: bool) {
-    let mut col = Vec::new();
-    fft2d_with_tables(
-        buf,
-        &FftTables::new(fh),
-        &FftTables::new(fw),
-        inverse,
-        &mut col,
-    );
-}
-
-/// Table-driven 2-D FFT; `col` is caller-provided column scratch so repeated
-/// transforms (plans) avoid per-call allocation. Bit-identical to [`fft2d`].
-pub fn fft2d_with_tables(
-    buf: &mut [C32],
-    row_tables: &FftTables,
-    col_tables: &FftTables,
-    inverse: bool,
-    col: &mut Vec<C32>,
-) {
-    let (fh, fw) = (col_tables.n, row_tables.n);
     assert_eq!(buf.len(), fh * fw, "grid size mismatch");
     for row in buf.chunks_exact_mut(fw) {
-        fft_with_tables(row, row_tables, inverse);
+        fft(row, inverse);
     }
-    col.clear();
-    col.resize(fh, C32::default());
+    let mut col = vec![C32::default(); fh];
     for j in 0..fw {
         for i in 0..fh {
             col[i] = buf[i * fw + j];
         }
-        fft_with_tables(col, col_tables, inverse);
+        fft(&mut col, inverse);
         for i in 0..fh {
             buf[i * fw + j] = col[i];
         }
@@ -365,57 +226,6 @@ mod tests {
         let b = C32::new(5.0, -1.0);
         let want = a.mul(C32::new(b.re, -b.im));
         assert_eq!(a.mul_conj(b), want);
-    }
-
-    #[test]
-    fn tables_are_bit_identical_to_direct() {
-        for n in [1usize, 2, 4, 8, 64, 256] {
-            let tables = FftTables::new(n);
-            for inverse in [false, true] {
-                let x = rand_signal(n, 7 + n as u64);
-                let mut direct = x.clone();
-                fft(&mut direct, inverse);
-                let mut tabled = x.clone();
-                fft_with_tables(&mut tabled, &tables, inverse);
-                for (d, t) in direct.iter().zip(&tabled) {
-                    assert_eq!(d.re.to_bits(), t.re.to_bits(), "n={n} inv={inverse}");
-                    assert_eq!(d.im.to_bits(), t.im.to_bits(), "n={n} inv={inverse}");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn fft2d_tables_bit_identical() {
-        let (fh, fw) = (8, 16);
-        let x = rand_signal(fh * fw, 21);
-        let mut direct = x.clone();
-        for row in direct.chunks_exact_mut(fw) {
-            fft(row, false);
-        }
-        let mut col = vec![C32::default(); fh];
-        for j in 0..fw {
-            for i in 0..fh {
-                col[i] = direct[i * fw + j];
-            }
-            fft(&mut col, false);
-            for i in 0..fh {
-                direct[i * fw + j] = col[i];
-            }
-        }
-        let mut tabled = x.clone();
-        let mut scratch = Vec::new();
-        fft2d_with_tables(
-            &mut tabled,
-            &FftTables::new(fw),
-            &FftTables::new(fh),
-            false,
-            &mut scratch,
-        );
-        for (d, t) in direct.iter().zip(&tabled) {
-            assert_eq!(d.re.to_bits(), t.re.to_bits());
-            assert_eq!(d.im.to_bits(), t.im.to_bits());
-        }
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Throwaway review check: fft2d on a non-square grid vs a naive 2-D DFT.
+
+use ucudnn_conv::fft::{fft2d, C32};
+
+fn naive_dft2d(x: &[C32], fh: usize, fw: usize) -> Vec<C32> {
+    let mut out = vec![C32::default(); fh * fw];
+    for u in 0..fh {
+        for v in 0..fw {
+            let mut re = 0.0f64;
+            let mut im = 0.0f64;
+            for i in 0..fh {
+                for j in 0..fw {
+                    let ang = -2.0
+                        * std::f64::consts::PI
+                        * (u as f64 * i as f64 / fh as f64 + v as f64 * j as f64 / fw as f64);
+                    let (c, s) = (ang.cos(), ang.sin());
+                    let xv = x[i * fw + j];
+                    re += xv.re as f64 * c - xv.im as f64 * s;
+                    im += xv.re as f64 * s + xv.im as f64 * c;
+                }
+            }
+            out[u * fw + v] = C32::new(re as f32, im as f32);
+        }
+    }
+    out
+}
+
+#[test]
+fn fft2d_nonsquare_matches_naive() {
+    let (fh, fw) = (4usize, 8usize);
+    let x: Vec<C32> = (0..fh * fw)
+        .map(|i| C32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+        .collect();
+    let want = naive_dft2d(&x, fh, fw);
+    let mut got = x.clone();
+    fft2d(&mut got, fh, fw, false);
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert!(
+            (g.re - w.re).abs() < 1e-3 && (g.im - w.im).abs() < 1e-3,
+            "mismatch at {i}: got ({}, {}), want ({}, {})",
+            g.re,
+            g.im,
+            w.re,
+            w.im
+        );
+    }
+}
