@@ -16,6 +16,10 @@
 //! | `UCUDNN_TRACE_BUF` | event-buffer capacity ≥ 1 | [`crate::trace::TraceConfig::capacity`] |
 //! | `UCUDNN_EXEC_THREADS` | execution worker threads ≥ 1 | `ucudnn_conv::parallel::max_workers` (batch-parallel engine cap) |
 //! | `UCUDNN_EXEC_CACHE_BYTES` | bytes, or suffixed `K`/`M`/`G` (binary); `0` disables | execution-plan cache capacity in the cuDNN simulation layer |
+//! | `UCUDNN_SERVE_SLO_US` | deadline budget per request, µs ≥ 1 | [`ServeOptions::slo_us`] |
+//! | `UCUDNN_SERVE_QUEUE_CAP` | admission-queue capacity ≥ 1 | [`ServeOptions::queue_cap`] |
+//! | `UCUDNN_SERVE_WORKERS` | serving worker threads ≥ 1 | [`ServeOptions::workers`] |
+//! | `UCUDNN_SERVE_MAX_BATCH` | coalesced-batch cap ≥ 1 | [`ServeOptions::max_batch`] |
 
 use crate::handle::{OptimizerMode, UcudnnOptions};
 use crate::policy::BatchSizePolicy;
@@ -123,6 +127,86 @@ impl UcudnnOptions {
     }
 }
 
+/// Configuration of the serving subsystem (`ucudnn-serve`), read from the
+/// `UCUDNN_SERVE_*` variables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeOptions {
+    /// Per-request deadline budget in microseconds (`UCUDNN_SERVE_SLO_US`):
+    /// a request admitted at time `a` must complete by `a + slo_us` or be
+    /// shed.
+    pub slo_us: f64,
+    /// Admission-queue capacity (`UCUDNN_SERVE_QUEUE_CAP`); submissions
+    /// beyond it are rejected with backpressure.
+    pub queue_cap: usize,
+    /// Worker threads executing coalesced batches (`UCUDNN_SERVE_WORKERS`).
+    pub workers: usize,
+    /// Upper bound on the coalesced batch size (`UCUDNN_SERVE_MAX_BATCH`);
+    /// also the largest micro-batch size the latency table is built for.
+    pub max_batch: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            slo_us: 50_000.0,
+            queue_cap: 1024,
+            workers: 2,
+            max_batch: 32,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Build options from a key-lookup function (exposed for testing, like
+    /// [`UcudnnOptions::from_lookup`]). Unset keys keep their defaults;
+    /// malformed values are errors, not silent fallbacks.
+    ///
+    /// # Errors
+    /// [`EnvError`] naming the malformed variable.
+    pub fn from_lookup(
+        lookup: impl Fn(&str) -> Option<String>,
+    ) -> core::result::Result<Self, EnvError> {
+        let mut opts = ServeOptions::default();
+        if let Some(v) = lookup("UCUDNN_SERVE_SLO_US") {
+            opts.slo_us = v
+                .trim()
+                .parse::<f64>()
+                .ok()
+                .filter(|s| s.is_finite() && *s >= 1.0)
+                .ok_or(EnvError {
+                    variable: "UCUDNN_SERVE_SLO_US",
+                    value: v,
+                })?;
+        }
+        let uint = |key: &'static str, field: &mut usize| -> core::result::Result<(), EnvError> {
+            if let Some(v) = lookup(key) {
+                *field = v
+                    .trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(EnvError {
+                        variable: key,
+                        value: v,
+                    })?;
+            }
+            Ok(())
+        };
+        uint("UCUDNN_SERVE_QUEUE_CAP", &mut opts.queue_cap)?;
+        uint("UCUDNN_SERVE_WORKERS", &mut opts.workers)?;
+        uint("UCUDNN_SERVE_MAX_BATCH", &mut opts.max_batch)?;
+        Ok(opts)
+    }
+
+    /// Build options from the process environment.
+    ///
+    /// # Errors
+    /// [`EnvError`] naming the malformed variable.
+    pub fn from_env() -> core::result::Result<Self, EnvError> {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +257,52 @@ mod tests {
         );
         assert!(opts.parallel_benchmark);
         assert_eq!(opts.opt_threads, 8);
+    }
+
+    #[test]
+    fn serve_defaults_when_unset() {
+        let opts = ServeOptions::from_lookup(|_| None).unwrap();
+        assert_eq!(opts, ServeOptions::default());
+        assert_eq!(opts.slo_us, 50_000.0);
+        assert_eq!(opts.queue_cap, 1024);
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.max_batch, 32);
+    }
+
+    #[test]
+    fn serve_full_configuration() {
+        let opts = ServeOptions::from_lookup(lookup(&[
+            ("UCUDNN_SERVE_SLO_US", "2500.5"),
+            ("UCUDNN_SERVE_QUEUE_CAP", "64"),
+            ("UCUDNN_SERVE_WORKERS", "4"),
+            ("UCUDNN_SERVE_MAX_BATCH", "16"),
+        ]))
+        .unwrap();
+        assert_eq!(opts.slo_us, 2500.5);
+        assert_eq!(opts.queue_cap, 64);
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.max_batch, 16);
+    }
+
+    #[test]
+    fn serve_malformed_values_error_loudly() {
+        let e = ServeOptions::from_lookup(lookup(&[("UCUDNN_SERVE_SLO_US", "soon")])).unwrap_err();
+        assert_eq!(e.variable, "UCUDNN_SERVE_SLO_US");
+        // Sub-microsecond and non-finite SLOs are rejected.
+        assert!(ServeOptions::from_lookup(lookup(&[("UCUDNN_SERVE_SLO_US", "0.5")])).is_err());
+        assert!(ServeOptions::from_lookup(lookup(&[("UCUDNN_SERVE_SLO_US", "inf")])).is_err());
+        for key in [
+            "UCUDNN_SERVE_QUEUE_CAP",
+            "UCUDNN_SERVE_WORKERS",
+            "UCUDNN_SERVE_MAX_BATCH",
+        ] {
+            let e = ServeOptions::from_lookup(lookup(&[(key, "0")])).unwrap_err();
+            assert_eq!(e.variable, key);
+            assert!(ServeOptions::from_lookup(lookup(&[(key, "lots")])).is_err());
+        }
+        // Whitespace-tolerant like the rest of the table.
+        let opts = ServeOptions::from_lookup(lookup(&[("UCUDNN_SERVE_WORKERS", " 8 ")])).unwrap();
+        assert_eq!(opts.workers, 8);
     }
 
     #[test]

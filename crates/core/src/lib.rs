@@ -54,13 +54,14 @@ pub mod kernel;
 pub mod metrics;
 pub mod pareto;
 pub mod policy;
+pub mod slo;
 pub mod trace;
 pub mod wd;
 pub mod wr;
 
 pub use bench_cache::{BenchCache, BenchEntry, CacheStats};
 pub use config::{Configuration, MicroConfig};
-pub use env::{parse_bytes, EnvError};
+pub use env::{parse_bytes, EnvError, ServeOptions};
 pub use error::UcudnnError;
 pub use handle::{OptimizerMode, Plan, UcudnnHandle, UcudnnOptions, VIRTUAL_ALGO};
 pub use kernel::{KernelKey, OpKind};
@@ -69,6 +70,7 @@ pub use pareto::{
     desirable_set, desirable_set_metered, desirable_set_traced, pareto_front, DesirableStats,
 };
 pub use policy::BatchSizePolicy;
+pub use slo::{forward_latency_table, plan_batch, SloDecision};
 pub use trace::{
     ClockMode, PlanProvenance, Trace, TraceConfig, TraceEvent, TraceFormat, TraceSession,
 };

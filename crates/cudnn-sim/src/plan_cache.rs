@@ -328,6 +328,43 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_checkout_keeps_accounting_consistent() {
+        // Serving workers share one handle, so several threads check the
+        // same key out simultaneously. Checkout semantics mean a caller
+        // that finds the plan gone takes a miss instead of blocking behind
+        // the running kernel; the counters must still balance, byte
+        // accounting must not drift, and one key converges to one entry.
+        let cache = std::sync::Arc::new(PlanCache::new(1 << 20));
+        let threads = 4;
+        let rounds = 25u64;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cache = std::sync::Arc::clone(&cache);
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..rounds {
+                        cache.with_plan(key(4, 4), EngineKind::Gemm, |_| true, |p| warm(p, 4));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, threads as u64 * rounds);
+        assert!(s.hits > 0, "steady state must reuse the plan");
+        assert_eq!(cache.len(), 1, "one key converges to one entry");
+        // Bytes held must equal exactly one warm plan's footprint — the
+        // replace-on-reinsert path must not double-count under races.
+        let single = PlanCache::new(1 << 20);
+        single.with_plan(key(4, 4), EngineKind::Gemm, |_| true, |p| warm(p, 4));
+        assert_eq!(s.bytes, single.stats().bytes, "byte accounting drifted");
+    }
+
+    #[test]
     fn zero_capacity_disables_caching() {
         let cache = PlanCache::new(0);
         for _ in 0..3 {

@@ -79,9 +79,21 @@ impl StreamingHistogram {
     /// Walks the cumulative bucket counts and returns the representative
     /// value of the bucket containing the target rank, clamped to the
     /// observed `[min, max]` so single-sample histograms answer exactly.
+    ///
+    /// The 0-when-empty convention is kept for the training reports, but it
+    /// makes a cold histogram indistinguishable from a real 0µs latency —
+    /// serving metrics must use [`Self::try_quantile`] /
+    /// [`Self::try_percentiles`] instead, which report the absence of data
+    /// as `None` rather than a fake p99 of 0.
     pub fn quantile(&self, q: f64) -> f64 {
+        self.try_quantile(q).unwrap_or(0.0)
+    }
+
+    /// The q-quantile, or `None` when nothing has been recorded yet (the
+    /// cold-start case: no fake 0µs tail before the first sample lands).
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
         if self.total == 0 {
-            return 0.0;
+            return None;
         }
         let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
@@ -89,10 +101,10 @@ impl StreamingHistogram {
             seen += c;
             if seen >= rank {
                 let upper = LO_US * FACTOR.powi(idx as i32);
-                return upper.clamp(self.min, self.max);
+                return Some(upper.clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
     /// Convenience bundle of the three reported quantiles.
@@ -102,6 +114,15 @@ impl StreamingHistogram {
             p95_us: self.quantile(0.95),
             p99_us: self.quantile(0.99),
         }
+    }
+
+    /// [`Self::percentiles`], or `None` when the histogram is empty.
+    pub fn try_percentiles(&self) -> Option<Percentiles> {
+        Some(Percentiles {
+            p50_us: self.try_quantile(0.50)?,
+            p95_us: self.try_quantile(0.95)?,
+            p99_us: self.try_quantile(0.99)?,
+        })
     }
 }
 
@@ -130,12 +151,60 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_has_no_percentiles() {
+        // The cold-start defect: `quantile` answers 0.0 on an empty
+        // histogram, which a metrics reader cannot tell apart from a real
+        // 0µs p99. The `try_` variants make absence explicit.
+        let h = StreamingHistogram::new();
+        assert_eq!(h.try_quantile(0.99), None);
+        assert_eq!(h.try_percentiles(), None);
+        // And the first sample flips them to real answers.
+        let mut h = h;
+        h.record(42.0);
+        assert_eq!(h.try_quantile(0.99), Some(42.0));
+        let p = h.try_percentiles().unwrap();
+        assert_eq!((p.p50_us, p.p95_us, p.p99_us), (42.0, 42.0, 42.0));
+    }
+
+    #[test]
     fn single_sample_is_exact() {
         let mut h = StreamingHistogram::new();
         h.record(123.4);
         assert_eq!(h.quantile(0.5), 123.4);
         assert_eq!(h.quantile(0.99), 123.4);
         assert!((h.mean() - 123.4).abs() < 1e-9);
+        // Exact across the whole quantile range, including a sub-LO sample.
+        let mut lo = StreamingHistogram::new();
+        lo.record(0.005);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(lo.quantile(q), 0.005);
+        }
+    }
+
+    #[test]
+    fn small_counts_match_a_sorted_vec_oracle() {
+        // Before the first bucket accumulates bulk, quantiles must track
+        // the exact order statistics within one bucket width (~5%).
+        let samples = [830.0, 12.5, 96.0, 412.0, 3.3, 1550.0, 96.0, 7.1];
+        let mut h = StreamingHistogram::new();
+        let mut sorted = Vec::new();
+        for (i, &v) in samples.iter().enumerate() {
+            h.record(v);
+            sorted.push(v);
+            sorted.sort_by(f64::total_cmp);
+            let n = i + 1;
+            for q in [0.5, 0.95, 0.99] {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let exact = sorted[rank - 1];
+                let got = h.quantile(q);
+                assert!(
+                    (got - exact).abs() <= 0.06 * exact,
+                    "n={n} q={q}: got {got}, exact {exact}"
+                );
+            }
+            // p99 with n < 100 samples is the maximum, exactly.
+            assert_eq!(h.quantile(0.99), *sorted.last().unwrap(), "n={n}");
+        }
     }
 
     #[test]

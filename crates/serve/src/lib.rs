@@ -1,0 +1,35 @@
+//! ucudnn-serve: an in-process inference server with SLO-aware dynamic
+//! micro-batching (DESIGN.md §12).
+//!
+//! Training amortizes μ-cuDNN's micro-batch economics over a fixed batch;
+//! serving has to *discover* its batch online. This crate closes the loop:
+//!
+//! * [`scheduler`] — the fire/wait/shed decision on top of
+//!   [`ucudnn::plan_batch`], the latency-aware repurposing of the WR dynamic
+//!   program (deadline budget instead of a workspace limit, throughput
+//!   objective instead of time);
+//! * [`server`] — bounded queue, worker pool, per-request tickets, graceful
+//!   drain; execution goes through [`ucudnn_framework::RealExecutor`] over a
+//!   [`ucudnn::UcudnnHandle`], hitting the batch-normalized execution-plan
+//!   cache and the fault-injection/retry machinery;
+//! * [`sim`] — the deterministic discrete-event twin (seeded LCG arrivals,
+//!   virtual clock) behind the reproducible SLO/throughput claims in
+//!   `BENCH_serve.json`;
+//! * [`metrics`] — queue depth, batch occupancy, shed/degradation counters,
+//!   latency percentiles, exported as JSON;
+//! * [`tcp`] — an optional newline-delimited-JSON TCP front-end on
+//!   `std::net` (no new dependencies).
+
+pub mod metrics;
+pub mod request;
+pub mod scheduler;
+pub mod server;
+pub mod sim;
+pub mod tcp;
+
+pub use metrics::ServeMetrics;
+pub use request::{Response, ShedReason};
+pub use scheduler::{Action, BatchPolicy, Scheduler};
+pub use server::{BatchRunner, RealModelRunner, Server, Ticket};
+pub use sim::{poisson_arrivals, run_sim, Lcg, ShedCounts, SimConfig, SimOutcome};
+pub use tcp::TcpFrontend;

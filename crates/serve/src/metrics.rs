@@ -1,0 +1,181 @@
+//! Serving metrics: lock-free counters plus a latency histogram, exported
+//! as one JSON object alongside `UcudnnHandle::metrics_json`.
+
+use crate::request::ShedReason;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use ucudnn::json::{self, Value};
+use ucudnn_framework::StreamingHistogram;
+
+/// Shared counters for one server instance. All counters are monotone;
+/// `queue_depth` is a gauge maintained by the admission/worker paths.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests offered to `submit`.
+    pub submitted: AtomicU64,
+    /// Requests completed successfully.
+    pub completed: AtomicU64,
+    /// Sheds: admission-control rejections.
+    pub shed_queue_full: AtomicU64,
+    /// Sheds: scheduler-proven deadline misses.
+    pub shed_deadline: AtomicU64,
+    /// Sheds: permanent execution faults.
+    pub shed_exec_failed: AtomicU64,
+    /// Sheds: refused during drain.
+    pub shed_draining: AtomicU64,
+    /// Batches that degraded (faulted, retried, or shed) but left the
+    /// server running — the serving face of the graceful-degradation
+    /// counter in the optimizer.
+    pub degradations: AtomicU64,
+    /// Fired batches.
+    pub batches: AtomicU64,
+    /// Requests carried by those batches (mean occupancy =
+    /// `batched_requests / batches`).
+    pub batched_requests: AtomicU64,
+    /// Current queue depth (gauge).
+    pub queue_depth: AtomicU64,
+    /// High-water mark of the queue depth.
+    pub queue_depth_max: AtomicU64,
+    /// End-to-end latency of completed requests.
+    pub latency: Mutex<StreamingHistogram>,
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one shed for `reason`.
+    pub fn shed(&self, reason: ShedReason) {
+        let c = match reason {
+            ShedReason::QueueFull => &self.shed_queue_full,
+            ShedReason::DeadlineInfeasible => &self.shed_deadline,
+            ShedReason::ExecFailed => &self.shed_exec_failed,
+            ShedReason::Draining => &self.shed_draining,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total sheds across all reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full.load(Ordering::Relaxed)
+            + self.shed_deadline.load(Ordering::Relaxed)
+            + self.shed_exec_failed.load(Ordering::Relaxed)
+            + self.shed_draining.load(Ordering::Relaxed)
+    }
+
+    /// Move the queue-depth gauge and maintain its high-water mark.
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Record one completed request.
+    pub fn complete(&self, latency_us: f64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.lock().record(latency_us);
+    }
+
+    /// Record one fired batch of `n` requests.
+    pub fn fired(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot as a JSON object.
+    ///
+    /// Percentiles use the histogram's `try_` accessors, so a server that
+    /// has completed nothing reports `null` — not a fake 0µs tail.
+    pub fn to_json(&self) -> Value {
+        let n = |a: &AtomicU64| json::num(a.load(Ordering::Relaxed) as f64);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let occupancy = if batches == 0 {
+            Value::Null
+        } else {
+            json::num(self.batched_requests.load(Ordering::Relaxed) as f64 / batches as f64)
+        };
+        let hist = self.latency.lock();
+        let (p50, p95, p99, mean) = match hist.try_percentiles() {
+            Some(p) => (
+                json::num(p.p50_us),
+                json::num(p.p95_us),
+                json::num(p.p99_us),
+                json::num(hist.mean()),
+            ),
+            None => (Value::Null, Value::Null, Value::Null, Value::Null),
+        };
+        json::obj([
+            ("submitted", n(&self.submitted)),
+            ("completed", n(&self.completed)),
+            (
+                "shed",
+                json::obj([
+                    ("queue_full", n(&self.shed_queue_full)),
+                    ("deadline_infeasible", n(&self.shed_deadline)),
+                    ("exec_failed", n(&self.shed_exec_failed)),
+                    ("draining", n(&self.shed_draining)),
+                    ("total", json::num(self.shed_total() as f64)),
+                ]),
+            ),
+            ("degradations", n(&self.degradations)),
+            ("batches", n(&self.batches)),
+            ("batch_occupancy", occupancy),
+            ("queue_depth", n(&self.queue_depth)),
+            ("queue_depth_max", n(&self.queue_depth_max)),
+            (
+                "latency_us",
+                json::obj([
+                    ("p50", p50),
+                    ("p95", p95),
+                    ("p99", p99),
+                    ("mean", mean),
+                    ("count", json::num(hist.count() as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_metrics_report_null_percentiles() {
+        let m = ServeMetrics::new();
+        let j = m.to_json();
+        let lat = j.get("latency_us").unwrap();
+        assert_eq!(lat.get("p99"), Some(&Value::Null));
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(0));
+        assert_eq!(j.get("batch_occupancy"), Some(&Value::Null));
+        // And the document is valid JSON even with nulls.
+        assert!(Value::parse(&j.to_json()).is_some());
+    }
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let m = ServeMetrics::new();
+        m.submitted.fetch_add(5, Ordering::Relaxed);
+        m.set_queue_depth(3);
+        m.set_queue_depth(1);
+        m.shed(ShedReason::QueueFull);
+        m.shed(ShedReason::ExecFailed);
+        m.fired(4);
+        for _ in 0..4 {
+            m.complete(250.0);
+        }
+        let j = m.to_json();
+        assert_eq!(j.get("submitted").unwrap().as_u64(), Some(5));
+        assert_eq!(j.get("completed").unwrap().as_u64(), Some(4));
+        assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("queue_depth_max").unwrap().as_u64(), Some(3));
+        let shed = j.get("shed").unwrap();
+        assert_eq!(shed.get("queue_full").unwrap().as_u64(), Some(1));
+        assert_eq!(shed.get("exec_failed").unwrap().as_u64(), Some(1));
+        assert_eq!(shed.get("total").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("batch_occupancy").unwrap().as_f64(), Some(4.0));
+        let lat = j.get("latency_us").unwrap();
+        assert_eq!(lat.get("p50").unwrap().as_f64(), Some(250.0));
+    }
+}

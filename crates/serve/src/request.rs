@@ -1,0 +1,50 @@
+//! Request identity and verdicts.
+
+/// Why the server refused to run (or finish) a request — the serving face
+/// of the degradation ladder (DESIGN.md §9/§12): each reason is one rung,
+/// and every rung keeps the server alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// Admission control: the bounded queue is full (backpressure).
+    QueueFull,
+    /// The scheduler proved the request cannot meet its deadline even as a
+    /// batch of one — executing it would burn capacity on a guaranteed SLO
+    /// violation.
+    DeadlineInfeasible,
+    /// The coalesced batch hit a permanent execution fault; the batch is
+    /// shed, the server stays up.
+    ExecFailed,
+    /// The server is draining and no longer admits work.
+    Draining,
+}
+
+impl ShedReason {
+    /// Stable wire/metrics spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::DeadlineInfeasible => "deadline_infeasible",
+            ShedReason::ExecFailed => "exec_failed",
+            ShedReason::Draining => "draining",
+        }
+    }
+}
+
+impl core::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A completed inference.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Request id (submission order).
+    pub id: u64,
+    /// Raw model output (logits).
+    pub output: Vec<f32>,
+    /// End-to-end latency: submit → batch completion, microseconds.
+    pub latency_us: f64,
+    /// Size of the coalesced batch this request rode in.
+    pub batch: usize,
+}

@@ -1,0 +1,569 @@
+//! The threaded in-process inference server.
+//!
+//! A bounded submission queue feeds a pool of worker threads; each worker
+//! asks the [`Scheduler`] what to do, coalesces queued requests into a
+//! micro-batched forward pass, and resolves per-request tickets. The
+//! execution path is the real one: every coalesced batch runs through a
+//! [`crate::BatchRunner`], and the bundled [`RealModelRunner`] drives
+//! `RealExecutor::forward` over a `UcudnnHandle`, so concurrent batches of
+//! different sizes hit the batch-normalized execution-plan cache and the
+//! fault-injection machinery exactly like training does.
+//!
+//! Synchronization uses `std::sync::{Mutex, Condvar}` (not the workspace's
+//! parking_lot shim) because workers need `wait_timeout` for the coalescing
+//! window.
+
+use crate::metrics::ServeMetrics;
+use crate::request::{Response, ShedReason};
+use crate::scheduler::{Action, BatchPolicy, Scheduler};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use ucudnn::json;
+use ucudnn::ServeOptions;
+
+/// Longest the real server will hold a request for coalescing company past
+/// its arrival, microseconds. Without an arrival oracle, waiting is only
+/// worth a bounded window: under load the queue fills within it anyway, and
+/// a lone request must not burn its whole SLO budget hoping for a batch
+/// mate (firing at the deadline's edge is a race against timer overshoot).
+const MAX_COALESCE_WAIT_US: f64 = 1_000.0;
+
+/// A model the server can execute, batch-size by batch-size.
+///
+/// `run` is called once per *micro-batch* of a fired batch, with sizes drawn
+/// from [`BatchRunner::batch_sizes`] — the serving-level mirror of μ-cuDNN's
+/// micro-batch replay.
+pub trait BatchRunner: Send + Sync + 'static {
+    /// `f32` elements per input sample.
+    fn sample_len(&self) -> usize;
+    /// `f32` elements per output sample.
+    fn output_len(&self) -> usize;
+    /// Batch sizes this runner can execute (the latency table's sizes).
+    fn batch_sizes(&self) -> Vec<usize>;
+    /// Execute a micro-batch of `n` samples (`inputs.len() == n *
+    /// sample_len()`), returning `n * output_len()` outputs.
+    ///
+    /// # Errors
+    /// A human-readable execution failure; the server sheds the affected
+    /// micro-batch and keeps running.
+    fn run(&self, n: usize, inputs: &[f32]) -> Result<Vec<f32>, String>;
+    /// Measured execution latency `t*(m)` for each supported batch size,
+    /// microseconds.
+    fn latency_table(&self) -> Vec<(usize, f64)>;
+}
+
+/// One queued request.
+struct Pending {
+    id: u64,
+    arrival_us: f64,
+    input: Vec<f32>,
+    ticket: Arc<TicketState>,
+}
+
+/// Shared resolution slot of one submitted request.
+struct TicketState {
+    slot: Mutex<Option<Result<Response, ShedReason>>>,
+    cv: Condvar,
+}
+
+/// A handle to one in-flight request; wait on it for the response.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Block until the request completes or is shed.
+    ///
+    /// # Errors
+    /// The shed reason, when the server refused or dropped the request.
+    ///
+    /// # Panics
+    /// Panics if the server dropped the ticket without resolving it (a
+    /// server bug, not a load condition).
+    pub fn wait(self) -> Result<Response, ShedReason> {
+        let mut slot = self.state.slot.lock().unwrap();
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.state.cv.wait(slot).unwrap();
+        }
+    }
+}
+
+struct QueueState {
+    queue: VecDeque<Pending>,
+    draining: bool,
+}
+
+struct Inner {
+    runner: Arc<dyn BatchRunner>,
+    sched: Scheduler,
+    metrics: Arc<ServeMetrics>,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    queue_cap: usize,
+    epoch: Instant,
+    next_id: AtomicU64,
+}
+
+impl Inner {
+    fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+}
+
+/// The serving frontend: submission, drain, metrics.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+fn resolve(ticket: &Arc<TicketState>, result: Result<Response, ShedReason>) {
+    *ticket.slot.lock().unwrap() = Some(result);
+    ticket.cv.notify_all();
+}
+
+impl Server {
+    /// Start a server: `opts.workers` threads over a shared bounded queue,
+    /// scheduling with the runner's measured latency table.
+    pub fn start(runner: Arc<dyn BatchRunner>, opts: &ServeOptions) -> Self {
+        let table: Vec<(usize, f64)> = runner
+            .latency_table()
+            .into_iter()
+            .filter(|&(m, _)| m <= opts.max_batch)
+            .collect();
+        assert!(
+            !table.is_empty(),
+            "runner supports no batch size within UCUDNN_SERVE_MAX_BATCH"
+        );
+        let sched = Scheduler::new(table, opts.slo_us, opts.max_batch, BatchPolicy::Dynamic);
+        let inner = Arc::new(Inner {
+            runner,
+            sched,
+            metrics: Arc::new(ServeMetrics::new()),
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            queue_cap: opts.queue_cap,
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(0),
+        });
+        let workers = (0..opts.workers.max(1))
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || worker_loop(&inner, w))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submit one input sample; returns a [`Ticket`] to wait on, or the
+    /// admission-control verdict.
+    ///
+    /// # Errors
+    /// [`ShedReason::QueueFull`] under backpressure, [`ShedReason::Draining`]
+    /// after [`Server::drain`] began.
+    ///
+    /// # Panics
+    /// Panics when `input.len()` does not match the runner's sample length.
+    pub fn submit(&self, input: Vec<f32>) -> Result<Ticket, ShedReason> {
+        assert_eq!(
+            input.len(),
+            self.inner.runner.sample_len(),
+            "input length must match the model's sample length"
+        );
+        let m = &self.inner.metrics;
+        m.submitted.fetch_add(1, Ordering::Relaxed);
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let arrival_us = self.inner.now_us();
+        let mut st = self.inner.state.lock().unwrap();
+        if st.draining {
+            m.shed(ShedReason::Draining);
+            return Err(ShedReason::Draining);
+        }
+        if st.queue.len() >= self.inner.queue_cap {
+            m.shed(ShedReason::QueueFull);
+            return Err(ShedReason::QueueFull);
+        }
+        let ticket = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        st.queue.push_back(Pending {
+            id,
+            arrival_us,
+            input,
+            ticket: Arc::clone(&ticket),
+        });
+        m.set_queue_depth(st.queue.len() as u64);
+        drop(st);
+        self.inner.cv.notify_one();
+        ucudnn::trace::event("serve", "submit", || {
+            (
+                format!("req{id}"),
+                json::obj([("arrival_us", json::num(arrival_us))]),
+            )
+        });
+        Ok(Ticket { state: ticket })
+    }
+
+    /// `f32` elements per input sample (the runner's input geometry).
+    pub fn sample_len(&self) -> usize {
+        self.inner.runner.sample_len()
+    }
+
+    /// Shared metrics handle (live counters).
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// The metrics snapshot as a JSON string (companion to
+    /// `UcudnnHandle::metrics_json`).
+    pub fn metrics_json(&self) -> String {
+        self.inner.metrics.to_json().to_json()
+    }
+
+    /// Stop admitting, finish everything already queued, and join the
+    /// workers. Every outstanding ticket is resolved before this returns;
+    /// idempotent, and also runs on drop.
+    pub fn drain(&self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.draining = true;
+        }
+        self.inner.cv.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn worker_loop(inner: &Inner, worker: usize) {
+    let mut st = inner.state.lock().unwrap();
+    loop {
+        if st.queue.is_empty() {
+            if st.draining {
+                return;
+            }
+            st = inner.cv.wait(st).unwrap();
+            continue;
+        }
+        let now = inner.now_us();
+        let arrivals: Vec<f64> = st.queue.iter().map(|p| p.arrival_us).collect();
+        match inner.sched.decide(now, &arrivals, None) {
+            Action::Fire(decision) => {
+                // The live server has no arrival oracle, so the coalescing
+                // window is a bounded condvar wait: if more slack remains
+                // than the next-larger plan needs, sleep a sliver of it and
+                // re-decide; a timeout means no one came — fire what we
+                // have.
+                if !st.draining && decision.batch < inner.sched.max_batch() {
+                    if let Some(wait_us) = coalesce_wait_us(inner, now, &arrivals) {
+                        let dur = Duration::from_nanos((wait_us * 1e3) as u64);
+                        let (guard, timeout) = inner.cv.wait_timeout(st, dur).unwrap();
+                        st = guard;
+                        if !timeout.timed_out() || st.queue.len() > arrivals.len() {
+                            continue; // new work or drain: re-decide
+                        }
+                        // Timed out with the same queue: fall through and
+                        // fire the decision we already validated — but the
+                        // clock moved, so re-plan at the new instant.
+                        continue;
+                    }
+                }
+                let batch: Vec<Pending> = st.queue.drain(..decision.batch).collect();
+                inner.metrics.set_queue_depth(st.queue.len() as u64);
+                drop(st);
+                execute_batch(inner, worker, &decision.micros, batch);
+                inner.cv.notify_one();
+                st = inner.state.lock().unwrap();
+            }
+            Action::ShedOldest => {
+                let p = st.queue.pop_front().expect("non-empty queue");
+                inner.metrics.set_queue_depth(st.queue.len() as u64);
+                inner.metrics.shed(ShedReason::DeadlineInfeasible);
+                inner.metrics.degradations.fetch_add(1, Ordering::Relaxed);
+                ucudnn::trace::event("serve", "shed", || {
+                    (
+                        format!("req{}", p.id),
+                        json::obj([(
+                            "reason",
+                            json::Value::Str(ShedReason::DeadlineInfeasible.name().to_string()),
+                        )]),
+                    )
+                });
+                resolve(&p.ticket, Err(ShedReason::DeadlineInfeasible));
+            }
+            Action::WaitUntil(_) => unreachable!("no arrival oracle was given"),
+        }
+    }
+}
+
+/// How long a worker may wait for coalescing company, or `None` to fire
+/// immediately: the next-larger plan must beat the current one, still fit
+/// the oldest deadline with room for its own execution, and the oldest
+/// request must still be inside its bounded batching window.
+fn coalesce_wait_us(inner: &Inner, now: f64, arrivals: &[f64]) -> Option<f64> {
+    let q = arrivals.len();
+    let oldest = arrivals[0];
+    // The batching window caps how long the oldest request is held overall,
+    // so firing always happens with nearly the full SLO budget left.
+    let window_left = oldest + MAX_COALESCE_WAIT_US - now;
+    if window_left <= 1.0 {
+        return None;
+    }
+    let deadline = oldest + inner.sched.slo_us();
+    let cur = ucudnn::plan_batch(
+        inner.sched.table(),
+        q,
+        inner.sched.max_batch(),
+        deadline - now,
+    )?;
+    let bigger = ucudnn::plan_batch(
+        inner.sched.table(),
+        q + 1,
+        inner.sched.max_batch(),
+        deadline - now,
+    )?;
+    if bigger.throughput <= cur.throughput {
+        return None;
+    }
+    // Leave the bigger plan enough slack to actually run after the wait.
+    let slack = (deadline - now - bigger.exec_us) * 0.5;
+    (slack > 1.0).then(|| slack.min(window_left))
+}
+
+/// Run one fired batch, micro-batch by micro-batch, and resolve tickets.
+fn execute_batch(inner: &Inner, worker: usize, micros: &[usize], batch: Vec<Pending>) {
+    let total: usize = micros.iter().sum();
+    debug_assert_eq!(total, batch.len(), "micros must tile the batch");
+    let _span = ucudnn::trace::span("serve", "batch", || {
+        (
+            format!("worker{worker}"),
+            json::obj([
+                ("batch", json::num(batch.len() as f64)),
+                (
+                    "micros",
+                    json::Value::Arr(micros.iter().map(|&m| json::num(m as f64)).collect()),
+                ),
+            ]),
+        )
+    });
+    inner.metrics.fired(batch.len());
+    let sample = inner.runner.sample_len();
+    let mut it = batch.into_iter();
+    for &m in micros {
+        let chunk: Vec<Pending> = it.by_ref().take(m).collect();
+        let mut inputs = Vec::with_capacity(m * sample);
+        for p in &chunk {
+            inputs.extend_from_slice(&p.input);
+        }
+        match inner.runner.run(m, &inputs) {
+            Ok(outputs) => {
+                let out_len = inner.runner.output_len();
+                let done = inner.now_us();
+                for (i, p) in chunk.into_iter().enumerate() {
+                    let latency_us = done - p.arrival_us;
+                    inner.metrics.complete(latency_us);
+                    ucudnn::trace::event("serve", "complete", || {
+                        (
+                            format!("req{}", p.id),
+                            json::obj([
+                                ("latency_us", json::num(latency_us)),
+                                ("batch", json::num(m as f64)),
+                            ]),
+                        )
+                    });
+                    resolve(
+                        &p.ticket,
+                        Ok(Response {
+                            id: p.id,
+                            output: outputs[i * out_len..(i + 1) * out_len].to_vec(),
+                            latency_us,
+                            batch: m,
+                        }),
+                    );
+                }
+            }
+            Err(err) => {
+                // Permanent fault: shed only this micro-batch; the server
+                // and the rest of the fired batch keep going.
+                inner.metrics.degradations.fetch_add(1, Ordering::Relaxed);
+                ucudnn::trace::event("serve", "exec_failed", || {
+                    (
+                        format!("worker{worker}"),
+                        json::obj([
+                            ("micro", json::num(m as f64)),
+                            ("error", json::Value::Str(err.clone())),
+                        ]),
+                    )
+                });
+                for p in chunk {
+                    inner.metrics.shed(ShedReason::ExecFailed);
+                    resolve(&p.ticket, Err(ShedReason::ExecFailed));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The real-numerics model runner.
+
+use std::collections::HashMap;
+use ucudnn::{UcudnnHandle, UcudnnOptions};
+use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
+use ucudnn_framework::{LayerSpec, NetworkDef, RealExecutor};
+use ucudnn_tensor::{Shape4, Tensor};
+
+/// A tiny CNN executed with real CPU numerics through a shared
+/// [`UcudnnHandle`]: the per-batch-size networks all normalize to the same
+/// batch-1 plan key, so every batch size the scheduler picks replays the
+/// same cached micro-batched execution plan.
+pub struct RealModelRunner {
+    provider: UcudnnHandle,
+    /// One instantiated network per supported batch size; identical
+    /// parameters (the init RNG stream depends only on layer shapes).
+    execs: HashMap<usize, RealExecutor>,
+    sizes: Vec<usize>,
+    sample_len: usize,
+    output_len: usize,
+}
+
+/// The runner's fixed input geometry.
+const C: usize = 3;
+const HW: usize = 8;
+const CLASSES: usize = 10;
+
+fn tiny_net(n: usize) -> NetworkDef {
+    let mut net = NetworkDef::new("serve-tiny", Shape4::new(n, C, HW, HW));
+    let c1 = net.conv_relu("conv1", net.input(), 8, 3, 1, 1);
+    let p1 = net.add(
+        "pool1",
+        LayerSpec::Pool {
+            max: true,
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+        },
+        &[c1],
+    );
+    let c2 = net.conv_relu("conv2", p1, 16, 3, 1, 1);
+    net.add("fc", LayerSpec::FullyConnected { out: CLASSES }, &[c2]);
+    net
+}
+
+impl RealModelRunner {
+    /// Build executors for every power-of-two batch size up to `max_batch`
+    /// (plus `max_batch` itself) on a CPU substrate handle, register all
+    /// kernels with the μ-cuDNN wrapper, and measure the latency table.
+    ///
+    /// The `handle` parameter lets tests attach a fault plan
+    /// ([`CudnnHandle::with_faults`]) to the serving path.
+    pub fn new(handle: CudnnHandle, seed: u64, max_batch: usize) -> Self {
+        let provider = UcudnnHandle::new(handle, UcudnnOptions::default());
+        let mut sizes = Vec::new();
+        let mut m = 1;
+        while m < max_batch {
+            sizes.push(m);
+            m *= 2;
+        }
+        sizes.push(max_batch);
+
+        let mut kernels = Vec::new();
+        let mut execs = HashMap::new();
+        for &n in &sizes {
+            let net = tiny_net(n);
+            for id in net.conv_layers() {
+                kernels.push((ConvOp::Forward, net.conv_geometry(id)));
+            }
+            execs.insert(n, RealExecutor::new(net, seed));
+        }
+        use ucudnn_framework::ConvProvider as _;
+        provider
+            .prepare(&kernels)
+            .expect("serve model registration");
+        provider.finalize().expect("serve model finalization");
+        Self {
+            provider,
+            execs,
+            sizes,
+            sample_len: C * HW * HW,
+            output_len: CLASSES,
+        }
+    }
+
+    /// The wrapped μ-cuDNN handle (plan cache stats, optimizer metrics).
+    pub fn provider(&self) -> &UcudnnHandle {
+        &self.provider
+    }
+}
+
+impl BatchRunner for RealModelRunner {
+    fn sample_len(&self) -> usize {
+        self.sample_len
+    }
+
+    fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    fn batch_sizes(&self) -> Vec<usize> {
+        self.sizes.clone()
+    }
+
+    fn run(&self, n: usize, inputs: &[f32]) -> Result<Vec<f32>, String> {
+        let exec = self
+            .execs
+            .get(&n)
+            .ok_or_else(|| format!("unsupported batch size {n}"))?;
+        let input = Tensor::from_vec(Shape4::new(n, C, HW, HW), inputs.to_vec());
+        let acts = exec
+            .forward(&self.provider, &input)
+            .map_err(|e| e.to_string())?;
+        Ok(acts.last().expect("non-empty network").as_slice().to_vec())
+    }
+
+    fn latency_table(&self) -> Vec<(usize, f64)> {
+        // Warm the plan/pack caches once, then take the best of three
+        // measured runs per size (host timing is noisy; min is stable).
+        let mut table = Vec::with_capacity(self.sizes.len());
+        for &m in &self.sizes {
+            let inputs = vec![0.1f32; m * self.sample_len];
+            if self.run(m, &inputs).is_err() {
+                continue; // faulted size: leave it out of the table
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                if self.run(m, &inputs).is_err() {
+                    best = f64::INFINITY;
+                    break;
+                }
+                best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+            }
+            if best.is_finite() {
+                table.push((m, best));
+            }
+        }
+        table
+    }
+}

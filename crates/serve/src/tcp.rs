@@ -1,0 +1,159 @@
+//! An optional TCP front-end: newline-delimited JSON over
+//! `std::net::TcpListener` (no external dependencies; the workspace builds
+//! offline).
+//!
+//! Protocol, one JSON object per line in each direction:
+//!
+//! ```text
+//! → {"id": 7, "input": [0.1, 0.2, …]}            # sample_len floats
+//! ← {"id": 7, "ok": true, "argmax": 3, "latency_us": 812.5, "batch": 4}
+//! ← {"id": 7, "ok": false, "error": "shed:queue_full"}
+//! ```
+//!
+//! Each connection is served by its own thread and pipelines requests
+//! sequentially; the batching happens behind [`Server::submit`], where
+//! requests from all connections coalesce.
+
+use crate::server::Server;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use ucudnn::json::{self, Value};
+
+/// A running TCP listener bound to a [`Server`].
+pub struct TcpFrontend {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpFrontend {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting.
+    ///
+    /// # Errors
+    /// Socket bind failures.
+    pub fn start(server: Arc<Server>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("serve-tcp-accept".to_string())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let server = Arc::clone(&server);
+                            let _ = std::thread::Builder::new()
+                                .name("serve-tcp-conn".to_string())
+                                .spawn(move || handle_connection(&server, stream));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(Self {
+            addr: bound,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting new connections and join the acceptor. Existing
+    /// connections finish their in-flight request and close on client EOF.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+impl Drop for TcpFrontend {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+fn error_line(id: Option<f64>, msg: &str) -> String {
+    json::obj([
+        ("id", id.map_or(Value::Null, json::num)),
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str(msg.to_string())),
+    ])
+    .to_json()
+}
+
+fn handle_connection(server: &Server, stream: TcpStream) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = respond(server, &line);
+        if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            return;
+        }
+        let _ = writer.flush();
+    }
+}
+
+/// One request line → one response line (no trailing newline).
+fn respond(server: &Server, line: &str) -> String {
+    let Some(req) = Value::parse(line) else {
+        return error_line(None, "bad_json");
+    };
+    let id = req.get("id").and_then(Value::as_f64);
+    let Some(input) = req.get("input").and_then(Value::as_arr) else {
+        return error_line(id, "missing_input");
+    };
+    let input: Vec<f32> = input
+        .iter()
+        .filter_map(Value::as_f64)
+        .map(|v| v as f32)
+        .collect();
+    if input.len() != server.sample_len() {
+        return error_line(id, "bad_input_len");
+    }
+    match server.submit(input) {
+        Err(reason) => error_line(id, &format!("shed:{reason}")),
+        Ok(ticket) => match ticket.wait() {
+            Err(reason) => error_line(id, &format!("shed:{reason}")),
+            Ok(resp) => {
+                let argmax = resp
+                    .output
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map_or(0, |(i, _)| i);
+                json::obj([
+                    ("id", id.map_or(Value::Null, json::num)),
+                    ("ok", Value::Bool(true)),
+                    ("argmax", json::num(argmax as f64)),
+                    ("latency_us", json::num(resp.latency_us)),
+                    ("batch", json::num(resp.batch as f64)),
+                ])
+                .to_json()
+            }
+        },
+    }
+}
