@@ -19,15 +19,22 @@
 //! here, recorded as `"deterministic"`). `--smoke` shrinks the offered load
 //! for CI; `--tcp-smoke` additionally drives one request through the real
 //! threaded server's TCP line-protocol front-end on loopback.
+//!
+//! `--reopt` adds the online re-optimization experiment (DESIGN.md §13): a
+//! 2× device slowdown at t=50ms on a single worker at 20k rps / 20ms SLO,
+//! frozen-plan baseline vs. the drift-detecting re-optimizer. The committed
+//! `reopt` section backs the headline claim: the frozen plan sheds, the
+//! re-optimizer detects, hot-swaps, and finishes with zero SLO violations
+//! after re-convergence — byte-identically across runs.
 
 use std::sync::Arc;
 use ucudnn::json::{num, obj, Value};
 use ucudnn::{forward_latency_table, BatchSizePolicy, BenchCache, KernelKey, ServeOptions};
 use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
-use ucudnn_gpu_model::p100_sxm2;
+use ucudnn_gpu_model::{p100_sxm2, Perturbation};
 use ucudnn_serve::{
-    run_sim, BatchPolicy, BatchRunner as _, RealModelRunner, Scheduler, Server, SimConfig,
-    SimOutcome, TcpFrontend,
+    run_reopt_sim, run_sim, BatchPolicy, BatchRunner as _, RealModelRunner, ReoptConfig,
+    ReoptOutcome, ReoptSimConfig, Scheduler, Server, SimConfig, SimOutcome, TcpFrontend,
 };
 use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
 
@@ -77,6 +84,160 @@ fn policy_row(out: &SimOutcome, policy: BatchPolicy) -> Value {
     ])
 }
 
+fn reopt_lane_row(out: &ReoptOutcome) -> Value {
+    let pct = out.latencies.try_percentiles();
+    let q = |v: Option<f64>| v.map(num).unwrap_or(Value::Null);
+    obj([
+        ("completed", num(out.completed as f64)),
+        (
+            "shed",
+            obj([
+                ("queue_full", num(out.shed.queue_full as f64)),
+                (
+                    "deadline_infeasible",
+                    num(out.shed.deadline_infeasible as f64),
+                ),
+                ("total", num(out.shed.total() as f64)),
+            ]),
+        ),
+        ("violations", num(out.violations as f64)),
+        ("violations_post_swap", num(out.violations_post_swap as f64)),
+        ("stale_detections", num(out.stale_detections as f64)),
+        ("plan_swaps", num(out.swaps as f64)),
+        ("final_plan_version", num(out.final_version as f64)),
+        ("detect_time_us", q(out.detect_time_us)),
+        ("swap_time_us", q(out.swap_time_us)),
+        ("p50_us", q(pct.as_ref().map(|p| p.p50_us))),
+        ("p99_us", q(pct.as_ref().map(|p| p.p99_us))),
+    ])
+}
+
+/// The online re-optimization experiment: one worker, a 2× mid-run device
+/// slowdown, frozen plan vs. drift-detecting re-optimizer on the same seeded
+/// load. Pure virtual-clock computation, so the full 4000-request run is
+/// cheap enough to keep even under `--smoke`.
+fn reopt_experiment(table: &[(usize, f64)]) -> Value {
+    const REOPT_WORKERS: usize = 1;
+    const REOPT_REQUESTS: usize = 4_000;
+    const PERTURB_AT_US: f64 = 50_000.0;
+    const PERTURB_FACTOR: f64 = 2.0;
+    const REBENCH_LATENCY_US: f64 = 5_000.0;
+    // Deep queue: admission control must not mask the stale plan. With a
+    // shallow queue the wait is capped below the violation threshold and the
+    // damage shows only as queue_full sheds; at depth 1024 the frozen plan
+    // keeps *promising* deadlines the 2x-slower device cannot meet (fired
+    // batches land past the SLO), while the re-optimized plan knows the true
+    // t*(m) and converts those doomed fires into honest deadline sheds.
+    const REOPT_QUEUE_CAP: usize = 1024;
+    let lane = |reopt: Option<ReoptConfig>| ReoptSimConfig {
+        seed: SEED,
+        slo_us: SLO_US,
+        queue_cap: REOPT_QUEUE_CAP,
+        workers: REOPT_WORKERS,
+        max_batch: MAX_BATCH,
+        arrival_rate_rps: RATE_RPS,
+        requests: REOPT_REQUESTS,
+        base_table: table.to_vec(),
+        perturb: Perturbation::new(PERTURB_AT_US, PERTURB_FACTOR),
+        reopt,
+        rebench_latency_us: REBENCH_LATENCY_US,
+    };
+    let frozen_cfg = lane(None);
+    let reopt_cfg = lane(Some(ReoptConfig::default()));
+    let frozen = run_reopt_sim(&frozen_cfg);
+    let reopt = run_reopt_sim(&reopt_cfg);
+    // The reproducibility gate, same as the policy lanes: byte-identical
+    // fire/shed/drift/swap logs on a same-seed replay.
+    assert_eq!(
+        frozen.log,
+        run_reopt_sim(&frozen_cfg).log,
+        "frozen replay diverged"
+    );
+    assert_eq!(
+        reopt.log,
+        run_reopt_sim(&reopt_cfg).log,
+        "reopt replay diverged"
+    );
+
+    println!("\nre-optimization under a {PERTURB_FACTOR}x slowdown at t={PERTURB_AT_US}us:");
+    println!(
+        "  frozen: completed={} shed={} violations={}",
+        frozen.completed,
+        frozen.shed.total(),
+        frozen.violations
+    );
+    println!(
+        "  reopt:  completed={} shed={} violations={} (post-swap: {}) \
+         detections={} swaps={} detect_t={:.0}us swap_t={:.0}us",
+        reopt.completed,
+        reopt.shed.total(),
+        reopt.violations,
+        reopt.violations_post_swap,
+        reopt.stale_detections,
+        reopt.swaps,
+        reopt.detect_time_us.unwrap_or(f64::NAN),
+        reopt.swap_time_us.unwrap_or(f64::NAN),
+    );
+
+    // The headline gates.
+    assert!(
+        frozen.shed.total() > 0,
+        "the frozen plan must shed under the post-drift overload"
+    );
+    assert!(
+        frozen.violations > 0,
+        "the stale plan must break deadline promises it can no longer keep"
+    );
+    assert_eq!(frozen.swaps, 0, "the frozen lane must never swap");
+    assert!(
+        reopt.stale_detections >= 1,
+        "the detector must flag the 2x drift"
+    );
+    assert!(reopt.swaps >= 1, "a re-benchmarked plan must land");
+    assert_eq!(
+        reopt.violations_post_swap, 0,
+        "after re-convergence the re-optimized lane must serve violation-free"
+    );
+    for out in [&frozen, &reopt] {
+        assert_eq!(
+            out.completed + out.shed.total(),
+            REOPT_REQUESTS as u64,
+            "ticket accounting must balance"
+        );
+    }
+
+    obj([
+        ("workers", num(REOPT_WORKERS as f64)),
+        ("requests", num(REOPT_REQUESTS as f64)),
+        ("queue_cap", num(REOPT_QUEUE_CAP as f64)),
+        (
+            "perturb",
+            obj([
+                ("at_us", num(PERTURB_AT_US)),
+                ("factor", num(PERTURB_FACTOR)),
+            ]),
+        ),
+        ("rebench_latency_us", num(REBENCH_LATENCY_US)),
+        (
+            "detector",
+            obj([
+                (
+                    "window_samples",
+                    num(ReoptConfig::default().window_samples as f64),
+                ),
+                ("p50_ratio", num(ReoptConfig::default().p50_ratio)),
+                (
+                    "consecutive",
+                    num(f64::from(ReoptConfig::default().consecutive)),
+                ),
+            ]),
+        ),
+        ("frozen", reopt_lane_row(&frozen)),
+        ("reopt", reopt_lane_row(&reopt)),
+        ("deterministic", Value::Bool(true)),
+    ])
+}
+
 /// One round-trip through the real threaded server's TCP front-end on
 /// loopback — the CI smoke for the non-simulated path.
 fn tcp_smoke() {
@@ -116,6 +277,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let want_tcp = args.iter().any(|a| a == "--tcp-smoke");
+    let want_reopt = args.iter().any(|a| a == "--reopt");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -210,7 +372,9 @@ fn main() {
         "acceptance gate: dynamic must beat fixed-batch-1 by >= 1.3x, got {speedup:.3}"
     );
 
-    let doc = obj([
+    let reopt_section = want_reopt.then(|| reopt_experiment(&table));
+
+    let mut doc = obj([
         ("bench", Value::Str("serve".to_string())),
         ("smoke", Value::Bool(smoke)),
         ("seed", num(SEED as f64)),
@@ -241,6 +405,9 @@ fn main() {
         ("speedup_vs_fixed1", num(speedup)),
         ("deterministic", Value::Bool(true)),
     ]);
+    if let (Value::Obj(fields), Some(section)) = (&mut doc, reopt_section) {
+        fields.push(("reopt".to_string(), section));
+    }
     let body = doc.to_json() + "\n";
     if let Some(dir) = std::path::Path::new(&out_path)
         .parent()

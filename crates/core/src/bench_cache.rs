@@ -86,6 +86,9 @@ pub struct CacheStats {
     /// Rows (or whole files counted as one) rejected at load time:
     /// malformed fields, truncation, or a wrong/missing format version.
     pub db_rows_quarantined: u64,
+    /// Entries evicted by [`BenchCache::invalidate`] — stale measurements
+    /// discarded so a re-benchmark re-measures the kernel as it is now.
+    pub invalidations: u64,
 }
 
 /// What a leader's benchmark produced: measurements, or the failure that
@@ -141,6 +144,7 @@ pub struct BenchCache {
     bench_retries: AtomicU64,
     db_rows_loaded: AtomicU64,
     db_rows_quarantined: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl BenchCache {
@@ -158,6 +162,7 @@ impl BenchCache {
             bench_retries: AtomicU64::new(0),
             db_rows_loaded: AtomicU64::new(0),
             db_rows_quarantined: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -215,7 +220,31 @@ impl BenchCache {
             bench_retries: self.bench_retries.load(Ordering::Relaxed),
             db_rows_loaded: self.db_rows_loaded.load(Ordering::Relaxed),
             db_rows_quarantined: self.db_rows_quarantined.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
+    }
+
+    /// Evict the cached benchmark for `kernel` on `handle`'s engine, so the
+    /// next lookup re-measures it. Returns whether an entry (or an
+    /// in-flight slot) was actually present.
+    ///
+    /// An invalidated slot is only *detached* from the map: a leader still
+    /// benchmarking into it will fill it and wake its waiters normally —
+    /// they observe the measurement they asked for, just one that no longer
+    /// serves future lookups. Nobody blocks, nothing tears.
+    pub fn invalidate(&self, handle: &CudnnHandle, kernel: &KernelKey) -> bool {
+        let key = CacheKey {
+            engine: engine_tag(handle),
+            kernel: *kernel,
+        };
+        let removed = self.shards[shard_index(&key)]
+            .write()
+            .remove(&key)
+            .is_some();
+        if removed {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
     }
 
     /// Benchmark all algorithms for `kernel` (whose `input.n` *is* the
@@ -926,6 +955,45 @@ mod tests {
             "batch folded out of {}",
             agg[0].0
         );
+    }
+
+    #[test]
+    fn invalidate_forces_a_re_benchmark() {
+        let h = CudnnHandle::simulated(p100_sxm2());
+        let c = BenchCache::new();
+        let before = c.get_or_bench(&h, &key(16));
+        assert!(c.invalidate(&h, &key(16)), "the entry was present");
+        assert!(!c.invalidate(&h, &key(16)), "already evicted");
+        assert_eq!(c.len(), 0);
+        let after = c.get_or_bench(&h, &key(16));
+        assert_eq!(after, before, "a stable device re-measures identically");
+        let stats = c.stats();
+        assert_eq!(stats.misses, 2, "the second lookup re-benchmarked");
+        assert_eq!(stats.invalidations, 1);
+        // Other engines' entries are untouched.
+        let v = CudnnHandle::simulated(ucudnn_gpu_model::v100_sxm2());
+        c.get_or_bench(&v, &key(16));
+        assert!(!c.invalidate(&h, &key(8)), "different kernel, no entry");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_sees_the_perturbed_device_on_re_benchmark() {
+        // The re-optimization story end to end at the cache layer: a cached
+        // pre-drift measurement survives the perturbation until it is
+        // invalidated, after which the re-benchmark observes the slower
+        // device.
+        use ucudnn_gpu_model::Perturbation;
+        let h = CudnnHandle::simulated(p100_sxm2()).with_perturbation(Perturbation::new(0.0, 2.0));
+        let clean = BenchCache::new().get_or_bench(&CudnnHandle::simulated(p100_sxm2()), &key(16));
+        let c = BenchCache::new();
+        let perturbed = c.get_or_bench(&h, &key(16));
+        assert!(
+            (perturbed[0].time_us - 2.0 * clean[0].time_us).abs() < 1e-9,
+            "benchmarks observe the perturbed curve"
+        );
+        c.invalidate(&h, &key(16));
+        assert_eq!(c.get_or_bench(&h, &key(16)), perturbed);
     }
 
     #[test]

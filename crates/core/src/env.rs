@@ -20,6 +20,12 @@
 //! | `UCUDNN_SERVE_QUEUE_CAP` | admission-queue capacity ≥ 1 | [`ServeOptions::queue_cap`] |
 //! | `UCUDNN_SERVE_WORKERS` | serving worker threads ≥ 1 | [`ServeOptions::workers`] |
 //! | `UCUDNN_SERVE_MAX_BATCH` | coalesced-batch cap ≥ 1 | [`ServeOptions::max_batch`] |
+//! | `UCUDNN_REOPT` | `0` / `1` | `ucudnn_serve::ReoptConfig::enabled` (drift detection + hot-swap) |
+//! | `UCUDNN_REOPT_WINDOW` | observations per drift window ≥ 1 | `ucudnn_serve::ReoptConfig::window_samples` |
+//! | `UCUDNN_REOPT_RATIO` | stale-p50 ratio > 1.0 | `ucudnn_serve::ReoptConfig::p50_ratio` |
+//! | `UCUDNN_REOPT_CONSECUTIVE` | breached windows before re-benchmark ≥ 1 | `ucudnn_serve::ReoptConfig::consecutive` |
+//! | `UCUDNN_PERTURB_AT_US` | virtual-clock instant, µs | `ucudnn_gpu_model::Perturbation::at_us` (simulated drift oracle) |
+//! | `UCUDNN_PERTURB_FACTOR` | execution-time multiplier > 0 | `ucudnn_gpu_model::Perturbation::factor` |
 
 use crate::handle::{OptimizerMode, UcudnnOptions};
 use crate::policy::BatchSizePolicy;

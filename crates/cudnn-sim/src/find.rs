@@ -66,15 +66,21 @@ impl CudnnHandle {
     ) -> Result<Vec<AlgoPerf>> {
         let g = conv.geometry(x, w)?;
         let mut perfs: Vec<AlgoPerf> = match self.engine() {
-            Engine::Simulated(d) => enumerate(d, op, &g)
-                .into_iter()
-                .map(|p| AlgoPerf {
-                    algo: p.algo,
-                    time_us: p.time_us,
-                    memory_bytes: p.workspace_bytes,
-                    status: self.bench_status(op, p.algo, g.input.n, p.workspace_bytes),
-                })
-                .collect(),
+            Engine::Simulated(d) => {
+                // Benchmarks observe the device as it is *now*: a perturbed
+                // latency curve re-measures slower, which is exactly what a
+                // re-benchmark after drift must see.
+                let factor = self.perturb_factor_now();
+                enumerate(d, op, &g)
+                    .into_iter()
+                    .map(|p| AlgoPerf {
+                        algo: p.algo,
+                        time_us: p.time_us * factor,
+                        memory_bytes: p.workspace_bytes,
+                        status: self.bench_status(op, p.algo, g.input.n, p.workspace_bytes),
+                    })
+                    .collect()
+            }
             Engine::RealCpu => ConvAlgo::ALL
                 .iter()
                 .filter(|&&a| supported_on(self.engine(), a, op, &g))

@@ -16,6 +16,13 @@ const FACTOR: f64 = 1.05;
 const BUCKETS: usize = 512;
 
 /// A fixed-memory streaming histogram over positive durations (µs).
+///
+/// Two accumulations run in parallel: the cumulative-since-start state that
+/// every quantile accessor reads, and a *window* that resets each time
+/// [`Self::take_window`] is called. The cumulative view is what training
+/// reports want; the window is what a drift detector wants — a late 2×
+/// slowdown is averaged away in the cumulative p50 but dominates the
+/// windowed one.
 #[derive(Debug, Clone)]
 pub struct StreamingHistogram {
     counts: Vec<u64>,
@@ -23,6 +30,12 @@ pub struct StreamingHistogram {
     min: f64,
     max: f64,
     sum: f64,
+    /// Window state since the last `take_window`; same bucketing.
+    w_counts: Vec<u64>,
+    w_total: u64,
+    w_min: f64,
+    w_max: f64,
+    w_sum: f64,
 }
 
 impl Default for StreamingHistogram {
@@ -40,6 +53,11 @@ impl StreamingHistogram {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             sum: 0.0,
+            w_counts: vec![0; BUCKETS],
+            w_total: 0,
+            w_min: f64::INFINITY,
+            w_max: f64::NEG_INFINITY,
+            w_sum: 0.0,
         }
     }
 
@@ -58,6 +76,43 @@ impl StreamingHistogram {
         self.min = self.min.min(us);
         self.max = self.max.max(us);
         self.sum += us;
+        self.w_counts[idx] += 1;
+        self.w_total += 1;
+        self.w_min = self.w_min.min(us);
+        self.w_max = self.w_max.max(us);
+        self.w_sum += us;
+    }
+
+    /// Observations recorded since the last [`Self::take_window`].
+    pub fn window_count(&self) -> u64 {
+        self.w_total
+    }
+
+    /// Detach the observations recorded since the last call (or since
+    /// construction) as a standalone histogram, and reset the window. The
+    /// cumulative state is untouched: `count()`, `quantile()` and friends
+    /// keep answering over the full history.
+    pub fn take_window(&mut self) -> StreamingHistogram {
+        let counts = std::mem::replace(&mut self.w_counts, vec![0; BUCKETS]);
+        // A detached window is a fresh histogram: its own window starts
+        // aligned with its cumulative view.
+        let snap = StreamingHistogram {
+            w_counts: counts.clone(),
+            counts,
+            total: self.w_total,
+            min: self.w_min,
+            max: self.w_max,
+            sum: self.w_sum,
+            w_total: self.w_total,
+            w_min: self.w_min,
+            w_max: self.w_max,
+            w_sum: self.w_sum,
+        };
+        self.w_total = 0;
+        self.w_min = f64::INFINITY;
+        self.w_max = f64::NEG_INFINITY;
+        self.w_sum = 0.0;
+        snap
     }
 
     /// Number of recorded observations.
@@ -233,6 +288,65 @@ mod tests {
         let p = h.percentiles();
         assert!(p.p50_us <= p.p95_us && p.p95_us <= p.p99_us);
         assert!(h.quantile(0.0) >= 0.5 && h.quantile(1.0) <= 5000.0);
+    }
+
+    #[test]
+    fn take_window_isolates_late_drift_from_the_cumulative_view() {
+        // 1000 fast samples, then 100 slow ones. Cumulatively the slow tail
+        // is invisible at p50; the window after a reset sees only it.
+        let mut h = StreamingHistogram::new();
+        for _ in 0..1000 {
+            h.record(100.0);
+        }
+        let early = h.take_window();
+        assert_eq!(early.count(), 1000);
+        assert!((early.quantile(0.5) - 100.0).abs() < 6.0);
+        assert_eq!(h.window_count(), 0, "take_window resets the window");
+        for _ in 0..100 {
+            h.record(200.0);
+        }
+        let late = h.take_window();
+        assert_eq!(late.count(), 100);
+        assert!(
+            (late.quantile(0.5) - 200.0).abs() < 12.0,
+            "window p50 {} must see the drift",
+            late.quantile(0.5)
+        );
+        // The cumulative path is untouched by window resets: p50 of the
+        // 1100-sample history is still the fast mode.
+        assert_eq!(h.count(), 1100);
+        assert!((h.quantile(0.5) - 100.0).abs() < 6.0);
+        assert!((h.mean() - (1000.0 * 100.0 + 100.0 * 200.0) / 1100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fresh_window_matches_the_cumulative_view() {
+        // Before any take_window, window and cumulative views agree, and a
+        // detached window behaves like a normal standalone histogram.
+        let mut h = StreamingHistogram::new();
+        for v in [10.0, 20.0, 30.0] {
+            h.record(v);
+        }
+        assert_eq!(h.window_count(), h.count());
+        let mut w = h.take_window();
+        assert_eq!(w.count(), 3);
+        assert_eq!(w.quantile(1.0), h.quantile(1.0));
+        // The detached window keeps recording like any histogram, window
+        // and cumulative aligned from its own birth.
+        w.record(40.0);
+        assert_eq!(w.count(), 4);
+        assert_eq!(w.window_count(), 4);
+        assert_eq!(w.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn empty_window_snapshot_is_a_cold_histogram() {
+        let mut h = StreamingHistogram::new();
+        h.record(5.0);
+        let _ = h.take_window();
+        let w = h.take_window();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.try_percentiles(), None);
     }
 
     #[test]

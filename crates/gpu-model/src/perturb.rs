@@ -1,0 +1,126 @@
+//! Deterministic mid-run performance perturbation.
+//!
+//! Real devices drift: thermal throttling, MPS neighbors, contention on
+//! shared memory bandwidth. The benchmark table the WR DP trusted at plan
+//! time goes stale, and the serving control loop must notice and re-plan.
+//! A [`Perturbation`] models the simplest reproducible form of that drift —
+//! a step change in the device's latency curve at a fixed virtual-clock
+//! timestamp: every kernel time is multiplied by `factor` from `at_us`
+//! onward. Being a pure function of the clock, it keeps the simulated
+//! substrate fully deterministic; the same seed and schedule observe the
+//! same slowdown at the same instant.
+
+/// A step slowdown (or speedup) of a device's latency curve at a
+/// virtual-clock timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Perturbation {
+    /// Virtual-clock time (µs) at which the step takes effect.
+    pub at_us: f64,
+    /// Multiplier applied to every kernel time from `at_us` on. 2.0 models
+    /// a 2× slowdown; values in (0, 1) model a recovery/speedup.
+    pub factor: f64,
+}
+
+impl Perturbation {
+    /// A step of `factor`× at `at_us` µs of virtual time.
+    pub fn new(at_us: f64, factor: f64) -> Self {
+        Self { at_us, factor }
+    }
+
+    /// The latency multiplier in effect at virtual time `now_us`.
+    pub fn factor_at(&self, now_us: f64) -> f64 {
+        if now_us >= self.at_us {
+            self.factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Build a perturbation from `UCUDNN_PERTURB_*` environment variables,
+    /// or `None` when neither is set:
+    ///
+    /// * `UCUDNN_PERTURB_AT_US` — virtual-clock timestamp of the step
+    ///   (default 0: perturbed from the start).
+    /// * `UCUDNN_PERTURB_FACTOR` — latency multiplier (default 2.0).
+    ///
+    /// Non-finite or non-positive values fall back to the defaults, the
+    /// same forgiving posture as `UCUDNN_FAULT_*`.
+    pub fn from_env() -> Option<Self> {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// [`Perturbation::from_env`] with an injectable variable source.
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Option<Self> {
+        let at = lookup("UCUDNN_PERTURB_AT_US");
+        let factor = lookup("UCUDNN_PERTURB_FACTOR");
+        if at.is_none() && factor.is_none() {
+            return None;
+        }
+        let parse = |s: Option<String>, default: f64, min_ok: fn(f64) -> bool| {
+            s.and_then(|s| s.trim().parse::<f64>().ok())
+                .filter(|v| v.is_finite() && min_ok(*v))
+                .unwrap_or(default)
+        };
+        Some(Self {
+            at_us: parse(at, 0.0, |v| v >= 0.0),
+            factor: parse(factor, 2.0, |v| v > 0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_applies_exactly_at_the_timestamp() {
+        let p = Perturbation::new(1000.0, 2.0);
+        assert_eq!(p.factor_at(0.0), 1.0);
+        assert_eq!(p.factor_at(999.999), 1.0);
+        assert_eq!(p.factor_at(1000.0), 2.0);
+        assert_eq!(p.factor_at(1e9), 2.0);
+    }
+
+    #[test]
+    fn from_lookup_returns_none_without_perturb_vars() {
+        assert_eq!(Perturbation::from_lookup(|_| None), None);
+    }
+
+    #[test]
+    fn from_lookup_parses_both_variables() {
+        let p = Perturbation::from_lookup(|k| {
+            Some(
+                match k {
+                    "UCUDNN_PERTURB_AT_US" => "50000",
+                    "UCUDNN_PERTURB_FACTOR" => "1.8",
+                    _ => return None,
+                }
+                .to_string(),
+            )
+        })
+        .unwrap();
+        assert_eq!(p, Perturbation::new(50_000.0, 1.8));
+    }
+
+    #[test]
+    fn partial_and_malformed_values_use_defaults() {
+        // Only the factor set: perturbed from t=0.
+        let p =
+            Perturbation::from_lookup(|k| (k == "UCUDNN_PERTURB_FACTOR").then(|| "3".to_string()))
+                .unwrap();
+        assert_eq!(p, Perturbation::new(0.0, 3.0));
+        // Malformed / non-positive values fall back, not crash.
+        let p = Perturbation::from_lookup(|k| {
+            Some(
+                match k {
+                    "UCUDNN_PERTURB_AT_US" => "soon",
+                    "UCUDNN_PERTURB_FACTOR" => "-2",
+                    _ => return None,
+                }
+                .to_string(),
+            )
+        })
+        .unwrap();
+        assert_eq!(p, Perturbation::new(0.0, 2.0));
+    }
+}

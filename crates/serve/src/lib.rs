@@ -15,21 +15,29 @@
 //! * [`sim`] — the deterministic discrete-event twin (seeded LCG arrivals,
 //!   virtual clock) behind the reproducible SLO/throughput claims in
 //!   `BENCH_serve.json`;
+//! * [`reopt`] + [`sim_reopt`] — online re-optimization (DESIGN.md §13):
+//!   windowed-percentile drift detection against the plan's latency table,
+//!   background re-benchmarking, and atomic epoch-pointer plan hot-swaps,
+//!   with a deterministic drift-and-recover simulation;
 //! * [`metrics`] — queue depth, batch occupancy, shed/degradation counters,
 //!   latency percentiles, exported as JSON;
 //! * [`tcp`] — an optional newline-delimited-JSON TCP front-end on
 //!   `std::net` (no new dependencies).
 
 pub mod metrics;
+pub mod reopt;
 pub mod request;
 pub mod scheduler;
 pub mod server;
 pub mod sim;
+pub mod sim_reopt;
 pub mod tcp;
 
 pub use metrics::ServeMetrics;
+pub use reopt::{DriftDetector, DriftReport, ReoptConfig};
 pub use request::{Response, ShedReason};
 pub use scheduler::{Action, BatchPolicy, Scheduler};
-pub use server::{BatchRunner, RealModelRunner, Server, Ticket};
+pub use server::{BatchRunner, PlanState, RealModelRunner, Server, Ticket};
 pub use sim::{poisson_arrivals, run_sim, Lcg, ShedCounts, SimConfig, SimOutcome};
+pub use sim_reopt::{run_reopt_sim, ReoptOutcome, ReoptSimConfig};
 pub use tcp::TcpFrontend;

@@ -36,6 +36,15 @@ pub struct ServeMetrics {
     pub queue_depth: AtomicU64,
     /// High-water mark of the queue depth.
     pub queue_depth_max: AtomicU64,
+    /// Re-optimization: windows the drift detector flagged as stale.
+    pub stale_detections: AtomicU64,
+    /// Re-optimization: successful atomic plan hot-swaps.
+    pub plan_swaps: AtomicU64,
+    /// Re-optimization: re-benchmarks that failed (empty table or runner
+    /// error) — the old plan stayed live (DESIGN §9: degrade, never crash).
+    pub reopt_failed: AtomicU64,
+    /// Current plan generation (gauge; mirrors `Server::plan_version`).
+    pub plan_version: AtomicU64,
     /// End-to-end latency of completed requests.
     pub latency: Mutex<StreamingHistogram>,
 }
@@ -87,6 +96,11 @@ impl ServeMetrics {
     ///
     /// Percentiles use the histogram's `try_` accessors, so a server that
     /// has completed nothing reports `null` — not a fake 0µs tail.
+    ///
+    /// `latency_window_us` reports the percentiles of the completions *since
+    /// the previous snapshot* and consumes that window: each scrape sees only
+    /// its own interval, which is what makes late drift visible instead of
+    /// being averaged into the cumulative view.
     pub fn to_json(&self) -> Value {
         let n = |a: &AtomicU64| json::num(a.load(Ordering::Relaxed) as f64);
         let batches = self.batches.load(Ordering::Relaxed);
@@ -95,7 +109,16 @@ impl ServeMetrics {
         } else {
             json::num(self.batched_requests.load(Ordering::Relaxed) as f64 / batches as f64)
         };
-        let hist = self.latency.lock();
+        let mut hist = self.latency.lock();
+        let window = hist.take_window();
+        let (wp50, wp95, wp99) = match window.try_percentiles() {
+            Some(p) => (
+                json::num(p.p50_us),
+                json::num(p.p95_us),
+                json::num(p.p99_us),
+            ),
+            None => (Value::Null, Value::Null, Value::Null),
+        };
         let (p50, p95, p99, mean) = match hist.try_percentiles() {
             Some(p) => (
                 json::num(p.p50_us),
@@ -124,6 +147,15 @@ impl ServeMetrics {
             ("queue_depth", n(&self.queue_depth)),
             ("queue_depth_max", n(&self.queue_depth_max)),
             (
+                "reopt",
+                json::obj([
+                    ("stale_detections", n(&self.stale_detections)),
+                    ("plan_swaps", n(&self.plan_swaps)),
+                    ("reopt_failed", n(&self.reopt_failed)),
+                    ("plan_version", n(&self.plan_version)),
+                ]),
+            ),
+            (
                 "latency_us",
                 json::obj([
                     ("p50", p50),
@@ -131,6 +163,15 @@ impl ServeMetrics {
                     ("p99", p99),
                     ("mean", mean),
                     ("count", json::num(hist.count() as f64)),
+                ]),
+            ),
+            (
+                "latency_window_us",
+                json::obj([
+                    ("p50", wp50),
+                    ("p95", wp95),
+                    ("p99", wp99),
+                    ("count", json::num(window.count() as f64)),
                 ]),
             ),
         ])
@@ -177,5 +218,48 @@ mod tests {
         assert_eq!(j.get("batch_occupancy").unwrap().as_f64(), Some(4.0));
         let lat = j.get("latency_us").unwrap();
         assert_eq!(lat.get("p50").unwrap().as_f64(), Some(250.0));
+    }
+
+    #[test]
+    fn the_latency_window_resets_per_snapshot() {
+        let m = ServeMetrics::new();
+        for _ in 0..4 {
+            m.complete(100.0);
+        }
+        let w1 = m.to_json();
+        let w1 = w1.get("latency_window_us").unwrap();
+        assert_eq!(w1.get("count").unwrap().as_u64(), Some(4));
+        assert_eq!(w1.get("p50").unwrap().as_f64(), Some(100.0));
+        // A drifted interval dominates its own window even though the
+        // cumulative histogram still remembers the fast past.
+        for _ in 0..2 {
+            m.complete(400.0);
+        }
+        let j2 = m.to_json();
+        let w2 = j2.get("latency_window_us").unwrap();
+        assert_eq!(w2.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(w2.get("p50").unwrap().as_f64(), Some(400.0));
+        let cum = j2.get("latency_us").unwrap();
+        assert_eq!(cum.get("count").unwrap().as_u64(), Some(6));
+        // And a quiet interval is an empty window, not a stale echo.
+        let w3 = m.to_json();
+        let w3 = w3.get("latency_window_us").unwrap();
+        assert_eq!(w3.get("count").unwrap().as_u64(), Some(0));
+        assert_eq!(w3.get("p50"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn reopt_counters_are_exported() {
+        let m = ServeMetrics::new();
+        m.stale_detections.fetch_add(3, Ordering::Relaxed);
+        m.plan_swaps.fetch_add(2, Ordering::Relaxed);
+        m.reopt_failed.fetch_add(1, Ordering::Relaxed);
+        m.plan_version.store(3, Ordering::Relaxed);
+        let j = m.to_json();
+        let r = j.get("reopt").unwrap();
+        assert_eq!(r.get("stale_detections").unwrap().as_u64(), Some(3));
+        assert_eq!(r.get("plan_swaps").unwrap().as_u64(), Some(2));
+        assert_eq!(r.get("reopt_failed").unwrap().as_u64(), Some(1));
+        assert_eq!(r.get("plan_version").unwrap().as_u64(), Some(3));
     }
 }

@@ -1,0 +1,396 @@
+//! Deterministic discrete-event simulation of the *online re-optimization*
+//! loop (DESIGN.md §13): a device whose latency curve drifts mid-run, a
+//! drift detector watching windowed per-micro-batch p50s, a modeled
+//! re-benchmark with its own virtual latency, and an atomic epoch-pointer
+//! hot-swap of the plan — all on the same seeded virtual clock as
+//! [`crate::sim`], so the "frozen plan sheds, re-optimized plan re-converges
+//! with zero violations" claim is byte-identical across runs and machines.
+//!
+//! The ground truth is explicit: the device executes micro-batch `m` in
+//! `base_t(m) · factor_at(now)` where the [`Perturbation`] steps the factor
+//! at a virtual timestamp (the sim twin of `UCUDNN_PERTURB_*` on the
+//! simulated `CudnnHandle`). The *plan* only knows whatever table it was
+//! last benchmarked with — the gap between the two is exactly what the
+//! detector observes and what a re-benchmark closes.
+
+use crate::reopt::{DriftDetector, ReoptConfig};
+use crate::request::ShedReason;
+use crate::scheduler::{Action, BatchPolicy, Scheduler};
+use crate::sim::{poisson_arrivals, ShedCounts};
+use parking_lot::Epoch;
+use std::collections::VecDeque;
+use ucudnn_framework::StreamingHistogram;
+use ucudnn_gpu_model::Perturbation;
+
+/// One simulated drift-and-recover experiment.
+#[derive(Debug, Clone)]
+pub struct ReoptSimConfig {
+    /// Load-generator seed; the only entropy source in the simulation.
+    pub seed: u64,
+    /// Per-request deadline budget, microseconds.
+    pub slo_us: f64,
+    /// Bounded admission queue capacity.
+    pub queue_cap: usize,
+    /// Parallel worker lanes.
+    pub workers: usize,
+    /// Coalesced-batch cap.
+    pub max_batch: usize,
+    /// Mean offered load, requests per second (Poisson arrivals).
+    pub arrival_rate_rps: f64,
+    /// Total requests to offer.
+    pub requests: usize,
+    /// The device's *pre-drift* latency table `t*(m)`; the startup plan is
+    /// benchmarked from it, and ground truth scales it by the perturbation.
+    pub base_table: Vec<(usize, f64)>,
+    /// The mid-run device drift (virtual timestamp + latency multiplier).
+    pub perturb: Perturbation,
+    /// The re-optimization policy, or `None` for the frozen-plan baseline
+    /// (no detector, no re-benchmark, no swap — the startup table forever).
+    pub reopt: Option<ReoptConfig>,
+    /// Virtual time one re-benchmark takes (invalidate + re-measure the
+    /// stale Pareto fronts); serving continues on the old plan meanwhile.
+    pub rebench_latency_us: f64,
+}
+
+/// What one drift experiment produced.
+#[derive(Debug, Clone)]
+pub struct ReoptOutcome {
+    /// Requests that completed within the simulation.
+    pub completed: u64,
+    /// Requests shed, by reason.
+    pub shed: ShedCounts,
+    /// Completed requests whose *actual* end-to-end latency exceeded the
+    /// SLO (the plan believed otherwise — that is the cost of staleness).
+    pub violations: u64,
+    /// Violations among requests fired after the first plan swap — the
+    /// re-convergence claim is that this is zero.
+    pub violations_post_swap: u64,
+    /// Drift reports raised by the detector.
+    pub stale_detections: u64,
+    /// Successful plan hot-swaps.
+    pub swaps: u64,
+    /// Virtual time of the first drift report, if any.
+    pub detect_time_us: Option<f64>,
+    /// Virtual time the first swapped plan took effect, if any.
+    pub swap_time_us: Option<f64>,
+    /// Plan generation serving at the end (1 = startup table).
+    pub final_version: u64,
+    /// Every fired batch size, in firing order.
+    pub batch_sizes: Vec<usize>,
+    /// The deterministic fire/shed/drift/swap log; byte-identical across
+    /// runs with the same config.
+    pub log: Vec<String>,
+    /// Actual end-to-end latency distribution of completed requests.
+    pub latencies: StreamingHistogram,
+    /// Virtual time of the first arrival.
+    pub first_arrival_us: f64,
+    /// Virtual time of the last batch completion.
+    pub last_completion_us: f64,
+}
+
+/// Run one drift experiment.
+///
+/// The loop is [`crate::sim::run_sim`] with three additions: execution uses
+/// the perturbed ground truth instead of the plan's belief, every executed
+/// micro-batch feeds the drift detector, and a completed re-benchmark
+/// publishes a new scheduler through an [`Epoch`] pointer (version-stamped
+/// into the log, exactly like the threaded server's hot-swap).
+///
+/// # Panics
+/// Panics on a config with no workers, an empty queue, or a base table with
+/// no size within `max_batch`.
+pub fn run_reopt_sim(cfg: &ReoptSimConfig) -> ReoptOutcome {
+    assert!(cfg.workers >= 1, "need at least one worker");
+    assert!(cfg.queue_cap >= 1, "need a non-empty queue");
+    let base: Vec<(usize, f64)> = cfg
+        .base_table
+        .iter()
+        .copied()
+        .filter(|&(m, _)| m <= cfg.max_batch)
+        .collect();
+    assert!(!base.is_empty(), "no batch size within max_batch");
+    let base_t = |m: usize| -> f64 {
+        base.iter()
+            .find(|&&(size, _)| size == m)
+            .map(|&(_, t)| t)
+            .expect("planned micro size comes from the table")
+    };
+
+    let plan = Epoch::new(Scheduler::new(
+        base.clone(),
+        cfg.slo_us,
+        cfg.max_batch,
+        BatchPolicy::Dynamic,
+    ));
+    let mut detector = DriftDetector::new(cfg.reopt.unwrap_or(ReoptConfig {
+        enabled: false,
+        ..ReoptConfig::default()
+    }));
+    // An in-flight re-benchmark: (virtual completion time, the latency
+    // factor it measures — the device as-it-was when the re-benchmark ran).
+    let mut rebench: Option<(f64, f64)> = None;
+
+    let arrivals = poisson_arrivals(cfg.seed, cfg.requests, cfg.arrival_rate_rps);
+    let mut out = ReoptOutcome {
+        completed: 0,
+        shed: ShedCounts::default(),
+        violations: 0,
+        violations_post_swap: 0,
+        stale_detections: 0,
+        swaps: 0,
+        detect_time_us: None,
+        swap_time_us: None,
+        final_version: plan.version(),
+        batch_sizes: Vec::new(),
+        log: Vec::new(),
+        latencies: StreamingHistogram::new(),
+        first_arrival_us: arrivals.first().copied().unwrap_or(0.0),
+        last_completion_us: 0.0,
+    };
+
+    let mut queue: VecDeque<(u64, f64)> = VecDeque::new();
+    let mut next_id: usize = 0;
+    let mut free_at = vec![0.0f64; cfg.workers];
+
+    loop {
+        let (w, _) = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+            .unwrap();
+        let mut now = free_at[w];
+
+        if queue.is_empty() {
+            if next_id >= arrivals.len() {
+                break;
+            }
+            now = now.max(arrivals[next_id]);
+        }
+
+        // A finished re-benchmark takes effect at the next scheduling
+        // opportunity: publish the refreshed table as a new generation.
+        if let Some((ready_at, factor)) = rebench {
+            if now >= ready_at {
+                let table: Vec<(usize, f64)> = base.iter().map(|&(m, t)| (m, t * factor)).collect();
+                let version = plan.store(Scheduler::new(
+                    table,
+                    cfg.slo_us,
+                    cfg.max_batch,
+                    BatchPolicy::Dynamic,
+                ));
+                out.swaps += 1;
+                out.final_version = version;
+                if out.swap_time_us.is_none() {
+                    out.swap_time_us = Some(now);
+                }
+                detector.reset();
+                out.log.push(format!(
+                    "swap t={now:.3} plan=v{version} factor={factor:.3}"
+                ));
+                rebench = None;
+            }
+        }
+
+        while next_id < arrivals.len() && arrivals[next_id] <= now {
+            let (id, at) = (next_id as u64, arrivals[next_id]);
+            next_id += 1;
+            if queue.len() >= cfg.queue_cap {
+                out.shed.bump(ShedReason::QueueFull);
+                out.log
+                    .push(format!("shed t={at:.3} id={id} reason=queue_full"));
+            } else {
+                queue.push_back((id, at));
+            }
+        }
+        if queue.is_empty() {
+            free_at[w] = now;
+            continue;
+        }
+
+        let times: Vec<f64> = queue.iter().map(|&(_, at)| at).collect();
+        let next_arrival = arrivals.get(next_id).copied();
+        let cur = plan.load();
+        match cur.decide(now, &times, next_arrival) {
+            Action::Fire(d) => {
+                // Ground truth: the device as-it-is-now, not as the plan
+                // believes. The gap is the drift under test.
+                let factor = cfg.perturb.factor_at(now);
+                let actual_exec: f64 = d.micros.iter().map(|&m| base_t(m) * factor).sum();
+                let finish = now + actual_exec;
+                free_at[w] = finish;
+                out.last_completion_us = out.last_completion_us.max(finish);
+                let post_swap = out.swaps > 0;
+                let mut ids = Vec::with_capacity(d.batch);
+                for _ in 0..d.batch {
+                    let (id, at) = queue.pop_front().expect("planned batch exceeds queue");
+                    let latency = finish - at;
+                    if latency > cfg.slo_us + 1e-6 {
+                        out.violations += 1;
+                        if post_swap {
+                            out.violations_post_swap += 1;
+                        }
+                    }
+                    out.latencies.record(latency);
+                    out.completed += 1;
+                    ids.push(id);
+                }
+                out.batch_sizes.push(d.batch);
+                let micros = d
+                    .micros
+                    .iter()
+                    .map(|m| m.to_string())
+                    .collect::<Vec<_>>()
+                    .join("+");
+                out.log.push(format!(
+                    "fire t={now:.3} worker={w} plan=v{} batch={} micros={micros} \
+                     planned={:.3} actual={actual_exec:.3} ids={}..{}",
+                    cur.version(),
+                    d.batch,
+                    d.exec_us,
+                    ids.first().unwrap(),
+                    ids.last().unwrap()
+                ));
+
+                // Every executed micro-batch feeds the detector, judged
+                // against the plan that fired it.
+                let table = cur.table().to_vec();
+                for &m in &d.micros {
+                    let Some(&(_, expected)) = table.iter().find(|&&(size, _)| size == m) else {
+                        continue;
+                    };
+                    if let Some(r) = detector.observe(m, base_t(m) * factor, expected) {
+                        out.stale_detections += 1;
+                        if out.detect_time_us.is_none() {
+                            out.detect_time_us = Some(now);
+                        }
+                        out.log.push(format!(
+                            "drift t={now:.3} micro={} observed_p50={:.3} expected={:.3} \
+                             ratio={:.3}",
+                            r.micro, r.observed_p50_us, r.expected_us, r.ratio
+                        ));
+                        if rebench.is_none() {
+                            // The re-benchmark measures the device as it is
+                            // *now* and lands after its own latency; serving
+                            // stays on the old plan meanwhile.
+                            let measured = cfg.perturb.factor_at(now);
+                            rebench = Some((now + cfg.rebench_latency_us, measured));
+                            out.log.push(format!(
+                                "rebench_start t={now:.3} ready_at={:.3} factor={measured:.3}",
+                                now + cfg.rebench_latency_us
+                            ));
+                        }
+                    }
+                }
+            }
+            Action::WaitUntil(t) => {
+                debug_assert!(t > now, "wait must move the clock forward");
+                free_at[w] = t;
+            }
+            Action::ShedOldest => {
+                let (id, _at) = queue.pop_front().unwrap();
+                out.shed.bump(ShedReason::DeadlineInfeasible);
+                out.log.push(format!(
+                    "shed t={now:.3} id={id} reason=deadline_infeasible"
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The serve_bench table shape: t(m) = 480 + 20m (sub-linear/sample).
+    fn base_table() -> Vec<(usize, f64)> {
+        [1usize, 2, 4, 8, 16, 32]
+            .into_iter()
+            .map(|m| (m, 480.0 + 20.0 * m as f64))
+            .collect()
+    }
+
+    /// 1 worker at 20k rps / 20ms SLO: healthy pre-drift (~28.5k rps
+    /// capacity), overloaded after a 2× slowdown (~14.3k rps).
+    fn cfg(reopt: Option<ReoptConfig>) -> ReoptSimConfig {
+        ReoptSimConfig {
+            seed: 2018,
+            slo_us: 20_000.0,
+            queue_cap: 256,
+            workers: 1,
+            max_batch: 32,
+            arrival_rate_rps: 20_000.0,
+            requests: 4_000,
+            base_table: base_table(),
+            perturb: Perturbation::new(50_000.0, 2.0),
+            reopt,
+            rebench_latency_us: 5_000.0,
+        }
+    }
+
+    #[test]
+    fn same_seed_gives_a_byte_identical_log() {
+        let c = cfg(Some(ReoptConfig::default()));
+        let a = run_reopt_sim(&c);
+        let b = run_reopt_sim(&c);
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.swaps, b.swaps);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn frozen_plan_degrades_where_reopt_reconverges() {
+        let frozen = run_reopt_sim(&cfg(None));
+        let reopt = run_reopt_sim(&cfg(Some(ReoptConfig::default())));
+        // The frozen baseline never notices the device halved.
+        assert_eq!(frozen.swaps, 0);
+        assert_eq!(frozen.final_version, 1);
+        assert!(
+            frozen.shed.total() > 0,
+            "a 2x-slower device under a 20k rps load must shed on a frozen plan"
+        );
+        // The re-optimized lane detects, swaps, and serves clean after.
+        assert!(reopt.stale_detections >= 1, "drift must be detected");
+        assert!(reopt.swaps >= 1, "a re-benchmark must land");
+        assert_eq!(reopt.final_version, 1 + reopt.swaps);
+        let (detect, swap) = (reopt.detect_time_us.unwrap(), reopt.swap_time_us.unwrap());
+        assert!(detect >= 50_000.0, "no detection before the drift exists");
+        assert!(swap >= detect + 5_000.0, "the re-benchmark takes time");
+        assert_eq!(
+            reopt.violations_post_swap, 0,
+            "after re-convergence the plan and the device agree exactly"
+        );
+        // Accounting balances in both lanes.
+        for o in [&frozen, &reopt] {
+            assert_eq!(o.completed + o.shed.total(), 4_000);
+        }
+    }
+
+    #[test]
+    fn no_drift_means_no_detections_and_no_swaps() {
+        for seed in [1u64, 7, 2018] {
+            let mut c = cfg(Some(ReoptConfig::default()));
+            c.seed = seed;
+            c.perturb = Perturbation::new(f64::INFINITY, 2.0); // never fires
+            let out = run_reopt_sim(&c);
+            assert_eq!(out.stale_detections, 0, "seed {seed}: false positive");
+            assert_eq!(out.swaps, 0);
+            assert_eq!(out.violations, 0);
+            assert_eq!(out.final_version, 1);
+        }
+    }
+
+    #[test]
+    fn the_reopt_lane_with_no_drift_matches_the_frozen_lane() {
+        let mut frozen = cfg(None);
+        let mut reopt = cfg(Some(ReoptConfig::default()));
+        frozen.perturb = Perturbation::new(f64::INFINITY, 2.0);
+        reopt.perturb = Perturbation::new(f64::INFINITY, 2.0);
+        let a = run_reopt_sim(&frozen);
+        let b = run_reopt_sim(&reopt);
+        // The detector is pure observation: absent drift it perturbs nothing.
+        assert_eq!(a.log, b.log);
+    }
+}

@@ -1,0 +1,213 @@
+//! Hot-swap safety under concurrency: the epoch pointer never tears, every
+//! response is consistent with the plan generation stamped on it, and
+//! ticket accounting balances while swaps race the serving path.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use ucudnn::ServeOptions;
+use ucudnn_serve::{BatchRunner, Server};
+
+// ---------------------------------------------------------------------------
+// Epoch-pointer property: no torn (tag, table) pairs.
+
+/// The table a writer publishes under `tag` — any mismatch a reader
+/// observes between the tag and the derived rows is a torn read.
+fn derived_table(tag: u64) -> Vec<(usize, f64)> {
+    (1..=4usize)
+        .map(|m| {
+            (
+                m * ((tag % 7) as usize + 1),
+                (tag % 100_000) as f64 * 10.0 + m as f64,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Readers hammering an `Epoch` while writers publish tagged tables
+    /// never observe a table that disagrees with its tag, and the version
+    /// sequence each reader sees is monotone.
+    #[test]
+    fn concurrent_swaps_never_tear_the_published_plan(
+        tag_seed in 1u64..1_000_000,
+        writers in 1usize..4,
+        stores_per_writer in 1usize..30,
+    ) {
+        let epoch = Arc::new(parking_lot::Epoch::new((tag_seed, derived_table(tag_seed))));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let epoch = Arc::clone(&epoch);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last_version = 0u64;
+                    let mut checks = 0u64;
+                    while !stop.load(Ordering::Relaxed) || checks == 0 {
+                        let cur = epoch.load();
+                        let (tag, table) = cur.value();
+                        assert_eq!(
+                            table,
+                            &derived_table(*tag),
+                            "torn read: table disagrees with its tag"
+                        );
+                        assert!(cur.version() >= last_version, "version went backwards");
+                        last_version = cur.version();
+                        checks += 1;
+                    }
+                })
+            })
+            .collect();
+        let writer_handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let epoch = Arc::clone(&epoch);
+                std::thread::spawn(move || {
+                    for i in 0..stores_per_writer {
+                        let tag = tag_seed
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add((w * 1000 + i) as u64);
+                        epoch.store((tag, derived_table(tag)));
+                    }
+                })
+            })
+            .collect();
+        for h in writer_handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(
+            epoch.version(),
+            1 + (writers * stores_per_writer) as u64,
+            "every store must land exactly once"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server-level property: responses are consistent with their stamped plan
+// generation while swaps race submissions.
+
+/// Identity model: one f32 in, one f32 out, no real compute — the test is
+/// about scheduling metadata, not numerics.
+struct IdentityRunner;
+
+/// Micro-batch sizes of odd plan generations (the startup table is v1).
+const SIZES_ODD: [usize; 4] = [1, 2, 4, 8];
+/// Micro-batch sizes of even plan generations.
+const SIZES_EVEN: [usize; 2] = [1, 3];
+
+fn table_for_version(version: u64) -> Vec<(usize, f64)> {
+    let sizes: &[usize] = if version % 2 == 1 {
+        &SIZES_ODD
+    } else {
+        &SIZES_EVEN
+    };
+    sizes
+        .iter()
+        .map(|&m| (m, 100.0 + 10.0 * m as f64))
+        .collect()
+}
+
+impl BatchRunner for IdentityRunner {
+    fn sample_len(&self) -> usize {
+        1
+    }
+    fn output_len(&self) -> usize {
+        1
+    }
+    fn batch_sizes(&self) -> Vec<usize> {
+        SIZES_ODD.to_vec()
+    }
+    fn run(&self, n: usize, inputs: &[f32]) -> Result<Vec<f32>, String> {
+        assert_eq!(inputs.len(), n);
+        Ok(inputs.to_vec())
+    }
+    fn latency_table(&self) -> Vec<(usize, f64)> {
+        table_for_version(1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// While a swapper thread flips the plan between two size vocabularies,
+    /// every completed request reports a plan version that existed and a
+    /// micro-batch size drawn from *that* version's table — a torn or
+    /// half-applied swap would pair a version with the other vocabulary.
+    /// Ticket accounting balances exactly: admitted = completed + shed.
+    #[test]
+    fn responses_match_the_plan_generation_that_fired_them(
+        swaps in 1u64..12,
+        requests in 16usize..120,
+    ) {
+        let server = Arc::new(Server::start(
+            Arc::new(IdentityRunner),
+            &ServeOptions {
+                slo_us: 60_000_000.0,
+                queue_cap: 4096,
+                workers: 2,
+                max_batch: 8,
+            },
+        ));
+        prop_assert_eq!(server.plan_version(), 1);
+
+        let swapper = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                for i in 0..swaps {
+                    let next_version = 2 + i; // swap_plan bumps 1 -> 2 -> ...
+                    server
+                        .swap_plan(table_for_version(next_version))
+                        .expect("swap a valid table");
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        // Submit everything first so batches actually coalesce, then wait.
+        let tickets: Vec<_> = (0..requests)
+            .map(|i| server.submit(vec![i as f32]))
+            .collect();
+        let mut completed = 0u64;
+        let mut shed = 0u64;
+        for t in tickets {
+            match t {
+                Err(_) => shed += 1,
+                Ok(ticket) => match ticket.wait() {
+                    Err(_) => shed += 1,
+                    Ok(resp) => {
+                        completed += 1;
+                        let valid: &[usize] = if resp.plan_version % 2 == 1 {
+                            &SIZES_ODD
+                        } else {
+                            &SIZES_EVEN
+                        };
+                        prop_assert!(
+                            valid.contains(&resp.batch),
+                            "micro size {} invalid for plan v{} (vocab {:?})",
+                            resp.batch, resp.plan_version, valid
+                        );
+                        prop_assert!(
+                            resp.plan_version >= 1 && resp.plan_version <= 1 + swaps,
+                            "plan v{} never existed", resp.plan_version
+                        );
+                    }
+                },
+            }
+        }
+        swapper.join().unwrap();
+        prop_assert_eq!(completed + shed, requests as u64, "ticket accounting");
+        prop_assert_eq!(server.plan_version(), 1 + swaps);
+        let m = server.metrics();
+        prop_assert_eq!(m.submitted.load(Ordering::Relaxed), requests as u64);
+        prop_assert_eq!(m.completed.load(Ordering::Relaxed), completed);
+        prop_assert_eq!(m.shed_total(), shed);
+        prop_assert_eq!(m.plan_swaps.load(Ordering::Relaxed), swaps);
+        server.drain();
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end online re-optimization on the *threaded* server: a runner
+//! whose real execution time drifts mid-test, the drift detector watching
+//! wall-clock micro-batch times, the background re-benchmark worker, and
+//! the atomic plan hot-swap — all through the public `Server` API.
+//!
+//! Thresholds are deliberately generous (10× drift against a 3× detection
+//! ratio, 10ms base latency) so host-timing noise cannot flip the verdict.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ucudnn::ServeOptions;
+use ucudnn_serve::{BatchRunner, ReoptConfig, Server};
+
+/// Base execution time; large against OS sleep jitter.
+const BASE_US: u64 = 10_000;
+/// The mid-test slowdown multiplier.
+const DRIFT: usize = 10;
+
+/// A model that sleeps for `BASE_US * factor` per micro-batch, with a
+/// declared latency table at the *current* factor — so `rebench()` observes
+/// the drifted device exactly like a real re-benchmark would.
+struct SleepRunner {
+    factor: AtomicUsize,
+}
+
+impl SleepRunner {
+    fn new() -> Self {
+        Self {
+            factor: AtomicUsize::new(1),
+        }
+    }
+    fn current_us(&self) -> u64 {
+        BASE_US * self.factor.load(Ordering::Relaxed) as u64
+    }
+}
+
+impl BatchRunner for SleepRunner {
+    fn sample_len(&self) -> usize {
+        1
+    }
+    fn output_len(&self) -> usize {
+        1
+    }
+    fn batch_sizes(&self) -> Vec<usize> {
+        vec![1]
+    }
+    fn run(&self, n: usize, inputs: &[f32]) -> Result<Vec<f32>, String> {
+        assert_eq!(inputs.len(), n);
+        std::thread::sleep(Duration::from_micros(self.current_us()));
+        Ok(inputs.to_vec())
+    }
+    fn latency_table(&self) -> Vec<(usize, f64)> {
+        vec![(1, self.current_us() as f64)]
+    }
+}
+
+fn opts() -> ServeOptions {
+    ServeOptions {
+        slo_us: 60_000_000.0,
+        queue_cap: 64,
+        workers: 1,
+        max_batch: 1,
+    }
+}
+
+fn detector() -> ReoptConfig {
+    ReoptConfig {
+        enabled: true,
+        window_samples: 2,
+        p50_ratio: 3.0,
+        consecutive: 1,
+    }
+}
+
+#[test]
+fn drift_on_the_threaded_server_triggers_a_background_hot_swap() {
+    let runner = Arc::new(SleepRunner::new());
+    let as_dyn: Arc<dyn BatchRunner> = Arc::clone(&runner) as _;
+    let server = Server::start_with_reopt(as_dyn, &opts(), Some(detector()));
+    assert_eq!(server.plan_version(), 1);
+    assert_eq!(server.plan_provenance().source, "startup");
+
+    // Healthy phase: on-table requests must not trip the detector.
+    for i in 0..3 {
+        let resp = server
+            .submit(vec![i as f32])
+            .expect("admit")
+            .wait()
+            .expect("healthy request completes");
+        assert_eq!(resp.plan_version, 1);
+    }
+
+    // Drift: the device becomes 10x slower than the v1 table promises.
+    runner.factor.store(DRIFT, Ordering::Relaxed);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let metrics = server.metrics();
+    let mut swapped = false;
+    for i in 0..30 {
+        server
+            .submit(vec![i as f32])
+            .expect("admit")
+            .wait()
+            .expect("drifted request still completes");
+        // The swap lands asynchronously in the rebench worker; give it a
+        // moment after each completed observation.
+        let wait_until = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < wait_until {
+            if metrics.plan_swaps.load(Ordering::Relaxed) >= 1 {
+                swapped = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if swapped || Instant::now() > deadline {
+            break;
+        }
+    }
+    assert!(swapped, "the drift must produce a background hot-swap");
+    assert!(metrics.stale_detections.load(Ordering::Relaxed) >= 1);
+    assert!(server.plan_version() >= 2);
+    let prov = server.plan_provenance();
+    assert_eq!(prov.source, "rebench");
+    assert!(prov.generation >= 2);
+
+    // Post-swap: the new table matches the drifted device, responses carry
+    // the new generation, and serving never stopped.
+    let resp = server
+        .submit(vec![99.0])
+        .expect("admit after swap")
+        .wait()
+        .expect("post-swap request completes");
+    assert!(resp.plan_version >= 2, "got v{}", resp.plan_version);
+    server.drain();
+}
+
+#[test]
+fn trigger_rebench_swaps_synchronously_even_without_the_background_loop() {
+    let runner = Arc::new(SleepRunner::new());
+    // No reopt config: no detector, no worker — explicit control only.
+    let server = Server::start(Arc::clone(&runner) as Arc<dyn BatchRunner>, &opts());
+    assert_eq!(server.plan_version(), 1);
+
+    runner.factor.store(DRIFT, Ordering::Relaxed);
+    let version = server.trigger_rebench().expect("synchronous re-benchmark");
+    assert_eq!(version, 2);
+    assert_eq!(server.plan_version(), 2);
+    let prov = server.plan_provenance();
+    assert_eq!((prov.generation, prov.source.as_str()), (2, "rebench"));
+    let m = server.metrics();
+    assert_eq!(m.plan_swaps.load(Ordering::Relaxed), 1);
+    assert_eq!(m.plan_version.load(Ordering::Relaxed), 2);
+
+    let resp = server
+        .submit(vec![1.0])
+        .expect("admit")
+        .wait()
+        .expect("request completes on the swapped plan");
+    assert_eq!(resp.plan_version, 2);
+    server.drain();
+}
+
+#[test]
+fn swap_plan_rejects_an_unusable_table_and_keeps_the_old_plan() {
+    let server = Server::start(Arc::new(SleepRunner::new()), &opts());
+    // Every size above max_batch=1: filtered to empty, must be refused.
+    let err = server
+        .swap_plan(vec![(4, 100.0), (8, 200.0)])
+        .expect_err("an empty post-filter table cannot be installed");
+    assert!(err.contains("empty"), "unexpected error: {err}");
+    assert_eq!(server.plan_version(), 1, "the old plan must stay live");
+    assert_eq!(
+        server.metrics().reopt_failed.load(Ordering::Relaxed),
+        1,
+        "the failure must be counted"
+    );
+    // And serving still works.
+    let resp = server
+        .submit(vec![1.0])
+        .expect("admit")
+        .wait()
+        .expect("request completes");
+    assert_eq!(resp.plan_version, 1);
+    server.drain();
+}

@@ -1,0 +1,196 @@
+//! An `ArcSwap`-style versioned epoch pointer for hot-swappable plans.
+//!
+//! The serving re-optimization loop needs to replace a scheduler's plan
+//! while worker threads keep reading it: readers must never block (they sit
+//! on the request hot path), a reader must never observe a torn value, and
+//! an in-flight batch must finish on the plan version it started with.
+//!
+//! [`Epoch<T>`] provides exactly that with std-only primitives. The current
+//! value lives behind an `AtomicPtr` into a [`Versioned<T>`] allocation;
+//! [`Epoch::load`] is one atomic load (wait-free), and the version number is
+//! stored *inside* the pointed-to allocation, so value and version are read
+//! together — there is no pointer/version pairing race. Writers go through
+//! [`Epoch::store`], which keeps every value ever published alive in an
+//! append-only history guarded by a mutex (writers serialize; readers never
+//! touch it). Old versions are retired only when the `Epoch` itself drops,
+//! so a reference obtained from `load` stays valid for as long as the
+//! `Epoch` is borrowed — the memory cost is one allocation per swap, which
+//! for plan swaps (a handful per process lifetime) is noise next to a
+//! deferred-reclamation scheme.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+/// A value published through an [`Epoch`], tagged with the monotonically
+/// increasing version it was published as (the first value is version 1).
+#[derive(Debug)]
+pub struct Versioned<T> {
+    version: u64,
+    value: T,
+}
+
+impl<T> Versioned<T> {
+    /// The publication version (1 for the initial value, +1 per swap).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The published value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::Deref for Versioned<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+/// A wait-free-readable, versioned swap cell. See the module docs for the
+/// reclamation contract.
+#[derive(Debug)]
+pub struct Epoch<T> {
+    current: AtomicPtr<Versioned<T>>,
+    /// Every value ever published, in publication order. Append-only while
+    /// the `Epoch` lives; this is what keeps `load`'s references valid.
+    history: StdMutex<Vec<Arc<Versioned<T>>>>,
+}
+
+// Readers hand out `&Versioned<T>` across threads and writers move `T` in.
+unsafe impl<T: Send + Sync> Sync for Epoch<T> {}
+unsafe impl<T: Send> Send for Epoch<T> {}
+
+impl<T> Epoch<T> {
+    /// Publish `value` as version 1.
+    pub fn new(value: T) -> Self {
+        let first = Arc::new(Versioned { version: 1, value });
+        let ptr = Arc::as_ptr(&first) as *mut Versioned<T>;
+        Self {
+            current: AtomicPtr::new(ptr),
+            history: StdMutex::new(vec![first]),
+        }
+    }
+
+    /// The current value and its version — one atomic load, never blocks.
+    ///
+    /// The reference stays valid for the borrow of `self`: published values
+    /// are only dropped when the `Epoch` itself is, so a reader holding a
+    /// plan while a writer swaps keeps reading its (old) version intact.
+    pub fn load(&self) -> &Versioned<T> {
+        let ptr = self.current.load(Ordering::Acquire);
+        // SAFETY: `ptr` came from `Arc::as_ptr` of an entry in `history`,
+        // which is append-only and outlives every `&self` borrow.
+        unsafe { &*ptr }
+    }
+
+    /// The current version without touching the value.
+    pub fn version(&self) -> u64 {
+        self.load().version()
+    }
+
+    /// Publish a new value, returning the version it was published as.
+    /// Readers switch over atomically; anyone still holding the previous
+    /// version keeps it until they re-`load`.
+    pub fn store(&self, value: T) -> u64 {
+        let mut history = self.history.lock().unwrap_or_else(PoisonError::into_inner);
+        let version = history.last().expect("epoch is never empty").version + 1;
+        let next = Arc::new(Versioned { version, value });
+        let ptr = Arc::as_ptr(&next) as *mut Versioned<T>;
+        // Append BEFORE the swap: the pointer must never be observable
+        // without its backing allocation being owned by the history.
+        history.push(next);
+        self.current.store(ptr, Ordering::Release);
+        version
+    }
+
+    /// How many values have been published (initial value included).
+    pub fn published(&self) -> usize {
+        self.history
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_sees_the_initial_version() {
+        let e = Epoch::new(42u64);
+        let v = e.load();
+        assert_eq!(v.version(), 1);
+        assert_eq!(*v.value(), 42);
+        assert_eq!(e.version(), 1);
+        assert_eq!(e.published(), 1);
+    }
+
+    #[test]
+    fn store_bumps_the_version_monotonically() {
+        let e = Epoch::new(0u64);
+        assert_eq!(e.store(10), 2);
+        assert_eq!(e.store(20), 3);
+        let v = e.load();
+        assert_eq!((v.version(), *v.value()), (3, 20));
+        assert_eq!(e.published(), 3);
+    }
+
+    #[test]
+    fn old_references_survive_a_swap() {
+        let e = Epoch::new(vec![1, 2, 3]);
+        let old = e.load();
+        e.store(vec![9]);
+        // The pre-swap reference still reads its own version, un-torn.
+        assert_eq!(old.version(), 1);
+        assert_eq!(old.value(), &[1, 2, 3]);
+        assert_eq!(e.load().version(), 2);
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_a_torn_pair() {
+        // Every published value is (v, v): a reader that ever observes a
+        // mismatched pair, or a version going backwards, caught a tear.
+        let e = std::sync::Arc::new(Epoch::new((0u64, 0u64)));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let e = std::sync::Arc::clone(&e);
+                s.spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..20_000 {
+                        let v = e.load();
+                        let (a, b) = *v.value();
+                        assert_eq!(a, b, "torn value");
+                        assert_eq!(a + 1, v.version(), "value/version mismatch");
+                        assert!(v.version() >= last, "version went backwards");
+                        last = v.version();
+                    }
+                });
+            }
+            for i in 1..=500u64 {
+                e.store((i, i));
+            }
+        });
+        assert_eq!(e.version(), 501);
+    }
+
+    #[test]
+    fn writers_serialize_but_all_versions_land() {
+        let e = std::sync::Arc::new(Epoch::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let e = std::sync::Arc::clone(&e);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        e.store(7);
+                    }
+                });
+            }
+        });
+        assert_eq!(e.version(), 801, "every store got a distinct version");
+        assert_eq!(e.published(), 801);
+    }
+}
