@@ -4,8 +4,9 @@
 //! Each row times one kernel two ways on identical inputs:
 //!
 //! * **naive** — the reference path kept for exactly this purpose
-//!   (`sgemm_ref` triple loop / plan-free engines that re-derive packed
-//!   panels, FFT tables and Winograd filter transforms on every call);
+//!   (`sgemm_ref` triple loops, scalar per-tile Winograd transforms with
+//!   16/36 separate naive GEMMs, plan-free FFT that rebuilds tables and
+//!   filter spectra on every call);
 //! * **fast** — the register-blocked packed GEMM with a warm
 //!   [`ucudnn_conv::EnginePlan`], i.e. what a layer's second and later
 //!   micro-batches execute.
@@ -257,13 +258,15 @@ fn planned_conv_kernels(tag: &'static str, g: &ConvGeometry) -> Vec<Kernel<'stat
         });
     }
 
-    // Winograd F(2x2) forward: naive = plan-free (filter re-transformed and
-    // re-packed per call), fast = warm plan.
+    // Winograd F(2x2) forward: naive = scalar per-tile transforms and 16
+    // separate naive GEMMs, fast = strip-vectorized transforms writing
+    // ξ-major packed panels into one batched prepacked GEMM, warm plan.
     if winograd::supports(&g) {
         let (xa, wa) = (x.clone(), w.clone());
         let mut y = vec![0.0f32; y_len];
         let mut ws = vec![0.0f32; winograd::workspace_floats(&g)];
-        let naive = Box::new(move || winograd::forward(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws));
+        let naive =
+            Box::new(move || winograd::forward_ref(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws));
         let (xa, wa) = (x.clone(), w.clone());
         let mut y = vec![0.0f32; y_len];
         let mut ws = vec![0.0f32; winograd::workspace_floats(&g)];
@@ -288,7 +291,8 @@ fn planned_conv_kernels(tag: &'static str, g: &ConvGeometry) -> Vec<Kernel<'stat
         let (xa, wa) = (x.clone(), w.clone());
         let mut y = vec![0.0f32; y_len];
         let mut ws = vec![0.0f32; winograd_f4::workspace_floats(&g)];
-        let naive = Box::new(move || winograd_f4::forward(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws));
+        let naive =
+            Box::new(move || winograd_f4::forward_ref(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws));
         let (xa, wa) = (x.clone(), w.clone());
         let mut y = vec![0.0f32; y_len];
         let mut ws = vec![0.0f32; winograd_f4::workspace_floats(&g)];
@@ -314,13 +318,16 @@ fn planned_conv_kernels(tag: &'static str, g: &ConvGeometry) -> Vec<Kernel<'stat
         let (xa, wa) = (x.clone(), w.clone());
         let mut y = vec![0.0f32; y_len];
         let mut ws = vec![0.0f32; fft_conv::workspace_floats(&g, fft_conv::FftOp::Forward)];
-        let naive = Box::new(move || fft_conv::forward(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws));
+        let naive = Box::new(move || {
+            fft_conv::forward(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws).unwrap();
+        });
         let (xa, wa) = (x, w);
         let mut y = vec![0.0f32; y_len];
         let mut ws = vec![0.0f32; fft_conv::workspace_floats(&g, fft_conv::FftOp::Forward)];
         let mut plan = ucudnn_conv::plan::FftPlan::default();
         let fast = Box::new(move || {
-            fft_conv::forward_with_plan(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws, &mut plan);
+            fft_conv::forward_with_plan(&g, &xa, &wa, &mut y, 1.0, 0.0, &mut ws, &mut plan)
+                .unwrap();
         });
         kernels.push(Kernel {
             name: match tag {

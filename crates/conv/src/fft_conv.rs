@@ -18,8 +18,9 @@
 //!   the input with the output gradient, so
 //!   `dw[r] = IFFT(X ⊙ conj(DY))[(r - pad) mod F]` with `F ≥ H + Ho - 1`.
 
-use crate::fft::{next_pow2, C32};
+use crate::fft::{next_pow2, FftTables, C32};
 use crate::plan::{fingerprint_f32, FftPlan};
+use crate::{ConvError, EngineKind};
 use ucudnn_tensor::ConvGeometry;
 
 /// Why the FFT engine refuses a geometry.
@@ -85,6 +86,29 @@ pub fn workspace_floats(g: &ConvGeometry, op: FftOp) -> usize {
     2 * fh * fw * images
 }
 
+/// Borrow the (column, row) FFT tables out of a plan, verifying they exist
+/// and were built for this grid. A plan checked out in the wrong state (no
+/// tables, or tables for another geometry's grid) degrades to a typed
+/// [`ConvError::PlanState`] — the §9 degradation ladder turns that into a
+/// failed-execution status instead of aborting the worker.
+fn checked_tables(
+    tables: &Option<((usize, usize), FftTables, FftTables)>,
+    fh: usize,
+    fw: usize,
+) -> Result<(&FftTables, &FftTables), ConvError> {
+    match tables {
+        Some((dims, th, tw)) if *dims == (fh, fw) => Ok((th, tw)),
+        Some(_) => Err(ConvError::PlanState {
+            engine: EngineKind::Fft,
+            reason: "FFT plan tables were built for a different grid",
+        }),
+        None => Err(ConvError::PlanState {
+            engine: EngineKind::Fft,
+            reason: "FFT plan has no precomputed tables",
+        }),
+    }
+}
+
 /// Load a (h × w) real image into the top-left of an (fh × fw) complex grid.
 fn load(grid: &mut [C32], img: &[f32], h: usize, w: usize, fw: usize) {
     grid.fill(C32::default());
@@ -117,8 +141,8 @@ pub fn forward(
     alpha: f32,
     beta: f32,
     ws: &mut [f32],
-) {
-    forward_with_plan(g, x, w, y, alpha, beta, ws, &mut FftPlan::default());
+) -> Result<(), ConvError> {
+    forward_with_plan(g, x, w, y, alpha, beta, ws, &mut FftPlan::default())
 }
 
 /// [`forward`] with a reusable plan: FFT tables, scratch grids, and the
@@ -135,7 +159,7 @@ pub fn forward_with_plan(
     beta: f32,
     ws: &mut [f32],
     plan: &mut FftPlan,
-) {
+) -> Result<(), ConvError> {
     assert_supported(g);
     assert!(
         ws.len() >= workspace_floats(g, FftOp::Forward),
@@ -161,7 +185,7 @@ pub fn forward_with_plan(
         acc,
         b_fp,
     } = plan;
-    let (_, th, tw) = tables.as_ref().unwrap();
+    let (th, tw) = checked_tables(tables, fh, fw)?;
 
     // Spectra of every input channel-plane (per-call) ...
     a_spec.resize(n * c * gl, C32::default());
@@ -209,6 +233,7 @@ pub fn forward_with_plan(
             }
         }
     }
+    Ok(())
 }
 
 /// `dx = alpha * grad_x + beta * dx` via the convolution theorem.
@@ -220,8 +245,8 @@ pub fn backward_data(
     alpha: f32,
     beta: f32,
     ws: &mut [f32],
-) {
-    backward_data_with_plan(g, dy, w, dx, alpha, beta, ws, &mut FftPlan::default());
+) -> Result<(), ConvError> {
+    backward_data_with_plan(g, dy, w, dx, alpha, beta, ws, &mut FftPlan::default())
 }
 
 /// [`backward_data`] with a reusable plan (tables, scratch, filter spectra).
@@ -236,7 +261,7 @@ pub fn backward_data_with_plan(
     beta: f32,
     ws: &mut [f32],
     plan: &mut FftPlan,
-) {
+) -> Result<(), ConvError> {
     assert_supported(g);
     assert!(
         ws.len() >= workspace_floats(g, FftOp::BackwardData),
@@ -262,7 +287,7 @@ pub fn backward_data_with_plan(
         acc,
         b_fp,
     } = plan;
-    let (_, th, tw) = tables.as_ref().unwrap();
+    let (th, tw) = checked_tables(tables, fh, fw)?;
 
     a_spec.resize(n * k * gl, C32::default());
     for ni in 0..n {
@@ -308,6 +333,7 @@ pub fn backward_data_with_plan(
             }
         }
     }
+    Ok(())
 }
 
 /// `dw = alpha * grad_w + beta * dw` via the correlation theorem, reducing
@@ -320,8 +346,8 @@ pub fn backward_filter(
     alpha: f32,
     beta: f32,
     ws: &mut [f32],
-) {
-    backward_filter_with_plan(g, x, dy, dw, alpha, beta, ws, &mut FftPlan::default());
+) -> Result<(), ConvError> {
+    backward_filter_with_plan(g, x, dy, dw, alpha, beta, ws, &mut FftPlan::default())
 }
 
 /// [`backward_filter`] with a reusable plan. Both operands vary per call, so
@@ -337,7 +363,7 @@ pub fn backward_filter_with_plan(
     beta: f32,
     ws: &mut [f32],
     plan: &mut FftPlan,
-) {
+) -> Result<(), ConvError> {
     assert_supported(g);
     assert!(
         ws.len() >= workspace_floats(g, FftOp::BackwardFilter),
@@ -365,7 +391,7 @@ pub fn backward_filter_with_plan(
         acc,
         b_fp,
     } = plan;
-    let (_, th, tw) = tables.as_ref().unwrap();
+    let (th, tw) = checked_tables(tables, fh, fw)?;
     // Both spectra sets are per-call here; make sure a half-filled cache from
     // a mistakenly shared plan can never alias as valid filter spectra.
     *b_fp = None;
@@ -411,6 +437,7 @@ pub fn backward_filter_with_plan(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -458,7 +485,8 @@ mod tests {
                 1.0,
                 0.0,
                 &mut ws,
-            );
+            )
+            .unwrap();
             assert_all_close(&y_ref, &y, 2e-3);
         }
     }
@@ -487,7 +515,8 @@ mod tests {
                 1.0,
                 0.0,
                 &mut ws,
-            );
+            )
+            .unwrap();
             assert_all_close(&dx_ref, &dx, 2e-3);
         }
     }
@@ -516,7 +545,8 @@ mod tests {
                 1.0,
                 0.0,
                 &mut ws,
-            );
+            )
+            .unwrap();
             assert_all_close(&dw_ref, &dw, 5e-3);
         }
     }
@@ -546,7 +576,8 @@ mod tests {
             0.5,
             2.0,
             &mut ws,
-        );
+        )
+        .unwrap();
         assert_all_close(&y_ref, &y, 2e-3);
     }
 
@@ -567,7 +598,8 @@ mod tests {
                 1.0,
                 0.0,
                 &mut ws,
-            );
+            )
+            .unwrap();
 
             let mut plan = FftPlan::default();
             for _ in 0..3 {
@@ -581,7 +613,8 @@ mod tests {
                     0.0,
                     &mut ws,
                     &mut plan,
-                );
+                )
+                .unwrap();
                 for (a, b) in cold.as_slice().iter().zip(warm.as_slice()) {
                     assert_eq!(a.to_bits(), b.to_bits(), "plan path diverged ({g})");
                 }
@@ -599,7 +632,8 @@ mod tests {
                 1.0,
                 0.0,
                 &mut ws,
-            );
+            )
+            .unwrap();
             let mut plan = FftPlan::default();
             for _ in 0..2 {
                 let mut warm_dx = Tensor::zeros(g.input);
@@ -612,7 +646,8 @@ mod tests {
                     0.0,
                     &mut ws,
                     &mut plan,
-                );
+                )
+                .unwrap();
                 for (a, b) in cold_dx.as_slice().iter().zip(warm_dx.as_slice()) {
                     assert_eq!(a.to_bits(), b.to_bits(), "bwd-data plan diverged ({g})");
                 }
@@ -640,7 +675,8 @@ mod tests {
             0.0,
             &mut ws,
             &mut plan,
-        );
+        )
+        .unwrap();
         let mut cold = Tensor::zeros(g.output());
         forward(
             &g,
@@ -650,7 +686,8 @@ mod tests {
             1.0,
             0.0,
             &mut ws,
-        );
+        )
+        .unwrap();
         let mut warm = Tensor::zeros(g.output());
         forward_with_plan(
             &g,
@@ -661,10 +698,32 @@ mod tests {
             0.0,
             &mut ws,
             &mut plan,
-        );
+        )
+        .unwrap();
         for (a, b) in cold.as_slice().iter().zip(warm.as_slice()) {
             assert_eq!(a.to_bits(), b.to_bits(), "stale filter spectra reused");
         }
+    }
+
+    #[test]
+    fn missing_or_mismatched_tables_degrade_not_panic() {
+        // A plan checked out in the wrong state must surface a typed
+        // PlanState error (the degradation ladder's input), never panic.
+        let err = checked_tables(&None, 8, 8).unwrap_err();
+        assert!(matches!(
+            err,
+            ConvError::PlanState {
+                engine: EngineKind::Fft,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("no precomputed tables"));
+
+        let mut plan = FftPlan::default();
+        plan.ensure_tables(8, 8);
+        assert!(checked_tables(&plan.tables, 8, 8).is_ok());
+        let err = checked_tables(&plan.tables, 16, 16).unwrap_err();
+        assert!(err.to_string().contains("different grid"));
     }
 
     #[test]

@@ -123,7 +123,12 @@ fn packed_a_len(m: usize, k: usize) -> usize {
     m.div_ceil(MR) * MR * k
 }
 
-fn packed_b_len(k: usize, n: usize) -> usize {
+/// Length in `f32` elements of a packed `op(B)` (`k x n`) operand:
+/// `ceil(n/NR)` zero-padded column panels, k-major within each panel —
+/// element `(p, j)` of panel `pj` lives at `pj*NR*k + p*NR + j`. Callers
+/// that produce the packed layout directly (the Winograd input transform,
+/// the fused im2col pack) size their buffers with this.
+pub fn packed_b_len(k: usize, n: usize) -> usize {
     n.div_ceil(NR) * NR * k
 }
 
@@ -155,7 +160,10 @@ fn pack_a_into(trans_a: Trans, m: usize, k: usize, a: &[f32], buf: &mut Vec<f32>
     }
 }
 
-fn pack_b_into(trans_b: Trans, k: usize, n: usize, b: &[f32], buf: &mut Vec<f32>) {
+/// Pack `op(B)` (`k x n`) into the [`packed_b_len`] panel layout. Exposed so
+/// producers that write the packed layout directly (and the property tests
+/// pinning them) can compare against the canonical packing of a dense matrix.
+pub fn pack_b_into(trans_b: Trans, k: usize, n: usize, b: &[f32], buf: &mut Vec<f32>) {
     buf.clear();
     buf.resize(packed_b_len(k, n), 0.0);
     for pj in 0..n.div_ceil(NR) {
@@ -347,6 +355,89 @@ pub fn sgemm_prepacked_a(
         pack_b_into(trans_b, k, n, b, &mut s.b);
         gemm_packed(m, n, k, alpha, &pa.buf, &s.b, beta, c);
     });
+}
+
+/// [`sgemm`] with *both* operands pre-packed: `op(A)` by [`pack_a`] and
+/// `op(B)` already laid out in [`packed_b_len`] panels (by [`pack_b_into`]
+/// or by a producer that writes panels directly, like the fused im2col
+/// lowering). Skips the per-call B packing pass and its scratch copy;
+/// bit-identical to the pack-then-multiply path because the macro loop and
+/// micro-kernel are the same code.
+///
+/// # Panics
+/// Panics when `pb` or `c` is smaller than its shape requires.
+pub fn sgemm_prepacked(pa: &PackedA, n: usize, alpha: f32, pb: &[f32], beta: f32, c: &mut [f32]) {
+    let (m, k) = (pa.m, pa.k);
+    assert!(
+        pb.len() >= packed_b_len(k, n),
+        "packed B too small: {} < {}",
+        pb.len(),
+        packed_b_len(k, n)
+    );
+    assert!(c.len() >= m * n, "C too small: {} < {}", c.len(), m * n);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        scale_beta(&mut c[..m * n], beta);
+        return;
+    }
+    gemm_packed(m, n, k, alpha, &pa.buf, pb, beta, c);
+}
+
+/// One batched multi-RHS GEMM over a ξ-major packed layout: for each ξ,
+/// `C[ξ] = alpha * A[ξ] @ B[ξ] + beta * C[ξ]` where `pas[ξ]` is a packed
+/// `m x k` operand (all ξ's must share `m` and `k`), `pb` holds `pas.len()`
+/// consecutive [`packed_b_len`]`(k, n)` slabs, and `c` holds `pas.len()`
+/// consecutive `m x n` result slabs.
+///
+/// This is the Winograd engines' execution shape: the 16/36 per-ξ tile
+/// products run as one call over panels the input transform wrote in place,
+/// with the packed filter panels (`pas`) replayed across micro-batches.
+/// Bit-identical to looping [`sgemm_prepacked`] per ξ.
+///
+/// # Panics
+/// Panics when the ξ's disagree on `m`/`k` or a buffer is undersized.
+pub fn sgemm_prepacked_batch(
+    pas: &[PackedA],
+    n: usize,
+    alpha: f32,
+    pb: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    let Some(first) = pas.first() else { return };
+    let (m, k) = (first.m, first.k);
+    assert!(
+        pas.iter().all(|p| p.m == m && p.k == k),
+        "batched A operands must share m and k"
+    );
+    let pbl = packed_b_len(k, n);
+    assert!(
+        pb.len() >= pas.len() * pbl,
+        "packed B too small: {} < {}",
+        pb.len(),
+        pas.len() * pbl
+    );
+    assert!(
+        c.len() >= pas.len() * m * n,
+        "C too small: {} < {}",
+        c.len(),
+        pas.len() * m * n
+    );
+    for (xi, pa) in pas.iter().enumerate() {
+        if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+            scale_beta(&mut c[xi * m * n..(xi + 1) * m * n], beta);
+            continue;
+        }
+        gemm_packed(
+            m,
+            n,
+            k,
+            alpha,
+            &pa.buf,
+            &pb[xi * pbl..(xi + 1) * pbl],
+            beta,
+            &mut c[xi * m * n..(xi + 1) * m * n],
+        );
+    }
 }
 
 /// The retained naive reference: the cache-blocked ikj kernel that predates
@@ -573,6 +664,55 @@ mod tests {
         let want = naive(Trans::Yes, Trans::No, m, n, k, &a, &b);
         for (x, y) in c.iter().zip(&want) {
             assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn prepacked_b_matches_pack_then_multiply() {
+        let (m, n, k) = (11, 19, 23);
+        let a = fill(m * k, 8);
+        let b = fill(k * n, 9);
+        let pa = pack_a(Trans::No, m, k, &a);
+        let mut pb = Vec::new();
+        pack_b_into(Trans::No, k, n, &b, &mut pb);
+        assert_eq!(pb.len(), packed_b_len(k, n));
+        let mut c = vec![3.0; m * n];
+        let mut want = vec![3.0; m * n];
+        sgemm_prepacked_a(&pa, Trans::No, n, 0.5, &b, 2.0, &mut want);
+        sgemm_prepacked(&pa, n, 0.5, &pb, 2.0, &mut c);
+        assert_eq!(c, want, "caller-packed B must be bit-identical");
+    }
+
+    #[test]
+    fn batched_matches_per_xi_loop() {
+        let (m, n, k, xis) = (7, 18, 5, 4);
+        let pbl = packed_b_len(k, n);
+        let mut pas = Vec::new();
+        let mut pb_all = vec![0.0f32; xis * pbl];
+        for xi in 0..xis {
+            let a = fill(m * k, 100 + xi as u64);
+            pas.push(pack_a(Trans::No, m, k, &a));
+            let b = fill(k * n, 200 + xi as u64);
+            let mut pb = Vec::new();
+            pack_b_into(Trans::No, k, n, &b, &mut pb);
+            pb_all[xi * pbl..(xi + 1) * pbl].copy_from_slice(&pb);
+        }
+        let mut want = vec![f32::NAN; xis * m * n];
+        for (xi, pa) in pas.iter().enumerate() {
+            sgemm_prepacked(
+                pa,
+                n,
+                1.0,
+                &pb_all[xi * pbl..(xi + 1) * pbl],
+                0.0,
+                &mut want[xi * m * n..(xi + 1) * m * n],
+            );
+        }
+        let mut c = vec![f32::NAN; xis * m * n];
+        sgemm_prepacked_batch(&pas, n, 1.0, &pb_all, 0.0, &mut c);
+        assert!(c.iter().all(|v| v.is_finite()), "beta=0 must not read C");
+        for (x, y) in c.iter().zip(&want) {
+            assert_eq!(x.to_bits(), y.to_bits(), "batched path diverged");
         }
     }
 

@@ -6,11 +6,71 @@
 //! `(K, C*R*S)` filter matrix. `col2im` is the adjoint scatter-add used for
 //! the data gradient.
 
+use crate::gemm::{packed_b_len, NR};
 use ucudnn_tensor::ConvGeometry;
 
 /// Number of `f32` elements in the column matrix for a single sample.
 pub fn col_len(g: &ConvGeometry) -> usize {
     g.input.c * g.filter.r * g.filter.s * g.out_h() * g.out_w()
+}
+
+/// Number of `f32` elements of [`im2col_packed_b`] output for one sample:
+/// the column matrix rounded up to whole NR panels (`>=` [`col_len`]).
+pub fn packed_col_len(g: &ConvGeometry) -> usize {
+    packed_b_len(g.input.c * g.filter.r * g.filter.s, g.out_h() * g.out_w())
+}
+
+/// Fused im2col + B-pack: lower one sample `x` of shape (C, H, W) straight
+/// into the packed-B panel layout of [`crate::gemm::sgemm_prepacked`],
+/// without materializing the `(C*R*S) x (Ho*Wo)` column matrix first.
+/// Bit-identical to `im2col` followed by `pack_b_into` (both zero-fill
+/// out-of-bounds taps and the edge panel's padding columns).
+///
+/// # Panics
+/// Panics when buffer sizes do not match the geometry.
+pub fn im2col_packed_b(g: &ConvGeometry, x: &[f32], buf: &mut [f32]) {
+    let (c, h, w) = (g.input.c, g.input.h, g.input.w);
+    let (r, s) = (g.filter.r, g.filter.s);
+    let (ho, wo) = (g.out_h(), g.out_w());
+    let crs = c * r * s;
+    let howo = ho * wo;
+    assert_eq!(x.len(), c * h * w, "sample buffer mismatch");
+    assert_eq!(buf.len(), packed_col_len(g), "packed col buffer mismatch");
+
+    for pj in 0..howo.div_ceil(NR) {
+        let cols = NR.min(howo - pj * NR);
+        let panel = &mut buf[pj * NR * crs..(pj + 1) * NR * crs];
+        // Per-lane output coordinates for this panel of columns.
+        let mut op = [0usize; NR];
+        let mut oq = [0usize; NR];
+        for j in 0..cols {
+            let col = pj * NR + j;
+            op[j] = col / wo;
+            oq[j] = col % wo;
+        }
+        let mut row = 0usize;
+        for ci in 0..c {
+            let xc = &x[ci * h * w..(ci + 1) * h * w];
+            for ri in 0..r {
+                for si in 0..s {
+                    let dst = &mut panel[row * NR..(row + 1) * NR];
+                    row += 1;
+                    for j in 0..cols {
+                        let ih = (op[j] * g.stride_h + ri) as isize - g.pad_h as isize;
+                        let iw = (oq[j] * g.stride_w + si) as isize - g.pad_w as isize;
+                        dst[j] = if ih < 0 || ih >= h as isize || iw < 0 || iw >= w as isize {
+                            0.0
+                        } else {
+                            xc[ih as usize * w + iw as usize]
+                        };
+                    }
+                    // Padding lanes of the edge panel stay zero, matching
+                    // pack_b_into's zero-fill.
+                    dst[cols..].fill(0.0);
+                }
+            }
+        }
+    }
 }
 
 /// Lower one sample `x` of shape (C, H, W) into `col` (row-major
@@ -149,6 +209,32 @@ mod tests {
                 (lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0),
                 "pad={pad} stride={stride}"
             );
+        }
+    }
+
+    #[test]
+    fn fused_pack_matches_im2col_then_pack_b() {
+        use crate::gemm::{pack_b_into, Trans};
+        for (pad, stride) in [(0usize, 1usize), (1, 1), (2, 2), (1, 3)] {
+            let g = ConvGeometry::with_square(
+                Shape4::new(1, 3, 9, 7),
+                FilterShape::new(2, 3, 3, 3),
+                pad,
+                stride,
+            );
+            let x = Tensor::random(g.input.with_batch(1), 41);
+            let crs = g.input.c * g.filter.r * g.filter.s;
+            let howo = g.out_h() * g.out_w();
+            let mut col = vec![0.0; col_len(&g)];
+            im2col(&g, x.as_slice(), &mut col);
+            let mut unfused = Vec::new();
+            pack_b_into(Trans::No, crs, howo, &col, &mut unfused);
+            let mut fused = vec![f32::NAN; packed_col_len(&g)];
+            im2col_packed_b(&g, x.as_slice(), &mut fused);
+            assert_eq!(unfused.len(), fused.len());
+            for (a, b) in unfused.iter().zip(&fused) {
+                assert_eq!(a.to_bits(), b.to_bits(), "pad={pad} stride={stride}");
+            }
         }
     }
 

@@ -1,20 +1,27 @@
 //! The im2col + GEMM convolution engine (cuDNN `ALGO_GEMM` analogue).
 //!
-//! Each sample is lowered to a column matrix in caller-provided workspace and
-//! multiplied against the filter matrix. The explicit lowering is what gives
-//! this algorithm its workspace appetite in cuDNN; here the CPU engine uses a
-//! single-sample column buffer (correctness is the goal — the *model* of the
-//! GPU algorithm's workspace lives in `ucudnn-gpu-model`).
+//! Each sample is lowered in caller-provided workspace and multiplied
+//! against the filter matrix. The forward path fuses the lowering with GEMM
+//! operand packing ([`crate::im2col::im2col_packed_b`]): columns are written
+//! straight into packed-B panels, so no separate `(C*R*S) x (Ho*Wo)` im2col
+//! matrix is materialized and the GEMM skips its internal packing pass. The
+//! backward paths still use the explicit column buffer (the data gradient
+//! *produces* columns; the filter gradient consumes them as the transposed
+//! operand). The explicit lowering is what gives this algorithm its
+//! workspace appetite in cuDNN; the *model* of the GPU algorithm's workspace
+//! lives in `ucudnn-gpu-model`.
 
-use crate::gemm::{sgemm, sgemm_prepacked_a, Trans};
-use crate::im2col::{col2im_add, col_len, im2col};
+use crate::gemm::{sgemm, sgemm_prepacked, sgemm_prepacked_a, Trans};
+use crate::im2col::{col2im_add, im2col, im2col_packed_b, packed_col_len};
 use crate::plan::GemmPlan;
 use ucudnn_tensor::ConvGeometry;
 
 /// Workspace (in `f32` elements) required by this engine for any of the
-/// three convolution operations.
+/// three convolution operations: the single-sample column buffer, rounded up
+/// to whole packed-B panels for the fused forward path
+/// (`packed_col_len >= col_len`, so the backward paths fit too).
 pub fn workspace_floats(g: &ConvGeometry) -> usize {
-    col_len(g)
+    packed_col_len(g)
 }
 
 fn check_ws(g: &ConvGeometry, ws: &[f32]) {
@@ -65,16 +72,16 @@ pub fn forward_with_plan(
     assert_eq!(y.len(), n * out_sample, "y buffer mismatch");
 
     let packed_w = plan.packed_forward(k, crs, w);
-    let col = &mut ws[..crs * howo];
+    let pcol = &mut ws[..packed_col_len(g)];
     for ni in 0..n {
-        im2col(g, &x[ni * in_sample..(ni + 1) * in_sample], col);
+        // Fused im2col + pack: columns land directly in packed-B panels.
+        im2col_packed_b(g, &x[ni * in_sample..(ni + 1) * in_sample], pcol);
         // y[n] (K x HoWo) = alpha * W (K x CRS) @ col (CRS x HoWo) + beta * y[n]
-        sgemm_prepacked_a(
+        sgemm_prepacked(
             packed_w,
-            Trans::No,
             howo,
             alpha,
-            col,
+            pcol,
             beta,
             &mut y[ni * out_sample..(ni + 1) * out_sample],
         );

@@ -106,6 +106,15 @@ pub enum ConvError {
         /// Elements provided.
         got: usize,
     },
+    /// A caller-held plan arrived in a state the engine cannot execute
+    /// (e.g. an FFT plan without tables for this grid). Callers should
+    /// degrade to planless execution rather than abort.
+    PlanState {
+        /// Engine that refused the plan.
+        engine: EngineKind,
+        /// Human-readable description of the bad state.
+        reason: &'static str,
+    },
 }
 
 impl core::fmt::Display for ConvError {
@@ -116,6 +125,9 @@ impl core::fmt::Display for ConvError {
             }
             ConvError::WorkspaceTooSmall { need, got } => {
                 write!(f, "workspace too small: need {need} floats, got {got}")
+            }
+            ConvError::PlanState { engine, reason } => {
+                write!(f, "{engine:?} plan unusable: {reason}")
             }
         }
     }
@@ -261,13 +273,13 @@ pub fn exec_with_plan(
             im2col_gemm::backward_filter(g, a, b, out, alpha, beta, ws)
         }
         (EngineKind::Fft, ConvOp::Forward, EnginePlan::Fft(p)) => {
-            fft_conv::forward_with_plan(g, a, b, out, alpha, beta, ws, p)
+            return fft_conv::forward_with_plan(g, a, b, out, alpha, beta, ws, p)
         }
         (EngineKind::Fft, ConvOp::BackwardData, EnginePlan::Fft(p)) => {
-            fft_conv::backward_data_with_plan(g, a, b, out, alpha, beta, ws, p)
+            return fft_conv::backward_data_with_plan(g, a, b, out, alpha, beta, ws, p)
         }
         (EngineKind::Fft, ConvOp::BackwardFilter, EnginePlan::Fft(p)) => {
-            fft_conv::backward_filter_with_plan(g, a, b, out, alpha, beta, ws, p)
+            return fft_conv::backward_filter_with_plan(g, a, b, out, alpha, beta, ws, p)
         }
         (EngineKind::Winograd, ConvOp::Forward, EnginePlan::Winograd(p)) => {
             winograd::forward_with_plan(g, a, b, out, alpha, beta, ws, p)

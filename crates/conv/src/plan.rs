@@ -55,22 +55,25 @@ impl GemmPlan {
     }
 
     /// Packed `W` (`K x CRS`) for the forward GEMM, repacking only when the
-    /// filter bits changed since the last call.
+    /// filter bits changed since the last call. A plan checked out with the
+    /// wrong shape (or for the wrong direction) is repacked in place rather
+    /// than trusted — there is no panicking checkout path.
     pub(crate) fn packed_forward(&mut self, k: usize, crs: usize, w: &[f32]) -> &PackedA {
         self.revalidate(w);
         if self.fwd.as_ref().is_none_or(|p| p.m() != k || p.k() != crs) {
-            self.fwd = Some(pack_a(Trans::No, k, crs, w));
+            self.fwd = None;
         }
-        self.fwd.as_ref().unwrap()
+        self.fwd.get_or_insert_with(|| pack_a(Trans::No, k, crs, w))
     }
 
     /// Packed `Wᵀ` (`CRS x K`) for the backward-data GEMM.
     pub(crate) fn packed_backward_data(&mut self, crs: usize, k: usize, w: &[f32]) -> &PackedA {
         self.revalidate(w);
         if self.bwd.as_ref().is_none_or(|p| p.m() != crs || p.k() != k) {
-            self.bwd = Some(pack_a(Trans::Yes, crs, k, w));
+            self.bwd = None;
         }
-        self.bwd.as_ref().unwrap()
+        self.bwd
+            .get_or_insert_with(|| pack_a(Trans::Yes, crs, k, w))
     }
 
     /// Heap bytes held.
@@ -127,21 +130,30 @@ impl FftPlan {
     }
 }
 
-/// Cached state for the Winograd engines: the transformed filter `U`, packed
-/// per ξ as the `A` operand of the per-ξ GEMMs. `tiles` is 16 for
-/// F(2×2, 3×3) and 36 for F(4×4, 3×3).
+/// Which use of a Winograd plan a checkout is for. Forward transforms the
+/// filter as stored; backward-data transforms the rotated, channel-transposed
+/// filter — different bits, different fingerprint, so the two directions get
+/// separate slots instead of thrashing (or worse, serving) each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WinogradDir {
+    /// Forward convolution on the filter as stored.
+    Fwd,
+    /// Backward-data on the flipped filter.
+    Bwd,
+}
+
+/// One direction's cached state: the transformed filter `U`, packed per ξ as
+/// the `A` operand of the batched per-ξ GEMM. `tiles` is 16 for F(2×2, 3×3)
+/// and 36 for F(4×4, 3×3).
 #[derive(Debug, Default)]
-pub struct WinogradPlan {
+struct WinogradSlot {
     fp: Option<u64>,
     tiles: usize,
     u_packed: Vec<PackedA>,
 }
 
-impl WinogradPlan {
-    /// Packed `U[ξ]` panels for a filter, re-deriving them via `transform`
-    /// (which must fill a `tiles*k*c` buffer in ξ-major `[ξ][k][c]` layout)
-    /// only when the filter bits changed.
-    pub(crate) fn packed_u(
+impl WinogradSlot {
+    fn packed_u(
         &mut self,
         tiles: usize,
         k: usize,
@@ -169,9 +181,43 @@ impl WinogradPlan {
         &self.u_packed
     }
 
-    /// Heap bytes held.
-    pub fn bytes(&self) -> usize {
+    fn bytes(&self) -> usize {
         self.u_packed.iter().map(PackedA::bytes).sum()
+    }
+}
+
+/// Cached state for the Winograd engines, one [`WinogradSlot`] per direction.
+/// A plan checked out for the "wrong" direction simply fills the other slot —
+/// every checkout path degrades to re-deriving state, never to a panic.
+#[derive(Debug, Default)]
+pub struct WinogradPlan {
+    fwd: WinogradSlot,
+    bwd: WinogradSlot,
+}
+
+impl WinogradPlan {
+    /// Packed `U[ξ]` panels for a filter in direction `dir`, re-deriving them
+    /// via `transform` (which must fill a `tiles*k*c` buffer in ξ-major
+    /// `[ξ][k][c]` layout) only when the filter bits changed.
+    pub(crate) fn packed_u(
+        &mut self,
+        dir: WinogradDir,
+        tiles: usize,
+        k: usize,
+        c: usize,
+        w: &[f32],
+        transform: impl FnOnce(&mut [f32]),
+    ) -> &[PackedA] {
+        let slot = match dir {
+            WinogradDir::Fwd => &mut self.fwd,
+            WinogradDir::Bwd => &mut self.bwd,
+        };
+        slot.packed_u(tiles, k, c, w, transform)
+    }
+
+    /// Heap bytes held across both direction slots (LRU byte accounting).
+    pub fn bytes(&self) -> usize {
+        self.fwd.bytes() + self.bwd.bytes()
     }
 }
 
@@ -246,6 +292,41 @@ mod tests {
         let before = plan.bytes();
         plan.packed_forward(3, 4, &w1);
         assert!(plan.bytes() < before, "stale backward pack must be dropped");
+    }
+
+    #[test]
+    fn gemm_plan_survives_wrong_shape_checkout() {
+        // A plan checked out with a mismatched shape (e.g. reused across
+        // geometries or directions) must repack, not panic.
+        let w = vec![1.0f32; 24];
+        let mut plan = GemmPlan::default();
+        plan.packed_forward(4, 6, &w);
+        let p = plan.packed_forward(2, 12, &w);
+        assert_eq!((p.m(), p.k()), (2, 12));
+        let p = plan.packed_backward_data(12, 2, &w);
+        assert_eq!((p.m(), p.k()), (12, 2));
+    }
+
+    #[test]
+    fn winograd_plan_keeps_both_directions_warm() {
+        // Forward and backward-data transform different filter bits; with
+        // per-direction slots, alternating directions must not thrash.
+        let wf = vec![1.0f32; 2 * 3 * 9];
+        let wb = vec![2.0f32; 3 * 2 * 9];
+        let mut plan = WinogradPlan::default();
+        let mut derived = 0u32;
+        for _ in 0..3 {
+            plan.packed_u(WinogradDir::Fwd, 16, 2, 3, &wf, |u| {
+                derived += 1;
+                u.fill(1.0);
+            });
+            plan.packed_u(WinogradDir::Bwd, 16, 3, 2, &wb, |u| {
+                derived += 1;
+                u.fill(2.0);
+            });
+        }
+        assert_eq!(derived, 2, "each direction derives once, then stays warm");
+        assert!(plan.bytes() > 0);
     }
 
     #[test]

@@ -3,17 +3,34 @@
 //! Uses the minimal-filtering identity `Y = Aᵀ[(G g Gᵀ) ⊙ (Bᵀ d B)]A`, which
 //! computes one 2×2 output tile from a 4×4 input tile with 16 multiplies
 //! instead of 36 — a 2.25× reduction, the source of Winograd's speed on
-//! small kernels. The per-ξ elementwise products over channels are batched
-//! into 16 GEMMs of shape (K×C)·(C×T), the standard "non-fused" layout whose
+//! small kernels. The per-ξ elementwise products over channels form the
+//! standard "non-fused" layout `M[ξ] (K×T) = U[ξ] (K×C) @ V[ξ] (C×T)` whose
 //! transformed-tile buffers scale with the batch size (so micro-batching
 //! shrinks them, as Fig. 9's `all` policy exploits).
+//!
+//! # Execution path
+//!
+//! The fast path runs the 16 per-ξ products as **one batched multi-RHS
+//! prepacked GEMM** ([`crate::gemm::sgemm_prepacked_batch`]): the input
+//! transform processes tiles in [`NR`]-sized strips and writes `V` directly
+//! in the ξ-major packed-B panel layout (contiguous `NR`-float runs, no
+//! separate packing pass), while the transformed filter `U` is packed once
+//! in the [`WinogradPlan`] and replayed across micro-batches. The output
+//! transform gathers `NR` contiguous products per ξ and scatters clipped
+//! 2×2 tiles. Transforms are lane-wise over the strip with the exact same
+//! per-element arithmetic as the scalar reference, so the fast path is
+//! deterministic and plan-warm/plan-cold byte-identical.
+//!
+//! [`forward_ref`] / [`backward_data_ref`] retain the scalar per-tile
+//! transforms and per-ξ [`sgemm_ref`] products as the naive baseline the
+//! `hotpath` benchmark and the oracle tests compare against.
 //!
 //! Supported geometries mirror cuDNN: 3×3 filters, unit stride, pad ≤ 2;
 //! Forward and BackwardData only (BackwardData is Forward on the
 //! channel-transposed, 180°-rotated filter with complementary padding).
 
-use crate::gemm::{sgemm_prepacked_a, Trans};
-use crate::plan::WinogradPlan;
+use crate::gemm::{packed_b_len, sgemm_prepacked_batch, sgemm_ref, Trans, NR};
+use crate::plan::{WinogradDir, WinogradPlan};
 use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
 
 /// True when this engine can run the geometry for forward / backward-data.
@@ -38,13 +55,26 @@ fn tiles(g: &ConvGeometry) -> (usize, usize) {
     (g.out_h().div_ceil(2), g.out_w().div_ceil(2))
 }
 
-/// Workspace in `f32` elements: transformed filters (16·K·C), transformed
-/// input tiles (16·C·T) and product accumulators (16·K·T), `T = N·th·tw`.
+/// Workspace in `f32` elements: filter-transform staging (16·K·C, used by
+/// the reference path), transformed input tiles in ξ-major packed-B panel
+/// layout (`16 · packed_b_len(C, T) ≥ 16·C·T`) and product accumulators
+/// (16·K·T rounded up to a whole [`NR`]-tile strip), `T = N·th·tw`.
 pub fn workspace_floats(g: &ConvGeometry) -> usize {
     let (th, tw) = tiles(g);
     let t = g.input.n * th * tw;
     let (k, c) = (g.filter.k, g.input.c);
-    16 * (k * c + c * t + k * t)
+    16 * (k * c + k * t.div_ceil(NR) * NR) + 16 * packed_b_len(c, t)
+}
+
+/// cuDNN-semantics writeback: `beta == 0` must not read `y` — NaN or Inf
+/// garbage in an uninitialized output buffer is overwritten, not propagated.
+#[inline(always)]
+pub(crate) fn write_out(y: &mut f32, v: f32, alpha: f32, beta: f32) {
+    *y = if beta == 0.0 {
+        alpha * v
+    } else {
+        alpha * v + beta * *y
+    };
 }
 
 /// `U = G g Gᵀ` for one 3×3 filter plane, scattered into 16 strided slots.
@@ -67,7 +97,8 @@ fn transform_filter(gplane: &[f32], out: &mut [f32], stride: usize) {
     }
 }
 
-/// `V = Bᵀ d B` for one 4×4 input tile, scattered into 16 strided slots.
+/// `V = Bᵀ d B` for one 4×4 input tile, scattered into 16 strided slots
+/// (scalar reference; the fast path runs the same arithmetic lane-wise).
 fn transform_input(d: &[f32; 16], out: &mut [f32], stride: usize) {
     // Bᵀ = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]]
     let mut tmp = [0.0f32; 16]; // Bᵀ d
@@ -133,6 +164,21 @@ pub fn forward_with_plan(
     ws: &mut [f32],
     plan: &mut WinogradPlan,
 ) {
+    forward_impl(g, x, w, y, alpha, beta, ws, plan, WinogradDir::Fwd);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn forward_impl(
+    g: &ConvGeometry,
+    x: &[f32],
+    w: &[f32],
+    y: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+    plan: &mut WinogradPlan,
+    dir: WinogradDir,
+) {
     assert_supported(g);
     assert!(ws.len() >= workspace_floats(g), "workspace too small");
     let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
@@ -144,17 +190,21 @@ pub fn forward_with_plan(
     assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
     assert_eq!(y.len(), g.output().len(), "y buffer mismatch");
 
-    // Workspace layout: U[16][K][C] | V[16][C][T] | M[16][K][T]. The plan
-    // path leaves the U region untouched (U lives packed in the plan) but
-    // the layout — and therefore `workspace_floats` — is unchanged.
+    // Live regions: Ustage[16·K·C] (reference path only; the plan path
+    // keeps U packed in the plan) | Vstrip[16·C·NR] | Mstrip[16·K·NR].
+    // The pipeline is cache-blocked per tile strip: transform NR tiles,
+    // run the batched GEMM on the strip, transform the products out — the
+    // strip operands stay L1/L2-resident instead of streaming full-T
+    // V and M buffers through memory between phases.
+    let pbl_strip = NR * c; // one packed-B panel per ξ
     let (_, rest) = ws.split_at_mut(16 * k * c);
-    let (v_buf, m_rest) = rest.split_at_mut(16 * c * t);
-    let m_buf = &mut m_rest[..16 * k * t];
+    let (v_strip, m_rest) = rest.split_at_mut(16 * pbl_strip);
+    let m_strip = &mut m_rest[..16 * k * NR];
 
     // 1. Filter transform: U[ξ][ki][ci], element stride between ξ's is K*C —
     //    derived and packed once per distinct filter, reused across
     //    micro-batches and iterations until the weights change.
-    let u_packed = plan.packed_u(16, k, c, w, |u| {
+    let u_packed = plan.packed_u(dir, 16, k, c, w, |u| {
         for ki in 0..k {
             for ci in 0..c {
                 transform_filter(
@@ -166,7 +216,184 @@ pub fn forward_with_plan(
         }
     });
 
-    // 2. Input transform: V[ξ][ci][tile].
+    // 2. Per-strip fused pipeline. For each NR-tile strip: gather each
+    //    lane's 4×4 tile into SoA registers, run Bᵀ·d·B lane-wise (same
+    //    per-element arithmetic as the scalar reference) writing each ξ's
+    //    strip as one contiguous NR-float packed-B panel; run the batched
+    //    multi-RHS GEMM over all 16 ξ on the strip; then gather the NR
+    //    contiguous products per ξ and run Aᵀ·M·A lane-wise with clipped
+    //    2×2 scatter. Padding lanes of the edge strip stay zero, matching
+    //    pack_b_into, so the GEMM on the full NR panel yields zeros there.
+    let tpi = th * tw;
+    let hw = h * wd;
+    for pj in 0..t.div_ceil(NR) {
+        let lanes = NR.min(t - pj * NR);
+        let mut plane0 = [0usize; NR];
+        let mut loh = [0isize; NR];
+        let mut low = [0isize; NR];
+        for l in 0..lanes {
+            let ti = pj * NR + l;
+            let (ni, rem) = (ti / tpi, ti % tpi);
+            let (tp, tq) = (rem / tw, rem % tw);
+            plane0[l] = ni * c * hw;
+            loh[l] = (2 * tp) as isize - g.pad_h as isize;
+            low[l] = (2 * tq) as isize - g.pad_w as isize;
+        }
+        let mut d = [[0.0f32; NR]; 16];
+        for ci in 0..c {
+            for l in 0..lanes {
+                let plane = &x[plane0[l] + ci * hw..plane0[l] + (ci + 1) * hw];
+                let (oh, ow) = (loh[l], low[l]);
+                if oh >= 0 && ow >= 0 && oh + 3 < h as isize && ow + 3 < wd as isize {
+                    // Interior tile: four contiguous 4-float rows.
+                    for i in 0..4 {
+                        let row = &plane[(oh as usize + i) * wd + ow as usize..][..4];
+                        for j in 0..4 {
+                            d[4 * i + j][l] = row[j];
+                        }
+                    }
+                } else {
+                    for i in 0..4 {
+                        let ih = oh + i as isize;
+                        let row_ok = ih >= 0 && ih < h as isize;
+                        for j in 0..4 {
+                            let iw = ow + j as isize;
+                            d[4 * i + j][l] = if row_ok && iw >= 0 && iw < wd as isize {
+                                plane[ih as usize * wd + iw as usize]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                }
+            }
+            let mut tmp = [[0.0f32; NR]; 16];
+            for j in 0..4 {
+                for l in 0..NR {
+                    let (d0, d1, d2, d3) = (d[j][l], d[4 + j][l], d[8 + j][l], d[12 + j][l]);
+                    tmp[j][l] = d0 - d2;
+                    tmp[4 + j][l] = d1 + d2;
+                    tmp[8 + j][l] = d2 - d1;
+                    tmp[12 + j][l] = d1 - d3;
+                }
+            }
+            let mut v = [[0.0f32; NR]; 16];
+            for i in 0..4 {
+                for l in 0..NR {
+                    let (t0, t1, t2, t3) = (
+                        tmp[4 * i][l],
+                        tmp[4 * i + 1][l],
+                        tmp[4 * i + 2][l],
+                        tmp[4 * i + 3][l],
+                    );
+                    v[4 * i][l] = t0 - t2;
+                    v[4 * i + 1][l] = t1 + t2;
+                    v[4 * i + 2][l] = t2 - t1;
+                    v[4 * i + 3][l] = t1 - t3;
+                }
+            }
+            let pbase = ci * NR;
+            for (xi, vrow) in v.iter().enumerate() {
+                v_strip[xi * pbl_strip + pbase..xi * pbl_strip + pbase + NR].copy_from_slice(vrow);
+            }
+        }
+
+        // Batched multi-RHS GEMM on the strip:
+        // M[ξ] (K×NR) = U[ξ] (K×C) @ V[ξ] (C×NR), operands L2-resident.
+        sgemm_prepacked_batch(u_packed, NR, 1.0, v_strip, 0.0, m_strip);
+
+        for ki in 0..k {
+            let mut m = [[0.0f32; NR]; 16];
+            for (xi, mrow) in m.iter_mut().enumerate() {
+                mrow.copy_from_slice(&m_strip[xi * k * NR + ki * NR..][..NR]);
+            }
+            let mut tmp = [[0.0f32; NR]; 8];
+            for j in 0..4 {
+                for l in 0..NR {
+                    let (m0, m1, m2, m3) = (m[j][l], m[4 + j][l], m[8 + j][l], m[12 + j][l]);
+                    tmp[j][l] = m0 + m1 + m2;
+                    tmp[4 + j][l] = m1 - m2 - m3;
+                }
+            }
+            let mut yt = [[0.0f32; NR]; 4];
+            for i in 0..2 {
+                for l in 0..NR {
+                    let (t0, t1, t2, t3) = (
+                        tmp[4 * i][l],
+                        tmp[4 * i + 1][l],
+                        tmp[4 * i + 2][l],
+                        tmp[4 * i + 3][l],
+                    );
+                    yt[2 * i][l] = t0 + t1 + t2;
+                    yt[2 * i + 1][l] = t1 - t2 - t3;
+                }
+            }
+            // `l` drives the tile coordinates, not just the `yt` index.
+            #[allow(clippy::needless_range_loop)]
+            for l in 0..lanes {
+                let ti = pj * NR + l;
+                let (ni, rem) = (ti / tpi, ti % tpi);
+                let (tp, tq) = (rem / tw, rem % tw);
+                for i in 0..2 {
+                    let p = 2 * tp + i;
+                    if p >= ho {
+                        continue;
+                    }
+                    for j in 0..2 {
+                        let q = 2 * tq + j;
+                        if q >= wo {
+                            continue;
+                        }
+                        let o = ((ni * k + ki) * ho + p) * wo + q;
+                        write_out(&mut y[o], yt[2 * i + j][l], alpha, beta);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The retained naive reference: scalar per-tile transforms with strided
+/// scatter/gather and 16 separate per-ξ [`sgemm_ref`] products, plan-free.
+/// The `hotpath` benchmark reports the fast path's speedup over this and the
+/// pad-envelope oracle tests pin both against [`crate::direct`]. Same
+/// workspace contract as [`forward`].
+pub fn forward_ref(
+    g: &ConvGeometry,
+    x: &[f32],
+    w: &[f32],
+    y: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    assert_supported(g);
+    assert!(ws.len() >= workspace_floats(g), "workspace too small");
+    let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
+    let k = g.filter.k;
+    let (ho, wo) = (g.out_h(), g.out_w());
+    let (th, tw) = tiles(g);
+    let t = n * th * tw;
+    assert_eq!(x.len(), g.input.len(), "x buffer mismatch");
+    assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
+    assert_eq!(y.len(), g.output().len(), "y buffer mismatch");
+
+    // Dense layout U[16][K][C] | V[16][C][T] | M[16][K][T] overlaid on the
+    // same workspace (fits because packed_b_len(C, T) ≥ C·T).
+    let (u_buf, rest) = ws.split_at_mut(16 * k * c);
+    let (v_buf, m_rest) = rest.split_at_mut(16 * c * t);
+    let m_buf = &mut m_rest[..16 * k * t];
+
+    for ki in 0..k {
+        for ci in 0..c {
+            transform_filter(
+                &w[(ki * c + ci) * 9..(ki * c + ci) * 9 + 9],
+                &mut u_buf[ki * c + ci..],
+                k * c,
+            );
+        }
+    }
+
     for ni in 0..n {
         for ci in 0..c {
             let plane = &x[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
@@ -195,20 +422,22 @@ pub fn forward_with_plan(
         }
     }
 
-    // 3. 16 GEMMs: M[ξ] (K x T) = U[ξ] (K x C) @ V[ξ] (C x T).
-    for (xi, u_xi) in u_packed.iter().enumerate() {
-        sgemm_prepacked_a(
-            u_xi,
+    // 16 naive GEMMs: M[ξ] (K x T) = U[ξ] (K x C) @ V[ξ] (C x T).
+    for xi in 0..16 {
+        sgemm_ref(
             Trans::No,
+            Trans::No,
+            k,
             t,
+            c,
             1.0,
+            &u_buf[xi * k * c..(xi + 1) * k * c],
             &v_buf[xi * c * t..(xi + 1) * c * t],
             0.0,
             &mut m_buf[xi * k * t..(xi + 1) * k * t],
         );
     }
 
-    // 4. Output transform and scatter, clipping edge tiles.
     for ni in 0..n {
         for ki in 0..k {
             for tp in 0..th {
@@ -226,7 +455,7 @@ pub fn forward_with_plan(
                                 continue;
                             }
                             let o = ((ni * k + ki) * ho + p) * wo + q;
-                            y[o] = alpha * yt[2 * i + j] + beta * y[o];
+                            write_out(&mut y[o], yt[2 * i + j], alpha, beta);
                         }
                     }
                 }
@@ -253,6 +482,28 @@ pub fn workspace_floats_backward_data(g: &ConvGeometry) -> usize {
     workspace_floats(&backward_geometry(g)) + g.filter.len()
 }
 
+/// Flip `w` into `w'[ci][ki][r][s] = w[ki][ci][2-r][2-s]` at the end of `ws`,
+/// returning `(forward workspace, flipped filter)`.
+fn stage_flipped_filter<'a>(
+    g: &ConvGeometry,
+    w: &[f32],
+    ws: &'a mut [f32],
+) -> (&'a mut [f32], &'a mut [f32]) {
+    let (k, c) = (g.filter.k, g.input.c);
+    let (rest, wflip) = ws.split_at_mut(ws.len() - g.filter.len());
+    for ci in 0..c {
+        for ki in 0..k {
+            for r in 0..3 {
+                for s in 0..3 {
+                    wflip[((ci * k + ki) * 3 + r) * 3 + s] =
+                        w[((ki * c + ci) * 3 + (2 - r)) * 3 + (2 - s)];
+                }
+            }
+        }
+    }
+    (rest, wflip)
+}
+
 /// `dx = alpha * grad_x + beta * dx` — forward Winograd on the rotated,
 /// channel-transposed filter with complementary padding.
 pub fn backward_data(
@@ -268,8 +519,9 @@ pub fn backward_data(
 }
 
 /// [`backward_data`] with a reusable plan. The plan fingerprints the flipped
-/// filter (a deterministic function of the weights), so the cached `U` stays
-/// valid across micro-batches exactly like the forward path.
+/// filter (a deterministic function of the weights) in its own direction
+/// slot, so the cached `U` stays valid across micro-batches — and a plan
+/// shared between directions never thrashes or serves the wrong transform.
 #[allow(clippy::too_many_arguments)] // mirrors the cuDNN convolution ABI
 pub fn backward_data_with_plan(
     g: &ConvGeometry,
@@ -292,21 +544,39 @@ pub fn backward_data_with_plan(
         g.input,
         "backward geometry must recover the input shape"
     );
-    let (k, c) = (g.filter.k, g.input.c);
+    let (rest, wflip) = stage_flipped_filter(g, w, ws);
+    forward_impl(
+        &bg,
+        dy,
+        wflip,
+        dx,
+        alpha,
+        beta,
+        rest,
+        plan,
+        WinogradDir::Bwd,
+    );
+}
 
-    // Flip: w'[ci][ki][r][s] = w[ki][ci][2-r][2-s], staged at the end of ws.
-    let (rest, wflip) = ws.split_at_mut(ws.len() - g.filter.len());
-    for ci in 0..c {
-        for ki in 0..k {
-            for r in 0..3 {
-                for s in 0..3 {
-                    wflip[((ci * k + ki) * 3 + r) * 3 + s] =
-                        w[((ki * c + ci) * 3 + (2 - r)) * 3 + (2 - s)];
-                }
-            }
-        }
-    }
-    forward_with_plan(&bg, dy, wflip, dx, alpha, beta, rest, plan);
+/// Naive-baseline counterpart of [`backward_data`]: [`forward_ref`] on the
+/// flipped filter. Same workspace contract as [`backward_data`].
+pub fn backward_data_ref(
+    g: &ConvGeometry,
+    dy: &[f32],
+    w: &[f32],
+    dx: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    assert_supported(g);
+    assert!(
+        ws.len() >= workspace_floats_backward_data(g),
+        "workspace too small"
+    );
+    let bg = backward_geometry(g);
+    let (rest, wflip) = stage_flipped_filter(g, w, ws);
+    forward_ref(&bg, dy, wflip, dx, alpha, beta, rest);
 }
 
 #[cfg(test)]
@@ -322,6 +592,13 @@ mod tests {
             ConvGeometry::with_square(Shape4::new(1, 2, 7, 9), FilterShape::new(3, 2, 3, 3), 1, 1),
             ConvGeometry::with_square(Shape4::new(3, 1, 5, 5), FilterShape::new(2, 1, 3, 3), 0, 1),
             ConvGeometry::with_square(Shape4::new(1, 2, 6, 6), FilterShape::new(2, 2, 3, 3), 2, 1),
+            // More tiles than one NR strip, crossing image boundaries.
+            ConvGeometry::with_square(
+                Shape4::new(3, 2, 12, 10),
+                FilterShape::new(2, 2, 3, 3),
+                1,
+                1,
+            ),
         ]
     }
 
@@ -339,8 +616,8 @@ mod tests {
                 1.0,
                 0.0,
             );
-            let mut y = Tensor::zeros(g.output());
             let mut ws = vec![0.0; workspace_floats(&g)];
+            let mut y = Tensor::zeros(g.output());
             forward(
                 &g,
                 x.as_slice(),
@@ -351,6 +628,18 @@ mod tests {
                 &mut ws,
             );
             assert_all_close(&y_ref, &y, 1e-3);
+            // The retained naive baseline must agree too.
+            let mut y_naive = Tensor::zeros(g.output());
+            forward_ref(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                y_naive.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
+            assert_all_close(&y_ref, &y_naive, 1e-3);
         }
     }
 
@@ -368,8 +657,8 @@ mod tests {
                 1.0,
                 0.0,
             );
-            let mut dx = Tensor::zeros(g.input);
             let mut ws = vec![0.0; workspace_floats_backward_data(&g)];
+            let mut dx = Tensor::zeros(g.input);
             backward_data(
                 &g,
                 dy.as_slice(),
@@ -380,6 +669,17 @@ mod tests {
                 &mut ws,
             );
             assert_all_close(&dx_ref, &dx, 1e-3);
+            let mut dx_naive = Tensor::zeros(g.input);
+            backward_data_ref(
+                &g,
+                dy.as_slice(),
+                w.as_slice(),
+                dx_naive.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
+            assert_all_close(&dx_ref, &dx_naive, 1e-3);
         }
     }
 
@@ -410,6 +710,39 @@ mod tests {
             &mut ws,
         );
         assert_all_close(&y_ref, &y, 1e-3);
+    }
+
+    #[test]
+    fn beta_zero_ignores_garbage_output() {
+        let g = geoms()[0];
+        let x = Tensor::random(g.input, 17);
+        let w = Tensor::random(g.filter.as_shape4(), 18);
+        let mut ws = vec![0.0; workspace_floats(&g)];
+        let mut clean = Tensor::zeros(g.output());
+        forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            clean.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
+        let mut dirty = Tensor::zeros(g.output());
+        dirty.as_mut_slice().fill(f32::NAN);
+        forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            dirty.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
+        for (a, b) in clean.as_slice().iter().zip(dirty.as_slice()) {
+            assert!(b.is_finite(), "beta=0 must not read the NaN-seeded output");
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]
@@ -450,6 +783,68 @@ mod tests {
     }
 
     #[test]
+    fn shared_plan_across_directions_is_bit_identical() {
+        // One plan serving forward and backward-data must fill separate
+        // direction slots — no thrash, no wrong-direction transforms.
+        let g = geoms()[0];
+        let x = Tensor::random(g.input, 53);
+        let w = Tensor::random(g.filter.as_shape4(), 54);
+        let dy = Tensor::random(g.output(), 55);
+        let mut ws = vec![0.0; workspace_floats_backward_data(&g)];
+        let mut cold_y = Tensor::zeros(g.output());
+        forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            cold_y.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
+        let mut cold_dx = Tensor::zeros(g.input);
+        backward_data(
+            &g,
+            dy.as_slice(),
+            w.as_slice(),
+            cold_dx.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
+        let mut plan = WinogradPlan::default();
+        for _ in 0..3 {
+            let mut warm_y = Tensor::zeros(g.output());
+            forward_with_plan(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                warm_y.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+                &mut plan,
+            );
+            let mut warm_dx = Tensor::zeros(g.input);
+            backward_data_with_plan(
+                &g,
+                dy.as_slice(),
+                w.as_slice(),
+                warm_dx.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+                &mut plan,
+            );
+            for (a, b) in cold_y.as_slice().iter().zip(warm_y.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "fwd diverged under shared plan");
+            }
+            for (a, b) in cold_dx.as_slice().iter().zip(warm_dx.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "bwd diverged under shared plan");
+            }
+        }
+    }
+
+    #[test]
     fn rejects_non_3x3() {
         let g =
             ConvGeometry::with_square(Shape4::new(1, 1, 8, 8), FilterShape::new(1, 1, 5, 5), 2, 1);
@@ -476,5 +871,16 @@ mod tests {
         assert!(w8 < w64);
         // Fixed 16·K·C term keeps it from shrinking by the full 8x.
         assert!(w8 > w64 / 8);
+    }
+
+    #[test]
+    fn workspace_covers_dense_reference_layout() {
+        // forward_ref overlays U|V|M dense on the packed-layout workspace.
+        for g in geoms() {
+            let (th, tw) = tiles(&g);
+            let t = g.input.n * th * tw;
+            let (k, c) = (g.filter.k, g.input.c);
+            assert!(workspace_floats(&g) >= 16 * (k * c + c * t + k * t));
+        }
     }
 }

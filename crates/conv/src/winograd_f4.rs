@@ -15,12 +15,21 @@
 //!      ⎣ 0  4  0 −5  0  1⎦       ⎣ 0      0     1  ⎦
 //! ```
 //!
-//! Same support envelope as the fused engine: 3×3 filters, unit stride,
+//! Execution mirrors [`crate::winograd`]: the fast path transforms tiles in
+//! [`NR`]-sized strips, writes `V` directly in the ξ-major packed-B panel
+//! layout, and runs the 36 per-ξ products as one batched multi-RHS prepacked
+//! GEMM, with [`forward_ref`] / [`backward_data_ref`] keeping the scalar
+//! per-tile formulation as the naive baseline. The lane-wise transforms
+//! accumulate in the same constant-matrix order as the scalar ones, so plan
+//! replay stays byte-identical.
+//!
+//! Same support envelope as the F(2×2) engine: 3×3 filters, unit stride,
 //! pad ≤ 2; Forward and BackwardData (flipped-filter trick).
 
-use crate::gemm::{sgemm_prepacked_a, Trans};
-use crate::plan::WinogradPlan;
-use crate::winograd::supports;
+use crate::gemm::{packed_b_len, sgemm_prepacked_batch, sgemm_ref, Trans, NR};
+use crate::plan::{WinogradDir, WinogradPlan};
+pub use crate::winograd::supports;
+use crate::winograd::write_out;
 use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
 
 const BT: [[f32; 6]; 6] = [
@@ -53,12 +62,21 @@ fn tiles(g: &ConvGeometry) -> (usize, usize) {
     (g.out_h().div_ceil(4), g.out_w().div_ceil(4))
 }
 
-/// Workspace in `f32` elements: `36·(K·C + C·T + K·T)`, `T = N·th·tw`.
+/// Workspace in `f32` elements: filter staging (36·K·C, reference path),
+/// ξ-major packed input tiles (`36 · packed_b_len(C, T)`) and products
+/// (36·K·T rounded up to a whole [`NR`]-tile strip), `T = N·th·tw`.
 pub fn workspace_floats(g: &ConvGeometry) -> usize {
     let (th, tw) = tiles(g);
     let t = g.input.n * th * tw;
     let (k, c) = (g.filter.k, g.input.c);
-    36 * (k * c + c * t + k * t)
+    36 * (k * c + k * t.div_ceil(NR) * NR) + 36 * packed_b_len(c, t)
+}
+
+fn assert_supported(g: &ConvGeometry) {
+    assert!(
+        supports(g),
+        "F(4x4,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})"
+    );
 }
 
 /// `U = G g Gᵀ` (6×6) for one 3×3 filter plane, scattered at `stride`.
@@ -78,7 +96,8 @@ fn transform_filter(gp: &[f32], out: &mut [f32], stride: usize) {
     }
 }
 
-/// `V = Bᵀ d B` (6×6) for one 6×6 input tile, scattered at `stride`.
+/// `V = Bᵀ d B` (6×6) for one 6×6 input tile, scattered at `stride`
+/// (scalar reference; the fast path runs the same accumulation lane-wise).
 fn transform_input(d: &[f32; 36], out: &mut [f32], stride: usize) {
     let mut tmp = [0.0f32; 36]; // Bᵀ @ d
     for (i, brow) in BT.iter().enumerate() {
@@ -166,10 +185,22 @@ pub fn forward_with_plan(
     ws: &mut [f32],
     plan: &mut WinogradPlan,
 ) {
-    assert!(
-        supports(g),
-        "F(4x4,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})"
-    );
+    forward_impl(g, x, w, y, alpha, beta, ws, plan, WinogradDir::Fwd);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn forward_impl(
+    g: &ConvGeometry,
+    x: &[f32],
+    w: &[f32],
+    y: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+    plan: &mut WinogradPlan,
+    dir: WinogradDir,
+) {
+    assert_supported(g);
     assert!(ws.len() >= workspace_floats(g), "workspace too small");
     let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
     let k = g.filter.k;
@@ -180,13 +211,16 @@ pub fn forward_with_plan(
     assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
     assert_eq!(y.len(), g.output().len(), "y buffer mismatch");
 
-    // Workspace layout: U[36][K][C] | V[36][C][T] | M[36][K][T]. The plan
-    // path leaves the U region untouched (U lives packed in the plan).
+    // Live regions: Ustage[36·K·C] (reference path only; the plan path
+    // keeps U packed in the plan) | Vstrip[36·C·NR] | Mstrip[36·K·NR].
+    // Cache-blocked per tile strip, as in crate::winograd: transform NR
+    // tiles, run the batched GEMM on the strip, transform the products out.
+    let pbl_strip = NR * c; // one packed-B panel per ξ
     let (_, rest) = ws.split_at_mut(36 * k * c);
-    let (v_buf, m_rest) = rest.split_at_mut(36 * c * t);
-    let m_buf = &mut m_rest[..36 * k * t];
+    let (v_strip, m_rest) = rest.split_at_mut(36 * pbl_strip);
+    let m_strip = &mut m_rest[..36 * k * NR];
 
-    let u_packed = plan.packed_u(36, k, c, w, |u| {
+    let u_packed = plan.packed_u(dir, 36, k, c, w, |u| {
         for ki in 0..k {
             for ci in 0..c {
                 transform_filter(
@@ -197,6 +231,190 @@ pub fn forward_with_plan(
             }
         }
     });
+
+    // Per-strip fused pipeline (see crate::winograd for the layout notes):
+    // input transform straight into ξ-major packed-B panels, one batched
+    // multi-RHS GEMM over all 36 ξ, then the output transform — all on
+    // L1/L2-resident strip operands.
+    let tpi = th * tw;
+    let hw = h * wd;
+    for pj in 0..t.div_ceil(NR) {
+        let lanes = NR.min(t - pj * NR);
+        let mut plane0 = [0usize; NR];
+        let mut loh = [0isize; NR];
+        let mut low = [0isize; NR];
+        for l in 0..lanes {
+            let ti = pj * NR + l;
+            let (ni, rem) = (ti / tpi, ti % tpi);
+            let (tp, tq) = (rem / tw, rem % tw);
+            plane0[l] = ni * c * hw;
+            loh[l] = (4 * tp) as isize - g.pad_h as isize;
+            low[l] = (4 * tq) as isize - g.pad_w as isize;
+        }
+        let mut d = [[0.0f32; NR]; 36];
+        for ci in 0..c {
+            for l in 0..lanes {
+                let plane = &x[plane0[l] + ci * hw..plane0[l] + (ci + 1) * hw];
+                let (oh, ow) = (loh[l], low[l]);
+                if oh >= 0 && ow >= 0 && oh + 5 < h as isize && ow + 5 < wd as isize {
+                    // Interior tile: six contiguous 6-float rows.
+                    for i in 0..6 {
+                        let row = &plane[(oh as usize + i) * wd + ow as usize..][..6];
+                        for j in 0..6 {
+                            d[6 * i + j][l] = row[j];
+                        }
+                    }
+                } else {
+                    for i in 0..6 {
+                        let ih = oh + i as isize;
+                        let row_ok = ih >= 0 && ih < h as isize;
+                        for j in 0..6 {
+                            let iw = ow + j as isize;
+                            d[6 * i + j][l] = if row_ok && iw >= 0 && iw < wd as isize {
+                                plane[ih as usize * wd + iw as usize]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                }
+            }
+            // Bᵀ·d·B lane-wise: identical zero-skip accumulation order to
+            // the scalar reference (BT is const, so the branches fold).
+            let mut tmp = [[0.0f32; NR]; 36];
+            for (i, brow) in BT.iter().enumerate() {
+                for j in 0..6 {
+                    let mut acc = [0.0f32; NR];
+                    for (kk, b) in brow.iter().enumerate() {
+                        if *b != 0.0 {
+                            for l in 0..NR {
+                                acc[l] += b * d[6 * kk + j][l];
+                            }
+                        }
+                    }
+                    tmp[6 * i + j] = acc;
+                }
+            }
+            let mut v = [[0.0f32; NR]; 36];
+            for i in 0..6 {
+                for j in 0..6 {
+                    let mut acc = [0.0f32; NR];
+                    for (kk, b) in BT[j].iter().enumerate() {
+                        if *b != 0.0 {
+                            for l in 0..NR {
+                                acc[l] += tmp[6 * i + kk][l] * b;
+                            }
+                        }
+                    }
+                    v[6 * i + j] = acc;
+                }
+            }
+            let pbase = ci * NR;
+            for (xi, vrow) in v.iter().enumerate() {
+                v_strip[xi * pbl_strip + pbase..xi * pbl_strip + pbase + NR].copy_from_slice(vrow);
+            }
+        }
+
+        // Batched multi-RHS GEMM on the strip:
+        // M[ξ] (K×NR) = U[ξ] (K×C) @ V[ξ] (C×NR), operands L2-resident.
+        sgemm_prepacked_batch(u_packed, NR, 1.0, v_strip, 0.0, m_strip);
+
+        for ki in 0..k {
+            let mut m = [[0.0f32; NR]; 36];
+            for (xi, mrow) in m.iter_mut().enumerate() {
+                mrow.copy_from_slice(&m_strip[xi * k * NR + ki * NR..][..NR]);
+            }
+            let mut tmp = [[0.0f32; NR]; 24];
+            for (i, arow) in AT.iter().enumerate() {
+                for j in 0..6 {
+                    let mut acc = [0.0f32; NR];
+                    for (kk, a) in arow.iter().enumerate() {
+                        if *a != 0.0 {
+                            for l in 0..NR {
+                                acc[l] += a * m[6 * kk + j][l];
+                            }
+                        }
+                    }
+                    tmp[6 * i + j] = acc;
+                }
+            }
+            let mut yt = [[0.0f32; NR]; 16];
+            for i in 0..4 {
+                for j in 0..4 {
+                    let mut acc = [0.0f32; NR];
+                    for (kk, a) in AT[j].iter().enumerate() {
+                        if *a != 0.0 {
+                            for l in 0..NR {
+                                acc[l] += tmp[6 * i + kk][l] * a;
+                            }
+                        }
+                    }
+                    yt[4 * i + j] = acc;
+                }
+            }
+            // `l` drives the tile coordinates, not just the `yt` index.
+            #[allow(clippy::needless_range_loop)]
+            for l in 0..lanes {
+                let ti = pj * NR + l;
+                let (ni, rem) = (ti / tpi, ti % tpi);
+                let (tp, tq) = (rem / tw, rem % tw);
+                for i in 0..4 {
+                    let p = 4 * tp + i;
+                    if p >= ho {
+                        continue;
+                    }
+                    for j in 0..4 {
+                        let q = 4 * tq + j;
+                        if q >= wo {
+                            continue;
+                        }
+                        let o = ((ni * k + ki) * ho + p) * wo + q;
+                        write_out(&mut y[o], yt[4 * i + j][l], alpha, beta);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The retained naive reference: scalar per-tile transforms and 36 per-ξ
+/// [`sgemm_ref`] products, plan-free. Same workspace contract as
+/// [`forward`]; baseline for the `hotpath` benchmark and oracle tests.
+pub fn forward_ref(
+    g: &ConvGeometry,
+    x: &[f32],
+    w: &[f32],
+    y: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    assert_supported(g);
+    assert!(ws.len() >= workspace_floats(g), "workspace too small");
+    let (n, c, h, wd) = (g.input.n, g.input.c, g.input.h, g.input.w);
+    let k = g.filter.k;
+    let (ho, wo) = (g.out_h(), g.out_w());
+    let (th, tw) = tiles(g);
+    let t = n * th * tw;
+    assert_eq!(x.len(), g.input.len(), "x buffer mismatch");
+    assert_eq!(w.len(), g.filter.len(), "w buffer mismatch");
+    assert_eq!(y.len(), g.output().len(), "y buffer mismatch");
+
+    // Dense layout U[36][K][C] | V[36][C][T] | M[36][K][T] overlaid on the
+    // same workspace (fits because packed_b_len(C, T) ≥ C·T).
+    let (u_buf, rest) = ws.split_at_mut(36 * k * c);
+    let (v_buf, m_rest) = rest.split_at_mut(36 * c * t);
+    let m_buf = &mut m_rest[..36 * k * t];
+
+    for ki in 0..k {
+        for ci in 0..c {
+            transform_filter(
+                &w[(ki * c + ci) * 9..(ki * c + ci) * 9 + 9],
+                &mut u_buf[ki * c + ci..],
+                k * c,
+            );
+        }
+    }
 
     for ni in 0..n {
         for ci in 0..c {
@@ -226,13 +444,16 @@ pub fn forward_with_plan(
         }
     }
 
-    // 36 GEMMs: M[ξ] (K x T) = U[ξ] (K x C) @ V[ξ] (C x T).
-    for (xi, u_xi) in u_packed.iter().enumerate() {
-        sgemm_prepacked_a(
-            u_xi,
+    // 36 naive GEMMs: M[ξ] (K x T) = U[ξ] (K x C) @ V[ξ] (C x T).
+    for xi in 0..36 {
+        sgemm_ref(
             Trans::No,
+            Trans::No,
+            k,
             t,
+            c,
             1.0,
+            &u_buf[xi * k * c..(xi + 1) * k * c],
             &v_buf[xi * c * t..(xi + 1) * c * t],
             0.0,
             &mut m_buf[xi * k * t..(xi + 1) * k * t],
@@ -256,7 +477,7 @@ pub fn forward_with_plan(
                                 continue;
                             }
                             let o = ((ni * k + ki) * ho + p) * wo + q;
-                            y[o] = alpha * yt[4 * i + j] + beta * y[o];
+                            write_out(&mut y[o], yt[4 * i + j], alpha, beta);
                         }
                     }
                 }
@@ -281,6 +502,27 @@ pub fn workspace_floats_backward_data(g: &ConvGeometry) -> usize {
     workspace_floats(&backward_geometry(g)) + g.filter.len()
 }
 
+/// Flip `w` into `w'[ci][ki][r][s] = w[ki][ci][2-r][2-s]` at the end of `ws`.
+fn stage_flipped_filter<'a>(
+    g: &ConvGeometry,
+    w: &[f32],
+    ws: &'a mut [f32],
+) -> (&'a mut [f32], &'a mut [f32]) {
+    let (k, c) = (g.filter.k, g.input.c);
+    let (rest, wflip) = ws.split_at_mut(ws.len() - g.filter.len());
+    for ci in 0..c {
+        for ki in 0..k {
+            for r in 0..3 {
+                for s in 0..3 {
+                    wflip[((ci * k + ki) * 3 + r) * 3 + s] =
+                        w[((ki * c + ci) * 3 + (2 - r)) * 3 + (2 - s)];
+                }
+            }
+        }
+    }
+    (rest, wflip)
+}
+
 /// `dx = alpha * grad_x + beta * dx` — forward F(4×4) on the rotated,
 /// channel-transposed filter with complementary padding.
 pub fn backward_data(
@@ -295,7 +537,8 @@ pub fn backward_data(
     backward_data_with_plan(g, dy, w, dx, alpha, beta, ws, &mut WinogradPlan::default());
 }
 
-/// [`backward_data`] with a reusable plan (fingerprints the flipped filter).
+/// [`backward_data`] with a reusable plan (fingerprints the flipped filter
+/// in its own direction slot, so sharing a plan with forward never thrashes).
 #[allow(clippy::too_many_arguments)] // mirrors the cuDNN convolution ABI
 pub fn backward_data_with_plan(
     g: &ConvGeometry,
@@ -307,29 +550,46 @@ pub fn backward_data_with_plan(
     ws: &mut [f32],
     plan: &mut WinogradPlan,
 ) {
-    assert!(
-        supports(g),
-        "F(4x4,3x3) requires 3x3 filter, unit stride, pad<=2 ({g})"
-    );
+    assert_supported(g);
     assert!(
         ws.len() >= workspace_floats_backward_data(g),
         "workspace too small"
     );
     let bg = backward_geometry(g);
     debug_assert_eq!(bg.output(), g.input);
-    let (k, c) = (g.filter.k, g.input.c);
-    let (rest, wflip) = ws.split_at_mut(ws.len() - g.filter.len());
-    for ci in 0..c {
-        for ki in 0..k {
-            for r in 0..3 {
-                for s in 0..3 {
-                    wflip[((ci * k + ki) * 3 + r) * 3 + s] =
-                        w[((ki * c + ci) * 3 + (2 - r)) * 3 + (2 - s)];
-                }
-            }
-        }
-    }
-    forward_with_plan(&bg, dy, wflip, dx, alpha, beta, rest, plan);
+    let (rest, wflip) = stage_flipped_filter(g, w, ws);
+    forward_impl(
+        &bg,
+        dy,
+        wflip,
+        dx,
+        alpha,
+        beta,
+        rest,
+        plan,
+        WinogradDir::Bwd,
+    );
+}
+
+/// Naive-baseline counterpart of [`backward_data`]: [`forward_ref`] on the
+/// flipped filter. Same workspace contract as [`backward_data`].
+pub fn backward_data_ref(
+    g: &ConvGeometry,
+    dy: &[f32],
+    w: &[f32],
+    dx: &mut [f32],
+    alpha: f32,
+    beta: f32,
+    ws: &mut [f32],
+) {
+    assert_supported(g);
+    assert!(
+        ws.len() >= workspace_floats_backward_data(g),
+        "workspace too small"
+    );
+    let bg = backward_geometry(g);
+    let (rest, wflip) = stage_flipped_filter(g, w, ws);
+    forward_ref(&bg, dy, wflip, dx, alpha, beta, rest);
 }
 
 #[cfg(test)]
@@ -348,6 +608,13 @@ mod tests {
                 Shape4::new(1, 2, 13, 13),
                 FilterShape::new(2, 2, 3, 3),
                 2,
+                1,
+            ),
+            // More tiles than one NR strip, crossing image boundaries.
+            ConvGeometry::with_square(
+                Shape4::new(3, 2, 14, 18),
+                FilterShape::new(2, 2, 3, 3),
+                1,
                 1,
             ),
         ]
@@ -379,6 +646,17 @@ mod tests {
                 &mut ws,
             );
             assert_all_close(&y_ref, &y, 5e-3);
+            let mut y_naive = Tensor::zeros(g.output());
+            forward_ref(
+                &g,
+                x.as_slice(),
+                w.as_slice(),
+                y_naive.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
+            assert_all_close(&y_ref, &y_naive, 5e-3);
         }
     }
 
@@ -408,6 +686,17 @@ mod tests {
                 &mut ws,
             );
             assert_all_close(&dx_ref, &dx, 5e-3);
+            let mut dx_naive = Tensor::zeros(g.input);
+            backward_data_ref(
+                &g,
+                dy.as_slice(),
+                w.as_slice(),
+                dx_naive.as_mut_slice(),
+                1.0,
+                0.0,
+                &mut ws,
+            );
+            assert_all_close(&dx_ref, &dx_naive, 5e-3);
         }
     }
 
@@ -438,6 +727,39 @@ mod tests {
             &mut ws,
         );
         assert_all_close(&y_ref, &y, 5e-3);
+    }
+
+    #[test]
+    fn beta_zero_ignores_garbage_output() {
+        let g = geoms()[0];
+        let x = Tensor::random(g.input, 27);
+        let w = Tensor::random(g.filter.as_shape4(), 28);
+        let mut ws = vec![0.0; workspace_floats(&g)];
+        let mut clean = Tensor::zeros(g.output());
+        forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            clean.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
+        let mut dirty = Tensor::zeros(g.output());
+        dirty.as_mut_slice().fill(f32::NAN);
+        forward(
+            &g,
+            x.as_slice(),
+            w.as_slice(),
+            dirty.as_mut_slice(),
+            1.0,
+            0.0,
+            &mut ws,
+        );
+        for (a, b) in clean.as_slice().iter().zip(dirty.as_slice()) {
+            assert!(b.is_finite(), "beta=0 must not read the NaN-seeded output");
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! engines actually use.
 
 use proptest::prelude::*;
-use ucudnn_conv::gemm::{pack_a, sgemm, sgemm_prepacked_a, sgemm_ref, Trans};
+use ucudnn_conv::gemm::{
+    pack_a, pack_b_into, packed_b_len, sgemm, sgemm_prepacked, sgemm_prepacked_a,
+    sgemm_prepacked_batch, sgemm_ref, Trans,
+};
 
 /// Unblocked triple-loop oracle, deliberately independent of the library's
 /// own `sgemm_ref` blocking. `op(A)` is `m x k`, `op(B)` is `k x n`,
@@ -148,6 +151,85 @@ proptest! {
                     round
                 );
             }
+        }
+    }
+
+    /// The fully-prepacked call (both operands packed — the Winograd fast
+    /// path) is bit-identical to packing B inside the call, and beta == 0
+    /// never reads the NaN-seeded output.
+    #[test]
+    fn prepacked_b_is_bit_identical_and_nan_safe(
+        mnk in dims(),
+        ta in trans(),
+        tb in trans(),
+        alpha in scale(),
+        seed in 1u64..1_000_000,
+    ) {
+        let (m, n, k) = mnk;
+        let a = filled(m * k, seed);
+        let b = filled(k * n, seed ^ 0xc2b2_ae35);
+        let mut fresh = vec![0.0f32; m * n];
+        sgemm(ta, tb, m, n, k, alpha, &a, &b, 0.0, &mut fresh);
+
+        let pa = pack_a(ta, m, k, &a);
+        let mut pb = Vec::new();
+        pack_b_into(tb, k, n, &b, &mut pb);
+        let mut got = vec![f32::NAN; m * n];
+        sgemm_prepacked(&pa, n, alpha, &pb, 0.0, &mut got);
+        for (i, (f, g)) in fresh.iter().zip(&got).enumerate() {
+            prop_assert!(!g.is_nan(), "element {} read NaN-seeded C at beta == 0", i);
+            prop_assert_eq!(f.to_bits(), g.to_bits(), "element {} differs", i);
+        }
+    }
+
+    /// The batched multi-RHS call over a ξ-major packed layout is
+    /// bit-identical to looping `sgemm_prepacked` per ξ — slab offsets,
+    /// edge panels, and the beta == 0 NaN contract all included.
+    #[test]
+    fn batched_multi_rhs_matches_per_xi_loop(
+        mnk in dims(),
+        xis in 1usize..6,
+        alpha in scale(),
+        beta in scale(),
+        seed in 1u64..1_000_000,
+    ) {
+        let (m, n, k) = mnk;
+        let pbl = packed_b_len(k, n);
+        let mut pas = Vec::new();
+        let mut pb = vec![0.0f32; xis * pbl];
+        for xi in 0..xis {
+            let a = filled(m * k, seed.wrapping_add(xi as u64 * 7919));
+            let b = filled(k * n, seed ^ (0x9e37_79b9 + xi as u64));
+            pas.push(pack_a(Trans::No, m, k, &a));
+            let mut slab = Vec::new();
+            pack_b_into(Trans::No, k, n, &b, &mut slab);
+            pb[xi * pbl..(xi + 1) * pbl].copy_from_slice(&slab);
+        }
+        let c_init: Vec<f32> = if beta == 0.0 {
+            vec![f32::NAN; xis * m * n]
+        } else {
+            filled(xis * m * n, seed ^ 0x5bd1_e995)
+        };
+
+        let mut want = c_init.clone();
+        for xi in 0..xis {
+            sgemm_prepacked(
+                &pas[xi],
+                n,
+                alpha,
+                &pb[xi * pbl..(xi + 1) * pbl],
+                beta,
+                &mut want[xi * m * n..(xi + 1) * m * n],
+            );
+        }
+
+        let mut got = c_init.clone();
+        sgemm_prepacked_batch(&pas, n, alpha, &pb, beta, &mut got);
+        for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+            if beta == 0.0 {
+                prop_assert!(!g.is_nan(), "element {} read NaN-seeded C at beta == 0", i);
+            }
+            prop_assert_eq!(w.to_bits(), g.to_bits(), "element {} differs", i);
         }
     }
 }
