@@ -25,16 +25,29 @@
 //! frozen-plan baseline vs. the drift-detecting re-optimizer. The committed
 //! `reopt` section backs the headline claim: the frozen plan sheds, the
 //! re-optimizer detects, hot-swaps, and finishes with zero SLO violations
-//! after re-convergence — byte-identically across runs.
+//! after re-convergence — byte-identically across runs. Both lanes also run
+//! a multi-window SLO burn-rate monitor (DESIGN.md §14): the frozen lane's
+//! sustained post-drift burn must fire an `slo_alert` at a replay-stable
+//! virtual timestamp.
+//!
+//! `--telemetry-smoke` exercises the live telemetry plane end to end: a
+//! traced real server behind the TCP front-end, ~12 requests, and two
+//! `STATS` scrapes whose exposition is asserted (required series present,
+//! counters monotone) and written under the results directory together with
+//! the JSONL trace. `--metrics-dump <path>` additionally writes the final
+//! exposition to `<path>`.
 
 use std::sync::Arc;
 use ucudnn::json::{num, obj, Value};
-use ucudnn::{forward_latency_table, BatchSizePolicy, BenchCache, KernelKey, ServeOptions};
+use ucudnn::{
+    forward_latency_table, BatchSizePolicy, BenchCache, KernelKey, ServeOptions, TraceConfig,
+};
 use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
 use ucudnn_gpu_model::{p100_sxm2, Perturbation};
 use ucudnn_serve::{
-    run_reopt_sim, run_sim, BatchPolicy, BatchRunner as _, RealModelRunner, ReoptConfig,
-    ReoptOutcome, ReoptSimConfig, Scheduler, Server, SimConfig, SimOutcome, TcpFrontend,
+    run_reopt_sim, run_sim, BatchPolicy, BatchRunner as _, BurnConfig, RealModelRunner,
+    ReoptConfig, ReoptOutcome, ReoptSimConfig, Scheduler, Server, SimConfig, SimOutcome,
+    TcpFrontend,
 };
 use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
 
@@ -107,6 +120,8 @@ fn reopt_lane_row(out: &ReoptOutcome) -> Value {
         ("final_plan_version", num(out.final_version as f64)),
         ("detect_time_us", q(out.detect_time_us)),
         ("swap_time_us", q(out.swap_time_us)),
+        ("slo_alerts", num(out.slo_alerts as f64)),
+        ("first_alert_us", q(out.first_alert_us)),
         ("p50_us", q(pct.as_ref().map(|p| p.p50_us))),
         ("p99_us", q(pct.as_ref().map(|p| p.p99_us))),
     ])
@@ -129,6 +144,19 @@ fn reopt_experiment(table: &[(usize, f64)]) -> Value {
     // batches land past the SLO), while the re-optimized plan knows the true
     // t*(m) and converts those doomed fires into honest deadline sheds.
     const REOPT_QUEUE_CAP: usize = 1024;
+    // Burn monitor sized for the sim's ~200 ms horizon: 20 ms fast window,
+    // 100 ms slow window, 1% budget. Both lanes watch through the same
+    // config — the monitor is pure observation, so serving decisions (and
+    // the frozen-vs-reopt comparison) are untouched.
+    const BURN_BUDGET: f64 = 0.01;
+    const BURN_FAST_US: f64 = 20_000.0;
+    const BURN_SLOW_US: f64 = 100_000.0;
+    let burn = BurnConfig {
+        budget: BURN_BUDGET,
+        fast_us: BURN_FAST_US,
+        slow_us: BURN_SLOW_US,
+        threshold: 1.0,
+    };
     let lane = |reopt: Option<ReoptConfig>| ReoptSimConfig {
         seed: SEED,
         slo_us: SLO_US,
@@ -141,6 +169,7 @@ fn reopt_experiment(table: &[(usize, f64)]) -> Value {
         perturb: Perturbation::new(PERTURB_AT_US, PERTURB_FACTOR),
         reopt,
         rebench_latency_us: REBENCH_LATENCY_US,
+        burn: Some(burn),
     };
     let frozen_cfg = lane(None);
     let reopt_cfg = lane(Some(ReoptConfig::default()));
@@ -178,6 +207,13 @@ fn reopt_experiment(table: &[(usize, f64)]) -> Value {
         reopt.detect_time_us.unwrap_or(f64::NAN),
         reopt.swap_time_us.unwrap_or(f64::NAN),
     );
+    println!(
+        "  burn:   frozen alerts={} first_t={:.0}us | reopt alerts={} first_t={:.0}us",
+        frozen.slo_alerts,
+        frozen.first_alert_us.unwrap_or(f64::NAN),
+        reopt.slo_alerts,
+        reopt.first_alert_us.unwrap_or(f64::NAN),
+    );
 
     // The headline gates.
     assert!(
@@ -197,6 +233,20 @@ fn reopt_experiment(table: &[(usize, f64)]) -> Value {
     assert_eq!(
         reopt.violations_post_swap, 0,
         "after re-convergence the re-optimized lane must serve violation-free"
+    );
+    // The observability gate: the sustained post-drift burn on the frozen
+    // plan must page, after the drift exists, at a replay-stable timestamp
+    // (the log byte-identity above already pins the exact microsecond).
+    assert!(
+        frozen.slo_alerts >= 1,
+        "the frozen lane's sustained burn must fire an slo_alert"
+    );
+    let first_alert = frozen
+        .first_alert_us
+        .expect("an alert implies a first-alert timestamp");
+    assert!(
+        first_alert >= PERTURB_AT_US,
+        "no alert may fire before the drift exists (got t={first_alert:.0}us)"
     );
     for out in [&frozen, &reopt] {
         assert_eq!(
@@ -218,6 +268,14 @@ fn reopt_experiment(table: &[(usize, f64)]) -> Value {
             ]),
         ),
         ("rebench_latency_us", num(REBENCH_LATENCY_US)),
+        (
+            "burn",
+            obj([
+                ("budget", num(BURN_BUDGET)),
+                ("fast_us", num(BURN_FAST_US)),
+                ("slow_us", num(BURN_SLOW_US)),
+            ]),
+        ),
         (
             "detector",
             obj([
@@ -273,11 +331,153 @@ fn tcp_smoke() {
     server.drain();
 }
 
+/// Issue one `STATS` scrape on an open connection and collect the reply up
+/// to (and including) its `# EOF` terminator.
+fn scrape_stats(
+    writer: &mut std::net::TcpStream,
+    reader: &mut std::io::BufReader<std::net::TcpStream>,
+) -> String {
+    use std::io::{BufRead, Write};
+    writeln!(writer, "STATS").expect("send STATS");
+    let mut out = String::new();
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read scrape line") > 0,
+            "connection closed mid-scrape"
+        );
+        let done = line.trim() == "# EOF";
+        out.push_str(&line);
+        if done {
+            return out;
+        }
+    }
+}
+
+/// The first sample-valued line for `name` in an exposition, parsed.
+fn scraped_value(scrape: &str, name: &str) -> f64 {
+    scrape
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse::<f64>().ok())
+        })
+        .unwrap_or_else(|| panic!("series {name:?} missing from scrape"))
+}
+
+/// The live-telemetry smoke: a traced real server behind the TCP front-end,
+/// scraped via `STATS` before and after a burst of requests. Asserts the
+/// exposition contract and that the trace reconstructs request 0's
+/// admission→batch→response timeline.
+fn telemetry_smoke(metrics_dump: Option<&str>) {
+    use std::io::{BufReader, Write};
+    const REQUESTS: usize = 12;
+    let dir = ucudnn_bench::results_dir();
+    let trace_path = dir.join("serve_trace.jsonl");
+    let session = ucudnn::trace::session(TraceConfig {
+        path: Some(trace_path.clone()),
+        ..TraceConfig::default()
+    });
+
+    let runner = Arc::new(RealModelRunner::new(CudnnHandle::real_cpu(), 5, 4));
+    let opts = ServeOptions {
+        slo_us: 2_000_000.0,
+        queue_cap: 64,
+        workers: 2,
+        max_batch: 4,
+    };
+    let server = Arc::new(Server::start(runner.clone(), &opts));
+    let tcp = TcpFrontend::start(Arc::clone(&server), "127.0.0.1:0").expect("bind loopback");
+    let stream = std::net::TcpStream::connect(tcp.local_addr()).expect("connect loopback");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+
+    let first = scrape_stats(&mut writer, &mut reader);
+    let input = (0..runner.sample_len())
+        .map(|j| format!("{}", (j % 7) as f32 * 0.1))
+        .collect::<Vec<_>>()
+        .join(",");
+    for i in 0..REQUESTS {
+        writeln!(writer, "{{\"id\":{i},\"input\":[{input}]}}").expect("send request");
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).expect("read response");
+        let v = Value::parse(line.trim()).expect("response must be valid JSON");
+        assert_eq!(
+            v.get("ok"),
+            Some(&Value::Bool(true)),
+            "request {i} must succeed: {line}"
+        );
+    }
+    let second = scrape_stats(&mut writer, &mut reader);
+    std::fs::write(dir.join("telemetry_scrape1.txt"), &first).expect("write scrape 1");
+    std::fs::write(dir.join("telemetry_scrape2.txt"), &second).expect("write scrape 2");
+
+    // The exposition contract: the series the dashboards key on are live…
+    for series in [
+        "# TYPE ucudnn_serve_queue_depth gauge",
+        "ucudnn_serve_shed_total{reason=\"queue_full\"}",
+        "ucudnn_serve_shed_total{reason=\"deadline_infeasible\"}",
+        "ucudnn_serve_shed_total{reason=\"exec_failed\"}",
+        "ucudnn_serve_shed_total{reason=\"draining\"}",
+        "ucudnn_serve_plan_version ",
+        "ucudnn_slo_alert_active ",
+        "# ALERT slo_burn ",
+        "ucudnn_serve_latency_us_count ",
+        "ucudnn_telemetry_dropped_total ",
+    ] {
+        assert!(second.contains(series), "scrape missing {series:?}");
+    }
+    // …and counters are monotone across scrapes, with the burst accounted.
+    for name in [
+        "ucudnn_serve_submitted_total ",
+        "ucudnn_serve_completed_total ",
+    ] {
+        let (before, after) = (scraped_value(&first, name), scraped_value(&second, name));
+        assert!(
+            after >= before + REQUESTS as f64,
+            "{name}: {before} -> {after} must cover the {REQUESTS}-request burst"
+        );
+    }
+    assert_eq!(scraped_value(&second, "ucudnn_serve_plan_version "), 1.0);
+
+    if let Some(path) = metrics_dump {
+        if let Some(parent) = std::path::Path::new(path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(parent).expect("cannot create dump directory");
+        }
+        std::fs::write(path, server.exposition()).expect("cannot write metrics dump");
+        println!("[telemetry] wrote {path}");
+    }
+
+    drop(writer);
+    drop(reader);
+    tcp.stop();
+    server.drain();
+    let trace = session.finish();
+    let timeline = ucudnn_bench::report::request_timeline(&trace, 0)
+        .expect("request 0 must have a timeline in the trace");
+    assert!(
+        timeline.contains("submit") && timeline.contains("complete"),
+        "the timeline must span admission to response:\n{timeline}"
+    );
+    println!(
+        "[telemetry-smoke] ok: {REQUESTS} requests, 2 scrapes, trace at {}",
+        trace_path.display()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let want_tcp = args.iter().any(|a| a == "--tcp-smoke");
     let want_reopt = args.iter().any(|a| a == "--reopt");
+    let want_telemetry = args.iter().any(|a| a == "--telemetry-smoke");
+    let metrics_dump = args
+        .iter()
+        .position(|a| a == "--metrics-dump")
+        .map(|i| args[i + 1].clone());
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -420,5 +620,8 @@ fn main() {
 
     if want_tcp {
         tcp_smoke();
+    }
+    if want_telemetry || metrics_dump.is_some() {
+        telemetry_smoke(metrics_dump.as_deref());
     }
 }

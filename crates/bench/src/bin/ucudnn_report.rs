@@ -2,8 +2,14 @@
 //!
 //! ```text
 //! ucudnn-report <trace.jsonl> [--chrome <out.json>]   # report an existing trace
+//! ucudnn-report <trace.jsonl> --request <id>          # one request's timeline
 //! ucudnn-report --demo                                # trace a run, then report it
 //! ```
+//!
+//! `--request <id>` switches to the request-correlated view: instead of the
+//! aggregate profile, print the admission → batch → micro-batch → response
+//! timeline of one serving request, reconstructed from the `req{id}` trace
+//! keys and the `ids` lists stamped on batch/micro events.
 //!
 //! `--demo` traces a small AlexNet optimize+time run on the simulated P100
 //! plus a few real SGD steps, writes `demo_trace.jsonl` and
@@ -28,15 +34,24 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("--demo") => demo(),
         Some(path) if !path.starts_with("--") => {
-            let chrome_out = match args.get(1).map(String::as_str) {
-                Some("--chrome") => match args.get(2) {
-                    Some(p) => Some(p.clone()),
-                    None => return usage(),
-                },
-                Some(_) => return usage(),
-                None => None,
-            };
-            report_file(path, chrome_out.as_deref())
+            let mut chrome_out = None;
+            let mut request = None;
+            let mut rest = args[1..].iter();
+            loop {
+                match rest.next().map(String::as_str) {
+                    None => break,
+                    Some("--chrome") => match rest.next() {
+                        Some(p) => chrome_out = Some(p.clone()),
+                        None => return usage(),
+                    },
+                    Some("--request") => match rest.next().and_then(|s| s.parse::<u64>().ok()) {
+                        Some(id) => request = Some(id),
+                        None => return usage(),
+                    },
+                    Some(_) => return usage(),
+                }
+            }
+            report_file(path, chrome_out.as_deref(), request)
         }
         _ => return usage(),
     };
@@ -50,14 +65,22 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: ucudnn-report <trace.jsonl> [--chrome <out.json>] | --demo");
+    eprintln!("usage: ucudnn-report <trace.jsonl> [--chrome <out.json>] [--request <id>] | --demo");
     ExitCode::FAILURE
 }
 
 /// Report an existing JSONL trace; optionally also export Chrome JSON.
-fn report_file(path: &str, chrome_out: Option<&str>) -> Result<(), String> {
+/// With `--request`, print that one request's timeline instead of the
+/// aggregate profile.
+fn report_file(path: &str, chrome_out: Option<&str>, request: Option<u64>) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let trace = Trace::from_jsonl(&text).ok_or_else(|| format!("{path}: malformed trace"))?;
+    if let Some(id) = request {
+        let timeline = ucudnn_bench::report::request_timeline(&trace, id)
+            .ok_or_else(|| format!("request {id} does not appear in {path}"))?;
+        print!("{timeline}");
+        return Ok(());
+    }
     print!("{}", TraceReport::from_trace(&trace).render());
     if let Some(out) = chrome_out {
         std::fs::write(out, trace.to_chrome_json())

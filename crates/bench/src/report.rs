@@ -7,6 +7,7 @@
 //! training-time percentiles, and the workspace high-water mark.
 
 use std::collections::BTreeMap;
+use ucudnn::json::Value;
 use ucudnn::{Trace, TraceEvent};
 use ucudnn_framework::{Percentiles, StreamingHistogram};
 
@@ -287,6 +288,41 @@ impl TraceReport {
     }
 }
 
+/// Reconstruct one serving request's admission→batch→completion timeline
+/// from a trace: every `serve` event keyed `req{id}` (submit, shed,
+/// complete) plus every batch/micro event whose `ids` list carries the
+/// request. Returns `None` if the request never appears.
+pub fn request_timeline(trace: &Trace, id: u64) -> Option<String> {
+    let key = format!("req{id}");
+    let rides = |e: &TraceEvent| {
+        e.args
+            .get("ids")
+            .and_then(Value::as_arr)
+            .is_some_and(|ids| ids.iter().filter_map(Value::as_u64).any(|v| v == id))
+    };
+    let mut rows: Vec<&TraceEvent> = trace
+        .events
+        .iter()
+        .filter(|e| e.cat == "serve" && (e.key == key || rides(e)))
+        .collect();
+    if rows.is_empty() {
+        return None;
+    }
+    rows.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+    let mut out = format!("=== request req{id}: {} events ===\n", rows.len());
+    for e in &rows {
+        let detail = match &e.args {
+            Value::Null => String::new(),
+            v => v.to_json(),
+        };
+        out.push_str(&format!(
+            "{:>14.1}  {:<12} key={:<10} {detail}\n",
+            e.ts_us, e.name, e.key
+        ));
+    }
+    Some(out)
+}
+
 /// Left-aligned first column, right-aligned rest (same shape as
 /// [`crate::print_table`], but returned instead of printed).
 fn table(header: &[&str], rows: &[Vec<String>]) -> String {
@@ -428,5 +464,71 @@ mod tests {
     fn empty_trace_renders_header_only() {
         let r = TraceReport::from_trace(&Trace::default());
         assert_eq!(r.render(), "=== ucudnn-report: 0 events (0 dropped) ===\n");
+    }
+
+    fn serve_trace() -> Trace {
+        let at = |mut e: TraceEvent, ts: f64| {
+            e.ts_us = ts;
+            e
+        };
+        Trace {
+            events: vec![
+                at(
+                    ev(
+                        "serve",
+                        "submit",
+                        "req7",
+                        0.0,
+                        json::obj([("arrival_us", json::num(10.0))]),
+                    ),
+                    10.0,
+                ),
+                at(
+                    ev(
+                        "serve",
+                        "micro",
+                        "worker0",
+                        0.0,
+                        json::obj([
+                            ("micro", json::num(2.0)),
+                            ("exec_us", json::num(500.0)),
+                            ("ids", Value::Arr(vec![json::num(6.0), json::num(7.0)])),
+                        ]),
+                    ),
+                    40.0,
+                ),
+                at(
+                    ev(
+                        "serve",
+                        "complete",
+                        "req7",
+                        0.0,
+                        json::obj([("latency_us", json::num(530.0))]),
+                    ),
+                    540.0,
+                ),
+                // Another request's events must not leak into req7's story.
+                at(ev("serve", "submit", "req8", 0.0, Value::Null), 11.0),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn request_timeline_reconstructs_one_request_in_time_order() {
+        let t = serve_trace();
+        let text = request_timeline(&t, 7).expect("req7 is in the trace");
+        assert!(text.starts_with("=== request req7: 3 events ==="));
+        let (s, m, c) = (
+            text.find("submit").unwrap(),
+            text.find("micro").unwrap(),
+            text.find("complete").unwrap(),
+        );
+        assert!(s < m && m < c, "admission → batch → response order");
+        assert!(text.contains("latency_us"));
+        assert!(!text.contains("req8"), "other requests stay out");
+        // Request 6 rides the same micro-batch but has no submit/complete.
+        assert!(request_timeline(&t, 6).unwrap().contains("micro"));
+        assert_eq!(request_timeline(&t, 99), None, "unknown id");
     }
 }

@@ -26,6 +26,9 @@
 //! | `UCUDNN_REOPT_CONSECUTIVE` | breached windows before re-benchmark ≥ 1 | `ucudnn_serve::ReoptConfig::consecutive` |
 //! | `UCUDNN_PERTURB_AT_US` | virtual-clock instant, µs | `ucudnn_gpu_model::Perturbation::at_us` (simulated drift oracle) |
 //! | `UCUDNN_PERTURB_FACTOR` | execution-time multiplier > 0 | `ucudnn_gpu_model::Perturbation::factor` |
+//! | `UCUDNN_TELEMETRY_RING` | window snapshots kept per series ≥ 1 | [`crate::telemetry::Registry::with_ring`] capacity |
+//! | `UCUDNN_SLO_BUDGET` | bad-request budget fraction in (0, 1] | `ucudnn_serve::BurnConfig::budget` |
+//! | `UCUDNN_BURN_WINDOWS` | `<fast_us>,<slow_us>`, both > 0, fast < slow | `ucudnn_serve::BurnConfig::{fast_us, slow_us}` |
 
 use crate::handle::{OptimizerMode, UcudnnOptions};
 use crate::policy::BatchSizePolicy;

@@ -807,6 +807,21 @@ impl UcudnnHandle {
         &self.metrics
     }
 
+    /// The telemetry registry behind [`Self::metrics`], with the cache and
+    /// fault-injection tallies freshly mirrored in. Scrape it standalone
+    /// ([`crate::telemetry::Registry::expose`]) or compose it into a larger
+    /// exposition (the serving stack embeds it under its `STATS` verb).
+    pub fn telemetry(&self) -> crate::telemetry::Registry {
+        self.metrics
+            .set_total_us(self.state.lock().opt_wall_us as u64);
+        self.metrics.sync_cache(
+            &self.cache.stats(),
+            &self.inner.exec_cache_stats(),
+            self.inner.faults_injected(),
+        );
+        self.metrics.registry()
+    }
+
     /// Full metrics report as JSON: per-phase timings, thread and kernel
     /// counts, cache traffic, per-kernel benchmark counts (aggregated over
     /// micro-batch sizes), execution-plan cache counters, and the

@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod pareto;
 pub mod policy;
 pub mod slo;
+pub mod telemetry;
 pub mod trace;
 pub mod wd;
 pub mod wr;
@@ -73,6 +74,7 @@ pub use policy::BatchSizePolicy;
 pub use slo::{
     forward_latency_table, plan_batch, rebench_latency_table, SloDecision, TableProvenance,
 };
+pub use telemetry::{Counter, CounterVec, Gauge, GaugeVec, Histogram, Registry, WindowSnapshot};
 pub use trace::{
     ClockMode, PlanProvenance, Trace, TraceConfig, TraceEvent, TraceFormat, TraceSession,
 };

@@ -6,15 +6,23 @@
 //! pairs it with the cache traffic counters so a training run can tell *why*
 //! setup was fast or slow (e.g. 95% cache hits after a warm file DB load).
 //!
-//! All counters are atomic: optimizer worker threads record into one shared
-//! [`OptimizerMetrics`] without locking. Phase times are *aggregated over
-//! threads*, so with N workers the per-phase sums can exceed the end-to-end
-//! wall clock; `total_us` is recorded once by the orchestrator and is the
-//! actual elapsed time. The ratio between the two is the parallel speedup.
+//! Every number lives in a [`crate::telemetry::Registry`]: the optimizer
+//! worker threads record into lock-free instrument handles, the JSON report
+//! ([`OptimizerMetrics::to_json`]) and the Prometheus-style exposition
+//! ([`OptimizerMetrics::registry`]) both read the same instruments — one
+//! source of truth instead of parallel counter sets. Cache and fault
+//! tallies owned elsewhere ([`CacheStats`], [`ExecCacheStats`], the fault
+//! injector) are mirrored into the registry by
+//! [`OptimizerMetrics::sync_cache`] at export time.
+//!
+//! Phase times are *aggregated over threads*, so with N workers the
+//! per-phase sums can exceed the end-to-end wall clock; `total_wall` is
+//! recorded once by the orchestrator and is the actual elapsed time. The
+//! ratio between the two is the parallel speedup.
 
 use crate::bench_cache::CacheStats;
 use crate::json::{self, Value};
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::telemetry::{Counter, Gauge, Registry};
 use std::time::Instant;
 use ucudnn_cudnn_sim::ExecCacheStats;
 
@@ -46,24 +54,128 @@ pub struct PhaseTimings {
     pub total_us: u64,
 }
 
-/// Shared, thread-safe metrics collector for one optimization run.
-#[derive(Debug, Default)]
+/// Shared, thread-safe metrics collector for one optimization run, backed
+/// by a [`Registry`] of typed instruments.
+#[derive(Debug)]
 pub struct OptimizerMetrics {
-    benchmark_us: AtomicU64,
-    dp_us: AtomicU64,
-    pareto_us: AtomicU64,
-    ilp_us: AtomicU64,
-    total_us: AtomicU64,
-    threads: AtomicU64,
-    kernels: AtomicU64,
-    degradations: AtomicU64,
-    exec_retries: AtomicU64,
+    registry: Registry,
+    benchmark_us: Counter,
+    dp_us: Counter,
+    pareto_us: Counter,
+    ilp_us: Counter,
+    total_wall_us: Gauge,
+    threads: Gauge,
+    kernels: Counter,
+    degradations: Counter,
+    exec_retries: Counter,
+    // Mirrors of externally owned tallies, written by `sync_cache`.
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_single_flight: Counter,
+    cache_points_dropped: Counter,
+    cache_bench_retries: Counter,
+    cache_db_loaded: Counter,
+    cache_db_quarantined: Counter,
+    exec_cache_hits: Counter,
+    exec_cache_misses: Counter,
+    exec_cache_evictions: Counter,
+    exec_cache_bytes: Gauge,
+    faults_injected: Counter,
+}
+
+impl Default for OptimizerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OptimizerMetrics {
-    /// Fresh collector with all counters zero.
+    /// Fresh collector with all instruments at zero.
     pub fn new() -> Self {
-        Self::default()
+        let registry = Registry::new();
+        let phase = registry.counter_vec(
+            "ucudnn_opt_phase_us_total",
+            "Optimizer time by phase, microseconds, summed across worker threads.",
+            "phase",
+            &["benchmark", "dp", "pareto", "ilp"],
+        );
+        let known = |key: &str| phase.with(key).expect("phase in vocabulary");
+        Self {
+            benchmark_us: known("benchmark"),
+            dp_us: known("dp"),
+            pareto_us: known("pareto"),
+            ilp_us: known("ilp"),
+            total_wall_us: registry.gauge(
+                "ucudnn_opt_total_wall_us",
+                "End-to-end optimization wall clock, microseconds.",
+            ),
+            threads: registry.gauge(
+                "ucudnn_opt_threads",
+                "Worker threads used by the last optimization run.",
+            ),
+            kernels: registry.counter(
+                "ucudnn_opt_kernels_total",
+                "Kernels whose plans were (re)computed.",
+            ),
+            degradations: registry.counter(
+                "ucudnn_opt_degradations_total",
+                "Graceful-degradation ladder steps taken by the optimizer.",
+            ),
+            exec_retries: registry.counter(
+                "ucudnn_exec_retries_total",
+                "Execution-time retries after transient kernel faults.",
+            ),
+            cache_hits: registry.counter("ucudnn_cache_hits_total", "Benchmark cache hits."),
+            cache_misses: registry.counter(
+                "ucudnn_cache_misses_total",
+                "Benchmark cache misses (micro-benchmarks actually run).",
+            ),
+            cache_single_flight: registry.counter(
+                "ucudnn_cache_single_flight_waits_total",
+                "Threads that waited on another thread's in-flight benchmark.",
+            ),
+            cache_points_dropped: registry.counter(
+                "ucudnn_cache_bench_points_dropped_total",
+                "Benchmark points dropped after persistent faults.",
+            ),
+            cache_bench_retries: registry.counter(
+                "ucudnn_cache_bench_retries_total",
+                "Benchmark retries after transient faults.",
+            ),
+            cache_db_loaded: registry.counter(
+                "ucudnn_cache_db_rows_loaded_total",
+                "Rows loaded from the benchmark file DB.",
+            ),
+            cache_db_quarantined: registry.counter(
+                "ucudnn_cache_db_rows_quarantined_total",
+                "File-DB rows quarantined as corrupt.",
+            ),
+            exec_cache_hits: registry
+                .counter("ucudnn_exec_cache_hits_total", "Execution-plan cache hits."),
+            exec_cache_misses: registry.counter(
+                "ucudnn_exec_cache_misses_total",
+                "Execution-plan cache misses.",
+            ),
+            exec_cache_evictions: registry.counter(
+                "ucudnn_exec_cache_evictions_total",
+                "Execution-plan cache evictions.",
+            ),
+            exec_cache_bytes: registry.gauge(
+                "ucudnn_exec_cache_bytes",
+                "Bytes resident in the execution-plan cache.",
+            ),
+            faults_injected: registry.counter(
+                "ucudnn_faults_injected_total",
+                "Faults injected by the deterministic fault injector.",
+            ),
+            registry,
+        }
+    }
+
+    /// The registry backing this collector; clone it to scrape or compose
+    /// expositions ([`Registry::expose_into`]).
+    pub fn registry(&self) -> Registry {
+        self.registry.clone()
     }
 
     /// Add `micros` to a phase counter.
@@ -74,7 +186,7 @@ impl OptimizerMetrics {
             Phase::Pareto => &self.pareto_us,
             Phase::Ilp => &self.ilp_us,
         };
-        counter.fetch_add(micros, Ordering::Relaxed);
+        counter.add(micros);
     }
 
     /// Run `f`, charging its wall time to `phase`.
@@ -87,77 +199,96 @@ impl OptimizerMetrics {
 
     /// Record the end-to-end wall clock of the whole optimization.
     pub fn set_total_us(&self, micros: u64) {
-        self.total_us.store(micros, Ordering::Relaxed);
+        self.total_wall_us.set(micros as f64);
     }
 
     /// Record how many worker threads the run used.
     pub fn set_threads(&self, n: usize) {
-        self.threads.store(n as u64, Ordering::Relaxed);
+        self.threads.set(n as f64);
     }
 
     /// Count kernels whose plans were (re)computed.
     pub fn add_kernels(&self, n: usize) {
-        self.kernels.fetch_add(n as u64, Ordering::Relaxed);
+        self.kernels.add(n as u64);
     }
 
     /// Worker thread count of the last run.
     pub fn threads(&self) -> usize {
-        self.threads.load(Ordering::Relaxed) as usize
+        self.threads.get() as usize
     }
 
     /// Total kernels optimized so far.
     pub fn kernels(&self) -> u64 {
-        self.kernels.load(Ordering::Relaxed)
+        self.kernels.get()
     }
 
     /// Record one graceful degradation: a plan fell down a rung of the
     /// ladder (dropped benchmark point, undivided fallback, shrunk
     /// workspace) instead of failing the optimization.
     pub fn degradation(&self) {
-        self.degradations.fetch_add(1, Ordering::Relaxed);
+        self.degradations.inc();
     }
 
     /// Degradations recorded so far.
     pub fn degradations(&self) -> u64 {
-        self.degradations.load(Ordering::Relaxed)
+        self.degradations.get()
     }
 
     /// Count execution-time retries after transient kernel faults.
     pub fn add_exec_retries(&self, n: u64) {
-        self.exec_retries.fetch_add(n, Ordering::Relaxed);
+        self.exec_retries.add(n);
     }
 
     /// Execution retries recorded so far.
     pub fn exec_retries(&self) -> u64 {
-        self.exec_retries.load(Ordering::Relaxed)
+        self.exec_retries.get()
     }
 
     /// Snapshot the per-phase timings.
     pub fn timings(&self) -> PhaseTimings {
         PhaseTimings {
-            benchmark_us: self.benchmark_us.load(Ordering::Relaxed),
-            dp_us: self.dp_us.load(Ordering::Relaxed),
-            pareto_us: self.pareto_us.load(Ordering::Relaxed),
-            ilp_us: self.ilp_us.load(Ordering::Relaxed),
-            total_us: self.total_us.load(Ordering::Relaxed),
+            benchmark_us: self.benchmark_us.get(),
+            dp_us: self.dp_us.get(),
+            pareto_us: self.pareto_us.get(),
+            ilp_us: self.ilp_us.get(),
+            total_us: self.total_wall_us.get() as u64,
         }
     }
 
-    /// Reset every counter to zero (for back-to-back measured runs).
+    /// Reset every instrument to zero (for back-to-back measured runs).
     pub fn reset(&self) {
         for c in [
             &self.benchmark_us,
             &self.dp_us,
             &self.pareto_us,
             &self.ilp_us,
-            &self.total_us,
-            &self.threads,
             &self.kernels,
             &self.degradations,
             &self.exec_retries,
         ] {
-            c.store(0, Ordering::Relaxed);
+            c.set(0);
         }
+        self.total_wall_us.set(0.0);
+        self.threads.set(0.0);
+    }
+
+    /// Mirror the externally owned tallies — benchmark cache, execution
+    /// cache, fault injector — into the registry so a scrape sees them
+    /// without knowing about those structs. Absolute sync: callers pass the
+    /// current totals.
+    pub fn sync_cache(&self, cache: &CacheStats, exec_cache: &ExecCacheStats, faults: u64) {
+        self.cache_hits.set(cache.hits);
+        self.cache_misses.set(cache.misses);
+        self.cache_single_flight.set(cache.single_flight_waits);
+        self.cache_points_dropped.set(cache.bench_points_dropped);
+        self.cache_bench_retries.set(cache.bench_retries);
+        self.cache_db_loaded.set(cache.db_rows_loaded);
+        self.cache_db_quarantined.set(cache.db_rows_quarantined);
+        self.exec_cache_hits.set(exec_cache.hits);
+        self.exec_cache_misses.set(exec_cache.misses);
+        self.exec_cache_evictions.set(exec_cache.evictions);
+        self.exec_cache_bytes.set(exec_cache.bytes as f64);
+        self.faults_injected.set(faults);
     }
 
     /// Render the full metrics report as a JSON document: per-phase
@@ -166,7 +297,9 @@ impl OptimizerMetrics {
     /// (degradations, injected faults, retries, and DB quarantine counts).
     /// `faults_injected` comes from the substrate's fault injector
     /// ([`ucudnn_cudnn_sim::CudnnHandle::faults_injected`]); `exec_cache`
-    /// from [`ucudnn_cudnn_sim::CudnnHandle::exec_cache_stats`].
+    /// from [`ucudnn_cudnn_sim::CudnnHandle::exec_cache_stats`]. The same
+    /// call mirrors those tallies into the registry, so the JSON report and
+    /// a subsequent exposition agree.
     pub fn to_json(
         &self,
         cache: CacheStats,
@@ -174,6 +307,7 @@ impl OptimizerMetrics {
         faults_injected: u64,
         exec_cache: ExecCacheStats,
     ) -> String {
+        self.sync_cache(&cache, &exec_cache, faults_injected);
         let t = self.timings();
         // Degradations observed anywhere: explicit ladder steps recorded by
         // the optimizers plus benchmark points the cache had to drop.
@@ -373,6 +507,19 @@ mod tests {
         assert_eq!(rob.get("exec_retries").unwrap().as_u64(), Some(2));
         assert_eq!(rob.get("db_rows_loaded").unwrap().as_u64(), Some(7));
         assert_eq!(rob.get("db_rows_quarantined").unwrap().as_u64(), Some(2));
+        // The same export mirrored the external tallies into the registry:
+        // a scrape agrees with the JSON document (satellite: one schema).
+        let text = m.registry().expose();
+        for line in [
+            "ucudnn_opt_phase_us_total{phase=\"benchmark\"} 100",
+            "ucudnn_cache_hits_total 3",
+            "ucudnn_exec_cache_hits_total 12",
+            "ucudnn_exec_cache_bytes 2048",
+            "ucudnn_faults_injected_total 6",
+            "ucudnn_opt_degradations_total 1",
+        ] {
+            assert!(text.contains(line), "exposition missing {line:?}:\n{text}");
+        }
     }
 
     #[test]

@@ -1,0 +1,1007 @@
+//! The unified telemetry plane: one registry of typed instruments behind
+//! every metric the library and the serving stack export.
+//!
+//! Before this module each subsystem kept its own ad-hoc counters
+//! (`metrics.rs` atomics, `ServeMetrics` atomics, cache stats structs) and
+//! the only export was a one-shot JSON dump. A [`Registry`] is the single
+//! source of truth instead: producers hold cheap atomic instrument handles
+//! ([`Counter`], [`Gauge`], [`Histogram`]), and every consumer — the
+//! Prometheus-style text [`Registry::expose`], the serving `STATS` verb,
+//! `--metrics-dump`, the JSON reports — renders the same instruments.
+//!
+//! Design rules:
+//!
+//! * **Zero external deps, lock-free hot path.** Counters are one
+//!   `fetch_add`; gauges one `store` of f64 bits; histograms one short
+//!   mutex-protected bucket increment (same cost as the framework's
+//!   streaming histogram).
+//! * **Bounded label cardinality.** A labeled family is created with a
+//!   fixed vocabulary; values outside it are rejected and counted by the
+//!   `ucudnn_telemetry_dropped_total` self-metric, so a hostile request
+//!   string can never mint unbounded series.
+//! * **History survives between scrapes.** Each series keeps a fixed-size
+//!   ring of timestamped window snapshots ([`Registry::snapshot`],
+//!   capacity `UCUDNN_TELEMETRY_RING`): a scrape that comes late still sees
+//!   the shape of the interval it missed.
+//! * **Deterministic.** Timestamps are always passed in by the caller
+//!   (virtual-clock sims pass virtual time), never read from a wall clock,
+//!   so expositions are byte-reproducible under the deterministic sims.
+//!
+//! The log-bucket geometry (`HIST_LO_US`/`HIST_FACTOR`/`HIST_BUCKETS`) is
+//! defined here and reused by `ucudnn_framework::StreamingHistogram`, so
+//! quantiles agree across the training and serving planes.
+
+use crate::env::EnvError;
+use crate::json::{self, Value};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Shared log-bucket geometry (one source of truth for all histograms).
+
+/// Smallest representable observation, microseconds. Anything at or below
+/// lands in bucket 0.
+pub const HIST_LO_US: f64 = 0.01;
+/// Geometric bucket growth factor; bounds the relative quantile error
+/// (~5% per bucket).
+pub const HIST_FACTOR: f64 = 1.05;
+/// Bucket count: covers `HIST_LO_US * HIST_FACTOR^HIST_BUCKETS` ≈ 7e8 µs
+/// (~12 minutes), far beyond any latency measured here.
+pub const HIST_BUCKETS: usize = 512;
+
+/// The bucket an observation lands in (clamped to the last bucket).
+pub fn bucket_index(us: f64) -> usize {
+    if us <= HIST_LO_US {
+        0
+    } else {
+        (((us / HIST_LO_US).ln() / HIST_FACTOR.ln()).ceil() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// The representative (upper-edge) value of bucket `idx`, microseconds.
+pub fn bucket_upper(idx: usize) -> f64 {
+    HIST_LO_US * HIST_FACTOR.powi(idx as i32)
+}
+
+// ---------------------------------------------------------------------------
+// Ring capacity configuration.
+
+/// Default per-series ring capacity (window snapshots kept between scrapes).
+pub const DEFAULT_RING: usize = 8;
+
+/// Parse `UCUDNN_TELEMETRY_RING` from a key-lookup function (testable twin
+/// of [`ring_from_env`]). Unset keeps [`DEFAULT_RING`]; malformed values
+/// are errors, not silent fallbacks.
+///
+/// # Errors
+/// [`EnvError`] naming the malformed variable.
+pub fn ring_from_lookup(
+    lookup: impl Fn(&str) -> Option<String>,
+) -> core::result::Result<usize, EnvError> {
+    match lookup("UCUDNN_TELEMETRY_RING") {
+        None => Ok(DEFAULT_RING),
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or(EnvError {
+                variable: "UCUDNN_TELEMETRY_RING",
+                value: v,
+            }),
+    }
+}
+
+/// Ring capacity from the process environment.
+///
+/// # Errors
+/// [`EnvError`] naming the malformed variable.
+pub fn ring_from_env() -> core::result::Result<usize, EnvError> {
+    ring_from_lookup(|k| std::env::var(k).ok())
+}
+
+// ---------------------------------------------------------------------------
+// Instrument kinds and internals.
+
+/// The exposition type of an instrument family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotone event count (`# TYPE … counter`).
+    Counter,
+    /// Point-in-time value (`# TYPE … gauge`).
+    Gauge,
+    /// Log-bucket latency distribution, exposed as a quantile summary
+    /// (`# TYPE … summary`).
+    Histogram,
+}
+
+impl Kind {
+    fn prom(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "summary",
+        }
+    }
+}
+
+/// One timestamped window snapshot in a series' ring buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSnapshot {
+    /// Caller-supplied timestamp of the snapshot, microseconds.
+    pub ts_us: f64,
+    /// Counter/gauge: the cumulative value at `ts_us`. Histogram: the p50
+    /// of the observations since the previous snapshot (0 when none).
+    pub value: f64,
+    /// Histogram: observations in the window. Counters/gauges: 0.
+    pub count: u64,
+}
+
+#[derive(Debug)]
+struct HistState {
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    w_counts: Vec<u64>,
+    w_total: u64,
+    w_sum: f64,
+    w_min: f64,
+    w_max: f64,
+    /// Last request-correlated observation: `(request id, value µs)`.
+    exemplar: Option<(u64, f64)>,
+}
+
+impl HistState {
+    fn new() -> Self {
+        Self {
+            counts: vec![0; HIST_BUCKETS],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            w_counts: vec![0; HIST_BUCKETS],
+            w_total: 0,
+            w_sum: 0.0,
+            w_min: f64::INFINITY,
+            w_max: f64::NEG_INFINITY,
+            exemplar: None,
+        }
+    }
+
+    fn record(&mut self, us: f64) {
+        if !us.is_finite() {
+            return;
+        }
+        let idx = bucket_index(us);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += us;
+        self.min = self.min.min(us);
+        self.max = self.max.max(us);
+        self.w_counts[idx] += 1;
+        self.w_total += 1;
+        self.w_sum += us;
+        self.w_min = self.w_min.min(us);
+        self.w_max = self.w_max.max(us);
+    }
+
+    fn quantile_of(counts: &[u64], total: u64, min: f64, max: f64, q: f64) -> Option<f64> {
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(idx).clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+
+    fn try_quantile(&self, q: f64) -> Option<f64> {
+        Self::quantile_of(&self.counts, self.total, self.min, self.max, q)
+    }
+
+    fn take_window(&mut self) -> HistStats {
+        let q = |p| Self::quantile_of(&self.w_counts, self.w_total, self.w_min, self.w_max, p);
+        let stats = HistStats {
+            count: self.w_total,
+            sum: self.w_sum,
+            p50_us: q(0.50),
+            p95_us: q(0.95),
+            p99_us: q(0.99),
+        };
+        self.w_counts.iter_mut().for_each(|c| *c = 0);
+        self.w_total = 0;
+        self.w_sum = 0.0;
+        self.w_min = f64::INFINITY;
+        self.w_max = f64::NEG_INFINITY;
+        stats
+    }
+}
+
+/// Summary of one histogram window (or of the cumulative state).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistStats {
+    /// Observations covered.
+    pub count: u64,
+    /// Sum of observations, microseconds.
+    pub sum: f64,
+    /// Median, or `None` when empty (no fake 0µs tails).
+    pub p50_us: Option<f64>,
+    /// 95th percentile, or `None` when empty.
+    pub p95_us: Option<f64>,
+    /// 99th percentile, or `None` when empty.
+    pub p99_us: Option<f64>,
+}
+
+impl HistStats {
+    /// Mean of the covered observations; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SeriesInner {
+    /// Label value of this series (`None` for unlabeled families).
+    label: Option<String>,
+    /// Counter: integer count. Gauge: f64 bits.
+    value: AtomicU64,
+    hist: Option<Mutex<HistState>>,
+    ring: Mutex<VecDeque<WindowSnapshot>>,
+}
+
+impl SeriesInner {
+    fn new(label: Option<String>, kind: Kind) -> Self {
+        Self {
+            label,
+            value: AtomicU64::new(0),
+            hist: (kind == Kind::Histogram).then(|| Mutex::new(HistState::new())),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FamilyInner {
+    name: String,
+    help: String,
+    kind: Kind,
+    label_key: Option<String>,
+    /// All series, fixed at creation (one per vocabulary entry); never
+    /// grows, which is what bounds the cardinality.
+    series: Vec<Arc<SeriesInner>>,
+}
+
+// ---------------------------------------------------------------------------
+// Instrument handles.
+
+/// A monotone event counter. Cloneable handle; all clones share the count.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    series: Arc<SeriesInner>,
+}
+
+impl Counter {
+    /// Count one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Count `n` events.
+    pub fn add(&self, n: u64) {
+        self.series.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.series.value.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the count. For absolute syncs from an external tally
+    /// (cache stats structs) and for `reset()`-style re-runs — the counter
+    /// is still exposed as monotone, exactly like a process restart.
+    pub fn set(&self, v: u64) {
+        self.series.value.store(v, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time value (f64). Cloneable handle; clones share the value.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    series: Arc<SeriesInner>,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.series.value.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if above the current value (high-water mark).
+    pub fn set_max(&self, v: f64) {
+        let _ = self
+            .series
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v > f64::from_bits(bits)).then(|| v.to_bits())
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.series.value.load(Ordering::Relaxed))
+    }
+}
+
+/// A log-bucketed latency histogram (geometry shared with
+/// `ucudnn_framework::StreamingHistogram`), exposed as a quantile summary.
+/// Keeps a cumulative view plus a window since the last snapshot, and the
+/// last request-correlated exemplar.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    series: Arc<SeriesInner>,
+}
+
+impl Histogram {
+    fn state(&self) -> &Mutex<HistState> {
+        self.series.hist.as_ref().expect("histogram series")
+    }
+
+    /// Record one observation, microseconds. Non-finite values are ignored.
+    pub fn record(&self, us: f64) {
+        self.state().lock().record(us);
+    }
+
+    /// Record one observation correlated with a request id; the id/value
+    /// pair is kept as the series' exemplar (last one wins) and rendered
+    /// into the exposition.
+    pub fn record_with_exemplar(&self, us: f64, request_id: u64) {
+        let mut h = self.state().lock();
+        h.record(us);
+        if us.is_finite() {
+            h.exemplar = Some((request_id, us));
+        }
+    }
+
+    /// Observations recorded since creation.
+    pub fn count(&self) -> u64 {
+        self.state().lock().total
+    }
+
+    /// Mean over the cumulative view; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let h = self.state().lock();
+        if h.total == 0 {
+            0.0
+        } else {
+            h.sum / h.total as f64
+        }
+    }
+
+    /// Cumulative q-quantile, or `None` when nothing has been recorded.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
+        self.state().lock().try_quantile(q)
+    }
+
+    /// Cumulative p50/p95/p99 bundle (quantiles `None` when empty).
+    pub fn cumulative(&self) -> HistStats {
+        let h = self.state().lock();
+        HistStats {
+            count: h.total,
+            sum: h.sum,
+            p50_us: h.try_quantile(0.50),
+            p95_us: h.try_quantile(0.95),
+            p99_us: h.try_quantile(0.99),
+        }
+    }
+
+    /// Observations since the last window consumer.
+    pub fn window_count(&self) -> u64 {
+        self.state().lock().w_total
+    }
+
+    /// Detach and reset the window, returning its summary. Window consumers
+    /// compose: the serving JSON snapshot and the ring snapshot each see
+    /// the observations that landed since whichever consumer ran last.
+    pub fn take_window(&self) -> HistStats {
+        self.state().lock().take_window()
+    }
+
+    /// The last request-correlated observation, if any.
+    pub fn exemplar(&self) -> Option<(u64, f64)> {
+        self.state().lock().exemplar
+    }
+}
+
+/// A labeled counter family with a fixed vocabulary.
+#[derive(Debug, Clone)]
+pub struct CounterVec {
+    family: Arc<FamilyInner>,
+    registry: Registry,
+}
+
+impl CounterVec {
+    /// The counter for `label`, or `None` (counted by the
+    /// `telemetry_dropped` self-metric) when `label` is outside the
+    /// family's vocabulary.
+    pub fn with(&self, label: &str) -> Option<Counter> {
+        match self
+            .family
+            .series
+            .iter()
+            .find(|s| s.label.as_deref() == Some(label))
+        {
+            Some(s) => Some(Counter {
+                series: Arc::clone(s),
+            }),
+            None => {
+                self.registry.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+}
+
+/// A labeled gauge family with a fixed vocabulary.
+#[derive(Debug, Clone)]
+pub struct GaugeVec {
+    family: Arc<FamilyInner>,
+    registry: Registry,
+}
+
+impl GaugeVec {
+    /// The gauge for `label`, or `None` (counted) outside the vocabulary.
+    pub fn with(&self, label: &str) -> Option<Gauge> {
+        match self
+            .family
+            .series
+            .iter()
+            .find(|s| s.label.as_deref() == Some(label))
+        {
+            Some(s) => Some(Gauge {
+                series: Arc::clone(s),
+            }),
+            None => {
+                self.registry.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The registry.
+
+#[derive(Debug)]
+struct RegistryInner {
+    families: Mutex<Vec<Arc<FamilyInner>>>,
+    /// The `ucudnn_telemetry_dropped_total` self-metric: label values
+    /// rejected for being outside a family's vocabulary.
+    dropped: AtomicU64,
+    ring_cap: usize,
+}
+
+/// An insertion-ordered registry of instrument families. Cloning shares
+/// the underlying registry (cheap `Arc` clone).
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A registry with the default ring capacity ([`DEFAULT_RING`]).
+    pub fn new() -> Self {
+        Self::with_ring(DEFAULT_RING)
+    }
+
+    /// A registry whose series keep `ring_cap` window snapshots
+    /// (`UCUDNN_TELEMETRY_RING`; parse with [`ring_from_env`]).
+    pub fn with_ring(ring_cap: usize) -> Self {
+        Self {
+            inner: Arc::new(RegistryInner {
+                families: Mutex::new(Vec::new()),
+                dropped: AtomicU64::new(0),
+                ring_cap: ring_cap.max(1),
+            }),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        label_key: Option<&str>,
+        vocab: &[&str],
+    ) -> Arc<FamilyInner> {
+        let mut fams = self.inner.families.lock();
+        if let Some(f) = fams.iter().find(|f| f.name == name) {
+            assert!(
+                f.kind == kind && f.label_key.as_deref() == label_key,
+                "telemetry family {name:?} re-registered with a different shape"
+            );
+            return Arc::clone(f);
+        }
+        let series = if label_key.is_some() {
+            vocab
+                .iter()
+                .map(|v| Arc::new(SeriesInner::new(Some((*v).to_string()), kind)))
+                .collect()
+        } else {
+            vec![Arc::new(SeriesInner::new(None, kind))]
+        };
+        let fam = Arc::new(FamilyInner {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            label_key: label_key.map(str::to_string),
+            series,
+        });
+        fams.push(Arc::clone(&fam));
+        fam
+    }
+
+    /// Register (or fetch) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let fam = self.register(name, help, Kind::Counter, None, &[]);
+        Counter {
+            series: Arc::clone(&fam.series[0]),
+        }
+    }
+
+    /// Register (or fetch) a counter family labeled by `label_key`, with
+    /// the fixed vocabulary `vocab` (the cardinality bound).
+    pub fn counter_vec(
+        &self,
+        name: &str,
+        help: &str,
+        label_key: &str,
+        vocab: &[&str],
+    ) -> CounterVec {
+        let fam = self.register(name, help, Kind::Counter, Some(label_key), vocab);
+        CounterVec {
+            family: fam,
+            registry: self.clone(),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let fam = self.register(name, help, Kind::Gauge, None, &[]);
+        Gauge {
+            series: Arc::clone(&fam.series[0]),
+        }
+    }
+
+    /// Register (or fetch) a gauge family labeled by `label_key` with a
+    /// fixed vocabulary.
+    pub fn gauge_vec(&self, name: &str, help: &str, label_key: &str, vocab: &[&str]) -> GaugeVec {
+        let fam = self.register(name, help, Kind::Gauge, Some(label_key), vocab);
+        GaugeVec {
+            family: fam,
+            registry: self.clone(),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        let fam = self.register(name, help, Kind::Histogram, None, &[]);
+        Histogram {
+            series: Arc::clone(&fam.series[0]),
+        }
+    }
+
+    /// Label values rejected so far (the `telemetry_dropped` self-metric).
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Push one timestamped window snapshot into every series' ring,
+    /// evicting the oldest beyond the ring capacity. Histograms consume
+    /// their window; counters and gauges snapshot their current value.
+    pub fn snapshot(&self, ts_us: f64) {
+        let fams: Vec<Arc<FamilyInner>> = self.inner.families.lock().clone();
+        for fam in fams {
+            for s in &fam.series {
+                let snap = match &s.hist {
+                    Some(h) => {
+                        let w = h.lock().take_window();
+                        WindowSnapshot {
+                            ts_us,
+                            value: w.p50_us.unwrap_or(0.0),
+                            count: w.count,
+                        }
+                    }
+                    None => WindowSnapshot {
+                        ts_us,
+                        value: match fam.kind {
+                            Kind::Gauge => f64::from_bits(s.value.load(Ordering::Relaxed)),
+                            _ => s.value.load(Ordering::Relaxed) as f64,
+                        },
+                        count: 0,
+                    },
+                };
+                let mut ring = s.ring.lock();
+                ring.push_back(snap);
+                while ring.len() > self.inner.ring_cap {
+                    ring.pop_front();
+                }
+            }
+        }
+    }
+
+    /// The ring contents of one series (`label: None` for unlabeled
+    /// families), oldest first. `None` when the series does not exist.
+    pub fn ring(&self, name: &str, label: Option<&str>) -> Option<Vec<WindowSnapshot>> {
+        let fams = self.inner.families.lock();
+        let fam = fams.iter().find(|f| f.name == name)?;
+        let s = fam.series.iter().find(|s| s.label.as_deref() == label)?;
+        let snaps = s.ring.lock().iter().copied().collect();
+        Some(snaps)
+    }
+
+    /// Render every family into `out` in Prometheus text format (`# HELP`,
+    /// `# TYPE`, escaped labels; histograms as quantile summaries with
+    /// `# EXEMPLAR` comment lines). Emits no terminator, so multiple
+    /// registries compose into one scrape; the caller appends the
+    /// `telemetry_dropped` self-metric and `# EOF`.
+    pub fn expose_into(&self, out: &mut String) {
+        let fams: Vec<Arc<FamilyInner>> = self.inner.families.lock().clone();
+        for fam in fams {
+            out.push_str(&format!("# HELP {} {}\n", fam.name, escape_help(&fam.help)));
+            out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind.prom()));
+            for s in &fam.series {
+                let label = |extra: Option<(&str, String)>| -> String {
+                    let mut parts = Vec::new();
+                    if let (Some(k), Some(v)) = (&fam.label_key, &s.label) {
+                        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+                    }
+                    if let Some((k, v)) = extra {
+                        parts.push(format!("{k}=\"{}\"", escape_label(&v)));
+                    }
+                    if parts.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{{{}}}", parts.join(","))
+                    }
+                };
+                match &s.hist {
+                    None => {
+                        let v = match fam.kind {
+                            Kind::Gauge => f64::from_bits(s.value.load(Ordering::Relaxed)),
+                            _ => s.value.load(Ordering::Relaxed) as f64,
+                        };
+                        out.push_str(&format!("{}{} {}\n", fam.name, label(None), fmt_num(v)));
+                    }
+                    Some(h) => {
+                        let h = h.lock();
+                        for (q, qs) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                            if let Some(v) = h.try_quantile(q) {
+                                out.push_str(&format!(
+                                    "{}{} {}\n",
+                                    fam.name,
+                                    label(Some(("quantile", qs.to_string()))),
+                                    fmt_num(v)
+                                ));
+                            }
+                        }
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            fam.name,
+                            label(None),
+                            fmt_num(h.sum)
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            fam.name,
+                            label(None),
+                            fmt_num(h.total as f64)
+                        ));
+                        if let Some((id, us)) = h.exemplar {
+                            out.push_str(&format!(
+                                "# EXEMPLAR {} request_id=\"{id}\" value={}\n",
+                                fam.name,
+                                fmt_num(us)
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Render the `telemetry_dropped` self-metric line(s) for a combined
+    /// drop count (callers merging several registries sum their drops).
+    pub fn expose_dropped_into(out: &mut String, dropped: u64) {
+        out.push_str("# HELP ucudnn_telemetry_dropped_total Label values rejected for exceeding a family's fixed vocabulary.\n");
+        out.push_str("# TYPE ucudnn_telemetry_dropped_total counter\n");
+        out.push_str(&format!("ucudnn_telemetry_dropped_total {dropped}\n"));
+    }
+
+    /// A complete standalone scrape of this registry: families, the
+    /// self-metric, and the `# EOF` terminator.
+    pub fn expose(&self) -> String {
+        let mut out = String::new();
+        self.expose_into(&mut out);
+        Self::expose_dropped_into(&mut out, self.dropped());
+        out.push_str("# EOF\n");
+        out
+    }
+
+    /// The ring history of every series as a JSON document (the offline
+    /// companion of the exposition, written by `--metrics-dump`).
+    pub fn history_json(&self) -> Value {
+        let fams: Vec<Arc<FamilyInner>> = self.inner.families.lock().clone();
+        let mut rows = Vec::new();
+        for fam in fams {
+            for s in &fam.series {
+                let snaps: Vec<Value> = s
+                    .ring
+                    .lock()
+                    .iter()
+                    .map(|w| {
+                        json::obj([
+                            ("ts_us", json::num(w.ts_us)),
+                            ("value", json::num(w.value)),
+                            ("count", json::num(w.count as f64)),
+                        ])
+                    })
+                    .collect();
+                rows.push(json::obj([
+                    ("name", Value::Str(fam.name.clone())),
+                    (
+                        "label",
+                        s.label
+                            .as_ref()
+                            .map_or(Value::Null, |l| Value::Str(l.clone())),
+                    ),
+                    ("snapshots", Value::Arr(snaps)),
+                ]));
+            }
+        }
+        json::obj([
+            ("ring_capacity", json::num(self.inner.ring_cap as f64)),
+            ("series", Value::Arr(rows)),
+        ])
+    }
+}
+
+/// Prometheus number formatting via the JSON writer: whole numbers print
+/// as integers, everything else shortest-round-trip.
+fn fmt_num(v: f64) -> String {
+    json::num(v).to_json()
+}
+
+/// Escape a label value per the Prometheus text format: backslash, double
+/// quote, and newline.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a HELP string: backslash and newline.
+fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_geometry_matches_the_streaming_histogram() {
+        // The framework's histogram reuses these; pin the geometry.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(HIST_LO_US), 0);
+        assert_eq!(bucket_index(f64::MAX), HIST_BUCKETS - 1);
+        for idx in [1usize, 17, 255, HIST_BUCKETS - 1] {
+            let upper = bucket_upper(idx);
+            assert_eq!(bucket_index(upper * 0.999), idx, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        let reg = Registry::new();
+        let c = reg.counter("t_total", "test counter");
+        let g = reg.gauge("t_gauge", "test gauge");
+        let h = reg.histogram("t_hist", "test histogram");
+        const THREADS: usize = 8;
+        const PER: usize = 2_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let (c, g, h) = (c.clone(), g.clone(), h.clone());
+                s.spawn(move || {
+                    for i in 0..PER {
+                        c.inc();
+                        g.set_max((t * PER + i) as f64);
+                        h.record(100.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), (THREADS * PER) as u64);
+        assert_eq!(g.get(), (THREADS * PER - 1) as f64);
+        assert_eq!(h.count(), (THREADS * PER) as u64);
+        assert_eq!(h.try_quantile(0.99), Some(100.0));
+    }
+
+    #[test]
+    fn exposition_golden_format() {
+        let reg = Registry::new();
+        let c = reg.counter("ucudnn_t_events_total", "Events seen.");
+        c.add(3);
+        let v = reg.counter_vec(
+            "ucudnn_t_shed_total",
+            "Sheds by reason.",
+            "reason",
+            &["queue_full", "with\"quote"],
+        );
+        v.with("queue_full").unwrap().add(2);
+        v.with("with\"quote").unwrap().inc();
+        let g = reg.gauge("ucudnn_t_depth", "Queue depth.");
+        g.set(4.5);
+        let h = reg.histogram("ucudnn_t_latency_us", "Latency.");
+        h.record_with_exemplar(100.0, 42);
+        let got = reg.expose();
+        let want = "\
+# HELP ucudnn_t_events_total Events seen.
+# TYPE ucudnn_t_events_total counter
+ucudnn_t_events_total 3
+# HELP ucudnn_t_shed_total Sheds by reason.
+# TYPE ucudnn_t_shed_total counter
+ucudnn_t_shed_total{reason=\"queue_full\"} 2
+ucudnn_t_shed_total{reason=\"with\\\"quote\"} 1
+# HELP ucudnn_t_depth Queue depth.
+# TYPE ucudnn_t_depth gauge
+ucudnn_t_depth 4.5
+# HELP ucudnn_t_latency_us Latency.
+# TYPE ucudnn_t_latency_us summary
+ucudnn_t_latency_us{quantile=\"0.5\"} 100
+ucudnn_t_latency_us{quantile=\"0.95\"} 100
+ucudnn_t_latency_us{quantile=\"0.99\"} 100
+ucudnn_t_latency_us_sum 100
+ucudnn_t_latency_us_count 1
+# EXEMPLAR ucudnn_t_latency_us request_id=\"42\" value=100
+# HELP ucudnn_telemetry_dropped_total Label values rejected for exceeding a family's fixed vocabulary.
+# TYPE ucudnn_telemetry_dropped_total counter
+ucudnn_telemetry_dropped_total 0
+# EOF
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn out_of_vocabulary_labels_are_rejected_and_counted() {
+        let reg = Registry::new();
+        let v = reg.counter_vec("t_total", "t", "reason", &["a", "b"]);
+        assert!(v.with("a").is_some());
+        assert!(v.with("hostile{injection=\"x\"}").is_none());
+        assert!(v.with("c").is_none());
+        assert_eq!(reg.dropped(), 2);
+        let text = reg.expose();
+        assert!(text.contains("ucudnn_telemetry_dropped_total 2"));
+        // The rejected values minted no series.
+        assert!(!text.contains("hostile"));
+        let gv = reg.gauge_vec("t_g", "t", "window", &["fast"]);
+        assert!(gv.with("slow").is_none());
+        assert_eq!(reg.dropped(), 3);
+    }
+
+    #[test]
+    fn ring_snapshots_evict_beyond_capacity() {
+        let reg = Registry::with_ring(3);
+        let c = reg.counter("t_total", "t");
+        let h = reg.histogram("t_h", "t");
+        for i in 0..5 {
+            c.add(10);
+            h.record(100.0 * (i + 1) as f64);
+            reg.snapshot(1_000.0 * i as f64);
+        }
+        let ring = reg.ring("t_total", None).unwrap();
+        assert_eq!(ring.len(), 3, "capacity bounds the ring");
+        // Oldest snapshots (t=0, t=1000) were evicted.
+        assert_eq!(ring[0].ts_us, 2_000.0);
+        assert_eq!(ring[0].value, 30.0);
+        assert_eq!(ring[2].ts_us, 4_000.0);
+        assert_eq!(ring[2].value, 50.0);
+        // Histogram snapshots consume the window: one sample each.
+        let hring = reg.ring("t_h", None).unwrap();
+        assert_eq!(hring.len(), 3);
+        assert_eq!(hring[2].count, 1);
+        assert_eq!(hring[2].value, 500.0);
+        // And the history JSON renders the same content.
+        let j = reg.history_json();
+        assert_eq!(j.get("ring_capacity").unwrap().as_u64(), Some(3));
+        let series = j.get("series").unwrap().as_arr().unwrap();
+        assert_eq!(series.len(), 2);
+    }
+
+    #[test]
+    fn histogram_windows_and_cumulative_views_are_independent() {
+        let reg = Registry::new();
+        let h = reg.histogram("t_h", "t");
+        for _ in 0..10 {
+            h.record(100.0);
+        }
+        let w = h.take_window();
+        assert_eq!(w.count, 10);
+        assert_eq!(w.p50_us, Some(100.0));
+        assert_eq!(h.window_count(), 0);
+        h.record(400.0);
+        let w2 = h.take_window();
+        assert_eq!(w2.count, 1);
+        assert_eq!(w2.p50_us, Some(400.0));
+        // The cumulative view still answers over the full history (bucket
+        // upper edge: ≤5% relative error).
+        let c = h.cumulative();
+        assert_eq!(c.count, 11);
+        let p50 = c.p50_us.unwrap();
+        assert!((100.0..=105.0).contains(&p50), "p50 {p50}");
+        // An empty window has no quantiles, not fake zeros.
+        let w3 = h.take_window();
+        assert_eq!(w3.count, 0);
+        assert_eq!(w3.p50_us, None);
+        assert_eq!(w3.mean(), 0.0);
+    }
+
+    #[test]
+    fn families_are_idempotent_and_shape_checked() {
+        let reg = Registry::new();
+        let a = reg.counter("t_total", "t");
+        let b = reg.counter("t_total", "t");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same name shares the series");
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reg.gauge("t_total", "t")));
+        assert!(r.is_err(), "kind mismatch must be loud");
+    }
+
+    #[test]
+    fn ring_capacity_env_parses_strictly() {
+        assert_eq!(ring_from_lookup(|_| None).unwrap(), DEFAULT_RING);
+        let ok = ring_from_lookup(|k| (k == "UCUDNN_TELEMETRY_RING").then(|| " 16 ".to_string()))
+            .unwrap();
+        assert_eq!(ok, 16);
+        for bad in ["0", "many", "-3"] {
+            let e = ring_from_lookup(|k| (k == "UCUDNN_TELEMETRY_RING").then(|| bad.to_string()))
+                .unwrap_err();
+            assert_eq!(e.variable, "UCUDNN_TELEMETRY_RING");
+        }
+    }
+}

@@ -5,15 +5,11 @@
 //! [`StreamingHistogram`] records observations into geometrically spaced
 //! buckets in O(1) per sample and fixed memory, and answers p50/p95/p99
 //! queries with bounded relative error (one bucket width, ~5%).
+//!
+//! The bucket geometry is shared with `ucudnn::telemetry` (one source of
+//! truth), so quantiles reported here agree with the registry's histograms.
 
-/// Smallest representable observation, microseconds. Anything at or below
-/// lands in bucket 0.
-const LO_US: f64 = 0.01;
-/// Geometric bucket growth factor; bounds the relative quantile error.
-const FACTOR: f64 = 1.05;
-/// Bucket count: covers `LO_US * FACTOR^BUCKETS` ≈ 7e8 us (~12 minutes),
-/// far beyond any single layer or iteration time here.
-const BUCKETS: usize = 512;
+use ucudnn::telemetry::{bucket_index, bucket_upper, HIST_BUCKETS as BUCKETS};
 
 /// A fixed-memory streaming histogram over positive durations (µs).
 ///
@@ -66,11 +62,7 @@ impl StreamingHistogram {
         if !us.is_finite() {
             return;
         }
-        let idx = if us <= LO_US {
-            0
-        } else {
-            (((us / LO_US).ln() / FACTOR.ln()).ceil() as usize).min(BUCKETS - 1)
-        };
+        let idx = bucket_index(us);
         self.counts[idx] += 1;
         self.total += 1;
         self.min = self.min.min(us);
@@ -155,8 +147,7 @@ impl StreamingHistogram {
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                let upper = LO_US * FACTOR.powi(idx as i32);
-                return Some(upper.clamp(self.min, self.max));
+                return Some(bucket_upper(idx).clamp(self.min, self.max));
             }
         }
         Some(self.max)

@@ -20,9 +20,13 @@
 //!   background re-benchmarking, and atomic epoch-pointer plan hot-swaps,
 //!   with a deterministic drift-and-recover simulation;
 //! * [`metrics`] — queue depth, batch occupancy, shed/degradation counters,
-//!   latency percentiles, exported as JSON;
+//!   latency percentiles — typed instruments in a `ucudnn::telemetry`
+//!   registry, exported as JSON and as a Prometheus-style exposition;
+//! * [`slo_monitor`] — deterministic multi-window (fast/slow) SLO
+//!   error-budget burn-rate alerting over the shed/violation outcomes;
 //! * [`tcp`] — an optional newline-delimited-JSON TCP front-end on
-//!   `std::net` (no new dependencies).
+//!   `std::net` (no new dependencies), with a `STATS` verb serving the
+//!   live exposition.
 
 pub mod metrics;
 pub mod reopt;
@@ -31,13 +35,15 @@ pub mod scheduler;
 pub mod server;
 pub mod sim;
 pub mod sim_reopt;
+pub mod slo_monitor;
 pub mod tcp;
 
 pub use metrics::ServeMetrics;
 pub use reopt::{DriftDetector, DriftReport, ReoptConfig};
-pub use request::{Response, ShedReason};
+pub use request::{RequestId, Response, ShedReason};
 pub use scheduler::{Action, BatchPolicy, Scheduler};
 pub use server::{BatchRunner, PlanState, RealModelRunner, Server, Ticket};
 pub use sim::{poisson_arrivals, run_sim, Lcg, ShedCounts, SimConfig, SimOutcome};
 pub use sim_reopt::{run_reopt_sim, ReoptOutcome, ReoptSimConfig};
+pub use slo_monitor::{BurnAlert, BurnConfig, BurnMonitor};
 pub use tcp::TcpFrontend;

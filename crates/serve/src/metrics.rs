@@ -1,58 +1,171 @@
-//! Serving metrics: lock-free counters plus a latency histogram, exported
-//! as one JSON object alongside `UcudnnHandle::metrics_json`.
+//! Serving metrics: typed telemetry instruments plus a latency histogram,
+//! exported as one JSON object and as a Prometheus-style exposition.
+//!
+//! Every counter and gauge here is a handle into a
+//! [`ucudnn::telemetry::Registry`] — the same registry the TCP `STATS` verb
+//! scrapes — so the JSON snapshot ([`ServeMetrics::to_json`]) and the live
+//! exposition are two views of one set of instruments, not parallel
+//! tallies. The shed ladder is a labeled counter family with the
+//! [`ShedReason`] names as its fixed vocabulary.
 
 use crate::request::ShedReason;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use ucudnn::json::{self, Value};
-use ucudnn_framework::StreamingHistogram;
+use ucudnn::telemetry::{Counter, Gauge, Histogram, Registry};
 
-/// Shared counters for one server instance. All counters are monotone;
+/// Shared instruments for one server instance. All counters are monotone;
 /// `queue_depth` is a gauge maintained by the admission/worker paths.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServeMetrics {
+    registry: Registry,
     /// Requests offered to `submit`.
-    pub submitted: AtomicU64,
+    pub submitted: Counter,
     /// Requests completed successfully.
-    pub completed: AtomicU64,
+    pub completed: Counter,
     /// Sheds: admission-control rejections.
-    pub shed_queue_full: AtomicU64,
+    pub shed_queue_full: Counter,
     /// Sheds: scheduler-proven deadline misses.
-    pub shed_deadline: AtomicU64,
+    pub shed_deadline: Counter,
     /// Sheds: permanent execution faults.
-    pub shed_exec_failed: AtomicU64,
+    pub shed_exec_failed: Counter,
     /// Sheds: refused during drain.
-    pub shed_draining: AtomicU64,
+    pub shed_draining: Counter,
     /// Batches that degraded (faulted, retried, or shed) but left the
     /// server running — the serving face of the graceful-degradation
     /// counter in the optimizer.
-    pub degradations: AtomicU64,
+    pub degradations: Counter,
     /// Fired batches.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Requests carried by those batches (mean occupancy =
     /// `batched_requests / batches`).
-    pub batched_requests: AtomicU64,
+    pub batched_requests: Counter,
     /// Current queue depth (gauge).
-    pub queue_depth: AtomicU64,
+    pub queue_depth: Gauge,
     /// High-water mark of the queue depth.
-    pub queue_depth_max: AtomicU64,
+    pub queue_depth_max: Gauge,
+    /// Completions whose end-to-end latency exceeded the SLO (the burn
+    /// monitor's "bad event" feed, alongside sheds).
+    pub violations: Counter,
     /// Re-optimization: windows the drift detector flagged as stale.
-    pub stale_detections: AtomicU64,
+    pub stale_detections: Counter,
     /// Re-optimization: successful atomic plan hot-swaps.
-    pub plan_swaps: AtomicU64,
+    pub plan_swaps: Counter,
     /// Re-optimization: re-benchmarks that failed (empty table or runner
     /// error) — the old plan stayed live (DESIGN §9: degrade, never crash).
-    pub reopt_failed: AtomicU64,
+    pub reopt_failed: Counter,
     /// Current plan generation (gauge; mirrors `Server::plan_version`).
-    pub plan_version: AtomicU64,
-    /// End-to-end latency of completed requests.
-    pub latency: Mutex<StreamingHistogram>,
+    pub plan_version: Gauge,
+    /// SLO burn-rate alerts fired (inactive→active transitions).
+    pub slo_alerts: Counter,
+    /// 1 while a burn-rate alert is active, 0 otherwise.
+    pub slo_alert_active: Gauge,
+    /// Error-budget burn rate over the fast window (gauge).
+    pub burn_fast: Gauge,
+    /// Error-budget burn rate over the slow window (gauge).
+    pub burn_slow: Gauge,
+    /// End-to-end latency of completed requests (summary + exemplar).
+    pub latency: Histogram,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ServeMetrics {
-    /// Fresh, zeroed metrics.
+    /// Fresh, zeroed instruments in a fresh registry (default ring size).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_registry(Registry::new())
+    }
+
+    /// Fresh instruments in a caller-supplied registry (e.g. one sized by
+    /// `UCUDNN_TELEMETRY_RING`).
+    pub fn with_registry(registry: Registry) -> Self {
+        let shed = registry.counter_vec(
+            "ucudnn_serve_shed_total",
+            "Requests shed, by ladder rung.",
+            "reason",
+            &[
+                "queue_full",
+                "deadline_infeasible",
+                "exec_failed",
+                "draining",
+            ],
+        );
+        let rung = |key: &str| shed.with(key).expect("shed reason in vocabulary");
+        Self {
+            submitted: registry.counter(
+                "ucudnn_serve_submitted_total",
+                "Requests offered to admission control.",
+            ),
+            completed: registry.counter(
+                "ucudnn_serve_completed_total",
+                "Requests completed successfully.",
+            ),
+            shed_queue_full: rung("queue_full"),
+            shed_deadline: rung("deadline_infeasible"),
+            shed_exec_failed: rung("exec_failed"),
+            shed_draining: rung("draining"),
+            degradations: registry.counter(
+                "ucudnn_serve_degradations_total",
+                "Batches that degraded but left the server running.",
+            ),
+            batches: registry.counter(
+                "ucudnn_serve_batches_total",
+                "Batches fired by the workers.",
+            ),
+            batched_requests: registry.counter(
+                "ucudnn_serve_batched_requests_total",
+                "Requests carried by fired batches.",
+            ),
+            queue_depth: registry
+                .gauge("ucudnn_serve_queue_depth", "Current admission-queue depth."),
+            queue_depth_max: registry.gauge(
+                "ucudnn_serve_queue_depth_max",
+                "High-water mark of the admission-queue depth.",
+            ),
+            violations: registry.counter(
+                "ucudnn_serve_violations_total",
+                "Completions whose latency exceeded the SLO.",
+            ),
+            stale_detections: registry.counter(
+                "ucudnn_serve_stale_detections_total",
+                "Windows the drift detector flagged as stale.",
+            ),
+            plan_swaps: registry.counter(
+                "ucudnn_serve_plan_swaps_total",
+                "Successful atomic plan hot-swaps.",
+            ),
+            reopt_failed: registry.counter(
+                "ucudnn_serve_reopt_failed_total",
+                "Re-benchmarks that failed; the old plan stayed live.",
+            ),
+            plan_version: registry.gauge("ucudnn_serve_plan_version", "Current plan generation."),
+            slo_alerts: registry.counter("ucudnn_slo_alerts_total", "SLO burn-rate alerts fired."),
+            slo_alert_active: registry.gauge(
+                "ucudnn_slo_alert_active",
+                "1 while a burn-rate alert is active.",
+            ),
+            burn_fast: registry.gauge(
+                "ucudnn_slo_burn_rate_fast",
+                "Error-budget burn rate over the fast window.",
+            ),
+            burn_slow: registry.gauge(
+                "ucudnn_slo_burn_rate_slow",
+                "Error-budget burn rate over the slow window.",
+            ),
+            latency: registry.histogram(
+                "ucudnn_serve_latency_us",
+                "End-to-end latency of completed requests, microseconds.",
+            ),
+            registry,
+        }
+    }
+
+    /// The registry behind these instruments; clone it to scrape or to
+    /// push ring snapshots.
+    pub fn registry(&self) -> Registry {
+        self.registry.clone()
     }
 
     /// Count one shed for `reason`.
@@ -63,38 +176,45 @@ impl ServeMetrics {
             ShedReason::ExecFailed => &self.shed_exec_failed,
             ShedReason::Draining => &self.shed_draining,
         };
-        c.fetch_add(1, Ordering::Relaxed);
+        c.inc();
     }
 
     /// Total sheds across all reasons.
     pub fn shed_total(&self) -> u64 {
-        self.shed_queue_full.load(Ordering::Relaxed)
-            + self.shed_deadline.load(Ordering::Relaxed)
-            + self.shed_exec_failed.load(Ordering::Relaxed)
-            + self.shed_draining.load(Ordering::Relaxed)
+        self.shed_queue_full.get()
+            + self.shed_deadline.get()
+            + self.shed_exec_failed.get()
+            + self.shed_draining.get()
     }
 
     /// Move the queue-depth gauge and maintain its high-water mark.
     pub fn set_queue_depth(&self, depth: u64) {
-        self.queue_depth.store(depth, Ordering::Relaxed);
-        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+        self.queue_depth.set(depth as f64);
+        self.queue_depth_max.set_max(depth as f64);
     }
 
     /// Record one completed request.
     pub fn complete(&self, latency_us: f64) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        self.latency.lock().record(latency_us);
+        self.completed.inc();
+        self.latency.record(latency_us);
+    }
+
+    /// Record one completed request correlated with its `RequestId`; the
+    /// id lands as the latency histogram's exemplar.
+    pub fn complete_for(&self, latency_us: f64, request_id: u64) {
+        self.completed.inc();
+        self.latency.record_with_exemplar(latency_us, request_id);
     }
 
     /// Record one fired batch of `n` requests.
     pub fn fired(&self, n: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_requests.fetch_add(n as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.batched_requests.add(n as u64);
     }
 
     /// Snapshot as a JSON object.
     ///
-    /// Percentiles use the histogram's `try_` accessors, so a server that
+    /// Percentiles use the histogram's optional accessors, so a server that
     /// has completed nothing reports `null` — not a fake 0µs tail.
     ///
     /// `latency_window_us` reports the percentiles of the completions *since
@@ -102,31 +222,21 @@ impl ServeMetrics {
     /// its own interval, which is what makes late drift visible instead of
     /// being averaged into the cumulative view.
     pub fn to_json(&self) -> Value {
-        let n = |a: &AtomicU64| json::num(a.load(Ordering::Relaxed) as f64);
-        let batches = self.batches.load(Ordering::Relaxed);
+        let n = |c: &Counter| json::num(c.get() as f64);
+        let g = |c: &Gauge| json::num(c.get());
+        let batches = self.batches.get();
         let occupancy = if batches == 0 {
             Value::Null
         } else {
-            json::num(self.batched_requests.load(Ordering::Relaxed) as f64 / batches as f64)
+            json::num(self.batched_requests.get() as f64 / batches as f64)
         };
-        let mut hist = self.latency.lock();
-        let window = hist.take_window();
-        let (wp50, wp95, wp99) = match window.try_percentiles() {
-            Some(p) => (
-                json::num(p.p50_us),
-                json::num(p.p95_us),
-                json::num(p.p99_us),
-            ),
-            None => (Value::Null, Value::Null, Value::Null),
-        };
-        let (p50, p95, p99, mean) = match hist.try_percentiles() {
-            Some(p) => (
-                json::num(p.p50_us),
-                json::num(p.p95_us),
-                json::num(p.p99_us),
-                json::num(hist.mean()),
-            ),
-            None => (Value::Null, Value::Null, Value::Null, Value::Null),
+        let window = self.latency.take_window();
+        let opt = |q: Option<f64>| q.map_or(Value::Null, json::num);
+        let cum = self.latency.cumulative();
+        let mean = if cum.count == 0 {
+            Value::Null
+        } else {
+            json::num(cum.mean())
         };
         json::obj([
             ("submitted", n(&self.submitted)),
@@ -144,34 +254,34 @@ impl ServeMetrics {
             ("degradations", n(&self.degradations)),
             ("batches", n(&self.batches)),
             ("batch_occupancy", occupancy),
-            ("queue_depth", n(&self.queue_depth)),
-            ("queue_depth_max", n(&self.queue_depth_max)),
+            ("queue_depth", g(&self.queue_depth)),
+            ("queue_depth_max", g(&self.queue_depth_max)),
             (
                 "reopt",
                 json::obj([
                     ("stale_detections", n(&self.stale_detections)),
                     ("plan_swaps", n(&self.plan_swaps)),
                     ("reopt_failed", n(&self.reopt_failed)),
-                    ("plan_version", n(&self.plan_version)),
+                    ("plan_version", g(&self.plan_version)),
                 ]),
             ),
             (
                 "latency_us",
                 json::obj([
-                    ("p50", p50),
-                    ("p95", p95),
-                    ("p99", p99),
+                    ("p50", opt(cum.p50_us)),
+                    ("p95", opt(cum.p95_us)),
+                    ("p99", opt(cum.p99_us)),
                     ("mean", mean),
-                    ("count", json::num(hist.count() as f64)),
+                    ("count", json::num(cum.count as f64)),
                 ]),
             ),
             (
                 "latency_window_us",
                 json::obj([
-                    ("p50", wp50),
-                    ("p95", wp95),
-                    ("p99", wp99),
-                    ("count", json::num(window.count() as f64)),
+                    ("p50", opt(window.p50_us)),
+                    ("p95", opt(window.p95_us)),
+                    ("p99", opt(window.p99_us)),
+                    ("count", json::num(window.count as f64)),
                 ]),
             ),
         ])
@@ -197,7 +307,7 @@ mod tests {
     #[test]
     fn counters_and_gauges_round_trip() {
         let m = ServeMetrics::new();
-        m.submitted.fetch_add(5, Ordering::Relaxed);
+        m.submitted.add(5);
         m.set_queue_depth(3);
         m.set_queue_depth(1);
         m.shed(ShedReason::QueueFull);
@@ -251,15 +361,38 @@ mod tests {
     #[test]
     fn reopt_counters_are_exported() {
         let m = ServeMetrics::new();
-        m.stale_detections.fetch_add(3, Ordering::Relaxed);
-        m.plan_swaps.fetch_add(2, Ordering::Relaxed);
-        m.reopt_failed.fetch_add(1, Ordering::Relaxed);
-        m.plan_version.store(3, Ordering::Relaxed);
+        m.stale_detections.add(3);
+        m.plan_swaps.add(2);
+        m.reopt_failed.inc();
+        m.plan_version.set(3.0);
         let j = m.to_json();
         let r = j.get("reopt").unwrap();
         assert_eq!(r.get("stale_detections").unwrap().as_u64(), Some(3));
         assert_eq!(r.get("plan_swaps").unwrap().as_u64(), Some(2));
         assert_eq!(r.get("reopt_failed").unwrap().as_u64(), Some(1));
         assert_eq!(r.get("plan_version").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn the_json_snapshot_and_the_exposition_share_instruments() {
+        // Satellite: no hand-copied keys — both views read the registry.
+        let m = ServeMetrics::new();
+        m.submitted.add(7);
+        m.shed(ShedReason::DeadlineInfeasible);
+        m.complete_for(812.5, 42);
+        let text = m.registry().expose();
+        for line in [
+            "ucudnn_serve_submitted_total 7",
+            "ucudnn_serve_shed_total{reason=\"deadline_infeasible\"} 1",
+            "ucudnn_serve_completed_total 1",
+            "# EXEMPLAR ucudnn_serve_latency_us request_id=\"42\" value=812.5",
+        ] {
+            assert!(text.contains(line), "exposition missing {line:?}:\n{text}");
+        }
+        assert_eq!(
+            m.to_json().get("submitted").unwrap().as_u64(),
+            Some(7),
+            "same instrument backs the JSON view"
+        );
     }
 }

@@ -1,5 +1,28 @@
 //! Request identity and verdicts.
 
+/// A request's identity, minted at admission and threaded through
+/// queue → batch → micro-batch execution → response. The id is stamped
+/// into every trace event about the request (`req{n}` keys), into shed
+/// and degradation events, and into the latency histogram's exemplar, so
+/// `ucudnn-report --request <n>` can reconstruct one request's full
+/// timeline from a JSONL trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// The trace key spelling (`req{n}`) shared by submit, shed, and
+    /// complete events.
+    pub fn trace_key(&self) -> String {
+        format!("req{}", self.0)
+    }
+}
+
+impl core::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
 /// Why the server refused to run (or finish) a request — the serving face
 /// of the degradation ladder (DESIGN.md §9/§12): each reason is one rung,
 /// and every rung keeps the server alive.
@@ -39,8 +62,8 @@ impl core::fmt::Display for ShedReason {
 /// A completed inference.
 #[derive(Debug, Clone)]
 pub struct Response {
-    /// Request id (submission order).
-    pub id: u64,
+    /// Request id (submission order), as minted at admission.
+    pub id: RequestId,
     /// Raw model output (logits).
     pub output: Vec<f32>,
     /// End-to-end latency: submit → batch completion, microseconds.

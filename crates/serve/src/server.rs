@@ -15,14 +15,16 @@
 
 use crate::metrics::ServeMetrics;
 use crate::reopt::{DriftDetector, ReoptConfig};
-use crate::request::{Response, ShedReason};
+use crate::request::{RequestId, Response, ShedReason};
 use crate::scheduler::{Action, BatchPolicy, Scheduler};
+use crate::slo_monitor::{BurnConfig, BurnMonitor};
 use parking_lot::{Epoch, Versioned};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use ucudnn::json;
+use ucudnn::telemetry::{ring_from_env, Registry};
 use ucudnn::{ServeOptions, TableProvenance};
 
 /// Longest the real server will hold a request for coalescing company past
@@ -69,6 +71,12 @@ pub trait BatchRunner: Send + Sync + 'static {
     fn rebench(&self) -> Result<Vec<(usize, f64)>, String> {
         Ok(self.latency_table())
     }
+    /// The runner's own telemetry registry, if it has one (the bundled
+    /// [`RealModelRunner`] exposes its `UcudnnHandle`'s optimizer/cache
+    /// instruments). The server composes it into the `STATS` exposition.
+    fn telemetry(&self) -> Option<Registry> {
+        None
+    }
 }
 
 /// One published plan generation: the scheduler (latency table plus policy
@@ -97,7 +105,7 @@ struct ReoptCommand {
 
 /// One queued request.
 struct Pending {
-    id: u64,
+    id: RequestId,
     arrival_us: f64,
     input: Vec<f32>,
     ticket: Arc<TicketState>,
@@ -148,6 +156,8 @@ struct Inner {
     plan: Epoch<PlanState>,
     metrics: Arc<ServeMetrics>,
     detector: Mutex<DriftDetector>,
+    /// The SLO error-budget burn monitor, fed by every shed and completion.
+    burn: Mutex<BurnMonitor>,
     reopt: Option<Arc<ReoptSignal>>,
     state: Mutex<QueueState>,
     cv: Condvar,
@@ -159,6 +169,36 @@ struct Inner {
 impl Inner {
     fn now_us(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Feed one outcome (`bad` = shed or SLO violation) to the burn
+    /// monitor, mirror the burn state into the gauges, and emit an
+    /// `slo_alert` trace event on each inactive→active transition.
+    fn observe_outcome(&self, now_us: f64, bad: bool) {
+        let (alert, fast, slow, active) = {
+            let mut b = self.burn.lock().unwrap();
+            let alert = b.observe(now_us, bad);
+            let (fast, slow) = b.burn_rates();
+            (alert, fast, slow, b.active())
+        };
+        self.metrics.burn_fast.set(fast);
+        self.metrics.burn_slow.set(slow);
+        self.metrics
+            .slo_alert_active
+            .set(if active { 1.0 } else { 0.0 });
+        if let Some(a) = alert {
+            self.metrics.slo_alerts.inc();
+            ucudnn::trace::event("serve", "slo_alert", || {
+                (
+                    "slo".to_string(),
+                    json::obj([
+                        ("at_us", json::num(a.at_us)),
+                        ("fast_burn", json::num(a.fast_burn)),
+                        ("slow_burn", json::num(a.slow_burn)),
+                    ]),
+                )
+            });
+        }
     }
 }
 
@@ -215,7 +255,12 @@ impl Server {
             ..ReoptConfig::default()
         });
         let reopt_on = detector_cfg.enabled;
-        let metrics = Arc::new(ServeMetrics::new());
+        // Telemetry configuration is read at construction: a malformed
+        // value is a misconfigured deployment, not a load condition.
+        let ring = ring_from_env().expect("UCUDNN_TELEMETRY_RING must be a positive integer");
+        let burn_cfg = BurnConfig::from_env()
+            .expect("UCUDNN_SLO_BUDGET / UCUDNN_BURN_WINDOWS must be well-formed");
+        let metrics = Arc::new(ServeMetrics::with_registry(Registry::with_ring(ring)));
         let inner = Arc::new(Inner {
             runner,
             plan: Epoch::new(PlanState {
@@ -224,6 +269,7 @@ impl Server {
             }),
             metrics,
             detector: Mutex::new(DriftDetector::new(detector_cfg)),
+            burn: Mutex::new(BurnMonitor::new(burn_cfg)),
             reopt: reopt_on.then(|| {
                 Arc::new(ReoptSignal {
                     state: Mutex::new(ReoptCommand::default()),
@@ -239,10 +285,7 @@ impl Server {
             epoch: Instant::now(),
             next_id: AtomicU64::new(0),
         });
-        inner
-            .metrics
-            .plan_version
-            .store(inner.plan.version(), Ordering::Relaxed);
+        inner.metrics.plan_version.set(inner.plan.version() as f64);
         let workers = (0..opts.workers.max(1))
             .map(|w| {
                 let inner = Arc::clone(&inner);
@@ -282,17 +325,29 @@ impl Server {
             "input length must match the model's sample length"
         );
         let m = &self.inner.metrics;
-        m.submitted.fetch_add(1, Ordering::Relaxed);
-        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        m.submitted.inc();
+        let id = RequestId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
         let arrival_us = self.inner.now_us();
         let mut st = self.inner.state.lock().unwrap();
-        if st.draining {
-            m.shed(ShedReason::Draining);
-            return Err(ShedReason::Draining);
-        }
-        if st.queue.len() >= self.inner.queue_cap {
-            m.shed(ShedReason::QueueFull);
-            return Err(ShedReason::QueueFull);
+        for (refused, reason) in [
+            (st.draining, ShedReason::Draining),
+            (
+                st.queue.len() >= self.inner.queue_cap,
+                ShedReason::QueueFull,
+            ),
+        ] {
+            if refused {
+                m.shed(reason);
+                drop(st);
+                ucudnn::trace::event("serve", "shed", || {
+                    (
+                        id.trace_key(),
+                        json::obj([("reason", json::Value::Str(reason.name().to_string()))]),
+                    )
+                });
+                self.inner.observe_outcome(arrival_us, true);
+                return Err(reason);
+            }
         }
         let ticket = Arc::new(TicketState {
             slot: Mutex::new(None),
@@ -309,7 +364,7 @@ impl Server {
         self.inner.cv.notify_one();
         ucudnn::trace::event("serve", "submit", || {
             (
-                format!("req{id}"),
+                id.trace_key(),
                 json::obj([("arrival_us", json::num(arrival_us))]),
             )
         });
@@ -330,6 +385,50 @@ impl Server {
     /// `UcudnnHandle::metrics_json`).
     pub fn metrics_json(&self) -> String {
         self.inner.metrics.to_json().to_json()
+    }
+
+    /// The full live Prometheus-style exposition served by the TCP `STATS`
+    /// verb and written by `--metrics-dump`: the serving instruments, the
+    /// runner's core-library registry (optimizer/cache/fault series, when
+    /// the runner has one — no hand-copied keys), the combined
+    /// `telemetry_dropped` self-metric, an `# ALERT` section with the burn
+    /// state, and the `# EOF` terminator. Each call also pushes a
+    /// timestamped ring snapshot into every serving series.
+    pub fn exposition(&self) -> String {
+        let now = self.inner.now_us();
+        let serve_reg = self.inner.metrics.registry();
+        serve_reg.snapshot(now);
+        let mut out = String::new();
+        serve_reg.expose_into(&mut out);
+        let mut dropped = serve_reg.dropped();
+        if let Some(core_reg) = self.inner.runner.telemetry() {
+            core_reg.expose_into(&mut out);
+            dropped += core_reg.dropped();
+        }
+        Registry::expose_dropped_into(&mut out, dropped);
+        {
+            let b = self.inner.burn.lock().unwrap();
+            let (fast, slow) = b.burn_rates();
+            let cfg = b.config();
+            out.push_str(&format!(
+                "# ALERT slo_burn active={} fired={} fast={} slow={} budget={} fast_window_us={} slow_window_us={}\n",
+                u8::from(b.active()),
+                b.alerts_fired(),
+                json::num(fast).to_json(),
+                json::num(slow).to_json(),
+                json::num(cfg.budget).to_json(),
+                json::num(cfg.fast_us).to_json(),
+                json::num(cfg.slow_us).to_json(),
+            ));
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+
+    /// The ring-buffered window history of the serving registry as JSON
+    /// (companion to [`Server::exposition`] for offline dumps).
+    pub fn telemetry_history_json(&self) -> String {
+        self.inner.metrics.registry().history_json().to_json()
     }
 
     /// The live plan generation (1 = the startup plan, +1 per hot-swap).
@@ -446,16 +545,17 @@ fn worker_loop(inner: &Inner, worker: usize) {
                 let p = st.queue.pop_front().expect("non-empty queue");
                 inner.metrics.set_queue_depth(st.queue.len() as u64);
                 inner.metrics.shed(ShedReason::DeadlineInfeasible);
-                inner.metrics.degradations.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.degradations.inc();
                 ucudnn::trace::event("serve", "shed", || {
                     (
-                        format!("req{}", p.id),
+                        p.id.trace_key(),
                         json::obj([(
                             "reason",
                             json::Value::Str(ShedReason::DeadlineInfeasible.name().to_string()),
                         )]),
                     )
                 });
+                inner.observe_outcome(now, true);
                 resolve(&p.ticket, Err(ShedReason::DeadlineInfeasible));
             }
             Action::WaitUntil(_) => unreachable!("no arrival oracle was given"),
@@ -521,7 +621,7 @@ fn do_rebench(inner: &Inner) -> Result<u64, String> {
     match inner.runner.rebench() {
         Ok(table) => install_table(inner, table),
         Err(err) => {
-            inner.metrics.reopt_failed.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.reopt_failed.inc();
             ucudnn::trace::event("serve", "reopt_failed", || {
                 (
                     "rebench".to_string(),
@@ -539,7 +639,7 @@ fn install_table(inner: &Inner, table: Vec<(usize, f64)>) -> Result<u64, String>
     let max_batch = old.sched.max_batch();
     let table: Vec<(usize, f64)> = table.into_iter().filter(|&(m, _)| m <= max_batch).collect();
     if table.is_empty() {
-        inner.metrics.reopt_failed.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.reopt_failed.inc();
         return Err("re-benchmark produced an empty latency table".to_string());
     }
     let refreshed = table.len();
@@ -548,8 +648,8 @@ fn install_table(inner: &Inner, table: Vec<(usize, f64)>) -> Result<u64, String>
         provenance: old.provenance.rebenched(refreshed),
     };
     let version = inner.plan.store(next);
-    inner.metrics.plan_swaps.fetch_add(1, Ordering::Relaxed);
-    inner.metrics.plan_version.store(version, Ordering::Relaxed);
+    inner.metrics.plan_swaps.inc();
+    inner.metrics.plan_version.set(version as f64);
     inner.detector.lock().unwrap().reset();
     ucudnn::trace::event("serve", "plan_swap", || {
         (
@@ -584,6 +684,10 @@ fn execute_batch(
                     "micros",
                     json::Value::Arr(micros.iter().map(|&m| json::num(m as f64)).collect()),
                 ),
+                (
+                    "ids",
+                    json::Value::Arr(batch.iter().map(|p| json::num(p.id.0 as f64)).collect()),
+                ),
             ]),
         )
     });
@@ -599,15 +703,37 @@ fn execute_batch(
         let exec_start = Instant::now();
         match inner.runner.run(m, &inputs) {
             Ok(outputs) => {
-                observe_micro(inner, plan, m, exec_start.elapsed().as_secs_f64() * 1e6);
+                let exec_us = exec_start.elapsed().as_secs_f64() * 1e6;
+                observe_micro(inner, plan, m, exec_us);
+                ucudnn::trace::event("serve", "micro", || {
+                    (
+                        format!("worker{worker}"),
+                        json::obj([
+                            ("micro", json::num(m as f64)),
+                            ("exec_us", json::num(exec_us)),
+                            (
+                                "ids",
+                                json::Value::Arr(
+                                    chunk.iter().map(|p| json::num(p.id.0 as f64)).collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                });
                 let out_len = inner.runner.output_len();
                 let done = inner.now_us();
+                let slo_us = plan.sched.slo_us();
                 for (i, p) in chunk.into_iter().enumerate() {
                     let latency_us = done - p.arrival_us;
-                    inner.metrics.complete(latency_us);
+                    inner.metrics.complete_for(latency_us, p.id.0);
+                    let violated = latency_us > slo_us;
+                    if violated {
+                        inner.metrics.violations.inc();
+                    }
+                    inner.observe_outcome(done, violated);
                     ucudnn::trace::event("serve", "complete", || {
                         (
-                            format!("req{}", p.id),
+                            p.id.trace_key(),
                             json::obj([
                                 ("latency_us", json::num(latency_us)),
                                 ("batch", json::num(m as f64)),
@@ -629,7 +755,7 @@ fn execute_batch(
             Err(err) => {
                 // Permanent fault: shed only this micro-batch; the server
                 // and the rest of the fired batch keep going.
-                inner.metrics.degradations.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.degradations.inc();
                 ucudnn::trace::event("serve", "exec_failed", || {
                     (
                         format!("worker{worker}"),
@@ -639,8 +765,19 @@ fn execute_batch(
                         ]),
                     )
                 });
+                let now = inner.now_us();
                 for p in chunk {
                     inner.metrics.shed(ShedReason::ExecFailed);
+                    ucudnn::trace::event("serve", "shed", || {
+                        (
+                            p.id.trace_key(),
+                            json::obj([(
+                                "reason",
+                                json::Value::Str(ShedReason::ExecFailed.name().to_string()),
+                            )]),
+                        )
+                    });
+                    inner.observe_outcome(now, true);
                     resolve(&p.ticket, Err(ShedReason::ExecFailed));
                 }
             }
@@ -666,10 +803,7 @@ fn observe_micro(inner: &Inner, plan: &Versioned<PlanState>, m: usize, observed_
         .unwrap()
         .observe(m, observed_us, expected_us);
     if let Some(r) = report {
-        inner
-            .metrics
-            .stale_detections
-            .fetch_add(1, Ordering::Relaxed);
+        inner.metrics.stale_detections.inc();
         ucudnn::trace::event("serve", "drift", || {
             (
                 format!("m{}", r.micro),
@@ -799,6 +933,10 @@ impl BatchRunner for RealModelRunner {
             .forward(&self.provider, &input)
             .map_err(|e| e.to_string())?;
         Ok(acts.last().expect("non-empty network").as_slice().to_vec())
+    }
+
+    fn telemetry(&self) -> Option<Registry> {
+        Some(self.provider.telemetry())
     }
 
     fn latency_table(&self) -> Vec<(usize, f64)> {

@@ -17,6 +17,7 @@ use crate::reopt::{DriftDetector, ReoptConfig};
 use crate::request::ShedReason;
 use crate::scheduler::{Action, BatchPolicy, Scheduler};
 use crate::sim::{poisson_arrivals, ShedCounts};
+use crate::slo_monitor::{BurnConfig, BurnMonitor};
 use parking_lot::Epoch;
 use std::collections::VecDeque;
 use ucudnn_framework::StreamingHistogram;
@@ -50,6 +51,11 @@ pub struct ReoptSimConfig {
     /// Virtual time one re-benchmark takes (invalidate + re-measure the
     /// stale Pareto fronts); serving continues on the old plan meanwhile.
     pub rebench_latency_us: f64,
+    /// Optional SLO burn-rate monitor: every shed and completion outcome
+    /// feeds a [`BurnMonitor`] on the virtual clock, and inactive→active
+    /// transitions land in the log (`slo_alert t=…`). Pure observation —
+    /// scheduling is unchanged, so the log with `None` stays byte-identical.
+    pub burn: Option<BurnConfig>,
 }
 
 /// What one drift experiment produced.
@@ -86,6 +92,28 @@ pub struct ReoptOutcome {
     pub first_arrival_us: f64,
     /// Virtual time of the last batch completion.
     pub last_completion_us: f64,
+    /// Burn-rate alerts fired (inactive→active transitions), if a
+    /// [`BurnConfig`] was supplied.
+    pub slo_alerts: u64,
+    /// Virtual time of the first burn-rate alert, if any fired —
+    /// byte-reproducible across runs with the same config.
+    pub first_alert_us: Option<f64>,
+}
+
+/// Feed one outcome to the optional burn monitor; an inactive→active
+/// transition appends an `slo_alert` log line and updates the outcome.
+fn observe_burn(burn: &mut Option<BurnMonitor>, out: &mut ReoptOutcome, t: f64, bad: bool) {
+    let Some(mon) = burn.as_mut() else { return };
+    if let Some(a) = mon.observe(t, bad) {
+        out.slo_alerts += 1;
+        if out.first_alert_us.is_none() {
+            out.first_alert_us = Some(a.at_us);
+        }
+        out.log.push(format!(
+            "slo_alert t={:.3} fast={:.3} slow={:.3}",
+            a.at_us, a.fast_burn, a.slow_burn
+        ));
+    }
 }
 
 /// Run one drift experiment.
@@ -129,6 +157,7 @@ pub fn run_reopt_sim(cfg: &ReoptSimConfig) -> ReoptOutcome {
     // An in-flight re-benchmark: (virtual completion time, the latency
     // factor it measures — the device as-it-was when the re-benchmark ran).
     let mut rebench: Option<(f64, f64)> = None;
+    let mut burn = cfg.burn.map(BurnMonitor::new);
 
     let arrivals = poisson_arrivals(cfg.seed, cfg.requests, cfg.arrival_rate_rps);
     let mut out = ReoptOutcome {
@@ -146,6 +175,8 @@ pub fn run_reopt_sim(cfg: &ReoptSimConfig) -> ReoptOutcome {
         latencies: StreamingHistogram::new(),
         first_arrival_us: arrivals.first().copied().unwrap_or(0.0),
         last_completion_us: 0.0,
+        slo_alerts: 0,
+        first_alert_us: None,
     };
 
     let mut queue: VecDeque<(u64, f64)> = VecDeque::new();
@@ -198,6 +229,7 @@ pub fn run_reopt_sim(cfg: &ReoptSimConfig) -> ReoptOutcome {
                 out.shed.bump(ShedReason::QueueFull);
                 out.log
                     .push(format!("shed t={at:.3} id={id} reason=queue_full"));
+                observe_burn(&mut burn, &mut out, at, true);
             } else {
                 queue.push_back((id, at));
             }
@@ -221,15 +253,18 @@ pub fn run_reopt_sim(cfg: &ReoptSimConfig) -> ReoptOutcome {
                 out.last_completion_us = out.last_completion_us.max(finish);
                 let post_swap = out.swaps > 0;
                 let mut ids = Vec::with_capacity(d.batch);
+                let mut verdicts = Vec::with_capacity(d.batch);
                 for _ in 0..d.batch {
                     let (id, at) = queue.pop_front().expect("planned batch exceeds queue");
                     let latency = finish - at;
-                    if latency > cfg.slo_us + 1e-6 {
+                    let violated = latency > cfg.slo_us + 1e-6;
+                    if violated {
                         out.violations += 1;
                         if post_swap {
                             out.violations_post_swap += 1;
                         }
                     }
+                    verdicts.push(violated);
                     out.latencies.record(latency);
                     out.completed += 1;
                     ids.push(id);
@@ -250,6 +285,11 @@ pub fn run_reopt_sim(cfg: &ReoptSimConfig) -> ReoptOutcome {
                     ids.first().unwrap(),
                     ids.last().unwrap()
                 ));
+                // Completions feed the burn monitor after the fire line, so
+                // an alert tripped by this batch lands right below it.
+                for violated in verdicts {
+                    observe_burn(&mut burn, &mut out, finish, violated);
+                }
 
                 // Every executed micro-batch feeds the detector, judged
                 // against the plan that fired it.
@@ -292,6 +332,7 @@ pub fn run_reopt_sim(cfg: &ReoptSimConfig) -> ReoptOutcome {
                 out.log.push(format!(
                     "shed t={now:.3} id={id} reason=deadline_infeasible"
                 ));
+                observe_burn(&mut burn, &mut out, now, true);
             }
         }
     }
@@ -326,6 +367,18 @@ mod tests {
             perturb: Perturbation::new(50_000.0, 2.0),
             reopt,
             rebench_latency_us: 5_000.0,
+            burn: None,
+        }
+    }
+
+    /// A burn config sized for the sim's 200 ms horizon: a 20 ms fast
+    /// window and a 100 ms slow window over a 1% budget.
+    fn burn_cfg() -> BurnConfig {
+        BurnConfig {
+            budget: 0.01,
+            fast_us: 20_000.0,
+            slow_us: 100_000.0,
+            threshold: 1.0,
         }
     }
 
@@ -380,6 +433,57 @@ mod tests {
             assert_eq!(out.violations, 0);
             assert_eq!(out.final_version, 1);
         }
+    }
+
+    #[test]
+    fn the_frozen_lane_fires_a_burn_alert_at_a_reproducible_virtual_time() {
+        let mut c = cfg(None);
+        c.burn = Some(burn_cfg());
+        let a = run_reopt_sim(&c);
+        let b = run_reopt_sim(&c);
+        // A 2×-slower device under a frozen plan sheds hard: the burn
+        // monitor must page, and at the same virtual microsecond every run.
+        assert!(a.slo_alerts >= 1, "sustained sheds must trip the alert");
+        let first = a.first_alert_us.expect("an alert fired");
+        assert!(first >= 50_000.0, "no alert before the drift exists");
+        assert_eq!(a.first_alert_us, b.first_alert_us, "byte-reproducible");
+        assert_eq!(a.log, b.log);
+        assert!(
+            a.log.iter().any(|l| l.starts_with("slo_alert t=")),
+            "the alert is in the deterministic log"
+        );
+    }
+
+    #[test]
+    fn a_clean_run_fires_no_burn_alert_on_any_seed() {
+        for seed in [1u64, 7, 2018] {
+            let mut c = cfg(Some(ReoptConfig::default()));
+            c.seed = seed;
+            c.perturb = Perturbation::new(f64::INFINITY, 2.0); // never fires
+            c.burn = Some(burn_cfg());
+            let out = run_reopt_sim(&c);
+            assert_eq!(out.slo_alerts, 0, "seed {seed}: false page");
+            assert_eq!(out.first_alert_us, None);
+        }
+    }
+
+    #[test]
+    fn the_burn_monitor_is_pure_observation() {
+        let plain = run_reopt_sim(&cfg(None));
+        let mut c = cfg(None);
+        c.burn = Some(burn_cfg());
+        let watched = run_reopt_sim(&c);
+        // Identical serving decisions; the watched log only gains lines.
+        assert_eq!(plain.completed, watched.completed);
+        assert_eq!(plain.shed, watched.shed);
+        assert_eq!(plain.violations, watched.violations);
+        assert_eq!(plain.batch_sizes, watched.batch_sizes);
+        let stripped: Vec<&String> = watched
+            .log
+            .iter()
+            .filter(|l| !l.starts_with("slo_alert "))
+            .collect();
+        assert_eq!(stripped, plain.log.iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! ← {"id": 7, "ok": false, "error": "shed:queue_full"}
 //! ```
 //!
+//! One non-JSON verb: a line consisting of `STATS` returns the live
+//! Prometheus-style exposition ([`Server::exposition`]) — multiple lines,
+//! terminated by `# EOF` — then the connection resumes the JSON protocol.
+//!
 //! Each connection is served by its own thread and pipelines requests
 //! sequentially; the batching happens behind [`Server::submit`], where
 //! requests from all connections coalesce.
@@ -107,6 +111,15 @@ fn handle_connection(server: &Server, stream: TcpStream) {
     for line in reader.lines() {
         let Ok(line) = line else { return };
         if line.trim().is_empty() {
+            continue;
+        }
+        if line.trim() == "STATS" {
+            // The exposition ends with its own "# EOF\n" terminator, so the
+            // client knows where the multi-line reply stops.
+            if writer.write_all(server.exposition().as_bytes()).is_err() {
+                return;
+            }
+            let _ = writer.flush();
             continue;
         }
         let reply = respond(server, &line);

@@ -204,10 +204,10 @@ proptest! {
         prop_assert_eq!(completed + shed, requests as u64, "ticket accounting");
         prop_assert_eq!(server.plan_version(), 1 + swaps);
         let m = server.metrics();
-        prop_assert_eq!(m.submitted.load(Ordering::Relaxed), requests as u64);
-        prop_assert_eq!(m.completed.load(Ordering::Relaxed), completed);
+        prop_assert_eq!(m.submitted.get(), requests as u64);
+        prop_assert_eq!(m.completed.get(), completed);
         prop_assert_eq!(m.shed_total(), shed);
-        prop_assert_eq!(m.plan_swaps.load(Ordering::Relaxed), swaps);
+        prop_assert_eq!(m.plan_swaps.get(), swaps);
         server.drain();
     }
 }

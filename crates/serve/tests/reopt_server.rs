@@ -106,7 +106,7 @@ fn drift_on_the_threaded_server_triggers_a_background_hot_swap() {
         // moment after each completed observation.
         let wait_until = Instant::now() + Duration::from_millis(500);
         while Instant::now() < wait_until {
-            if metrics.plan_swaps.load(Ordering::Relaxed) >= 1 {
+            if metrics.plan_swaps.get() >= 1 {
                 swapped = true;
                 break;
             }
@@ -117,7 +117,7 @@ fn drift_on_the_threaded_server_triggers_a_background_hot_swap() {
         }
     }
     assert!(swapped, "the drift must produce a background hot-swap");
-    assert!(metrics.stale_detections.load(Ordering::Relaxed) >= 1);
+    assert!(metrics.stale_detections.get() >= 1);
     assert!(server.plan_version() >= 2);
     let prov = server.plan_provenance();
     assert_eq!(prov.source, "rebench");
@@ -148,8 +148,8 @@ fn trigger_rebench_swaps_synchronously_even_without_the_background_loop() {
     let prov = server.plan_provenance();
     assert_eq!((prov.generation, prov.source.as_str()), (2, "rebench"));
     let m = server.metrics();
-    assert_eq!(m.plan_swaps.load(Ordering::Relaxed), 1);
-    assert_eq!(m.plan_version.load(Ordering::Relaxed), 2);
+    assert_eq!(m.plan_swaps.get(), 1);
+    assert_eq!(m.plan_version.get(), 2.0);
 
     let resp = server
         .submit(vec![1.0])
@@ -170,7 +170,7 @@ fn swap_plan_rejects_an_unusable_table_and_keeps_the_old_plan() {
     assert!(err.contains("empty"), "unexpected error: {err}");
     assert_eq!(server.plan_version(), 1, "the old plan must stay live");
     assert_eq!(
-        server.metrics().reopt_failed.load(Ordering::Relaxed),
+        server.metrics().reopt_failed.get(),
         1,
         "the failure must be counted"
     );

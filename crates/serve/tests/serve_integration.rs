@@ -69,9 +69,9 @@ fn concurrent_submitters_all_complete_with_correct_outputs() {
     }
 
     let metrics = server.metrics();
-    assert_eq!(metrics.completed.load(Ordering::Relaxed), n_req as u64);
+    assert_eq!(metrics.completed.get(), n_req as u64);
     assert_eq!(metrics.shed_total(), 0);
-    assert!(metrics.batches.load(Ordering::Relaxed) >= 1);
+    assert!(metrics.batches.get() >= 1);
     // The shared plan cache saw every batch size the scheduler fired.
     let stats = runner.provider().inner().exec_cache_stats();
     assert!(stats.hits > 0, "plan cache must be reused across requests");
@@ -190,15 +190,15 @@ fn permanent_faults_shed_only_the_affected_micro_batch() {
     // The server survived the faults: whatever was shed is tallied, the
     // rest completed, and the degradation counter moved iff faults fired.
     let m: Arc<ServeMetrics> = server.metrics();
-    assert_eq!(m.completed.load(Ordering::Relaxed), ok);
-    assert_eq!(m.shed_exec_failed.load(Ordering::Relaxed), exec_failed);
+    assert_eq!(m.completed.get(), ok);
+    assert_eq!(m.shed_exec_failed.get(), exec_failed);
     let fired = runner.failures.load(Ordering::Relaxed);
     assert_eq!(
         fired > 0,
         exec_failed > 0,
         "sheds must correspond to injected failures"
     );
-    assert_eq!(m.degradations.load(Ordering::Relaxed) > 0, fired > 0);
+    assert_eq!(m.degradations.get() > 0, fired > 0);
     // The server is still serving after the faults.
     server
         .submit(sample(99, len))

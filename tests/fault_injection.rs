@@ -7,7 +7,6 @@
 //! cannot allocate, and reports every concession through
 //! [`UcudnnHandle::metrics_json`]'s `robustness` section.
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use ucudnn::{
     forward_latency_table, rebench_latency_table, BatchSizePolicy, BenchCache, KernelKey,
@@ -386,8 +385,8 @@ fn a_failed_rebench_keeps_the_old_plan_serving() {
     // §9 ladder: the failure is a counted concession, not a crash — the
     // startup plan stays live and requests keep completing on it.
     let m = server.metrics();
-    assert_eq!(m.reopt_failed.load(Ordering::Relaxed), 1);
-    assert_eq!(m.plan_swaps.load(Ordering::Relaxed), 0);
+    assert_eq!(m.reopt_failed.get(), 1);
+    assert_eq!(m.plan_swaps.get(), 0);
     assert_eq!(server.plan_version(), 1, "the old plan must stay live");
     assert_eq!(server.plan_provenance().source, "startup");
 
@@ -400,7 +399,7 @@ fn a_failed_rebench_keeps_the_old_plan_serving() {
 
     // Repeated failures keep counting without disturbing the plan.
     server.trigger_rebench().expect_err("still faulted");
-    assert_eq!(m.reopt_failed.load(Ordering::Relaxed), 2);
+    assert_eq!(m.reopt_failed.get(), 2);
     assert_eq!(server.plan_version(), 1);
     server.drain();
 }

@@ -64,6 +64,7 @@ fn experiment(seed: u64, reopt: Option<ReoptConfig>) -> ReoptSimConfig {
         perturb: Perturbation::new(PERTURB_AT_US, 2.0),
         reopt,
         rebench_latency_us: 5_000.0,
+        burn: None,
     }
 }
 
