@@ -30,6 +30,20 @@
 //! sustained post-drift burn must fire an `slo_alert` at a replay-stable
 //! virtual timestamp.
 //!
+//! `--ingress` adds the C10k ingress experiment (DESIGN.md §15), a
+//! `connections` axis on top of the request axis. The committed `ingress`
+//! section comes from the deterministic churn + fan-in simulator
+//! ([`ucudnn_serve::run_ingress_sim`]): a nominal lane (10k idle
+//! connections + 20k rps through the dynamic policy — zero pauses, zero
+//! sheds, zero violations) and a burst lane (20× overload against a shallow
+//! queue — admission pauses absorb it, admitted requests still meet the
+//! SLO), byte-identical across replays. The same flag also drives the
+//! *live* gate on real sockets: the epoll reactor must hold ≥5k idle
+//! loopback connections (fd-budget permitting; the attempt raises
+//! `RLIMIT_NOFILE` first) while pipelined traffic completes with zero sheds
+//! and zero SLO violations. Live numbers are printed and asserted, not
+//! committed — the JSON stays reproducible byte-for-byte.
+//!
 //! `--telemetry-smoke` exercises the live telemetry plane end to end: a
 //! traced real server behind the TCP front-end, ~12 requests, and two
 //! `STATS` scrapes whose exposition is asserted (required series present,
@@ -40,14 +54,15 @@
 use std::sync::Arc;
 use ucudnn::json::{num, obj, Value};
 use ucudnn::{
-    forward_latency_table, BatchSizePolicy, BenchCache, KernelKey, ServeOptions, TraceConfig,
+    forward_latency_table, BatchSizePolicy, BenchCache, IngressOptions, KernelKey, ServeOptions,
+    TraceConfig,
 };
 use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
 use ucudnn_gpu_model::{p100_sxm2, Perturbation};
 use ucudnn_serve::{
-    run_reopt_sim, run_sim, BatchPolicy, BatchRunner as _, BurnConfig, RealModelRunner,
-    ReoptConfig, ReoptOutcome, ReoptSimConfig, Scheduler, Server, SimConfig, SimOutcome,
-    TcpFrontend,
+    run_ingress_sim, run_reopt_sim, run_sim, sys, BatchPolicy, BatchRunner as _, BurnConfig,
+    IngressOutcome, IngressSimConfig, RealModelRunner, ReoptConfig, ReoptOutcome, ReoptSimConfig,
+    Scheduler, Server, SimConfig, SimOutcome, TcpFrontend,
 };
 use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
 
@@ -296,6 +311,267 @@ fn reopt_experiment(table: &[(usize, f64)]) -> Value {
     ])
 }
 
+fn ingress_lane_row(rate_rps: f64, queue_cap: usize, out: &IngressOutcome) -> Value {
+    let pct = out.latencies.try_percentiles();
+    let q = |v: Option<f64>| v.map(num).unwrap_or(Value::Null);
+    obj([
+        ("rate_rps", num(rate_rps)),
+        ("queue_cap", num(queue_cap as f64)),
+        ("completed", num(out.completed as f64)),
+        ("shed_queue_full", num(out.shed.queue_full as f64)),
+        ("shed_total", num(out.shed.total() as f64)),
+        ("violations", num(out.violations as f64)),
+        ("admission_pauses", num(out.admission_pauses as f64)),
+        ("buffered_peak", num(out.buffered_peak as f64)),
+        ("max_buffer_wait_us", num(out.max_buffer_wait_us)),
+        ("conns_opened", num(out.conns_opened as f64)),
+        ("conns_rejected", num(out.conns_rejected as f64)),
+        ("peak_conns", num(out.peak_conns as f64)),
+        ("throughput_rps", num(out.throughput_rps())),
+        ("mean_batch", num(out.mean_batch())),
+        ("p50_us", q(pct.as_ref().map(|p| p.p50_us))),
+        ("p99_us", q(pct.as_ref().map(|p| p.p99_us))),
+    ])
+}
+
+/// The C10k `connections` axis, simulated: the reactor's backpressure
+/// policies (admission pause before the shed ladder, the listener cap,
+/// kernel-buffer absorption) replayed on the virtual clock. Two lanes share
+/// one seed: nominal fan-in (10k idle connections, 20k rps) and a 20×
+/// burst against a shallow queue.
+fn ingress_experiment(table: &[(usize, f64)], smoke: bool) -> Value {
+    const IDLE_CONNS: usize = 10_000;
+    const CHURN_CYCLES: usize = 1_000;
+    const CHURN_RATE_CPS: f64 = 2_000.0;
+    const CHURN_HOLD_US: f64 = 5_000.0;
+    const MAX_CONNS: usize = 16_384;
+    const KERNEL_BUF: usize = 4_096;
+    const BURST_RATE_RPS: f64 = 400_000.0;
+    const BURST_QUEUE_CAP: usize = 32;
+    let requests = if smoke { 2_000 } else { 4_000 };
+    let sched = Scheduler::new(table.to_vec(), SLO_US, MAX_BATCH, BatchPolicy::Dynamic);
+    let base = IngressSimConfig {
+        seed: SEED,
+        slo_us: SLO_US,
+        queue_cap: QUEUE_CAP,
+        workers: WORKERS,
+        max_batch: MAX_BATCH,
+        policy: BatchPolicy::Dynamic,
+        arrival_rate_rps: RATE_RPS,
+        requests,
+        idle_conns: IDLE_CONNS,
+        churn_cycles: CHURN_CYCLES,
+        churn_rate_cps: CHURN_RATE_CPS,
+        churn_hold_us: CHURN_HOLD_US,
+        max_conns: MAX_CONNS,
+        kernel_buf: KERNEL_BUF,
+    };
+    let burst_cfg = IngressSimConfig {
+        arrival_rate_rps: BURST_RATE_RPS,
+        queue_cap: BURST_QUEUE_CAP,
+        requests: 4_000,
+        ..base.clone()
+    };
+    let nominal = run_ingress_sim(&sched, &base);
+    let burst = run_ingress_sim(&sched, &burst_cfg);
+    // The reproducibility gate, same as every other lane.
+    assert_eq!(
+        nominal.log,
+        run_ingress_sim(&sched, &base).log,
+        "nominal ingress replay diverged"
+    );
+    assert_eq!(
+        burst.log,
+        run_ingress_sim(&sched, &burst_cfg).log,
+        "burst ingress replay diverged"
+    );
+
+    println!("\ningress (connections axis, {IDLE_CONNS} idle + {CHURN_CYCLES} churn):");
+    println!(
+        "  nominal {:>7.0} rps: completed={} pauses={} shed={} violations={} peak_conns={}",
+        RATE_RPS,
+        nominal.completed,
+        nominal.admission_pauses,
+        nominal.shed.total(),
+        nominal.violations,
+        nominal.peak_conns,
+    );
+    println!(
+        "  burst   {:>7.0} rps: completed={} pauses={} buffered_peak={} shed={} violations={}",
+        BURST_RATE_RPS,
+        burst.completed,
+        burst.admission_pauses,
+        burst.buffered_peak,
+        burst.shed.total(),
+        burst.violations,
+    );
+
+    // The headline gates. Nominal: the fan-in must be invisible — no pause,
+    // no shed-by-accident, every deadline kept, p99 inside the SLO.
+    assert_eq!(nominal.admission_pauses, 0, "nominal load must not pause");
+    assert_eq!(nominal.shed.total(), 0, "nominal load must not shed");
+    assert_eq!(nominal.violations, 0, "nominal load must not violate");
+    assert_eq!(nominal.completed, requests as u64);
+    assert!(nominal.peak_conns >= IDLE_CONNS, "the C10k floor must hold");
+    let p99 = nominal
+        .latencies
+        .try_percentiles()
+        .expect("completions imply percentiles")
+        .p99_us;
+    assert!(
+        p99 <= SLO_US,
+        "nominal ingress p99 must sit inside the {SLO_US}us SLO, got {p99:.1}us"
+    );
+    // Burst: backpressure engages before the shed ladder and admitted
+    // requests still meet their deadlines.
+    assert!(burst.admission_pauses > 0, "the burst must park admission");
+    assert_eq!(
+        burst.violations, 0,
+        "pauses delay admission; they never break the deadline contract"
+    );
+    assert_eq!(
+        burst.completed + burst.shed.total(),
+        4_000,
+        "every offered request is accounted for"
+    );
+
+    obj([
+        ("slo_us", num(SLO_US)),
+        ("workers", num(WORKERS as f64)),
+        ("max_batch", num(MAX_BATCH as f64)),
+        ("requests", num(requests as f64)),
+        ("idle_conns", num(IDLE_CONNS as f64)),
+        ("churn_cycles", num(CHURN_CYCLES as f64)),
+        ("churn_rate_cps", num(CHURN_RATE_CPS)),
+        ("churn_hold_us", num(CHURN_HOLD_US)),
+        ("max_conns", num(MAX_CONNS as f64)),
+        ("kernel_buf", num(KERNEL_BUF as f64)),
+        ("nominal", ingress_lane_row(RATE_RPS, QUEUE_CAP, &nominal)),
+        (
+            "burst",
+            ingress_lane_row(BURST_RATE_RPS, BURST_QUEUE_CAP, &burst),
+        ),
+        ("deterministic", Value::Bool(true)),
+    ])
+}
+
+/// The live half of the `--ingress` gate: real sockets against the epoll
+/// reactor. Holds as many idle loopback connections as the fd budget
+/// allows (target 10k, hard floor 5k) while pipelined traffic on a few
+/// active connections completes with zero sheds and zero SLO violations.
+/// Printed and asserted, never committed: wall-clock numbers belong to the
+/// machine, the committed JSON stays deterministic.
+fn ingress_live(smoke: bool) {
+    use std::io::{BufRead, BufReader, Write};
+    const ACTIVE_CONNS: usize = 4;
+    let target_idle = if smoke { 5_000 } else { 10_000 };
+    let active_requests = if smoke { 400 } else { 1_000 };
+
+    let limit = sys::raise_nofile_limit().unwrap_or(1_024);
+    // Each held connection costs two fds in-process (client + server end);
+    // keep headroom for the listener, wakers, and whatever the harness has
+    // open.
+    let budget = (limit.saturating_sub(512) / 2) as usize;
+    let idle = target_idle.min(budget);
+    if idle < target_idle {
+        println!(
+            "[ingress-live] fd limit {limit} clamps idle connections: {target_idle} -> {idle}"
+        );
+    }
+    assert!(
+        idle >= 5_000,
+        "the C10k gate needs >=5k held connections; fd limit {limit} allows only {idle}"
+    );
+
+    let runner = Arc::new(RealModelRunner::new(CudnnHandle::real_cpu(), 5, 8));
+    let opts = ServeOptions {
+        slo_us: 2_000_000.0,
+        queue_cap: 256,
+        workers: 2,
+        max_batch: 8,
+    };
+    let server = Arc::new(Server::start(runner.clone(), &opts));
+    let io = IngressOptions {
+        max_conns: idle + 64,
+        loops: 2,
+        backend: None,
+    };
+    let tcp = TcpFrontend::start_with(Arc::clone(&server), "127.0.0.1:0", &io).expect("bind");
+    let addr = tcp.local_addr();
+    let backend = if sys::epoll_supported() {
+        "epoll"
+    } else {
+        "poll"
+    };
+
+    let mut held = Vec::with_capacity(idle);
+    for i in 0..idle {
+        held.push(std::net::TcpStream::connect(addr).expect("idle connect"));
+        if (i + 1) % 2_500 == 0 {
+            println!("[ingress-live] holding {} connections...", i + 1);
+        }
+    }
+
+    // Active traffic rides on top of the idle floor: pipelined frames on a
+    // few extra connections, answered in order.
+    let input = (0..runner.sample_len())
+        .map(|j| format!("{}", (j % 7) as f32 * 0.1))
+        .collect::<Vec<_>>()
+        .join(",");
+    let per_conn = active_requests / ACTIVE_CONNS;
+    for c in 0..ACTIVE_CONNS {
+        let mut s = std::net::TcpStream::connect(addr).expect("active connect");
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let mut frame = String::new();
+        for i in 0..per_conn {
+            frame.push_str(&format!(
+                "{{\"id\":{},\"input\":[{input}]}}\n",
+                c * per_conn + i
+            ));
+        }
+        s.write_all(frame.as_bytes()).expect("send pipelined frame");
+        for i in 0..per_conn {
+            let mut line = String::new();
+            r.read_line(&mut line).expect("read response");
+            let v = Value::parse(line.trim()).expect("response must be valid JSON");
+            assert_eq!(
+                v.get("ok"),
+                Some(&Value::Bool(true)),
+                "active request {i} on conn {c} must succeed under the idle floor: {line}"
+            );
+        }
+    }
+
+    // The ledger and the SLO gates, from the server's own instruments.
+    let active_now = tcp.active_connections();
+    assert!(
+        active_now >= idle,
+        "the reactor must still hold the idle floor: {active_now} < {idle}"
+    );
+    let m = server.metrics();
+    assert_eq!(m.shed_total(), 0, "nominal live load must not shed");
+    assert_eq!(m.violations.get(), 0, "admitted requests must meet the SLO");
+    assert!(m.completed.get() >= (per_conn * ACTIVE_CONNS) as u64);
+    let p99 = m
+        .latency
+        .try_quantile(0.99)
+        .expect("completions imply a p99");
+    assert!(
+        p99 <= opts.slo_us,
+        "live p99 {p99:.0}us must sit inside the {}us SLO",
+        opts.slo_us
+    );
+    println!(
+        "[ingress-live] ok ({backend}): held {active_now} conns, {} active requests, \
+         p99={p99:.0}us, sheds=0, violations=0",
+        per_conn * ACTIVE_CONNS
+    );
+
+    drop(held);
+    tcp.stop();
+    server.drain();
+}
+
 /// One round-trip through the real threaded server's TCP front-end on
 /// loopback — the CI smoke for the non-simulated path.
 fn tcp_smoke() {
@@ -473,6 +749,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let want_tcp = args.iter().any(|a| a == "--tcp-smoke");
     let want_reopt = args.iter().any(|a| a == "--reopt");
+    let want_ingress = args.iter().any(|a| a == "--ingress");
     let want_telemetry = args.iter().any(|a| a == "--telemetry-smoke");
     let metrics_dump = args
         .iter()
@@ -573,6 +850,7 @@ fn main() {
     );
 
     let reopt_section = want_reopt.then(|| reopt_experiment(&table));
+    let ingress_section = want_ingress.then(|| ingress_experiment(&table, smoke));
 
     let mut doc = obj([
         ("bench", Value::Str("serve".to_string())),
@@ -605,8 +883,13 @@ fn main() {
         ("speedup_vs_fixed1", num(speedup)),
         ("deterministic", Value::Bool(true)),
     ]);
-    if let (Value::Obj(fields), Some(section)) = (&mut doc, reopt_section) {
-        fields.push(("reopt".to_string(), section));
+    if let Value::Obj(fields) = &mut doc {
+        if let Some(section) = reopt_section {
+            fields.push(("reopt".to_string(), section));
+        }
+        if let Some(section) = ingress_section {
+            fields.push(("ingress".to_string(), section));
+        }
     }
     let body = doc.to_json() + "\n";
     if let Some(dir) = std::path::Path::new(&out_path)
@@ -618,6 +901,9 @@ fn main() {
     std::fs::write(&out_path, body).expect("cannot write benchmark JSON");
     println!("[json] wrote {out_path}");
 
+    if want_ingress {
+        ingress_live(smoke);
+    }
     if want_tcp {
         tcp_smoke();
     }

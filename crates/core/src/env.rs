@@ -20,6 +20,9 @@
 //! | `UCUDNN_SERVE_QUEUE_CAP` | admission-queue capacity ≥ 1 | [`ServeOptions::queue_cap`] |
 //! | `UCUDNN_SERVE_WORKERS` | serving worker threads ≥ 1 | [`ServeOptions::workers`] |
 //! | `UCUDNN_SERVE_MAX_BATCH` | coalesced-batch cap ≥ 1 | [`ServeOptions::max_batch`] |
+//! | `UCUDNN_SERVE_MAX_CONNS` | concurrent-connection cap ≥ 1 | [`IngressOptions::max_conns`] (listener rejects beyond it) |
+//! | `UCUDNN_SERVE_LOOPS` | event-loop threads ≥ 1 | [`IngressOptions::loops`] |
+//! | `UCUDNN_SERVE_BACKEND` | `epoll` / `poll` | [`IngressOptions::backend`] (readiness backend; default epoll on Linux) |
 //! | `UCUDNN_REOPT` | `0` / `1` | `ucudnn_serve::ReoptConfig::enabled` (drift detection + hot-swap) |
 //! | `UCUDNN_REOPT_WINDOW` | observations per drift window ≥ 1 | `ucudnn_serve::ReoptConfig::window_samples` |
 //! | `UCUDNN_REOPT_RATIO` | stale-p50 ratio > 1.0 | `ucudnn_serve::ReoptConfig::p50_ratio` |
@@ -216,6 +219,92 @@ impl ServeOptions {
     }
 }
 
+/// The readiness backend the ingress reactor multiplexes connections with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngressBackend {
+    /// Linux `epoll` — O(ready) per tick, the C10k path.
+    Epoll,
+    /// Portable `poll(2)` — O(registered) per tick, semantically identical.
+    Poll,
+}
+
+/// Configuration of the TCP ingress reactor (`ucudnn-serve`'s event-loop
+/// front-end), read from the `UCUDNN_SERVE_{MAX_CONNS,LOOPS,BACKEND}`
+/// variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngressOptions {
+    /// Concurrent-connection cap (`UCUDNN_SERVE_MAX_CONNS`); accepts beyond
+    /// it are rejected at the listener before any protocol state is built.
+    pub max_conns: usize,
+    /// Event-loop threads (`UCUDNN_SERVE_LOOPS`). Connections are sharded
+    /// across loops round-robin at accept time.
+    pub loops: usize,
+    /// Readiness backend override (`UCUDNN_SERVE_BACKEND`); `None` picks
+    /// epoll where available and `poll(2)` elsewhere.
+    pub backend: Option<IngressBackend>,
+}
+
+impl Default for IngressOptions {
+    fn default() -> Self {
+        Self {
+            max_conns: 16_384,
+            loops: 2,
+            backend: None,
+        }
+    }
+}
+
+impl IngressOptions {
+    /// Build options from a key-lookup function (exposed for testing, like
+    /// [`ServeOptions::from_lookup`]). Unset keys keep their defaults;
+    /// malformed values are errors, not silent fallbacks.
+    ///
+    /// # Errors
+    /// [`EnvError`] naming the malformed variable.
+    pub fn from_lookup(
+        lookup: impl Fn(&str) -> Option<String>,
+    ) -> core::result::Result<Self, EnvError> {
+        let mut opts = IngressOptions::default();
+        let uint = |key: &'static str, field: &mut usize| -> core::result::Result<(), EnvError> {
+            if let Some(v) = lookup(key) {
+                *field = v
+                    .trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(EnvError {
+                        variable: key,
+                        value: v,
+                    })?;
+            }
+            Ok(())
+        };
+        uint("UCUDNN_SERVE_MAX_CONNS", &mut opts.max_conns)?;
+        uint("UCUDNN_SERVE_LOOPS", &mut opts.loops)?;
+        if let Some(v) = lookup("UCUDNN_SERVE_BACKEND") {
+            opts.backend = match v.trim() {
+                "epoll" => Some(IngressBackend::Epoll),
+                "poll" => Some(IngressBackend::Poll),
+                _ => {
+                    return Err(EnvError {
+                        variable: "UCUDNN_SERVE_BACKEND",
+                        value: v,
+                    })
+                }
+            };
+        }
+        Ok(opts)
+    }
+
+    /// Build options from the process environment.
+    ///
+    /// # Errors
+    /// [`EnvError`] naming the malformed variable.
+    pub fn from_env() -> core::result::Result<Self, EnvError> {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +401,47 @@ mod tests {
         // Whitespace-tolerant like the rest of the table.
         let opts = ServeOptions::from_lookup(lookup(&[("UCUDNN_SERVE_WORKERS", " 8 ")])).unwrap();
         assert_eq!(opts.workers, 8);
+    }
+
+    #[test]
+    fn ingress_defaults_when_unset() {
+        let opts = IngressOptions::from_lookup(|_| None).unwrap();
+        assert_eq!(opts, IngressOptions::default());
+        assert_eq!(opts.max_conns, 16_384);
+        assert_eq!(opts.loops, 2);
+        assert_eq!(opts.backend, None);
+    }
+
+    #[test]
+    fn ingress_full_configuration() {
+        let opts = IngressOptions::from_lookup(lookup(&[
+            ("UCUDNN_SERVE_MAX_CONNS", "50000"),
+            ("UCUDNN_SERVE_LOOPS", "4"),
+            ("UCUDNN_SERVE_BACKEND", "poll"),
+        ]))
+        .unwrap();
+        assert_eq!(opts.max_conns, 50_000);
+        assert_eq!(opts.loops, 4);
+        assert_eq!(opts.backend, Some(IngressBackend::Poll));
+        let opts =
+            IngressOptions::from_lookup(lookup(&[("UCUDNN_SERVE_BACKEND", "epoll")])).unwrap();
+        assert_eq!(opts.backend, Some(IngressBackend::Epoll));
+    }
+
+    #[test]
+    fn ingress_malformed_values_error_loudly() {
+        for key in ["UCUDNN_SERVE_MAX_CONNS", "UCUDNN_SERVE_LOOPS"] {
+            let e = IngressOptions::from_lookup(lookup(&[(key, "0")])).unwrap_err();
+            assert_eq!(e.variable, key);
+            assert!(IngressOptions::from_lookup(lookup(&[(key, "many")])).is_err());
+        }
+        let e =
+            IngressOptions::from_lookup(lookup(&[("UCUDNN_SERVE_BACKEND", "kqueue")])).unwrap_err();
+        assert_eq!(e.variable, "UCUDNN_SERVE_BACKEND");
+        // Whitespace-tolerant like the rest of the table.
+        let opts =
+            IngressOptions::from_lookup(lookup(&[("UCUDNN_SERVE_BACKEND", " poll ")])).unwrap();
+        assert_eq!(opts.backend, Some(IngressBackend::Poll));
     }
 
     #[test]

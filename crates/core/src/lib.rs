@@ -62,7 +62,7 @@ pub mod wr;
 
 pub use bench_cache::{BenchCache, BenchEntry, CacheStats};
 pub use config::{Configuration, MicroConfig};
-pub use env::{parse_bytes, EnvError, ServeOptions};
+pub use env::{parse_bytes, EnvError, IngressBackend, IngressOptions, ServeOptions};
 pub use error::UcudnnError;
 pub use handle::{OptimizerMode, Plan, UcudnnHandle, UcudnnOptions, VIRTUAL_ALGO};
 pub use kernel::{KernelKey, OpKind};

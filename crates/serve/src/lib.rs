@@ -24,26 +24,38 @@
 //!   registry, exported as JSON and as a Prometheus-style exposition;
 //! * [`slo_monitor`] — deterministic multi-window (fast/slow) SLO
 //!   error-budget burn-rate alerting over the shed/violation outcomes;
-//! * [`tcp`] — an optional newline-delimited-JSON TCP front-end on
-//!   `std::net` (no new dependencies), with a `STATS` verb serving the
-//!   live exposition.
+//! * [`tcp`] + [`reactor`] — the newline-delimited-JSON TCP front-end
+//!   (with a `STATS` verb serving the live exposition), carried by a
+//!   readiness-driven epoll/poll event-loop reactor (DESIGN.md §15):
+//!   C10k-scale connection multiplexing on a fixed thread pool, explicit
+//!   admission/write backpressure, and connection telemetry;
+//! * [`sys`] — libc-free epoll/ppoll syscall shims (the sync-shim
+//!   discipline applied to readiness multiplexing) behind a
+//!   backend-neutral poller;
+//! * [`sim_ingress`] — the deterministic connection-churn + fan-in twin
+//!   behind the `ingress` section of `BENCH_serve.json`.
 
 pub mod metrics;
+pub mod reactor;
 pub mod reopt;
 pub mod request;
 pub mod scheduler;
 pub mod server;
 pub mod sim;
+pub mod sim_ingress;
 pub mod sim_reopt;
 pub mod slo_monitor;
+pub mod sys;
 pub mod tcp;
 
 pub use metrics::ServeMetrics;
+pub use reactor::Reactor;
 pub use reopt::{DriftDetector, DriftReport, ReoptConfig};
 pub use request::{RequestId, Response, ShedReason};
 pub use scheduler::{Action, BatchPolicy, Scheduler};
 pub use server::{BatchRunner, PlanState, RealModelRunner, Server, Ticket};
 pub use sim::{poisson_arrivals, run_sim, Lcg, ShedCounts, SimConfig, SimOutcome};
+pub use sim_ingress::{run_ingress_sim, IngressOutcome, IngressSimConfig};
 pub use sim_reopt::{run_reopt_sim, ReoptOutcome, ReoptSimConfig};
 pub use slo_monitor::{BurnAlert, BurnConfig, BurnMonitor};
 pub use tcp::TcpFrontend;

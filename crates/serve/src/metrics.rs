@@ -64,6 +64,26 @@ pub struct ServeMetrics {
     pub burn_slow: Gauge,
     /// End-to-end latency of completed requests (summary + exemplar).
     pub latency: Histogram,
+    /// Ingress: connections accepted by the reactor.
+    pub conn_accepted: Counter,
+    /// Ingress: connections refused at the listener by the
+    /// `UCUDNN_SERVE_MAX_CONNS` cap.
+    pub conn_rejected: Counter,
+    /// Ingress: connections torn down on a read error (not clean EOF).
+    pub conn_read_err: Counter,
+    /// Ingress: client write failures (reset/broken pipe while responding).
+    pub conn_write_err: Counter,
+    /// Ingress: times a connection's read interest was parked because its
+    /// outbound buffer crossed the high-water mark (slow reader).
+    pub conn_write_backpressure: Counter,
+    /// Ingress: times read interest was parked because the admission queue
+    /// was full — kernel socket buffers absorb the burst before the shed
+    /// ladder fires.
+    pub conn_admission_pause: Counter,
+    /// Ingress: currently open connections (gauge).
+    pub conn_active: Gauge,
+    /// Ingress: high-water mark of open connections.
+    pub conn_active_max: Gauge,
 }
 
 impl Default for ServeMetrics {
@@ -158,8 +178,52 @@ impl ServeMetrics {
                 "ucudnn_serve_latency_us",
                 "End-to-end latency of completed requests, microseconds.",
             ),
+            conn_accepted: registry.counter(
+                "ucudnn_serve_conn_accepted_total",
+                "Connections accepted by the ingress reactor.",
+            ),
+            conn_rejected: registry.counter(
+                "ucudnn_serve_conn_rejected_total",
+                "Connections refused at the listener by the connection cap.",
+            ),
+            conn_read_err: registry.counter(
+                "ucudnn_serve_conn_read_err_total",
+                "Connections torn down on a read error (not clean EOF).",
+            ),
+            conn_write_err: registry.counter(
+                "ucudnn_serve_conn_write_err_total",
+                "Client write failures while delivering responses.",
+            ),
+            conn_write_backpressure: registry.counter(
+                "ucudnn_serve_conn_write_backpressure_total",
+                "Read-interest parks due to a slow reader's full write buffer.",
+            ),
+            conn_admission_pause: registry.counter(
+                "ucudnn_serve_conn_admission_pause_total",
+                "Read-interest parks while the admission queue was full.",
+            ),
+            conn_active: registry.gauge(
+                "ucudnn_serve_conn_active",
+                "Currently open ingress connections.",
+            ),
+            conn_active_max: registry.gauge(
+                "ucudnn_serve_conn_active_max",
+                "High-water mark of open ingress connections.",
+            ),
             registry,
         }
+    }
+
+    /// Count one accepted connection and move the active-connections gauge.
+    pub fn conn_opened(&self, active: u64) {
+        self.conn_accepted.inc();
+        self.set_conn_active(active);
+    }
+
+    /// Move the active-connections gauge and maintain its high-water mark.
+    pub fn set_conn_active(&self, active: u64) {
+        self.conn_active.set(active as f64);
+        self.conn_active_max.set_max(active as f64);
     }
 
     /// The registry behind these instruments; clone it to scrape or to
@@ -284,6 +348,19 @@ impl ServeMetrics {
                     ("count", json::num(window.count as f64)),
                 ]),
             ),
+            (
+                "ingress",
+                json::obj([
+                    ("accepted", n(&self.conn_accepted)),
+                    ("rejected", n(&self.conn_rejected)),
+                    ("read_err", n(&self.conn_read_err)),
+                    ("write_err", n(&self.conn_write_err)),
+                    ("write_backpressure", n(&self.conn_write_backpressure)),
+                    ("admission_pause", n(&self.conn_admission_pause)),
+                    ("active", g(&self.conn_active)),
+                    ("active_max", g(&self.conn_active_max)),
+                ]),
+            ),
         ])
     }
 }
@@ -371,6 +448,40 @@ mod tests {
         assert_eq!(r.get("plan_swaps").unwrap().as_u64(), Some(2));
         assert_eq!(r.get("reopt_failed").unwrap().as_u64(), Some(1));
         assert_eq!(r.get("plan_version").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn ingress_counters_are_exported_in_both_views() {
+        let m = ServeMetrics::new();
+        m.conn_opened(1);
+        m.conn_opened(2);
+        m.set_conn_active(1);
+        m.conn_rejected.inc();
+        m.conn_write_err.inc();
+        m.conn_write_backpressure.add(3);
+        m.conn_admission_pause.add(2);
+        let j = m.to_json();
+        let ing = j.get("ingress").unwrap();
+        assert_eq!(ing.get("accepted").unwrap().as_u64(), Some(2));
+        assert_eq!(ing.get("rejected").unwrap().as_u64(), Some(1));
+        assert_eq!(ing.get("read_err").unwrap().as_u64(), Some(0));
+        assert_eq!(ing.get("write_err").unwrap().as_u64(), Some(1));
+        assert_eq!(ing.get("write_backpressure").unwrap().as_u64(), Some(3));
+        assert_eq!(ing.get("admission_pause").unwrap().as_u64(), Some(2));
+        assert_eq!(ing.get("active").unwrap().as_u64(), Some(1));
+        assert_eq!(ing.get("active_max").unwrap().as_u64(), Some(2));
+        let text = m.registry().expose();
+        for line in [
+            "ucudnn_serve_conn_accepted_total 2",
+            "ucudnn_serve_conn_rejected_total 1",
+            "ucudnn_serve_conn_write_err_total 1",
+            "ucudnn_serve_conn_write_backpressure_total 3",
+            "ucudnn_serve_conn_admission_pause_total 2",
+            "ucudnn_serve_conn_active 1",
+            "ucudnn_serve_conn_active_max 2",
+        ] {
+            assert!(text.contains(line), "exposition missing {line:?}:\n{text}");
+        }
     }
 
     #[test]

@@ -108,13 +108,37 @@ struct Pending {
     id: RequestId,
     arrival_us: f64,
     input: Vec<f32>,
-    ticket: Arc<TicketState>,
+    waiter: Waiter,
 }
 
 /// Shared resolution slot of one submitted request.
-struct TicketState {
+pub(crate) struct TicketState {
     slot: Mutex<Option<Result<Response, ShedReason>>>,
     cv: Condvar,
+}
+
+/// How one queued request's outcome is delivered: a blocking [`Ticket`]
+/// (the original synchronous path) or a completion callback (the reactor
+/// path — the event loop must never park a thread per request).
+pub(crate) enum Waiter {
+    /// Resolve into the ticket's slot and wake the waiting thread.
+    Ticket(Arc<TicketState>),
+    /// Invoke the callback with the outcome. Callbacks run on a server
+    /// worker thread and must be cheap and non-blocking with respect to the
+    /// server's own locks (the reactor's only touches its loop inbox).
+    Callback(Box<dyn FnOnce(Result<Response, ShedReason>) + Send + 'static>),
+}
+
+impl Waiter {
+    fn resolve(self, result: Result<Response, ShedReason>) {
+        match self {
+            Waiter::Ticket(t) => {
+                *t.slot.lock().unwrap() = Some(result);
+                t.cv.notify_all();
+            }
+            Waiter::Callback(cb) => cb(result),
+        }
+    }
 }
 
 /// A handle to one in-flight request; wait on it for the response.
@@ -207,11 +231,6 @@ pub struct Server {
     inner: Arc<Inner>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     reopt_worker: Mutex<Option<std::thread::JoinHandle<()>>>,
-}
-
-fn resolve(ticket: &Arc<TicketState>, result: Result<Response, ShedReason>) {
-    *ticket.slot.lock().unwrap() = Some(result);
-    ticket.cv.notify_all();
 }
 
 impl Server {
@@ -319,6 +338,43 @@ impl Server {
     /// # Panics
     /// Panics when `input.len()` does not match the runner's sample length.
     pub fn submit(&self, input: Vec<f32>) -> Result<Ticket, ShedReason> {
+        let ticket = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let state = Arc::clone(&ticket);
+        self.submit_inner(input, move || Waiter::Ticket(state))?;
+        Ok(Ticket { state: ticket })
+    }
+
+    /// Submit one input sample with a completion callback instead of a
+    /// blocking ticket — the reactor's delivery path. On `Ok`, the callback
+    /// will be invoked exactly once (on a server worker thread) with the
+    /// response or the shed verdict. On `Err`, the request was refused at
+    /// admission and **the callback is never invoked** — the caller still
+    /// owns the refusal and renders it inline, which is what keeps the
+    /// reactor's per-connection response sequencing single-sourced.
+    ///
+    /// # Errors
+    /// [`ShedReason::QueueFull`] under backpressure, [`ShedReason::Draining`]
+    /// after [`Server::drain`] began.
+    ///
+    /// # Panics
+    /// Panics when `input.len()` does not match the runner's sample length.
+    pub fn submit_with<F>(&self, input: Vec<f32>, cb: F) -> Result<RequestId, ShedReason>
+    where
+        F: FnOnce(Result<Response, ShedReason>) + Send + 'static,
+    {
+        self.submit_inner(input, move || Waiter::Callback(Box::new(cb)))
+    }
+
+    /// Shared admission path: mint an id, run the shed ladder, and only on
+    /// admission materialize the waiter and enqueue.
+    fn submit_inner(
+        &self,
+        input: Vec<f32>,
+        make: impl FnOnce() -> Waiter,
+    ) -> Result<RequestId, ShedReason> {
         assert_eq!(
             input.len(),
             self.inner.runner.sample_len(),
@@ -349,15 +405,11 @@ impl Server {
                 return Err(reason);
             }
         }
-        let ticket = Arc::new(TicketState {
-            slot: Mutex::new(None),
-            cv: Condvar::new(),
-        });
         st.queue.push_back(Pending {
             id,
             arrival_us,
             input,
-            ticket: Arc::clone(&ticket),
+            waiter: make(),
         });
         m.set_queue_depth(st.queue.len() as u64);
         drop(st);
@@ -368,7 +420,20 @@ impl Server {
                 json::obj([("arrival_us", json::num(arrival_us))]),
             )
         });
-        Ok(Ticket { state: ticket })
+        Ok(id)
+    }
+
+    /// The admission queue's capacity (`UCUDNN_SERVE_QUEUE_CAP`) — the
+    /// reactor sizes its backpressure thresholds off this.
+    pub fn queue_cap(&self) -> usize {
+        self.inner.queue_cap
+    }
+
+    /// Instantaneous admission-queue depth. Advisory: the depth can change
+    /// the moment the lock drops — callers use it as a backpressure *hint*
+    /// (pause/resume read interest), never as an admission guarantee.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
     }
 
     /// `f32` elements per input sample (the runner's input geometry).
@@ -556,7 +621,7 @@ fn worker_loop(inner: &Inner, worker: usize) {
                     )
                 });
                 inner.observe_outcome(now, true);
-                resolve(&p.ticket, Err(ShedReason::DeadlineInfeasible));
+                p.waiter.resolve(Err(ShedReason::DeadlineInfeasible));
             }
             Action::WaitUntil(_) => unreachable!("no arrival oracle was given"),
         }
@@ -740,16 +805,14 @@ fn execute_batch(
                             ]),
                         )
                     });
-                    resolve(
-                        &p.ticket,
-                        Ok(Response {
-                            id: p.id,
-                            output: outputs[i * out_len..(i + 1) * out_len].to_vec(),
-                            latency_us,
-                            batch: m,
-                            plan_version: plan.version(),
-                        }),
-                    );
+                    let response = Response {
+                        id: p.id,
+                        output: outputs[i * out_len..(i + 1) * out_len].to_vec(),
+                        latency_us,
+                        batch: m,
+                        plan_version: plan.version(),
+                    };
+                    p.waiter.resolve(Ok(response));
                 }
             }
             Err(err) => {
@@ -778,7 +841,7 @@ fn execute_batch(
                         )
                     });
                     inner.observe_outcome(now, true);
-                    resolve(&p.ticket, Err(ShedReason::ExecFailed));
+                    p.waiter.resolve(Err(ShedReason::ExecFailed));
                 }
             }
         }

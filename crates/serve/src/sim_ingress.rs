@@ -1,0 +1,448 @@
+//! Deterministic discrete-event simulation of the ingress reactor.
+//!
+//! The real reactor ([`crate::reactor`]) multiplexes live sockets, so its
+//! timings depend on the host kernel; this module replays the reactor's
+//! *policies* — the connection cap at the listener, admission backpressure
+//! parking reads while kernel buffers absorb the burst, half-drain resume
+//! hysteresis — against the same virtual clock and seeded LCG the serving
+//! sim uses. The `ingress` section of `BENCH_serve.json` comes from here:
+//! same seed, byte-identical log, every machine.
+//!
+//! Model: a fan-in of many connections offering one pooled Poisson request
+//! stream, plus an independent Poisson connection-churn stream (short-lived
+//! connections opening against `max_conns` and closing after a hold). When
+//! the admission queue is full, offered requests are *buffered* (the
+//! kernel-socket-buffer stand-in, capacity `kernel_buf`) instead of shed;
+//! they admit in arrival order once the queue drains to the resume
+//! threshold. Only buffer overflow sheds — exactly the reactor's contract
+//! that backpressure engages before the shed ladder.
+
+use crate::request::ShedReason;
+use crate::scheduler::{Action, BatchPolicy, Scheduler};
+use crate::sim::{poisson_arrivals, ShedCounts};
+use std::collections::VecDeque;
+use ucudnn_framework::StreamingHistogram;
+
+/// One simulated ingress experiment.
+#[derive(Debug, Clone)]
+pub struct IngressSimConfig {
+    /// Load-generator seed; the only entropy source (the churn stream
+    /// derives its own from it).
+    pub seed: u64,
+    /// Per-request deadline budget, microseconds (from admission).
+    pub slo_us: f64,
+    /// Bounded admission queue capacity.
+    pub queue_cap: usize,
+    /// Parallel worker lanes.
+    pub workers: usize,
+    /// Coalesced-batch cap.
+    pub max_batch: usize,
+    /// Batching policy under test.
+    pub policy: BatchPolicy,
+    /// Pooled offered load across all active connections, requests/s.
+    pub arrival_rate_rps: f64,
+    /// Total requests to offer.
+    pub requests: usize,
+    /// Long-held idle connections (the C10k floor under the fan-in).
+    pub idle_conns: usize,
+    /// Short-lived churn connections to open over the run.
+    pub churn_cycles: usize,
+    /// Churn connection-open rate, connections/s.
+    pub churn_rate_cps: f64,
+    /// How long each churn connection stays open, microseconds.
+    pub churn_hold_us: f64,
+    /// Listener connection cap (`UCUDNN_SERVE_MAX_CONNS`'s stand-in).
+    pub max_conns: usize,
+    /// Kernel-buffer stand-in capacity: offered requests parked during an
+    /// admission pause; overflow sheds as `queue_full`.
+    pub kernel_buf: usize,
+}
+
+/// What one simulated ingress run produced.
+#[derive(Debug, Clone)]
+pub struct IngressOutcome {
+    /// Requests that completed.
+    pub completed: u64,
+    /// Requests shed, by reason (under backpressure only buffer overflow).
+    pub shed: ShedCounts,
+    /// Completions whose admission-to-response latency exceeded the SLO.
+    pub violations: u64,
+    /// Admission-pause transitions (read interest parked, queue full).
+    pub admission_pauses: u64,
+    /// Peak simultaneous kernel-buffered requests.
+    pub buffered_peak: usize,
+    /// Longest offered-to-admitted delay a buffered request saw, µs.
+    pub max_buffer_wait_us: f64,
+    /// Churn connections accepted.
+    pub conns_opened: u64,
+    /// Churn connections refused by the connection cap.
+    pub conns_rejected: u64,
+    /// Peak simultaneous connections (idle + live churn).
+    pub peak_conns: usize,
+    /// Every fired batch size, in firing order.
+    pub batch_sizes: Vec<usize>,
+    /// The deterministic event log; byte-identical for equal configs.
+    pub log: Vec<String>,
+    /// Admission-to-completion latency distribution.
+    pub latencies: StreamingHistogram,
+    /// Virtual time of the first offered request.
+    pub first_arrival_us: f64,
+    /// Virtual time of the last batch completion.
+    pub last_completion_us: f64,
+}
+
+impl IngressOutcome {
+    /// Completed-request throughput over the active window, requests/s.
+    pub fn throughput_rps(&self) -> f64 {
+        let span = self.last_completion_us - self.first_arrival_us;
+        if span <= 0.0 || self.completed == 0 {
+            0.0
+        } else {
+            self.completed as f64 / (span / 1e6)
+        }
+    }
+
+    /// Mean fired batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batch_sizes.is_empty() {
+            0.0
+        } else {
+            self.batch_sizes.iter().sum::<usize>() as f64 / self.batch_sizes.len() as f64
+        }
+    }
+}
+
+/// Run one ingress experiment.
+///
+/// # Panics
+/// Panics on a degenerate config (zero workers, queue, or connections).
+pub fn run_ingress_sim(sched: &Scheduler, cfg: &IngressSimConfig) -> IngressOutcome {
+    assert!(cfg.workers >= 1, "need at least one worker");
+    assert!(cfg.queue_cap >= 1, "need a non-empty queue");
+    assert!(cfg.max_conns >= 1, "need room for at least one connection");
+    let arrivals = poisson_arrivals(cfg.seed, cfg.requests, cfg.arrival_rate_rps);
+    let churn_opens = if cfg.churn_cycles > 0 {
+        poisson_arrivals(
+            cfg.seed ^ 0x9e37_79b9_7f4a_7c15,
+            cfg.churn_cycles,
+            cfg.churn_rate_cps,
+        )
+    } else {
+        Vec::new()
+    };
+    let mut out = IngressOutcome {
+        completed: 0,
+        shed: ShedCounts::default(),
+        violations: 0,
+        admission_pauses: 0,
+        buffered_peak: 0,
+        max_buffer_wait_us: 0.0,
+        conns_opened: 0,
+        conns_rejected: 0,
+        peak_conns: cfg.idle_conns.min(cfg.max_conns),
+        batch_sizes: Vec::new(),
+        log: Vec::new(),
+        latencies: StreamingHistogram::new(),
+        first_arrival_us: arrivals.first().copied().unwrap_or(0.0),
+        last_completion_us: 0.0,
+    };
+
+    // (id, offered_us, admitted_us) admitted and waiting to batch.
+    let mut queue: VecDeque<(u64, f64, f64)> = VecDeque::new();
+    // (id, offered_us) parked in the kernel-buffer stand-in.
+    let mut buffer: VecDeque<(u64, f64)> = VecDeque::new();
+    let mut paused = false;
+    let resume_depth = cfg.queue_cap / 2;
+    let mut next_id: usize = 0;
+    let mut next_open: usize = 0;
+    // Accepted opens close after a fixed hold, so closes stay sorted.
+    let mut closes: VecDeque<f64> = VecDeque::new();
+    let mut conns = cfg.idle_conns;
+    let mut free_at = vec![0.0f64; cfg.workers];
+
+    loop {
+        // The earliest-free worker drives the clock (ties: lowest index).
+        let (w, _) = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+            .unwrap();
+        let mut now = free_at[w];
+
+        // Nothing pending anywhere: jump to the next event or finish.
+        if queue.is_empty() && buffer.is_empty() {
+            let jump = [
+                arrivals.get(next_id).copied(),
+                churn_opens.get(next_open).copied(),
+                closes.front().copied(),
+            ]
+            .into_iter()
+            .flatten()
+            .fold(f64::INFINITY, f64::min);
+            if jump.is_infinite() {
+                break;
+            }
+            now = now.max(jump);
+        }
+
+        // Connection churn up to `now`, opens and closes in time order.
+        loop {
+            let open = churn_opens.get(next_open).copied();
+            let close = closes.front().copied();
+            match (open, close) {
+                (Some(t), c) if t <= now && c.is_none_or(|c| t <= c) => {
+                    next_open += 1;
+                    if conns >= cfg.max_conns {
+                        out.conns_rejected += 1;
+                        out.log.push(format!("conn_reject t={t:.3} n={conns}"));
+                    } else {
+                        conns += 1;
+                        out.conns_opened += 1;
+                        out.peak_conns = out.peak_conns.max(conns);
+                        closes.push_back(t + cfg.churn_hold_us);
+                        out.log.push(format!("conn_open t={t:.3} n={conns}"));
+                    }
+                }
+                (_, Some(t)) if t <= now => {
+                    closes.pop_front();
+                    conns -= 1;
+                    out.log.push(format!("conn_close t={t:.3} n={conns}"));
+                }
+                _ => break,
+            }
+        }
+
+        // Resume: the queue drained to the hysteresis floor, so parked
+        // requests admit in arrival order (possibly re-pausing if the
+        // backlog alone refills the queue).
+        if paused && queue.len() <= resume_depth {
+            paused = false;
+            out.log
+                .push(format!("resume t={now:.3} buffered={}", buffer.len()));
+            while let Some(&(id, offered)) = buffer.front() {
+                if queue.len() >= cfg.queue_cap {
+                    paused = true;
+                    out.admission_pauses += 1;
+                    out.log
+                        .push(format!("pause t={now:.3} depth={}", queue.len()));
+                    break;
+                }
+                buffer.pop_front();
+                let admitted = now.max(offered);
+                out.max_buffer_wait_us = out.max_buffer_wait_us.max(admitted - offered);
+                queue.push_back((id, offered, admitted));
+            }
+        }
+
+        // Offered arrivals up to `now` flow into the queue or the buffer.
+        while next_id < arrivals.len() && arrivals[next_id] <= now {
+            let (id, t) = (next_id as u64, arrivals[next_id]);
+            next_id += 1;
+            if !paused && queue.len() >= cfg.queue_cap {
+                paused = true;
+                out.admission_pauses += 1;
+                out.log
+                    .push(format!("pause t={t:.3} depth={}", queue.len()));
+            }
+            if paused {
+                if buffer.len() >= cfg.kernel_buf {
+                    // The kernel-buffer stand-in overflowed: this is the
+                    // point where real backpressure turns into a shed.
+                    out.shed.bump(ShedReason::QueueFull);
+                    out.log
+                        .push(format!("shed t={t:.3} id={id} reason=queue_full"));
+                } else {
+                    buffer.push_back((id, t));
+                    out.buffered_peak = out.buffered_peak.max(buffer.len());
+                }
+            } else {
+                queue.push_back((id, t, t));
+            }
+        }
+        if queue.is_empty() {
+            free_at[w] = now;
+            continue;
+        }
+
+        let times: Vec<f64> = queue.iter().map(|&(_, _, at)| at).collect();
+        // Under a pause the next admission instant is unknown to the
+        // scheduler — no arrival oracle, exactly like the live server.
+        let next_arrival = if paused {
+            None
+        } else {
+            arrivals.get(next_id).copied()
+        };
+        match sched.decide(now, &times, next_arrival) {
+            Action::Fire(d) => {
+                let finish = now + d.exec_us;
+                free_at[w] = finish;
+                out.last_completion_us = out.last_completion_us.max(finish);
+                let mut ids = Vec::with_capacity(d.batch);
+                for _ in 0..d.batch {
+                    let (id, _offered, admitted) =
+                        queue.pop_front().expect("planned batch exceeds queue");
+                    let latency = finish - admitted;
+                    if latency > sched.slo_us() + 1e-6 {
+                        out.violations += 1;
+                    }
+                    out.latencies.record(latency);
+                    out.completed += 1;
+                    ids.push(id);
+                }
+                out.batch_sizes.push(d.batch);
+                let micros = d
+                    .micros
+                    .iter()
+                    .map(|m| m.to_string())
+                    .collect::<Vec<_>>()
+                    .join("+");
+                out.log.push(format!(
+                    "fire t={now:.3} worker={w} batch={} micros={micros} exec={:.3} ids={}..{}",
+                    d.batch,
+                    d.exec_us,
+                    ids.first().unwrap(),
+                    ids.last().unwrap()
+                ));
+            }
+            Action::WaitUntil(t) => {
+                debug_assert!(t > now, "wait must move the clock forward");
+                free_at[w] = t;
+            }
+            Action::ShedOldest => {
+                let (id, _, _) = queue.pop_front().unwrap();
+                out.shed.bump(ShedReason::DeadlineInfeasible);
+                out.log.push(format!(
+                    "shed t={now:.3} id={id} reason=deadline_infeasible"
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Vec<(usize, f64)> {
+        [1usize, 2, 4, 8, 16, 32]
+            .into_iter()
+            .map(|m| (m, 480.0 + 20.0 * m as f64))
+            .collect()
+    }
+
+    fn cfg() -> IngressSimConfig {
+        IngressSimConfig {
+            seed: 2018,
+            slo_us: 20_000.0,
+            queue_cap: 256,
+            workers: 2,
+            max_batch: 32,
+            policy: BatchPolicy::Dynamic,
+            arrival_rate_rps: 20_000.0,
+            requests: 2_000,
+            idle_conns: 10_000,
+            churn_cycles: 200,
+            churn_rate_cps: 2_000.0,
+            churn_hold_us: 5_000.0,
+            max_conns: 16_384,
+            kernel_buf: 4_096,
+        }
+    }
+
+    fn run(c: &IngressSimConfig) -> IngressOutcome {
+        let sched = Scheduler::new(table(), c.slo_us, c.max_batch, c.policy);
+        run_ingress_sim(&sched, c)
+    }
+
+    #[test]
+    fn same_config_gives_a_byte_identical_log() {
+        let c = cfg();
+        let a = run(&c);
+        let b = run(&c);
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.batch_sizes, b.batch_sizes);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.admission_pauses, b.admission_pauses);
+    }
+
+    #[test]
+    fn nominal_load_never_pauses_or_sheds() {
+        let c = cfg();
+        let out = run(&c);
+        assert_eq!(out.admission_pauses, 0, "nominal load must not pause");
+        assert_eq!(out.shed.total(), 0, "nominal load must not shed");
+        assert_eq!(out.violations, 0);
+        assert_eq!(out.completed, c.requests as u64);
+        assert!(out.mean_batch() > 1.0, "20k rps must coalesce");
+    }
+
+    #[test]
+    fn bursts_pause_and_recover_instead_of_shedding() {
+        let mut c = cfg();
+        c.arrival_rate_rps = 400_000.0;
+        c.queue_cap = 32;
+        c.requests = 4_000;
+        let out = run(&c);
+        assert!(out.admission_pauses > 0, "overload must park read interest");
+        assert!(out.buffered_peak > 0);
+        assert!(out.max_buffer_wait_us > 0.0);
+        // Everything offered is accounted for: completed, shed at a rung,
+        // but nothing lost.
+        assert_eq!(
+            out.completed + out.shed.total(),
+            c.requests as u64,
+            "every offered request is accounted for"
+        );
+        assert_eq!(
+            out.violations, 0,
+            "admitted requests still meet the SLO — pauses delay admission, \
+             they never break the deadline contract"
+        );
+    }
+
+    #[test]
+    fn a_tiny_kernel_buffer_overflows_into_queue_full() {
+        let mut c = cfg();
+        c.arrival_rate_rps = 400_000.0;
+        c.queue_cap = 16;
+        c.kernel_buf = 8;
+        c.requests = 2_000;
+        let out = run(&c);
+        assert!(out.shed.queue_full > 0, "overflow must shed");
+        assert_eq!(out.completed + out.shed.total(), c.requests as u64);
+    }
+
+    #[test]
+    fn the_connection_cap_rejects_churn_beyond_it() {
+        let mut c = cfg();
+        c.idle_conns = 100;
+        c.max_conns = 110;
+        c.churn_cycles = 500;
+        c.churn_rate_cps = 100_000.0; // all opens land inside one hold window
+        let out = run(&c);
+        assert!(out.conns_rejected > 0, "cap must refuse");
+        assert!(out.peak_conns <= c.max_conns, "cap is a hard ceiling");
+        assert_eq!(
+            out.conns_opened + out.conns_rejected,
+            c.churn_cycles as u64,
+            "every churn open is accounted for"
+        );
+    }
+
+    #[test]
+    fn churn_rides_along_without_perturbing_the_serving_outcome() {
+        let mut with = cfg();
+        with.churn_cycles = 500;
+        let mut without = cfg();
+        without.churn_cycles = 0;
+        let a = run(&with);
+        let b = run(&without);
+        // The connection ledger is independent of the batching plane.
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.batch_sizes, b.batch_sizes);
+        assert!(a.conns_opened > 0);
+        assert_eq!(b.conns_opened, 0);
+    }
+}

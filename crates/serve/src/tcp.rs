@@ -1,8 +1,7 @@
-//! An optional TCP front-end: newline-delimited JSON over
-//! `std::net::TcpListener` (no external dependencies; the workspace builds
-//! offline).
+//! The TCP line protocol and its front-end entry point.
 //!
-//! Protocol, one JSON object per line in each direction:
+//! Protocol, one JSON object per line in each direction (unchanged since
+//! the original thread-per-connection front-end — byte-compatible):
 //!
 //! ```text
 //! → {"id": 7, "input": [0.1, 0.2, …]}            # sample_len floats
@@ -14,160 +13,140 @@
 //! Prometheus-style exposition ([`Server::exposition`]) — multiple lines,
 //! terminated by `# EOF` — then the connection resumes the JSON protocol.
 //!
-//! Each connection is served by its own thread and pipelines requests
-//! sequentially; the batching happens behind [`Server::submit`], where
-//! requests from all connections coalesce.
+//! Transport is the [`crate::reactor`] event loop (DESIGN.md §15): all
+//! connections multiplex onto a fixed pool of readiness-driven loop
+//! threads instead of a thread per connection, requests pipeline through
+//! per-connection sequencers, and responses arrive via completion
+//! callbacks. This module keeps the *protocol*: parsing one request line
+//! ([`parse_request`]) and rendering one response line ([`ok_line`] /
+//! [`error_line`]), plus [`TcpFrontend`], the configuration-from-env
+//! facade the callers and tests bind to.
 
+use crate::reactor::Reactor;
+use crate::request::Response;
 use crate::server::Server;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io;
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Duration;
 use ucudnn::json::{self, Value};
+use ucudnn::IngressOptions;
 
-/// A running TCP listener bound to a [`Server`].
+/// A running TCP front-end bound to a [`Server`]: the reactor, configured
+/// from the `UCUDNN_SERVE_{MAX_CONNS,LOOPS,BACKEND}` environment.
 pub struct TcpFrontend {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    inner: Reactor,
 }
 
 impl TcpFrontend {
-    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting.
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting, with the
+    /// ingress configuration read from the environment.
     ///
     /// # Errors
-    /// Socket bind failures.
-    pub fn start(server: Arc<Server>, addr: &str) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let bound = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let acceptor = std::thread::Builder::new()
-            .name("serve-tcp-accept".to_string())
-            .spawn(move || {
-                while !stop2.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let server = Arc::clone(&server);
-                            let _ = std::thread::Builder::new()
-                                .name("serve-tcp-conn".to_string())
-                                .spawn(move || handle_connection(&server, stream));
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(2));
-                        }
-                        Err(_) => break,
-                    }
-                }
-            })?;
+    /// Socket bind failures, or a malformed `UCUDNN_SERVE_*` ingress
+    /// variable (reported as `InvalidInput`).
+    pub fn start(server: Arc<Server>, addr: &str) -> io::Result<Self> {
+        let opts = IngressOptions::from_env()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        Self::start_with(server, addr, &opts)
+    }
+
+    /// Bind `addr` and start accepting with explicit ingress options.
+    ///
+    /// # Errors
+    /// Socket bind failures, or an unsupported backend request.
+    pub fn start_with(server: Arc<Server>, addr: &str, opts: &IngressOptions) -> io::Result<Self> {
         Ok(Self {
-            addr: bound,
-            stop,
-            acceptor: Some(acceptor),
+            inner: Reactor::start(server, addr, opts)?,
         })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.local_addr()
     }
 
-    /// Stop accepting new connections and join the acceptor. Existing
-    /// connections finish their in-flight request and close on client EOF.
-    pub fn stop(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
+    /// Open connections right now, across all event loops.
+    pub fn active_connections(&self) -> usize {
+        self.inner.active_connections()
     }
-}
 
-impl Drop for TcpFrontend {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
+    /// Stop accepting, drain half-written responses and in-flight requests
+    /// (bounded), close every connection, and join the event-loop threads
+    /// — nothing is leaked. Also runs on drop.
+    pub fn stop(self) {
+        self.inner.stop();
     }
 }
 
-fn error_line(id: Option<f64>, msg: &str) -> String {
-    json::obj([
-        ("id", id.map_or(Value::Null, json::num)),
-        ("ok", Value::Bool(false)),
-        ("error", Value::Str(msg.to_string())),
-    ])
-    .to_json()
+/// One classified request line.
+pub(crate) enum Request {
+    /// Blank line: consumed, no response.
+    Empty,
+    /// The `STATS` verb: reply with the live exposition.
+    Stats,
+    /// A malformed line: the rendered error response (no trailing newline).
+    Immediate(String),
+    /// A well-formed inference request, ready to submit.
+    Submit {
+        /// The client's correlation id, echoed on the response.
+        id: Option<f64>,
+        /// `sample_len` floats.
+        input: Vec<f32>,
+    },
 }
 
-fn handle_connection(server: &Server, stream: TcpStream) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
-        if line.trim().is_empty() {
-            continue;
-        }
-        if line.trim() == "STATS" {
-            // The exposition ends with its own "# EOF\n" terminator, so the
-            // client knows where the multi-line reply stops.
-            if writer.write_all(server.exposition().as_bytes()).is_err() {
-                return;
-            }
-            let _ = writer.flush();
-            continue;
-        }
-        let reply = respond(server, &line);
-        if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
-            return;
-        }
-        let _ = writer.flush();
+/// Classify one request line (newline already stripped).
+pub(crate) fn parse_request(line: &str, sample_len: usize) -> Request {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Request::Empty;
     }
-}
-
-/// One request line → one response line (no trailing newline).
-fn respond(server: &Server, line: &str) -> String {
+    if trimmed == "STATS" {
+        return Request::Stats;
+    }
     let Some(req) = Value::parse(line) else {
-        return error_line(None, "bad_json");
+        return Request::Immediate(error_line(None, "bad_json"));
     };
     let id = req.get("id").and_then(Value::as_f64);
     let Some(input) = req.get("input").and_then(Value::as_arr) else {
-        return error_line(id, "missing_input");
+        return Request::Immediate(error_line(id, "missing_input"));
     };
     let input: Vec<f32> = input
         .iter()
         .filter_map(Value::as_f64)
         .map(|v| v as f32)
         .collect();
-    if input.len() != server.sample_len() {
-        return error_line(id, "bad_input_len");
+    if input.len() != sample_len {
+        return Request::Immediate(error_line(id, "bad_input_len"));
     }
-    match server.submit(input) {
-        Err(reason) => error_line(id, &format!("shed:{reason}")),
-        Ok(ticket) => match ticket.wait() {
-            Err(reason) => error_line(id, &format!("shed:{reason}")),
-            Ok(resp) => {
-                let argmax = resp
-                    .output
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1))
-                    .map_or(0, |(i, _)| i);
-                json::obj([
-                    ("id", id.map_or(Value::Null, json::num)),
-                    ("ok", Value::Bool(true)),
-                    ("argmax", json::num(argmax as f64)),
-                    ("latency_us", json::num(resp.latency_us)),
-                    ("batch", json::num(resp.batch as f64)),
-                    ("plan_version", json::num(resp.plan_version as f64)),
-                ])
-                .to_json()
-            }
-        },
-    }
+    Request::Submit { id, input }
+}
+
+/// Render one success response line (no trailing newline).
+pub(crate) fn ok_line(id: Option<f64>, resp: &Response) -> String {
+    let argmax = resp
+        .output
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i);
+    json::obj([
+        ("id", id.map_or(Value::Null, json::num)),
+        ("ok", Value::Bool(true)),
+        ("argmax", json::num(argmax as f64)),
+        ("latency_us", json::num(resp.latency_us)),
+        ("batch", json::num(resp.batch as f64)),
+        ("plan_version", json::num(resp.plan_version as f64)),
+    ])
+    .to_json()
+}
+
+/// Render one error response line (no trailing newline).
+pub(crate) fn error_line(id: Option<f64>, msg: &str) -> String {
+    json::obj([
+        ("id", id.map_or(Value::Null, json::num)),
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str(msg.to_string())),
+    ])
+    .to_json()
 }

@@ -1,0 +1,180 @@
+//! Connection-churn soak: 1k connect/request/disconnect cycles with live
+//! pipelined traffic riding alongside, then a leak audit — the process must
+//! return to its pre-churn file-descriptor count and the reactor must join
+//! all of its threads on stop.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ucudnn::{IngressOptions, ServeOptions};
+use ucudnn_cudnn_sim::CudnnHandle;
+use ucudnn_serve::{BatchRunner, RealModelRunner, Server, TcpFrontend};
+
+fn sample(i: usize, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|j| ((i * 31 + j) % 17) as f32 * 0.05)
+        .collect()
+}
+
+fn request_line(id: usize, len: usize) -> String {
+    let input = sample(id, len)
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"id\":{id},\"input\":[{input}]}}\n")
+}
+
+#[cfg(target_os = "linux")]
+fn open_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd").expect("procfs").count()
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+#[test]
+fn churn_1k_cycles_with_live_traffic_leaks_nothing() {
+    const CYCLES: usize = 1_000;
+
+    let runner = Arc::new(RealModelRunner::new(CudnnHandle::real_cpu(), 31, 8));
+    let len = runner.sample_len();
+    let server = Arc::new(Server::start(
+        runner,
+        &ServeOptions {
+            slo_us: 2_000_000.0,
+            queue_cap: 256,
+            workers: 2,
+            max_batch: 8,
+        },
+    ));
+    let tcp = TcpFrontend::start_with(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        &IngressOptions {
+            max_conns: 1024,
+            loops: 2,
+            backend: None,
+        },
+    )
+    .expect("bind");
+    let addr = tcp.local_addr();
+
+    // Warm both event loops (round-robin placement) so their pollers exist,
+    // then take the baseline fd count. (read_dir itself holds one fd; it
+    // does so in both measurements, so the comparison is exact.)
+    for i in 0..2 {
+        let mut s = TcpStream::connect(addr).expect("warmup connect");
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        s.write_all(request_line(i, len).as_bytes()).unwrap();
+        let mut resp = String::new();
+        r.read_line(&mut resp).unwrap();
+        assert!(resp.contains("\"ok\":true"), "warmup failed: {resp}");
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || tcp.active_connections() == 0),
+        "warmup connections never closed"
+    );
+    #[cfg(target_os = "linux")]
+    let fd_baseline = open_fds();
+
+    // A long-lived connection pipelining traffic for the whole soak: churn
+    // must not disturb an unrelated conversation.
+    let stop_live = Arc::new(AtomicBool::new(false));
+    let live = {
+        let stop = Arc::clone(&stop_live);
+        let line = request_line(999, len);
+        std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            let mut served = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                s.write_all(line.as_bytes()).unwrap();
+                let mut resp = String::new();
+                r.read_line(&mut resp).unwrap();
+                assert!(
+                    resp.contains("\"ok\":true"),
+                    "live traffic failed mid-churn: {resp}"
+                );
+                served += 1;
+            }
+            served
+        })
+    };
+
+    for i in 0..CYCLES {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        s.write_all(request_line(i, len).as_bytes()).unwrap();
+        let mut resp = String::new();
+        r.read_line(&mut resp).unwrap();
+        assert!(resp.contains("\"ok\":true"), "cycle {i} failed: {resp}");
+        // Alternate orderly and abrupt teardown so both close paths churn.
+        if i % 2 == 0 {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        drop(s);
+    }
+
+    stop_live.store(true, Ordering::Relaxed);
+    let live_served = live.join().expect("live traffic thread");
+    assert!(live_served > 0, "the live connection never served");
+
+    let m = server.metrics();
+    assert!(
+        m.conn_accepted.get() >= (CYCLES + 1) as u64,
+        "accept ledger undercounts: {}",
+        m.conn_accepted.get()
+    );
+    assert_eq!(m.conn_rejected.get(), 0);
+    assert_eq!(m.shed_total(), 0, "churn at this rate must not shed");
+
+    // Every churned connection must leave the reactor's ledger...
+    assert!(
+        wait_until(Duration::from_secs(10), || tcp.active_connections() == 0),
+        "connections leaked in the ledger: {}",
+        tcp.active_connections()
+    );
+    // ...and every kernel resource must come back.
+    #[cfg(target_os = "linux")]
+    assert!(
+        wait_until(Duration::from_secs(10), || open_fds() == fd_baseline),
+        "fd leak: baseline {fd_baseline}, now {} ({:?})",
+        open_fds(),
+        std::fs::read_dir("/proc/self/fd")
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| {
+                let p = e.path();
+                format!(
+                    "{}->{}",
+                    p.display(),
+                    std::fs::read_link(&p)
+                        .map(|t| t.display().to_string())
+                        .unwrap_or_default()
+                )
+            })
+            .collect::<Vec<_>>()
+    );
+
+    // stop() must join the loop threads and release the listener + wakers.
+    #[cfg(target_os = "linux")]
+    let fd_with_frontend = open_fds();
+    tcp.stop();
+    #[cfg(target_os = "linux")]
+    assert!(
+        open_fds() < fd_with_frontend,
+        "stop() must close the listener and per-loop fds"
+    );
+    server.drain();
+}
