@@ -93,14 +93,44 @@ struct ReactorShared {
 
 /// The cross-thread face of one event loop: an inbox plus a waker.
 struct LoopShared {
-    inbox: Mutex<Vec<LoopMsg>>,
+    inbox: Mutex<Inbox>,
     waker: Waker,
 }
 
+/// One loop's message queue plus its liveness flag, kept under one lock so
+/// a message can never race into the inbox of a loop that already drained
+/// it on exit.
+#[derive(Default)]
+struct Inbox {
+    msgs: Vec<LoopMsg>,
+    dead: bool,
+}
+
 impl LoopShared {
-    fn send(&self, msg: LoopMsg) {
-        self.inbox.lock().unwrap().push(msg);
+    /// Deliver `msg` and wake the loop. A loop that has exited (wait error
+    /// or shutdown) hands the message back instead of black-holing it.
+    fn try_send(&self, msg: LoopMsg) -> Result<(), LoopMsg> {
+        {
+            let mut inbox = self.inbox.lock().unwrap();
+            if inbox.dead {
+                return Err(msg);
+            }
+            inbox.msgs.push(msg);
+        }
         self.waker.wake();
+        Ok(())
+    }
+
+    fn take_inbox(&self) -> Vec<LoopMsg> {
+        std::mem::take(&mut self.inbox.lock().unwrap().msgs)
+    }
+
+    /// Mark the loop dead and hand back whatever was queued. Every
+    /// `try_send` after this bounces to its caller.
+    fn retire(&self) -> Vec<LoopMsg> {
+        let mut inbox = self.inbox.lock().unwrap();
+        inbox.dead = true;
+        std::mem::take(&mut inbox.msgs)
     }
 }
 
@@ -139,6 +169,10 @@ struct Conn {
     /// Fulfilled slots waiting for their turn (reorder buffer).
     ready: std::collections::BTreeMap<u64, String>,
     read_closed: bool,
+    /// Peer EOF actually observed (a drain sets `read_closed` without it).
+    /// Only a genuine EOF promotes a residual unterminated fragment to a
+    /// final line; a drain must not serve a peer's half-sent request.
+    eof: bool,
     admission_paused: bool,
     write_paused: bool,
     /// Interest currently armed in the poller.
@@ -158,6 +192,7 @@ impl Conn {
             emit_seq: 0,
             ready: std::collections::BTreeMap::new(),
             read_closed: false,
+            eof: false,
             admission_paused: false,
             write_paused: false,
             interest: 0,
@@ -287,7 +322,7 @@ impl Reactor {
         let mut loop_shared = Vec::with_capacity(nloops);
         for _ in 0..nloops {
             loop_shared.push(Arc::new(LoopShared {
-                inbox: Mutex::new(Vec::new()),
+                inbox: Mutex::new(Inbox::default()),
                 waker: Waker::new()?,
             }));
         }
@@ -387,6 +422,27 @@ impl EventLoop {
     }
 
     fn run(mut self) {
+        self.run_inner();
+        // Retire this loop no matter how run_inner exited (clean drain,
+        // registration failure, or a wait error): senders see the dead flag
+        // and keep their messages, the accept round-robin skips us, and the
+        // residual inbox drains here — an orphaned Adopt is an accepted,
+        // counted connection that was never served, so its stream closes
+        // and its max_conns ledger entry is released instead of leaking
+        // until the cap rejects everything.
+        for msg in self.me.retire() {
+            if let LoopMsg::Adopt(stream) = msg {
+                drop(stream);
+                self.release_active();
+            }
+        }
+        // Teardown: every remaining fd closes here (Drop), nothing leaks.
+        for token in self.slab.tokens() {
+            self.close(token, Death::Clean);
+        }
+    }
+
+    fn run_inner(&mut self) {
         if self
             .poller
             .add(self.me.waker.fd(), WAKER_TOKEN, EV_READ)
@@ -421,18 +477,28 @@ impl EventLoop {
             if self.poller.wait(&mut events, timeout).is_err() {
                 break;
             }
-            let msgs = std::mem::take(&mut *self.me.inbox.lock().unwrap());
-            for msg in msgs {
-                match msg {
-                    LoopMsg::Adopt(stream) => self.adopt(stream),
-                    LoopMsg::Complete { token, seq, line } => self.complete(token, seq, line),
-                }
-            }
+            // Readiness events MUST be handled before inbox messages.
+            // touch() infers hangup from "readable while read interest is
+            // parked", which is only sound while `conn.interest` still
+            // reflects the mask armed when wait() captured the event —
+            // inbox completions can pump a connection into admission/write
+            // pause and park that interest mid-batch, turning a genuine
+            // data-arrival event into a phantom HUP. The waker also drains
+            // here, before the inbox is taken: draining after the take
+            // could eat the wake byte of a message pushed in between and
+            // strand it until the next unrelated wakeup.
             for &ev in &events {
                 match ev.token {
                     WAKER_TOKEN => self.me.waker.drain(),
                     LISTENER_TOKEN => self.accept_ready(),
                     token => self.touch(token, ev),
+                }
+            }
+            let msgs = self.me.take_inbox();
+            for msg in msgs {
+                match msg {
+                    LoopMsg::Adopt(stream) => self.adopt(stream),
+                    LoopMsg::Complete { token, seq, line } => self.complete(token, seq, line),
                 }
             }
             if !self.draining && self.shared.stop.load(Ordering::SeqCst) {
@@ -455,10 +521,6 @@ impl EventLoop {
                     break;
                 }
             }
-        }
-        // Teardown: every remaining fd closes here (Drop), nothing leaks.
-        for token in self.slab.tokens() {
-            self.close(token, Death::Clean);
         }
     }
 
@@ -507,12 +569,28 @@ impl EventLoop {
                     let _ = stream.set_nodelay(true);
                     let now_active = self.shared.active.fetch_add(1, Ordering::Relaxed) + 1;
                     m.conn_opened(now_active as u64);
-                    let target = self.shared.next_loop.fetch_add(1, Ordering::Relaxed)
-                        % self.shared.loops.len();
-                    if target == self.idx {
-                        self.adopt(stream);
-                    } else {
-                        self.shared.loops[target].send(LoopMsg::Adopt(stream));
+                    // Round-robin across loops, skipping any that died (a
+                    // wait error exits a loop; its inbox bounces sends).
+                    // This loop is alive by construction — it is running
+                    // this code — so a bounced stream always finds a home.
+                    let base = self.shared.next_loop.fetch_add(1, Ordering::Relaxed);
+                    let nloops = self.shared.loops.len();
+                    let mut stream = Some(stream);
+                    for k in 0..nloops {
+                        let target = (base + k) % nloops;
+                        if target == self.idx {
+                            break; // adopt locally below
+                        }
+                        match self.shared.loops[target]
+                            .try_send(LoopMsg::Adopt(stream.take().expect("unplaced")))
+                        {
+                            Ok(()) => break,
+                            Err(LoopMsg::Adopt(s)) => stream = Some(s),
+                            Err(_) => unreachable!("adopt bounced as another message"),
+                        }
+                    }
+                    if let Some(s) = stream {
+                        self.adopt(s);
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
@@ -573,8 +651,12 @@ impl EventLoop {
         if ev.readable {
             if conn.interest & EV_READ == 0 {
                 // Read interest is parked, yet the fd woke us: that is a
-                // hangup (HUP is unmaskable). The peer is gone; whatever we
-                // still owe it has no reader.
+                // hangup (HUP is unmaskable). Sound only because readiness
+                // events are handled before inbox messages each tick, so
+                // `conn.interest` here is exactly the mask armed when
+                // wait() captured this event — nothing has parked it in
+                // between. The peer is gone; whatever we still owe it has
+                // no reader.
                 conn.death = Some(if conn.out_len() > 0 || conn.unfulfilled() > 0 {
                     Death::WriteErr
                 } else {
@@ -674,6 +756,7 @@ fn read_some(conn: &mut Conn, draining: bool) {
         match conn.stream.read(&mut buf) {
             Ok(0) => {
                 conn.read_closed = true;
+                conn.eof = true;
                 return;
             }
             Ok(n) => {
@@ -730,10 +813,17 @@ fn process_lines(shared: &ReactorShared, me: &Arc<LoopShared>, conn: &mut Conn) 
             }
             break;
         }
-        let Some(nl) = conn.rbuf[start..].iter().position(|&b| b == b'\n') else {
-            break;
+        // A line normally ends at '\n'; once the peer half-closes, the
+        // residual unterminated bytes count as a final line too — the old
+        // thread-per-connection front-end served that trailing fragment,
+        // so byte-compatibility requires the reactor to as well. `next` is
+        // the consume cursor: one past the newline, or the buffer end for
+        // the terminal fragment.
+        let (end, next) = match conn.rbuf[start..].iter().position(|&b| b == b'\n') {
+            Some(nl) => (start + nl, start + nl + 1),
+            None if conn.eof && start < conn.rbuf.len() => (conn.rbuf.len(), conn.rbuf.len()),
+            None => break,
         };
-        let end = start + nl;
         let mut line_end = end;
         if line_end > start && conn.rbuf[line_end - 1] == b'\r' {
             line_end -= 1;
@@ -774,7 +864,9 @@ fn process_lines(shared: &ReactorShared, me: &Arc<LoopShared>, conn: &mut Conn) 
                         Ok(resp) => ok_line(id, &resp),
                         Err(reason) => error_line(id, &format!("shed:{reason}")),
                     };
-                    me.send(LoopMsg::Complete {
+                    // A bounce means the owning loop exited and took the
+                    // connection with it: drop, like any stale token.
+                    let _ = me.try_send(LoopMsg::Complete {
                         token,
                         seq,
                         line: rendered + "\n",
@@ -787,7 +879,7 @@ fn process_lines(shared: &ReactorShared, me: &Arc<LoopShared>, conn: &mut Conn) 
                 }
             }
         }
-        start = end + 1;
+        start = next;
     }
     if start > 0 {
         conn.rbuf.drain(..start);

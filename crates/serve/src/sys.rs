@@ -253,17 +253,21 @@ mod sysimpl {
     }
 
     pub fn poll(fds: &mut [super::PollFd], timeout_ms: i32) -> io::Result<usize> {
-        let ts = Timespec {
+        // The kernel writes the remaining time back through `tmo_p`, so the
+        // timespec must be passed as a mutable pointer — glibc's ppoll hides
+        // that with a local copy; this raw shim owns the local itself.
+        let mut ts = Timespec {
             sec: i64::from(timeout_ms) / 1000,
             nsec: (i64::from(timeout_ms) % 1000) * 1_000_000,
         };
         let ts_ptr = if timeout_ms < 0 {
-            core::ptr::null()
+            core::ptr::null_mut()
         } else {
-            &ts as *const Timespec
+            &mut ts as *mut Timespec
         };
         // SAFETY: `fds` is a live exclusive slice of kernel-ABI pollfds;
-        // the timespec (when non-null) outlives the call.
+        // the timespec (when non-null) is a live exclusive out-pointer that
+        // outlives the call.
         let r = check(unsafe {
             syscall6(
                 nr::PPOLL,

@@ -370,6 +370,184 @@ fn the_poll_backend_serves_the_identical_protocol() {
 }
 
 #[test]
+fn an_unterminated_final_line_is_served_on_eof() {
+    let (server, tcp, len) = real_frontend(28, &ingress(1));
+    let mut stream = TcpStream::connect(tcp.local_addr()).unwrap();
+    // A terminated request pipelined with a final fragment missing its
+    // newline, then half-close: the old thread-per-connection front-end
+    // served the trailing fragment, so the reactor must answer both.
+    let frame = format!("{}{}", request_line(0, len), request_line(1, len));
+    stream.write_all(frame.trim_end().as_bytes()).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+
+    let mut reader = BufReader::new(stream);
+    for i in 0..2u64 {
+        let mut resp = String::new();
+        assert!(
+            reader.read_line(&mut resp).unwrap() > 0,
+            "response {i} never arrived"
+        );
+        let v = Value::parse(resp.trim()).expect("valid response");
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(i));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+    }
+    // Everything owed was delivered; the connection must then close
+    // cleanly rather than linger idle.
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "conn lingered");
+
+    tcp.stop();
+    server.drain();
+}
+
+#[test]
+fn completion_driven_write_pause_does_not_kill_live_senders() {
+    // Regression for the phantom-HUP race: a completion delivered through
+    // the loop inbox can push a connection's outbound buffer over the
+    // high-water mark and park its read interest mid-tick. Under the old
+    // inbox-before-events ordering, a data-arrival readiness event
+    // captured in the same wait batch then matched "readable while reads
+    // parked" — the unmaskable-HUP signature — and the live connection was
+    // torn down as a write error. The amplifier here: each round pipelines
+    // one slow submit followed by a pile of STATS verbs, whose multi-KB
+    // expositions queue in the reorder buffer *behind* the pending submit;
+    // the submit's inbox completion then releases them all at once, so one
+    // Complete message grows `out` by hundreds of KB while the writer half
+    // keeps the socket's inbound side non-empty.
+    let server = Arc::new(Server::start(
+        Arc::new(SlowRunner),
+        &ServeOptions {
+            slo_us: 60_000_000.0,
+            queue_cap: 4096,
+            workers: 2,
+            max_batch: 4,
+        },
+    ));
+    let tcp = TcpFrontend::start_with(Arc::clone(&server), "127.0.0.1:0", &ingress(1)).unwrap();
+    // Size the STATS pile so one released round crosses the 256 KiB
+    // high-water mark on its own.
+    let stats_per_round = 1 + 300 * 1024 / server.exposition().len();
+    const CONNS: usize = 8;
+    const ROUNDS: usize = 40;
+    let mut clients = Vec::new();
+    for _ in 0..CONNS {
+        let addr = tcp.local_addr();
+        clients.push(std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let w = std::thread::spawn(move || {
+                let mut round = "{\"id\":7,\"input\":[0.1,0.2,0.3,0.4]}\n".to_string();
+                round.push_str(&"STATS\n".repeat(stats_per_round));
+                for _ in 0..ROUNDS {
+                    stream.write_all(round.as_bytes()).unwrap();
+                    // Just under the submit's 3 ms service time: the next
+                    // round's bytes arrive while the previous completion is
+                    // being delivered.
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                stream
+            });
+            // Read continuously: each drain below the low-water mark
+            // re-arms read interest, so every round produces a fresh
+            // park transition racing a fresh data arrival.
+            for round in 0..ROUNDS {
+                let mut line = String::new();
+                assert!(
+                    reader.read_line(&mut line).unwrap() > 0,
+                    "connection died at round {round}"
+                );
+                let v = Value::parse(line.trim()).expect("valid response");
+                assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+                let mut eofs = 0;
+                while eofs < stats_per_round {
+                    let mut l = String::new();
+                    assert!(
+                        reader.read_line(&mut l).unwrap() > 0,
+                        "connection died mid-exposition at round {round}"
+                    );
+                    if l.trim() == "# EOF" {
+                        eofs += 1;
+                    }
+                }
+            }
+            drop(w.join().unwrap());
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread panicked");
+    }
+    let m = server.metrics();
+    assert!(
+        m.conn_write_backpressure.get() > 0,
+        "the STATS pile must trip the write high-water mark"
+    );
+    assert_eq!(
+        m.conn_write_err.get(),
+        0,
+        "a live connection was torn down as dead"
+    );
+    assert_eq!(m.completed.get(), (CONNS * ROUNDS) as u64);
+
+    tcp.stop();
+    server.drain();
+}
+
+#[test]
+fn data_arriving_during_admission_pause_is_not_mistaken_for_hangup() {
+    // Regression: a readable event captured while EV_READ was armed used
+    // to be reclassified as a hangup when an inbox completion parked the
+    // read interest in the same wait batch — tearing down a live
+    // connection precisely under queue-full backpressure. Dribble writes
+    // against a full queue while responses flow; the connection must
+    // survive with every response delivered in order.
+    let server = Arc::new(Server::start(
+        Arc::new(SlowRunner),
+        &ServeOptions {
+            slo_us: 10_000_000.0,
+            queue_cap: 2,
+            workers: 1,
+            max_batch: 2,
+        },
+    ));
+    let tcp = TcpFrontend::start_with(Arc::clone(&server), "127.0.0.1:0", &ingress(1)).unwrap();
+    let mut stream = TcpStream::connect(tcp.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    const N: usize = 48;
+    let writer = std::thread::spawn(move || {
+        for i in 0..N {
+            stream
+                .write_all(format!("{{\"id\":{i},\"input\":[0.1,0.2,0.3,0.4]}}\n").as_bytes())
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stream
+    });
+    for i in 0..N {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).unwrap() > 0,
+            "connection died at response {i}"
+        );
+        let v = Value::parse(line.trim()).expect("valid response");
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(i as u64));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+    }
+    let stream = writer.join().unwrap();
+    let m = server.metrics();
+    assert_eq!(
+        m.conn_write_err.get(),
+        0,
+        "a live connection was torn down as dead"
+    );
+    assert_eq!(m.completed.get(), N as u64);
+
+    drop(stream);
+    drop(reader);
+    tcp.stop();
+    server.drain();
+}
+
+#[test]
 fn half_close_delivers_everything_owed_then_closes() {
     let (server, tcp, len) = real_frontend(27, &ingress(1));
     let mut stream = TcpStream::connect(tcp.local_addr()).unwrap();
