@@ -54,14 +54,16 @@
 use std::sync::Arc;
 use ucudnn::json::{num, obj, Value};
 use ucudnn::{
-    forward_latency_table, BatchSizePolicy, BenchCache, IngressOptions, KernelKey, ServeOptions,
-    TraceConfig,
+    arbitrate_fleet_budget, fleet_budget_candidates, forward_latency_table, BatchSizePolicy,
+    BenchCache, FleetRouterPolicy, IngressOptions, KernelKey, Registry, ReplicaCandidates,
+    ServeOptions, TraceConfig,
 };
 use ucudnn_cudnn_sim::{ConvOp, CudnnHandle};
-use ucudnn_gpu_model::{p100_sxm2, Perturbation};
+use ucudnn_gpu_model::{k80, p100_sxm2, v100_sxm2, Perturbation};
 use ucudnn_serve::{
-    run_ingress_sim, run_reopt_sim, run_sim, sys, BatchPolicy, BatchRunner as _, BurnConfig,
-    IngressOutcome, IngressSimConfig, RealModelRunner, ReoptConfig, ReoptOutcome, ReoptSimConfig,
+    run_fleet_sim, run_ingress_sim, run_reopt_sim, run_sim, sys, BatchPolicy, BatchRunner as _,
+    BurnConfig, FleetMetrics, FleetOutcome, FleetReplicaConfig, FleetSimConfig, IngressOutcome,
+    IngressSimConfig, RealModelRunner, ReoptConfig, ReoptOutcome, ReoptSimConfig, ReplicaFailure,
     Scheduler, Server, SimConfig, SimOutcome, TcpFrontend,
 };
 use ucudnn_tensor::{ConvGeometry, FilterShape, Shape4};
@@ -744,12 +746,321 @@ fn telemetry_smoke(metrics_dump: Option<&str>) {
     );
 }
 
+fn fleet_lane_row(out: &FleetOutcome) -> Value {
+    let pct = out.latencies.try_percentiles();
+    let q = |v: Option<f64>| v.map(num).unwrap_or(Value::Null);
+    obj([
+        ("completed", num(out.completed as f64)),
+        (
+            "shed",
+            obj([
+                ("queue_full", num(out.shed.queue_full as f64)),
+                (
+                    "deadline_infeasible",
+                    num(out.shed.deadline_infeasible as f64),
+                ),
+                ("exec_failed", num(out.shed.exec_failed as f64)),
+                ("draining", num(out.shed.draining as f64)),
+                ("total", num(out.shed.total() as f64)),
+            ]),
+        ),
+        ("violations", num(out.violations as f64)),
+        ("requeued", num(out.requeued as f64)),
+        ("throughput_rps", num(out.throughput_rps())),
+        ("mean_batch", num(out.mean_batch())),
+        ("p50_us", q(pct.as_ref().map(|p| p.p50_us))),
+        ("p99_us", q(pct.as_ref().map(|p| p.p99_us))),
+        (
+            "per_replica",
+            Value::Arr(
+                out.per_replica
+                    .iter()
+                    .map(|r| {
+                        obj([
+                            ("name", Value::Str(r.name.clone())),
+                            ("routed", num(r.routed as f64)),
+                            ("completed", num(r.completed as f64)),
+                            ("shed", num(r.shed as f64)),
+                            ("batches", num(r.batches as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The fleet-tier experiment (DESIGN.md §16): a 3-device heterogeneous
+/// fleet (K80 + P100 + V100), each replica serving from its *own*
+/// per-device latency table built under the workspace share a global-budget
+/// ILP arbiter granted it, at 100k+ rps under the 20 ms SLO.
+///
+/// Three deterministic lanes share one seed:
+/// * `feasibility` — the SLO-aware router: dispatch where the deadline
+///   stays feasible, earliest estimated finish first;
+/// * `least_loaded` — the join-shortest-queue baseline, rate-blind;
+/// * `failover` — the feasibility router with the P100 replica killed
+///   mid-run: its queue re-routes to the survivors, zero tickets lost.
+///
+/// Gates: zero violations on every lane, the feasibility router sheds
+/// strictly less than least-loaded, byte-identical replays, and balanced
+/// ticket accounting through the failure.
+fn fleet_experiment() -> Value {
+    const FLEET_WORKERS: usize = 2;
+    const FLEET_QUEUE_CAP: usize = 2048;
+    // Offered load: ≥100k rps and ~1.2–1.4× the arbitrated fleet's service
+    // capacity — the moderate-overload regime a fleet is provisioned for,
+    // where rate-aware routing visibly beats queue-depth routing.
+    const FLEET_RATE_RPS: f64 = 220_000.0;
+    const GLOBAL_BUDGET: usize = 768 << 20;
+    const FAIL_AT_US: f64 = 15_000.0;
+    // Pure virtual-clock computation (like the reopt experiment), so the
+    // full 20k-request run is cheap enough to keep even under `--smoke` —
+    // and the shed-count gap between the routers only emerges once the
+    // backlog outgrows the slow replica's deadline-feasible depth, which
+    // needs the full horizon.
+    let requests = 20_000;
+
+    // Per-device candidate tables: the same demo kernel benchmarked on
+    // each device card at every candidate workspace share. The zero-byte
+    // share (implicit-GEMM only) keeps the arbitration feasible under any
+    // budget.
+    let g = ConvGeometry::with_square(
+        Shape4::new(MAX_BATCH, 64, 27, 27),
+        FilterShape::new(192, 64, 5, 5),
+        2,
+        1,
+    );
+    let kernels = [KernelKey::new(ConvOp::Forward, &g)];
+    let shares: [usize; 5] = [0, 64 << 20, 128 << 20, 256 << 20, 512 << 20];
+    let cards = [("k80", k80()), ("p100", p100_sxm2()), ("v100", v100_sxm2())];
+    let candidates: Vec<ReplicaCandidates> = cards
+        .iter()
+        .map(|(name, dev)| {
+            let handle = CudnnHandle::simulated(dev.clone());
+            ReplicaCandidates {
+                name: name.to_string(),
+                candidates: fleet_budget_candidates(
+                    &handle,
+                    &BenchCache::new(),
+                    &kernels,
+                    BatchSizePolicy::PowerOfTwo,
+                    MAX_BATCH,
+                    &shares,
+                ),
+            }
+        })
+        .collect();
+    let plan =
+        arbitrate_fleet_budget(&candidates, GLOBAL_BUDGET).expect("fleet arbitration succeeds");
+    println!(
+        "\nfleet arbiter: {} MiB global budget, {} vars, {} nodes, {:.0} us",
+        GLOBAL_BUDGET >> 20,
+        plan.ilp_variables,
+        plan.ilp_nodes,
+        plan.ilp_solve_us
+    );
+    for s in &plan.shares {
+        println!(
+            "  {:<5} granted {:>4} MiB  best {:>7.2} us/sample  (t*(1)={:.0}us t*({})={:.0}us)",
+            s.replica,
+            s.ws_limit_bytes >> 20,
+            s.per_sample_us,
+            s.table.first().map_or(f64::NAN, |&(_, t)| t),
+            s.table.last().map_or(0, |&(m, _)| m),
+            s.table.last().map_or(f64::NAN, |&(_, t)| t),
+        );
+    }
+    assert!(
+        plan.total_granted_bytes <= GLOBAL_BUDGET,
+        "the arbiter must respect the global budget"
+    );
+
+    let replicas: Vec<FleetReplicaConfig> = plan
+        .shares
+        .iter()
+        .map(|s| FleetReplicaConfig {
+            name: s.replica.clone(),
+            table: s.table.clone(),
+            workers: FLEET_WORKERS,
+            queue_cap: FLEET_QUEUE_CAP,
+        })
+        .collect();
+    let lane = |policy: FleetRouterPolicy, fail: Option<ReplicaFailure>| FleetSimConfig {
+        seed: SEED,
+        slo_us: SLO_US,
+        max_batch: MAX_BATCH,
+        arrival_rate_rps: FLEET_RATE_RPS,
+        requests,
+        policy,
+        replicas: replicas.clone(),
+        fail,
+    };
+    let feas_cfg = lane(FleetRouterPolicy::Feasibility, None);
+    let jsq_cfg = lane(FleetRouterPolicy::LeastLoaded, None);
+    let failover_cfg = lane(
+        FleetRouterPolicy::Feasibility,
+        Some(ReplicaFailure {
+            replica: 1,
+            at_us: FAIL_AT_US,
+        }),
+    );
+    let feas = run_fleet_sim(&feas_cfg);
+    let jsq = run_fleet_sim(&jsq_cfg);
+    let failover = run_fleet_sim(&failover_cfg);
+    // The reproducibility gate: byte-identical event logs on same-seed
+    // replays, for every lane.
+    assert_eq!(
+        feas.log,
+        run_fleet_sim(&feas_cfg).log,
+        "feasibility replay diverged"
+    );
+    assert_eq!(
+        jsq.log,
+        run_fleet_sim(&jsq_cfg).log,
+        "least_loaded replay diverged"
+    );
+    assert_eq!(
+        failover.log,
+        run_fleet_sim(&failover_cfg).log,
+        "failover replay diverged"
+    );
+
+    println!(
+        "\nfleet: k80+p100+v100, {} req at {:.0}k rps, {:.0} ms SLO:",
+        requests,
+        FLEET_RATE_RPS / 1e3,
+        SLO_US / 1e3
+    );
+    for (name, out) in [
+        ("feasibility", &feas),
+        ("least_loaded", &jsq),
+        ("failover", &failover),
+    ] {
+        println!(
+            "  {:<12} completed={:>6} shed={:>5} (qf {} di {} drain {}) violations={} \
+             requeued={} tput={:.0}rps",
+            name,
+            out.completed,
+            out.shed.total(),
+            out.shed.queue_full,
+            out.shed.deadline_infeasible,
+            out.shed.draining,
+            out.violations,
+            out.requeued,
+            out.throughput_rps()
+        );
+        for r in &out.per_replica {
+            println!(
+                "    {:<5} routed={:>6} completed={:>6} shed={:>5} batches={:>5}",
+                r.name, r.routed, r.completed, r.shed, r.batches
+            );
+        }
+    }
+
+    // Per-replica instruments ride the closed-vocabulary registry path.
+    let registry = Registry::new();
+    let card_names: Vec<&str> = cards.iter().map(|(n, _)| *n).collect();
+    let metrics = FleetMetrics::with_registry(registry.clone(), &card_names);
+    feas.export(&metrics);
+    let exposition = registry.expose();
+    for name in &card_names {
+        assert!(
+            exposition.contains(&format!("ucudnn_fleet_routed_total{{replica=\"{name}\"}}")),
+            "exposition must carry a routed series for every replica"
+        );
+    }
+    assert_eq!(
+        registry.dropped(),
+        0,
+        "configured replica names must be inside the label vocabulary"
+    );
+
+    // The headline gates.
+    // Acceptance floor: the fleet bench must offer 100k+ rps.
+    const _: () = assert!(FLEET_RATE_RPS >= 100_000.0);
+    assert_eq!(
+        feas.violations, 0,
+        "the feasibility router must never violate the SLO for admitted requests"
+    );
+    assert_eq!(jsq.violations, 0);
+    assert_eq!(failover.violations, 0);
+    assert!(
+        feas.shed.total() < jsq.shed.total(),
+        "the feasibility router must shed less than least-loaded ({} vs {})",
+        feas.shed.total(),
+        jsq.shed.total()
+    );
+    for (name, out) in [
+        ("feasibility", &feas),
+        ("least_loaded", &jsq),
+        ("failover", &failover),
+    ] {
+        assert_eq!(
+            out.completed + out.shed.total(),
+            requests as u64,
+            "{name}: ticket accounting must balance"
+        );
+    }
+    // Failure semantics: the dead replica's backlog re-routes or sheds on
+    // the drain rung — and the fleet keeps serving on the survivors.
+    assert!(
+        failover.log.iter().any(|l| l.starts_with("fail ")),
+        "the failover lane must log the replica death"
+    );
+    assert!(
+        failover.per_replica[0].completed + failover.per_replica[2].completed > 0,
+        "survivors must keep serving after the failure"
+    );
+
+    obj([
+        ("workers_per_replica", num(FLEET_WORKERS as f64)),
+        ("queue_cap_per_replica", num(FLEET_QUEUE_CAP as f64)),
+        ("arrival_rate_rps", num(FLEET_RATE_RPS)),
+        ("requests", num(requests as f64)),
+        ("slo_us", num(SLO_US)),
+        (
+            "arbiter",
+            obj([
+                ("global_budget_bytes", num(GLOBAL_BUDGET as f64)),
+                ("total_granted_bytes", num(plan.total_granted_bytes as f64)),
+                ("ilp_variables", num(plan.ilp_variables as f64)),
+                ("ilp_nodes", num(plan.ilp_nodes as f64)),
+                (
+                    "shares",
+                    Value::Arr(
+                        plan.shares
+                            .iter()
+                            .map(|s| {
+                                obj([
+                                    ("replica", Value::Str(s.replica.clone())),
+                                    ("ws_limit_bytes", num(s.ws_limit_bytes as f64)),
+                                    ("per_sample_us", num(s.per_sample_us)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "failure",
+            obj([("replica", num(1.0)), ("at_us", num(FAIL_AT_US))]),
+        ),
+        ("feasibility", fleet_lane_row(&feas)),
+        ("least_loaded", fleet_lane_row(&jsq)),
+        ("failover", fleet_lane_row(&failover)),
+        ("deterministic", Value::Bool(true)),
+    ])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let want_tcp = args.iter().any(|a| a == "--tcp-smoke");
     let want_reopt = args.iter().any(|a| a == "--reopt");
     let want_ingress = args.iter().any(|a| a == "--ingress");
+    let want_fleet = args.iter().any(|a| a == "--fleet");
     let want_telemetry = args.iter().any(|a| a == "--telemetry-smoke");
     let metrics_dump = args
         .iter()
@@ -851,6 +1162,7 @@ fn main() {
 
     let reopt_section = want_reopt.then(|| reopt_experiment(&table));
     let ingress_section = want_ingress.then(|| ingress_experiment(&table, smoke));
+    let fleet_section = want_fleet.then(fleet_experiment);
 
     let mut doc = obj([
         ("bench", Value::Str("serve".to_string())),
@@ -889,6 +1201,9 @@ fn main() {
         }
         if let Some(section) = ingress_section {
             fields.push(("ingress".to_string(), section));
+        }
+        if let Some(section) = fleet_section {
+            fields.push(("fleet".to_string(), section));
         }
     }
     let body = doc.to_json() + "\n";

@@ -32,6 +32,9 @@
 //! | `UCUDNN_TELEMETRY_RING` | window snapshots kept per series ≥ 1 | [`crate::telemetry::Registry::with_ring`] capacity |
 //! | `UCUDNN_SLO_BUDGET` | bad-request budget fraction in (0, 1] | `ucudnn_serve::BurnConfig::budget` |
 //! | `UCUDNN_BURN_WINDOWS` | `<fast_us>,<slow_us>`, both > 0, fast < slow | `ucudnn_serve::BurnConfig::{fast_us, slow_us}` |
+//! | `UCUDNN_FLEET_REPLICAS` | comma list of device cards (`k80` / `p100` / `v100`) | [`FleetOptions::replicas`] |
+//! | `UCUDNN_FLEET_BUDGET` | global workspace bytes, or suffixed `K`/`M`/`G` | [`FleetOptions::global_budget_bytes`] |
+//! | `UCUDNN_FLEET_POLICY` | `feasibility` / `least_loaded` | [`FleetOptions::policy`] |
 
 use crate::handle::{OptimizerMode, UcudnnOptions};
 use crate::policy::BatchSizePolicy;
@@ -305,6 +308,124 @@ impl IngressOptions {
     }
 }
 
+/// How the fleet router picks a replica for an admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetRouterPolicy {
+    /// Feasibility-first: dispatch to the replica whose estimated
+    /// completion keeps the request's deadline feasible, preferring the
+    /// earliest estimated finish; shed only when no replica is feasible.
+    Feasibility,
+    /// Join-shortest-queue baseline: dispatch to the replica with the
+    /// fewest queued requests, blind to per-device service rates.
+    LeastLoaded,
+}
+
+impl FleetRouterPolicy {
+    /// Stable lowercase spelling, used in env parsing, logs, and bench
+    /// report lane names.
+    pub fn name(self) -> &'static str {
+        match self {
+            FleetRouterPolicy::Feasibility => "feasibility",
+            FleetRouterPolicy::LeastLoaded => "least_loaded",
+        }
+    }
+
+    /// Parse the spelling accepted by `UCUDNN_FLEET_POLICY`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "feasibility" => Some(FleetRouterPolicy::Feasibility),
+            "least_loaded" => Some(FleetRouterPolicy::LeastLoaded),
+            _ => None,
+        }
+    }
+}
+
+/// Device cards a fleet replica may be instantiated from. The vocabulary
+/// is closed on purpose: it doubles as the replica metric-label vocabulary,
+/// so an unknown spelling must fail at configuration time, not allocate a
+/// label series at runtime.
+pub const FLEET_REPLICA_CARDS: [&str; 3] = ["k80", "p100", "v100"];
+
+/// Configuration of the fleet tier (`ucudnn_serve::fleet`), read from the
+/// `UCUDNN_FLEET_*` variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOptions {
+    /// Replica device cards in dispatch order (`UCUDNN_FLEET_REPLICAS`,
+    /// comma-separated). Each entry must be one of
+    /// [`FLEET_REPLICA_CARDS`]; duplicates are allowed (two `v100`
+    /// replicas are two distinct replicas of the same card).
+    pub replicas: Vec<String>,
+    /// Global workspace budget the arbiter partitions across replicas
+    /// (`UCUDNN_FLEET_BUDGET`).
+    pub global_budget_bytes: usize,
+    /// Router policy (`UCUDNN_FLEET_POLICY`).
+    pub policy: FleetRouterPolicy,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            replicas: FLEET_REPLICA_CARDS.iter().map(|s| s.to_string()).collect(),
+            global_budget_bytes: 768 << 20,
+            policy: FleetRouterPolicy::Feasibility,
+        }
+    }
+}
+
+impl FleetOptions {
+    /// Build options from a key-lookup function (exposed for testing, like
+    /// [`ServeOptions::from_lookup`]). Unset keys keep their defaults;
+    /// malformed values are errors, not silent fallbacks.
+    ///
+    /// # Errors
+    /// [`EnvError`] naming the malformed variable — including any replica
+    /// spelling outside [`FLEET_REPLICA_CARDS`] and an empty replica list.
+    pub fn from_lookup(
+        lookup: impl Fn(&str) -> Option<String>,
+    ) -> core::result::Result<Self, EnvError> {
+        let mut opts = FleetOptions::default();
+        if let Some(v) = lookup("UCUDNN_FLEET_REPLICAS") {
+            let names: Vec<String> = v
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if names.is_empty()
+                || names
+                    .iter()
+                    .any(|n| !FLEET_REPLICA_CARDS.contains(&n.as_str()))
+            {
+                return Err(EnvError {
+                    variable: "UCUDNN_FLEET_REPLICAS",
+                    value: v,
+                });
+            }
+            opts.replicas = names;
+        }
+        if let Some(v) = lookup("UCUDNN_FLEET_BUDGET") {
+            opts.global_budget_bytes = parse_bytes(&v).ok_or(EnvError {
+                variable: "UCUDNN_FLEET_BUDGET",
+                value: v,
+            })?;
+        }
+        if let Some(v) = lookup("UCUDNN_FLEET_POLICY") {
+            opts.policy = FleetRouterPolicy::parse(&v).ok_or(EnvError {
+                variable: "UCUDNN_FLEET_POLICY",
+                value: v,
+            })?;
+        }
+        Ok(opts)
+    }
+
+    /// Build options from the process environment.
+    ///
+    /// # Errors
+    /// [`EnvError`] naming the malformed variable.
+    pub fn from_env() -> core::result::Result<Self, EnvError> {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +563,46 @@ mod tests {
         let opts =
             IngressOptions::from_lookup(lookup(&[("UCUDNN_SERVE_BACKEND", " poll ")])).unwrap();
         assert_eq!(opts.backend, Some(IngressBackend::Poll));
+    }
+
+    #[test]
+    fn fleet_defaults_when_unset() {
+        let opts = FleetOptions::from_lookup(|_| None).unwrap();
+        assert_eq!(opts, FleetOptions::default());
+        assert_eq!(opts.replicas, vec!["k80", "p100", "v100"]);
+        assert_eq!(opts.global_budget_bytes, 768 << 20);
+        assert_eq!(opts.policy, FleetRouterPolicy::Feasibility);
+    }
+
+    #[test]
+    fn fleet_full_configuration() {
+        let opts = FleetOptions::from_lookup(lookup(&[
+            ("UCUDNN_FLEET_REPLICAS", "v100, v100 ,k80"),
+            ("UCUDNN_FLEET_BUDGET", "1G"),
+            ("UCUDNN_FLEET_POLICY", "least_loaded"),
+        ]))
+        .unwrap();
+        assert_eq!(opts.replicas, vec!["v100", "v100", "k80"]);
+        assert_eq!(opts.global_budget_bytes, 1 << 30);
+        assert_eq!(opts.policy, FleetRouterPolicy::LeastLoaded);
+        // Whitespace-tolerant like the rest of the table.
+        let opts =
+            FleetOptions::from_lookup(lookup(&[("UCUDNN_FLEET_POLICY", " feasibility ")])).unwrap();
+        assert_eq!(opts.policy, FleetRouterPolicy::Feasibility);
+    }
+
+    #[test]
+    fn fleet_malformed_values_error_loudly() {
+        // Unknown card spellings are rejected — the replica vocabulary is
+        // closed so metric labels can't be allocated from config typos.
+        let e = FleetOptions::from_lookup(lookup(&[("UCUDNN_FLEET_REPLICAS", "k80,titan_x")]))
+            .unwrap_err();
+        assert_eq!(e.variable, "UCUDNN_FLEET_REPLICAS");
+        assert!(FleetOptions::from_lookup(lookup(&[("UCUDNN_FLEET_REPLICAS", " , ,")])).is_err());
+        assert!(FleetOptions::from_lookup(lookup(&[("UCUDNN_FLEET_BUDGET", "plenty")])).is_err());
+        let e = FleetOptions::from_lookup(lookup(&[("UCUDNN_FLEET_POLICY", "round_robin")]))
+            .unwrap_err();
+        assert_eq!(e.variable, "UCUDNN_FLEET_POLICY");
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod bench_cache;
 pub mod config;
 pub mod env;
 pub mod error;
+pub mod fleet;
 pub mod handle;
 pub mod json;
 pub mod kernel;
@@ -62,8 +63,15 @@ pub mod wr;
 
 pub use bench_cache::{BenchCache, BenchEntry, CacheStats};
 pub use config::{Configuration, MicroConfig};
-pub use env::{parse_bytes, EnvError, IngressBackend, IngressOptions, ServeOptions};
+pub use env::{
+    parse_bytes, EnvError, FleetOptions, FleetRouterPolicy, IngressBackend, IngressOptions,
+    ServeOptions, FLEET_REPLICA_CARDS,
+};
 pub use error::UcudnnError;
+pub use fleet::{
+    arbitrate_fleet_budget, best_per_sample_us, fleet_budget_candidates, BudgetCandidate,
+    BudgetShare, FleetBudgetPlan, ReplicaCandidates,
+};
 pub use handle::{OptimizerMode, Plan, UcudnnHandle, UcudnnOptions, VIRTUAL_ALGO};
 pub use kernel::{KernelKey, OpKind};
 pub use metrics::{OptimizerMetrics, Phase, PhaseTimings};

@@ -108,4 +108,42 @@ mod tests {
         assert!(k80().launch_overhead_us > p100_sxm2().launch_overhead_us);
         assert!(p100_sxm2().launch_overhead_us > v100_sxm2().launch_overhead_us);
     }
+
+    /// Pin every card to the paper's Table I. The fleet tier builds its
+    /// per-replica latency tables from these specs, so a silent edit here
+    /// would skew the routing and arbiter results while all behavioural
+    /// tests kept passing.
+    #[test]
+    fn k80_matches_table_i() {
+        // Table I lists the dual-die K80 board: 8.73 SP TFlop/s, 24 GiB,
+        // 480 GB/s. The card models the single GK210 die frameworks see,
+        // i.e. half of each board figure (the die TFlop/s is rounded to
+        // three significant digits: 8.73 / 2 = 4.365 ≈ 4.37).
+        let d = k80();
+        assert_eq!(d.name, "K80");
+        assert!((2.0 * d.sp_tflops - 8.73).abs() < 0.02);
+        assert!((2.0 * d.mem_gib - 24.0).abs() < 1e-9);
+        assert!((2.0 * d.mem_bw_gbps - 480.0).abs() < 1e-9);
+        assert_eq!(d.sm_count, 13);
+    }
+
+    #[test]
+    fn p100_matches_table_i() {
+        let d = p100_sxm2();
+        assert_eq!(d.name, "P100-SXM2");
+        assert!((d.sp_tflops - 10.6).abs() < 1e-9);
+        assert!((d.mem_gib - 16.0).abs() < 1e-9);
+        assert!((d.mem_bw_gbps - 732.0).abs() < 1e-9);
+        assert_eq!(d.sm_count, 56);
+    }
+
+    #[test]
+    fn v100_matches_table_i() {
+        let d = v100_sxm2();
+        assert_eq!(d.name, "V100-SXM2");
+        assert!((d.sp_tflops - 15.7).abs() < 1e-9);
+        assert!((d.mem_gib - 16.0).abs() < 1e-9);
+        assert!((d.mem_bw_gbps - 900.0).abs() < 1e-9);
+        assert_eq!(d.sm_count, 80);
+    }
 }

@@ -1,0 +1,370 @@
+//! Fleet router: SLO-aware sharding across heterogeneous device replicas.
+//!
+//! PR 5–9 built a single-replica serving stack; this module is the tier
+//! above (DESIGN.md §16). A fleet is N replicas, each wrapping its *own*
+//! latency table built from its *own* device card's WR Pareto front — a
+//! K80 replica and a V100 replica genuinely disagree about `t*(m)` — and
+//! the [`Router`] decides, per admitted request, which replica's queue the
+//! ticket joins.
+//!
+//! The production policy is **feasibility-first**
+//! ([`FleetRouterPolicy::Feasibility`]): estimate each replica's
+//! completion time for the new ticket with a fluid model
+//! (`max(now, earliest_free) + (depth + 1) / service_rate`), keep only
+//! replicas whose estimate meets the request's deadline, and dispatch to
+//! the earliest estimated finish. Only when *no* replica is feasible does
+//! the ticket fall through the existing shed ladder ([`ShedReason`]),
+//! with the rung chosen by why routing failed: every queue full →
+//! `queue_full`; space exists but no deadline-feasible replica →
+//! `deadline_infeasible`; no live replica at all → `draining`.
+//!
+//! The **least-loaded** baseline ([`FleetRouterPolicy::LeastLoaded`],
+//! join-shortest-queue) exists to be beaten: it is rate-blind, so under
+//! heterogeneity it happily parks tickets in a short K80 queue that is
+//! *slower in time* than a longer V100 queue. `serve_bench --fleet` runs
+//! both policies over identical arrivals and commits the shed-count gap.
+//!
+//! Per-replica instruments ride the PR 8 registry through the
+//! closed-vocabulary `CounterVec`/`GaugeVec` path ([`FleetMetrics`]): the
+//! label vocabulary is the configured replica card list, so an unknown
+//! replica spelling lands in `ucudnn_telemetry_dropped_total` instead of
+//! allocating a new series.
+
+use crate::request::ShedReason;
+use ucudnn::{CounterVec, FleetRouterPolicy, GaugeVec, Registry};
+
+/// Aggregate service rate of one replica, in requests per microsecond:
+/// `workers × max over (m, t) in table of m / t`. An empty (unrunnable)
+/// table yields 0.0, which makes every deadline infeasible — the router
+/// then never dispatches there.
+pub fn replica_rate_per_us(table: &[(usize, f64)], workers: usize) -> f64 {
+    let per_worker = table
+        .iter()
+        .filter(|(m, t)| *m > 0 && *t > 0.0)
+        .map(|(m, t)| *m as f64 / t)
+        .fold(0.0_f64, f64::max);
+    workers as f64 * per_worker
+}
+
+/// One replica's routing-relevant state at a decision instant.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaSnapshot {
+    /// Fluid service rate (requests/µs), from [`replica_rate_per_us`].
+    pub rate_per_us: f64,
+    /// Tickets currently queued (not yet fired into a batch).
+    pub queue_depth: usize,
+    /// Bounded queue capacity; `queue_depth == queue_cap` refuses admits.
+    pub queue_cap: usize,
+    /// Earliest instant any of the replica's workers goes idle.
+    pub earliest_free_us: f64,
+    /// Dead or draining replicas are never dispatched to.
+    pub alive: bool,
+}
+
+/// Where one admitted request goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Join replica `i`'s queue.
+    Dispatch(usize),
+    /// No replica can take it: shed on the named ladder rung.
+    Shed(ShedReason),
+}
+
+/// The fleet's dispatch policy, bound to an SLO.
+#[derive(Debug, Clone, Copy)]
+pub struct Router {
+    /// Dispatch policy.
+    pub policy: FleetRouterPolicy,
+    /// Per-request deadline budget in microseconds.
+    pub slo_us: f64,
+}
+
+impl Router {
+    /// A router for `policy` under `slo_us`.
+    pub fn new(policy: FleetRouterPolicy, slo_us: f64) -> Self {
+        Self { policy, slo_us }
+    }
+
+    /// Route one request that arrived at `arrival_us`, deciding at `now_us`
+    /// (the two differ when a failed replica's queue is re-routed later
+    /// than the original arrivals). Deterministic: ties prefer the lowest
+    /// replica index.
+    pub fn choose(
+        &self,
+        now_us: f64,
+        arrival_us: f64,
+        replicas: &[ReplicaSnapshot],
+    ) -> RouteDecision {
+        match self.policy {
+            FleetRouterPolicy::Feasibility => self.choose_feasibility(now_us, arrival_us, replicas),
+            FleetRouterPolicy::LeastLoaded => Self::choose_least_loaded(replicas),
+        }
+    }
+
+    fn choose_feasibility(
+        &self,
+        now_us: f64,
+        arrival_us: f64,
+        replicas: &[ReplicaSnapshot],
+    ) -> RouteDecision {
+        let deadline = arrival_us + self.slo_us;
+        let mut best: Option<(f64, usize)> = None;
+        for (i, r) in replicas.iter().enumerate() {
+            if !r.alive || r.queue_depth >= r.queue_cap || r.rate_per_us <= 0.0 {
+                continue;
+            }
+            let start = r.earliest_free_us.max(now_us);
+            let est_finish = start + (r.queue_depth + 1) as f64 / r.rate_per_us;
+            if est_finish > deadline {
+                continue;
+            }
+            // Strict `<` keeps the lowest index on exact ties.
+            if best.is_none_or(|(b, _)| est_finish < b) {
+                best = Some((est_finish, i));
+            }
+        }
+        if let Some((_, i)) = best {
+            return RouteDecision::Dispatch(i);
+        }
+        RouteDecision::Shed(Self::ladder_rung(replicas))
+    }
+
+    fn choose_least_loaded(replicas: &[ReplicaSnapshot]) -> RouteDecision {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, r) in replicas.iter().enumerate() {
+            if !r.alive || r.queue_depth >= r.queue_cap {
+                continue;
+            }
+            if best.is_none_or(|(b, _)| r.queue_depth < b) {
+                best = Some((r.queue_depth, i));
+            }
+        }
+        match best {
+            Some((_, i)) => RouteDecision::Dispatch(i),
+            None => RouteDecision::Shed(Self::ladder_rung(replicas)),
+        }
+    }
+
+    /// Which shed-ladder rung a routing failure lands on.
+    fn ladder_rung(replicas: &[ReplicaSnapshot]) -> ShedReason {
+        if !replicas.iter().any(|r| r.alive) {
+            return ShedReason::Draining;
+        }
+        if replicas
+            .iter()
+            .filter(|r| r.alive)
+            .all(|r| r.queue_depth >= r.queue_cap)
+        {
+            return ShedReason::QueueFull;
+        }
+        ShedReason::DeadlineInfeasible
+    }
+}
+
+/// Per-replica instruments on the shared telemetry registry. Labels go
+/// through the closed-vocabulary path: the vocabulary is fixed at
+/// construction to the configured replica cards, and any other spelling
+/// bumps `ucudnn_telemetry_dropped_total` instead of allocating a series.
+/// Duplicate cards in a fleet (two `v100` replicas) share one series per
+/// card, keeping cardinality bounded by the card vocabulary.
+#[derive(Debug, Clone)]
+pub struct FleetMetrics {
+    registry: Registry,
+    routed: CounterVec,
+    completed: CounterVec,
+    shed: CounterVec,
+    depth: GaugeVec,
+}
+
+impl FleetMetrics {
+    /// Bind the fleet series onto `registry` with `replicas` as the full
+    /// label vocabulary.
+    pub fn with_registry(registry: Registry, replicas: &[&str]) -> Self {
+        let routed = registry.counter_vec(
+            "ucudnn_fleet_routed_total",
+            "Requests dispatched, by replica.",
+            "replica",
+            replicas,
+        );
+        let completed = registry.counter_vec(
+            "ucudnn_fleet_completed_total",
+            "Requests completed within batches, by replica.",
+            "replica",
+            replicas,
+        );
+        let shed = registry.counter_vec(
+            "ucudnn_fleet_shed_total",
+            "Requests shed after dispatch (deadline/exec/drain), by replica.",
+            "replica",
+            replicas,
+        );
+        let depth = registry.gauge_vec(
+            "ucudnn_fleet_queue_depth",
+            "Queued tickets right now, by replica.",
+            "replica",
+            replicas,
+        );
+        Self {
+            registry,
+            routed,
+            completed,
+            shed,
+            depth,
+        }
+    }
+
+    /// Count `n` dispatches to `replica`.
+    pub fn routed(&self, replica: &str, n: u64) {
+        if let Some(c) = self.routed.with(replica) {
+            c.add(n);
+        }
+    }
+
+    /// Count `n` completions on `replica`.
+    pub fn completed(&self, replica: &str, n: u64) {
+        if let Some(c) = self.completed.with(replica) {
+            c.add(n);
+        }
+    }
+
+    /// Count `n` post-dispatch sheds on `replica`.
+    pub fn shed(&self, replica: &str, n: u64) {
+        if let Some(c) = self.shed.with(replica) {
+            c.add(n);
+        }
+    }
+
+    /// Publish `replica`'s current queue depth.
+    pub fn set_depth(&self, replica: &str, depth: f64) {
+        if let Some(g) = self.depth.with(replica) {
+            g.set(depth);
+        }
+    }
+
+    /// The registry the series live on (for exposition).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucudnn::FLEET_REPLICA_CARDS;
+
+    fn snap(rate: f64, depth: usize, cap: usize, free: f64, alive: bool) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            rate_per_us: rate,
+            queue_depth: depth,
+            queue_cap: cap,
+            earliest_free_us: free,
+            alive,
+        }
+    }
+
+    #[test]
+    fn rate_comes_from_the_best_table_point() {
+        // 8 samples in 100 µs beats 1 in 20 µs; two workers double it.
+        let table = vec![(1, 20.0), (8, 100.0)];
+        let r = replica_rate_per_us(&table, 2);
+        assert!((r - 2.0 * 8.0 / 100.0).abs() < 1e-12);
+        assert_eq!(replica_rate_per_us(&[], 2), 0.0);
+    }
+
+    #[test]
+    fn feasibility_skips_a_slower_shorter_queue_for_a_faster_feasible_one() {
+        // Replica 0 (K80-ish): short queue but slow — estimated finish
+        // blows the deadline. Replica 1 (V100-ish): longer queue, much
+        // faster — feasible. JSQ picks 0; feasibility must pick 1.
+        let slow = snap(0.001, 10, 64, 0.0, true); // 11 / 0.001 = 11 ms wait
+        let fast = snap(0.1, 20, 64, 0.0, true); // 21 / 0.1 = 210 µs
+        let fleet = [slow, fast];
+        let feas = Router::new(FleetRouterPolicy::Feasibility, 1_000.0);
+        assert_eq!(feas.choose(0.0, 0.0, &fleet), RouteDecision::Dispatch(1));
+        let jsq = Router::new(FleetRouterPolicy::LeastLoaded, 1_000.0);
+        assert_eq!(jsq.choose(0.0, 0.0, &fleet), RouteDecision::Dispatch(0));
+    }
+
+    #[test]
+    fn ties_prefer_the_lowest_index() {
+        let a = snap(0.1, 5, 64, 0.0, true);
+        let fleet = [a, a];
+        let feas = Router::new(FleetRouterPolicy::Feasibility, 10_000.0);
+        assert_eq!(feas.choose(0.0, 0.0, &fleet), RouteDecision::Dispatch(0));
+        let jsq = Router::new(FleetRouterPolicy::LeastLoaded, 10_000.0);
+        assert_eq!(jsq.choose(0.0, 0.0, &fleet), RouteDecision::Dispatch(0));
+    }
+
+    #[test]
+    fn busy_workers_push_the_estimate_past_the_deadline() {
+        // Plenty of rate, but every worker busy until long after the SLO.
+        let r = snap(1.0, 0, 64, 50_000.0, true);
+        let feas = Router::new(FleetRouterPolicy::Feasibility, 1_000.0);
+        assert_eq!(
+            feas.choose(0.0, 0.0, &[r]),
+            RouteDecision::Shed(ShedReason::DeadlineInfeasible)
+        );
+    }
+
+    #[test]
+    fn routing_failures_land_on_the_right_ladder_rung() {
+        let feas = Router::new(FleetRouterPolicy::Feasibility, 1_000.0);
+        let jsq = Router::new(FleetRouterPolicy::LeastLoaded, 1_000.0);
+        // All queues full → queue_full, both policies.
+        let full = [snap(0.1, 4, 4, 0.0, true), snap(0.1, 8, 8, 0.0, true)];
+        assert_eq!(
+            feas.choose(0.0, 0.0, &full),
+            RouteDecision::Shed(ShedReason::QueueFull)
+        );
+        assert_eq!(
+            jsq.choose(0.0, 0.0, &full),
+            RouteDecision::Shed(ShedReason::QueueFull)
+        );
+        // Space exists but nothing feasible → deadline_infeasible.
+        let slow = [snap(0.0001, 50, 64, 0.0, true)];
+        assert_eq!(
+            feas.choose(0.0, 0.0, &slow),
+            RouteDecision::Shed(ShedReason::DeadlineInfeasible)
+        );
+        // No live replica at all → draining.
+        let dead = [snap(0.1, 0, 64, 0.0, false)];
+        assert_eq!(
+            feas.choose(0.0, 0.0, &dead),
+            RouteDecision::Shed(ShedReason::Draining)
+        );
+        assert_eq!(
+            jsq.choose(0.0, 0.0, &dead),
+            RouteDecision::Shed(ShedReason::Draining)
+        );
+    }
+
+    #[test]
+    fn dead_replicas_are_never_dispatched_to() {
+        // Replica 0 is dead but would otherwise win on every metric.
+        let fleet = [snap(10.0, 0, 64, 0.0, false), snap(0.01, 30, 64, 0.0, true)];
+        let feas = Router::new(FleetRouterPolicy::Feasibility, 100_000.0);
+        assert_eq!(feas.choose(0.0, 0.0, &fleet), RouteDecision::Dispatch(1));
+        let jsq = Router::new(FleetRouterPolicy::LeastLoaded, 100_000.0);
+        assert_eq!(jsq.choose(0.0, 0.0, &fleet), RouteDecision::Dispatch(1));
+    }
+
+    #[test]
+    fn unknown_replica_labels_land_in_the_dropped_counter() {
+        // Satellite: per-replica label cardinality is pinned. The replica
+        // vocabulary is closed at construction; a label outside it must
+        // not allocate a series — it bumps the registry's dropped total.
+        let registry = Registry::new();
+        let m = FleetMetrics::with_registry(registry.clone(), &FLEET_REPLICA_CARDS);
+        m.routed("k80", 3);
+        assert_eq!(registry.dropped(), 0);
+        m.routed("titan_x", 1);
+        m.completed("titan_x", 1);
+        m.shed("", 1);
+        m.set_depth("a100", 9.0);
+        assert_eq!(registry.dropped(), 4);
+        let text = registry.expose();
+        assert!(text.contains("ucudnn_fleet_routed_total{replica=\"k80\"} 3"));
+        assert!(!text.contains("titan_x"));
+        assert!(text.contains("ucudnn_telemetry_dropped_total 4"));
+    }
+}

@@ -33,8 +33,16 @@
 //!   discipline applied to readiness multiplexing) behind a
 //!   backend-neutral poller;
 //! * [`sim_ingress`] — the deterministic connection-churn + fan-in twin
-//!   behind the `ingress` section of `BENCH_serve.json`.
+//!   behind the `ingress` section of `BENCH_serve.json`;
+//! * [`fleet`] + [`sim_fleet`] — the fleet tier (DESIGN.md §16):
+//!   SLO-aware feasibility-first routing across heterogeneous device
+//!   replicas (each with its own per-device latency table), a
+//!   least-loaded baseline to beat, replica drain/failure handling with
+//!   zero ticket loss, closed-vocabulary per-replica instruments, and the
+//!   deterministic fleet twin behind the `fleet` section of
+//!   `BENCH_serve.json`.
 
+pub mod fleet;
 pub mod metrics;
 pub mod reactor;
 pub mod reopt;
@@ -42,12 +50,14 @@ pub mod request;
 pub mod scheduler;
 pub mod server;
 pub mod sim;
+pub mod sim_fleet;
 pub mod sim_ingress;
 pub mod sim_reopt;
 pub mod slo_monitor;
 pub mod sys;
 pub mod tcp;
 
+pub use fleet::{replica_rate_per_us, FleetMetrics, ReplicaSnapshot, RouteDecision, Router};
 pub use metrics::ServeMetrics;
 pub use reactor::Reactor;
 pub use reopt::{DriftDetector, DriftReport, ReoptConfig};
@@ -55,6 +65,9 @@ pub use request::{RequestId, Response, ShedReason};
 pub use scheduler::{Action, BatchPolicy, Scheduler};
 pub use server::{BatchRunner, PlanState, RealModelRunner, Server, Ticket};
 pub use sim::{poisson_arrivals, run_sim, Lcg, ShedCounts, SimConfig, SimOutcome};
+pub use sim_fleet::{
+    run_fleet_sim, FleetOutcome, FleetReplicaConfig, FleetSimConfig, ReplicaFailure, ReplicaOutcome,
+};
 pub use sim_ingress::{run_ingress_sim, IngressOutcome, IngressSimConfig};
 pub use sim_reopt::{run_reopt_sim, ReoptOutcome, ReoptSimConfig};
 pub use slo_monitor::{BurnAlert, BurnConfig, BurnMonitor};

@@ -607,7 +607,11 @@ fn worker_loop(inner: &Inner, worker: usize) {
                 st = inner.state.lock().unwrap();
             }
             Action::ShedOldest => {
-                let p = st.queue.pop_front().expect("non-empty queue");
+                // The queue can only have shrunk if another worker raced us
+                // between the snapshot and here; nothing to shed then.
+                let Some(p) = st.queue.pop_front() else {
+                    continue;
+                };
                 inner.metrics.set_queue_depth(st.queue.len() as u64);
                 inner.metrics.shed(ShedReason::DeadlineInfeasible);
                 inner.metrics.degradations.inc();
@@ -766,7 +770,21 @@ fn execute_batch(
             inputs.extend_from_slice(&p.input);
         }
         let exec_start = Instant::now();
-        match inner.runner.run(m, &inputs) {
+        // A short (or long) output vector from a buggy runner must become a
+        // typed exec_failed shed for this micro-batch, not a slice panic
+        // that takes the worker thread (and every queued ticket) with it.
+        let result = inner.runner.run(m, &inputs).and_then(|outputs| {
+            let want = m * inner.runner.output_len();
+            if outputs.len() == want {
+                Ok(outputs)
+            } else {
+                Err(format!(
+                    "runner returned {} output values for micro-batch {m} (expected {want})",
+                    outputs.len()
+                ))
+            }
+        });
+        match result {
             Ok(outputs) => {
                 let exec_us = exec_start.elapsed().as_secs_f64() * 1e6;
                 observe_micro(inner, plan, m, exec_us);
@@ -934,7 +952,21 @@ impl RealModelRunner {
     ///
     /// The `handle` parameter lets tests attach a fault plan
     /// ([`CudnnHandle::with_faults`]) to the serving path.
+    ///
+    /// Panics if model registration fails; use [`Self::try_new`] where a
+    /// typed error is wanted (e.g. router-facing construction paths).
     pub fn new(handle: CudnnHandle, seed: u64, max_batch: usize) -> Self {
+        Self::try_new(handle, seed, max_batch).expect("serve model preparation")
+    }
+
+    /// Fallible constructor: kernel registration and optimizer finalization
+    /// errors surface as [`ucudnn_framework::ProviderError`]s instead of
+    /// panicking the thread that is bringing a replica up.
+    pub fn try_new(
+        handle: CudnnHandle,
+        seed: u64,
+        max_batch: usize,
+    ) -> Result<Self, ucudnn_framework::ProviderError> {
         let provider = UcudnnHandle::new(handle, UcudnnOptions::default());
         let mut sizes = Vec::new();
         let mut m = 1;
@@ -954,17 +986,15 @@ impl RealModelRunner {
             execs.insert(n, RealExecutor::new(net, seed));
         }
         use ucudnn_framework::ConvProvider as _;
-        provider
-            .prepare(&kernels)
-            .expect("serve model registration");
-        provider.finalize().expect("serve model finalization");
-        Self {
+        provider.prepare(&kernels)?;
+        provider.finalize()?;
+        Ok(Self {
             provider,
             execs,
             sizes,
             sample_len: C * HW * HW,
             output_len: CLASSES,
-        }
+        })
     }
 
     /// The wrapped μ-cuDNN handle (plan cache stats, optimizer metrics).
@@ -995,7 +1025,10 @@ impl BatchRunner for RealModelRunner {
         let acts = exec
             .forward(&self.provider, &input)
             .map_err(|e| e.to_string())?;
-        Ok(acts.last().expect("non-empty network").as_slice().to_vec())
+        let last = acts
+            .last()
+            .ok_or_else(|| "network produced no activations".to_string())?;
+        Ok(last.as_slice().to_vec())
     }
 
     fn telemetry(&self) -> Option<Registry> {
